@@ -1,0 +1,133 @@
+// Supporting benchmark: the Section 2 execution-tree engine itself —
+// node counts and run time as functions of input length, branching and
+// database size, plus the session/commit layer and the PL value-vector
+// engine.
+
+#include <benchmark/benchmark.h>
+
+#include "models/roman.h"
+#include "models/travel.h"
+#include "sws/execution.h"
+#include "sws/generator.h"
+#include "sws/session.h"
+
+namespace {
+
+// τ2 (the recursive travel variant): tree size grows linearly with the
+// inquiry chain.
+void BM_RecursiveRunInputLength(benchmark::State& state) {
+  auto service = sws::models::MakeTravelServiceRecursive();
+  auto db = sws::models::MakeTravelDatabase();
+  size_t n = static_cast<size_t>(state.range(0));
+  sws::rel::InputSequence input(3);
+  input.Append(sws::models::MakeTravelRequest("orlando", 1000));
+  for (size_t j = 1; j < n; ++j) {
+    sws::rel::Relation inquiry(3);
+    inquiry.Insert({sws::rel::Value::Str("a"), sws::rel::Value::Str("paris"),
+                    sws::rel::Value::Int(1000)});
+    input.Append(std::move(inquiry));
+  }
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto result = sws::core::Run(service.sws, db, input);
+    benchmark::DoNotOptimize(result.output.size());
+    nodes = result.num_nodes;
+  }
+  state.counters["tree_nodes"] = static_cast<double>(nodes);
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RecursiveRunInputLength)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity(benchmark::oN);
+
+// Branching services: tree nodes grow with successor fan-out ^ depth.
+void BM_BranchingRun(benchmark::State& state) {
+  sws::core::WorkloadGenerator gen(99);
+  sws::core::WorkloadGenerator::CqSwsParams params;
+  params.num_states = 6;
+  params.max_successors = static_cast<int>(state.range(0));
+  params.final_state_prob = 0.0;
+  sws::core::Sws sws = gen.RandomCqSws(params);
+  sws::rel::Database db = gen.RandomDatabase(sws.db_schema(), 4, 4);
+  sws::rel::InputSequence input =
+      gen.RandomInput(sws.rin_arity(), *sws.MaxDepth(), 2, 4);
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto result = sws::core::Run(sws, db, input);
+    benchmark::DoNotOptimize(result.output.size());
+    nodes = result.num_nodes;
+  }
+  state.counters["tree_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_BranchingRun)->DenseRange(1, 4);
+
+// Database-size scaling of the CQ join engine inside runs.
+void BM_RunDatabaseScaling(benchmark::State& state) {
+  sws::core::WorkloadGenerator gen(7);
+  sws::core::WorkloadGenerator::CqSwsParams params;
+  params.num_states = 4;
+  sws::core::Sws sws = gen.RandomCqSws(params);
+  size_t tuples = static_cast<size_t>(state.range(0));
+  sws::rel::Database db =
+      gen.RandomDatabase(sws.db_schema(), tuples, 8);
+  sws::rel::InputSequence input =
+      gen.RandomInput(sws.rin_arity(), *sws.MaxDepth(), 4, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sws::core::Run(sws, db, input).output.size());
+  }
+}
+BENCHMARK(BM_RunDatabaseScaling)->RangeMultiplier(4)->Range(4, 256);
+
+// Session stream throughput with commits.
+void BM_SessionStream(benchmark::State& state) {
+  auto service = sws::models::MakeTravelServiceCqUcq();
+  size_t sessions = static_cast<size_t>(state.range(0));
+  std::vector<sws::rel::Relation> stream;
+  for (size_t i = 0; i < sessions; ++i) {
+    stream.push_back(sws::models::MakeTravelRequest("orlando", 1000));
+    stream.push_back(sws::core::SessionRunner::DelimiterMessage(3));
+  }
+  for (auto _ : state) {
+    sws::core::SessionRunner runner(&service.sws,
+                                    sws::models::MakeTravelDatabase());
+    auto outcomes = runner.FeedStream(stream);
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sessions));
+}
+BENCHMARK(BM_SessionStream)->RangeMultiplier(4)->Range(1, 64);
+
+// The PL value-vector run engine on Roman-translated words.
+void BM_PlRunWordLength(benchmark::State& state) {
+  sws::fsa::Dfa target(3, 2);
+  target.set_start(0);
+  target.SetFinal(0);
+  target.SetTransition(0, 0, 1);
+  target.SetTransition(0, 1, 2);
+  target.SetTransition(1, 1, 0);
+  target.SetTransition(1, 0, 2);
+  target.SetTransition(2, 0, 2);
+  target.SetTransition(2, 1, 2);
+  sws::core::PlSws pl = sws::models::RomanToPlSws(target);
+  size_t rounds = static_cast<size_t>(state.range(0));
+  std::vector<int> word;
+  for (size_t i = 0; i < rounds; ++i) {
+    word.push_back(0);
+    word.push_back(1);
+  }
+  auto encoded = sws::models::EncodeRomanPlWord(word, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pl.Run(encoded));
+  }
+  state.SetComplexityN(static_cast<int64_t>(rounds));
+}
+BENCHMARK(BM_PlRunWordLength)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,227 @@
+// Table 1, CQ rows: SWS(CQ, UCQ) non-emptiness is exptime-complete and
+// validation/equivalence undecidable; for SWS_nr(CQ, UCQ) they drop to
+// pspace / nexptime / conexptime. The drivers measured here:
+//  * the exponential growth of the per-length UCQ unfolding (the
+//    conversion behind all the upper bounds),
+//  * Klug-style containment with inequalities (identification-partition
+//    enumeration — the conexptime engine),
+//  * the canonical-database searches for non-emptiness and validation.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/cq_analysis.h"
+#include "logic/containment.h"
+#include "logic/datalog.h"
+#include "models/sirup_sws.h"
+#include "models/travel.h"
+#include "sws/generator.h"
+#include "sws/execution.h"
+#include "sws/unfold.h"
+
+namespace {
+
+using sws::core::ActRelation;
+using sws::core::RelQuery;
+using sws::core::Sws;
+using sws::core::TransitionTarget;
+using sws::logic::Atom;
+using sws::logic::Comparison;
+using sws::logic::ConjunctiveQuery;
+using sws::logic::Term;
+using sws::logic::UnionQuery;
+
+// A recursive chain whose synthesis has two disjuncts per level: the
+// unfolding at length n has ~2^n disjuncts.
+Sws BranchingChain() {
+  sws::rel::Schema schema;
+  schema.Add(sws::rel::RelationSchema("R", {"a", "b"}));
+  Sws sws(schema, 1, 1);
+  int q0 = sws.AddState("q0");
+  int q = sws.AddState("q");
+  int f = sws.AddState("f");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{sws::core::kInputRelation, {Term::Var(0)}}});
+  sws.SetTransition(q0, {TransitionTarget{q, RelQuery::Cq(pass)}});
+  ConjunctiveQuery copy({Term::Var(0)},
+                        {Atom{ActRelation(1), {Term::Var(0)}}});
+  sws.SetSynthesis(q0, RelQuery::Cq(copy));
+  sws.SetTransition(q, {TransitionTarget{q, RelQuery::Cq(pass)},
+                        TransitionTarget{f, RelQuery::Cq(pass)}});
+  UnionQuery either(1);
+  // Two references to the recursive register in one disjunct: the
+  // disjunct bound satisfies B(j) = B(j+1)^2 + 1 — doubly exponential.
+  either.Add(ConjunctiveQuery({Term::Var(0)},
+                              {Atom{ActRelation(1), {Term::Var(0)}},
+                               Atom{ActRelation(1), {Term::Var(1)}}}));
+  either.Add(ConjunctiveQuery({Term::Var(0)},
+                              {Atom{ActRelation(2), {Term::Var(0)}}}));
+  sws.SetSynthesis(q, RelQuery::Ucq(either));
+  sws.SetTransition(f, {});
+  ConjunctiveQuery join({Term::Var(0)},
+                        {Atom{sws::core::kMsgRelation, {Term::Var(0)}},
+                         Atom{"R", {Term::Var(0), Term::Var(1)}}});
+  sws.SetSynthesis(f, RelQuery::Cq(join));
+  return sws;
+}
+
+void BM_UnfoldingGrowth(benchmark::State& state) {
+  Sws sws = BranchingChain();
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    UnionQuery u = sws::core::UnfoldToUcq(sws, n);
+    benchmark::DoNotOptimize(u.size());
+    disjuncts = u.size();
+  }
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+  state.counters["bound"] =
+      static_cast<double>(sws::core::UnfoldDisjunctBound(sws, n));
+}
+BENCHMARK(BM_UnfoldingGrowth)->DenseRange(1, 6);
+
+// A linear chain of k states before the final join: the earliest witness
+// needs k+1 input messages, so non-emptiness unfolds at every length up
+// to there — cost grows with the (exptime-style) iterative search depth.
+Sws DeepChain(int k) {
+  sws::rel::Schema schema;
+  schema.Add(sws::rel::RelationSchema("R", {"a", "b"}));
+  Sws sws(schema, 1, 1);
+  int q0 = sws.AddState("q0");
+  std::vector<int> chain;
+  for (int i = 0; i < k; ++i) {
+    chain.push_back(sws.AddState("q" + std::to_string(i + 1)));
+  }
+  int f = sws.AddState("f");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{sws::core::kInputRelation, {Term::Var(0)}},
+                         Atom{sws::core::kMsgRelation, {Term::Var(1)}}});
+  ConjunctiveQuery pass_root({Term::Var(0)},
+                             {Atom{sws::core::kInputRelation, {Term::Var(0)}}});
+  ConjunctiveQuery copy({Term::Var(0)},
+                        {Atom{ActRelation(1), {Term::Var(0)}}});
+  int prev = q0;
+  for (int i = 0; i <= k; ++i) {
+    int next = i < k ? chain[i] : f;
+    sws.SetTransition(prev, {TransitionTarget{
+                                next, RelQuery::Cq(i == 0 ? pass_root
+                                                          : pass)}});
+    sws.SetSynthesis(prev, RelQuery::Cq(copy));
+    prev = next;
+  }
+  sws.SetTransition(f, {});
+  ConjunctiveQuery join({Term::Var(0)},
+                        {Atom{sws::core::kMsgRelation, {Term::Var(0)}},
+                         Atom{"R", {Term::Var(0), Term::Var(1)}}});
+  sws.SetSynthesis(f, RelQuery::Cq(join));
+  return sws;
+}
+
+void BM_CqNonEmptinessDepth(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Sws sws = DeepChain(k);
+  for (auto _ : state) {
+    auto result = sws::analysis::CqNonEmptinessNr(sws);
+    benchmark::DoNotOptimize(result.nonempty);
+  }
+}
+BENCHMARK(BM_CqNonEmptinessDepth)->DenseRange(1, 16, 3);
+
+// Klug containment with inequalities: Q1 has v variables; the right-hand
+// UCQ uses ≠, so all identification partitions are enumerated (~Bell(v)).
+void BM_KlugContainmentPartitions(benchmark::State& state) {
+  int v = static_cast<int>(state.range(0));
+  std::vector<Atom> body;
+  for (int i = 0; i < v; ++i) {
+    body.push_back(Atom{"R", {Term::Var(i)}});
+  }
+  ConjunctiveQuery q1({}, body);
+  UnionQuery q2(0);
+  q2.Add(ConjunctiveQuery({}, {Atom{"R", {Term::Var(0)}},
+                               Atom{"R", {Term::Var(1)}}},
+                          {Comparison{Term::Var(0), Term::Var(1), false}}));
+  q2.Add(ConjunctiveQuery({}, {Atom{"R", {Term::Var(0)}}}));
+  uint64_t partitions = 0;
+  for (auto _ : state) {
+    sws::logic::ContainmentStats stats;
+    benchmark::DoNotOptimize(sws::logic::CqContainedIn(q1, q2, &stats));
+    partitions = stats.partitions_checked;
+  }
+  state.counters["partitions"] = static_cast<double>(partitions);
+}
+BENCHMARK(BM_KlugContainmentPartitions)->DenseRange(2, 9);
+
+void BM_CqEquivalenceNrRandom(benchmark::State& state) {
+  sws::core::WorkloadGenerator gen(4242);
+  sws::core::WorkloadGenerator::CqSwsParams params;
+  params.num_states = static_cast<int>(state.range(0));
+  params.inequality_prob = 0.0;
+  Sws a = gen.RandomCqSws(params);
+  Sws b = a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sws::analysis::CqEquivalenceNr(a, b).equivalent);
+  }
+}
+BENCHMARK(BM_CqEquivalenceNrRandom)->DenseRange(3, 6);
+
+void BM_CqValidationTravel(benchmark::State& state) {
+  auto service = sws::models::MakeTravelServiceCqUcq();
+  auto db = sws::models::MakeTravelDatabase();
+  sws::rel::InputSequence input(3);
+  input.Append(sws::models::MakeTravelRequest("orlando", 1000));
+  sws::rel::Relation target =
+      sws::core::Run(service.sws, db, input).output;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sws::analysis::CqValidation(service.sws, target).validated);
+  }
+}
+BENCHMARK(BM_CqValidationTravel);
+
+void BM_CqNonEmptinessTravel(benchmark::State& state) {
+  auto service = sws::models::MakeTravelServiceCqUcq();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sws::analysis::CqNonEmptinessNr(service.sws).nonempty);
+  }
+}
+BENCHMARK(BM_CqNonEmptinessTravel);
+
+// The exptime lower-bound family (Theorem 4.1(2)): a *non-linear* sirup
+// embedded as a recursive SWS(CQ, UCQ); with two recursive body atoms
+// the execution tree branches, growing exponentially in the fuel — the
+// cost profile the hardness reduction exploits. (A linear sirup like
+// plain transitive closure embeds as a chain: linear trees.)
+void BM_SirupEmbeddingFuel(benchmark::State& state) {
+  sws::logic::Sirup sirup;
+  auto v = [](int i) { return Term::Var(i); };
+  sirup.rule = sws::logic::DatalogRule{
+      Atom{"P", {v(0), v(1)}},
+      {Atom{"P", {v(0), v(2)}}, Atom{"P", {v(2), v(3)}},
+       Atom{"E", {v(3), v(1)}}}};
+  sirup.ground_fact = Atom{"P", {Term::Int(1), Term::Int(1)}};
+  Sws sws = sws::models::SirupToSws(sirup);
+  sws::rel::Database edb;
+  sws::rel::Relation e(2);
+  for (int i = 1; i <= 6; ++i) {
+    e.Insert({sws::rel::Value::Int(i), sws::rel::Value::Int(i + 1)});
+  }
+  edb.Set("E", e);
+  size_t fuel = static_cast<size_t>(state.range(0));
+  auto input = sws::models::SirupFuel(sirup, fuel);
+  size_t nodes = 0;
+  size_t facts = 0;
+  for (auto _ : state) {
+    auto run = sws::core::Run(sws, edb, input);
+    benchmark::DoNotOptimize(run.output.size());
+    nodes = run.num_nodes;
+    facts = run.output.size();
+  }
+  state.counters["tree_nodes"] = static_cast<double>(nodes);
+  state.counters["derived_facts"] = static_cast<double>(facts);
+}
+BENCHMARK(BM_SirupEmbeddingFuel)->DenseRange(2, 8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Table 1, FO row: everything is undecidable, already for
+// SWS_nr(FO, FO), by reduction from FO (finite) satisfiability. What a
+// benchmark *can* show is the cost profile of the only implementable
+// procedure — bounded (D, I) enumeration — whose instance space explodes
+// doubly exponentially in the domain/arity bounds, illustrating why no
+// uniform procedure exists.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/fo_analysis.h"
+#include "models/travel.h"
+#include "sws/execution.h"
+
+namespace {
+
+using sws::analysis::FoBoundedNonEmptiness;
+using sws::analysis::FoBoundedOptions;
+using sws::analysis::FoSatToSws;
+using sws::logic::FoFormula;
+using sws::logic::Term;
+
+FoFormula UnsatisfiableSentence() {
+  FoFormula nonempty =
+      FoFormula::Exists(0, FoFormula::MakeAtom("R", {Term::Var(0)}));
+  FoFormula empty = FoFormula::Forall(
+      0, FoFormula::Not(FoFormula::MakeAtom("R", {Term::Var(0)})));
+  return FoFormula::And(nonempty, empty);
+}
+
+FoFormula NeedsTwoElements() {
+  return FoFormula::Exists(
+      0, FoFormula::Exists(
+             1, FoFormula::And(
+                    FoFormula::MakeAtom("R", {Term::Var(0), Term::Var(1)}),
+                    FoFormula::Neq(Term::Var(0), Term::Var(1)))));
+}
+
+// The instance space over domain {1..k}: 2^(k^arity) databases per
+// relation — the enumeration's cost explodes with the domain bound.
+void BM_FoBoundedSearchUnsat(benchmark::State& state) {
+  auto sws = FoSatToSws(UnsatisfiableSentence());
+  FoBoundedOptions options;
+  options.max_domain_size = static_cast<size_t>(state.range(0));
+  options.max_instances = 2000000;
+  uint64_t instances = 0;
+  for (auto _ : state) {
+    auto result = FoBoundedNonEmptiness(sws, options);
+    benchmark::DoNotOptimize(result.found);
+    instances = result.instances_checked;
+  }
+  state.counters["instances"] = static_cast<double>(instances);
+}
+BENCHMARK(BM_FoBoundedSearchUnsat)->DenseRange(1, 3);
+
+void BM_FoBoundedSearchSat(benchmark::State& state) {
+  auto sws = FoSatToSws(NeedsTwoElements());
+  FoBoundedOptions options;
+  options.max_domain_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FoBoundedNonEmptiness(sws, options).found);
+  }
+}
+BENCHMARK(BM_FoBoundedSearchSat)->DenseRange(2, 4);
+
+// Equivalence refutation against the empty service (the reduction's
+// equivalence half).
+void BM_FoBoundedInequivalence(benchmark::State& state) {
+  auto sws = FoSatToSws(NeedsTwoElements());
+  auto empty = sws::analysis::EmptyServiceLike(sws);
+  FoBoundedOptions options;
+  options.max_domain_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sws::analysis::FoBoundedInequivalence(sws, empty, options).found);
+  }
+}
+BENCHMARK(BM_FoBoundedInequivalence)->DenseRange(2, 3);
+
+// FO-run cost on the data-driven travel service (active-domain
+// evaluation of the deterministic-preference synthesis).
+void BM_FoTravelRun(benchmark::State& state) {
+  auto service = sws::models::MakeTravelService();
+  auto db = sws::models::MakeTravelDatabase();
+  sws::rel::InputSequence input(3);
+  input.Append(sws::models::MakeTravelRequest("orlando", 1000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sws::core::Run(service.sws, db, input).output.size());
+  }
+}
+BENCHMARK(BM_FoTravelRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// Table 1, PL rows: non-emptiness / validation / equivalence for
+// SWS(PL, PL) (pspace-complete) and SWS_nr(PL, PL) (np / conp-complete).
+//
+// The recursive procedures are explicit-state reachability over carry
+// vectors: the hard family below ("the k-th input from the start must
+// carry variable 0", processed right-to-left) forces ~2^k distinct
+// carries — the exponential explicit-state realization of the pspace
+// bound. The nonrecursive procedures are SAT-based; the pigeonhole
+// family forces exponential DPLL behavior — the NP-hardness in action.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/pl_analysis.h"
+#include "analysis/pl_nr_analysis.h"
+#include "models/roman.h"
+#include "sws/generator.h"
+
+namespace {
+
+using sws::core::PlSws;
+using sws::logic::PlFormula;
+using F = PlFormula;
+
+// NFA over {a=0, b=1} for "|w| >= k and w_k = a": small forward, but
+// right-to-left processing must track all suffix positions.
+sws::fsa::Nfa KthFromStartNfa(int k) {
+  sws::fsa::Nfa nfa(2);
+  for (int i = 0; i <= k; ++i) nfa.AddState();
+  nfa.AddInitial(0);
+  for (int i = 0; i + 1 < k; ++i) {
+    nfa.AddTransition(i, 0, i + 1);
+    nfa.AddTransition(i, 1, i + 1);
+  }
+  nfa.AddTransition(k - 1, 0, k);  // the k-th symbol must be 'a'
+  nfa.AddTransition(k, 0, k);
+  nfa.AddTransition(k, 1, k);
+  nfa.AddFinal(k);
+  return nfa;
+}
+
+void BM_PlNonEmptinessHardFamily(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  PlSws sws = sws::models::RomanToPlSws(KthFromStartNfa(k));
+  uint64_t carries = 0;
+  for (auto _ : state) {
+    auto result = sws::analysis::PlNonEmptiness(sws);
+    benchmark::DoNotOptimize(result.holds);
+    carries = result.stats.carries_explored;
+  }
+  state.counters["carries"] = static_cast<double>(carries);
+  state.counters["states"] = sws.num_states();
+}
+BENCHMARK(BM_PlNonEmptinessHardFamily)->DenseRange(2, 9);
+
+void BM_PlEquivalenceHardFamily(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  PlSws a = sws::models::RomanToPlSws(KthFromStartNfa(k));
+  PlSws b = sws::models::RomanToPlSws(KthFromStartNfa(k));
+  uint64_t carries = 0;
+  for (auto _ : state) {
+    auto result = sws::analysis::PlEquivalence(a, b);
+    benchmark::DoNotOptimize(result.equivalent);
+    carries = result.stats.carries_explored;
+  }
+  state.counters["carry_pairs"] = static_cast<double>(carries);
+}
+BENCHMARK(BM_PlEquivalenceHardFamily)->DenseRange(2, 7);
+
+void BM_PlNonEmptinessRandom(benchmark::State& state) {
+  sws::core::WorkloadGenerator gen(1234);
+  sws::core::WorkloadGenerator::PlSwsParams params;
+  params.num_states = static_cast<int>(state.range(0));
+  params.allow_recursion = true;
+  PlSws sws = gen.RandomPlSws(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sws::analysis::PlNonEmptiness(sws).holds);
+  }
+}
+BENCHMARK(BM_PlNonEmptinessRandom)->DenseRange(4, 12, 2);
+
+// The nonrecursive NP procedure on a pigeonhole-hard family: a depth-2
+// service whose run formula is PHP(p pigeons, p-1 holes) over I_1.
+PlSws PigeonholeService(int pigeons) {
+  int holes = pigeons - 1;
+  int vars = pigeons * holes;
+  PlSws sws(vars);
+  int q0 = sws.AddState("q0");
+  int leaf = sws.AddState("leaf");
+  sws.SetTransition(q0, {{leaf, F::True()}});
+  sws.SetSynthesis(q0, F::Var(0));
+  sws.SetTransition(leaf, {});
+  std::vector<F> clauses;
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<F> some;
+    for (int h = 0; h < holes; ++h) some.push_back(F::Var(p * holes + h));
+    clauses.push_back(F::Or(std::move(some)));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        clauses.push_back(F::Or(F::Not(F::Var(p1 * holes + h)),
+                                F::Not(F::Var(p2 * holes + h))));
+      }
+    }
+  }
+  sws.SetSynthesis(leaf, F::And(std::move(clauses)));
+  return sws;
+}
+
+void BM_NrNonEmptinessPigeonhole(benchmark::State& state) {
+  PlSws sws = PigeonholeService(static_cast<int>(state.range(0)));
+  uint64_t conflicts = 0;
+  for (auto _ : state) {
+    auto result = sws::analysis::NrNonEmptiness(sws);
+    benchmark::DoNotOptimize(result.holds);
+    conflicts = result.sat_stats.conflicts;
+  }
+  state.counters["sat_conflicts"] = static_cast<double>(conflicts);
+}
+BENCHMARK(BM_NrNonEmptinessPigeonhole)->DenseRange(3, 7);
+
+void BM_NrEquivalenceRandom(benchmark::State& state) {
+  sws::core::WorkloadGenerator gen(777);
+  sws::core::WorkloadGenerator::PlSwsParams params;
+  params.num_states = static_cast<int>(state.range(0));
+  params.allow_recursion = false;
+  PlSws a = gen.RandomPlSws(params);
+  PlSws b = gen.RandomPlSws(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sws::analysis::NrEquivalence(a, b).holds);
+  }
+}
+BENCHMARK(BM_NrEquivalenceRandom)->DenseRange(3, 7);
+
+// The AFA ↔ SWS(PL, PL) correspondence (Theorem 4.1(3) lower bound): AFA
+// emptiness through the SWS translation vs. directly.
+void BM_AfaViaSwsTranslation(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  // AFA requiring all of n chains to accept (conjunction).
+  sws::fsa::Afa afa(2 * n, 2);
+  std::vector<F> init;
+  for (int i = 0; i < n; ++i) {
+    afa.AddFinal(2 * i + 1);
+    afa.SetTransition(2 * i, 0, F::Var(2 * i + 1));
+    afa.SetTransition(2 * i, 1, F::Var(2 * i));
+    afa.SetTransition(2 * i + 1, 0, F::Var(2 * i + 1));
+    afa.SetTransition(2 * i + 1, 1, F::Var(2 * i + 1));
+    init.push_back(F::Var(2 * i));
+  }
+  afa.SetInitialFormula(F::And(std::move(init)));
+  sws::core::PlSws sws = sws::analysis::AfaToPlSws(afa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sws::analysis::PlNonEmptiness(sws).holds);
+  }
+  state.counters["sws_states"] = sws.num_states();
+}
+BENCHMARK(BM_AfaViaSwsTranslation)->DenseRange(1, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+// Table 2: complexity of composition synthesis. The decidable cases all
+// run through exponential machinery, measured here:
+//  * regular-language rewriting [8] (the MDT(∨) cases, up to
+//    2expspace/3expspace): determinization + complement + view
+//    summaries — automaton sizes are the cost drivers;
+//  * bounded PL mediator enumeration with k-prefix equivalence checks
+//    (MDT_b(PL), expspace/pspace cases);
+//  * CQ-view rewriting composition (the SWSnr(CQ, UCQ) 2expspace case /
+//    Corollary 5.2's 2exptime special case);
+//  * Roman-model composition (exptime-complete [6, 24]) for the
+//    contrast the paper draws in Section 5.2.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/regex.h"
+#include "mediator/cq_composition.h"
+#include "mediator/pl_composition.h"
+#include "models/roman_composition.h"
+#include "models/travel.h"
+#include "rewriting/regular_rewriting.h"
+
+namespace {
+
+using sws::fsa::CompileRegexes;
+using sws::fsa::Dfa;
+using sws::fsa::Nfa;
+using sws::fsa::RegexAlphabet;
+
+// Goal: "position k from the start is a" over {a, b}; views: letters.
+// The bad-word automaton determinizes over suffix uncertainty: its size
+// grows exponentially with k.
+void BM_RegularRewritingGrowth(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  RegexAlphabet alphabet;
+  std::string goal = "";
+  for (int i = 1; i < k; ++i) goal += "(a|b)";
+  goal += "a(a|b)*";
+  auto nfas = CompileRegexes({goal, "a", "b"}, &alphabet);
+  uint64_t bad_states = 0;
+  for (auto _ : state) {
+    auto result = sws::rw::RewriteRegular(nfas[0], {nfas[1], nfas[2]});
+    benchmark::DoNotOptimize(result.exact);
+    bad_states = result.bad_word_dfa_states;
+  }
+  state.counters["bad_word_dfa_states"] = static_cast<double>(bad_states);
+}
+BENCHMARK(BM_RegularRewritingGrowth)->DenseRange(1, 8);
+
+// Longer view languages: goal (ab)^k-separable family.
+void BM_RegularRewritingViewLength(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  RegexAlphabet alphabet;
+  std::string view = "";
+  for (int i = 0; i < k; ++i) view += "ab";
+  auto nfas = CompileRegexes({"(ab)*", view}, &alphabet);
+  for (auto _ : state) {
+    auto result = sws::rw::RewriteRegular(nfas[0], {nfas[1]});
+    benchmark::DoNotOptimize(result.exact);
+  }
+}
+BENCHMARK(BM_RegularRewritingViewLength)->DenseRange(1, 6);
+
+// Bounded PL mediator search: candidate space grows with the number of
+// components and mediator states (the MDT_b(PL) expspace flavor).
+void BM_FindPlMediator(benchmark::State& state) {
+  using sws::core::PlSws;
+  using F = sws::logic::PlFormula;
+  int num_components = static_cast<int>(state.range(0));
+  // Goal: conjunction of the first two variables (components 0 and 1
+  // suffice; extras are distractors enlarging the search space).
+  PlSws goal(num_components);
+  {
+    int q0 = goal.AddState("q0");
+    int l0 = goal.AddState("l0");
+    int l1 = goal.AddState("l1");
+    goal.SetTransition(q0, {{l0, F::True()}, {l1, F::True()}});
+    goal.SetSynthesis(q0, F::And(F::Var(0), F::Var(1)));
+    goal.SetTransition(l0, {});
+    goal.SetSynthesis(l0, F::Var(0));
+    goal.SetTransition(l1, {});
+    goal.SetSynthesis(l1, F::Var(1));
+  }
+  std::vector<PlSws> components;
+  for (int v = 0; v < num_components; ++v) {
+    PlSws c(num_components);
+    int q0 = c.AddState("q0");
+    int leaf = c.AddState("leaf");
+    c.SetTransition(q0, {{leaf, F::True()}});
+    c.SetSynthesis(q0, F::Var(0));
+    c.SetTransition(leaf, {});
+    c.SetSynthesis(leaf, F::Var(v));
+    components.push_back(std::move(c));
+  }
+  std::vector<const PlSws*> pointers;
+  for (const auto& c : components) pointers.push_back(&c);
+  uint64_t tried = 0;
+  for (auto _ : state) {
+    auto result = sws::med::FindPlMediator(goal, pointers);
+    benchmark::DoNotOptimize(result.found);
+    tried = result.mediators_tried;
+  }
+  state.counters["mediators_tried"] = static_cast<double>(tried);
+}
+BENCHMARK(BM_FindPlMediator)->DenseRange(2, 4);
+
+// CQ composition of the travel service from Example 5.1's components.
+void BM_CqCompositionTravel(benchmark::State& state) {
+  auto goal = sws::models::MakeTravelServiceCqUcq();
+  auto ta = sws::models::MakeTravelComponentAirfare();
+  auto tht = sws::models::MakeTravelComponentHotelTickets();
+  auto thc = sws::models::MakeTravelComponentHotelCar();
+  std::vector<const sws::core::Sws*> components = {&ta.sws, &tht.sws,
+                                                   &thc.sws};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sws::med::ComposeCqOneLevel(goal.sws, components).found);
+  }
+}
+BENCHMARK(BM_CqCompositionTravel);
+
+// Roman-model composition: the product space grows exponentially with
+// the number of components (exptime-complete).
+void BM_RomanComposition(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  // Target: (a_0 a_1 ... a_{m-1})*, component i supplies letter i.
+  int sigma = m;
+  Dfa target(m + 1, sigma);
+  target.set_start(0);
+  target.SetFinal(0);
+  for (int i = 0; i < m; ++i) {
+    for (int a = 0; a < sigma; ++a) target.SetTransition(i, a, m);
+    target.SetTransition(i, i, (i + 1) % m);
+  }
+  for (int a = 0; a < sigma; ++a) target.SetTransition(m, a, m);
+  std::vector<Dfa> components;
+  for (int i = 0; i < m; ++i) {
+    Dfa c(2, sigma);
+    c.set_start(0);
+    c.SetFinal(0);
+    for (int a = 0; a < sigma; ++a) c.SetTransition(0, a, 1);
+    c.SetTransition(0, i, 0);
+    for (int a = 0; a < sigma; ++a) c.SetTransition(1, a, 1);
+    components.push_back(std::move(c));
+  }
+  uint64_t product = 0;
+  for (auto _ : state) {
+    auto result = sws::models::ComposeRoman(target, components);
+    benchmark::DoNotOptimize(result.composable);
+    product = result.product_states_visited;
+  }
+  state.counters["product_states"] = static_cast<double>(product);
+}
+BENCHMARK(BM_RomanComposition)->DenseRange(2, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Data-driven services: a web store as a peer (relational transducer,
+// Section 3's model of [13]), a guarded checkout protocol (Colombo /
+// conversation style [5, 15]), and their embeddings into SWS(FO, FO) —
+// run through the session engine with database commits.
+
+#include <cstdio>
+
+#include "models/guarded.h"
+#include "models/peer.h"
+#include "sws/execution.h"
+#include "sws/session.h"
+
+using namespace sws;
+using logic::FoFormula;
+using logic::Term;
+
+namespace {
+Term V(int i) { return Term::Var(i); }
+
+rel::Relation Request(std::vector<int64_t> ids) {
+  rel::Relation r(1);
+  for (int64_t id : ids) r.Insert({rel::Value::Int(id)});
+  return r;
+}
+}  // namespace
+
+int main() {
+  // The catalog.
+  rel::Database db;
+  rel::Relation items(2);
+  items.Insert({rel::Value::Int(1), rel::Value::Int(10)});
+  items.Insert({rel::Value::Int(2), rel::Value::Int(25)});
+  items.Insert({rel::Value::Int(3), rel::Value::Int(40)});
+  db.Set("Item", items);
+
+  // --- The shop peer: requests go to a cart; re-requesting a carted
+  // --- item purchases it.
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Item", {"id", "price"}));
+  models::Peer shop(schema, /*input_arity=*/1, /*state_arity=*/1,
+                    /*action_arity=*/2);
+  shop.set_state_rule(FoFormula::And(
+      FoFormula::Or(
+          FoFormula::MakeAtom(models::Peer::kPeerState, {V(0)}),
+          FoFormula::MakeAtom(models::Peer::kPeerInput, {V(0)})),
+      FoFormula::Exists(1, FoFormula::MakeAtom("Item", {V(0), V(1)}))));
+  shop.set_action_rule(FoFormula::And(
+      {FoFormula::MakeAtom(models::Peer::kPeerState, {V(0)}),
+       FoFormula::MakeAtom(models::Peer::kPeerInput, {V(0)}),
+       FoFormula::MakeAtom("Item", {V(0), V(1)})}));
+
+  std::printf("== the shop as a peer (relational transducer) ==\n");
+  auto run = shop.Run(db, {Request({1, 3}), Request({1}), Request({3})});
+  for (size_t j = 0; j < run.states.size(); ++j) {
+    std::printf("step %zu: cart=%s purchases-so-far=%s\n", j + 1,
+                run.states[j].ToString().c_str(),
+                run.cumulative_actions[j].ToString().c_str());
+  }
+
+  // --- The same behavior as a recursive SWS(FO, FO) via f_τ.
+  core::Sws shop_sws = models::PeerToSws(shop);
+  std::printf("\n== the peer embedded as %s ==\n",
+              shop_sws.Classify().c_str());
+  std::vector<rel::Relation> inputs = {Request({1, 3}), Request({1}),
+                                       Request({3})};
+  rel::InputSequence encoded = models::EncodePeerInput(shop, inputs);
+  core::RunResult sws_run = core::Run(shop_sws, db, encoded);
+  std::printf("τ(D, I_1..I_3) = %s  (== the peer's cumulative actions)\n",
+              sws_run.output.ToString().c_str());
+
+  // --- A guarded checkout protocol on top, via the peer embedding.
+  rel::Schema fee_schema;
+  fee_schema.Add(rel::RelationSchema("Fee", {"amount"}));
+  models::GuardedAutomaton checkout(fee_schema, 1, 1, 2, 0);
+  FoFormula add = FoFormula::MakeAtom(models::Peer::kPeerInput, {Term::Int(1)});
+  FoFormula pay = FoFormula::MakeAtom(models::Peer::kPeerInput, {Term::Int(2)});
+  checkout.AddTransition({0, 0, add, FoFormula::False()});
+  checkout.AddTransition({0, 1, pay, FoFormula::MakeAtom("Fee", {V(0)})});
+  checkout.AddTransition({1, 1, FoFormula::True(), FoFormula::False()});
+
+  rel::Database fee_db;
+  rel::Relation fee(1);
+  fee.Insert({rel::Value::Int(3)});
+  fee_db.Set("Fee", fee);
+
+  models::Peer checkout_peer = checkout.ToPeer();
+  core::Sws checkout_sws = models::PeerToSws(checkout_peer);
+  std::printf("\n== guarded checkout protocol -> peer -> %s ==\n",
+              checkout_sws.Classify().c_str());
+  rel::InputSequence checkout_input = models::EncodePeerInput(
+      checkout_peer, {Request({1}), Request({2})});
+  std::printf("fees charged after [add, pay]: %s\n",
+              core::Run(checkout_sws, fee_db, checkout_input)
+                  .output.ToString()
+                  .c_str());
+
+  // --- Sessions with commits: a logging service persisting inputs.
+  std::printf("\n== sessions committing updates ==\n");
+  rel::Schema log_schema;
+  log_schema.Add(rel::RelationSchema("Log", {"x"}));
+  core::Sws logger(log_schema, 1, 3);
+  int q0 = logger.AddState("q0");
+  int q1 = logger.AddState("q1");
+  logic::ConjunctiveQuery pass(
+      {V(0)}, {logic::Atom{core::kInputRelation, {V(0)}}});
+  logger.SetTransition(q0, {core::TransitionTarget{
+                               q1, core::RelQuery::Cq(pass)}});
+  logger.SetSynthesis(
+      q0, core::RelQuery::Cq(logic::ConjunctiveQuery(
+              {V(0), V(1), V(2)},
+              {logic::Atom{core::ActRelation(1), {V(0), V(1), V(2)}}})));
+  logger.SetTransition(q1, {});
+  logger.SetSynthesis(
+      q1, core::RelQuery::Cq(logic::ConjunctiveQuery(
+              {Term::Str("ins"), Term::Str("Log"), V(0)},
+              {logic::Atom{core::kMsgRelation, {V(0)}}})));
+
+  core::SessionRunner sessions(&logger, rel::Database(log_schema));
+  sessions.FeedStream({Request({7}), core::SessionRunner::DelimiterMessage(1),
+                       Request({8}), core::SessionRunner::DelimiterMessage(1)});
+  std::printf("Log after two sessions: %s\n",
+              sessions.db().Get("Log").ToString().c_str());
+  return 0;
+}

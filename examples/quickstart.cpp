@@ -1,0 +1,54 @@
+// Quickstart: define a synthesized Web service, run it, inspect the
+// execution tree, and commit its actions — the 5-minute tour of the
+// library (see README.md).
+//
+// The service is the paper's running example (PODS'08, Examples 1.1/2.1):
+// booking a travel package succeeds only if airfare, hotel and either
+// Disney tickets or a rental car are all available — with a deterministic
+// preference for tickets.
+
+#include <cstdio>
+
+#include "models/travel.h"
+#include "sws/execution.h"
+
+using namespace sws;
+
+int main() {
+  // 1. The service τ1, its catalog database, and a user request.
+  models::TravelService service = models::MakeTravelService();
+  rel::Database db = models::MakeTravelDatabase();
+
+  std::printf("The service (class %s):\n%s\n",
+              service.sws.Classify().c_str(),
+              service.sws.ToString().c_str());
+  std::printf("The catalog database:\n%s\n\n", db.ToString().c_str());
+
+  // 2. Run it on a single-message session asking for Orlando.
+  rel::InputSequence input(3);
+  input.Append(models::MakeTravelRequest("orlando", 1000));
+  core::RunOptions options;
+  options.keep_tree = true;
+  core::RunResult result = core::Run(service.sws, db, input, options);
+
+  std::printf("Request: all four components for 'orlando'.\n");
+  std::printf("Execution tree (top-down generation, bottom-up synthesis):\n%s\n",
+              result.tree->ToString(service.sws).c_str());
+  std::printf("Output actions τ(D, I) = %s\n", result.output.ToString().c_str());
+  std::printf("  -> (airfare 300, hotel 120, tickets 80, no car): the\n"
+              "     deterministic synthesis preferred tickets over the car.\n\n");
+
+  // 3. Paris has no Disney tickets: the synthesis falls back to a car.
+  rel::InputSequence paris(3);
+  paris.Append(models::MakeTravelRequest("paris", 1000));
+  std::printf("Paris (no tickets on offer): %s\n",
+              core::Run(service.sws, db, paris).output.ToString().c_str());
+
+  // 4. Tokyo has no hotel: the conjunction fails, nothing is committed.
+  rel::InputSequence tokyo(3);
+  tokyo.Append(models::MakeTravelRequest("tokyo", 2000));
+  std::printf("Tokyo (no hotel): %s  <- deferred commitment: no partial "
+              "bookings\n",
+              core::Run(service.sws, db, tokyo).output.ToString().c_str());
+  return 0;
+}

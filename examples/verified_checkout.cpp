@@ -1,0 +1,83 @@
+// Putting the extensions together: a checkout service is statically
+// *verified* against a safety property ("never ship before payment"),
+// and the travel service is run under a *cost-model aggregation* to
+// commit the cheapest package — the two future-work directions the
+// paper's Conclusion names (verification problems for SWS's; aggregation
+// and cost models in action synthesis).
+
+#include <cstdio>
+
+#include "analysis/verification.h"
+#include "models/travel.h"
+#include "sws/aggregate.h"
+#include "sws/execution.h"
+
+using namespace sws;
+using F = logic::PlFormula;
+
+namespace {
+
+// pay = variable 1, ship = variable 0.
+core::PlSws MakeCheckout(bool correct) {
+  core::PlSws sws(2);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  int q2 = sws.AddState("q2");
+  int first = correct ? 1 : 0;   // which variable gates step 1
+  int second = correct ? 0 : 1;
+  sws.SetTransition(q0, {{q1, F::Var(first)}});
+  sws.SetSynthesis(q0, F::Var(0));
+  sws.SetTransition(q1, {{q2, F::Var(second)}});
+  sws.SetSynthesis(q1, F::Var(0));
+  sws.SetTransition(q2, {});
+  sws.SetSynthesis(q2, F::Var(sws.msg_var()));
+  return sws;
+}
+
+void Verify(const char* label, const core::PlSws& service) {
+  auto alphabet = analysis::MakePropertyAlphabet(service);
+  fsa::Nfa bad = analysis::BadBeforeProperty(alphabet, /*bad_var=*/0,
+                                             /*required_first_var=*/1);
+  analysis::SafetyResult result =
+      analysis::CheckRegularSafety(service, bad, alphabet);
+  std::printf("%s: %s\n", label, result.safe ? "SAFE" : "UNSAFE");
+  if (!result.safe) {
+    std::printf("  counterexample session (%zu messages): ",
+                result.counterexample->size());
+    for (const auto& symbol : *result.counterexample) {
+      std::printf("{");
+      for (int v : symbol) std::printf("%s", v == 0 ? "ship " : "pay ");
+      std::printf("} ");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== safety verification: 'never ship before payment' ==\n");
+  Verify("pay-then-ship service", MakeCheckout(/*correct=*/true));
+  Verify("ship-then-pay service", MakeCheckout(/*correct=*/false));
+
+  std::printf("\n== cost-model aggregation: cheapest travel package ==\n");
+  auto service = models::MakeTravelServiceCqUcq();
+  rel::InputSequence input(3);
+  input.Append(models::MakeTravelRequest("orlando", 1000));
+  auto db = models::MakeTravelDatabase();
+
+  core::RunResult all = core::Run(service.sws, db, input);
+  std::printf("all viable packages: %s\n", all.output.ToString().c_str());
+
+  core::Aggregation min_cost{core::AggregateKind::kMinCost,
+                             core::CostModel{{1, 1, 1, 1}}, 0};
+  core::AggregateSws cheapest(&service.sws, min_cost);
+  core::RunResult best = cheapest.Run(db, input);
+  std::printf("cheapest package committed: %s\n",
+              best.output.ToString().c_str());
+
+  core::Aggregation count{core::AggregateKind::kCount, {}, 0};
+  std::printf("package count: %s\n",
+              core::ApplyAggregation(all.output, count).ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,331 @@
+#include "analysis/pl_analysis.h"
+
+#include <deque>
+#include <map>
+
+#include "util/common.h"
+
+namespace sws::analysis {
+
+using core::PlSws;
+using logic::PlFormula;
+
+std::vector<PlSws::Symbol> EnumerateSymbols(const PlSws& sws) {
+  std::set<int> relevant_set = sws.RelevantInputVars();
+  std::vector<int> relevant(relevant_set.begin(), relevant_set.end());
+  SWS_CHECK_LE(relevant.size(), 20u)
+      << "alphabet too large to enumerate explicitly";
+  std::vector<PlSws::Symbol> symbols;
+  const size_t count = size_t{1} << relevant.size();
+  symbols.reserve(count);
+  for (size_t mask = 0; mask < count; ++mask) {
+    PlSws::Symbol s;
+    for (size_t i = 0; i < relevant.size(); ++i) {
+      if ((mask >> i) & 1) s.insert(relevant[i]);
+    }
+    symbols.push_back(std::move(s));
+  }
+  return symbols;
+}
+
+namespace {
+
+// Shared BFS over carry vectors with witness reconstruction. The carry
+// after folding suffix w, extended by an edge labeled a, becomes the
+// carry of a·w — i.e. edges prepend symbols, and walking a path from the
+// hit back to the initial carry reads the suffix left-to-right.
+struct CarrySearch {
+  std::map<std::vector<bool>, std::pair<std::vector<bool>, int>> parent;
+
+  PlSws::Word PathTo(const std::vector<bool>& carry,
+                     const std::vector<PlSws::Symbol>& symbols) const {
+    PlSws::Word suffix;
+    std::vector<bool> cur = carry;
+    while (true) {
+      const auto& [prev, symbol_index] = parent.at(cur);
+      if (symbol_index < 0) break;
+      suffix.push_back(symbols[symbol_index]);
+      cur = prev;
+    }
+    return suffix;
+  }
+};
+
+}  // namespace
+
+PlWitnessResult PlNonEmptiness(const PlSws& sws) {
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  std::vector<PlSws::Symbol> symbols = EnumerateSymbols(sws);
+  PlWitnessResult result;
+  result.stats.symbols = symbols.size();
+
+  CarrySearch search;
+  std::vector<bool> initial = sws.InitialCarry();
+  search.parent.emplace(initial,
+                        std::make_pair(std::vector<bool>{}, -1));
+  std::deque<std::vector<bool>> queue = {initial};
+  while (!queue.empty()) {
+    std::vector<bool> carry = queue.front();
+    queue.pop_front();
+    // A word a·w is accepted iff RootValue over the carry of w is true.
+    for (size_t ai = 0; ai < symbols.size(); ++ai) {
+      if (sws.RootValue(carry, symbols[ai], /*root_msg=*/false)) {
+        PlSws::Word word;
+        word.push_back(symbols[ai]);
+        PlSws::Word suffix = search.PathTo(carry, symbols);
+        word.insert(word.end(), suffix.begin(), suffix.end());
+        result.holds = true;
+        result.witness = std::move(word);
+        result.stats.carries_explored = search.parent.size();
+        return result;
+      }
+    }
+    for (size_t ai = 0; ai < symbols.size(); ++ai) {
+      std::vector<bool> next = sws.StepBack(carry, symbols[ai]);
+      if (search.parent
+              .emplace(next, std::make_pair(carry, static_cast<int>(ai)))
+              .second) {
+        queue.push_back(next);
+      }
+    }
+  }
+  result.stats.carries_explored = search.parent.size();
+  return result;
+}
+
+PlWitnessResult PlValidation(const PlSws& sws, bool desired_output) {
+  if (desired_output) return PlNonEmptiness(sws);
+  // τ(ε) = ∅ = false: the empty word always witnesses output `false`.
+  PlWitnessResult result;
+  result.holds = true;
+  result.witness = PlSws::Word{};
+  return result;
+}
+
+PlEquivalenceResult PlEquivalence(const PlSws& a, const PlSws& b) {
+  SWS_CHECK(!a.Validate().has_value()) << *a.Validate();
+  SWS_CHECK(!b.Validate().has_value()) << *b.Validate();
+  // Joint alphabet: all assignments of the union of relevant variables.
+  std::set<int> vars = a.RelevantInputVars();
+  for (int v : b.RelevantInputVars()) vars.insert(v);
+  std::vector<int> relevant(vars.begin(), vars.end());
+  SWS_CHECK_LE(relevant.size(), 20u);
+  std::vector<PlSws::Symbol> symbols;
+  for (size_t mask = 0; mask < (size_t{1} << relevant.size()); ++mask) {
+    PlSws::Symbol s;
+    for (size_t i = 0; i < relevant.size(); ++i) {
+      if ((mask >> i) & 1) s.insert(relevant[i]);
+    }
+    symbols.push_back(std::move(s));
+  }
+
+  PlEquivalenceResult result;
+  result.stats.symbols = symbols.size();
+
+  using Pair = std::pair<std::vector<bool>, std::vector<bool>>;
+  std::map<Pair, std::pair<Pair, int>> parent;
+  Pair initial = {a.InitialCarry(), b.InitialCarry()};
+  parent.emplace(initial, std::make_pair(Pair{}, -1));
+  std::deque<Pair> queue = {initial};
+  auto reconstruct = [&](const Pair& pair,
+                         const PlSws::Symbol& first) -> PlSws::Word {
+    PlSws::Word word;
+    word.push_back(first);
+    Pair cur = pair;
+    while (true) {
+      const auto& [prev, symbol_index] = parent.at(cur);
+      if (symbol_index < 0) break;
+      word.push_back(symbols[symbol_index]);
+      cur = prev;
+    }
+    return word;
+  };
+  while (!queue.empty()) {
+    Pair pair = queue.front();
+    queue.pop_front();
+    for (const PlSws::Symbol& symbol : symbols) {
+      bool va = a.RootValue(pair.first, symbol, false);
+      bool vb = b.RootValue(pair.second, symbol, false);
+      if (va != vb) {
+        result.equivalent = false;
+        result.counterexample = reconstruct(pair, symbol);
+        result.stats.carries_explored = parent.size();
+        return result;
+      }
+    }
+    for (size_t ai = 0; ai < symbols.size(); ++ai) {
+      Pair next = {a.StepBack(pair.first, symbols[ai]),
+                   b.StepBack(pair.second, symbols[ai])};
+      if (parent.emplace(next, std::make_pair(pair, static_cast<int>(ai)))
+              .second) {
+        queue.push_back(next);
+      }
+    }
+  }
+  result.equivalent = true;
+  result.stats.carries_explored = parent.size();
+  return result;
+}
+
+namespace {
+
+// Guard formula "the input message is exactly the singleton {v}" over
+// variables 0..num_vars-1.
+PlFormula ExactSingleton(int v, int num_vars) {
+  std::vector<PlFormula> conjuncts;
+  for (int u = 0; u < num_vars; ++u) {
+    conjuncts.push_back(u == v ? PlFormula::Var(u)
+                               : PlFormula::Not(PlFormula::Var(u)));
+  }
+  return PlFormula::And(std::move(conjuncts));
+}
+
+}  // namespace
+
+core::PlSws AfaToPlSws(const fsa::Afa& afa) {
+  const int sigma = afa.alphabet_size();
+  const int nq = afa.num_states();
+  const int num_vars = sigma + 1;  // symbols + '#'
+  const int hash_var = sigma;
+  PlSws sws(num_vars);
+  int root = sws.AddState("root");
+  std::vector<int> state_of(nq);
+  for (int q = 0; q < nq; ++q) {
+    state_of[q] = sws.AddState("s" + std::to_string(q));
+  }
+  int tt = sws.AddState("tt");  // the always-true final indicator
+  sws.SetTransition(tt, {});
+  sws.SetSynthesis(tt, PlFormula::True());
+
+  // Successor layout per simulated state: for each symbol a, |Q| children
+  // c_{r,a} plus one indicator ind_a; then the '#' indicator.
+  auto child_index = [&](int a, int r) { return a * (nq + 1) + r; };
+  auto indicator_index = [&](int a) { return a * (nq + 1) + nq; };
+  const int hash_index = sigma * (nq + 1);
+  auto make_successors = [&]() {
+    std::vector<PlSws::Successor> successors;
+    for (int a = 0; a < sigma; ++a) {
+      PlFormula guard = ExactSingleton(a, num_vars);
+      for (int r = 0; r < nq; ++r) {
+        successors.push_back(PlSws::Successor{state_of[r], guard});
+      }
+      successors.push_back(PlSws::Successor{tt, guard});
+    }
+    successors.push_back(
+        PlSws::Successor{tt, ExactSingleton(hash_var, num_vars)});
+    return successors;
+  };
+  // Substitutes AFA state r by the child variable c_{r,a}.
+  auto reindex = [&](const PlFormula& f, int a) {
+    std::map<int, PlFormula> map;
+    for (int r : f.Vars()) map.emplace(r, PlFormula::Var(child_index(a, r)));
+    return f.Substitute(map);
+  };
+
+  for (int q = 0; q < nq; ++q) {
+    sws.SetTransition(state_of[q], make_successors());
+    std::vector<PlFormula> disjuncts;
+    for (int a = 0; a < sigma; ++a) {
+      disjuncts.push_back(
+          PlFormula::And(PlFormula::Var(indicator_index(a)),
+                         reindex(afa.Transition(q, a), a)));
+    }
+    if (afa.IsFinal(q)) {
+      disjuncts.push_back(PlFormula::Var(hash_index));
+    }
+    sws.SetSynthesis(state_of[q], PlFormula::Or(std::move(disjuncts)));
+  }
+
+  // Root: one extra unfolding step of the initial formula.
+  sws.SetTransition(root, make_successors());
+  std::vector<PlFormula> disjuncts;
+  for (int a = 0; a < sigma; ++a) {
+    // init with each state p replaced by δ(p, a) reindexed to level-1
+    // children.
+    std::map<int, PlFormula> map;
+    for (int p : afa.initial_formula().Vars()) {
+      map.emplace(p, reindex(afa.Transition(p, a), a));
+    }
+    disjuncts.push_back(
+        PlFormula::And(PlFormula::Var(indicator_index(a)),
+                       afa.initial_formula().Substitute(map)));
+  }
+  // The empty AFA word: initial formula over final-state indicators.
+  bool empty_accepted = afa.initial_formula().EvalWith(
+      [&afa](int p) { return afa.IsFinal(p); });
+  if (empty_accepted) {
+    disjuncts.push_back(PlFormula::Var(hash_index));
+  }
+  sws.SetSynthesis(root, PlFormula::Or(std::move(disjuncts)));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+core::PlSws::Word EncodeAfaWord(const std::vector<int>& word,
+                                int alphabet_size) {
+  PlSws::Word out;
+  for (int a : word) {
+    SWS_CHECK(a >= 0 && a < alphabet_size);
+    out.push_back({a});
+  }
+  out.push_back({alphabet_size});  // '#'
+  return out;
+}
+
+std::optional<std::vector<int>> DecodeAfaWord(const core::PlSws::Word& word,
+                                              int alphabet_size) {
+  std::vector<int> out;
+  for (const PlSws::Symbol& symbol : word) {
+    if (symbol.size() != 1) return std::nullopt;
+    int v = *symbol.begin();
+    if (v == alphabet_size) return out;  // delimiter: ignore the rest
+    if (v < 0 || v > alphabet_size) return std::nullopt;
+    out.push_back(v);
+  }
+  return std::nullopt;  // no delimiter seen
+}
+
+fsa::Nfa PlSwsToNfa(const PlSws& sws,
+                    const std::vector<PlSws::Symbol>& alphabet) {
+  // The carry-vector graph reads words right-to-left: from the initial
+  // carry, folding symbols yields carries; reading the word's first
+  // symbol on top of a carry decides acceptance via RootValue. That
+  // graph is an automaton for the *reversed* language; reverse it.
+  std::map<std::vector<bool>, int> ids;
+  std::vector<std::vector<bool>> order;
+  auto intern = [&](const std::vector<bool>& c) {
+    auto [it, inserted] = ids.emplace(c, static_cast<int>(order.size()));
+    if (inserted) order.push_back(c);
+    return it->second;
+  };
+  fsa::Nfa reversed(static_cast<int>(alphabet.size()));
+  int accept = reversed.AddState();  // state 0 = ACC
+  reversed.AddFinal(accept);
+  std::vector<bool> initial = sws.InitialCarry();
+  intern(initial);
+  // State ids in the NFA: carry k maps to k+1 (0 is ACC).
+  auto nfa_state = [&](int carry_id) { return carry_id + 1; };
+  reversed.AddState();  // for the initial carry
+  reversed.AddInitial(nfa_state(0));
+  size_t processed = 0;
+  while (processed < order.size()) {
+    std::vector<bool> carry = order[processed];
+    int carry_id = static_cast<int>(processed);
+    ++processed;
+    for (size_t a = 0; a < alphabet.size(); ++a) {
+      std::vector<bool> next = sws.StepBack(carry, alphabet[a]);
+      size_t before = order.size();
+      int next_id = intern(next);
+      if (static_cast<size_t>(next_id) == before) reversed.AddState();
+      reversed.AddTransition(nfa_state(carry_id), static_cast<int>(a),
+                             nfa_state(next_id));
+      if (sws.RootValue(carry, alphabet[a], /*root_msg=*/false)) {
+        reversed.AddTransition(nfa_state(carry_id), static_cast<int>(a),
+                               accept);
+      }
+    }
+  }
+  return reversed.Reverse();
+}
+
+}  // namespace sws::analysis

@@ -1,0 +1,88 @@
+#ifndef SWS_ANALYSIS_PL_ANALYSIS_H_
+#define SWS_ANALYSIS_PL_ANALYSIS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "automata/afa.h"
+#include "automata/nfa.h"
+#include "sws/pl_sws.h"
+
+namespace sws::analysis {
+
+/// Decision procedures for (possibly recursive) SWS(PL, PL) — Theorem
+/// 4.1(3): non-emptiness, validation and equivalence are pspace-complete.
+///
+/// The implementation is the explicit-state realization of the pspace
+/// procedures: the run of a PL service folds the input right-to-left over
+/// |Q|-bit carry vectors (see core::PlSws), so the set of behaviors is a
+/// reachability problem over at most 2^|Q| vectors — the same
+/// relationship AFA emptiness checking bears to its pspace bound.
+
+/// Search-effort counters for the Table 1 benchmarks.
+struct PlSearchStats {
+  uint64_t carries_explored = 0;  // distinct carry vectors (or pairs)
+  uint64_t symbols = 0;           // alphabet size used (2^relevant vars)
+};
+
+/// All input messages over the service's relevant input variables
+/// (2^|relevant| truth assignments). Messages assigning irrelevant
+/// variables cannot change any rule's value, so this alphabet is
+/// exhaustive for the decision problems.
+std::vector<core::PlSws::Symbol> EnumerateSymbols(const core::PlSws& sws);
+
+struct PlWitnessResult {
+  bool holds = false;                          // the property holds
+  std::optional<core::PlSws::Word> witness;    // a witnessing input word
+  PlSearchStats stats;
+};
+
+/// Non-emptiness: is there an input word I with τ(I) = true?
+PlWitnessResult PlNonEmptiness(const core::PlSws& sws);
+
+/// Validation: is there an input word I with τ(I) = desired_output?
+/// For PL services the output is a single truth value; τ(ε) = false
+/// always, so validation of `false` is trivially witnessed by the empty
+/// word, and validation of `true` coincides with non-emptiness — the
+/// "special cases" observation of Section 4.
+PlWitnessResult PlValidation(const core::PlSws& sws, bool desired_output);
+
+struct PlEquivalenceResult {
+  bool equivalent = false;
+  std::optional<core::PlSws::Word> counterexample;  // word with a(I)≠b(I)
+  PlSearchStats stats;
+};
+
+/// Equivalence: τ_a(I) = τ_b(I) for every input word I? Reachability over
+/// carry-vector *pairs*.
+PlEquivalenceResult PlEquivalence(const core::PlSws& a, const core::PlSws& b);
+
+/// The PTIME reduction behind the Theorem 4.1(3) lower bound: every AFA
+/// can be expressed as an SWS(PL, PL) service. The encoding uses input
+/// variables 0..alphabet-1 (AFA symbol a is the singleton message {a})
+/// plus variable `alphabet` as the end-of-word delimiter '#', so that
+///   afa.Accepts(w)  iff  sws.Run(EncodeAfaWord(w)).
+/// Malformed messages (not exactly one variable true) kill the run.
+core::PlSws AfaToPlSws(const fsa::Afa& afa);
+
+/// Encodes an AFA word for the translated service: one singleton message
+/// per symbol, followed by the '#' delimiter message.
+core::PlSws::Word EncodeAfaWord(const std::vector<int>& word,
+                                int alphabet_size);
+
+/// Decodes a witness word of a translated service back into an AFA word
+/// (strips the delimiter; nullopt if the word is not well-formed).
+std::optional<std::vector<int>> DecodeAfaWord(const core::PlSws::Word& word,
+                                              int alphabet_size);
+
+/// Builds a left-to-right NFA for the language of a PL service over an
+/// explicit symbol alphabet: the carry-vector graph recognizes the
+/// reversed language; the result is its reversal. Exponential in |Q|
+/// (the SWS(PL, PL) → NFA translation used in the proof of Thm 5.3(1)).
+fsa::Nfa PlSwsToNfa(const core::PlSws& sws,
+                    const std::vector<core::PlSws::Symbol>& alphabet);
+
+}  // namespace sws::analysis
+
+#endif  // SWS_ANALYSIS_PL_ANALYSIS_H_

@@ -1,0 +1,151 @@
+#include "analysis/pl_nr_analysis.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace sws::analysis {
+
+using core::PlSws;
+using logic::PlFormula;
+
+int RunFormulaVar(const PlSws& sws, size_t j, int v) {
+  SWS_CHECK_GE(j, 1u);
+  SWS_CHECK(v >= 0 && v < sws.num_input_vars());
+  return static_cast<int>(j - 1) * sws.num_input_vars() + v;
+}
+
+namespace {
+
+// Rewrites a rule formula (over input vars + msg var) into the run
+// formula: input var v becomes x_{j,v} (or false if j = 0, the root's
+// empty message I_0), msg var becomes the symbolic register `msg`.
+PlFormula InstantiateRule(const PlSws& sws, const PlFormula& rule, size_t j,
+                          const PlFormula& msg) {
+  std::map<int, PlFormula> map;
+  for (int v : rule.Vars()) {
+    if (v == sws.msg_var()) {
+      map.emplace(v, msg);
+    } else if (j == 0) {
+      map.emplace(v, PlFormula::False());
+    } else {
+      map.emplace(v, PlFormula::Var(RunFormulaVar(sws, j, v)));
+    }
+  }
+  return rule.Substitute(map);
+}
+
+// The symbolic value of a node at state `state`, timestamp j, with
+// symbolic register `msg` (is_root disables the dead-register rule).
+PlFormula NodeFormula(const PlSws& sws, int state, size_t j, size_t n,
+                      const PlFormula& msg, bool is_root) {
+  if (j > n) return PlFormula::False();
+  const auto& successors = sws.Successors(state);
+  PlFormula value;
+  if (successors.empty()) {
+    value = InstantiateRule(sws, sws.Synthesis(state), j, msg);
+  } else {
+    std::map<int, PlFormula> child_values;
+    for (size_t i = 0; i < successors.size(); ++i) {
+      PlFormula child_msg =
+          InstantiateRule(sws, successors[i].guard, j + 1, msg);
+      PlFormula subtree = NodeFormula(sws, successors[i].state, j + 1, n,
+                                      child_msg, /*is_root=*/false);
+      child_values.emplace(static_cast<int>(i),
+                           PlFormula::And(child_msg, subtree));
+    }
+    value = sws.Synthesis(state).Substitute(child_values);
+  }
+  if (!is_root) value = PlFormula::And(msg, value);
+  return value;
+}
+
+PlSws::Word ModelToWord(const PlSws& sws, size_t n,
+                        const std::map<int, bool>& model) {
+  PlSws::Word word(n);
+  for (size_t j = 1; j <= n; ++j) {
+    for (int v = 0; v < sws.num_input_vars(); ++v) {
+      auto it = model.find(RunFormulaVar(sws, j, v));
+      if (it != model.end() && it->second) word[j - 1].insert(v);
+    }
+  }
+  return word;
+}
+
+void Accumulate(logic::SatStats* total, const logic::SatStats& call) {
+  total->decisions += call.decisions;
+  total->propagations += call.propagations;
+  total->conflicts += call.conflicts;
+}
+
+}  // namespace
+
+PlFormula NrRunFormula(const PlSws& sws, size_t n) {
+  SWS_CHECK(!sws.IsRecursive())
+      << "run formulas require a nonrecursive service";
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  if (n == 0) return PlFormula::False();  // empty input: Act(r) = ∅
+  return NodeFormula(sws, sws.start_state(), 0, n, PlFormula::False(),
+                     /*is_root=*/true)
+      .Simplify();
+}
+
+NrAnalysisResult NrNonEmptiness(const PlSws& sws) {
+  NrAnalysisResult result;
+  size_t depth = *sws.MaxDepth();
+  for (size_t n = 1; n <= std::max<size_t>(depth, 1); ++n) {
+    PlFormula formula = NrRunFormula(sws, n);
+    result.max_formula_size = std::max(result.max_formula_size,
+                                       formula.Size());
+    std::map<int, bool> model;
+    logic::SatStats stats;
+    ++result.sat_calls;
+    if (logic::PlSatisfiable(formula, &model, &stats)) {
+      Accumulate(&result.sat_stats, stats);
+      std::map<int, bool> full_model;
+      for (const auto& [var, value] : model) full_model[var] = value;
+      result.holds = true;
+      result.witness = ModelToWord(sws, n, full_model);
+      return result;
+    }
+    Accumulate(&result.sat_stats, stats);
+  }
+  return result;
+}
+
+NrAnalysisResult NrValidation(const PlSws& sws, bool desired_output) {
+  if (desired_output) return NrNonEmptiness(sws);
+  NrAnalysisResult result;
+  result.holds = true;  // τ(ε) = false
+  result.witness = PlSws::Word{};
+  return result;
+}
+
+NrAnalysisResult NrEquivalence(const PlSws& a, const PlSws& b) {
+  SWS_CHECK_EQ(a.num_input_vars(), b.num_input_vars())
+      << "equivalence needs a shared input schema";
+  NrAnalysisResult result;
+  size_t depth = std::max(*a.MaxDepth(), *b.MaxDepth());
+  for (size_t n = 0; n <= depth; ++n) {
+    PlFormula fa = NrRunFormula(a, n);
+    PlFormula fb = NrRunFormula(b, n);
+    PlFormula differ =
+        PlFormula::Not(PlFormula::Iff(std::move(fa), std::move(fb)));
+    result.max_formula_size =
+        std::max(result.max_formula_size, differ.Size());
+    std::map<int, bool> model;
+    logic::SatStats stats;
+    ++result.sat_calls;
+    bool distinguishable = logic::PlSatisfiable(differ, &model, &stats);
+    Accumulate(&result.sat_stats, stats);
+    if (distinguishable) {
+      result.holds = false;
+      result.witness = ModelToWord(a, n, model);
+      return result;
+    }
+  }
+  result.holds = true;
+  return result;
+}
+
+}  // namespace sws::analysis

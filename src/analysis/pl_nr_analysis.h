@@ -1,0 +1,50 @@
+#ifndef SWS_ANALYSIS_PL_NR_ANALYSIS_H_
+#define SWS_ANALYSIS_PL_NR_ANALYSIS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "logic/pl_sat.h"
+#include "sws/pl_sws.h"
+
+namespace sws::analysis {
+
+/// NP / coNP decision procedures for nonrecursive SWS_nr(PL, PL)
+/// (Theorem 4.1(3)): a nonrecursive service reads at most MaxDepth()
+/// input messages, so its run value on a length-n input is a Boolean
+/// circuit over the n·num_input_vars input bits. Non-emptiness is
+/// circuit satisfiability (Tseitin + DPLL); equivalence is validity of
+/// the biconditional.
+
+/// Variable numbering of the run formula: input variable v of message
+/// I_j (1-indexed) is PL variable (j-1)*num_input_vars + v.
+int RunFormulaVar(const core::PlSws& sws, size_t j, int v);
+
+/// The Boolean circuit expressing τ(I) = true for inputs of length
+/// exactly n. Aborts on recursive services (use pl_analysis.h instead).
+logic::PlFormula NrRunFormula(const core::PlSws& sws, size_t n);
+
+struct NrAnalysisResult {
+  bool holds = false;
+  std::optional<core::PlSws::Word> witness;  // satisfying input word
+  logic::SatStats sat_stats;                 // accumulated over SAT calls
+  uint64_t sat_calls = 0;
+  size_t max_formula_size = 0;               // largest run formula built
+};
+
+/// Non-emptiness via SAT: tries every input length n = 1..MaxDepth()
+/// (inputs beyond the depth are never read, so this range is complete).
+NrAnalysisResult NrNonEmptiness(const core::PlSws& sws);
+
+/// Validation of a desired Boolean output (see PlValidation for why
+/// `false` is trivial).
+NrAnalysisResult NrValidation(const core::PlSws& sws, bool desired_output);
+
+/// Equivalence via UNSAT of (Φ_a XOR Φ_b) for every n up to the larger
+/// depth; a model of the XOR is a distinguishing input (the coNP
+/// procedure). `witness` carries the counterexample when inequivalent.
+NrAnalysisResult NrEquivalence(const core::PlSws& a, const core::PlSws& b);
+
+}  // namespace sws::analysis
+
+#endif  // SWS_ANALYSIS_PL_NR_ANALYSIS_H_

@@ -1,0 +1,80 @@
+#include "analysis/verification.h"
+
+#include "analysis/pl_analysis.h"
+#include "automata/dfa.h"
+
+
+#include "util/common.h"
+
+namespace sws::analysis {
+
+using core::PlSws;
+
+std::vector<PlSws::Symbol> MakePropertyAlphabet(
+    const PlSws& service, const std::vector<int>& extra_vars) {
+  std::set<int> vars = service.RelevantInputVars();
+  for (int v : extra_vars) vars.insert(v);
+  std::vector<int> relevant(vars.begin(), vars.end());
+  SWS_CHECK_LE(relevant.size(), 16u) << "alphabet too large to enumerate";
+  std::vector<PlSws::Symbol> symbols;
+  for (size_t mask = 0; mask < (size_t{1} << relevant.size()); ++mask) {
+    PlSws::Symbol s;
+    for (size_t i = 0; i < relevant.size(); ++i) {
+      if ((mask >> i) & 1) s.insert(relevant[i]);
+    }
+    symbols.push_back(std::move(s));
+  }
+  return symbols;
+}
+
+SafetyResult CheckRegularSafety(
+    const PlSws& service, const fsa::Nfa& bad_behaviors,
+    const std::vector<PlSws::Symbol>& alphabet) {
+  SWS_CHECK_EQ(static_cast<size_t>(bad_behaviors.alphabet_size()),
+               alphabet.size())
+      << "property automaton alphabet mismatch";
+  SafetyResult result;
+  result.alphabet = alphabet;
+  fsa::Nfa language = PlSwsToNfa(service, alphabet);
+  fsa::Dfa service_dfa = Determinize(language);
+  fsa::Dfa bad_dfa = Determinize(bad_behaviors);
+  fsa::Dfa both =
+      fsa::Dfa::Product(service_dfa, bad_dfa, fsa::Dfa::BoolOp::kAnd);
+  auto witness = both.ShortestAcceptedWord();
+  if (!witness.has_value()) {
+    result.safe = true;
+    return result;
+  }
+  result.safe = false;
+  PlSws::Word word;
+  for (int symbol : *witness) {
+    word.push_back(alphabet[static_cast<size_t>(symbol)]);
+  }
+  result.counterexample = std::move(word);
+  return result;
+}
+
+fsa::Nfa BadBeforeProperty(const std::vector<PlSws::Symbol>& alphabet,
+                           int bad_var, int required_first_var) {
+  // Bad behaviors: a message with `bad_var` occurs while no earlier
+  // message carried `required_first_var`; anything may follow.
+  fsa::Nfa nfa(static_cast<int>(alphabet.size()));
+  int waiting = nfa.AddState();   // required var not yet seen
+  int violated = nfa.AddState();  // bad var arrived too early
+  nfa.AddInitial(waiting);
+  nfa.AddFinal(violated);
+  for (size_t a = 0; a < alphabet.size(); ++a) {
+    bool has_bad = alphabet[a].count(bad_var) > 0;
+    bool has_required = alphabet[a].count(required_first_var) > 0;
+    if (has_bad && !has_required) {
+      nfa.AddTransition(waiting, static_cast<int>(a), violated);
+    } else if (!has_required) {
+      nfa.AddTransition(waiting, static_cast<int>(a), waiting);
+    }
+    // Once violated, every continuation is still a violation.
+    nfa.AddTransition(violated, static_cast<int>(a), violated);
+  }
+  return nfa;
+}
+
+}  // namespace sws::analysis

@@ -1,0 +1,53 @@
+#ifndef SWS_ANALYSIS_VERIFICATION_H_
+#define SWS_ANALYSIS_VERIFICATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "sws/pl_sws.h"
+
+namespace sws::analysis {
+
+/// Safety verification for PL services — the paper's Conclusion plans to
+/// "investigate for SWS's the verification problems ... studied in
+/// [12, 13]". For regular (PL) services the natural decidable fragment
+/// is regular safety: given a property automaton describing *bad*
+/// behaviors over the same input alphabet, is any accepted session of
+/// the service bad?
+///
+/// Implemented by translating the service to an NFA over an explicit
+/// symbol alphabet (mediator/pl_composition.h machinery) and
+/// intersecting with the property: pspace in |Q| like the other
+/// SWS(PL, PL) analyses.
+struct SafetyResult {
+  /// True iff no accepted session of the service is a bad behavior.
+  bool safe = false;
+  /// A bad accepted session, when unsafe.
+  std::optional<core::PlSws::Word> counterexample;
+  /// The alphabet used (index i of the property automaton = symbol i).
+  std::vector<core::PlSws::Symbol> alphabet;
+};
+
+/// Checks L(service) ∩ L(bad) = ∅. The property automaton must be over
+/// the alphabet returned in SafetyResult::alphabet — build it with
+/// MakePropertyAlphabet first (symbols are all truth assignments of the
+/// service's relevant variables plus `extra_vars`).
+SafetyResult CheckRegularSafety(const core::PlSws& service,
+                                const fsa::Nfa& bad_behaviors,
+                                const std::vector<core::PlSws::Symbol>& alphabet);
+
+/// The canonical alphabet for property automata over a service.
+std::vector<core::PlSws::Symbol> MakePropertyAlphabet(
+    const core::PlSws& service, const std::vector<int>& extra_vars = {});
+
+/// Convenience property builders over an alphabet:
+/// "some message satisfying `var` occurs before any message satisfying
+/// `trigger`" — e.g. "a booking happens before payment was seen" — as a
+/// bad-prefix NFA. Symbols containing `var` are those where var ∈ symbol.
+fsa::Nfa BadBeforeProperty(const std::vector<core::PlSws::Symbol>& alphabet,
+                           int bad_var, int required_first_var);
+
+}  // namespace sws::analysis
+
+#endif  // SWS_ANALYSIS_VERIFICATION_H_

@@ -1,0 +1,200 @@
+#include "automata/afa.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::fsa {
+
+namespace {
+
+// Positivity check: no negation anywhere; variables within range.
+void CheckPositive(const logic::PlFormula& f, int num_states) {
+  using Kind = logic::PlFormula::Kind;
+  switch (f.kind()) {
+    case Kind::kConst:
+      return;
+    case Kind::kVar:
+      SWS_CHECK(f.var() < num_states)
+          << "AFA formula mentions state " << f.var() << " out of range";
+      return;
+    case Kind::kNot:
+      SWS_CHECK(false) << "AFA transition formulas must be positive";
+      return;
+    default:
+      for (const auto& c : f.children()) CheckPositive(c, num_states);
+  }
+}
+
+}  // namespace
+
+Afa::Afa(int num_states, int alphabet_size)
+    : alphabet_size_(alphabet_size),
+      delta_(num_states, std::vector<logic::PlFormula>(
+                             alphabet_size, logic::PlFormula::False())),
+      initial_(logic::PlFormula::False()) {}
+
+void Afa::SetTransition(int state, int symbol, logic::PlFormula formula) {
+  SWS_CHECK(state >= 0 && state < num_states());
+  SWS_CHECK(symbol >= 0 && symbol < alphabet_size_);
+  CheckPositive(formula, num_states());
+  delta_[state][symbol] = std::move(formula);
+}
+
+const logic::PlFormula& Afa::Transition(int state, int symbol) const {
+  SWS_CHECK(state >= 0 && state < num_states());
+  SWS_CHECK(symbol >= 0 && symbol < alphabet_size_);
+  return delta_[state][symbol];
+}
+
+void Afa::SetInitialFormula(logic::PlFormula formula) {
+  CheckPositive(formula, num_states());
+  initial_ = std::move(formula);
+}
+
+void Afa::AddFinal(int state) {
+  SWS_CHECK(state >= 0 && state < num_states());
+  final_.insert(state);
+}
+
+std::vector<bool> Afa::StepBack(const std::vector<bool>& v,
+                                int symbol) const {
+  std::vector<bool> out(num_states());
+  auto assignment = [&v](int s) { return v[s]; };
+  for (int s = 0; s < num_states(); ++s) {
+    out[s] = delta_[s][symbol].EvalWith(assignment);
+  }
+  return out;
+}
+
+bool Afa::Accepts(const std::vector<int>& word) const {
+  std::vector<bool> v(num_states());
+  for (int s = 0; s < num_states(); ++s) v[s] = IsFinal(s);
+  for (auto it = word.rbegin(); it != word.rend(); ++it) {
+    v = StepBack(v, *it);
+  }
+  return initial_.EvalWith([&v](int s) { return v[s]; });
+}
+
+std::optional<std::vector<int>> Afa::ShortestAcceptedWord() const {
+  // BFS over value vectors, growing the word from the back.
+  std::vector<bool> v0(num_states());
+  for (int s = 0; s < num_states(); ++s) v0[s] = IsFinal(s);
+  std::map<std::vector<bool>, std::pair<std::vector<bool>, int>> parent;
+  parent.emplace(v0, std::make_pair(std::vector<bool>{}, -1));
+  std::deque<std::vector<bool>> queue = {v0};
+  auto accepted = [this](const std::vector<bool>& v) {
+    return initial_.EvalWith([&v](int s) { return v[s]; });
+  };
+  std::optional<std::vector<bool>> hit;
+  if (accepted(v0)) hit = v0;
+  while (!queue.empty() && !hit.has_value()) {
+    std::vector<bool> v = queue.front();
+    queue.pop_front();
+    for (int a = 0; a < alphabet_size_ && !hit.has_value(); ++a) {
+      std::vector<bool> w = StepBack(v, a);
+      if (parent.emplace(w, std::make_pair(v, a)).second) {
+        if (accepted(w)) hit = w;
+        queue.push_back(w);
+      }
+    }
+  }
+  last_search_size_ = parent.size();
+  if (!hit.has_value()) return std::nullopt;
+  // Reconstruct: vectors were built back-to-front, so the path from v0 to
+  // the hit reads the word right-to-left... each BFS edge prepends its
+  // symbol, so walking hit -> v0 yields the word left-to-right.
+  std::vector<int> word;
+  std::vector<bool> cur = *hit;
+  while (true) {
+    const auto& [prev, symbol] = parent.at(cur);
+    if (symbol < 0) break;
+    word.push_back(symbol);
+    cur = prev;
+  }
+  return word;
+}
+
+bool Afa::IsEmpty() const { return !ShortestAcceptedWord().has_value(); }
+
+Nfa Afa::ToNfa() const {
+  // Obligation-set construction: NFA state = set of AFA states that must
+  // all accept the remaining word. We enumerate subsets explicitly.
+  const int n = num_states();
+  SWS_CHECK_LE(n, 20) << "AFA too large for explicit NFA translation";
+  const size_t num_subsets = size_t{1} << n;
+  Nfa out(alphabet_size_);
+  for (size_t i = 0; i < num_subsets; ++i) out.AddState();
+  auto member = [](size_t set, int s) { return ((set >> s) & 1) != 0; };
+  // Initial NFA states: subsets satisfying the initial formula.
+  for (size_t set = 0; set < num_subsets; ++set) {
+    if (initial_.EvalWith([&](int s) { return member(set, s); })) {
+      out.AddInitial(static_cast<int>(set));
+    }
+    // Final: every obligation is an AFA final state.
+    bool all_final = true;
+    for (int s = 0; s < n && all_final; ++s) {
+      if (member(set, s) && !IsFinal(s)) all_final = false;
+    }
+    if (all_final) out.AddFinal(static_cast<int>(set));
+  }
+  // Transitions: S -a-> S' iff S' satisfies δ(q, a) for all q in S.
+  for (size_t set = 0; set < num_subsets; ++set) {
+    for (int a = 0; a < alphabet_size_; ++a) {
+      for (size_t next = 0; next < num_subsets; ++next) {
+        bool ok = true;
+        for (int q = 0; q < n && ok; ++q) {
+          if (!member(set, q)) continue;
+          ok = delta_[q][a].EvalWith([&](int s) { return member(next, s); });
+        }
+        if (ok) {
+          out.AddTransition(static_cast<int>(set), a, static_cast<int>(next));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Afa Afa::FromNfa(const Nfa& nfa) {
+  // Epsilon transitions are not supported directly; require none.
+  for (int s = 0; s < nfa.num_states(); ++s) {
+    SWS_CHECK(nfa.Successors(s, Nfa::kEpsilon).empty())
+        << "FromNfa requires an epsilon-free NFA";
+  }
+  Afa out(nfa.num_states(), nfa.alphabet_size());
+  for (int s = 0; s < nfa.num_states(); ++s) {
+    if (nfa.IsFinal(s)) out.AddFinal(s);
+    for (int a = 0; a < nfa.alphabet_size(); ++a) {
+      std::vector<logic::PlFormula> succ;
+      for (int t : nfa.Successors(s, a)) {
+        succ.push_back(logic::PlFormula::Var(t));
+      }
+      out.SetTransition(s, a, logic::PlFormula::Or(std::move(succ)));
+    }
+  }
+  std::vector<logic::PlFormula> inits;
+  for (int s : nfa.initial()) inits.push_back(logic::PlFormula::Var(s));
+  out.SetInitialFormula(logic::PlFormula::Or(std::move(inits)));
+  return out;
+}
+
+std::string Afa::ToString() const {
+  std::ostringstream out;
+  out << "AFA(" << num_states() << " states, alphabet " << alphabet_size_
+      << ")\n  initial: " << initial_.ToString() << "\n  final:";
+  for (int s : final_) out << " " << s;
+  out << "\n";
+  for (int s = 0; s < num_states(); ++s) {
+    for (int a = 0; a < alphabet_size_; ++a) {
+      out << "  d(" << s << ", " << a << ") = " << delta_[s][a].ToString()
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace sws::fsa

@@ -1,0 +1,81 @@
+#ifndef SWS_AUTOMATA_AFA_H_
+#define SWS_AUTOMATA_AFA_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/pl_formula.h"
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace sws::fsa {
+
+/// An alternating finite automaton: reading a symbol in a state yields a
+/// *positive* Boolean formula over states (PL variables are state ids);
+/// acceptance propagates backwards from the final states.
+///
+/// Section 1 presents SWS's "along the same lines as alternating finite
+/// automata", and Theorem 4.1(3) transfers the pspace lower bound for AFA
+/// emptiness [32] to SWS(PL, PL) non-emptiness; this module provides the
+/// AFA side of that correspondence (see analysis/pl_analysis.h for the
+/// translation).
+class Afa {
+ public:
+  Afa(int num_states, int alphabet_size);
+
+  int num_states() const { return static_cast<int>(delta_.size()); }
+  int alphabet_size() const { return alphabet_size_; }
+
+  /// Sets δ(state, symbol). The formula must be positive (no negation)
+  /// over variables 0..num_states-1; constants allowed. Unset transitions
+  /// default to false.
+  void SetTransition(int state, int symbol, logic::PlFormula formula);
+  const logic::PlFormula& Transition(int state, int symbol) const;
+
+  /// The initial condition: a positive formula over states. A word is
+  /// accepted iff the backward value vector after consuming the word
+  /// satisfies it. Defaults to false.
+  void SetInitialFormula(logic::PlFormula formula);
+  const logic::PlFormula& initial_formula() const { return initial_; }
+
+  void AddFinal(int state);
+  bool IsFinal(int state) const { return final_.count(state) > 0; }
+
+  /// Backward value-vector semantics: v_n(s) = [s final]; reading symbol
+  /// a at position j gives v_{j-1}(s) = δ(s, a)(v_j); accept iff the
+  /// initial formula holds of v_0.
+  bool Accepts(const std::vector<int>& word) const;
+
+  /// Emptiness via reachability over backward value vectors (at most 2^n
+  /// of them — the explicit-state realization of the pspace procedure).
+  bool IsEmpty() const;
+  /// A shortest accepted word, if any.
+  std::optional<std::vector<int>> ShortestAcceptedWord() const;
+
+  /// Number of distinct value vectors touched by the last emptiness /
+  /// shortest-word call (bench instrumentation).
+  size_t last_search_size() const { return last_search_size_; }
+
+  /// Translation to an equivalent NFA over obligation sets (exponential).
+  Nfa ToNfa() const;
+
+  /// Every NFA is an AFA (linear).
+  static Afa FromNfa(const Nfa& nfa);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<bool> StepBack(const std::vector<bool>& v, int symbol) const;
+
+  int alphabet_size_;
+  std::vector<std::vector<logic::PlFormula>> delta_;  // [state][symbol]
+  logic::PlFormula initial_;
+  std::set<int> final_;
+  mutable size_t last_search_size_ = 0;
+};
+
+}  // namespace sws::fsa
+
+#endif  // SWS_AUTOMATA_AFA_H_

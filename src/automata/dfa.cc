@@ -1,0 +1,270 @@
+#include "automata/dfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::fsa {
+
+Dfa::Dfa(int num_states, int alphabet_size) : alphabet_size_(alphabet_size) {
+  SWS_CHECK_GE(num_states, 1) << "a complete DFA needs at least one state";
+  transitions_.assign(num_states, std::vector<int>(alphabet_size, 0));
+  final_.assign(num_states, false);
+}
+
+void Dfa::set_start(int state) {
+  SWS_CHECK(state >= 0 && state < num_states());
+  start_ = state;
+}
+
+int Dfa::Transition(int state, int symbol) const {
+  SWS_CHECK(state >= 0 && state < num_states());
+  SWS_CHECK(symbol >= 0 && symbol < alphabet_size_);
+  return transitions_[state][symbol];
+}
+
+void Dfa::SetTransition(int state, int symbol, int to) {
+  SWS_CHECK(state >= 0 && state < num_states());
+  SWS_CHECK(symbol >= 0 && symbol < alphabet_size_);
+  SWS_CHECK(to >= 0 && to < num_states());
+  transitions_[state][symbol] = to;
+}
+
+void Dfa::SetFinal(int state, bool is_final) {
+  SWS_CHECK(state >= 0 && state < num_states());
+  final_[state] = is_final;
+}
+
+std::set<int> Dfa::FinalStates() const {
+  std::set<int> out;
+  for (int s = 0; s < num_states(); ++s) {
+    if (final_[s]) out.insert(s);
+  }
+  return out;
+}
+
+bool Dfa::Accepts(const std::vector<int>& word) const {
+  int state = start_;
+  for (int symbol : word) state = Transition(state, symbol);
+  return final_[state];
+}
+
+std::optional<std::vector<int>> Dfa::ShortestAcceptedWord() const {
+  std::vector<int> parent(num_states(), -2);
+  std::vector<int> via(num_states(), -1);
+  std::deque<int> queue = {start_};
+  parent[start_] = -1;
+  int found = final_[start_] ? start_ : -1;
+  while (!queue.empty() && found < 0) {
+    int s = queue.front();
+    queue.pop_front();
+    for (int a = 0; a < alphabet_size_ && found < 0; ++a) {
+      int t = transitions_[s][a];
+      if (parent[t] == -2) {
+        parent[t] = s;
+        via[t] = a;
+        if (final_[t]) found = t;
+        queue.push_back(t);
+      }
+    }
+  }
+  if (found < 0) return std::nullopt;
+  std::vector<int> word;
+  for (int s = found; parent[s] != -1; s = parent[s]) word.push_back(via[s]);
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+bool Dfa::IsEmpty() const { return !ShortestAcceptedWord().has_value(); }
+
+bool Dfa::IsUniversal() const { return Complement().IsEmpty(); }
+
+Dfa Dfa::Complement() const {
+  Dfa out = *this;
+  for (int s = 0; s < num_states(); ++s) out.final_[s] = !out.final_[s];
+  return out;
+}
+
+Dfa Dfa::Product(const Dfa& a, const Dfa& b, BoolOp op) {
+  SWS_CHECK_EQ(a.alphabet_size_, b.alphabet_size_);
+  // Build only the reachable part of the product.
+  std::map<std::pair<int, int>, int> ids;
+  std::vector<std::pair<int, int>> order;
+  auto intern = [&](std::pair<int, int> p) {
+    auto [it, inserted] = ids.emplace(p, static_cast<int>(order.size()));
+    if (inserted) order.push_back(p);
+    return it->second;
+  };
+  intern({a.start_, b.start_});
+  for (size_t i = 0; i < order.size(); ++i) {
+    auto [sa, sb] = order[i];
+    for (int symbol = 0; symbol < a.alphabet_size_; ++symbol) {
+      intern({a.transitions_[sa][symbol], b.transitions_[sb][symbol]});
+    }
+  }
+  Dfa out(static_cast<int>(order.size()), a.alphabet_size_);
+  out.set_start(0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    auto [sa, sb] = order[i];
+    for (int symbol = 0; symbol < a.alphabet_size_; ++symbol) {
+      out.SetTransition(
+          static_cast<int>(i), symbol,
+          ids.at({a.transitions_[sa][symbol], b.transitions_[sb][symbol]}));
+    }
+    bool fa = a.final_[sa];
+    bool fb = b.final_[sb];
+    bool f = false;
+    switch (op) {
+      case BoolOp::kAnd:
+        f = fa && fb;
+        break;
+      case BoolOp::kOr:
+        f = fa || fb;
+        break;
+      case BoolOp::kDiff:
+        f = fa && !fb;
+        break;
+    }
+    out.SetFinal(static_cast<int>(i), f);
+  }
+  return out;
+}
+
+bool Dfa::Equivalent(const Dfa& a, const Dfa& b) {
+  return Contains(a, b) && Contains(b, a);
+}
+
+bool Dfa::Contains(const Dfa& outer, const Dfa& inner) {
+  return Product(inner, outer, BoolOp::kDiff).IsEmpty();
+}
+
+std::optional<std::vector<int>> Dfa::WitnessDifference(const Dfa& a,
+                                                       const Dfa& b) {
+  return Product(a, b, BoolOp::kDiff).ShortestAcceptedWord();
+}
+
+Dfa Dfa::Minimize() const {
+  // Restrict to reachable states.
+  std::vector<int> reach_id(num_states(), -1);
+  std::vector<int> reachable;
+  std::deque<int> queue = {start_};
+  reach_id[start_] = 0;
+  reachable.push_back(start_);
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (int a = 0; a < alphabet_size_; ++a) {
+      int t = transitions_[s][a];
+      if (reach_id[t] < 0) {
+        reach_id[t] = static_cast<int>(reachable.size());
+        reachable.push_back(t);
+        queue.push_back(t);
+      }
+    }
+  }
+  int n = static_cast<int>(reachable.size());
+
+  // Moore's algorithm: refine the partition {final, non-final} until
+  // stable. block[i] is the class of reachable state i.
+  std::vector<int> block(n);
+  for (int i = 0; i < n; ++i) block[i] = final_[reachable[i]] ? 1 : 0;
+  int num_blocks = 2;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::vector<int>, int> signature_to_block;
+    std::vector<int> new_block(n);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> signature;
+      signature.reserve(alphabet_size_ + 1);
+      signature.push_back(block[i]);
+      for (int a = 0; a < alphabet_size_; ++a) {
+        signature.push_back(block[reach_id[transitions_[reachable[i]][a]]]);
+      }
+      auto [it, inserted] = signature_to_block.emplace(
+          std::move(signature), static_cast<int>(signature_to_block.size()));
+      new_block[i] = it->second;
+      (void)inserted;
+    }
+    if (static_cast<int>(signature_to_block.size()) != num_blocks) {
+      changed = true;
+      num_blocks = static_cast<int>(signature_to_block.size());
+    }
+    block = std::move(new_block);
+  }
+
+  Dfa out(num_blocks, alphabet_size_);
+  out.set_start(block[reach_id[start_]]);
+  for (int i = 0; i < n; ++i) {
+    int b = block[i];
+    if (final_[reachable[i]]) out.SetFinal(b);
+    for (int a = 0; a < alphabet_size_; ++a) {
+      out.SetTransition(b, a, block[reach_id[transitions_[reachable[i]][a]]]);
+    }
+  }
+  return out;
+}
+
+Nfa Dfa::ToNfa() const {
+  Nfa out(alphabet_size_);
+  for (int s = 0; s < num_states(); ++s) out.AddState();
+  out.AddInitial(start_);
+  for (int s = 0; s < num_states(); ++s) {
+    if (final_[s]) out.AddFinal(s);
+    for (int a = 0; a < alphabet_size_; ++a) {
+      out.AddTransition(s, a, transitions_[s][a]);
+    }
+  }
+  return out;
+}
+
+std::string Dfa::ToString() const {
+  std::ostringstream out;
+  out << "DFA(" << num_states() << " states, alphabet " << alphabet_size_
+      << ", start " << start_ << ")\n";
+  for (int s = 0; s < num_states(); ++s) {
+    out << "  " << s << (final_[s] ? "*" : " ") << ":";
+    for (int a = 0; a < alphabet_size_; ++a) {
+      out << " " << a << "->" << transitions_[s][a];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Dfa Determinize(const Nfa& nfa) {
+  std::map<std::set<int>, int> ids;
+  std::vector<std::set<int>> order;
+  auto intern = [&](std::set<int> s) {
+    auto [it, inserted] = ids.emplace(s, static_cast<int>(order.size()));
+    if (inserted) order.push_back(std::move(s));
+    return it->second;
+  };
+  intern(nfa.EpsilonClosure(nfa.initial()));
+  for (size_t i = 0; i < order.size(); ++i) {
+    std::set<int> current = order[i];  // copy: order may reallocate
+    for (int a = 0; a < nfa.alphabet_size(); ++a) {
+      intern(nfa.Step(current, a));
+    }
+  }
+  Dfa out(static_cast<int>(order.size()), nfa.alphabet_size());
+  out.set_start(0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const std::set<int> current = order[i];
+    for (int a = 0; a < nfa.alphabet_size(); ++a) {
+      out.SetTransition(static_cast<int>(i), a, ids.at(nfa.Step(current, a)));
+    }
+    for (int s : current) {
+      if (nfa.IsFinal(s)) {
+        out.SetFinal(static_cast<int>(i));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sws::fsa

@@ -1,0 +1,78 @@
+#ifndef SWS_AUTOMATA_DFA_H_
+#define SWS_AUTOMATA_DFA_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "automata/nfa.h"
+
+namespace sws::fsa {
+
+/// A complete deterministic finite automaton over the alphabet
+/// {0, ..., alphabet_size-1}. Services of the Roman model are DFAs
+/// (composite services NFAs); the composition procedures of Section 5
+/// determinize, complement and product these automata.
+class Dfa {
+ public:
+  /// A complete DFA with `num_states` states, all transitions initially
+  /// pointing at state 0. State 0 is the default start.
+  Dfa(int num_states, int alphabet_size);
+
+  int num_states() const { return static_cast<int>(final_.size()); }
+  int alphabet_size() const { return alphabet_size_; }
+
+  int start() const { return start_; }
+  void set_start(int state);
+
+  int Transition(int state, int symbol) const;
+  void SetTransition(int state, int symbol, int to);
+
+  bool IsFinal(int state) const { return final_[state]; }
+  void SetFinal(int state, bool is_final = true);
+  std::set<int> FinalStates() const;
+
+  bool Accepts(const std::vector<int>& word) const;
+
+  /// Language emptiness / universality.
+  bool IsEmpty() const;
+  bool IsUniversal() const;
+  /// A shortest accepted word, if any.
+  std::optional<std::vector<int>> ShortestAcceptedWord() const;
+
+  /// Complement (flips finality; the DFA is complete by construction).
+  Dfa Complement() const;
+
+  /// Boolean combinations via the product construction.
+  enum class BoolOp { kAnd, kOr, kDiff };
+  static Dfa Product(const Dfa& a, const Dfa& b, BoolOp op);
+
+  /// Language equivalence / containment.
+  static bool Equivalent(const Dfa& a, const Dfa& b);
+  static bool Contains(const Dfa& outer, const Dfa& inner);
+  /// A word in L(a) \ L(b), if any.
+  static std::optional<std::vector<int>> WitnessDifference(const Dfa& a,
+                                                           const Dfa& b);
+
+  /// Minimization (Moore's partition refinement), with unreachable states
+  /// removed first.
+  Dfa Minimize() const;
+
+  Nfa ToNfa() const;
+
+  std::string ToString() const;
+
+ private:
+  int alphabet_size_;
+  int start_ = 0;
+  std::vector<std::vector<int>> transitions_;  // [state][symbol] -> state
+  std::vector<bool> final_;
+};
+
+/// Subset construction (with epsilon closures).
+Dfa Determinize(const Nfa& nfa);
+
+}  // namespace sws::fsa
+
+#endif  // SWS_AUTOMATA_DFA_H_

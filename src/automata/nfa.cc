@@ -1,0 +1,256 @@
+#include "automata/nfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::fsa {
+
+namespace {
+const std::set<int>& EmptyStateSet() {
+  static const std::set<int>& empty = *new std::set<int>();
+  return empty;
+}
+}  // namespace
+
+int Nfa::AddState() {
+  transitions_.emplace_back();
+  epsilon_.emplace_back();
+  return static_cast<int>(transitions_.size()) - 1;
+}
+
+void Nfa::AddTransition(int from, int symbol, int to) {
+  SWS_CHECK(from >= 0 && from < num_states());
+  SWS_CHECK(to >= 0 && to < num_states());
+  if (symbol == kEpsilon) {
+    epsilon_[from].insert(to);
+    return;
+  }
+  SWS_CHECK(symbol >= 0 && symbol < alphabet_size_)
+      << "symbol " << symbol << " outside alphabet of size " << alphabet_size_;
+  transitions_[from][symbol].insert(to);
+}
+
+void Nfa::AddInitial(int state) {
+  SWS_CHECK(state >= 0 && state < num_states());
+  initial_.insert(state);
+}
+
+void Nfa::AddFinal(int state) {
+  SWS_CHECK(state >= 0 && state < num_states());
+  final_.insert(state);
+}
+
+const std::set<int>& Nfa::Successors(int state, int symbol) const {
+  SWS_CHECK(state >= 0 && state < num_states());
+  if (symbol == kEpsilon) return epsilon_[state];
+  auto it = transitions_[state].find(symbol);
+  if (it == transitions_[state].end()) return EmptyStateSet();
+  return it->second;
+}
+
+std::set<int> Nfa::EpsilonClosure(std::set<int> states) const {
+  std::deque<int> queue(states.begin(), states.end());
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (int t : epsilon_[s]) {
+      if (states.insert(t).second) queue.push_back(t);
+    }
+  }
+  return states;
+}
+
+std::set<int> Nfa::Step(const std::set<int>& states, int symbol) const {
+  std::set<int> moved;
+  for (int s : states) {
+    const std::set<int>& succ = Successors(s, symbol);
+    moved.insert(succ.begin(), succ.end());
+  }
+  return EpsilonClosure(std::move(moved));
+}
+
+bool Nfa::Accepts(const std::vector<int>& word) const {
+  std::set<int> current = EpsilonClosure(initial_);
+  for (int symbol : word) {
+    current = Step(current, symbol);
+    if (current.empty()) return false;
+  }
+  for (int s : current) {
+    if (IsFinal(s)) return true;
+  }
+  return false;
+}
+
+bool Nfa::IsEmpty() const { return !ShortestAcceptedWord().has_value(); }
+
+std::optional<std::vector<int>> Nfa::ShortestAcceptedWord() const {
+  // BFS over states, tracking the word via parent pointers.
+  std::vector<int> parent(num_states(), -2);  // -2 = unvisited
+  std::vector<int> via_symbol(num_states(), kEpsilon);
+  std::deque<int> queue;
+  for (int s : initial_) {
+    parent[s] = -1;
+    queue.push_back(s);
+  }
+  int found = -1;
+  while (!queue.empty() && found < 0) {
+    int s = queue.front();
+    queue.pop_front();
+    if (IsFinal(s)) {
+      found = s;
+      break;
+    }
+    auto visit = [&](int t, int symbol) {
+      if (parent[t] == -2) {
+        parent[t] = s;
+        via_symbol[t] = symbol;
+        queue.push_back(t);
+      }
+    };
+    for (int t : epsilon_[s]) visit(t, kEpsilon);
+    for (const auto& [symbol, succ] : transitions_[s]) {
+      for (int t : succ) visit(t, symbol);
+    }
+  }
+  if (found < 0) return std::nullopt;
+  std::vector<int> word;
+  for (int s = found; parent[s] != -1; s = parent[s]) {
+    if (via_symbol[s] != kEpsilon) word.push_back(via_symbol[s]);
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+int Nfa::ImportStates(const Nfa& other) {
+  SWS_CHECK_EQ(alphabet_size_, other.alphabet_size_);
+  int offset = num_states();
+  for (int s = 0; s < other.num_states(); ++s) AddState();
+  for (int s = 0; s < other.num_states(); ++s) {
+    for (int t : other.epsilon_[s]) {
+      AddTransition(s + offset, kEpsilon, t + offset);
+    }
+    for (const auto& [symbol, succ] : other.transitions_[s]) {
+      for (int t : succ) AddTransition(s + offset, symbol, t + offset);
+    }
+  }
+  return offset;
+}
+
+Nfa Nfa::Union(const Nfa& a, const Nfa& b) {
+  Nfa out(a.alphabet_size());
+  int start = out.AddState();
+  out.AddInitial(start);
+  int oa = out.ImportStates(a);
+  int ob = out.ImportStates(b);
+  for (int s : a.initial_) out.AddTransition(start, kEpsilon, s + oa);
+  for (int s : b.initial_) out.AddTransition(start, kEpsilon, s + ob);
+  for (int s : a.final_) out.AddFinal(s + oa);
+  for (int s : b.final_) out.AddFinal(s + ob);
+  return out;
+}
+
+Nfa Nfa::Concat(const Nfa& a, const Nfa& b) {
+  Nfa out(a.alphabet_size());
+  int oa = out.ImportStates(a);
+  int ob = out.ImportStates(b);
+  for (int s : a.initial_) out.AddInitial(s + oa);
+  for (int s : b.final_) out.AddFinal(s + ob);
+  for (int f : a.final_) {
+    for (int s : b.initial_) out.AddTransition(f + oa, kEpsilon, s + ob);
+  }
+  return out;
+}
+
+Nfa Nfa::Star(const Nfa& a) {
+  Nfa out(a.alphabet_size());
+  int start = out.AddState();
+  out.AddInitial(start);
+  out.AddFinal(start);
+  int oa = out.ImportStates(a);
+  for (int s : a.initial_) out.AddTransition(start, kEpsilon, s + oa);
+  for (int f : a.final_) {
+    out.AddFinal(f + oa);
+    out.AddTransition(f + oa, kEpsilon, start);
+  }
+  return out;
+}
+
+Nfa Nfa::Epsilon(int alphabet_size) {
+  Nfa out(alphabet_size);
+  int s = out.AddState();
+  out.AddInitial(s);
+  out.AddFinal(s);
+  return out;
+}
+
+Nfa Nfa::Literal(int alphabet_size, int symbol) {
+  Nfa out(alphabet_size);
+  int s = out.AddState();
+  int t = out.AddState();
+  out.AddInitial(s);
+  out.AddFinal(t);
+  out.AddTransition(s, symbol, t);
+  return out;
+}
+
+Nfa Nfa::EmptyLanguage(int alphabet_size) {
+  Nfa out(alphabet_size);
+  int s = out.AddState();
+  out.AddInitial(s);
+  return out;
+}
+
+Nfa Nfa::Reverse() const {
+  Nfa out(alphabet_size_);
+  for (int s = 0; s < num_states(); ++s) out.AddState();
+  for (int s = 0; s < num_states(); ++s) {
+    for (int t : epsilon_[s]) out.AddTransition(t, kEpsilon, s);
+    for (const auto& [symbol, succ] : transitions_[s]) {
+      for (int t : succ) out.AddTransition(t, symbol, s);
+    }
+  }
+  for (int s : final_) out.AddInitial(s);
+  for (int s : initial_) out.AddFinal(s);
+  return out;
+}
+
+Nfa Nfa::RemoveEpsilons() const {
+  Nfa out(alphabet_size_);
+  for (int s = 0; s < num_states(); ++s) out.AddState();
+  for (int s = 0; s < num_states(); ++s) {
+    std::set<int> closure = EpsilonClosure({s});
+    for (int c : closure) {
+      if (IsFinal(c)) out.AddFinal(s);
+      for (const auto& [symbol, succ] : transitions_[c]) {
+        for (int t : succ) out.AddTransition(s, symbol, t);
+      }
+    }
+  }
+  for (int s : initial_) out.AddInitial(s);
+  return out;
+}
+
+std::string Nfa::ToString() const {
+  std::ostringstream out;
+  out << "NFA(" << num_states() << " states, alphabet " << alphabet_size_
+      << ")\n";
+  out << "  initial:";
+  for (int s : initial_) out << " " << s;
+  out << "\n  final:";
+  for (int s : final_) out << " " << s;
+  out << "\n";
+  for (int s = 0; s < num_states(); ++s) {
+    for (int t : epsilon_[s]) out << "  " << s << " -eps-> " << t << "\n";
+    for (const auto& [symbol, succ] : transitions_[s]) {
+      for (int t : succ) {
+        out << "  " << s << " -" << symbol << "-> " << t << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace sws::fsa

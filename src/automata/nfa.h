@@ -1,0 +1,90 @@
+#ifndef SWS_AUTOMATA_NFA_H_
+#define SWS_AUTOMATA_NFA_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sws::fsa {
+
+/// A nondeterministic finite automaton over the alphabet {0, ...,
+/// alphabet_size-1}, with epsilon transitions. The FSA abstractions of Web
+/// services (the Roman model [6], conversation protocols [15]) are built
+/// on these; SWS(PL, PL) services define regular languages whose analysis
+/// (Theorem 4.1(3)) and composition (Theorem 5.3) run through this module.
+class Nfa {
+ public:
+  explicit Nfa(int alphabet_size = 0) : alphabet_size_(alphabet_size) {}
+
+  int alphabet_size() const { return alphabet_size_; }
+  int num_states() const { return static_cast<int>(transitions_.size()); }
+
+  /// Adds a fresh state and returns its id.
+  int AddState();
+
+  /// Adds a transition on `symbol` (or an epsilon transition if symbol is
+  /// kEpsilon).
+  void AddTransition(int from, int symbol, int to);
+  static constexpr int kEpsilon = -1;
+
+  void AddInitial(int state);
+  void AddFinal(int state);
+  bool IsInitial(int state) const { return initial_.count(state) > 0; }
+  bool IsFinal(int state) const { return final_.count(state) > 0; }
+  const std::set<int>& initial() const { return initial_; }
+  const std::set<int>& final() const { return final_; }
+
+  /// Successors of `state` on `symbol` (no epsilon closure applied).
+  const std::set<int>& Successors(int state, int symbol) const;
+
+  /// Epsilon closure of a set of states.
+  std::set<int> EpsilonClosure(std::set<int> states) const;
+  /// One step: closure(move(closure(states), symbol)).
+  std::set<int> Step(const std::set<int>& states, int symbol) const;
+
+  bool Accepts(const std::vector<int>& word) const;
+
+  /// True iff the language is empty.
+  bool IsEmpty() const;
+  /// A shortest accepted word, if any.
+  std::optional<std::vector<int>> ShortestAcceptedWord() const;
+
+  /// Thompson-style combinators. Operands must share the alphabet size.
+  static Nfa Union(const Nfa& a, const Nfa& b);
+  static Nfa Concat(const Nfa& a, const Nfa& b);
+  static Nfa Star(const Nfa& a);
+  /// Automaton accepting only the empty word / only the given letter.
+  static Nfa Epsilon(int alphabet_size);
+  static Nfa Literal(int alphabet_size, int symbol);
+  /// Automaton accepting nothing.
+  static Nfa EmptyLanguage(int alphabet_size);
+
+  /// The reversal of the language.
+  Nfa Reverse() const;
+
+  /// An equivalent NFA without epsilon transitions (same state set:
+  /// transitions and final markings are saturated through closures).
+  Nfa RemoveEpsilons() const;
+
+  /// Copies `other`'s states into this automaton, returning the id offset
+  /// (other's state s becomes s + offset). Initial/final markings of
+  /// `other` are NOT copied.
+  int ImportStates(const Nfa& other);
+
+  std::string ToString() const;
+
+ private:
+  int alphabet_size_;
+  // transitions_[state][symbol] -> successors; symbol kEpsilon stored in
+  // epsilon_[state].
+  std::vector<std::map<int, std::set<int>>> transitions_;
+  std::vector<std::set<int>> epsilon_;
+  std::set<int> initial_;
+  std::set<int> final_;
+};
+
+}  // namespace sws::fsa
+
+#endif  // SWS_AUTOMATA_NFA_H_

@@ -1,0 +1,182 @@
+#include "automata/regex.h"
+
+#include "util/common.h"
+
+namespace sws::fsa {
+
+namespace {
+bool IsOperator(char c) {
+  return c == '|' || c == '*' || c == '+' || c == '?' || c == '(' || c == ')';
+}
+}  // namespace
+
+int RegexAlphabet::Intern(char c) {
+  auto it = ids_.find(c);
+  if (it != ids_.end()) return it->second;
+  int id = static_cast<int>(chars_.size());
+  ids_.emplace(c, id);
+  chars_.push_back(c);
+  return id;
+}
+
+std::optional<int> RegexAlphabet::Find(char c) const {
+  auto it = ids_.find(c);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+char RegexAlphabet::CharOf(int symbol) const {
+  SWS_CHECK(symbol >= 0 && symbol < size());
+  return chars_[symbol];
+}
+
+void RegexAlphabet::InternPattern(const std::string& pattern) {
+  for (char c : pattern) {
+    if (!IsOperator(c)) Intern(c);
+  }
+}
+
+std::vector<int> RegexAlphabet::Encode(const std::string& word) const {
+  std::vector<int> out;
+  out.reserve(word.size());
+  for (char c : word) {
+    auto id = Find(c);
+    SWS_CHECK(id.has_value()) << "character '" << c << "' not in alphabet";
+    out.push_back(*id);
+  }
+  return out;
+}
+
+std::string RegexAlphabet::Decode(const std::vector<int>& word) const {
+  std::string out;
+  out.reserve(word.size());
+  for (int s : word) out.push_back(CharOf(s));
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser producing a Thompson NFA.
+class RegexParser {
+ public:
+  RegexParser(const std::string& pattern, const RegexAlphabet& alphabet)
+      : pattern_(pattern), alphabet_(alphabet) {}
+
+  std::optional<Nfa> Parse(std::string* error) {
+    auto nfa = ParseAlternation();
+    if (nfa.has_value() && pos_ != pattern_.size()) {
+      error_ = "unexpected ')' at position " + std::to_string(pos_);
+      nfa = std::nullopt;
+    }
+    if (!nfa.has_value() && error != nullptr) *error = error_;
+    return nfa;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+
+  std::optional<Nfa> ParseAlternation() {
+    auto left = ParseConcatenation();
+    if (!left.has_value()) return std::nullopt;
+    while (!AtEnd() && Peek() == '|') {
+      ++pos_;
+      auto right = ParseConcatenation();
+      if (!right.has_value()) return std::nullopt;
+      left = Nfa::Union(*left, *right);
+    }
+    return left;
+  }
+
+  std::optional<Nfa> ParseConcatenation() {
+    Nfa result = Nfa::Epsilon(alphabet_.size());
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      auto factor = ParseRepetition();
+      if (!factor.has_value()) return std::nullopt;
+      result = Nfa::Concat(result, *factor);
+    }
+    return result;
+  }
+
+  std::optional<Nfa> ParseRepetition() {
+    auto atom = ParseAtom();
+    if (!atom.has_value()) return std::nullopt;
+    while (!AtEnd() && (Peek() == '*' || Peek() == '+' || Peek() == '?')) {
+      char op = Peek();
+      ++pos_;
+      if (op == '*') {
+        atom = Nfa::Star(*atom);
+      } else if (op == '+') {
+        atom = Nfa::Concat(*atom, Nfa::Star(*atom));
+      } else {
+        atom = Nfa::Union(*atom, Nfa::Epsilon(alphabet_.size()));
+      }
+    }
+    return atom;
+  }
+
+  std::optional<Nfa> ParseAtom() {
+    if (AtEnd()) {
+      error_ = "unexpected end of pattern";
+      return std::nullopt;
+    }
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      if (!AtEnd() && Peek() == ')') {  // "()" is epsilon
+        ++pos_;
+        return Nfa::Epsilon(alphabet_.size());
+      }
+      auto inner = ParseAlternation();
+      if (!inner.has_value()) return std::nullopt;
+      if (AtEnd() || Peek() != ')') {
+        error_ = "missing ')'";
+        return std::nullopt;
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '*' || c == '+' || c == '?' || c == '|' || c == ')') {
+      error_ = std::string("unexpected '") + c + "' at position " +
+               std::to_string(pos_);
+      return std::nullopt;
+    }
+    auto symbol = alphabet_.Find(c);
+    if (!symbol.has_value()) {
+      error_ = std::string("character '") + c + "' not in alphabet";
+      return std::nullopt;
+    }
+    ++pos_;
+    return Nfa::Literal(alphabet_.size(), *symbol);
+  }
+
+  const std::string& pattern_;
+  const RegexAlphabet& alphabet_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Nfa> CompileRegex(const std::string& pattern,
+                                const RegexAlphabet& alphabet,
+                                std::string* error) {
+  RegexParser parser(pattern, alphabet);
+  return parser.Parse(error);
+}
+
+std::vector<Nfa> CompileRegexes(const std::vector<std::string>& patterns,
+                                RegexAlphabet* alphabet) {
+  for (const auto& p : patterns) alphabet->InternPattern(p);
+  std::vector<Nfa> out;
+  out.reserve(patterns.size());
+  for (const auto& p : patterns) {
+    std::string error;
+    auto nfa = CompileRegex(p, *alphabet, &error);
+    SWS_CHECK(nfa.has_value()) << "bad regex '" << p << "': " << error;
+    out.push_back(std::move(*nfa));
+  }
+  return out;
+}
+
+}  // namespace sws::fsa

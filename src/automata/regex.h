@@ -1,0 +1,57 @@
+#ifndef SWS_AUTOMATA_REGEX_H_
+#define SWS_AUTOMATA_REGEX_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/nfa.h"
+
+namespace sws::fsa {
+
+/// Character-to-symbol interning for regular expressions, so that several
+/// expressions can be compiled over one shared alphabet (required for
+/// products, containment and the rewriting algorithms).
+class RegexAlphabet {
+ public:
+  /// Symbol id for the character, allocating if new.
+  int Intern(char c);
+  /// Symbol id, or nullopt if the character was never interned.
+  std::optional<int> Find(char c) const;
+  char CharOf(int symbol) const;
+  int size() const { return static_cast<int>(chars_.size()); }
+
+  /// Interns every literal character of the pattern (ignoring operators).
+  void InternPattern(const std::string& pattern);
+
+  /// Encodes a plain string of interned characters as a symbol word.
+  std::vector<int> Encode(const std::string& word) const;
+  std::string Decode(const std::vector<int>& word) const;
+
+ private:
+  std::map<char, int> ids_;
+  std::vector<char> chars_;
+};
+
+/// Compiles a regular expression into an NFA over symbols 0..n-1 where n =
+/// alphabet->size() — intern all characters of all patterns you plan to
+/// combine *before* compiling (InternPattern does this), so every NFA
+/// shares one alphabet size.
+///
+/// Grammar: alternation `|`, concatenation by juxtaposition, postfix
+/// `*` `+` `?`, grouping `(...)`, `()` for epsilon. Literal characters are
+/// anything else except the operators. Returns nullopt with `error` set on
+/// a syntax error or on a literal missing from the alphabet.
+std::optional<Nfa> CompileRegex(const std::string& pattern,
+                                const RegexAlphabet& alphabet,
+                                std::string* error = nullptr);
+
+/// Convenience: interns all patterns, then compiles each. Aborts on
+/// syntax errors (intended for tests/benchmarks with literal patterns).
+std::vector<Nfa> CompileRegexes(const std::vector<std::string>& patterns,
+                                RegexAlphabet* alphabet);
+
+}  // namespace sws::fsa
+
+#endif  // SWS_AUTOMATA_REGEX_H_

@@ -1,0 +1,147 @@
+#ifndef SWS_LOGIC_CQ_H_
+#define SWS_LOGIC_CQ_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/term.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+
+namespace sws::logic {
+
+/// A positive relational atom R(t_1, ..., t_k).
+struct Atom {
+  std::string relation;
+  std::vector<Term> args;
+
+  std::string ToString(
+      const std::function<std::string(int)>& name = nullptr) const;
+  friend bool operator==(const Atom&, const Atom&) = default;
+  friend std::strong_ordering operator<=>(const Atom&, const Atom&) = default;
+};
+
+/// An (in)equality comparison t_1 = t_2 or t_1 != t_2 between terms.
+/// The paper's CQ and UCQ classes include '=' and '≠' (Section 2).
+struct Comparison {
+  Term lhs;
+  Term rhs;
+  bool is_equality = true;
+
+  std::string ToString(
+      const std::function<std::string(int)>& name = nullptr) const;
+  friend bool operator==(const Comparison&, const Comparison&) = default;
+  friend std::strong_ordering operator<=>(const Comparison&, const Comparison&) =
+      default;
+};
+
+/// A conjunctive query with equality and inequality:
+///   head(x̄) :- A_1, ..., A_m, c_1, ..., c_l
+/// where the A_i are positive atoms and the c_j are (in)equalities.
+///
+/// Safety: every variable in the head or in a comparison must occur in
+/// some body atom (checked by Validate()). Evaluation is by backtracking
+/// join over the body atoms.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::vector<Term> head, std::vector<Atom> body,
+                   std::vector<Comparison> comparisons = {})
+      : head_(std::move(head)),
+        body_(std::move(body)),
+        comparisons_(std::move(comparisons)) {}
+
+  const std::vector<Term>& head() const { return head_; }
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<Comparison>& comparisons() const { return comparisons_; }
+  size_t head_arity() const { return head_.size(); }
+
+  std::vector<Term>* mutable_head() { return &head_; }
+  std::vector<Atom>* mutable_body() { return &body_; }
+  std::vector<Comparison>* mutable_comparisons() { return &comparisons_; }
+
+  /// Checks safety and that atoms of the same relation agree on arity.
+  /// Returns an error message, or nullopt if well-formed.
+  std::optional<std::string> Validate() const;
+
+  /// Evaluates over the database. Atoms referring to relations absent from
+  /// the database match nothing. Inequalities compare values directly
+  /// (labeled nulls are plain values: distinct labels are distinct).
+  rel::Relation Evaluate(const rel::Database& db) const;
+
+  /// Reference evaluation: plain backtracking join in textual atom order,
+  /// with no greedy reordering and no connected-component decomposition.
+  /// Semantically identical to Evaluate; kept as the ablation baseline
+  /// for the benchmarks (guard-heavy unfolded queries are exponential
+  /// without the optimizations).
+  rel::Relation EvaluateNaive(const rel::Database& db) const;
+
+  /// True iff Evaluate(db) would be nonempty (stops at first match).
+  bool EvaluatesNonempty(const rel::Database& db) const;
+
+  /// All variable ids occurring anywhere in the query.
+  std::set<int> Vars() const;
+  /// All terms (variables and constants) occurring anywhere.
+  std::vector<Term> AllTerms() const;
+  /// All relation names occurring in the body.
+  std::set<std::string> BodyRelations() const;
+
+  /// Applies a variable substitution to every term.
+  ConjunctiveQuery Substitute(const std::map<int, Term>& map) const;
+
+  /// Renames all variables by adding `offset` (for making queries
+  /// variable-disjoint before unfolding or containment tests).
+  ConjunctiveQuery ShiftVars(int offset) const;
+  /// Largest variable id used, or -1 if none.
+  int MaxVar() const;
+
+  /// Eliminates '=' comparisons by unification. Returns nullopt if the
+  /// equalities are unsatisfiable (two distinct constants equated) or an
+  /// inequality became trivially false (t != t). The result has only
+  /// '≠' comparisons, with duplicates removed.
+  std::optional<ConjunctiveQuery> Normalize() const;
+
+  /// Canonical ("frozen") database: every variable v becomes the labeled
+  /// null _N{v}. Requires a normalized query. Also returns the frozen
+  /// head through `frozen_head` if non-null.
+  rel::Database CanonicalDatabase(rel::Tuple* frozen_head = nullptr) const;
+
+  /// A consistent normalized CQ is satisfiable (its canonical database is
+  /// a witness); convenience wrapper over Normalize().
+  bool IsSatisfiable() const;
+
+  size_t Size() const { return body_.size() + comparisons_.size(); }
+
+  std::string ToString(
+      const std::function<std::string(int)>& name = nullptr) const;
+
+  friend bool operator==(const ConjunctiveQuery&, const ConjunctiveQuery&) =
+      default;
+
+ private:
+  std::vector<Term> head_;
+  std::vector<Atom> body_;
+  std::vector<Comparison> comparisons_;
+};
+
+/// Binding of query variables to values during evaluation / homomorphism
+/// search.
+using Binding = std::map<int, rel::Value>;
+
+/// Resolves a term under a binding; nullopt if an unbound variable.
+std::optional<rel::Value> ResolveTerm(const Term& term, const Binding& binding);
+
+/// Enumerates all bindings of `body` atoms (plus comparisons) against the
+/// database, invoking `on_match` for each complete binding. If `on_match`
+/// returns false, enumeration stops early. Returns false iff stopped early.
+bool EnumerateMatches(const std::vector<Atom>& body,
+                      const std::vector<Comparison>& comparisons,
+                      const rel::Database& db,
+                      const std::function<bool(const Binding&)>& on_match);
+
+}  // namespace sws::logic
+
+#endif  // SWS_LOGIC_CQ_H_

@@ -1,0 +1,457 @@
+#include "logic/fo.h"
+
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::logic {
+
+struct FoFormula::Node {
+  Kind kind;
+  std::string relation;          // kAtom
+  std::vector<Term> args;        // kAtom (n-ary) and kEq (two terms)
+  std::vector<FoFormula> children;
+  int bound_var = -1;            // kExists/kForall
+};
+
+FoFormula::FoFormula(std::shared_ptr<const Node> node)
+    : node_(std::move(node)) {}
+
+FoFormula::FoFormula() { *this = False(); }
+
+FoFormula FoFormula::MakeAtom(std::string relation, std::vector<Term> args) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAtom;
+  node->relation = std::move(relation);
+  node->args = std::move(args);
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Eq(Term lhs, Term rhs) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kEq;
+  node->args = {std::move(lhs), std::move(rhs)};
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Not(FoFormula f) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->children.push_back(std::move(f));
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::And(std::vector<FoFormula> fs) {
+  if (fs.size() == 1) return fs[0];
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->children = std::move(fs);
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Or(std::vector<FoFormula> fs) {
+  if (fs.size() == 1) return fs[0];
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->children = std::move(fs);
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::And(FoFormula a, FoFormula b) {
+  return And(std::vector<FoFormula>{std::move(a), std::move(b)});
+}
+
+FoFormula FoFormula::Or(FoFormula a, FoFormula b) {
+  return Or(std::vector<FoFormula>{std::move(a), std::move(b)});
+}
+
+FoFormula FoFormula::Implies(FoFormula a, FoFormula b) {
+  return Or(Not(std::move(a)), std::move(b));
+}
+
+FoFormula FoFormula::Exists(int var, FoFormula body) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kExists;
+  node->bound_var = var;
+  node->children.push_back(std::move(body));
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Exists(const std::vector<int>& vars, FoFormula body) {
+  FoFormula f = std::move(body);
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    f = Exists(*it, std::move(f));
+  }
+  return f;
+}
+
+FoFormula FoFormula::Forall(int var, FoFormula body) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kForall;
+  node->bound_var = var;
+  node->children.push_back(std::move(body));
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Forall(const std::vector<int>& vars, FoFormula body) {
+  FoFormula f = std::move(body);
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    f = Forall(*it, std::move(f));
+  }
+  return f;
+}
+
+FoFormula FoFormula::True() { return And(std::vector<FoFormula>{}); }
+FoFormula FoFormula::False() { return Or(std::vector<FoFormula>{}); }
+
+FoFormula::Kind FoFormula::kind() const { return node_->kind; }
+
+const std::string& FoFormula::relation() const {
+  SWS_CHECK(node_->kind == Kind::kAtom);
+  return node_->relation;
+}
+
+const std::vector<Term>& FoFormula::args() const { return node_->args; }
+
+const std::vector<FoFormula>& FoFormula::children() const {
+  return node_->children;
+}
+
+int FoFormula::bound_var() const {
+  SWS_CHECK(node_->kind == Kind::kExists || node_->kind == Kind::kForall);
+  return node_->bound_var;
+}
+
+bool FoFormula::Eval(const rel::Database& db,
+                     const std::set<rel::Value>& domain,
+                     const Binding& binding) const {
+  switch (node_->kind) {
+    case Kind::kAtom: {
+      if (!db.Contains(node_->relation)) return false;
+      const rel::Relation& rel = db.Get(node_->relation);
+      if (rel.arity() != node_->args.size()) return false;
+      rel::Tuple t;
+      t.reserve(node_->args.size());
+      for (const Term& term : node_->args) {
+        auto v = ResolveTerm(term, binding);
+        SWS_CHECK(v.has_value()) << "unbound variable " << term.ToString()
+                                 << " in FO atom";
+        t.push_back(*v);
+      }
+      return rel.Contains(t);
+    }
+    case Kind::kEq: {
+      auto l = ResolveTerm(node_->args[0], binding);
+      auto r = ResolveTerm(node_->args[1], binding);
+      SWS_CHECK(l.has_value() && r.has_value()) << "unbound variable in '='";
+      return *l == *r;
+    }
+    case Kind::kNot:
+      return !node_->children[0].Eval(db, domain, binding);
+    case Kind::kAnd:
+      for (const auto& c : node_->children) {
+        if (!c.Eval(db, domain, binding)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : node_->children) {
+        if (c.Eval(db, domain, binding)) return true;
+      }
+      return false;
+    case Kind::kExists:
+    case Kind::kForall: {
+      const bool is_exists = node_->kind == Kind::kExists;
+      Binding extended = binding;
+      for (const rel::Value& v : domain) {
+        extended[node_->bound_var] = v;
+        bool sub = node_->children[0].Eval(db, domain, extended);
+        if (sub == is_exists) return is_exists;
+      }
+      return !is_exists;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void CollectFreeVars(const FoFormula& f, std::set<int>* bound,
+                     std::set<int>* free) {
+  using Kind = FoFormula::Kind;
+  switch (f.kind()) {
+    case Kind::kAtom:
+    case Kind::kEq:
+      for (const Term& t : f.args()) {
+        if (t.is_var() && bound->count(t.var()) == 0) free->insert(t.var());
+      }
+      return;
+    case Kind::kExists:
+    case Kind::kForall: {
+      bool was_bound = bound->count(f.bound_var()) > 0;
+      bound->insert(f.bound_var());
+      CollectFreeVars(f.children()[0], bound, free);
+      if (!was_bound) bound->erase(f.bound_var());
+      return;
+    }
+    default:
+      for (const auto& c : f.children()) CollectFreeVars(c, bound, free);
+  }
+}
+
+void CollectConstants(const FoFormula& f, std::set<rel::Value>* out) {
+  for (const Term& t : f.args()) {
+    if (t.is_const()) out->insert(t.value());
+  }
+  for (const auto& c : f.children()) CollectConstants(c, out);
+}
+
+void CollectArities(const FoFormula& f, std::map<std::string, size_t>* out) {
+  if (f.kind() == FoFormula::Kind::kAtom) {
+    auto [it, inserted] = out->emplace(f.relation(), f.args().size());
+    SWS_CHECK(inserted || it->second == f.args().size())
+        << "relation " << f.relation() << " used with inconsistent arities";
+  }
+  for (const auto& c : f.children()) CollectArities(c, out);
+}
+
+}  // namespace
+
+std::set<int> FoFormula::FreeVars() const {
+  std::set<int> bound, free;
+  CollectFreeVars(*this, &bound, &free);
+  return free;
+}
+
+std::set<rel::Value> FoFormula::Constants() const {
+  std::set<rel::Value> out;
+  CollectConstants(*this, &out);
+  return out;
+}
+
+std::map<std::string, size_t> FoFormula::RelationArities() const {
+  std::map<std::string, size_t> out;
+  CollectArities(*this, &out);
+  return out;
+}
+
+size_t FoFormula::Size() const {
+  size_t n = 1;
+  for (const auto& c : node_->children) n += c.Size();
+  return n;
+}
+
+std::string FoFormula::ToString(
+    const std::function<std::string(int)>& name) const {
+  auto var_name = [&name](int v) {
+    return name ? name(v) : "X" + std::to_string(v);
+  };
+  switch (node_->kind) {
+    case Kind::kAtom: {
+      std::ostringstream out;
+      out << node_->relation << "(";
+      for (size_t i = 0; i < node_->args.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << node_->args[i].ToString(name);
+      }
+      out << ")";
+      return out.str();
+    }
+    case Kind::kEq:
+      return node_->args[0].ToString(name) + " = " +
+             node_->args[1].ToString(name);
+    case Kind::kNot:
+      return "!" + node_->children[0].ToString(name);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      if (node_->children.empty()) {
+        return node_->kind == Kind::kAnd ? "true" : "false";
+      }
+      std::ostringstream out;
+      out << "(";
+      const char* sep = node_->kind == Kind::kAnd ? " & " : " | ";
+      for (size_t i = 0; i < node_->children.size(); ++i) {
+        if (i > 0) out << sep;
+        out << node_->children[i].ToString(name);
+      }
+      out << ")";
+      return out.str();
+    }
+    case Kind::kExists:
+    case Kind::kForall:
+      return std::string(node_->kind == Kind::kExists ? "E" : "A") +
+             var_name(node_->bound_var) + "." +
+             node_->children[0].ToString(name);
+  }
+  return "?";
+}
+
+std::optional<std::string> FoQuery::Validate() const {
+  std::set<int> free = formula_.FreeVars();
+  std::set<int> head_vars;
+  for (const Term& t : head_) {
+    if (t.is_var()) head_vars.insert(t.var());
+  }
+  for (int v : free) {
+    if (head_vars.count(v) == 0) {
+      return "free variable X" + std::to_string(v) + " not in head";
+    }
+  }
+  return std::nullopt;
+}
+
+rel::Relation FoQuery::Evaluate(const rel::Database& db) const {
+  std::set<rel::Value> domain = db.ActiveDomain();
+  for (const rel::Value& c : formula_.Constants()) domain.insert(c);
+  for (const Term& t : head_) {
+    if (t.is_const()) domain.insert(t.value());
+  }
+  // Enumerate assignments of the head *variables* over the domain.
+  std::vector<int> vars;
+  {
+    std::set<int> seen;
+    for (const Term& t : head_) {
+      if (t.is_var() && seen.insert(t.var()).second) vars.push_back(t.var());
+    }
+  }
+  rel::Relation out(head_.size());
+  Binding binding;
+  std::function<void(size_t)> assign = [&](size_t i) {
+    if (i == vars.size()) {
+      if (formula_.Eval(db, domain, binding)) {
+        rel::Tuple t;
+        t.reserve(head_.size());
+        for (const Term& term : head_) {
+          auto v = ResolveTerm(term, binding);
+          SWS_CHECK(v.has_value());
+          t.push_back(*v);
+        }
+        out.Insert(std::move(t));
+      }
+      return;
+    }
+    for (const rel::Value& v : domain) {
+      binding[vars[i]] = v;
+      assign(i + 1);
+    }
+    binding.erase(vars[i]);
+  };
+  assign(0);
+  return out;
+}
+
+FoQuery FoQuery::FromCq(const ConjunctiveQuery& cq) {
+  std::vector<FoFormula> conjuncts;
+  for (const Atom& a : cq.body()) {
+    conjuncts.push_back(FoFormula::MakeAtom(a.relation, a.args));
+  }
+  for (const Comparison& c : cq.comparisons()) {
+    FoFormula eq = FoFormula::Eq(c.lhs, c.rhs);
+    conjuncts.push_back(c.is_equality ? eq : FoFormula::Not(eq));
+  }
+  FoFormula body = FoFormula::And(std::move(conjuncts));
+  // Existentially quantify the non-head variables.
+  std::set<int> head_vars;
+  for (const Term& t : cq.head()) {
+    if (t.is_var()) head_vars.insert(t.var());
+  }
+  std::vector<int> existential;
+  for (int v : cq.Vars()) {
+    if (head_vars.count(v) == 0) existential.push_back(v);
+  }
+  return FoQuery(cq.head(), FoFormula::Exists(existential, std::move(body)));
+}
+
+std::string FoQuery::ToString(
+    const std::function<std::string(int)>& name) const {
+  std::ostringstream out;
+  out << "ans(";
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << head_[i].ToString(name);
+  }
+  out << ") :- " << formula_.ToString(name);
+  return out.str();
+}
+
+namespace {
+
+// Enumerates all databases with the given relation arities over the domain
+// {1..k}: for each relation, every subset of the k^arity possible tuples.
+// Invokes `cb`; stops early if cb returns false. Returns false iff stopped.
+bool EnumerateDatabases(
+    const std::map<std::string, size_t>& arities, size_t k,
+    uint64_t* budget, const std::function<bool(const rel::Database&)>& cb) {
+  // Materialize the tuple universe per relation.
+  std::vector<std::pair<std::string, std::vector<rel::Tuple>>> universes;
+  for (const auto& [name, arity] : arities) {
+    std::vector<rel::Tuple> tuples;
+    rel::Tuple current(arity);
+    std::function<void(size_t)> fill = [&](size_t i) {
+      if (i == arity) {
+        tuples.push_back(current);
+        return;
+      }
+      for (size_t v = 1; v <= k; ++v) {
+        current[i] = rel::Value::Int(static_cast<int64_t>(v));
+        fill(i + 1);
+      }
+    };
+    fill(0);
+    universes.emplace_back(name, std::move(tuples));
+  }
+  rel::Database db;
+  for (const auto& [name, tuples] : universes) {
+    db.Set(name, rel::Relation(arities.at(name)));
+  }
+  std::function<bool(size_t)> choose = [&](size_t rel_index) -> bool {
+    if (rel_index == universes.size()) {
+      if (*budget == 0) return false;
+      --*budget;
+      return cb(db);
+    }
+    const auto& [name, tuples] = universes[rel_index];
+    // Iterate subsets via recursive include/exclude per tuple.
+    std::function<bool(size_t)> pick = [&](size_t t_index) -> bool {
+      if (t_index == tuples.size()) return choose(rel_index + 1);
+      if (!pick(t_index + 1)) return false;  // exclude tuples[t_index]
+      db.GetMutable(name)->Insert(tuples[t_index]);
+      bool cont = pick(t_index + 1);         // include tuples[t_index]
+      db.GetMutable(name)->Erase(tuples[t_index]);
+      return cont;
+    };
+    return pick(0);
+  };
+  return choose(0);
+}
+
+}  // namespace
+
+FoBoundedSatResult FoBoundedSat(const FoFormula& sentence,
+                                size_t max_domain_size,
+                                uint64_t max_databases) {
+  SWS_CHECK(sentence.FreeVars().empty()) << "FoBoundedSat needs a sentence";
+  FoBoundedSatResult result;
+  std::map<std::string, size_t> arities = sentence.RelationArities();
+  uint64_t budget = max_databases;
+  for (size_t k = 1; k <= max_domain_size && !result.found; ++k) {
+    std::set<rel::Value> domain;
+    for (size_t v = 1; v <= k; ++v) {
+      domain.insert(rel::Value::Int(static_cast<int64_t>(v)));
+    }
+    EnumerateDatabases(arities, k, &budget, [&](const rel::Database& db) {
+      ++result.databases_checked;
+      std::set<rel::Value> eval_domain = domain;
+      for (const rel::Value& c : sentence.Constants()) eval_domain.insert(c);
+      if (sentence.Eval(db, eval_domain, {})) {
+        result.found = true;
+        result.witness = db;
+        return false;
+      }
+      return true;
+    });
+    if (budget == 0) break;
+  }
+  return result;
+}
+
+}  // namespace sws::logic

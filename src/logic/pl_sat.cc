@@ -1,0 +1,220 @@
+#include "logic/pl_sat.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/common.h"
+
+namespace sws::logic {
+
+void Cnf::AddClause(std::vector<int> literals) {
+  SWS_CHECK(!literals.empty()) << "empty clause: encode as unsat explicitly";
+  for (int lit : literals) {
+    SWS_CHECK(lit != 0 && std::abs(lit) <= num_vars)
+        << "literal " << lit << " out of range (num_vars=" << num_vars << ")";
+  }
+  clauses.push_back(std::move(literals));
+}
+
+namespace {
+
+// Recursive DPLL over an assignment vector (0 = unset, +1 = true,
+// -1 = false). Clauses are scanned directly; for the problem sizes the
+// decision procedures produce this is simpler and fast enough, and keeps
+// the solver deterministic.
+class DpllState {
+ public:
+  DpllState(const Cnf& cnf, SatStats* stats)
+      : cnf_(cnf), assignment_(cnf.num_vars + 1, 0), stats_(stats) {}
+
+  bool Search() {
+    int status = Propagate();
+    if (status < 0) return false;   // conflict
+    int branch_var = PickUnassigned();
+    if (branch_var == 0) return true;  // all assigned, no conflict
+    for (int value : {+1, -1}) {
+      ++stats_->decisions;
+      std::vector<int8_t> saved = assignment_;
+      assignment_[branch_var] = static_cast<int8_t>(value);
+      if (Search()) return true;
+      assignment_ = std::move(saved);
+    }
+    ++stats_->conflicts;
+    return false;
+  }
+
+  std::vector<bool> Model() const {
+    std::vector<bool> model(cnf_.num_vars + 1, false);
+    for (int v = 1; v <= cnf_.num_vars; ++v) model[v] = assignment_[v] > 0;
+    return model;
+  }
+
+ private:
+  int LitValue(int lit) const {
+    int v = assignment_[std::abs(lit)];
+    return lit > 0 ? v : -v;
+  }
+
+  // Unit propagation to fixpoint. Returns -1 on conflict, 0 otherwise.
+  int Propagate() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& clause : cnf_.clauses) {
+        int unassigned_lit = 0;
+        int unassigned_count = 0;
+        bool satisfied = false;
+        for (int lit : clause) {
+          int val = LitValue(lit);
+          if (val > 0) {
+            satisfied = true;
+            break;
+          }
+          if (val == 0) {
+            ++unassigned_count;
+            unassigned_lit = lit;
+          }
+        }
+        if (satisfied) continue;
+        if (unassigned_count == 0) {
+          ++stats_->conflicts;
+          return -1;
+        }
+        if (unassigned_count == 1) {
+          assignment_[std::abs(unassigned_lit)] =
+              static_cast<int8_t>(unassigned_lit > 0 ? 1 : -1);
+          ++stats_->propagations;
+          changed = true;
+        }
+      }
+    }
+    return 0;
+  }
+
+  int PickUnassigned() const {
+    for (int v = 1; v <= cnf_.num_vars; ++v) {
+      if (assignment_[v] == 0) return v;
+    }
+    return 0;
+  }
+
+  const Cnf& cnf_;
+  std::vector<int8_t> assignment_;
+  SatStats* stats_;
+};
+
+}  // namespace
+
+std::optional<std::vector<bool>> DpllSolver::Solve(const Cnf& cnf) {
+  stats_ = SatStats();
+  DpllState state(cnf, &stats_);
+  if (!state.Search()) return std::nullopt;
+  return state.Model();
+}
+
+namespace {
+
+// Returns the CNF variable standing for the truth of `f`, emitting Tseitin
+// defining clauses into `cnf`.
+int TseitinVisit(const PlFormula& f, Cnf* cnf,
+                 std::map<int, int>* var_map) {
+  using Kind = PlFormula::Kind;
+  switch (f.kind()) {
+    case Kind::kConst: {
+      int v = cnf->NewVar();
+      cnf->AddClause({f.const_value() ? v : -v});
+      return v;
+    }
+    case Kind::kVar: {
+      auto it = var_map->find(f.var());
+      if (it != var_map->end()) return it->second;
+      int v = cnf->NewVar();
+      var_map->emplace(f.var(), v);
+      return v;
+    }
+    case Kind::kNot: {
+      int child = TseitinVisit(f.children()[0], cnf, var_map);
+      int v = cnf->NewVar();
+      // v <-> !child
+      cnf->AddClause({-v, -child});
+      cnf->AddClause({v, child});
+      return v;
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<int> child_vars;
+      child_vars.reserve(f.children().size());
+      for (const auto& c : f.children()) {
+        child_vars.push_back(TseitinVisit(c, cnf, var_map));
+      }
+      int v = cnf->NewVar();
+      if (f.kind() == Kind::kAnd) {
+        // v -> c_i, and (c_1 & ... & c_k) -> v.
+        std::vector<int> long_clause = {v};
+        for (int c : child_vars) {
+          cnf->AddClause({-v, c});
+          long_clause.push_back(-c);
+        }
+        cnf->AddClause(std::move(long_clause));
+      } else {
+        // c_i -> v, and v -> (c_1 | ... | c_k).
+        std::vector<int> long_clause = {-v};
+        for (int c : child_vars) {
+          cnf->AddClause({v, -c});
+          long_clause.push_back(c);
+        }
+        cnf->AddClause(std::move(long_clause));
+      }
+      return v;
+    }
+  }
+  SWS_CHECK(false) << "unreachable";
+  return 0;
+}
+
+}  // namespace
+
+Cnf TseitinTransform(const PlFormula& formula,
+                     std::map<int, int>* formula_var_to_cnf_var) {
+  Cnf cnf;
+  int root = TseitinVisit(formula, &cnf, formula_var_to_cnf_var);
+  cnf.AddClause({root});
+  return cnf;
+}
+
+bool PlSatisfiable(const PlFormula& formula, std::map<int, bool>* model,
+                   SatStats* stats) {
+  PlFormula simplified = formula.Simplify();
+  if (simplified.is_const()) {
+    if (stats != nullptr) *stats = SatStats();
+    if (simplified.const_value() && model != nullptr) model->clear();
+    return simplified.const_value();
+  }
+  std::map<int, int> var_map;
+  Cnf cnf = TseitinTransform(simplified, &var_map);
+  DpllSolver solver;
+  auto result = solver.Solve(cnf);
+  if (stats != nullptr) *stats = solver.stats();
+  if (!result.has_value()) return false;
+  if (model != nullptr) {
+    model->clear();
+    for (const auto& [formula_var, cnf_var] : var_map) {
+      (*model)[formula_var] = (*result)[cnf_var];
+    }
+  }
+  return true;
+}
+
+bool PlSatisfiable(const PlFormula& formula) {
+  return PlSatisfiable(formula, nullptr, nullptr);
+}
+
+bool PlValid(const PlFormula& formula) {
+  return !PlSatisfiable(PlFormula::Not(formula));
+}
+
+bool PlEquivalent(const PlFormula& a, const PlFormula& b) {
+  return PlValid(PlFormula::Iff(a, b));
+}
+
+}  // namespace sws::logic

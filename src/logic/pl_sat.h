@@ -1,0 +1,67 @@
+#ifndef SWS_LOGIC_PL_SAT_H_
+#define SWS_LOGIC_PL_SAT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "logic/pl_formula.h"
+
+namespace sws::logic {
+
+/// A CNF formula in DIMACS convention: variables are 1..num_vars, a literal
+/// is +v or -v, a clause is a disjunction of literals.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+
+  /// Adds a clause; aborts on zero literals or out-of-range variables.
+  void AddClause(std::vector<int> literals);
+  /// Allocates a fresh variable and returns its index.
+  int NewVar() { return ++num_vars; }
+};
+
+/// Statistics from a SAT solver invocation, used by the Table 1 benchmarks
+/// to report search effort (the NP procedures of Theorem 4.1(3)).
+struct SatStats {
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t conflicts = 0;
+};
+
+/// A DPLL SAT solver with unit propagation and pure-literal elimination.
+/// Deterministic: branching picks the lowest unassigned variable, trying
+/// `true` first.
+class DpllSolver {
+ public:
+  /// Solves the CNF; returns a model (index v holds the value of variable
+  /// v; index 0 unused) or nullopt if unsatisfiable.
+  std::optional<std::vector<bool>> Solve(const Cnf& cnf);
+
+  const SatStats& stats() const { return stats_; }
+
+ private:
+  SatStats stats_;
+};
+
+/// Tseitin transformation: equisatisfiable CNF for `formula`. Formula
+/// variable `v` maps to CNF variable `formula_var_to_cnf_var[v]`; auxiliary
+/// variables follow. The CNF asserts the formula's root is true.
+Cnf TseitinTransform(const PlFormula& formula,
+                     std::map<int, int>* formula_var_to_cnf_var);
+
+/// Satisfiability of a PL formula via Tseitin + DPLL. If satisfiable and
+/// `model` is non-null, stores a satisfying assignment of the formula's
+/// own variables (variables not mentioned are absent / false).
+bool PlSatisfiable(const PlFormula& formula, std::map<int, bool>* model,
+                   SatStats* stats = nullptr);
+bool PlSatisfiable(const PlFormula& formula);
+
+/// Validity and logical equivalence, via satisfiability of the negation.
+bool PlValid(const PlFormula& formula);
+bool PlEquivalent(const PlFormula& a, const PlFormula& b);
+
+}  // namespace sws::logic
+
+#endif  // SWS_LOGIC_PL_SAT_H_

@@ -1,0 +1,65 @@
+#ifndef SWS_LOGIC_TERM_H_
+#define SWS_LOGIC_TERM_H_
+
+#include <compare>
+#include <functional>
+#include <string>
+
+#include "relational/value.h"
+
+namespace sws::logic {
+
+/// A term of a relational query: a variable (integer id) or a constant
+/// (a rel::Value). Used by CQ, UCQ and FO atoms alike.
+class Term {
+ public:
+  Term() : is_var_(true), var_(0) {}
+
+  static Term Var(int id) {
+    Term t;
+    t.is_var_ = true;
+    t.var_ = id;
+    return t;
+  }
+  static Term Const(rel::Value value) {
+    Term t;
+    t.is_var_ = false;
+    t.value_ = std::move(value);
+    return t;
+  }
+  static Term Int(int64_t v) { return Const(rel::Value::Int(v)); }
+  static Term Str(std::string s) { return Const(rel::Value::Str(std::move(s))); }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+  int var() const { return var_; }
+  const rel::Value& value() const { return value_; }
+
+  std::string ToString(
+      const std::function<std::string(int)>& name = nullptr) const {
+    if (is_var_) {
+      return name ? name(var_) : "X" + std::to_string(var_);
+    }
+    return value_.ToString();
+  }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return false;
+    return a.is_var_ ? a.var_ == b.var_ : a.value_ == b.value_;
+  }
+  friend std::strong_ordering operator<=>(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return a.is_var_ ? std::strong_ordering::less
+                                                 : std::strong_ordering::greater;
+    if (a.is_var_) return a.var_ <=> b.var_;
+    return a.value_ <=> b.value_;
+  }
+
+ private:
+  bool is_var_;
+  int var_ = 0;
+  rel::Value value_;
+};
+
+}  // namespace sws::logic
+
+#endif  // SWS_LOGIC_TERM_H_

@@ -1,0 +1,162 @@
+#include "mediator/cq_composition.h"
+
+#include <algorithm>
+
+#include "logic/containment.h"
+#include "util/common.h"
+
+namespace sws::med {
+
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Term;
+using logic::UnionQuery;
+
+std::string ComponentViewName(size_t i) { return "v" + std::to_string(i); }
+
+Mediator BuildOneLevelMediator(const UnionQuery& rewriting,
+                               size_t num_components, size_t rin_arity,
+                               size_t rout_arity) {
+  Mediator mediator(rin_arity, rout_arity);
+  int root = mediator.AddState("q0");
+  std::vector<MediatorTarget> successors;
+  for (size_t i = 0; i < num_components; ++i) {
+    int leaf = mediator.AddState("s" + std::to_string(i));
+    successors.push_back(MediatorTarget{leaf, i});
+    mediator.SetTransition(leaf, {});
+    // Echo the component's output.
+    std::vector<Term> head;
+    std::vector<Term> args;
+    for (size_t a = 0; a < rout_arity; ++a) {
+      head.push_back(Term::Var(static_cast<int>(a)));
+      args.push_back(Term::Var(static_cast<int>(a)));
+    }
+    mediator.SetSynthesis(
+        leaf, core::RelQuery::Cq(ConjunctiveQuery(
+                  head, {Atom{core::kMsgRelation, std::move(args)}})));
+  }
+  mediator.SetTransition(root, std::move(successors));
+  // Root synthesis: view atom v<i> -> Act<i+1>.
+  UnionQuery psi(rout_arity);
+  for (const ConjunctiveQuery& d : rewriting.disjuncts()) {
+    ConjunctiveQuery mapped = d;
+    for (Atom& atom : *mapped.mutable_body()) {
+      for (size_t i = 0; i < num_components; ++i) {
+        if (atom.relation == ComponentViewName(i)) {
+          atom.relation = core::ActRelation(i + 1);
+          break;
+        }
+      }
+    }
+    psi.Add(std::move(mapped));
+  }
+  mediator.SetSynthesis(root, core::RelQuery::Ucq(std::move(psi)));
+  return mediator;
+}
+
+namespace {
+
+// The component views at a given unfolding length; nullopt entry = the
+// component's unfolding is empty at this length.
+std::optional<std::vector<rw::View>> ViewsAt(
+    const std::vector<const core::Sws*>& components, size_t n,
+    std::string* reason) {
+  std::vector<rw::View> views;
+  for (size_t i = 0; i < components.size(); ++i) {
+    UnionQuery u = core::UnfoldToUcq(*components[i], n);
+    if (u.size() > 1) {
+      if (reason != nullptr) {
+        *reason = "component " + std::to_string(i) +
+                  " is not CQ-expressible at length " + std::to_string(n) +
+                  " (Corollary 5.2 needs SWSnr(CQ^r) components)";
+      }
+      return std::nullopt;
+    }
+    // An empty unfolding: the view produces nothing; represent it by an
+    // unsatisfiable CQ so expansions through it are dropped.
+    ConjunctiveQuery definition =
+        u.size() == 1
+            ? u.disjuncts()[0]
+            : ConjunctiveQuery(
+                  std::vector<Term>(components[i]->rout_arity(),
+                                    Term::Int(0)),
+                  {}, {logic::Comparison{Term::Int(0), Term::Int(1), true}});
+    views.push_back(rw::View{ComponentViewName(i), std::move(definition)});
+  }
+  return views;
+}
+
+}  // namespace
+
+CqCompositionResult ComposeCqOneLevel(
+    const core::Sws& goal, const std::vector<const core::Sws*>& components,
+    const CqCompositionOptions& options) {
+  CqCompositionResult result{false,
+                             "",
+                             UnionQuery(goal.rout_arity()),
+                             Mediator(goal.rin_arity(), goal.rout_arity()),
+                             0};
+  if (!goal.IsCqUcq() || goal.IsRecursive()) {
+    result.reason = "goal must be in SWSnr(CQ, UCQ)";
+    return result;
+  }
+  size_t n = *goal.MaxDepth();
+  for (const core::Sws* c : components) {
+    if (!c->IsCqUcq() || c->IsRecursive()) {
+      result.reason = "components must be in SWSnr(CQ, UCQ)";
+      return result;
+    }
+    if (c->rin_arity() != goal.rin_arity() ||
+        c->rout_arity() != goal.rout_arity()) {
+      result.reason = "component schemas must match the goal";
+      return result;
+    }
+    n = std::max(n, *c->MaxDepth());
+  }
+  result.unfold_length = n;
+
+  auto views = ViewsAt(components, n, &result.reason);
+  if (!views.has_value()) return result;
+  UnionQuery goal_query = core::UnfoldToUcq(goal, n);
+
+  rw::CqRewriteOptions rewrite_options = options.rewrite;
+  rewrite_options.stop_when_covering = true;
+  // One-level mediators join component outputs only through the root
+  // synthesis head; identification patterns between view arguments are
+  // unnecessary, and the identity-only search is exponentially cheaper.
+  rewrite_options.merge_variables = false;
+  if (rewrite_options.max_atoms == 0) {
+    // Each goal disjunct mentions at most one Act atom per component in
+    // the one-level shape; bound candidates by the component count.
+    rewrite_options.max_atoms = components.size();
+  }
+  UnionQuery rewriting =
+      rw::MaximallyContainedRewriting(goal_query, *views, rewrite_options);
+  UnionQuery expansion = rw::ExpandViewAtoms(rewriting, *views);
+  if (!logic::UcqContainedIn(goal_query, expansion)) {
+    result.reason = "no equivalent rewriting within the atom bound";
+    return result;
+  }
+  // The mediator's synthesis is fixed; it must also match the goal at
+  // every shorter input length.
+  for (size_t shorter = 0; shorter < n; ++shorter) {
+    auto short_views = ViewsAt(components, shorter, &result.reason);
+    if (!short_views.has_value()) return result;
+    UnionQuery short_goal = core::UnfoldToUcq(goal, shorter);
+    UnionQuery short_expansion =
+        rw::ExpandViewAtoms(rewriting, *short_views);
+    if (!logic::UcqEquivalent(short_goal, short_expansion)) {
+      result.reason = "rewriting diverges from the goal at input length " +
+                      std::to_string(shorter);
+      return result;
+    }
+  }
+
+  result.found = true;
+  result.rewriting = rewriting;
+  result.mediator = BuildOneLevelMediator(
+      rewriting, components.size(), goal.rin_arity(), goal.rout_arity());
+  return result;
+}
+
+}  // namespace sws::med

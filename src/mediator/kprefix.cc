@@ -1,0 +1,136 @@
+#include "mediator/kprefix.h"
+
+#include <functional>
+
+#include "util/common.h"
+
+namespace sws::med {
+
+using core::PlSws;
+
+std::optional<size_t> PlSwsPrefixBound(const PlSws& sws) {
+  // A chain of L states touches inputs I_1..I_{L-1} (the root reads
+  // nothing itself), so the value is determined by the first L-1 symbols
+  // — and for n >= L-1 it no longer depends on the length either.
+  auto depth = sws.MaxDepth();
+  if (!depth.has_value()) return std::nullopt;
+  return *depth == 0 ? 0 : *depth - 1;
+}
+
+std::optional<size_t> PlMediatorPrefixBound(
+    const PlMediator& mediator,
+    const std::vector<const core::PlSws*>& components) {
+  auto mediator_depth = mediator.MaxDepth();
+  if (!mediator_depth.has_value()) return std::nullopt;
+  size_t max_component_bound = 1;
+  for (const core::PlSws* c : components) {
+    auto bound = PlSwsPrefixBound(*c);
+    if (!bound.has_value()) return std::nullopt;
+    max_component_bound = std::max(max_component_bound, *bound);
+  }
+  // Along any root-to-leaf path of the mediator, at most depth-1
+  // invocations occur, each advancing the position by at most the
+  // component bound; the deepest component then reads at most its own
+  // bound further.
+  return *mediator_depth * max_component_bound + 1;
+}
+
+namespace {
+
+// Relevant variables: goal's plus every component's (mediator formulas
+// read only registers).
+std::vector<PlSws::Symbol> JointAlphabet(
+    const std::vector<const core::PlSws*>& components,
+    const core::PlSws* goal_a, const core::PlSws* goal_b) {
+  std::set<int> vars;
+  auto add = [&vars](const core::PlSws& s) {
+    for (int v : s.RelevantInputVars()) vars.insert(v);
+  };
+  for (const core::PlSws* c : components) add(*c);
+  if (goal_a != nullptr) add(*goal_a);
+  if (goal_b != nullptr) add(*goal_b);
+  std::vector<int> relevant(vars.begin(), vars.end());
+  SWS_CHECK_LE(relevant.size(), 16u) << "alphabet too large to enumerate";
+  std::vector<PlSws::Symbol> symbols;
+  for (size_t mask = 0; mask < (size_t{1} << relevant.size()); ++mask) {
+    PlSws::Symbol s;
+    for (size_t i = 0; i < relevant.size(); ++i) {
+      if ((mask >> i) & 1) s.insert(relevant[i]);
+    }
+    symbols.push_back(std::move(s));
+  }
+  return symbols;
+}
+
+// Enumerates all words up to max_len; returns false when `differs` found
+// one. Fills stats.
+bool AgreeOnAllWords(const std::function<bool(const PlSws::Word&)>& differs,
+                     const std::vector<PlSws::Symbol>& symbols,
+                     size_t max_len, PrefixEquivalenceResult* result) {
+  PlSws::Word word;
+  std::function<bool(size_t)> explore = [&](size_t remaining) -> bool {
+    ++result->words_checked;
+    if (differs(word)) {
+      result->counterexample = word;
+      return false;
+    }
+    if (remaining == 0) return true;
+    for (const PlSws::Symbol& s : symbols) {
+      word.push_back(s);
+      bool ok = explore(remaining - 1);
+      word.pop_back();
+      if (!ok) return false;
+    }
+    return true;
+  };
+  return explore(max_len);
+}
+
+}  // namespace
+
+PrefixEquivalenceResult MediatorGoalEquivalence(
+    const PlMediator& mediator,
+    const std::vector<const core::PlSws*>& components,
+    const core::PlSws& goal, size_t fallback_length) {
+  PrefixEquivalenceResult result;
+  auto mediator_bound = PlMediatorPrefixBound(mediator, components);
+  auto goal_bound = PlSwsPrefixBound(goal);
+  if (mediator_bound.has_value() && goal_bound.has_value()) {
+    result.complete = true;
+    result.tested_length = std::max(*mediator_bound, *goal_bound);
+  } else {
+    result.complete = false;
+    result.tested_length = fallback_length;
+  }
+  std::vector<PlSws::Symbol> symbols =
+      JointAlphabet(components, &goal, nullptr);
+  result.equivalent = AgreeOnAllWords(
+      [&](const PlSws::Word& word) {
+        return RunPlMediator(mediator, components, word).output !=
+               goal.Run(word);
+      },
+      symbols, result.tested_length, &result);
+  return result;
+}
+
+PrefixEquivalenceResult PrefixEquivalence(const core::PlSws& a,
+                                          const core::PlSws& b,
+                                          size_t fallback_length) {
+  PrefixEquivalenceResult result;
+  auto bound_a = PlSwsPrefixBound(a);
+  auto bound_b = PlSwsPrefixBound(b);
+  if (bound_a.has_value() && bound_b.has_value()) {
+    result.complete = true;
+    result.tested_length = std::max(*bound_a, *bound_b);
+  } else {
+    result.complete = false;
+    result.tested_length = fallback_length;
+  }
+  std::vector<PlSws::Symbol> symbols = JointAlphabet({}, &a, &b);
+  result.equivalent = AgreeOnAllWords(
+      [&](const PlSws::Word& word) { return a.Run(word) != b.Run(word); },
+      symbols, result.tested_length, &result);
+  return result;
+}
+
+}  // namespace sws::med

@@ -1,0 +1,59 @@
+#ifndef SWS_MEDIATOR_KPREFIX_H_
+#define SWS_MEDIATOR_KPREFIX_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "mediator/mediator.h"
+#include "mediator/mediator_run.h"
+
+namespace sws::med {
+
+/// k-prefix recognizability (Theorem 5.1(4)/(5)): a language is k-prefix
+/// recognizable when membership is determined by the first k symbols of
+/// the input. Every SWS_nr(PL, PL) service is k-prefix recognizable for
+/// a computable k (its execution trees have bounded depth), and so is a
+/// nonrecursive mediator over nonrecursive components. These bounds make
+/// mediator-goal equivalence decidable by exhaustive comparison on all
+/// words up to the bound — the procedure implemented here.
+
+/// Prefix bound for a PL service: inputs beyond this index never reach
+/// any rule. nullopt for recursive services (no bound).
+std::optional<size_t> PlSwsPrefixBound(const core::PlSws& sws);
+
+/// Prefix bound for a PL mediator over its components: along any path of
+/// the (acyclic) mediator, each invocation consumes at most the
+/// component's own bound. nullopt if the mediator or any component is
+/// recursive.
+std::optional<size_t> PlMediatorPrefixBound(
+    const PlMediator& mediator,
+    const std::vector<const core::PlSws*>& components);
+
+struct PrefixEquivalenceResult {
+  bool equivalent = false;
+  std::optional<core::PlSws::Word> counterexample;
+  uint64_t words_checked = 0;
+  /// True iff the check was exhaustive up to a sound bound (both sides
+  /// k-prefix recognizable), i.e. the verdict is a proof. When false, a
+  /// `true` verdict only covers words up to the tested length.
+  bool complete = false;
+  size_t tested_length = 0;
+};
+
+/// Decides π ≡ τ for a PL mediator and a PL goal by enumerating all
+/// words over the relevant alphabet up to the k-prefix bound (or up to
+/// `fallback_length` when no bound exists — then `complete` is false).
+PrefixEquivalenceResult MediatorGoalEquivalence(
+    const PlMediator& mediator,
+    const std::vector<const core::PlSws*>& components,
+    const core::PlSws& goal, size_t fallback_length = 4);
+
+/// The same exhaustive comparison between two PL services (used to
+/// cross-check the pspace procedure on nonrecursive instances).
+PrefixEquivalenceResult PrefixEquivalence(const core::PlSws& a,
+                                          const core::PlSws& b,
+                                          size_t fallback_length = 4);
+
+}  // namespace sws::med
+
+#endif  // SWS_MEDIATOR_KPREFIX_H_

@@ -1,0 +1,122 @@
+#ifndef SWS_MEDIATOR_MEDIATOR_H_
+#define SWS_MEDIATOR_MEDIATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sws/pl_sws.h"
+#include "sws/sws.h"
+
+namespace sws::med {
+
+/// An SWS mediator π = (Q, δ, σ, q0) in MDT(L_Act) (Definition 5.1): like
+/// an SWS, but transition rules embed component services as oracle
+/// queries — q → (q1, eval(τ_{c1})), ..., (qk, eval(τ_{ck})). A mediator
+/// receives and redirects messages but never touches the local database
+/// directly: internal synthesis reads the successors' action registers
+/// ("Act1".."Actk"), and *final* synthesis reads only the message
+/// register ("Msg") — no D, no input.
+///
+/// Components are referenced by index into the component vector supplied
+/// at run/validation time; all components and the mediator share the
+/// schemas R, R_in, R_out (the paper's w.l.o.g. assumption).
+struct MediatorTarget {
+  int state = 0;
+  size_t component = 0;  // index into the component list
+};
+
+class Mediator {
+ public:
+  Mediator(size_t rin_arity, size_t rout_arity);
+
+  size_t rin_arity() const { return rin_arity_; }
+  size_t rout_arity() const { return rout_arity_; }
+
+  int AddState(std::string name);
+  int num_states() const { return static_cast<int>(states_.size()); }
+  int start_state() const { return 0; }
+  const std::string& StateName(int q) const;
+
+  void SetTransition(int q, std::vector<MediatorTarget> successors);
+  void SetSynthesis(int q, core::RelQuery synthesis);
+
+  const std::vector<MediatorTarget>& Successors(int q) const;
+  const core::RelQuery& Synthesis(int q) const;
+  bool IsFinalState(int q) const { return Successors(q).empty(); }
+
+  /// Well-formedness against a component list: component indices in
+  /// range, matching schemas, q0 not in any rhs, and synthesis reading
+  /// only what Definition 5.1 allows.
+  std::optional<std::string> Validate(
+      const std::vector<const core::Sws*>& components) const;
+
+  /// The dependency graph over mediator states; MDT_nr = acyclic. Note
+  /// that components of a nonrecursive mediator may themselves be
+  /// recursive (Section 2 / Definition 5.1 remark).
+  bool IsRecursive() const;
+  std::optional<size_t> MaxDepth() const;
+
+  std::string ToString(
+      const std::vector<const core::Sws*>& components = {}) const;
+
+ private:
+  struct StateRules {
+    std::string name;
+    std::vector<MediatorTarget> successors;
+    core::RelQuery synthesis;
+    bool has_synthesis = false;
+  };
+  size_t rin_arity_;
+  size_t rout_arity_;
+  std::vector<StateRules> states_;
+};
+
+/// The PL counterpart: mediators over SWS(PL, PL) components. Registers
+/// are truth values; internal synthesis formulas use variable i for the
+/// i-th successor's action bit; final synthesis uses variable 0 for the
+/// message register ("from Msg(q) to Act(q)").
+class PlMediator {
+ public:
+  PlMediator() = default;
+
+  int AddState(std::string name);
+  int num_states() const { return static_cast<int>(states_.size()); }
+  int start_state() const { return 0; }
+  const std::string& StateName(int q) const;
+
+  void SetTransition(int q, std::vector<MediatorTarget> successors);
+  void SetSynthesis(int q, logic::PlFormula synthesis);
+
+  const std::vector<MediatorTarget>& Successors(int q) const;
+  const logic::PlFormula& Synthesis(int q) const;
+  bool IsFinalState(int q) const { return Successors(q).empty(); }
+
+  /// The variable a final state's synthesis uses for its register bit.
+  static constexpr int kMsgVar = 0;
+
+  std::optional<std::string> Validate(
+      const std::vector<const core::PlSws*>& components) const;
+
+  bool IsRecursive() const;
+  std::optional<size_t> MaxDepth() const;
+
+  /// True iff every synthesis formula is a pure disjunction of its
+  /// allowed variables — the MDT(∨) subclass of Theorem 5.3.
+  bool IsDisjunctionOnly() const;
+
+  std::string ToString() const;
+
+ private:
+  struct StateRules {
+    std::string name;
+    std::vector<MediatorTarget> successors;
+    logic::PlFormula synthesis;
+    bool has_synthesis = false;
+  };
+  std::vector<StateRules> states_;
+};
+
+}  // namespace sws::med
+
+#endif  // SWS_MEDIATOR_MEDIATOR_H_

@@ -1,0 +1,144 @@
+#include "mediator/mediator_run.h"
+
+#include "util/common.h"
+
+namespace sws::med {
+
+namespace {
+
+class RelEngine {
+ public:
+  RelEngine(const Mediator& mediator,
+            const std::vector<const core::Sws*>& components,
+            const rel::Database& db, const rel::InputSequence& input)
+      : mediator_(mediator), components_(components), db_(db), input_(input) {}
+
+  MediatorRunResult Execute() {
+    MediatorRunResult result;
+    result.output = Eval(mediator_.start_state(), 1,
+                         rel::Relation(mediator_.rin_arity()),
+                         /*is_root=*/true);
+    result.num_nodes = num_nodes_;
+    result.component_invocations = invocations_;
+    return result;
+  }
+
+ private:
+  rel::Relation Eval(int state, size_t j, rel::Relation msg, bool is_root) {
+    ++num_nodes_;
+    rel::Relation empty(mediator_.rout_arity());
+    if (msg.empty() && !is_root) return empty;
+    if (is_root && msg.empty() && input_.empty()) return empty;
+
+    const auto& successors = mediator_.Successors(state);
+    if (successors.empty()) {
+      // ψ reads Msg only.
+      rel::Database env;
+      env.Set(core::kMsgRelation, std::move(msg));
+      return mediator_.Synthesis(state).Evaluate(env);
+    }
+    rel::Database synth_env;
+    for (size_t i = 0; i < successors.size(); ++i) {
+      const core::Sws& component = *components_[successors[i].component];
+      ++invocations_;
+      // The component's start register is seeded with Msg(v) (Section
+      // 5.1). The paper assumes one unified schema (R_in = R_out via
+      // outer union); when the arities differ the register cannot be
+      // forwarded and the component starts with an empty seed.
+      rel::Relation seed =
+          msg.arity() == component.rin_arity()
+              ? msg
+              : rel::Relation(component.rin_arity());
+      core::RunResult component_run =
+          core::RunSeeded(component, db_, input_.Suffix(j), seed);
+      size_t child_position = j + component_run.max_timestamp;
+      rel::Relation child_act =
+          Eval(successors[i].state, child_position,
+               std::move(component_run.output), /*is_root=*/false);
+      synth_env.Set(core::ActRelation(i + 1), std::move(child_act));
+    }
+    return mediator_.Synthesis(state).Evaluate(synth_env);
+  }
+
+  const Mediator& mediator_;
+  const std::vector<const core::Sws*>& components_;
+  const rel::Database& db_;
+  const rel::InputSequence& input_;
+  size_t num_nodes_ = 0;
+  uint64_t invocations_ = 0;
+};
+
+class PlEngine {
+ public:
+  PlEngine(const PlMediator& mediator,
+           const std::vector<const core::PlSws*>& components,
+           const core::PlSws::Word& input)
+      : mediator_(mediator), components_(components), input_(input) {}
+
+  PlMediatorRunResult Execute() {
+    PlMediatorRunResult result;
+    result.output =
+        Eval(mediator_.start_state(), 1, /*msg=*/false, /*is_root=*/true);
+    result.num_nodes = num_nodes_;
+    result.component_invocations = invocations_;
+    return result;
+  }
+
+ private:
+  bool Eval(int state, size_t j, bool msg, bool is_root) {
+    ++num_nodes_;
+    if (!msg && !is_root) return false;
+    if (is_root && !msg && input_.empty()) return false;
+
+    const auto& successors = mediator_.Successors(state);
+    if (successors.empty()) {
+      return mediator_.Synthesis(state).EvalWith(
+          [msg](int v) { return v == PlMediator::kMsgVar ? msg : false; });
+    }
+    std::vector<bool> child_values(successors.size());
+    for (size_t i = 0; i < successors.size(); ++i) {
+      const core::PlSws& component = *components_[successors[i].component];
+      ++invocations_;
+      core::PlSws::Word suffix(
+          input_.begin() + static_cast<long>(std::min(j - 1, input_.size())),
+          input_.end());
+      core::PlSws::RunInfo info = component.RunWithInfo(suffix, msg);
+      size_t child_position = j + info.max_consumed;
+      child_values[i] = Eval(successors[i].state, child_position, info.value,
+                             /*is_root=*/false);
+    }
+    return mediator_.Synthesis(state).EvalWith(
+        [&child_values](int i) { return child_values[i]; });
+  }
+
+  const PlMediator& mediator_;
+  const std::vector<const core::PlSws*>& components_;
+  const core::PlSws::Word& input_;
+  size_t num_nodes_ = 0;
+  uint64_t invocations_ = 0;
+};
+
+}  // namespace
+
+MediatorRunResult RunMediator(const Mediator& mediator,
+                              const std::vector<const core::Sws*>& components,
+                              const rel::Database& db,
+                              const rel::InputSequence& input) {
+  SWS_CHECK(!mediator.Validate(components).has_value())
+      << *mediator.Validate(components);
+  SWS_CHECK_EQ(input.message_arity(), mediator.rin_arity());
+  RelEngine engine(mediator, components, db, input);
+  return engine.Execute();
+}
+
+PlMediatorRunResult RunPlMediator(
+    const PlMediator& mediator,
+    const std::vector<const core::PlSws*>& components,
+    const core::PlSws::Word& input) {
+  SWS_CHECK(!mediator.Validate(components).has_value())
+      << *mediator.Validate(components);
+  PlEngine engine(mediator, components, input);
+  return engine.Execute();
+}
+
+}  // namespace sws::med

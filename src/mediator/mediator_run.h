@@ -1,0 +1,53 @@
+#ifndef SWS_MEDIATOR_MEDIATOR_RUN_H_
+#define SWS_MEDIATOR_MEDIATOR_RUN_H_
+
+#include <cstdint>
+
+#include "mediator/mediator.h"
+#include "relational/database.h"
+#include "relational/input_sequence.h"
+#include "sws/execution.h"
+
+namespace sws::med {
+
+/// Runs of mediators (Section 5.1). A node v at state q holds a position
+/// j — the index of the first unconsumed input message (the root starts
+/// at j = 1) — and a message register. For a rule
+///   q → (q1, eval(τ_1)), ..., (qk, eval(τ_k)),
+/// every child u_i is spawned in parallel on the *same* suffix I^j: the
+/// component τ_i runs to completion on (D, I^j) with its start state's
+/// register seeded with Msg(v); Msg(u_i) is the component's output and
+/// u_i's position is j + l_i, where l_i is the number of input messages
+/// the component consumed. Final mediator states synthesize from Msg
+/// alone (no D, no input). Commitment of all component actions is
+/// deferred to the end of the mediator's run.
+///
+/// Note on condition (1): a mediator leaf does not read input, so —
+/// unlike SWS leaves — an exhausted input does not blank its actions
+/// (otherwise Example 5.1's π1 ≡ τ1 would fail on single-message
+/// sessions). An empty register at a non-root node still does.
+struct MediatorRunResult {
+  rel::Relation output;
+  size_t num_nodes = 0;
+  uint64_t component_invocations = 0;
+};
+
+MediatorRunResult RunMediator(const Mediator& mediator,
+                              const std::vector<const core::Sws*>& components,
+                              const rel::Database& db,
+                              const rel::InputSequence& input);
+
+struct PlMediatorRunResult {
+  bool output = false;
+  size_t num_nodes = 0;
+  uint64_t component_invocations = 0;
+};
+
+PlMediatorRunResult RunPlMediator(
+    const PlMediator& mediator,
+    const std::vector<const core::PlSws*>& components,
+    const core::PlSws::Word& input);
+
+}  // namespace sws::med
+
+#endif  // SWS_MEDIATOR_MEDIATOR_RUN_H_

@@ -1,0 +1,175 @@
+#include "mediator/pl_composition.h"
+
+#include <functional>
+#include <map>
+
+#include "util/common.h"
+
+namespace sws::med {
+
+using core::PlSws;
+using logic::PlFormula;
+using F = PlFormula;
+
+RegularCompositionResult ComposePlViaRegularRewriting(
+    const PlSws& goal, const std::vector<const PlSws*>& components) {
+  RegularCompositionResult result;
+  // Joint alphabet.
+  std::set<int> vars = goal.RelevantInputVars();
+  for (const PlSws* c : components) {
+    for (int v : c->RelevantInputVars()) vars.insert(v);
+  }
+  std::vector<int> relevant(vars.begin(), vars.end());
+  SWS_CHECK_LE(relevant.size(), 12u) << "alphabet too large";
+  for (size_t mask = 0; mask < (size_t{1} << relevant.size()); ++mask) {
+    PlSws::Symbol s;
+    for (size_t i = 0; i < relevant.size(); ++i) {
+      if ((mask >> i) & 1) s.insert(relevant[i]);
+    }
+    result.alphabet.push_back(std::move(s));
+  }
+  fsa::Nfa goal_nfa = PlSwsToNfa(goal, result.alphabet);
+  std::vector<fsa::Nfa> views;
+  for (const PlSws* c : components) {
+    views.push_back(PlSwsToNfa(*c, result.alphabet));
+  }
+  result.rewriting = rw::RewriteRegular(goal_nfa, views);
+  result.composable = result.rewriting.exact;
+  return result;
+}
+
+namespace {
+
+// Synthesis formula templates per successor count.
+std::vector<F> InternalTemplates(int k) {
+  if (k == 1) {
+    return {F::Var(0), F::Not(F::Var(0))};
+  }
+  if (k == 2) {
+    return {F::And(F::Var(0), F::Var(1)),
+            F::Or(F::Var(0), F::Var(1)),
+            F::And(F::Var(0), F::Not(F::Var(1))),
+            F::And(F::Not(F::Var(0)), F::Var(1)),
+            F::Or(F::Var(0), F::And(F::Not(F::Var(0)), F::Var(1)))};
+  }
+  // k >= 3: conjunction / disjunction only (keeps the space sane).
+  std::vector<F> vars;
+  for (int i = 0; i < k; ++i) vars.push_back(F::Var(i));
+  return {F::And(vars), F::Or(vars)};
+}
+
+std::vector<F> FinalTemplates() {
+  return {F::Var(PlMediator::kMsgVar),
+          F::Not(F::Var(PlMediator::kMsgVar))};
+}
+
+// Enumerates mediators: per state (in id order), either final (pick a
+// final template) or internal (pick 1..max_successors (target, component)
+// pairs with target > state, plus an internal template).
+class MediatorEnumerator {
+ public:
+  MediatorEnumerator(const core::PlSws& goal,
+                     const std::vector<const PlSws*>& components,
+                     const PlCompositionOptions& options)
+      : goal_(goal), components_(components), options_(options) {}
+
+  PlCompositionResult Run() {
+    for (int states = 1; states <= options_.max_states && !result_.found;
+         ++states) {
+      num_states_ = states;
+      BuildState(0);
+      if (result_.budget_exhausted) break;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  struct StatePlan {
+    bool is_final = false;
+    std::vector<MediatorTarget> successors;
+    F synthesis;
+  };
+
+  void BuildState(int q) {
+    if (result_.found || result_.budget_exhausted) return;
+    if (q == num_states_) {
+      TryCandidate();
+      return;
+    }
+    // Final state (any state except: the root of a >1-state mediator may
+    // also be final, that's allowed — a trivial mediator).
+    for (const F& f : FinalTemplates()) {
+      plan_[q] = StatePlan{true, {}, f};
+      BuildState(q + 1);
+      if (result_.found || result_.budget_exhausted) return;
+    }
+    if (q == num_states_ - 1) return;  // last state must be final
+    // Internal: successor lists.
+    std::vector<MediatorTarget> successors;
+    std::function<void(int)> pick = [&](int count) {
+      if (result_.found || result_.budget_exhausted) return;
+      if (!successors.empty()) {
+        for (const F& f :
+             InternalTemplates(static_cast<int>(successors.size()))) {
+          plan_[q] = StatePlan{false, successors, f};
+          BuildState(q + 1);
+          if (result_.found || result_.budget_exhausted) return;
+        }
+      }
+      if (count == options_.max_successors) return;
+      for (int target = q + 1; target < num_states_; ++target) {
+        if (target == 0) continue;
+        for (size_t c = 0; c < components_.size(); ++c) {
+          successors.push_back(MediatorTarget{target, c});
+          pick(count + 1);
+          successors.pop_back();
+          if (result_.found || result_.budget_exhausted) return;
+        }
+      }
+    };
+    pick(0);
+  }
+
+  void TryCandidate() {
+    if (result_.mediators_tried >= options_.max_candidates) {
+      result_.budget_exhausted = true;
+      return;
+    }
+    ++result_.mediators_tried;
+    PlMediator mediator;
+    for (int q = 0; q < num_states_; ++q) {
+      mediator.AddState("m" + std::to_string(q));
+    }
+    for (int q = 0; q < num_states_; ++q) {
+      mediator.SetTransition(q, plan_[q].successors);
+      mediator.SetSynthesis(q, plan_[q].synthesis);
+    }
+    if (mediator.Validate(components_).has_value()) return;
+    PrefixEquivalenceResult eq = MediatorGoalEquivalence(
+        mediator, components_, goal_, options_.fallback_length);
+    if (eq.equivalent) {
+      result_.found = true;
+      result_.mediator = std::move(mediator);
+      result_.verification_complete = eq.complete;
+    }
+  }
+
+  const core::PlSws& goal_;
+  const std::vector<const PlSws*>& components_;
+  const PlCompositionOptions& options_;
+  int num_states_ = 0;
+  std::map<int, StatePlan> plan_;
+  PlCompositionResult result_;
+};
+
+}  // namespace
+
+PlCompositionResult FindPlMediator(
+    const core::PlSws& goal, const std::vector<const PlSws*>& components,
+    const PlCompositionOptions& options) {
+  SWS_CHECK(!components.empty());
+  MediatorEnumerator enumerator(goal, components, options);
+  return enumerator.Run();
+}
+
+}  // namespace sws::med

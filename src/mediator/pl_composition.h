@@ -1,0 +1,81 @@
+#ifndef SWS_MEDIATOR_PL_COMPOSITION_H_
+#define SWS_MEDIATOR_PL_COMPOSITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/pl_analysis.h"
+#include "automata/nfa.h"
+#include "mediator/kprefix.h"
+#include "mediator/mediator.h"
+#include "rewriting/regular_rewriting.h"
+#include "sws/pl_sws.h"
+
+namespace sws::med {
+
+/// Composition synthesis for PL services (Theorems 5.1(4)/(5) and 5.3).
+///
+/// Two procedures are provided:
+///  * FindPlMediator — bounded mediator enumeration with exhaustive
+///    k-prefix equivalence checking. This realizes the decidable cases:
+///    a bound on the size of candidate mediators exists whenever the
+///    relevant languages are k-prefix recognizable (nonrecursive goal,
+///    Thm 5.1(4); or nonrecursive mediators/components, Thm 5.1(5) and
+///    MDT_b(PL), Thm 5.3(3)). The enumeration is exponential — exactly
+///    the expspace/pspace behavior the Table 2 benchmarks report.
+///  * ComposePlViaRegularRewriting — the MDT(∨) route of Theorem 5.3:
+///    component languages become views; the maximal regular rewriting of
+///    the goal language over those views is computed with [8]'s
+///    construction, and exactness tells whether a ∨-mediator skeleton
+///    exists at the language level.
+
+struct PlCompositionOptions {
+  /// Candidate mediators: chains/trees with up to this many states.
+  int max_states = 3;
+  /// Max successors (component invocations) per transition rule.
+  int max_successors = 2;
+  /// Cap on candidates tried.
+  uint64_t max_candidates = 200000;
+  /// Fallback word length for equivalence when no k-prefix bound exists.
+  size_t fallback_length = 4;
+};
+
+struct PlCompositionResult {
+  bool found = false;
+  PlMediator mediator;  // valid iff found; verified equivalent
+  uint64_t mediators_tried = 0;
+  bool budget_exhausted = false;
+  /// Whether the verifying equivalence checks were complete (k-prefix
+  /// bounds existed). When false, `found` means "equivalent on all words
+  /// up to the fallback length".
+  bool verification_complete = true;
+};
+
+PlCompositionResult FindPlMediator(
+    const core::PlSws& goal,
+    const std::vector<const core::PlSws*>& components,
+    const PlCompositionOptions& options = {});
+
+/// The SWS(PL, PL) → NFA translation lives in analysis/pl_analysis.h;
+/// re-exported here for composition callers.
+using analysis::PlSwsToNfa;
+
+struct RegularCompositionResult {
+  rw::RegularRewritingResult rewriting;
+  /// True iff the goal language decomposes exactly into concatenations
+  /// of component languages — the language-level criterion for a
+  /// ∨-mediator (Theorem 5.3(1)/(2); the run-level interplay — components
+  /// stop at their first acceptance — is verified separately by
+  /// MediatorGoalEquivalence on constructed mediators).
+  bool composable = false;
+  std::vector<core::PlSws::Symbol> alphabet;
+};
+
+RegularCompositionResult ComposePlViaRegularRewriting(
+    const core::PlSws& goal,
+    const std::vector<const core::PlSws*>& components);
+
+}  // namespace sws::med
+
+#endif  // SWS_MEDIATOR_PL_COMPOSITION_H_

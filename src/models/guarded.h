@@ -1,0 +1,83 @@
+#ifndef SWS_MODELS_GUARDED_H_
+#define SWS_MODELS_GUARDED_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/peer.h"
+
+namespace sws::models {
+
+/// Guarded automata in the style of the conversation-protocol model [15]
+/// and Colombo's guarded transitions [5] (Section 3): an automaton whose
+/// transitions fire when an FO *guard* over the local database and the
+/// current input message holds, emitting actions via an FO query. The
+/// paper observes these models embed into peers [13]; GuardedToPeer is
+/// that embedding, and composing with PeerToSws yields the SWS(FO, FO)
+/// characterization.
+///
+/// Semantics: subset (conversation) semantics — a configuration is the
+/// set of active states, initially {start} (encoded as "state relation
+/// empty"); at each step every enabled transition from an active state
+/// fires, the new configuration is the set of targets, and the actions of
+/// all fired transitions are emitted.
+struct GuardedTransition {
+  int from = 0;
+  int to = 0;
+  /// FO sentence over the database relations and the input relation
+  /// Peer::kPeerInput ("U"); no free variables.
+  logic::FoFormula guard;
+  /// FO query body over the same relations; free variables
+  /// 0..action_arity-1 are the emitted action tuple.
+  logic::FoFormula action;
+};
+
+class GuardedAutomaton {
+ public:
+  GuardedAutomaton(rel::Schema db_schema, size_t input_arity,
+                   size_t action_arity, int num_states, int start_state);
+
+  void AddTransition(GuardedTransition transition);
+
+  const rel::Schema& db_schema() const { return db_schema_; }
+  size_t input_arity() const { return input_arity_; }
+  size_t action_arity() const { return action_arity_; }
+  int num_states() const { return num_states_; }
+  int start_state() const { return start_state_; }
+  const std::vector<GuardedTransition>& transitions() const {
+    return transitions_;
+  }
+
+  std::optional<std::string> Validate() const;
+
+  /// Direct subset semantics, for differential testing against the peer
+  /// embedding.
+  struct StepResult {
+    std::set<int> next_states;
+    rel::Relation actions;
+  };
+  StepResult Step(const rel::Database& db, const std::set<int>& states,
+                  const rel::Relation& input) const;
+
+  /// The embedding into the peer model: the unary state relation holds
+  /// the active-state ids; an empty state relation denotes the initial
+  /// configuration {start}. Caveat of the encoding: if a configuration
+  /// ever becomes empty (no transition fired), the peer re-activates the
+  /// start state on the following step, whereas the direct semantics
+  /// stays empty — use automata that always keep one enabled transition
+  /// when exact step-by-step agreement matters.
+  Peer ToPeer() const;
+
+ private:
+  rel::Schema db_schema_;
+  size_t input_arity_;
+  size_t action_arity_;
+  int num_states_;
+  int start_state_;
+  std::vector<GuardedTransition> transitions_;
+};
+
+}  // namespace sws::models
+
+#endif  // SWS_MODELS_GUARDED_H_

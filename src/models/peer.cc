@@ -1,0 +1,252 @@
+#include "models/peer.h"
+
+#include "util/common.h"
+
+namespace sws::models {
+
+namespace {
+
+using core::ActRelation;
+using core::kInputRelation;
+using core::kMsgRelation;
+using core::RelQuery;
+using core::Sws;
+using core::TransitionTarget;
+using logic::FoFormula;
+using logic::FoQuery;
+using logic::Term;
+
+}  // namespace
+
+Peer::Peer(rel::Schema db_schema, size_t input_arity, size_t state_arity,
+           size_t action_arity)
+    : db_schema_(std::move(db_schema)),
+      input_arity_(input_arity),
+      state_arity_(state_arity),
+      action_arity_(action_arity),
+      state_rule_(FoFormula::False()),
+      action_rule_(FoFormula::False()) {}
+
+void Peer::set_state_rule(logic::FoFormula formula) {
+  state_rule_ = std::move(formula);
+}
+
+void Peer::set_action_rule(logic::FoFormula formula) {
+  action_rule_ = std::move(formula);
+}
+
+std::optional<std::string> Peer::Validate() const {
+  auto check_rule = [this](const FoFormula& rule, size_t arity,
+                           const char* what) -> std::optional<std::string> {
+    for (int v : rule.FreeVars()) {
+      if (v < 0 || v >= static_cast<int>(arity)) {
+        return std::string(what) + " rule has free variable X" +
+               std::to_string(v) + " outside head arity " +
+               std::to_string(arity);
+      }
+    }
+    for (const auto& [name, rel_arity] : rule.RelationArities()) {
+      if (name == kPeerState) {
+        if (rel_arity != state_arity_) return "S used with wrong arity";
+      } else if (name == kPeerInput) {
+        if (rel_arity != input_arity_) return "U used with wrong arity";
+      } else if (const auto* schema = db_schema_.Find(name);
+                 schema == nullptr || schema->arity() != rel_arity) {
+        return std::string(what) + " rule reads unknown relation " + name;
+      }
+    }
+    return std::nullopt;
+  };
+  if (auto err = check_rule(state_rule_, state_arity_, "state");
+      err.has_value()) {
+    return err;
+  }
+  return check_rule(action_rule_, action_arity_, "action");
+}
+
+Peer::StepResult Peer::Step(const rel::Database& db,
+                            const rel::Relation& state,
+                            const rel::Relation& input) const {
+  SWS_CHECK_EQ(state.arity(), state_arity_);
+  SWS_CHECK_EQ(input.arity(), input_arity_);
+  rel::Database env = db;
+  env.Set(kPeerState, state);
+  env.Set(kPeerInput, input);
+  auto head = [](size_t arity) {
+    std::vector<Term> terms;
+    for (size_t i = 0; i < arity; ++i) {
+      terms.push_back(Term::Var(static_cast<int>(i)));
+    }
+    return terms;
+  };
+  StepResult result{
+      FoQuery(head(state_arity_), state_rule_).Evaluate(env),
+      FoQuery(head(action_arity_), action_rule_).Evaluate(env)};
+  return result;
+}
+
+Peer::RunResult Peer::Run(const rel::Database& db,
+                          const std::vector<rel::Relation>& inputs) const {
+  RunResult result;
+  rel::Relation state(state_arity_);
+  rel::Relation actions(action_arity_);
+  for (const rel::Relation& input : inputs) {
+    StepResult step = Step(db, state, input);
+    state = std::move(step.next_state);
+    actions = actions.Union(step.actions);
+    result.states.push_back(state);
+    result.cumulative_actions.push_back(actions);
+  }
+  return result;
+}
+
+namespace {
+
+constexpr const char* kTagInput = "in";
+constexpr const char* kTagState = "st";
+constexpr const char* kTagPad = "pad";
+
+// Rewrites S(t̄) into Msg("st", t̄, 0..0) and U(t̄) into In("in", t̄, 0..0),
+// where p is the shared payload width of the tagged encoding.
+FoFormula RewriteRule(const FoFormula& f, size_t p) {
+  using Kind = FoFormula::Kind;
+  switch (f.kind()) {
+    case Kind::kAtom: {
+      if (f.relation() != Peer::kPeerState &&
+          f.relation() != Peer::kPeerInput) {
+        return FoFormula::MakeAtom(f.relation(), f.args());
+      }
+      bool is_state = f.relation() == Peer::kPeerState;
+      std::vector<Term> args;
+      args.push_back(Term::Str(is_state ? kTagState : kTagInput));
+      args.insert(args.end(), f.args().begin(), f.args().end());
+      while (args.size() < p + 1) args.push_back(Term::Int(0));
+      return FoFormula::MakeAtom(
+          is_state ? kMsgRelation : kInputRelation, std::move(args));
+    }
+    case Kind::kEq:
+      return FoFormula::Eq(f.args()[0], f.args()[1]);
+    case Kind::kNot:
+      return FoFormula::Not(RewriteRule(f.children()[0], p));
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<FoFormula> children;
+      for (const auto& c : f.children()) {
+        children.push_back(RewriteRule(c, p));
+      }
+      return f.kind() == Kind::kAnd ? FoFormula::And(std::move(children))
+                                    : FoFormula::Or(std::move(children));
+    }
+    case Kind::kExists:
+      return FoFormula::Exists(f.bound_var(),
+                               RewriteRule(f.children()[0], p));
+    case Kind::kForall:
+      return FoFormula::Forall(f.bound_var(),
+                               RewriteRule(f.children()[0], p));
+  }
+  return FoFormula::False();
+}
+
+}  // namespace
+
+core::Sws PeerToSws(const Peer& peer) {
+  SWS_CHECK(!peer.Validate().has_value()) << *peer.Validate();
+  const size_t p = std::max(peer.input_arity(), peer.state_arity());
+  const size_t rin = p + 1;
+
+  Sws sws(peer.db_schema(), rin, peer.action_arity());
+  int q0 = sws.AddState("q0");
+  int qs = sws.AddState("qs");
+  int qf = sws.AddState("qf");
+
+  // Variable conventions for the rule queries below: the payload head
+  // variables are 0..p-1; the tag variable is 1000; spare head variables
+  // 1001.. for padding positions.
+  const int tag_var = 1000;
+  auto register_head = [&]() {
+    std::vector<Term> head;
+    head.push_back(Term::Var(tag_var));
+    for (size_t i = 0; i < p; ++i) {
+      head.push_back(Term::Var(static_cast<int>(i)));
+    }
+    return head;
+  };
+  auto pin_payload_from = [&](size_t start) {
+    std::vector<FoFormula> pins;
+    for (size_t i = start; i < p; ++i) {
+      pins.push_back(
+          FoFormula::Eq(Term::Var(static_cast<int>(i)), Term::Int(0)));
+    }
+    return pins;
+  };
+
+  // φ: the next-state register. ("st", S_j-tuple, 0s) ∪ ("pad", 0s).
+  FoFormula state_branch = RewriteRule(peer.state_rule(), p);
+  {
+    std::vector<FoFormula> conj = {
+        FoFormula::Eq(Term::Var(tag_var), Term::Str(kTagState)),
+        state_branch};
+    auto pins = pin_payload_from(peer.state_arity());
+    conj.insert(conj.end(), pins.begin(), pins.end());
+    state_branch = FoFormula::And(std::move(conj));
+  }
+  FoFormula pad_branch;
+  {
+    std::vector<FoFormula> conj = {
+        FoFormula::Eq(Term::Var(tag_var), Term::Str(kTagPad))};
+    auto pins = pin_payload_from(0);
+    conj.insert(conj.end(), pins.begin(), pins.end());
+    pad_branch = FoFormula::And(std::move(conj));
+  }
+  FoQuery phi(register_head(), FoFormula::Or(state_branch, pad_branch));
+
+  // φ_f: carry the parent register (plus padding for liveness).
+  FoFormula carry = FoFormula::MakeAtom(kMsgRelation, register_head());
+  FoQuery phi_f(register_head(), FoFormula::Or(carry, pad_branch));
+
+  sws.SetTransition(q0, {TransitionTarget{qs, RelQuery::Fo(phi)},
+                         TransitionTarget{qf, RelQuery::Fo(phi_f)}});
+  sws.SetTransition(qs, {TransitionTarget{qs, RelQuery::Fo(phi)},
+                         TransitionTarget{qf, RelQuery::Fo(phi_f)}});
+
+  // ψ(q0) = ψ(qs) = Act1 ∪ Act2.
+  std::vector<Term> action_head;
+  for (size_t i = 0; i < peer.action_arity(); ++i) {
+    action_head.push_back(Term::Var(static_cast<int>(i)));
+  }
+  FoFormula union_acts = FoFormula::Or(
+      FoFormula::MakeAtom(ActRelation(1), action_head),
+      FoFormula::MakeAtom(ActRelation(2), action_head));
+  sws.SetSynthesis(q0, RelQuery::Fo(FoQuery(action_head, union_acts)));
+  sws.SetSynthesis(qs, RelQuery::Fo(FoQuery(action_head, union_acts)));
+
+  // ψ(qf): the action rule over the carried state and the current input.
+  sws.SetTransition(qf, {});
+  sws.SetSynthesis(
+      qf, RelQuery::Fo(FoQuery(action_head,
+                               RewriteRule(peer.action_rule(), p))));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  SWS_CHECK(sws.IsRecursive());
+  return sws;
+}
+
+rel::InputSequence EncodePeerInput(const Peer& peer,
+                                   const std::vector<rel::Relation>& inputs) {
+  const size_t p = std::max(peer.input_arity(), peer.state_arity());
+  rel::InputSequence out(p + 1);
+  for (const rel::Relation& input : inputs) {
+    SWS_CHECK_EQ(input.arity(), peer.input_arity());
+    rel::Relation message(p + 1);
+    for (const rel::Tuple& t : input) {
+      rel::Tuple tagged;
+      tagged.push_back(rel::Value::Str(kTagInput));
+      tagged.insert(tagged.end(), t.begin(), t.end());
+      while (tagged.size() < p + 1) tagged.push_back(rel::Value::Int(0));
+      message.Insert(std::move(tagged));
+    }
+    out.Append(std::move(message));
+  }
+  return out;
+}
+
+}  // namespace sws::models

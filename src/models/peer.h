@@ -1,0 +1,100 @@
+#ifndef SWS_MODELS_PEER_H_
+#define SWS_MODELS_PEER_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/fo.h"
+#include "relational/database.h"
+#include "relational/input_sequence.h"
+#include "sws/sws.h"
+
+namespace sws::models {
+
+/// A (single-)peer of the data-driven transducer model [13] (Section 3),
+/// in the simplified form the paper's embedding uses: a peer has
+///  * a fixed local database D over `db_schema`,
+///  * one state relation S (arity `state_arity`) accumulating run state,
+///  * one user-input relation U (arity `input_arity`),
+///  * one action relation A (arity `action_arity`) accumulating actions,
+/// and two FO rules evaluated at every step j on (D, S_{j-1}, I_j):
+///  * the state rule defines S_j   (head variables 0..state_arity-1),
+///  * the action rule defines the actions added to A at step j.
+/// Queues/output messages of the full model are subsumed by A here; the
+/// asynchronous-channel features of [13] are out of the paper's scope
+/// (its Related Work explicitly sets them aside).
+///
+/// Rules may read the database relations plus the logical relations
+/// kPeerState ("S") and kPeerInput ("U").
+class Peer {
+ public:
+  inline static const std::string kPeerState = "S";
+  inline static const std::string kPeerInput = "U";
+
+  Peer(rel::Schema db_schema, size_t input_arity, size_t state_arity,
+       size_t action_arity);
+
+  void set_state_rule(logic::FoFormula formula);
+  void set_action_rule(logic::FoFormula formula);
+
+  const rel::Schema& db_schema() const { return db_schema_; }
+  size_t input_arity() const { return input_arity_; }
+  size_t state_arity() const { return state_arity_; }
+  size_t action_arity() const { return action_arity_; }
+  const logic::FoFormula& state_rule() const { return state_rule_; }
+  const logic::FoFormula& action_rule() const { return action_rule_; }
+
+  /// Checks rule arities/free variables and relation usage.
+  std::optional<std::string> Validate() const;
+
+  struct StepResult {
+    rel::Relation next_state;
+    rel::Relation actions;  // actions generated at this step
+  };
+
+  /// One execution step on (D, S, I_j).
+  StepResult Step(const rel::Database& db, const rel::Relation& state,
+                  const rel::Relation& input) const;
+
+  struct RunResult {
+    std::vector<rel::Relation> states;              // S_1..S_n
+    std::vector<rel::Relation> cumulative_actions;  // A after each step
+  };
+
+  /// Runs the peer over an input sequence, from the empty initial state.
+  RunResult Run(const rel::Database& db,
+                const std::vector<rel::Relation>& inputs) const;
+
+ private:
+  rel::Schema db_schema_;
+  size_t input_arity_;
+  size_t state_arity_;
+  size_t action_arity_;
+  logic::FoFormula state_rule_;
+  logic::FoFormula action_rule_;
+};
+
+/// f_τ of Section 3: embeds the peer into SWS(FO, FO). The SWS carries
+/// the peer state through its message registers: R_in tuples are tagged
+/// ("in" for user input, "st" for carried state, "pad" for the liveness
+/// padding that keeps registers nonempty); R_out is the action schema.
+/// The service is recursive with states q0, qs, qf, exactly as in the
+/// paper: q0 → (qs, φ), (qf, φ_f); qs → (qs, φ), (qf, φ_f); ψ(qf) emits
+/// the step actions and ψ(q0), ψ(qs) take unions.
+///
+/// For every database D and inputs I_1..I_n, and every prefix length j,
+///   Run(PeerToSws(p), D, EncodePeerInput(I_1..I_j)).output
+///     == p.Run(D, I_1..I_n).cumulative_actions[j-1],
+/// which is the paper's f_I correspondence (the session list
+/// I_1,#,I_1,I_2,#,... replays prefixes; here we expose the per-prefix
+/// form directly and sessions come from sws/session.h).
+core::Sws PeerToSws(const Peer& peer);
+
+/// Encodes peer inputs for the translated service: message j carries the
+/// tagged tuples ("in", I_j-tuple, padding).
+rel::InputSequence EncodePeerInput(const Peer& peer,
+                                   const std::vector<rel::Relation>& inputs);
+
+}  // namespace sws::models
+
+#endif  // SWS_MODELS_PEER_H_

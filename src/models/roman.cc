@@ -1,0 +1,224 @@
+#include "models/roman.h"
+
+#include "logic/cq.h"
+#include "util/common.h"
+
+namespace sws::models {
+
+namespace {
+
+using core::ActRelation;
+using core::kInputRelation;
+using core::kMsgRelation;
+using core::PlSws;
+using core::RelQuery;
+using core::Sws;
+using core::TransitionTarget;
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::PlFormula;
+using logic::Term;
+using logic::UnionQuery;
+using F = PlFormula;
+
+// "The input message is exactly the singleton {v}" over num_vars
+// variables.
+F ExactSingleton(int v, int num_vars) {
+  std::vector<F> conjuncts;
+  for (int u = 0; u < num_vars; ++u) {
+    conjuncts.push_back(u == v ? F::Var(u) : F::Not(F::Var(u)));
+  }
+  return F::And(std::move(conjuncts));
+}
+
+}  // namespace
+
+core::PlSws RomanToPlSws(const fsa::Nfa& service_in) {
+  const fsa::Nfa service = service_in.RemoveEpsilons();
+  const int sigma = service.alphabet_size();
+  const int num_vars = sigma + 1;  // letters + '#'
+  const int hash_var = sigma;
+  PlSws sws(num_vars);
+  // A fresh root replicates the start states' rule (q0 must not appear in
+  // any rhs). The paper's translation keeps all states of ω plus q_f.
+  int root = sws.AddState("root");
+  std::vector<int> state_of(service.num_states());
+  for (int q = 0; q < service.num_states(); ++q) {
+    state_of[q] = sws.AddState("s" + std::to_string(q));
+  }
+  int qf = sws.AddState("qf");
+  sws.SetTransition(qf, {});
+  // Act(q_f) ← Msg(q_f): echo the register bit.
+  sws.SetSynthesis(qf, F::Var(sws.msg_var()));
+
+  // Builds the rule of one automaton state (or of the root over a set of
+  // start states): successors per outgoing transition, plus q_f when some
+  // covered state is final; the synthesis is the disjunction of all
+  // successor registers.
+  auto build_rule = [&](const std::set<int>& covered, int sws_state) {
+    std::vector<PlSws::Successor> successors;
+    for (int q : covered) {
+      for (int a = 0; a < sigma; ++a) {
+        for (int target : service.Successors(q, a)) {
+          successors.push_back(PlSws::Successor{
+              state_of[target], ExactSingleton(a, num_vars)});
+        }
+      }
+    }
+    bool any_final = false;
+    for (int q : covered) {
+      if (service.IsFinal(q)) any_final = true;
+    }
+    if (any_final) {
+      successors.push_back(
+          PlSws::Successor{qf, ExactSingleton(hash_var, num_vars)});
+    }
+    std::vector<F> acts;
+    for (size_t i = 0; i < successors.size(); ++i) {
+      acts.push_back(F::Var(static_cast<int>(i)));
+    }
+    sws.SetTransition(sws_state, std::move(successors));
+    sws.SetSynthesis(sws_state, F::Or(std::move(acts)));
+  };
+
+  for (int q = 0; q < service.num_states(); ++q) {
+    build_rule({q}, state_of[q]);
+  }
+  build_rule(service.initial(), root);
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+core::PlSws RomanToPlSws(const fsa::Dfa& service) {
+  return RomanToPlSws(service.ToNfa());
+}
+
+core::PlSws::Word EncodeRomanPlWord(const std::vector<int>& actions,
+                                    int alphabet_size) {
+  PlSws::Word word;
+  for (int a : actions) {
+    SWS_CHECK(a >= 0 && a < alphabet_size);
+    word.push_back({a});
+  }
+  word.push_back({alphabet_size});
+  return word;
+}
+
+namespace {
+
+// CQ "the current input message carries action `a`": selects (t, a) from
+// In. Used both as a guard register and as the emitted action.
+ConjunctiveQuery SelectAction(int64_t a) {
+  return ConjunctiveQuery(
+      {Term::Var(0), Term::Int(a)},
+      {Atom{kInputRelation, {Term::Var(0), Term::Int(a)}}});
+}
+
+}  // namespace
+
+core::Sws RomanToCqSws(const fsa::Nfa& service_in) {
+  const fsa::Nfa service = service_in.RemoveEpsilons();
+  const int sigma = service.alphabet_size();
+  const int64_t hash = sigma;  // delimiter action id
+  // R_in = R_out = (position, action).
+  Sws sws(rel::Schema{}, /*rin_arity=*/2, /*rout_arity=*/2);
+  int root = sws.AddState("root");
+  std::vector<int> state_of(service.num_states());
+  for (int q = 0; q < service.num_states(); ++q) {
+    state_of[q] = sws.AddState("s" + std::to_string(q));
+  }
+  // The echo leaf: outputs its register (one action or the delimiter).
+  int echo = sws.AddState("echo");
+  sws.SetTransition(echo, {});
+  sws.SetSynthesis(echo, RelQuery::Cq(ConjunctiveQuery(
+                             {Term::Var(0), Term::Var(1)},
+                             {Atom{kMsgRelation, {Term::Var(0), Term::Var(1)}}})));
+
+  // Rule of a state covering `covered` automaton states: per transition
+  // (a, q') a *main* child continuing at q' and an *emit* child holding
+  // the action; per covered final state a delimiter child. The synthesis
+  // is the union over transitions of
+  //   Act(main)  ∪  (Act(emit) guarded by Act(main) nonempty)
+  // plus Act(delimiter child) — so actions are only committed when the
+  // rest of the session is legal (deferred commitment).
+  auto build_rule = [&](const std::set<int>& covered, int sws_state) {
+    std::vector<TransitionTarget> successors;
+    UnionQuery psi(2);
+    auto add_transition = [&](int a, int target) {
+      size_t main_index = successors.size() + 1;   // 1-based Act index
+      size_t emit_index = successors.size() + 2;
+      successors.push_back(
+          TransitionTarget{state_of[target], RelQuery::Cq(SelectAction(a))});
+      successors.push_back(
+          TransitionTarget{echo, RelQuery::Cq(SelectAction(a))});
+      // Act(main) passes the rest of the session up.
+      psi.Add(ConjunctiveQuery(
+          {Term::Var(0), Term::Var(1)},
+          {Atom{ActRelation(main_index), {Term::Var(0), Term::Var(1)}}}));
+      // Act(emit) joins with an existential Act(main) witness.
+      psi.Add(ConjunctiveQuery(
+          {Term::Var(0), Term::Var(1)},
+          {Atom{ActRelation(emit_index), {Term::Var(0), Term::Var(1)}},
+           Atom{ActRelation(main_index), {Term::Var(2), Term::Var(3)}}}));
+    };
+    for (int q : covered) {
+      for (int a = 0; a < sigma; ++a) {
+        for (int target : service.Successors(q, a)) {
+          add_transition(a, target);
+        }
+      }
+    }
+    bool any_final = false;
+    for (int q : covered) {
+      if (service.IsFinal(q)) any_final = true;
+    }
+    if (any_final) {
+      size_t hash_index = successors.size() + 1;
+      successors.push_back(
+          TransitionTarget{echo, RelQuery::Cq(SelectAction(hash))});
+      psi.Add(ConjunctiveQuery(
+          {Term::Var(0), Term::Var(1)},
+          {Atom{ActRelation(hash_index), {Term::Var(0), Term::Var(1)}}}));
+    }
+    sws.SetTransition(sws_state, std::move(successors));
+    sws.SetSynthesis(sws_state, RelQuery::Ucq(std::move(psi)));
+  };
+
+  for (int q = 0; q < service.num_states(); ++q) {
+    build_rule({q}, state_of[q]);
+  }
+  build_rule(service.initial(), root);
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+rel::InputSequence EncodeRomanCqWord(const std::vector<int>& actions,
+                                     int alphabet_size) {
+  rel::InputSequence out(2);
+  for (size_t j = 0; j < actions.size(); ++j) {
+    SWS_CHECK(actions[j] >= 0 && actions[j] < alphabet_size);
+    rel::Relation m(2);
+    m.Insert({rel::Value::Int(static_cast<int64_t>(j + 1)),
+              rel::Value::Int(actions[j])});
+    out.Append(std::move(m));
+  }
+  rel::Relation hash(2);
+  hash.Insert({rel::Value::Int(static_cast<int64_t>(actions.size() + 1)),
+               rel::Value::Int(alphabet_size)});
+  out.Append(std::move(hash));
+  return out;
+}
+
+rel::Relation ExpectedRomanCqOutput(const std::vector<int>& actions,
+                                    int alphabet_size) {
+  rel::Relation out(2);
+  for (size_t j = 0; j < actions.size(); ++j) {
+    out.Insert({rel::Value::Int(static_cast<int64_t>(j + 1)),
+                rel::Value::Int(actions[j])});
+  }
+  out.Insert({rel::Value::Int(static_cast<int64_t>(actions.size() + 1)),
+              rel::Value::Int(alphabet_size)});
+  return out;
+}
+
+}  // namespace sws::models

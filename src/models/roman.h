@@ -1,0 +1,54 @@
+#ifndef SWS_MODELS_ROMAN_H_
+#define SWS_MODELS_ROMAN_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "relational/input_sequence.h"
+#include "sws/pl_sws.h"
+#include "sws/sws.h"
+
+namespace sws::models {
+
+/// The Roman model [6] (Section 3): a Web service is a DFA (an NFA for
+/// composite services) over a shared alphabet of *actions*; a string is a
+/// legal behavior iff it reaches a final state. This module provides the
+/// paper's two embeddings:
+///
+///  * f_τ into SWS(PL, PL): input variables 0..alphabet-1 encode the
+///    action letters (letter a is the singleton message {a}) and variable
+///    `alphabet` is the end-of-session delimiter '#'; f_I appends '#'.
+///    RomanToPlSws(ω).Run(EncodeRomanPlWord(w)) == ω accepts w.
+///
+///  * the SWS(CQ, UCQ) variant that *defers commitment*: it outputs the
+///    encoded input itself when the action string is legal and ∅
+///    otherwise, so the actions are committed only after the whole
+///    session is validated (the point of Example 1.1). Input messages are
+///    pairs (position, action-id); the delimiter is (n+1, alphabet).
+
+/// f_τ for PL. The automaton may be an NFA (composite service); epsilon
+/// transitions are eliminated internally.
+core::PlSws RomanToPlSws(const fsa::Nfa& service);
+core::PlSws RomanToPlSws(const fsa::Dfa& service);
+
+/// f_I for PL: one singleton message per letter plus the delimiter.
+core::PlSws::Word EncodeRomanPlWord(const std::vector<int>& actions,
+                                    int alphabet_size);
+
+/// The deferring SWS(CQ, UCQ) embedding.
+core::Sws RomanToCqSws(const fsa::Nfa& service);
+
+/// f_I for the CQ embedding: message j is {(j, a_j)}; the final message
+/// is {(n+1, alphabet_size)} (the delimiter).
+rel::InputSequence EncodeRomanCqWord(const std::vector<int>& actions,
+                                     int alphabet_size);
+
+/// The relation the CQ embedding outputs on acceptance: exactly the
+/// tuples of EncodeRomanCqWord packed into one relation.
+rel::Relation ExpectedRomanCqOutput(const std::vector<int>& actions,
+                                    int alphabet_size);
+
+}  // namespace sws::models
+
+#endif  // SWS_MODELS_ROMAN_H_

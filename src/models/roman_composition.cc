@@ -1,0 +1,179 @@
+#include "models/roman_composition.h"
+
+#include <deque>
+#include <set>
+
+#include "util/common.h"
+
+namespace sws::models {
+
+namespace {
+
+using JointState = std::vector<int>;
+using Pair = std::pair<int, JointState>;
+
+}  // namespace
+
+RomanCompositionResult ComposeRoman(const fsa::Dfa& target,
+                                    const std::vector<fsa::Dfa>& components) {
+  const int sigma = target.alphabet_size();
+  for (const auto& c : components) {
+    SWS_CHECK_EQ(c.alphabet_size(), sigma)
+        << "components must share the target's alphabet";
+  }
+  RomanCompositionResult result;
+
+  // DFAs here are complete by construction; the Roman model wants partial
+  // automata ("no transition" = illegal action). We treat a transition as
+  // absent when it leads to a dead state (no final state reachable), the
+  // usual completion convention.
+  auto dead_states = [](const fsa::Dfa& dfa) {
+    // Backward reachability from finals.
+    std::vector<std::set<int>> rev(dfa.num_states());
+    for (int s = 0; s < dfa.num_states(); ++s) {
+      for (int a = 0; a < dfa.alphabet_size(); ++a) {
+        rev[dfa.Transition(s, a)].insert(s);
+      }
+    }
+    std::vector<bool> alive(dfa.num_states(), false);
+    std::deque<int> queue;
+    for (int s = 0; s < dfa.num_states(); ++s) {
+      if (dfa.IsFinal(s)) {
+        alive[s] = true;
+        queue.push_back(s);
+      }
+    }
+    while (!queue.empty()) {
+      int s = queue.front();
+      queue.pop_front();
+      for (int p : rev[s]) {
+        if (!alive[p]) {
+          alive[p] = true;
+          queue.push_back(p);
+        }
+      }
+    }
+    return alive;
+  };
+  std::vector<bool> target_alive = dead_states(target);
+  std::vector<std::vector<bool>> comp_alive;
+  for (const auto& c : components) comp_alive.push_back(dead_states(c));
+
+  // Enumerate the reachable product space (forward, allowing any
+  // delegation), then run the greatest-fixpoint elimination on it.
+  std::set<Pair> space;
+  std::deque<Pair> queue;
+  JointState initial;
+  for (const auto& c : components) initial.push_back(c.start());
+  Pair start = {target.start(), initial};
+  space.insert(start);
+  queue.push_back(start);
+  while (!queue.empty()) {
+    auto [t, js] = queue.front();
+    queue.pop_front();
+    for (int a = 0; a < sigma; ++a) {
+      int t2 = target.Transition(t, a);
+      if (!target_alive[t2]) continue;
+      for (size_t i = 0; i < components.size(); ++i) {
+        int c2 = components[i].Transition(js[i], a);
+        if (!comp_alive[i][c2]) continue;
+        JointState js2 = js;
+        js2[i] = c2;
+        Pair next = {t2, js2};
+        if (space.insert(next).second) queue.push_back(next);
+      }
+    }
+  }
+  result.product_states_visited = space.size();
+
+  // Greatest fixpoint: start from all pairs satisfying the final-state
+  // condition; repeatedly remove pairs with an undelegatable action.
+  std::set<Pair> sim;
+  for (const Pair& p : space) {
+    bool ok = true;
+    if (target.IsFinal(p.first)) {
+      for (size_t i = 0; i < components.size(); ++i) {
+        if (!components[i].IsFinal(p.second[i])) ok = false;
+      }
+    }
+    if (ok) sim.insert(p);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.fixpoint_iterations;
+    for (auto it = sim.begin(); it != sim.end();) {
+      const auto& [t, js] = *it;
+      bool good = true;
+      for (int a = 0; a < sigma && good; ++a) {
+        int t2 = target.Transition(t, a);
+        if (!target_alive[t2]) continue;  // action illegal in the target
+        bool delegatable = false;
+        for (size_t i = 0; i < components.size() && !delegatable; ++i) {
+          int c2 = components[i].Transition(js[i], a);
+          if (!comp_alive[i][c2]) continue;
+          JointState js2 = js;
+          js2[i] = c2;
+          delegatable = sim.count({t2, js2}) > 0;
+        }
+        if (!delegatable) good = false;
+      }
+      if (!good) {
+        it = sim.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  result.composable = sim.count(start) > 0;
+  if (!result.composable) return result;
+
+  // Extract the orchestrator from the simulation.
+  for (const Pair& p : sim) {
+    const auto& [t, js] = p;
+    for (int a = 0; a < sigma; ++a) {
+      int t2 = target.Transition(t, a);
+      if (!target_alive[t2]) continue;
+      for (size_t i = 0; i < components.size(); ++i) {
+        int c2 = components[i].Transition(js[i], a);
+        if (!comp_alive[i][c2]) continue;
+        JointState js2 = js;
+        js2[i] = c2;
+        if (sim.count({t2, js2}) > 0) {
+          result.delegation[{t, js, a}] = {static_cast<int>(i), t2, c2};
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool ExecuteOrchestration(const fsa::Dfa& target,
+                          const std::vector<fsa::Dfa>& components,
+                          const RomanCompositionResult& result,
+                          const std::vector<int>& word) {
+  int t = target.start();
+  JointState js;
+  for (const auto& c : components) js.push_back(c.start());
+  for (int a : word) {
+    auto it = result.delegation.find({t, js, a});
+    if (it == result.delegation.end()) return false;
+    auto [i, t2, c2] = it->second;
+    // Check the delegated move is a real transition of the component.
+    if (components[i].Transition(js[i], a) != c2) return false;
+    if (target.Transition(t, a) != t2) return false;
+    t = t2;
+    js[static_cast<size_t>(i)] = c2;
+  }
+  if (!target.Accepts(word)) return true;  // nothing more to check
+  if (!target.IsFinal(t)) return false;
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (!components[i].IsFinal(js[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace sws::models

@@ -1,0 +1,56 @@
+#ifndef SWS_MODELS_ROMAN_COMPOSITION_H_
+#define SWS_MODELS_ROMAN_COMPOSITION_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.h"
+
+namespace sws::models {
+
+/// Composition synthesis in the Roman model [6, 24] — implemented for
+/// contrast with SWS composition (Section 5 closes with exactly this
+/// comparison: the Roman model interleaves component executions, SWS
+/// composition runs components to completion, and the complexities
+/// differ: exptime-complete vs 2expspace-hard).
+///
+/// Problem: given a target DFA T and component DFAs C_1..C_m over one
+/// action alphabet, is there an orchestrator that realizes every legal
+/// behavior of T by delegating each action to some component, moving only
+/// that component? Realizability is the existence of a *simulation*
+/// relation S ⊆ Q_T × (Q_1 × ... × Q_m) with
+///   * (t, c̄) ∈ S and t final  ⇒  every c_i final (the session may stop),
+///   * for every a with t -a-> t' there is a component i and its move
+///     c_i -a-> c'_i with (t', c̄[i := c'_i]) ∈ S,
+/// containing the initial pair. We compute the greatest such relation by
+/// fixpoint over the (exponential) product space — the exptime procedure.
+
+struct RomanCompositionResult {
+  bool composable = false;
+  /// Orchestrator: (target state, joint component state, action) →
+  /// (component index, target successor, component successor). Present
+  /// for every reachable simulation pair and action of T.
+  std::map<std::tuple<int, std::vector<int>, int>, std::tuple<int, int, int>>
+      delegation;
+  uint64_t product_states_visited = 0;
+  uint64_t fixpoint_iterations = 0;
+};
+
+RomanCompositionResult ComposeRoman(const fsa::Dfa& target,
+                                    const std::vector<fsa::Dfa>& components);
+
+/// Replays a word of the target through the orchestrator, checking that
+/// every step is a legal delegated move and that the final joint state is
+/// accepting everywhere when the word is accepted by the target.
+/// Returns false if the orchestrator gets stuck (only possible if the
+/// word is not in L(target) or the composition result was negative).
+bool ExecuteOrchestration(const fsa::Dfa& target,
+                          const std::vector<fsa::Dfa>& components,
+                          const RomanCompositionResult& result,
+                          const std::vector<int>& word);
+
+}  // namespace sws::models
+
+#endif  // SWS_MODELS_ROMAN_COMPOSITION_H_

@@ -1,0 +1,147 @@
+#include "models/sirup_sws.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace sws::models {
+
+namespace {
+using core::ActRelation;
+using core::kMsgRelation;
+using core::RelQuery;
+using core::Sws;
+using core::TransitionTarget;
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Sirup;
+using logic::Term;
+using logic::UnionQuery;
+}  // namespace
+
+size_t SirupRegisterWidth(const Sirup& sirup) {
+  size_t m = sirup.rule.head.args.size();
+  for (const Atom& a : sirup.rule.body) {
+    m = std::max(m, a.args.size());
+  }
+  return m;
+}
+
+rel::InputSequence SirupFuel(const Sirup& sirup, size_t n) {
+  size_t m = SirupRegisterWidth(sirup);
+  rel::InputSequence fuel(m);
+  for (size_t i = 0; i < n; ++i) fuel.Append(rel::Relation(m));
+  return fuel;
+}
+
+size_t SirupSufficientFuel(const Sirup& sirup, const rel::Database& edb) {
+  // Derivation height is bounded by the naive fixpoint's round count.
+  auto fixpoint = sirup.AsProgram().Evaluate(edb);
+  SWS_CHECK(fixpoint.converged);
+  return fixpoint.iterations + 3;
+}
+
+rel::Relation PadSirupFacts(const Sirup& sirup,
+                            const rel::Relation& p_facts) {
+  size_t m = SirupRegisterWidth(sirup);
+  rel::Relation out(m);
+  for (const rel::Tuple& t : p_facts) {
+    rel::Tuple padded = t;
+    while (padded.size() < m) padded.push_back(rel::Value::Int(0));
+    out.Insert(std::move(padded));
+  }
+  return out;
+}
+
+core::Sws SirupToSws(const Sirup& sirup) {
+  SWS_CHECK(!sirup.Validate().has_value()) << *sirup.Validate();
+  const std::string& p_name = sirup.rule.head.relation;
+  const size_t m = SirupRegisterWidth(sirup);
+
+  // EDB schema: the rule-body relations other than P.
+  rel::Schema schema;
+  for (const Atom& a : sirup.rule.body) {
+    if (a.relation != p_name && !schema.Contains(a.relation)) {
+      std::vector<std::string> attrs;
+      for (size_t i = 0; i < a.args.size(); ++i) {
+        attrs.push_back("a" + std::to_string(i));
+      }
+      schema.Add(rel::RelationSchema(a.relation, attrs));
+    }
+  }
+
+  Sws sws(schema, /*rin_arity=*/m, /*rout_arity=*/m);
+  int root = sws.AddState("q0");
+  int p = sws.AddState("p");
+  int echo = sws.AddState("echo");
+
+  auto v = [](int i) { return Term::Var(i); };
+  auto pad_args = [&](std::vector<Term> args) {
+    while (args.size() < m) args.push_back(Term::Int(0));
+    return args;
+  };
+  std::vector<Term> full_head;
+  for (size_t i = 0; i < m; ++i) full_head.push_back(v(static_cast<int>(i)));
+
+  // echo: Act ← Msg.
+  sws.SetTransition(echo, {});
+  sws.SetSynthesis(echo, RelQuery::Cq(ConjunctiveQuery(
+                             full_head, {Atom{kMsgRelation, full_head}})));
+
+  // Liveness dummy: a constant register so chains never die.
+  ConjunctiveQuery alive(pad_args({}), {});
+  // The base fact, padded, routed through an echo child.
+  ConjunctiveQuery base(pad_args(sirup.rule.head.args.size() > 0
+                                     ? sirup.ground_fact.args
+                                     : std::vector<Term>{}),
+                        {});
+
+  // p's successors: [0] the base-fact echo; then one child per rule-body
+  // atom — P-atoms recurse into p (liveness register), EDB atoms echo
+  // the padded relation contents.
+  std::vector<TransitionTarget> successors;
+  successors.push_back(TransitionTarget{echo, RelQuery::Cq(base)});
+  std::vector<size_t> child_of_atom;  // 1-based Act indices per body atom
+  for (const Atom& a : sirup.rule.body) {
+    if (a.relation == p_name) {
+      successors.push_back(TransitionTarget{p, RelQuery::Cq(alive)});
+    } else {
+      std::vector<Term> fetch_head;
+      std::vector<Term> fetch_args;
+      for (size_t i = 0; i < a.args.size(); ++i) {
+        fetch_head.push_back(v(static_cast<int>(i)));
+        fetch_args.push_back(v(static_cast<int>(i)));
+      }
+      successors.push_back(TransitionTarget{
+          echo, RelQuery::Cq(ConjunctiveQuery(
+                    pad_args(fetch_head), {Atom{a.relation, fetch_args}}))});
+    }
+    child_of_atom.push_back(successors.size());
+  }
+  size_t num_children = successors.size();
+  sws.SetTransition(p, std::move(successors));
+
+  // ψ(p): the rule join over child registers, union the base fact.
+  UnionQuery psi(m);
+  {
+    ConjunctiveQuery rule_disjunct(pad_args(sirup.rule.head.args), {});
+    for (size_t i = 0; i < sirup.rule.body.size(); ++i) {
+      rule_disjunct.mutable_body()->push_back(
+          Atom{ActRelation(child_of_atom[i]),
+               pad_args(sirup.rule.body[i].args)});
+    }
+    psi.Add(std::move(rule_disjunct));
+    psi.Add(ConjunctiveQuery(full_head, {Atom{ActRelation(1), full_head}}));
+  }
+  (void)num_children;
+  sws.SetSynthesis(p, RelQuery::Ucq(std::move(psi)));
+
+  // Root: a single p-child; copy its register... its action register.
+  sws.SetTransition(root, {TransitionTarget{p, RelQuery::Cq(alive)}});
+  sws.SetSynthesis(root, RelQuery::Cq(ConjunctiveQuery(
+                             full_head, {Atom{ActRelation(1), full_head}})));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+}  // namespace sws::models

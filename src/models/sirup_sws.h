@@ -1,0 +1,53 @@
+#ifndef SWS_MODELS_SIRUP_SWS_H_
+#define SWS_MODELS_SIRUP_SWS_H_
+
+#include "logic/datalog.h"
+#include "relational/input_sequence.h"
+#include "sws/sws.h"
+
+namespace sws::models {
+
+/// The expressiveness artifact behind the Theorem 4.1(2) lower bound:
+/// non-emptiness of SWS(CQ, UCQ) is exptime-hard "by reduction from the
+/// problem for deciding whether a single ground fact, single rule
+/// datalog program (sirup) accepts a goal [19]". This module embeds a
+/// sirup into a recursive SWS(CQ, UCQ):
+///
+///  * one recursive state `p` stands for the IDB predicate; its action
+///    register accumulates nothing — derivations are built by the
+///    *synthesis* rules flowing upward: ψ(p) is the UCQ
+///      (rule head  :-  Act over the P-children and EDB-children)
+///      ∪ (the ground fact via a base child),
+///    so Act(p) at a node with h remaining input levels is exactly the
+///    set of P-facts with derivation trees of height ≤ ~h;
+///  * EDB atoms of the rule body are fetched by echo children whose
+///    transition queries read the local database (internal synthesis may
+///    not — Definition 2.1 — so the data is routed through registers);
+///  * the input sequence is pure fuel: longer inputs admit deeper
+///    derivations, the recursive-SWS idiom of Section 5.2.
+///
+/// For every EDB database D and sufficient fuel,
+///   Run(SirupToSws(s), D, SirupFuel(n)).output
+///     == the sirup's fixpoint P-relation (padded to the register width).
+core::Sws SirupToSws(const logic::Sirup& sirup);
+
+/// Fuel input for the embedding (empty messages of the register width).
+rel::InputSequence SirupFuel(const logic::Sirup& sirup, size_t n);
+
+/// A fuel length guaranteeing convergence on `edb`: every fixpoint round
+/// adds at least one fact, so #possible-facts + 2 levels suffice.
+size_t SirupSufficientFuel(const logic::Sirup& sirup,
+                           const rel::Database& edb);
+
+/// The register width m (max arity across the IDB predicate and the
+/// rule's EDB atoms); outputs are P-facts padded with Int(0) to width m.
+size_t SirupRegisterWidth(const logic::Sirup& sirup);
+
+/// Pads the fixpoint P-relation to the register width, for comparing
+/// against the embedding's output.
+rel::Relation PadSirupFacts(const logic::Sirup& sirup,
+                            const rel::Relation& p_facts);
+
+}  // namespace sws::models
+
+#endif  // SWS_MODELS_SIRUP_SWS_H_

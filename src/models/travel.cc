@@ -1,0 +1,261 @@
+#include "models/travel.h"
+
+#include "logic/cq.h"
+#include "logic/fo.h"
+#include "logic/ucq.h"
+#include "util/common.h"
+
+namespace sws::models {
+
+namespace {
+
+using core::ActRelation;
+using core::kInputRelation;
+using core::kMsgRelation;
+using core::RelQuery;
+using core::Sws;
+using core::TransitionTarget;
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::FoFormula;
+using logic::FoQuery;
+using logic::Term;
+using logic::UnionQuery;
+
+rel::Schema TravelSchema() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Ra", {"dest", "price"}));
+  schema.Add(rel::RelationSchema("Rh", {"dest", "price"}));
+  schema.Add(rel::RelationSchema("Rt", {"dest", "price"}));
+  schema.Add(rel::RelationSchema("Rc", {"dest", "price"}));
+  return schema;
+}
+
+constexpr size_t kRinArity = 3;   // (tag, dest, budget)
+constexpr size_t kRoutArity = 4;  // (x_a, x_h, x_t, x_c)
+
+// φ_tag(t, x, y) = R_in(t, x, y) ∧ t = tag — selects the user's
+// requirements for one component (Example 2.1).
+RelQuery SelectTag(const char* tag) {
+  return RelQuery::Cq(ConjunctiveQuery(
+      {Term::Str(tag), Term::Var(0), Term::Var(1)},
+      {Atom{kInputRelation, {Term::Str(tag), Term::Var(0), Term::Var(1)}}}));
+}
+
+// Leaf synthesis: join the register's requirement with the catalog,
+// placing the booked price in the component's output slot (0 elsewhere).
+RelQuery LeafSynthesis(const char* tag, const std::string& catalog,
+                       size_t slot) {
+  std::vector<Term> head(kRoutArity, Term::Int(0));
+  head[slot] = Term::Var(1);  // the matched price
+  return RelQuery::Cq(ConjunctiveQuery(
+      std::move(head),
+      {Atom{kMsgRelation, {Term::Str(tag), Term::Var(0), Term::Var(2)}},
+       Atom{catalog, {Term::Var(0), Term::Var(1)}}}));
+}
+
+// ψ0 of Example 2.1 (FO): conjunction of airfare, hotel, and the
+// deterministic ticket-over-car preference X3 = Y1 ∨ (¬Y1 ∧ Y2).
+RelQuery RootSynthesisFo() {
+  auto v = [](int i) { return Term::Var(i); };
+  // Head variables 0..3 = (x_a, x_h, x_t, x_c); 4..7 are local.
+  FoFormula airfare = FoFormula::Exists(
+      {4, 5, 6}, FoFormula::MakeAtom(ActRelation(1), {v(0), v(4), v(5), v(6)}));
+  FoFormula hotel = FoFormula::Exists(
+      {4, 5, 6}, FoFormula::MakeAtom(ActRelation(2), {v(4), v(1), v(5), v(6)}));
+  FoFormula tickets = FoFormula::Exists(
+      {4, 5}, FoFormula::MakeAtom(ActRelation(3), {v(4), v(5), v(2), v(3)}));
+  FoFormula any_ticket = FoFormula::Exists(
+      {4, 5, 6, 7},
+      FoFormula::MakeAtom(ActRelation(3), {v(4), v(5), v(6), v(7)}));
+  FoFormula car = FoFormula::Exists(
+      {4, 5}, FoFormula::MakeAtom(ActRelation(4), {v(4), v(5), v(2), v(3)}));
+  FoFormula local =
+      FoFormula::Or(tickets,
+                    FoFormula::And(FoFormula::Not(any_ticket), car));
+  return RelQuery::Fo(
+      FoQuery({v(0), v(1), v(2), v(3)},
+              FoFormula::And({airfare, hotel, local})));
+}
+
+// The UCQ variant: (airfare ∧ hotel ∧ tickets) ∪ (airfare ∧ hotel ∧ car).
+RelQuery RootSynthesisUcq() {
+  auto v = [](int i) { return Term::Var(i); };
+  auto disjunct = [&](size_t local_act) {
+    return ConjunctiveQuery(
+        {v(0), v(1), v(2), v(3)},
+        {Atom{ActRelation(1), {v(0), v(4), v(5), v(6)}},
+         Atom{ActRelation(2), {v(7), v(1), v(8), v(9)}},
+         Atom{ActRelation(local_act), {v(10), v(11), v(2), v(3)}}});
+  };
+  UnionQuery psi(kRoutArity);
+  psi.Add(disjunct(3));
+  psi.Add(disjunct(4));
+  return RelQuery::Ucq(std::move(psi));
+}
+
+void AddLeaf(Sws* sws, int state, const char* tag, const std::string& catalog,
+             size_t slot) {
+  sws->SetTransition(state, {});
+  sws->SetSynthesis(state, LeafSynthesis(tag, catalog, slot));
+}
+
+}  // namespace
+
+TravelService MakeTravelService() {
+  Sws sws(TravelSchema(), kRinArity, kRoutArity);
+  int q0 = sws.AddState("q0");
+  int qa = sws.AddState("qa");
+  int qh = sws.AddState("qh");
+  int qt = sws.AddState("qt");
+  int qc = sws.AddState("qc");
+  sws.SetTransition(q0, {TransitionTarget{qa, SelectTag(kTagAirfare)},
+                         TransitionTarget{qh, SelectTag(kTagHotel)},
+                         TransitionTarget{qt, SelectTag(kTagTicket)},
+                         TransitionTarget{qc, SelectTag(kTagCar)}});
+  sws.SetSynthesis(q0, RootSynthesisFo());
+  AddLeaf(&sws, qa, kTagAirfare, "Ra", 0);
+  AddLeaf(&sws, qh, kTagHotel, "Rh", 1);
+  AddLeaf(&sws, qt, kTagTicket, "Rt", 2);
+  AddLeaf(&sws, qc, kTagCar, "Rc", 3);
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return TravelService{std::move(sws)};
+}
+
+TravelService MakeTravelServiceCqUcq() {
+  TravelService service = MakeTravelService();
+  service.sws.SetSynthesis(0, RootSynthesisUcq());
+  SWS_CHECK(!service.sws.Validate().has_value()) << *service.sws.Validate();
+  return service;
+}
+
+TravelService MakeTravelServiceRecursive() {
+  Sws sws(TravelSchema(), kRinArity, kRoutArity);
+  int q0 = sws.AddState("q0");
+  int qa = sws.AddState("qa");      // the recursive inquiry chain
+  int qf = sws.AddState("qf");      // per-inquiry airfare lookup
+  int qh = sws.AddState("qh");
+  int qt = sws.AddState("qt");
+  int qc = sws.AddState("qc");
+  sws.SetTransition(q0, {TransitionTarget{qa, SelectTag(kTagAirfare)},
+                         TransitionTarget{qh, SelectTag(kTagHotel)},
+                         TransitionTarget{qt, SelectTag(kTagTicket)},
+                         TransitionTarget{qc, SelectTag(kTagCar)}});
+  sws.SetSynthesis(q0, RootSynthesisFo());
+  // q_a → (q_a, φ_a), (q_f, φ_a); ψ'_a = Act1 ∨ (¬∃ Act1 ∧ Act2):
+  // the latest successful inquiry wins (Example 2.1, τ2).
+  sws.SetTransition(qa, {TransitionTarget{qa, SelectTag(kTagAirfare)},
+                         TransitionTarget{qf, SelectTag(kTagAirfare)}});
+  {
+    auto v = [](int i) { return Term::Var(i); };
+    FoFormula deeper =
+        FoFormula::MakeAtom(ActRelation(1), {v(0), v(1), v(2), v(3)});
+    FoFormula any_deeper = FoFormula::Exists(
+        {4, 5, 6, 7},
+        FoFormula::MakeAtom(ActRelation(1), {v(4), v(5), v(6), v(7)}));
+    FoFormula here =
+        FoFormula::MakeAtom(ActRelation(2), {v(0), v(1), v(2), v(3)});
+    sws.SetSynthesis(
+        qa, RelQuery::Fo(FoQuery(
+                {v(0), v(1), v(2), v(3)},
+                FoFormula::Or(deeper,
+                              FoFormula::And(FoFormula::Not(any_deeper),
+                                             here)))));
+  }
+  AddLeaf(&sws, qf, kTagAirfare, "Ra", 0);
+  AddLeaf(&sws, qh, kTagHotel, "Rh", 1);
+  AddLeaf(&sws, qt, kTagTicket, "Rt", 2);
+  AddLeaf(&sws, qc, kTagCar, "Rc", 3);
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  SWS_CHECK(sws.IsRecursive());
+  return TravelService{std::move(sws)};
+}
+
+namespace {
+
+// A depth-2 component: root spawns the listed (tag, catalog, slot) legs
+// and joins their outputs into one R_out tuple via a CQ (or unions them
+// when `union_legs` is true and arities allow). For τ_a a single leg is
+// simply copied up.
+TravelService MakeComponent(
+    const std::vector<std::tuple<const char*, std::string, size_t>>& legs) {
+  Sws sws(TravelSchema(), kRinArity, kRoutArity);
+  int q0 = sws.AddState("q0");
+  std::vector<TransitionTarget> successors;
+  for (size_t i = 0; i < legs.size(); ++i) {
+    const auto& [tag, catalog, slot] = legs[i];
+    int leaf = sws.AddState(std::string("leg_") + tag);
+    successors.push_back(TransitionTarget{leaf, SelectTag(tag)});
+    AddLeaf(&sws, leaf, tag, catalog, slot);
+  }
+  sws.SetTransition(q0, std::move(successors));
+  // Root synthesis: join the legs — each leg fills its own slot and 0s
+  // elsewhere, so the joined tuple takes each slot from its leg.
+  auto v = [](int i) { return Term::Var(i); };
+  std::vector<Term> head = {v(0), v(1), v(2), v(3)};
+  std::vector<Atom> body;
+  for (size_t i = 0; i < legs.size(); ++i) {
+    const size_t slot = std::get<2>(legs[i]);
+    std::vector<Term> args;
+    for (size_t a = 0; a < kRoutArity; ++a) {
+      args.push_back(a == slot ? v(static_cast<int>(a))
+                               : Term::Int(0));
+    }
+    // Non-slot head positions default to 0 via the head terms below.
+    body.push_back(Atom{ActRelation(i + 1), std::move(args)});
+  }
+  // Head positions not covered by any leg are the constant 0.
+  for (size_t a = 0; a < kRoutArity; ++a) {
+    bool covered = false;
+    for (const auto& [tag, catalog, slot] : legs) {
+      if (slot == a) covered = true;
+    }
+    if (!covered) head[a] = Term::Int(0);
+  }
+  sws.SetSynthesis(q0, RelQuery::Cq(ConjunctiveQuery(head, body)));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return TravelService{std::move(sws)};
+}
+
+}  // namespace
+
+TravelService MakeTravelComponentAirfare() {
+  return MakeComponent({{kTagAirfare, "Ra", 0}});
+}
+
+TravelService MakeTravelComponentHotelTickets() {
+  return MakeComponent({{kTagHotel, "Rh", 1}, {kTagTicket, "Rt", 2}});
+}
+
+TravelService MakeTravelComponentHotelCar() {
+  return MakeComponent({{kTagHotel, "Rh", 1}, {kTagCar, "Rc", 3}});
+}
+
+rel::Database MakeTravelDatabase() {
+  rel::Database db(TravelSchema());
+  auto add = [&db](const std::string& rel, const std::string& dest,
+                   int64_t price) {
+    db.GetMutable(rel)->Insert({rel::Value::Str(dest),
+                                rel::Value::Int(price)});
+  };
+  add("Ra", "orlando", 300);
+  add("Ra", "paris", 450);
+  add("Ra", "tokyo", 900);
+  add("Rh", "orlando", 120);
+  add("Rh", "paris", 200);
+  add("Rt", "orlando", 80);   // tickets only in Orlando
+  add("Rc", "orlando", 45);
+  add("Rc", "paris", 60);
+  return db;
+}
+
+rel::Relation MakeTravelRequest(const std::string& dest, int64_t budget) {
+  rel::Relation message(kRinArity);
+  for (const char* tag : {kTagAirfare, kTagHotel, kTagTicket, kTagCar}) {
+    message.Insert({rel::Value::Str(tag), rel::Value::Str(dest),
+                    rel::Value::Int(budget)});
+  }
+  return message;
+}
+
+}  // namespace sws::models

@@ -1,0 +1,80 @@
+#ifndef SWS_MODELS_TRAVEL_H_
+#define SWS_MODELS_TRAVEL_H_
+
+#include <string>
+
+#include "relational/database.h"
+#include "relational/input_sequence.h"
+#include "sws/sws.h"
+
+namespace sws::models {
+
+/// The paper's running example (Figure 1, Examples 1.1, 2.1, 2.2): a
+/// service for booking travel packages to Disney World Orlando. A
+/// customer commits only if (1) a reasonable airfare, (2) a nice hotel,
+/// and (3) either (a) Disney tickets or (b) a rental car are all found —
+/// with a *deterministic* preference for tickets over cars.
+///
+/// Schemas:
+///  * R_in(tag, dest, budget) — user requirements; tag is one of the
+///    string constants "a" (airfare), "h" (hotel), "t" (ticket),
+///    "c" (car).
+///  * R = { Ra(dest, price), Rh(dest, price), Rt(dest, price),
+///          Rc(dest, price) } — offer catalogs.
+///  * R_out(x_a, x_h, x_t, x_c) — the booked prices; unused components
+///    are 0 in the leaf registers.
+///
+/// States: q0 → (qa, φa), (qh, φh), (qt, φt), (qc, φc) with φ_tag
+/// selecting the user's tag-requirements from the input, leaf syntheses
+/// joining the requirement with the matching catalog, and the root
+/// synthesis ψ0 enforcing the conjunction and the ticket-over-car
+/// preference.
+struct TravelService {
+  core::Sws sws;
+};
+
+/// τ1 of Example 2.1: nonrecursive; transition rules and leaf syntheses
+/// in CQ, root synthesis in FO (the deterministic X3 = Y1 ∨ (¬Y1 ∧ Y2)
+/// preference needs negation) — the paper places it in SWS(FO, FO).
+TravelService MakeTravelService();
+
+/// The CQ/UCQ variant (Section 3 notes the Roman-style services can defer
+/// commitment in SWS(CQ, UCQ)): same shape, but the root synthesis is the
+/// UCQ  (airfare ∧ hotel ∧ tickets) ∪ (airfare ∧ hotel ∧ car) — union
+/// instead of deterministic preference.
+TravelService MakeTravelServiceCqUcq();
+
+/// τ2 of Example 2.1: the recursive extension where repeated airfare
+/// inquiries are accepted and the *latest* successful inquiry wins. The
+/// airfare leg becomes a chain state q_loop → (q_loop, φa), (q_f, φa)
+/// with synthesis Act1 ∨ (¬∃ Act1 ∧ Act2).
+TravelService MakeTravelServiceRecursive();
+
+/// A sample catalog database: Orlando/Paris offers across all four
+/// relations, with some gaps to exercise the conjunctive failure cases.
+rel::Database MakeTravelDatabase();
+
+/// A single user request message asking for all four components for
+/// `dest` with the given budget (the budget is carried but not used for
+/// filtering by the CQ rules).
+rel::Relation MakeTravelRequest(const std::string& dest, int64_t budget);
+
+/// Example 5.1's component services, sharing the travel schemas:
+///  * τ_a  — flight reservations only,
+///  * τ_ht — hotel + Disney tickets,
+///  * τ_hc — hotel + rental car.
+/// Each is a depth-2 SWSnr service whose root synthesis is a single CQ
+/// (so they are CQ-expressible, the Corollary 5.2 class).
+TravelService MakeTravelComponentAirfare();
+TravelService MakeTravelComponentHotelTickets();
+TravelService MakeTravelComponentHotelCar();
+
+/// The input-tuple tag constants.
+inline constexpr const char* kTagAirfare = "a";
+inline constexpr const char* kTagHotel = "h";
+inline constexpr const char* kTagTicket = "t";
+inline constexpr const char* kTagCar = "c";
+
+}  // namespace sws::models
+
+#endif  // SWS_MODELS_TRAVEL_H_

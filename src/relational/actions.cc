@@ -1,0 +1,89 @@
+#include "relational/actions.h"
+
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::rel {
+
+std::string Action::ToString() const {
+  std::ostringstream out;
+  switch (op) {
+    case Op::kInsert:
+      out << "ins";
+      break;
+    case Op::kDelete:
+      out << "del";
+      break;
+    case Op::kMessage:
+      out << "msg";
+      break;
+  }
+  out << " " << target << " " << TupleToString(payload);
+  return out.str();
+}
+
+std::vector<Action> ParseActions(const Relation& output,
+                                 std::vector<Tuple>* malformed) {
+  std::vector<Action> actions;
+  for (const Tuple& t : output) {
+    bool ok = t.size() >= 2 && t[0].is_string() && t[1].is_string();
+    Action::Op op = Action::Op::kMessage;
+    if (ok) {
+      const std::string& op_name = t[0].AsString();
+      if (op_name == "ins") {
+        op = Action::Op::kInsert;
+      } else if (op_name == "del") {
+        op = Action::Op::kDelete;
+      } else if (op_name == "msg") {
+        op = Action::Op::kMessage;
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      if (malformed != nullptr) malformed->push_back(t);
+      continue;
+    }
+    actions.push_back(
+        Action{op, t[1].AsString(), Tuple(t.begin() + 2, t.end())});
+  }
+  return actions;
+}
+
+CommitResult CommitOutput(const Relation& output, Database* db) {
+  SWS_CHECK(db != nullptr);
+  CommitResult result;
+  std::vector<Action> actions = ParseActions(output, &result.malformed);
+
+  // Insertions first, then deletions, so the commit is independent of the
+  // (set) order of action tuples.
+  for (const Action& a : actions) {
+    if (a.op != Action::Op::kInsert) continue;
+    if (!db->Contains(a.target)) {
+      db->Set(a.target, Relation(a.payload.size()));
+    }
+    Relation* rel = db->GetMutable(a.target);
+    if (a.payload.size() != rel->arity()) {
+      result.malformed.push_back(a.payload);
+      continue;
+    }
+    if (rel->Insert(a.payload)) ++result.inserted;
+  }
+  for (const Action& a : actions) {
+    if (a.op != Action::Op::kDelete) continue;
+    if (!db->Contains(a.target)) continue;
+    Relation* rel = db->GetMutable(a.target);
+    if (a.payload.size() != rel->arity()) {
+      result.malformed.push_back(a.payload);
+      continue;
+    }
+    if (rel->Erase(a.payload)) ++result.deleted;
+  }
+  for (Action& a : actions) {
+    if (a.op == Action::Op::kMessage) result.messages.push_back(std::move(a));
+  }
+  return result;
+}
+
+}  // namespace sws::rel

@@ -1,0 +1,57 @@
+#ifndef SWS_RELATIONAL_ACTIONS_H_
+#define SWS_RELATIONAL_ACTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/relation.h"
+
+namespace sws::rel {
+
+/// Interpretation of an output relation O (instance of R_out) as *actions*:
+/// tuples to be inserted into or deleted from the local database, and
+/// external messages to be sent (Section 2, "An overview").
+///
+/// The convention: an output tuple is (op, target, payload...) where
+///   * op is one of the string constants "ins", "del", "msg",
+///   * target is a string naming the database relation (for ins/del) or
+///     the addressee (for msg),
+///   * payload is the action tuple, truncated/checked against the target
+///     relation's arity on commit.
+///
+/// The paper leaves the concrete encoding of actions open; this layer is
+/// the commit machinery that turns the formal output into the "external
+/// messages are sent and the updates are executed" step at session end.
+struct Action {
+  enum class Op { kInsert, kDelete, kMessage };
+  Op op;
+  std::string target;
+  Tuple payload;
+
+  std::string ToString() const;
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+/// Parses an output relation into actions. Tuples whose first two columns
+/// are not (op-string, target-string) are reported in `malformed`.
+std::vector<Action> ParseActions(const Relation& output,
+                                 std::vector<Tuple>* malformed = nullptr);
+
+/// Result of committing an output relation against a database.
+struct CommitResult {
+  size_t inserted = 0;        // tuples newly inserted
+  size_t deleted = 0;         // tuples actually removed
+  std::vector<Action> messages;  // external messages, in output order
+  std::vector<Tuple> malformed;  // tuples that were not valid actions
+};
+
+/// Commits the actions denoted by `output` to `db`: deletions are applied
+/// after insertions within one commit (a deleted tuple wins over a
+/// simultaneous insert, keeping commits order-independent). Messages are
+/// collected, not sent anywhere.
+CommitResult CommitOutput(const Relation& output, Database* db);
+
+}  // namespace sws::rel
+
+#endif  // SWS_RELATIONAL_ACTIONS_H_

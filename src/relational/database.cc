@@ -1,0 +1,61 @@
+#include "relational/database.h"
+
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::rel {
+
+Database::Database(const Schema& schema) {
+  for (const auto& r : schema.relations()) {
+    relations_.emplace(r.name(), Relation(r.arity()));
+  }
+}
+
+void Database::Set(const std::string& name, Relation relation) {
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+const Relation& Database::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  SWS_CHECK(it != relations_.end()) << "no relation named " << name;
+  return it->second;
+}
+
+Relation* Database::GetMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  SWS_CHECK(it != relations_.end()) << "no relation named " << name;
+  return &it->second;
+}
+
+Relation Database::GetOrEmpty(const std::string& name, size_t arity) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Relation(arity);
+  return it->second;
+}
+
+bool Database::empty() const {
+  for (const auto& [name, rel] : relations_) {
+    if (!rel.empty()) return false;
+  }
+  return true;
+}
+
+std::set<Value> Database::ActiveDomain() const {
+  std::set<Value> adom;
+  for (const auto& [name, rel] : relations_) rel.CollectValues(&adom);
+  return adom;
+}
+
+std::string Database::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, rel] : relations_) {
+    if (!first) out << "\n";
+    first = false;
+    out << name << " = " << rel.ToString();
+  }
+  return out.str();
+}
+
+}  // namespace sws::rel

@@ -1,0 +1,56 @@
+#ifndef SWS_RELATIONAL_DATABASE_H_
+#define SWS_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace sws::rel {
+
+/// A database instance: a mapping from relation names to relation
+/// instances. Per the paper, the local database D stays fixed during a
+/// run of an SWS; updates are committed only at the end of a session
+/// (see relational/actions.h and sws/session.h).
+class Database {
+ public:
+  Database() = default;
+
+  /// An empty instance of every relation in the schema.
+  explicit Database(const Schema& schema);
+
+  /// Sets (replaces) the instance of the named relation.
+  void Set(const std::string& name, Relation relation);
+
+  /// Instance of the named relation; aborts if absent.
+  const Relation& Get(const std::string& name) const;
+  Relation* GetMutable(const std::string& name);
+
+  /// Instance of the named relation, or an empty relation of the given
+  /// arity if absent.
+  Relation GetOrEmpty(const std::string& name, size_t arity) const;
+
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+  bool empty() const;
+
+  /// The active domain: every value occurring in some relation instance.
+  std::set<Value> ActiveDomain() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Database&, const Database&) = default;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace sws::rel
+
+#endif  // SWS_RELATIONAL_DATABASE_H_

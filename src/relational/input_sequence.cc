@@ -1,0 +1,95 @@
+#include "relational/input_sequence.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::rel {
+
+namespace {
+// Shared empty message returned for out-of-range indices. One static
+// instance per arity would be cleaner but arities vary; we keep a small
+// cache keyed by arity via a function-local static pointer (never deleted,
+// per the style rule on static storage duration).
+const Relation& EmptyMessage(size_t arity) {
+  static auto& cache = *new std::map<size_t, Relation>();
+  auto it = cache.find(arity);
+  if (it == cache.end()) it = cache.emplace(arity, Relation(arity)).first;
+  return it->second;
+}
+}  // namespace
+
+InputSequence::InputSequence(size_t message_arity,
+                             std::vector<Relation> messages)
+    : message_arity_(message_arity) {
+  for (auto& m : messages) Append(std::move(m));
+}
+
+const Relation& InputSequence::Message(size_t j) const {
+  SWS_CHECK_GE(j, 1u) << "messages are 1-indexed";
+  if (j > messages_.size()) return EmptyMessage(message_arity_);
+  return messages_[j - 1];
+}
+
+void InputSequence::Append(Relation message) {
+  SWS_CHECK_EQ(message.arity(), message_arity_);
+  messages_.push_back(std::move(message));
+}
+
+InputSequence InputSequence::Suffix(size_t j) const {
+  SWS_CHECK_GE(j, 1u);
+  InputSequence out(message_arity_);
+  for (size_t i = j; i <= messages_.size(); ++i) {
+    out.Append(messages_[i - 1]);
+  }
+  return out;
+}
+
+Relation InputSequence::Encode() const {
+  Relation out(message_arity_ + 1);
+  for (size_t j = 1; j <= messages_.size(); ++j) {
+    for (const Tuple& t : messages_[j - 1]) {
+      Tuple e;
+      e.reserve(t.size() + 1);
+      e.push_back(Value::Int(static_cast<int64_t>(j)));
+      e.insert(e.end(), t.begin(), t.end());
+      out.Insert(std::move(e));
+    }
+  }
+  return out;
+}
+
+InputSequence InputSequence::Decode(const Relation& encoded) {
+  SWS_CHECK_GE(encoded.arity(), 1u);
+  InputSequence out(encoded.arity() - 1);
+  int64_t max_ts = 0;
+  for (const Tuple& t : encoded) {
+    SWS_CHECK(t[0].is_int() && t[0].AsInt() >= 1)
+        << "timestamp must be a positive int, got " << t[0].ToString();
+    max_ts = std::max(max_ts, t[0].AsInt());
+  }
+  for (int64_t j = 0; j < max_ts; ++j) out.Append(Relation(out.message_arity_));
+  for (const Tuple& t : encoded) {
+    Tuple payload(t.begin() + 1, t.end());
+    out.messages_[t[0].AsInt() - 1].Insert(std::move(payload));
+  }
+  return out;
+}
+
+void InputSequence::CollectValues(std::set<Value>* out) const {
+  for (const Relation& m : messages_) m.CollectValues(out);
+}
+
+std::string InputSequence::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t j = 1; j <= messages_.size(); ++j) {
+    if (j > 1) out << "; ";
+    out << "I" << j << "=" << messages_[j - 1].ToString();
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace sws::rel

@@ -1,0 +1,64 @@
+#ifndef SWS_RELATIONAL_INPUT_SEQUENCE_H_
+#define SWS_RELATIONAL_INPUT_SEQUENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace sws::rel {
+
+/// A sequence I = I_1, ..., I_n of input messages, each an instance of the
+/// input schema R_in (without the timestamp attribute).
+///
+/// Section 2 of the paper encodes the sequence as a single relation with a
+/// timestamp attribute `ts`: I_j = { t | t in I and t[ts] = j }. This class
+/// stores the decoded form and converts to/from the encoded form.
+/// Messages are 1-indexed, matching the paper.
+class InputSequence {
+ public:
+  /// An empty sequence of messages of the given payload arity.
+  explicit InputSequence(size_t message_arity = 0)
+      : message_arity_(message_arity) {}
+
+  InputSequence(size_t message_arity, std::vector<Relation> messages);
+
+  size_t message_arity() const { return message_arity_; }
+  /// Number of messages n.
+  size_t size() const { return messages_.size(); }
+  bool empty() const { return messages_.empty(); }
+
+  /// The j-th message I_j, 1-indexed. For j > n returns an empty message
+  /// (the run semantics treat exhausted input as Act = ∅ anyway).
+  const Relation& Message(size_t j) const;
+
+  /// Appends a message at the end (becoming I_{n+1}).
+  void Append(Relation message);
+
+  /// The suffix I^j = I_j, ..., I_n (1-indexed), as its own sequence.
+  /// Used by mediator runs where eval(τ_i) consumes a suffix.
+  InputSequence Suffix(size_t j) const;
+
+  /// Encodes into a single relation of arity message_arity()+1 with the
+  /// timestamp as first attribute.
+  Relation Encode() const;
+
+  /// Decodes from the timestamped encoding. Timestamps must be positive
+  /// ints; gaps yield empty messages.
+  static InputSequence Decode(const Relation& encoded);
+
+  /// All values occurring in any message.
+  void CollectValues(std::set<Value>* out) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const InputSequence&, const InputSequence&) = default;
+
+ private:
+  size_t message_arity_;
+  std::vector<Relation> messages_;
+};
+
+}  // namespace sws::rel
+
+#endif  // SWS_RELATIONAL_INPUT_SEQUENCE_H_

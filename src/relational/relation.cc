@@ -1,0 +1,71 @@
+#include "relational/relation.h"
+
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::rel {
+
+Relation::Relation(size_t arity, std::vector<Tuple> tuples) : arity_(arity) {
+  for (auto& t : tuples) Insert(std::move(t));
+}
+
+bool Relation::Insert(Tuple t) {
+  SWS_CHECK_EQ(t.size(), arity_) << "arity mismatch inserting "
+                                 << TupleToString(t);
+  return tuples_.insert(std::move(t)).second;
+}
+
+Relation Relation::Union(const Relation& other) const {
+  SWS_CHECK_EQ(arity_, other.arity_);
+  Relation r = *this;
+  for (const auto& t : other.tuples_) r.tuples_.insert(t);
+  return r;
+}
+
+Relation Relation::Intersect(const Relation& other) const {
+  SWS_CHECK_EQ(arity_, other.arity_);
+  Relation r(arity_);
+  for (const auto& t : tuples_) {
+    if (other.Contains(t)) r.tuples_.insert(t);
+  }
+  return r;
+}
+
+Relation Relation::Difference(const Relation& other) const {
+  SWS_CHECK_EQ(arity_, other.arity_);
+  Relation r(arity_);
+  for (const auto& t : tuples_) {
+    if (!other.Contains(t)) r.tuples_.insert(t);
+  }
+  return r;
+}
+
+bool Relation::SubsetOf(const Relation& other) const {
+  SWS_CHECK_EQ(arity_, other.arity_);
+  for (const auto& t : tuples_) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
+void Relation::CollectValues(std::set<Value>* out) const {
+  for (const auto& t : tuples_) {
+    for (const auto& v : t) out->insert(v);
+  }
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& t : tuples_) {
+    if (!first) out << ", ";
+    first = false;
+    out << TupleToString(t);
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sws::rel

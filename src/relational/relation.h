@@ -1,0 +1,61 @@
+#ifndef SWS_RELATIONAL_RELATION_H_
+#define SWS_RELATIONAL_RELATION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace sws::rel {
+
+/// A relation instance: a set of tuples of a fixed arity.
+///
+/// Tuples are kept in an ordered set so iteration order is deterministic —
+/// important because SWS runs must be deterministic functions of (D, I)
+/// (the paper's central modeling point) and because tests compare printed
+/// forms.
+class Relation {
+ public:
+  /// An empty relation of the given arity.
+  explicit Relation(size_t arity = 0) : arity_(arity) {}
+
+  /// A relation holding the given tuples; all must share one arity.
+  Relation(size_t arity, std::vector<Tuple> tuples);
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts a tuple. Aborts on arity mismatch. Returns true if new.
+  bool Insert(Tuple t);
+  /// Removes a tuple if present; returns true if it was present.
+  bool Erase(const Tuple& t) { return tuples_.erase(t) > 0; }
+  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+  void Clear() { tuples_.clear(); }
+
+  const std::set<Tuple>& tuples() const { return tuples_; }
+  auto begin() const { return tuples_.begin(); }
+  auto end() const { return tuples_.end(); }
+
+  /// Set operations; operands must share the arity.
+  Relation Union(const Relation& other) const;
+  Relation Intersect(const Relation& other) const;
+  Relation Difference(const Relation& other) const;
+  bool SubsetOf(const Relation& other) const;
+
+  /// All values occurring in any tuple (contribution to the active domain).
+  void CollectValues(std::set<Value>* out) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Relation&, const Relation&) = default;
+
+ private:
+  size_t arity_;
+  std::set<Tuple> tuples_;
+};
+
+}  // namespace sws::rel
+
+#endif  // SWS_RELATIONAL_RELATION_H_

@@ -1,0 +1,56 @@
+#include "relational/schema.h"
+
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::rel {
+
+std::optional<size_t> RelationSchema::AttributeIndex(
+    const std::string& attribute) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attribute) return i;
+  }
+  return std::nullopt;
+}
+
+std::string RelationSchema::ToString() const {
+  std::ostringstream out;
+  out << name_ << "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << attributes_[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+Schema::Schema(std::vector<RelationSchema> relations) {
+  for (auto& r : relations) Add(std::move(r));
+}
+
+void Schema::Add(RelationSchema relation) {
+  SWS_CHECK(Find(relation.name()) == nullptr)
+      << "duplicate relation schema: " << relation.name();
+  relations_.push_back(std::move(relation));
+}
+
+const RelationSchema* Schema::Find(const std::string& name) const {
+  for (const auto& r : relations_) {
+    if (r.name() == name) return &r;
+  }
+  return nullptr;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (i > 0) out << "; ";
+    out << relations_[i].ToString();
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sws::rel

@@ -1,0 +1,63 @@
+#ifndef SWS_RELATIONAL_SCHEMA_H_
+#define SWS_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sws::rel {
+
+/// Schema of a single relation: a name plus named attributes.
+///
+/// Per Section 2 of the paper an SWS is defined over a database schema R,
+/// an input schema R_in (whose first attribute is the timestamp `ts`), and
+/// an external schema R_out.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<std::string> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  /// Index of the attribute with the given name, if present.
+  std::optional<size_t> AttributeIndex(const std::string& attribute) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const RelationSchema&, const RelationSchema&) =
+      default;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+};
+
+/// A database schema: an ordered collection of relation schemas with
+/// unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<RelationSchema> relations);
+
+  /// Adds a relation schema. Aborts if the name is already present.
+  void Add(RelationSchema relation);
+
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+  const RelationSchema* Find(const std::string& name) const;
+  bool Contains(const std::string& name) const { return Find(name) != nullptr; }
+  size_t size() const { return relations_.size(); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<RelationSchema> relations_;
+};
+
+}  // namespace sws::rel
+
+#endif  // SWS_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,48 @@
+#include "relational/value.h"
+
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::rel {
+
+int64_t Value::AsInt() const {
+  SWS_CHECK(kind_ == Kind::kInt) << "Value is not an int: " << ToString();
+  return int_;
+}
+
+const std::string& Value::AsString() const {
+  SWS_CHECK(kind_ == Kind::kString)
+      << "Value is not a string: " << ToString();
+  return str_;
+}
+
+int64_t Value::null_label() const {
+  SWS_CHECK(kind_ == Kind::kNull) << "Value is not a null: " << ToString();
+  return int_;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kString:
+      return "'" + str_ + "'";
+    case Kind::kNull:
+      return "_N" + std::to_string(int_);
+  }
+  return "?";
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << t[i].ToString();
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace sws::rel

@@ -1,0 +1,102 @@
+#ifndef SWS_RELATIONAL_VALUE_H_
+#define SWS_RELATIONAL_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sws::rel {
+
+/// A data value from the (conceptually infinite) domain D of the paper.
+///
+/// Three kinds are supported:
+///  * kInt    — integers (also used for timestamps),
+///  * kString — symbolic constants ("orlando", "a", "h", ...),
+///  * kNull   — *labeled nulls*, i.e. fresh values distinct from all
+///              constants and from each other. These represent the frozen
+///              variables of canonical databases used by the containment
+///              and validation procedures (Sections 4 and 5 of the paper).
+///
+/// Values are totally ordered (kind-major) so relations can be kept as
+/// ordered sets with deterministic iteration.
+class Value {
+ public:
+  enum class Kind : uint8_t { kInt = 0, kString = 1, kNull = 2 };
+
+  Value() : kind_(Kind::kInt), int_(0) {}
+
+  static Value Int(int64_t v) {
+    Value r;
+    r.kind_ = Kind::kInt;
+    r.int_ = v;
+    return r;
+  }
+  static Value Str(std::string s) {
+    Value r;
+    r.kind_ = Kind::kString;
+    r.int_ = 0;
+    r.str_ = std::move(s);
+    return r;
+  }
+  /// A labeled null with the given label. Nulls with distinct labels are
+  /// distinct values; nulls never compare equal to ints or strings.
+  static Value Null(int64_t label) {
+    Value r;
+    r.kind_ = Kind::kNull;
+    r.int_ = label;
+    return r;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Integer payload; valid for kInt values only.
+  int64_t AsInt() const;
+  /// String payload; valid for kString values only.
+  const std::string& AsString() const;
+  /// Null label; valid for kNull values only.
+  int64_t null_label() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.kind_ == b.kind_ && a.int_ == b.int_ && a.str_ == b.str_;
+  }
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return a.kind_ <=> b.kind_;
+    if (a.kind_ == Kind::kString) return a.str_ <=> b.str_;
+    return a.int_ <=> b.int_;
+  }
+
+  size_t Hash() const {
+    size_t h = std::hash<int64_t>()(int_) * 31 + static_cast<size_t>(kind_);
+    if (kind_ == Kind::kString) h = h * 31 + std::hash<std::string>()(str_);
+    return h;
+  }
+
+ private:
+  Kind kind_;
+  int64_t int_;       // int payload or null label
+  std::string str_;   // string payload
+};
+
+/// A database tuple: a fixed-arity vector of values.
+using Tuple = std::vector<Value>;
+
+std::string TupleToString(const Tuple& t);
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 1469598103934665603ull;
+    for (const Value& v : t) h = (h ^ v.Hash()) * 1099511628211ull;
+    return h;
+  }
+};
+
+}  // namespace sws::rel
+
+#endif  // SWS_RELATIONAL_VALUE_H_

@@ -1,0 +1,44 @@
+#include "rewriting/graphdb.h"
+
+#include "util/common.h"
+
+namespace sws::rw {
+
+namespace {
+const std::set<rel::Value>& EmptyNodeSet() {
+  static const std::set<rel::Value>& empty = *new std::set<rel::Value>();
+  return empty;
+}
+}  // namespace
+
+int GraphDb::Inverse(int symbol) const {
+  SWS_CHECK(symbol >= 0 && symbol < two_way_alphabet());
+  return symbol < num_labels_ ? symbol + num_labels_ : symbol - num_labels_;
+}
+
+void GraphDb::AddEdge(const rel::Value& from, int label,
+                      const rel::Value& to) {
+  SWS_CHECK(label >= 0 && label < num_labels_);
+  if (adjacency_.empty()) {
+    adjacency_.resize(static_cast<size_t>(two_way_alphabet()));
+  }
+  nodes_.insert(from);
+  nodes_.insert(to);
+  if (adjacency_[label][from].insert(to).second) ++num_edges_;
+  adjacency_[label + num_labels_][to].insert(from);
+}
+
+void GraphDb::AddEdge(int64_t from, int label, int64_t to) {
+  AddEdge(rel::Value::Int(from), label, rel::Value::Int(to));
+}
+
+const std::set<rel::Value>& GraphDb::Successors(const rel::Value& node,
+                                                int symbol) const {
+  SWS_CHECK(symbol >= 0 && symbol < two_way_alphabet());
+  if (adjacency_.empty()) return EmptyNodeSet();
+  auto it = adjacency_[symbol].find(node);
+  if (it == adjacency_[symbol].end()) return EmptyNodeSet();
+  return it->second;
+}
+
+}  // namespace sws::rw

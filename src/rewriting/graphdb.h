@@ -1,0 +1,48 @@
+#ifndef SWS_REWRITING_GRAPHDB_H_
+#define SWS_REWRITING_GRAPHDB_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace sws::rw {
+
+/// A semistructured (edge-labeled graph) database, as in the UC2RPQ
+/// special case of Section 5.2: nodes are values, edges carry labels
+/// 0..num_labels-1. For 2-way queries, label L+l denotes the inverse of
+/// label l (an edge traversed backwards).
+class GraphDb {
+ public:
+  explicit GraphDb(int num_labels) : num_labels_(num_labels) {}
+
+  int num_labels() const { return num_labels_; }
+  /// The alphabet size for 2-way queries: labels plus inverses.
+  int two_way_alphabet() const { return 2 * num_labels_; }
+  /// The inverse of a (possibly already inverted) 2-way symbol.
+  int Inverse(int symbol) const;
+
+  void AddEdge(const rel::Value& from, int label, const rel::Value& to);
+  /// Convenience for integer nodes.
+  void AddEdge(int64_t from, int label, int64_t to);
+
+  const std::set<rel::Value>& nodes() const { return nodes_; }
+  /// Successors of `node` under a 2-way symbol (label or inverse).
+  const std::set<rel::Value>& Successors(const rel::Value& node,
+                                         int symbol) const;
+
+  size_t num_edges() const { return num_edges_; }
+
+ private:
+  int num_labels_;
+  size_t num_edges_ = 0;
+  std::set<rel::Value> nodes_;
+  // adjacency_[symbol][node] -> successors; symbols include inverses.
+  std::vector<std::map<rel::Value, std::set<rel::Value>>> adjacency_;
+};
+
+}  // namespace sws::rw
+
+#endif  // SWS_REWRITING_GRAPHDB_H_

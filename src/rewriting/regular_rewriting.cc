@@ -1,0 +1,126 @@
+#include "rewriting/regular_rewriting.h"
+
+#include <deque>
+
+#include "util/common.h"
+
+namespace sws::rw {
+
+namespace {
+
+// For each view, the reachability relation over the states of `dfa`:
+// (p, q) related iff some word of the view's language drives dfa p → q.
+// Computed by a product BFS per source state.
+std::vector<std::vector<std::vector<bool>>> ViewSummaries(
+    const fsa::Dfa& dfa, const std::vector<fsa::Nfa>& views) {
+  std::vector<std::vector<std::vector<bool>>> summaries;
+  for (const fsa::Nfa& view : views) {
+    std::vector<std::vector<bool>> relation(
+        dfa.num_states(), std::vector<bool>(dfa.num_states(), false));
+    // BFS over (dfa state, view state) pairs per source state, after
+    // epsilon elimination.
+    fsa::Nfa clean = view.RemoveEpsilons();
+    for (int p = 0; p < dfa.num_states(); ++p) {
+      std::set<std::pair<int, int>> visited;
+      std::deque<std::pair<int, int>> queue;
+      for (int s : clean.initial()) {
+        if (visited.insert({p, s}).second) queue.push_back({p, s});
+      }
+      while (!queue.empty()) {
+        auto [d, s] = queue.front();
+        queue.pop_front();
+        if (clean.IsFinal(s)) relation[p][d] = true;
+        for (int a = 0; a < clean.alphabet_size(); ++a) {
+          int d2 = dfa.Transition(d, a);
+          for (int s2 : clean.Successors(s, a)) {
+            if (visited.insert({d2, s2}).second) queue.push_back({d2, s2});
+          }
+        }
+      }
+    }
+    summaries.push_back(std::move(relation));
+  }
+  return summaries;
+}
+
+}  // namespace
+
+fsa::Nfa ExpandViews(const fsa::Nfa& over_views,
+                     const std::vector<fsa::Nfa>& views) {
+  SWS_CHECK_EQ(static_cast<size_t>(over_views.alphabet_size()), views.size());
+  int sigma = views.empty() ? 0 : views[0].alphabet_size();
+  fsa::Nfa out(sigma);
+  // Copy the skeleton's states.
+  for (int s = 0; s < over_views.num_states(); ++s) out.AddState();
+  for (int s : over_views.initial()) out.AddInitial(s);
+  for (int s : over_views.final()) out.AddFinal(s);
+  for (int s = 0; s < over_views.num_states(); ++s) {
+    for (int t : over_views.Successors(s, fsa::Nfa::kEpsilon)) {
+      out.AddTransition(s, fsa::Nfa::kEpsilon, t);
+    }
+    for (int v = 0; v < over_views.alphabet_size(); ++v) {
+      for (int t : over_views.Successors(s, v)) {
+        // Splice in a fresh copy of view v between s and t.
+        int offset = out.ImportStates(views[v]);
+        for (int i : views[v].initial()) {
+          out.AddTransition(s, fsa::Nfa::kEpsilon, i + offset);
+        }
+        for (int f : views[v].final()) {
+          out.AddTransition(f + offset, fsa::Nfa::kEpsilon, t);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+RegularRewritingResult RewriteRegular(const fsa::Nfa& goal,
+                                      const std::vector<fsa::Nfa>& views) {
+  SWS_CHECK(!views.empty()) << "need at least one view";
+  for (const fsa::Nfa& v : views) {
+    SWS_CHECK_EQ(v.alphabet_size(), goal.alphabet_size());
+  }
+  RegularRewritingResult result;
+  result.max_rewriting = fsa::Dfa(1, static_cast<int>(views.size()));
+  result.expansion = fsa::Nfa(goal.alphabet_size());
+
+  // Complement of the goal.
+  fsa::Dfa goal_dfa = Determinize(goal).Minimize();
+  result.goal_dfa_states = static_cast<uint64_t>(goal_dfa.num_states());
+  fsa::Dfa co_goal = goal_dfa.Complement();
+
+  // Bad-word automaton over the view alphabet: w is bad iff some
+  // expansion of w lands in the complement. NFA over co_goal's states
+  // with one edge (p → q on view v) per summary pair.
+  auto summaries = ViewSummaries(co_goal, views);
+  fsa::Nfa bad(static_cast<int>(views.size()));
+  for (int s = 0; s < co_goal.num_states(); ++s) bad.AddState();
+  bad.AddInitial(co_goal.start());
+  for (int s = 0; s < co_goal.num_states(); ++s) {
+    if (co_goal.IsFinal(s)) bad.AddFinal(s);
+    for (size_t v = 0; v < views.size(); ++v) {
+      for (int t = 0; t < co_goal.num_states(); ++t) {
+        if (summaries[v][s][t]) {
+          bad.AddTransition(s, static_cast<int>(v), t);
+        }
+      }
+    }
+  }
+  fsa::Dfa bad_dfa = Determinize(bad);
+  result.bad_word_dfa_states = static_cast<uint64_t>(bad_dfa.num_states());
+
+  // The maximal rewriting is the complement of the bad words.
+  result.max_rewriting = bad_dfa.Complement().Minimize();
+  result.empty = result.max_rewriting.IsEmpty();
+
+  // Exactness: the expansion always ⊆ goal; exact iff goal ⊆ expansion.
+  result.expansion = ExpandViews(result.max_rewriting.ToNfa(), views);
+  fsa::Dfa expansion_dfa = Determinize(result.expansion);
+  result.exact = fsa::Dfa::Contains(expansion_dfa, goal_dfa);
+  // Sanity: the construction guarantees the other containment.
+  SWS_CHECK(fsa::Dfa::Contains(goal_dfa, expansion_dfa))
+      << "internal error: maximal rewriting expansion escapes the goal";
+  return result;
+}
+
+}  // namespace sws::rw

@@ -1,0 +1,50 @@
+#ifndef SWS_REWRITING_REGULAR_REWRITING_H_
+#define SWS_REWRITING_REGULAR_REWRITING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace sws::rw {
+
+/// Rewriting of regular languages in terms of view languages, after
+/// Calvanese–De Giacomo–Lenzerini–Vardi [8] — the engine behind the
+/// MDT(∨) composition results of Theorem 5.3: given a goal language
+/// L(goal) over Σ and views V_1..V_m ⊆ Σ*, the *maximal rewriting* is
+///   M = { w ∈ {1..m}* : expansion(w) ⊆ L(goal) },
+/// where expansion substitutes each view symbol by its language. M is
+/// regular: complement the determinized goal, summarize each view as a
+/// reachability relation over the complement's states, and complement the
+/// resulting "bad word" automaton — the doubly-exponential construction
+/// whose blowup the Table 2 benchmarks measure.
+struct RegularRewritingResult {
+  RegularRewritingResult() : max_rewriting(1, 1), expansion(0) {}
+
+  /// The maximal rewriting, a DFA over the view alphabet {0..m-1}.
+  fsa::Dfa max_rewriting;
+  /// Expansion of the maximal rewriting back over Σ.
+  fsa::Nfa expansion;
+  /// True iff the expansion equals the goal language — i.e. an *exact*
+  /// (equivalent) rewriting exists, and max_rewriting is one.
+  bool exact = false;
+  /// True iff the maximal rewriting is the empty language.
+  bool empty = false;
+
+  // Size accounting for the benchmarks.
+  uint64_t goal_dfa_states = 0;
+  uint64_t bad_word_dfa_states = 0;
+};
+
+RegularRewritingResult RewriteRegular(const fsa::Nfa& goal,
+                                      const std::vector<fsa::Nfa>& views);
+
+/// Expands an automaton over the view alphabet into one over Σ by
+/// substituting each view edge with (a fresh copy of) the view's NFA.
+fsa::Nfa ExpandViews(const fsa::Nfa& over_views,
+                     const std::vector<fsa::Nfa>& views);
+
+}  // namespace sws::rw
+
+#endif  // SWS_REWRITING_REGULAR_REWRITING_H_

@@ -1,0 +1,126 @@
+#include "rewriting/rpq.h"
+
+#include <deque>
+#include <map>
+
+#include "util/common.h"
+
+namespace sws::rw {
+
+rel::Relation EvalRpq(const GraphDb& db, const fsa::Nfa& rpq) {
+  SWS_CHECK_EQ(rpq.alphabet_size(), db.two_way_alphabet())
+      << "RPQ alphabet must be the 2-way label alphabet";
+  fsa::Nfa clean = rpq.RemoveEpsilons();
+  rel::Relation out(2);
+  // Product BFS from each source node.
+  for (const rel::Value& source : db.nodes()) {
+    std::set<std::pair<rel::Value, int>> visited;
+    std::deque<std::pair<rel::Value, int>> queue;
+    for (int s : clean.initial()) {
+      if (visited.insert({source, s}).second) queue.push_back({source, s});
+    }
+    while (!queue.empty()) {
+      auto [node, state] = queue.front();
+      queue.pop_front();
+      if (clean.IsFinal(state)) out.Insert({source, node});
+      for (int symbol = 0; symbol < clean.alphabet_size(); ++symbol) {
+        const std::set<int>& next_states = clean.Successors(state, symbol);
+        if (next_states.empty()) continue;
+        for (const rel::Value& next : db.Successors(node, symbol)) {
+          for (int s2 : next_states) {
+            if (visited.insert({next, s2}).second) queue.push_back({next, s2});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+rel::Relation EvalC2Rpq(const GraphDb& db, const C2Rpq& query) {
+  // Evaluate each atom, then join by backtracking over variable bindings.
+  std::vector<rel::Relation> atom_results;
+  for (const RpqAtom& atom : query.atoms) {
+    atom_results.push_back(EvalRpq(db, atom.rpq));
+  }
+  rel::Relation out(query.head_vars.size());
+  std::map<int, rel::Value> binding;
+  std::function<void(size_t)> join = [&](size_t i) {
+    if (i == query.atoms.size()) {
+      rel::Tuple t;
+      for (int v : query.head_vars) {
+        auto it = binding.find(v);
+        SWS_CHECK(it != binding.end()) << "unsafe C2RPQ head variable";
+        t.push_back(it->second);
+      }
+      out.Insert(std::move(t));
+      return;
+    }
+    const RpqAtom& atom = query.atoms[i];
+    for (const rel::Tuple& pair : atom_results[i]) {
+      std::vector<int> bound;
+      bool ok = true;
+      auto bind = [&](int var, const rel::Value& value) {
+        auto it = binding.find(var);
+        if (it != binding.end()) {
+          if (!(it->second == value)) ok = false;
+        } else {
+          binding.emplace(var, value);
+          bound.push_back(var);
+        }
+      };
+      bind(atom.from_var, pair[0]);
+      if (ok) bind(atom.to_var, pair[1]);
+      if (ok) join(i + 1);
+      for (int v : bound) binding.erase(v);
+    }
+  };
+  join(0);
+  return out;
+}
+
+rel::Relation EvalUc2Rpq(const GraphDb& db, const std::vector<C2Rpq>& query) {
+  SWS_CHECK(!query.empty());
+  rel::Relation out(query[0].head_vars.size());
+  for (const C2Rpq& q : query) {
+    out = out.Union(EvalC2Rpq(db, q));
+  }
+  return out;
+}
+
+GraphDb BuildViewGraph(const GraphDb& db, const std::vector<fsa::Nfa>& views) {
+  GraphDb view_graph(static_cast<int>(views.size()));
+  for (size_t v = 0; v < views.size(); ++v) {
+    rel::Relation pairs = EvalRpq(db, views[v]);
+    for (const rel::Tuple& t : pairs) {
+      view_graph.AddEdge(t[0], static_cast<int>(v), t[1]);
+    }
+  }
+  return view_graph;
+}
+
+RpqRewriteResult RewriteAndEvalRpq(const GraphDb& db, const fsa::Nfa& goal,
+                                   const std::vector<fsa::Nfa>& views) {
+  RpqRewriteResult result{RewriteRegular(goal, views), rel::Relation(2),
+                          rel::Relation(2)};
+  result.goal_answers = EvalRpq(db, goal);
+  GraphDb view_graph = BuildViewGraph(db, views);
+  // The rewriting is a 1-way automaton over view symbols; lift it to the
+  // view graph's 2-way alphabet (inverse view edges unused).
+  fsa::Nfa over_views = result.rewriting.max_rewriting.ToNfa();
+  fsa::Nfa lifted(view_graph.two_way_alphabet());
+  for (int s = 0; s < over_views.num_states(); ++s) lifted.AddState();
+  for (int s : over_views.initial()) lifted.AddInitial(s);
+  for (int s : over_views.final()) lifted.AddFinal(s);
+  for (int s = 0; s < over_views.num_states(); ++s) {
+    for (int a = 0; a < over_views.alphabet_size(); ++a) {
+      for (int t : over_views.Successors(s, a)) {
+        lifted.AddTransition(s, a, t);
+      }
+    }
+  }
+  result.view_answers = EvalRpq(view_graph, lifted);
+  return result;
+}
+
+}  // namespace sws::rw

@@ -1,0 +1,65 @@
+#ifndef SWS_REWRITING_RPQ_H_
+#define SWS_REWRITING_RPQ_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "relational/relation.h"
+#include "rewriting/graphdb.h"
+#include "rewriting/regular_rewriting.h"
+
+namespace sws::rw {
+
+/// (2-way) regular path queries and their unions of conjunctions, for
+/// the decidable composition case of Corollary 5.2. An RPQ is an NFA
+/// over the graph's 2-way alphabet (labels and inverses); it computes
+/// all node pairs (x, y) connected by a path spelling a word of the
+/// language.
+
+/// Evaluates an RPQ: the returned relation has arity 2 (from, to).
+rel::Relation EvalRpq(const GraphDb& db, const fsa::Nfa& rpq);
+
+/// A conjunct x_i —Q— x_j of a C2RPQ: variables are indices into the
+/// query's variable space.
+struct RpqAtom {
+  int from_var = 0;
+  int to_var = 0;
+  fsa::Nfa rpq;
+};
+
+/// A conjunction of 2RPQ atoms with a projection head.
+struct C2Rpq {
+  std::vector<int> head_vars;
+  std::vector<RpqAtom> atoms;
+};
+
+/// Evaluates a C2RPQ by joining the atom results (arity = head size).
+rel::Relation EvalC2Rpq(const GraphDb& db, const C2Rpq& query);
+
+/// Union of C2RPQs.
+rel::Relation EvalUc2Rpq(const GraphDb& db, const std::vector<C2Rpq>& query);
+
+/// Rewrites a goal RPQ in terms of RPQ views (regular-language rewriting,
+/// rewriting/regular_rewriting.h) and materializes the *view graph*: one
+/// edge labeled v per pair in EvalRpq(db, views[v]). For an exact
+/// rewriting, evaluating it over the view graph equals evaluating the
+/// goal over the base graph — the soundness/completeness property the
+/// composition result rests on (verified by the test suite).
+struct RpqRewriteResult {
+  RegularRewritingResult rewriting;
+  /// Evaluation of the maximal rewriting over the view graph.
+  rel::Relation view_answers;
+  /// Evaluation of the goal over the base graph.
+  rel::Relation goal_answers;
+};
+
+RpqRewriteResult RewriteAndEvalRpq(const GraphDb& db, const fsa::Nfa& goal,
+                                   const std::vector<fsa::Nfa>& views);
+
+/// The view graph itself (labels = view indices).
+GraphDb BuildViewGraph(const GraphDb& db, const std::vector<fsa::Nfa>& views);
+
+}  // namespace sws::rw
+
+#endif  // SWS_REWRITING_RPQ_H_

@@ -1,0 +1,130 @@
+#include "rewriting/rpq_sws.h"
+
+#include "util/common.h"
+
+namespace sws::rw {
+
+namespace {
+using core::ActRelation;
+using core::kMsgRelation;
+using core::RelQuery;
+using core::Sws;
+using core::TransitionTarget;
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Term;
+using logic::UnionQuery;
+}  // namespace
+
+std::string EdgeRelation(int label) {
+  return "E" + std::to_string(label);
+}
+
+rel::Database EncodeGraph(const GraphDb& graph) {
+  rel::Database db;
+  rel::Relation nodes(1);
+  for (const rel::Value& v : graph.nodes()) nodes.Insert({v});
+  db.Set(kNodeRelation, std::move(nodes));
+  for (int l = 0; l < graph.num_labels(); ++l) {
+    rel::Relation edges(2);
+    for (const rel::Value& from : graph.nodes()) {
+      for (const rel::Value& to : graph.Successors(from, l)) {
+        edges.Insert({from, to});
+      }
+    }
+    db.Set(EdgeRelation(l), std::move(edges));
+  }
+  return db;
+}
+
+rel::InputSequence RpqFuel(size_t n) {
+  rel::InputSequence fuel(2);
+  for (size_t i = 0; i < n; ++i) fuel.Append(rel::Relation(2));
+  return fuel;
+}
+
+size_t SufficientFuel(const GraphDb& graph, const fsa::Nfa& rpq) {
+  // A shortest accepting path visits no (node, NFA state) pair twice.
+  return graph.nodes().size() * static_cast<size_t>(rpq.num_states()) + 2;
+}
+
+core::Sws RpqToSws(const fsa::Nfa& rpq_in, int num_labels) {
+  const fsa::Nfa rpq = rpq_in.RemoveEpsilons();
+  SWS_CHECK_EQ(rpq.alphabet_size(), 2 * num_labels)
+      << "RPQ automata use the 2-way alphabet (labels + inverses)";
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema(kNodeRelation, {"x"}));
+  for (int l = 0; l < num_labels; ++l) {
+    schema.Add(rel::RelationSchema(EdgeRelation(l), {"from", "to"}));
+  }
+  // Registers carry (start, current) pairs, so R_in has arity 2 (fuel
+  // messages are empty and only their count matters); R_out: answer
+  // pairs.
+  Sws sws(schema, /*rin_arity=*/2, /*rout_arity=*/2);
+  int root = sws.AddState("q0");
+  std::vector<int> state_of(rpq.num_states());
+  for (int q = 0; q < rpq.num_states(); ++q) {
+    state_of[q] = sws.AddState("s" + std::to_string(q));
+  }
+  int echo = sws.AddState("echo");
+  sws.SetTransition(echo, {});
+  sws.SetSynthesis(echo, RelQuery::Cq(ConjunctiveQuery(
+                             {Term::Var(0), Term::Var(1)},
+                             {Atom{kMsgRelation, {Term::Var(0), Term::Var(1)}}})));
+
+  auto v = [](int i) { return Term::Var(i); };
+  // φ_init: all zero-step partial paths (x, x).
+  ConjunctiveQuery init({v(0), v(0)}, {Atom{kNodeRelation, {v(0)}}});
+  // φ_step for symbol σ: extend (x, z) by one σ-edge to (x, y).
+  auto step = [&](int symbol) {
+    Atom edge = symbol < num_labels
+                    ? Atom{EdgeRelation(symbol), {v(2), v(1)}}
+                    : Atom{EdgeRelation(symbol - num_labels), {v(1), v(2)}};
+    return ConjunctiveQuery({v(0), v(1)},
+                            {Atom{kMsgRelation, {v(0), v(2)}}, edge});
+  };
+  // φ_id: carry the register to an echo leaf.
+  ConjunctiveQuery copy({v(0), v(1)},
+                        {Atom{kMsgRelation, {v(0), v(1)}}});
+
+  // Per NFA state: children for each outgoing transition, plus an echo
+  // child when accepting; the synthesis is the union of all children.
+  for (int q = 0; q < rpq.num_states(); ++q) {
+    std::vector<TransitionTarget> successors;
+    for (int symbol = 0; symbol < rpq.alphabet_size(); ++symbol) {
+      for (int p : rpq.Successors(q, symbol)) {
+        successors.push_back(
+            TransitionTarget{state_of[p], RelQuery::Cq(step(symbol))});
+      }
+    }
+    if (rpq.IsFinal(q)) {
+      successors.push_back(TransitionTarget{echo, RelQuery::Cq(copy)});
+    }
+    UnionQuery psi(2);
+    for (size_t i = 1; i <= successors.size(); ++i) {
+      psi.Add(ConjunctiveQuery({v(0), v(1)},
+                               {Atom{ActRelation(i), {v(0), v(1)}}}));
+    }
+    sws.SetTransition(state_of[q], std::move(successors));
+    sws.SetSynthesis(state_of[q], RelQuery::Ucq(std::move(psi)));
+  }
+
+  // Root: one child per initial NFA state, seeded with the zero-step
+  // partial paths.
+  std::vector<TransitionTarget> root_successors;
+  for (int q : rpq.initial()) {
+    root_successors.push_back(
+        TransitionTarget{state_of[q], RelQuery::Cq(init)});
+  }
+  UnionQuery root_psi(2);
+  for (size_t i = 1; i <= root_successors.size(); ++i) {
+    root_psi.Add(ConjunctiveQuery({v(0), v(1)},
+                                  {Atom{ActRelation(i), {v(0), v(1)}}}));
+  }
+  sws.SetTransition(root, std::move(root_successors));
+  sws.SetSynthesis(root, RelQuery::Ucq(std::move(root_psi)));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+}  // namespace sws::rw

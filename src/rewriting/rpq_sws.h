@@ -1,0 +1,50 @@
+#ifndef SWS_REWRITING_RPQ_SWS_H_
+#define SWS_REWRITING_RPQ_SWS_H_
+
+#include <string>
+
+#include "automata/nfa.h"
+#include "relational/input_sequence.h"
+#include "rewriting/graphdb.h"
+#include "sws/sws.h"
+
+namespace sws::rw {
+
+/// The SWS(UC2RPQ) class of Corollary 5.2: "One can express a UC2RPQ in
+/// SWS(CQ, UCQ)". This module gives the constructive embedding for a
+/// (2-way) RPQ: a *recursive* SWS whose message registers carry the
+/// partial-path relation {(start, current)} per NFA state, extended by
+/// one automaton step per input message — the input sequence is the
+/// recursion fuel, exactly the sense in which recursive SWS's compute
+/// recursive queries over unbounded inputs (Section 5.2's discussion of
+/// why recursive goals need recursive mediators).
+///
+/// Database encoding: nodes in a unary relation (kNodeRelation); one
+/// binary relation per label, named EdgeRelation(l); inverse symbols
+/// traverse the same relation backwards. The service's output are the
+/// RPQ answer pairs reachable with at most |I| - 1 automaton steps, so
+///   Run(RpqToSws(A), EncodeGraph(G), fuel(n)) == EvalRpq(G, A)
+/// for every n exceeding the longest simple path needed (≥ |V|·|Q| + 1
+/// always suffices).
+inline constexpr const char* kNodeRelation = "V";
+std::string EdgeRelation(int label);
+
+/// Packs a graph database into the relational encoding above.
+rel::Database EncodeGraph(const GraphDb& graph);
+
+/// Fuel: n empty messages of the register arity (content is irrelevant;
+/// only the length runs the recursion).
+rel::InputSequence RpqFuel(size_t n);
+
+/// A fuel length sufficient for exact RPQ evaluation on `graph`.
+size_t SufficientFuel(const GraphDb& graph, const fsa::Nfa& rpq);
+
+/// The embedding. The RPQ automaton is over the 2-way alphabet of
+/// `num_labels` labels (see GraphDb); the resulting service is in
+/// SWS(CQ, UCQ) (recursive iff the automaton has a cycle, as expected:
+/// star-free path queries embed nonrecursively).
+core::Sws RpqToSws(const fsa::Nfa& rpq, int num_labels);
+
+}  // namespace sws::rw
+
+#endif  // SWS_REWRITING_RPQ_SWS_H_

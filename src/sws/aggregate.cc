@@ -1,0 +1,101 @@
+#include "sws/aggregate.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace sws::core {
+
+double CostModel::Cost(const rel::Tuple& tuple) const {
+  double cost = 0;
+  for (size_t i = 0; i < tuple.size() && i < column_weights.size(); ++i) {
+    if (tuple[i].is_int()) {
+      cost += column_weights[i] * static_cast<double>(tuple[i].AsInt());
+    }
+  }
+  return cost;
+}
+
+namespace {
+
+rel::Relation SelectOptimal(const rel::Relation& relation,
+                            const CostModel& model, bool minimize) {
+  rel::Relation out(relation.arity());
+  if (relation.empty()) return out;
+  std::optional<double> best;
+  for (const rel::Tuple& t : relation) {
+    double c = model.Cost(t);
+    if (!best.has_value() || (minimize ? c < *best : c > *best)) best = c;
+  }
+  for (const rel::Tuple& t : relation) {
+    if (model.Cost(t) == *best) out.Insert(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+rel::Relation SelectMinCost(const rel::Relation& relation,
+                            const CostModel& model) {
+  return SelectOptimal(relation, model, /*minimize=*/true);
+}
+
+rel::Relation SelectMaxCost(const rel::Relation& relation,
+                            const CostModel& model) {
+  return SelectOptimal(relation, model, /*minimize=*/false);
+}
+
+rel::Relation ApplyAggregation(const rel::Relation& output,
+                               const Aggregation& aggregation) {
+  switch (aggregation.kind) {
+    case AggregateKind::kMinCost:
+      return SelectMinCost(output, aggregation.cost_model);
+    case AggregateKind::kMaxCost:
+      return SelectMaxCost(output, aggregation.cost_model);
+    case AggregateKind::kCount: {
+      rel::Relation out(1);
+      out.Insert({rel::Value::Int(static_cast<int64_t>(output.size()))});
+      return out;
+    }
+    case AggregateKind::kSum: {
+      SWS_CHECK_LT(aggregation.column, output.arity());
+      int64_t sum = 0;
+      for (const rel::Tuple& t : output) {
+        if (t[aggregation.column].is_int()) {
+          sum += t[aggregation.column].AsInt();
+        }
+      }
+      rel::Relation out(1);
+      out.Insert({rel::Value::Int(sum)});
+      return out;
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      SWS_CHECK_LT(aggregation.column, output.arity());
+      std::optional<int64_t> best;
+      for (const rel::Tuple& t : output) {
+        if (!t[aggregation.column].is_int()) continue;
+        int64_t v = t[aggregation.column].AsInt();
+        if (!best.has_value() ||
+            (aggregation.kind == AggregateKind::kMin ? v < *best
+                                                     : v > *best)) {
+          best = v;
+        }
+      }
+      rel::Relation out(1);
+      if (best.has_value()) out.Insert({rel::Value::Int(*best)});
+      return out;
+    }
+  }
+  return rel::Relation(output.arity());
+}
+
+RunResult AggregateSws::Run(const rel::Database& db,
+                            const rel::InputSequence& input,
+                            const RunOptions& options) const {
+  RunResult result = core::Run(*sws_, db, input, options);
+  result.output = ApplyAggregation(result.output, aggregation_);
+  return result;
+}
+
+}  // namespace sws::core

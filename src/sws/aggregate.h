@@ -1,0 +1,93 @@
+#ifndef SWS_SWS_AGGREGATE_H_
+#define SWS_SWS_AGGREGATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "sws/execution.h"
+#include "sws/sws.h"
+
+namespace sws::core {
+
+/// Aggregation and cost models in action synthesis — the extension the
+/// paper's Conclusion calls for explicitly: "a practical topic for
+/// future work is to extend SWS's by incorporating aggregation and a
+/// cost model into action synthesis to find, e.g., a travel package
+/// with minimum total cost when airfare, hotel and other components are
+/// all taken together. While aggregation on composed services is
+/// certainly needed in practice, we are not aware of any formal study."
+///
+/// A CostModel assigns a linear cost to each output tuple: the weighted
+/// sum of its integer columns (non-integer columns contribute 0, or can
+/// be priced per string value). An AggregateSws wraps a service and an
+/// aggregation to apply to τ(D, I):
+///  * kMinCost / kMaxCost — keep exactly the tuples attaining the
+///    optimum (deterministic: ties keep all optimal tuples, preserving
+///    the SWS's "backward determinism": the result is still a function
+///    of (D, I));
+///  * kSum / kCount / kMin / kMax over one column — a single-tuple
+///    summary relation.
+///
+/// Aggregation happens *after* root synthesis and *before* commitment,
+/// so the committed actions are exactly the optimal package — the
+/// deferred-commitment discipline extends to the aggregate.
+struct CostModel {
+  /// Weight per output column (missing trailing weights = 0).
+  std::vector<double> column_weights;
+
+  /// Cost of one tuple: Σ weight_i · value_i over integer columns.
+  double Cost(const rel::Tuple& tuple) const;
+};
+
+/// Tuples of `relation` attaining the minimum (or maximum) cost. The
+/// empty relation aggregates to itself.
+rel::Relation SelectMinCost(const rel::Relation& relation,
+                            const CostModel& model);
+rel::Relation SelectMaxCost(const rel::Relation& relation,
+                            const CostModel& model);
+
+enum class AggregateKind {
+  kMinCost,  // keep the argmin tuples under the cost model
+  kMaxCost,  // keep the argmax tuples
+  kSum,      // single tuple: (sum of column `column`)
+  kCount,    // single tuple: (|τ(D, I)|)
+  kMin,      // single tuple: (min of column `column`), empty if no tuples
+  kMax,      // single tuple: (max of column `column`), empty if no tuples
+};
+
+struct Aggregation {
+  AggregateKind kind = AggregateKind::kMinCost;
+  CostModel cost_model;   // for kMinCost / kMaxCost
+  size_t column = 0;      // for kSum / kMin / kMax
+};
+
+/// Applies the aggregation to an output relation. For kSum/kCount the
+/// result has arity 1; for the cost selections it keeps the arity.
+rel::Relation ApplyAggregation(const rel::Relation& output,
+                               const Aggregation& aggregation);
+
+/// A service with aggregation on its synthesized actions: runs the
+/// underlying SWS, then aggregates the root's action register. The
+/// composite is still a deterministic function of (D, I).
+class AggregateSws {
+ public:
+  AggregateSws(const Sws* sws, Aggregation aggregation)
+      : sws_(sws), aggregation_(std::move(aggregation)) {}
+
+  const Sws& sws() const { return *sws_; }
+  const Aggregation& aggregation() const { return aggregation_; }
+
+  RunResult Run(const rel::Database& db, const rel::InputSequence& input,
+                const RunOptions& options = {}) const;
+
+ private:
+  const Sws* sws_;
+  Aggregation aggregation_;
+};
+
+}  // namespace sws::core
+
+#endif  // SWS_SWS_AGGREGATE_H_

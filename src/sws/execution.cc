@@ -1,0 +1,137 @@
+#include "sws/execution.h"
+
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::core {
+
+std::string ExecNode::ToString(const Sws& sws, int indent) const {
+  std::ostringstream out;
+  for (int i = 0; i < indent; ++i) out << "  ";
+  out << sws.StateName(state) << " @" << timestamp
+      << " Msg=" << msg.ToString() << " Act=" << act.ToString() << "\n";
+  for (const auto& c : children) out << c->ToString(sws, indent + 1);
+  return out.str();
+}
+
+namespace {
+
+// The recursive engine. Timestamp convention (matching Example 2.2 of the
+// paper): the root is at timestamp 0; a node at timestamp j had its
+// message register computed from input I_j, reads I_j in a final-state
+// synthesis, and spawns children at timestamp j+1 whose registers are
+// computed from I_{j+1}.
+//
+// One environment database is shared across the run: "In" and "Msg" are
+// overwritten per node *before* any query of that node is evaluated and
+// never read after recursion into children, so the sharing is safe.
+// Internal-node synthesis runs against a separate tiny environment
+// holding only the successors' action registers.
+class Engine {
+ public:
+  Engine(const Sws& sws, const rel::Database& db,
+         const rel::InputSequence& input, const RunOptions& options)
+      : sws_(sws), input_(input), options_(options), env_(db) {}
+
+  RunResult Execute(const rel::Relation& initial_msg) {
+    RunResult result;
+    auto root = std::make_unique<ExecNode>();
+    bool ok = Eval(sws_.start_state(), 0, initial_msg, /*is_root=*/true,
+                   root.get());
+    result.ok = ok;
+    result.output = ok ? root->act : rel::Relation(sws_.rout_arity());
+    result.num_nodes = num_nodes_;
+    result.max_timestamp = max_consumed_;
+    if (options_.keep_tree) result.tree = std::move(root);
+    return result;
+  }
+
+ private:
+  // I_j, with I_0 and I_{j>n} empty.
+  rel::Relation MessageAt(size_t j) const {
+    if (j == 0 || j > input_.size()) return rel::Relation(sws_.rin_arity());
+    return input_.Message(j);
+  }
+
+  // Fills node->act; returns false if the node budget was exhausted.
+  bool Eval(int state, size_t j, rel::Relation msg, bool is_root,
+            ExecNode* node) {
+    if (++num_nodes_ > options_.max_nodes) return false;
+    node->state = state;
+    node->timestamp = j;
+    node->msg = msg;
+    node->act = rel::Relation(sws_.rout_arity());
+
+    const size_t n = input_.size();
+    // Condition (1): exhausted input, or an empty register at a non-root
+    // node. The root (empty register by construction, or an empty seed)
+    // proceeds only when I is nonempty — the special case of Section 2.
+    if (j > n || (msg.empty() && !is_root)) return true;
+    if (is_root && msg.empty() && n == 0) return true;
+    if (j >= 1) max_consumed_ = std::max(max_consumed_, j);
+
+    const std::vector<TransitionTarget>& successors = sws_.Successors(state);
+    if (successors.empty()) {
+      // Condition (3): final state, Act = ψ(D, I_j, Msg).
+      env_.Set(kInputRelation, MessageAt(j));
+      env_.Set(kMsgRelation, std::move(msg));
+      node->act = sws_.Synthesis(state).Evaluate(env_);
+      return true;
+    }
+
+    // Condition (2): spawn children at timestamp j+1; their registers are
+    // computed from I_{j+1}. Compute all child registers before recursing
+    // (recursion overwrites "In"/"Msg" in the shared env).
+    if (j + 1 <= n) max_consumed_ = std::max(max_consumed_, j + 1);
+    env_.Set(kInputRelation, MessageAt(j + 1));
+    env_.Set(kMsgRelation, std::move(msg));
+    std::vector<rel::Relation> child_msgs;
+    child_msgs.reserve(successors.size());
+    for (const auto& t : successors) {
+      child_msgs.push_back(t.query.Evaluate(env_));
+    }
+    for (size_t i = 0; i < successors.size(); ++i) {
+      node->children.push_back(std::make_unique<ExecNode>());
+      if (!Eval(successors[i].state, j + 1, std::move(child_msgs[i]),
+                /*is_root=*/false, node->children.back().get())) {
+        return false;
+      }
+    }
+    // Condition (4): synthesize from the children's action registers.
+    rel::Database synth_env;
+    for (size_t i = 0; i < successors.size(); ++i) {
+      synth_env.Set(ActRelation(i + 1), node->children[i]->act);
+    }
+    node->act = sws_.Synthesis(state).Evaluate(synth_env);
+    if (!options_.keep_tree) node->children.clear();
+    return true;
+  }
+
+  const Sws& sws_;
+  const rel::InputSequence& input_;
+  const RunOptions& options_;
+  rel::Database env_;
+  size_t num_nodes_ = 0;
+  size_t max_consumed_ = 0;
+};
+
+}  // namespace
+
+RunResult Run(const Sws& sws, const rel::Database& db,
+              const rel::InputSequence& input, const RunOptions& options) {
+  return RunSeeded(sws, db, input, rel::Relation(sws.rin_arity()), options);
+}
+
+RunResult RunSeeded(const Sws& sws, const rel::Database& db,
+                    const rel::InputSequence& input,
+                    const rel::Relation& initial_msg,
+                    const RunOptions& options) {
+  SWS_CHECK_EQ(input.message_arity(), sws.rin_arity())
+      << "input message arity mismatch";
+  SWS_CHECK_EQ(initial_msg.arity(), sws.rin_arity());
+  Engine engine(sws, db, input, options);
+  return engine.Execute(initial_msg);
+}
+
+}  // namespace sws::core

@@ -1,0 +1,79 @@
+#ifndef SWS_SWS_EXECUTION_H_
+#define SWS_SWS_EXECUTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/input_sequence.h"
+#include "sws/sws.h"
+
+namespace sws::core {
+
+/// A node of an execution tree (Section 2, "Runs of SWS's"): labeled with
+/// a state, a timestamp, a message register and an action register.
+/// Retained only when RunOptions::keep_tree is set.
+struct ExecNode {
+  int state = 0;
+  size_t timestamp = 0;
+  rel::Relation msg;
+  rel::Relation act;
+  std::vector<std::unique_ptr<ExecNode>> children;
+
+  /// Pretty-prints the subtree (for examples and debugging).
+  std::string ToString(const Sws& sws, int indent = 0) const;
+};
+
+struct RunOptions {
+  /// Retain the full execution tree in RunResult::tree.
+  bool keep_tree = false;
+  /// Abort the run (ok=false) if more nodes than this would be created —
+  /// a guard for recursive services on long inputs.
+  size_t max_nodes = 50'000'000;
+};
+
+/// Result of running an SWS on (D, I).
+struct RunResult {
+  bool ok = true;                 // false iff max_nodes exceeded
+  rel::Relation output;           // Act(root) = τ(D, I)
+  size_t num_nodes = 0;           // nodes in the execution tree
+  size_t max_timestamp = 0;       // l: inputs I_1..I_l were consumed
+  std::unique_ptr<ExecNode> tree; // populated iff keep_tree
+};
+
+/// The run of τ on (D, I): builds the execution tree top-down (one input
+/// message per level, following the Generating rules) and gathers actions
+/// bottom-up (Gathering rules). The output is Act(root).
+///
+/// Timestamps follow Example 2.2 of the paper: the root is at timestamp
+/// 0, and a node at timestamp j had its message register computed from
+/// I_j. Node semantics, with j the node's timestamp and n = |I|:
+///  (1) if j > n, or Msg(v) = ∅ at a non-root node, Act(v) = ∅ — the
+///      root's empty register does not stop the run unless I is empty
+///      (the special case of Section 2);
+///  (2) otherwise a non-final state spawns one child per successor entry,
+///      child i carrying Msg = φ_i(D, I_{j+1}, Msg(v)) and timestamp j+1;
+///  (3) a final state computes Act(v) = ψ(D, I_j, Msg(v)) — at the root,
+///      I_0 is the empty message;
+///  (4) a non-final state synthesizes Act(v) = ψ(Act(u_1), ..., Act(u_k)).
+///
+/// RunResult::max_timestamp is the largest j of a node that read an input
+/// (so I_{max_timestamp+1} is the first unconsumed message — the l_i of
+/// the mediator semantics, Section 5.1).
+RunResult Run(const Sws& sws, const rel::Database& db,
+              const rel::InputSequence& input, const RunOptions& options = {});
+
+/// As Run, but the start state's message register is seeded with
+/// `initial_msg` instead of ∅ — the mediator semantics of Section 5.1
+/// ("the message register of the start state of τ_i is instantiated with
+/// Msg(v)"). The root proceeds regardless of the seed's emptiness, as
+/// long as I is nonempty.
+RunResult RunSeeded(const Sws& sws, const rel::Database& db,
+                    const rel::InputSequence& input,
+                    const rel::Relation& initial_msg,
+                    const RunOptions& options = {});
+
+}  // namespace sws::core
+
+#endif  // SWS_SWS_EXECUTION_H_

@@ -1,0 +1,277 @@
+#include "sws/generator.h"
+
+#include "util/common.h"
+
+namespace sws::core {
+
+namespace {
+using logic::Atom;
+using logic::Comparison;
+using logic::ConjunctiveQuery;
+using logic::PlFormula;
+using logic::Term;
+using logic::UnionQuery;
+}  // namespace
+
+PlFormula WorkloadGenerator::RandomPlFormula(int depth, int num_vars,
+                                             bool include_msg_var,
+                                             int msg_var) {
+  std::uniform_int_distribution<int> kind_dist(0, depth <= 0 ? 1 : 4);
+  std::uniform_int_distribution<int> var_dist(0, num_vars - 1);
+  std::uniform_int_distribution<int> coin(0, 9);
+  switch (kind_dist(rng_)) {
+    case 0:
+      if (include_msg_var && coin(rng_) < 2) return PlFormula::Var(msg_var);
+      if (num_vars == 0) return PlFormula::Constant(coin(rng_) < 5);
+      return PlFormula::Var(var_dist(rng_));
+    case 1:
+      return PlFormula::Constant(coin(rng_) < 5);
+    case 2:
+      return PlFormula::Not(
+          RandomPlFormula(depth - 1, num_vars, include_msg_var, msg_var));
+    case 3:
+      return PlFormula::And(
+          RandomPlFormula(depth - 1, num_vars, include_msg_var, msg_var),
+          RandomPlFormula(depth - 1, num_vars, include_msg_var, msg_var));
+    default:
+      return PlFormula::Or(
+          RandomPlFormula(depth - 1, num_vars, include_msg_var, msg_var),
+          RandomPlFormula(depth - 1, num_vars, include_msg_var, msg_var));
+  }
+}
+
+PlSws WorkloadGenerator::RandomPlSws(const PlSwsParams& params) {
+  SWS_CHECK_GE(params.num_states, 1);
+  PlSws out(params.num_input_vars);
+  for (int q = 0; q < params.num_states; ++q) {
+    out.AddState("q" + std::to_string(q));
+  }
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> succ_count(1, params.max_successors);
+  for (int q = 0; q < params.num_states; ++q) {
+    bool is_last = q == params.num_states - 1;
+    bool is_final =
+        is_last || (q != 0 && unit(rng_) < params.final_state_prob);
+    if (is_final) {
+      out.SetTransition(q, {});
+      out.SetSynthesis(
+          q, RandomPlFormula(params.max_formula_depth, params.num_input_vars,
+                             /*include_msg_var=*/true, out.msg_var()));
+      continue;
+    }
+    int k = succ_count(rng_);
+    std::vector<PlSws::Successor> successors;
+    for (int i = 0; i < k; ++i) {
+      int target;
+      if (params.allow_recursion) {
+        // Any state except q0.
+        std::uniform_int_distribution<int> t(1, params.num_states - 1);
+        target = t(rng_);
+      } else {
+        // Strictly larger id: the dependency graph is a DAG.
+        std::uniform_int_distribution<int> t(q + 1, params.num_states - 1);
+        target = t(rng_);
+      }
+      successors.push_back(PlSws::Successor{
+          target,
+          RandomPlFormula(params.max_formula_depth, params.num_input_vars,
+                          /*include_msg_var=*/true, out.msg_var())});
+    }
+    int num_successors = static_cast<int>(successors.size());
+    out.SetTransition(q, std::move(successors));
+    out.SetSynthesis(q, RandomPlFormula(params.max_formula_depth,
+                                        num_successors,
+                                        /*include_msg_var=*/false, -1));
+  }
+  SWS_CHECK(!out.Validate().has_value()) << *out.Validate();
+  return out;
+}
+
+PlSws::Word WorkloadGenerator::RandomPlWord(int length, int num_vars) {
+  PlSws::Word word;
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int j = 0; j < length; ++j) {
+    PlSws::Symbol symbol;
+    for (int v = 0; v < num_vars; ++v) {
+      if (coin(rng_) == 1) symbol.insert(v);
+    }
+    word.push_back(std::move(symbol));
+  }
+  return word;
+}
+
+ConjunctiveQuery WorkloadGenerator::RandomRuleCq(const CqSwsParams& params,
+                                                 bool allow_msg,
+                                                 size_t head_arity) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> var_dist(0, 4);
+  std::uniform_int_distribution<int> rel_dist(0, params.num_db_relations - 1);
+  std::uniform_int_distribution<int> extra_atoms(0, params.max_body_atoms);
+
+  std::vector<Atom> body;
+  auto random_args = [&](size_t arity) {
+    std::vector<Term> args;
+    for (size_t i = 0; i < arity; ++i) args.push_back(Term::Var(var_dist(rng_)));
+    return args;
+  };
+  // Always read the current input so the rule is input-driven.
+  body.push_back(Atom{kInputRelation, random_args(params.rin_arity)});
+  if (allow_msg && unit(rng_) < params.use_msg_prob) {
+    body.push_back(Atom{kMsgRelation, random_args(params.rin_arity)});
+  }
+  int extras = extra_atoms(rng_);
+  for (int i = 0; i < extras; ++i) {
+    int r = rel_dist(rng_);
+    body.push_back(Atom{"R" + std::to_string(r), random_args(params.db_arity)});
+  }
+  // Collect body variables for a safe head.
+  std::set<int> body_vars;
+  for (const Atom& a : body) {
+    for (const Term& t : a.args) {
+      if (t.is_var()) body_vars.insert(t.var());
+    }
+  }
+  std::vector<int> pool(body_vars.begin(), body_vars.end());
+  std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+  std::vector<Term> head;
+  for (size_t i = 0; i < head_arity; ++i) {
+    if (unit(rng_) < 0.15) {
+      std::uniform_int_distribution<int64_t> c(0, 2);
+      head.push_back(Term::Int(c(rng_)));
+    } else {
+      head.push_back(Term::Var(pool[pick(rng_)]));
+    }
+  }
+  std::vector<Comparison> comparisons;
+  if (pool.size() >= 2 && unit(rng_) < params.inequality_prob) {
+    size_t i = pick(rng_);
+    size_t j = pick(rng_);
+    if (i != j) {
+      comparisons.push_back(Comparison{Term::Var(pool[i]),
+                                       Term::Var(pool[j]),
+                                       /*is_equality=*/false});
+    }
+  }
+  return ConjunctiveQuery(std::move(head), std::move(body),
+                          std::move(comparisons));
+}
+
+Sws WorkloadGenerator::RandomCqSws(const CqSwsParams& params) {
+  SWS_CHECK_GE(params.num_states, 1);
+  rel::Schema schema;
+  for (int r = 0; r < params.num_db_relations; ++r) {
+    std::vector<std::string> attrs;
+    for (size_t i = 0; i < params.db_arity; ++i) {
+      attrs.push_back("a" + std::to_string(i));
+    }
+    schema.Add(rel::RelationSchema("R" + std::to_string(r), attrs));
+  }
+  Sws out(schema, params.rin_arity, params.rout_arity);
+  for (int q = 0; q < params.num_states; ++q) {
+    out.AddState("q" + std::to_string(q));
+  }
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> succ_count(1, params.max_successors);
+  std::uniform_int_distribution<int> disjuncts(1, params.max_ucq_disjuncts);
+  std::uniform_int_distribution<int> var_dist(0, 4);
+
+  for (int q = 0; q < params.num_states; ++q) {
+    bool is_last = q == params.num_states - 1;
+    bool is_final =
+        is_last || (q != 0 && unit(rng_) < params.final_state_prob);
+    if (is_final) {
+      out.SetTransition(q, {});
+      UnionQuery psi(params.rout_arity);
+      int nd = disjuncts(rng_);
+      for (int d = 0; d < nd; ++d) {
+        psi.Add(RandomRuleCq(params, /*allow_msg=*/true, params.rout_arity));
+      }
+      out.SetSynthesis(q, RelQuery::Ucq(std::move(psi)));
+      continue;
+    }
+    int k = succ_count(rng_);
+    std::vector<TransitionTarget> successors;
+    for (int i = 0; i < k; ++i) {
+      std::uniform_int_distribution<int> t(q + 1, params.num_states - 1);
+      successors.push_back(TransitionTarget{
+          t(rng_), RelQuery::Cq(RandomRuleCq(params, /*allow_msg=*/true,
+                                             params.rin_arity))});
+    }
+    size_t num_successors = successors.size();
+    out.SetTransition(q, std::move(successors));
+    // Internal synthesis: disjuncts over Act1..Actk.
+    UnionQuery psi(params.rout_arity);
+    int nd = disjuncts(rng_);
+    std::uniform_int_distribution<size_t> act_pick(1, num_successors);
+    std::uniform_int_distribution<int> atom_count(
+        1, static_cast<int>(num_successors));
+    for (int d = 0; d < nd; ++d) {
+      std::vector<Atom> body;
+      int atoms = atom_count(rng_);
+      for (int a = 0; a < atoms; ++a) {
+        std::vector<Term> args;
+        for (size_t i = 0; i < params.rout_arity; ++i) {
+          args.push_back(Term::Var(var_dist(rng_)));
+        }
+        body.push_back(Atom{ActRelation(act_pick(rng_)), std::move(args)});
+      }
+      std::set<int> body_vars;
+      for (const Atom& a : body) {
+        for (const Term& t : a.args) {
+          if (t.is_var()) body_vars.insert(t.var());
+        }
+      }
+      std::vector<int> pool(body_vars.begin(), body_vars.end());
+      std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+      std::vector<Term> head;
+      for (size_t i = 0; i < params.rout_arity; ++i) {
+        head.push_back(Term::Var(pool[pick(rng_)]));
+      }
+      psi.Add(ConjunctiveQuery(std::move(head), std::move(body)));
+    }
+    out.SetSynthesis(q, RelQuery::Ucq(std::move(psi)));
+  }
+  SWS_CHECK(!out.Validate().has_value()) << *out.Validate();
+  return out;
+}
+
+rel::Database WorkloadGenerator::RandomDatabase(const rel::Schema& schema,
+                                                size_t tuples_per_rel,
+                                                int64_t domain_size) {
+  SWS_CHECK_GE(domain_size, 1);
+  std::uniform_int_distribution<int64_t> value(0, domain_size - 1);
+  rel::Database db(schema);
+  for (const auto& r : schema.relations()) {
+    rel::Relation* rel = db.GetMutable(r.name());
+    for (size_t t = 0; t < tuples_per_rel; ++t) {
+      rel::Tuple tuple;
+      for (size_t i = 0; i < r.arity(); ++i) {
+        tuple.push_back(rel::Value::Int(value(rng_)));
+      }
+      rel->Insert(std::move(tuple));
+    }
+  }
+  return db;
+}
+
+rel::InputSequence WorkloadGenerator::RandomInput(size_t arity, size_t length,
+                                                  size_t tuples_per_msg,
+                                                  int64_t domain_size) {
+  SWS_CHECK_GE(domain_size, 1);
+  std::uniform_int_distribution<int64_t> value(0, domain_size - 1);
+  rel::InputSequence out(arity);
+  for (size_t j = 0; j < length; ++j) {
+    rel::Relation message(arity);
+    for (size_t t = 0; t < tuples_per_msg; ++t) {
+      rel::Tuple tuple;
+      for (size_t i = 0; i < arity; ++i) {
+        tuple.push_back(rel::Value::Int(value(rng_)));
+      }
+      message.Insert(std::move(tuple));
+    }
+    out.Append(std::move(message));
+  }
+  return out;
+}
+
+}  // namespace sws::core

@@ -1,0 +1,81 @@
+#ifndef SWS_SWS_GENERATOR_H_
+#define SWS_SWS_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+
+#include "relational/database.h"
+#include "relational/input_sequence.h"
+#include "sws/pl_sws.h"
+#include "sws/sws.h"
+
+namespace sws::core {
+
+/// Seeded random workload generation: services, databases and input
+/// sequences for the test suites (differential/property testing) and the
+/// Table 1 / Table 2 benchmark families. All generation is deterministic
+/// given the seed.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(uint64_t seed) : rng_(seed) {}
+
+  struct PlSwsParams {
+    int num_states = 4;
+    int num_input_vars = 2;
+    int max_successors = 3;      // per transition rule
+    double final_state_prob = 0.4;
+    int max_formula_depth = 3;
+    bool allow_recursion = false;
+  };
+
+  /// A random well-formed PlSws (Validate() passes). Recursion, if
+  /// allowed, is introduced by letting non-start states target any state
+  /// except q0.
+  PlSws RandomPlSws(const PlSwsParams& params);
+
+  /// A random input word over the first `num_vars` propositional
+  /// variables.
+  PlSws::Word RandomPlWord(int length, int num_vars);
+
+  struct CqSwsParams {
+    int num_states = 4;
+    size_t rin_arity = 2;
+    size_t rout_arity = 2;
+    int num_db_relations = 2;
+    size_t db_arity = 2;
+    int max_successors = 2;
+    double final_state_prob = 0.45;
+    int max_body_atoms = 2;        // extra atoms besides In/Msg uses
+    int max_ucq_disjuncts = 2;
+    double use_msg_prob = 0.6;     // chance a rule reads the register
+    double inequality_prob = 0.25; // chance of adding one ≠ comparison
+  };
+
+  /// A random well-formed *nonrecursive* SWS(CQ, UCQ) service over DB
+  /// relations "R0".."R{k-1}".
+  Sws RandomCqSws(const CqSwsParams& params);
+
+  /// A random database over the service's schema with `tuples_per_rel`
+  /// tuples drawn from an integer domain of the given size.
+  rel::Database RandomDatabase(const rel::Schema& schema,
+                               size_t tuples_per_rel, int64_t domain_size);
+
+  /// A random input sequence of `length` messages, `tuples_per_msg`
+  /// tuples each.
+  rel::InputSequence RandomInput(size_t arity, size_t length,
+                                 size_t tuples_per_msg, int64_t domain_size);
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  logic::PlFormula RandomPlFormula(int depth, int num_vars,
+                                   bool include_msg_var, int msg_var);
+  logic::ConjunctiveQuery RandomRuleCq(const CqSwsParams& params,
+                                       bool allow_msg, size_t head_arity);
+
+  std::mt19937_64 rng_;
+};
+
+}  // namespace sws::core
+
+#endif  // SWS_SWS_GENERATOR_H_

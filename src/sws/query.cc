@@ -1,0 +1,171 @@
+#include "sws/query.h"
+
+#include "util/common.h"
+
+namespace sws::core {
+
+std::string ActRelation(size_t successor_index_1based) {
+  SWS_CHECK_GE(successor_index_1based, 1u);
+  return "Act" + std::to_string(successor_index_1based);
+}
+
+RelQuery::Language RelQuery::language() const {
+  if (std::holds_alternative<logic::ConjunctiveQuery>(query_)) {
+    return Language::kCq;
+  }
+  if (std::holds_alternative<logic::UnionQuery>(query_)) {
+    return Language::kUcq;
+  }
+  return Language::kFo;
+}
+
+const logic::ConjunctiveQuery& RelQuery::cq() const {
+  SWS_CHECK(is_cq());
+  return std::get<logic::ConjunctiveQuery>(query_);
+}
+
+const logic::UnionQuery& RelQuery::ucq() const {
+  SWS_CHECK(is_ucq());
+  return std::get<logic::UnionQuery>(query_);
+}
+
+const logic::FoQuery& RelQuery::fo() const {
+  SWS_CHECK(is_fo());
+  return std::get<logic::FoQuery>(query_);
+}
+
+logic::UnionQuery RelQuery::AsUcq() const {
+  switch (language()) {
+    case Language::kCq:
+      return logic::UnionQuery::Single(cq());
+    case Language::kUcq:
+      return ucq();
+    case Language::kFo:
+      SWS_CHECK(false) << "FO query is not a UCQ";
+  }
+  return logic::UnionQuery();
+}
+
+logic::FoQuery RelQuery::AsFo() const {
+  switch (language()) {
+    case Language::kCq:
+      return logic::FoQuery::FromCq(cq());
+    case Language::kUcq: {
+      const logic::UnionQuery& u = ucq();
+      // Head of the FO query: fresh variables y_0..y_{k-1}; each disjunct
+      // contributes Exists(vars) (body & head-match).
+      int offset = u.MaxVar() + 1;
+      std::vector<logic::Term> head;
+      for (size_t i = 0; i < u.head_arity(); ++i) {
+        head.push_back(logic::Term::Var(offset + static_cast<int>(i)));
+      }
+      std::vector<logic::FoFormula> branches;
+      for (const auto& d : u.disjuncts()) {
+        logic::FoQuery dq = logic::FoQuery::FromCq(d);
+        // Match the disjunct head to the shared head variables.
+        std::vector<logic::FoFormula> conj;
+        conj.push_back(dq.formula());
+        std::vector<int> inner;
+        std::set<int> seen;
+        for (size_t i = 0; i < d.head().size(); ++i) {
+          const logic::Term& t = d.head()[i];
+          conj.push_back(logic::FoFormula::Eq(head[i], t));
+          if (t.is_var() && seen.insert(t.var()).second) {
+            inner.push_back(t.var());
+          }
+        }
+        branches.push_back(logic::FoFormula::Exists(
+            inner, logic::FoFormula::And(std::move(conj))));
+      }
+      return logic::FoQuery(head, logic::FoFormula::Or(std::move(branches)));
+    }
+    case Language::kFo:
+      return fo();
+  }
+  return logic::FoQuery();
+}
+
+size_t RelQuery::head_arity() const {
+  switch (language()) {
+    case Language::kCq:
+      return cq().head_arity();
+    case Language::kUcq:
+      return ucq().head_arity();
+    case Language::kFo:
+      return fo().head_arity();
+  }
+  return 0;
+}
+
+std::set<std::string> RelQuery::ReadRelations() const {
+  switch (language()) {
+    case Language::kCq:
+      return cq().BodyRelations();
+    case Language::kUcq: {
+      std::set<std::string> out;
+      for (const auto& d : ucq().disjuncts()) {
+        auto names = d.BodyRelations();
+        out.insert(names.begin(), names.end());
+      }
+      return out;
+    }
+    case Language::kFo: {
+      std::set<std::string> out;
+      for (const auto& [name, arity] : fo().formula().RelationArities()) {
+        out.insert(name);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+std::optional<std::string> RelQuery::Validate() const {
+  switch (language()) {
+    case Language::kCq:
+      return cq().Validate();
+    case Language::kUcq:
+      return ucq().Validate();
+    case Language::kFo:
+      return fo().Validate();
+  }
+  return std::nullopt;
+}
+
+rel::Relation RelQuery::Evaluate(const rel::Database& env) const {
+  switch (language()) {
+    case Language::kCq:
+      return cq().Evaluate(env);
+    case Language::kUcq:
+      return ucq().Evaluate(env);
+    case Language::kFo:
+      return fo().Evaluate(env);
+  }
+  return rel::Relation(0);
+}
+
+bool RelQuery::EvaluatesNonempty(const rel::Database& env) const {
+  switch (language()) {
+    case Language::kCq:
+      return cq().EvaluatesNonempty(env);
+    case Language::kUcq:
+      return ucq().EvaluatesNonempty(env);
+    case Language::kFo:
+      return !fo().Evaluate(env).empty();
+  }
+  return false;
+}
+
+std::string RelQuery::ToString() const {
+  switch (language()) {
+    case Language::kCq:
+      return "[CQ] " + cq().ToString();
+    case Language::kUcq:
+      return "[UCQ] " + ucq().ToString();
+    case Language::kFo:
+      return "[FO] " + fo().ToString();
+  }
+  return "?";
+}
+
+}  // namespace sws::core

@@ -1,0 +1,78 @@
+#ifndef SWS_SWS_QUERY_H_
+#define SWS_SWS_QUERY_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+
+#include "logic/cq.h"
+#include "logic/fo.h"
+#include "logic/ucq.h"
+
+namespace sws::core {
+
+/// Names under which the run engine exposes the evaluation environment to
+/// rule queries (Definition 2.1): the local database relations keep their
+/// own names; additionally:
+///  * kInputRelation — the current input message I_j,
+///  * kMsgRelation   — the node's message register Msg(q),
+///  * kActRelation(i) — "Act1", "Act2", ...: the successors' action
+///    registers, positional, available to synthesis rules of non-final
+///    states only.
+inline constexpr const char* kInputRelation = "In";
+inline constexpr const char* kMsgRelation = "Msg";
+std::string ActRelation(size_t successor_index_1based);
+
+/// A relational query usable in SWS transition/synthesis rules: a CQ, a
+/// UCQ, or an FO query. The variant kind determines which SWS class
+/// (Section 2) a service belongs to.
+class RelQuery {
+ public:
+  enum class Language { kCq, kUcq, kFo };
+
+  RelQuery() : query_(logic::ConjunctiveQuery()) {}
+
+  static RelQuery Cq(logic::ConjunctiveQuery q) { return RelQuery(std::move(q)); }
+  static RelQuery Ucq(logic::UnionQuery q) { return RelQuery(std::move(q)); }
+  static RelQuery Fo(logic::FoQuery q) { return RelQuery(std::move(q)); }
+
+  Language language() const;
+  bool is_cq() const { return language() == Language::kCq; }
+  bool is_ucq() const { return language() == Language::kUcq; }
+  bool is_fo() const { return language() == Language::kFo; }
+
+  const logic::ConjunctiveQuery& cq() const;
+  const logic::UnionQuery& ucq() const;
+  const logic::FoQuery& fo() const;
+
+  /// The query as a UCQ: a CQ converts exactly; an FO query aborts.
+  logic::UnionQuery AsUcq() const;
+  /// The query as FO (always possible).
+  logic::FoQuery AsFo() const;
+
+  size_t head_arity() const;
+
+  /// Relation names the query reads.
+  std::set<std::string> ReadRelations() const;
+
+  /// Well-formedness of the underlying query.
+  std::optional<std::string> Validate() const;
+
+  rel::Relation Evaluate(const rel::Database& env) const;
+  bool EvaluatesNonempty(const rel::Database& env) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit RelQuery(logic::ConjunctiveQuery q) : query_(std::move(q)) {}
+  explicit RelQuery(logic::UnionQuery q) : query_(std::move(q)) {}
+  explicit RelQuery(logic::FoQuery q) : query_(std::move(q)) {}
+
+  std::variant<logic::ConjunctiveQuery, logic::UnionQuery, logic::FoQuery>
+      query_;
+};
+
+}  // namespace sws::core
+
+#endif  // SWS_SWS_QUERY_H_

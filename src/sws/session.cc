@@ -1,0 +1,54 @@
+#include "sws/session.h"
+
+#include "util/common.h"
+
+namespace sws::core {
+
+SessionRunner::SessionRunner(const Sws* sws, rel::Database initial_db)
+    : sws_(sws), db_(std::move(initial_db)), pending_(sws->rin_arity()) {
+  SWS_CHECK(sws != nullptr);
+}
+
+rel::Relation SessionRunner::DelimiterMessage(size_t arity) {
+  SWS_CHECK_GE(arity, 1u) << "delimiters need at least one attribute";
+  rel::Tuple t;
+  t.push_back(rel::Value::Str("#"));
+  for (size_t i = 1; i < arity; ++i) t.push_back(rel::Value::Null(0));
+  rel::Relation message(arity);
+  message.Insert(std::move(t));
+  return message;
+}
+
+bool SessionRunner::IsDelimiter(const rel::Relation& message) {
+  if (message.size() != 1) return false;
+  const rel::Tuple& t = *message.begin();
+  return !t.empty() && t[0].is_string() && t[0].AsString() == "#";
+}
+
+std::optional<SessionRunner::SessionOutcome> SessionRunner::Feed(
+    rel::Relation message) {
+  if (!IsDelimiter(message)) {
+    pending_.Append(std::move(message));
+    return std::nullopt;
+  }
+  SessionOutcome outcome;
+  outcome.session_length = pending_.size();
+  RunResult run = Run(*sws_, db_, pending_);
+  outcome.output = run.output;
+  outcome.commit = rel::CommitOutput(run.output, &db_);
+  pending_ = rel::InputSequence(sws_->rin_arity());
+  return outcome;
+}
+
+std::vector<SessionRunner::SessionOutcome> SessionRunner::FeedStream(
+    const std::vector<rel::Relation>& stream) {
+  std::vector<SessionOutcome> outcomes;
+  for (const rel::Relation& message : stream) {
+    if (auto outcome = Feed(message); outcome.has_value()) {
+      outcomes.push_back(std::move(*outcome));
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace sws::core

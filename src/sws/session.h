@@ -1,0 +1,57 @@
+#ifndef SWS_SWS_SESSION_H_
+#define SWS_SWS_SESSION_H_
+
+#include <optional>
+#include <vector>
+
+#include "relational/actions.h"
+#include "relational/database.h"
+#include "relational/input_sequence.h"
+#include "sws/execution.h"
+#include "sws/sws.h"
+
+namespace sws::core {
+
+/// Session management (Section 2, "An overview"): a long (possibly
+/// unending) input stream is treated as a list of consecutive sessions
+/// separated by a delimiter message '#'; at each delimiter the service is
+/// run on the buffered session and its actions are committed — external
+/// messages sent, updates applied to the local database. The database
+/// stays fixed *within* a session, per the paper's assumption.
+class SessionRunner {
+ public:
+  SessionRunner(const Sws* sws, rel::Database initial_db);
+
+  /// The delimiter: a message containing exactly one tuple whose first
+  /// attribute is the string "#" (remaining attributes are nulls).
+  static rel::Relation DelimiterMessage(size_t arity);
+  static bool IsDelimiter(const rel::Relation& message);
+
+  struct SessionOutcome {
+    rel::Relation output;       // τ(D, I_session)
+    rel::CommitResult commit;   // applied to the local database
+    size_t session_length = 0;  // messages in the session (delimiter excl.)
+  };
+
+  /// Feeds one message. A delimiter closes the current session: the
+  /// service runs on the buffered messages against the current database,
+  /// the output is committed, and the outcome is returned. Non-delimiter
+  /// messages buffer and return nullopt.
+  std::optional<SessionOutcome> Feed(rel::Relation message);
+
+  /// Feeds a whole stream; returns one outcome per delimiter encountered.
+  std::vector<SessionOutcome> FeedStream(
+      const std::vector<rel::Relation>& stream);
+
+  const rel::Database& db() const { return db_; }
+  size_t buffered() const { return pending_.size(); }
+
+ private:
+  const Sws* sws_;
+  rel::Database db_;
+  rel::InputSequence pending_;
+};
+
+}  // namespace sws::core
+
+#endif  // SWS_SWS_SESSION_H_

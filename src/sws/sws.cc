@@ -1,0 +1,237 @@
+#include "sws/sws.h"
+
+#include <functional>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::core {
+
+Sws::Sws(rel::Schema db_schema, size_t rin_arity, size_t rout_arity)
+    : db_schema_(std::move(db_schema)),
+      rin_arity_(rin_arity),
+      rout_arity_(rout_arity) {}
+
+int Sws::AddState(std::string name) {
+  SWS_CHECK(FindState(name) < 0) << "duplicate state name " << name;
+  StateRules rules;
+  rules.name = std::move(name);
+  states_.push_back(std::move(rules));
+  return num_states() - 1;
+}
+
+const std::string& Sws::StateName(int q) const {
+  SWS_CHECK(q >= 0 && q < num_states());
+  return states_[q].name;
+}
+
+int Sws::FindState(const std::string& name) const {
+  for (int q = 0; q < num_states(); ++q) {
+    if (states_[q].name == name) return q;
+  }
+  return -1;
+}
+
+void Sws::SetTransition(int q, std::vector<TransitionTarget> successors) {
+  SWS_CHECK(q >= 0 && q < num_states());
+  for (const auto& t : successors) {
+    SWS_CHECK(t.state >= 0 && t.state < num_states())
+        << "transition to unknown state " << t.state;
+  }
+  states_[q].successors = std::move(successors);
+}
+
+void Sws::SetSynthesis(int q, RelQuery synthesis) {
+  SWS_CHECK(q >= 0 && q < num_states());
+  states_[q].synthesis = std::move(synthesis);
+  states_[q].has_synthesis = true;
+}
+
+const std::vector<TransitionTarget>& Sws::Successors(int q) const {
+  SWS_CHECK(q >= 0 && q < num_states());
+  return states_[q].successors;
+}
+
+const RelQuery& Sws::Synthesis(int q) const {
+  SWS_CHECK(q >= 0 && q < num_states());
+  SWS_CHECK(states_[q].has_synthesis)
+      << "state " << states_[q].name << " has no synthesis rule";
+  return states_[q].synthesis;
+}
+
+std::optional<std::string> Sws::Validate() const {
+  if (states_.empty()) return "service has no states";
+  for (int q = 0; q < num_states(); ++q) {
+    const StateRules& rules = states_[q];
+    if (!rules.has_synthesis) {
+      return "state " + rules.name + " has no synthesis rule";
+    }
+    // q0 must not appear in any rhs.
+    for (const auto& t : rules.successors) {
+      if (t.state == start_state()) {
+        return "start state appears in the rhs of " + rules.name;
+      }
+    }
+    // Transition queries: head arity R_in; may read DB ∪ {In, Msg}.
+    for (const auto& t : rules.successors) {
+      if (auto err = t.query.Validate(); err.has_value()) {
+        return "transition query of " + rules.name + ": " + *err;
+      }
+      if (t.query.head_arity() != rin_arity_) {
+        return "transition query of " + rules.name +
+               " must produce R_in arity " + std::to_string(rin_arity_);
+      }
+      for (const std::string& r : t.query.ReadRelations()) {
+        if (r != kInputRelation && r != kMsgRelation &&
+            !db_schema_.Contains(r)) {
+          return "transition query of " + rules.name +
+                 " reads unknown relation " + r;
+        }
+      }
+    }
+    // Synthesis query: head arity R_out; final states read DB ∪ {In,
+    // Msg}, internal states read Act1..Actk only.
+    if (auto err = rules.synthesis.Validate(); err.has_value()) {
+      return "synthesis query of " + rules.name + ": " + *err;
+    }
+    if (rules.synthesis.head_arity() != rout_arity_) {
+      return "synthesis query of " + rules.name +
+             " must produce R_out arity " + std::to_string(rout_arity_);
+    }
+    std::set<std::string> allowed;
+    if (rules.successors.empty()) {
+      allowed.insert(kInputRelation);
+      allowed.insert(kMsgRelation);
+      for (const auto& r : db_schema_.relations()) allowed.insert(r.name());
+    } else {
+      for (size_t i = 1; i <= rules.successors.size(); ++i) {
+        allowed.insert(ActRelation(i));
+      }
+    }
+    for (const std::string& r : rules.synthesis.ReadRelations()) {
+      if (allowed.count(r) == 0) {
+        return "synthesis query of " + rules.name +
+               " reads disallowed relation " + r;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Sws::IsRecursive() const { return !MaxDepth().has_value(); }
+
+std::optional<size_t> Sws::MaxDepth() const {
+  // Longest path (in states) from q0 in the dependency graph; cycle
+  // detection via DFS colors.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(num_states(), Color::kWhite);
+  std::vector<size_t> depth(num_states(), 1);
+  bool cyclic = false;
+  std::function<void(int)> dfs = [&](int q) {
+    color[q] = Color::kGray;
+    size_t best = 1;
+    for (const auto& t : states_[q].successors) {
+      if (color[t.state] == Color::kGray) {
+        cyclic = true;
+        continue;
+      }
+      if (color[t.state] == Color::kWhite) dfs(t.state);
+      best = std::max(best, 1 + depth[t.state]);
+    }
+    depth[q] = best;
+    color[q] = Color::kBlack;
+  };
+  if (num_states() == 0) return 0;
+  dfs(start_state());
+  if (cyclic) return std::nullopt;
+  return depth[start_state()];
+}
+
+namespace {
+int LanguageRank(RelQuery::Language lang) {
+  switch (lang) {
+    case RelQuery::Language::kCq:
+      return 0;
+    case RelQuery::Language::kUcq:
+      return 1;
+    case RelQuery::Language::kFo:
+      return 2;
+  }
+  return 2;
+}
+const char* LanguageName(int rank) {
+  switch (rank) {
+    case 0:
+      return "CQ";
+    case 1:
+      return "UCQ";
+    default:
+      return "FO";
+  }
+}
+}  // namespace
+
+std::string Sws::Classify() const {
+  int msg_rank = 0;
+  int act_rank = 0;
+  for (const StateRules& rules : states_) {
+    for (const auto& t : rules.successors) {
+      msg_rank = std::max(msg_rank, LanguageRank(t.query.language()));
+    }
+    if (rules.has_synthesis) {
+      act_rank = std::max(act_rank, LanguageRank(rules.synthesis.language()));
+    }
+  }
+  std::string name = IsRecursive() ? "SWS(" : "SWSnr(";
+  name += LanguageName(msg_rank);
+  name += ", ";
+  name += LanguageName(act_rank);
+  name += ")";
+  return name;
+}
+
+bool Sws::IsCqUcq() const {
+  for (const StateRules& rules : states_) {
+    for (const auto& t : rules.successors) {
+      if (!t.query.is_cq()) return false;
+    }
+    if (rules.has_synthesis && rules.synthesis.is_fo()) return false;
+  }
+  return true;
+}
+
+bool Sws::UsesFo() const {
+  for (const StateRules& rules : states_) {
+    for (const auto& t : rules.successors) {
+      if (t.query.is_fo()) return true;
+    }
+    if (rules.has_synthesis && rules.synthesis.is_fo()) return true;
+  }
+  return false;
+}
+
+std::string Sws::ToString() const {
+  std::ostringstream out;
+  out << Classify() << " over R=" << db_schema_.ToString() << ", |R_in|="
+      << rin_arity_ << ", |R_out|=" << rout_arity_ << "\n";
+  for (int q = 0; q < num_states(); ++q) {
+    const StateRules& rules = states_[q];
+    out << "  " << rules.name << " ->";
+    if (rules.successors.empty()) {
+      out << " .";
+    } else {
+      for (const auto& t : rules.successors) {
+        out << " (" << states_[t.state].name << ", " << t.query.ToString()
+            << ")";
+      }
+    }
+    out << "\n";
+    if (rules.has_synthesis) {
+      out << "    Act(" << rules.name << ") <- " << rules.synthesis.ToString()
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace sws::core

@@ -1,0 +1,57 @@
+#ifndef SWS_SWS_UNFOLD_H_
+#define SWS_SWS_UNFOLD_H_
+
+#include <string>
+
+#include "logic/ucq.h"
+#include "relational/input_sequence.h"
+#include "sws/sws.h"
+
+namespace sws::core {
+
+/// Name of the j-th input message relation in unfolded queries:
+/// "In@1", "In@2", ... (1-indexed, matching timestamps).
+std::string InputRelationAt(size_t j);
+
+/// Packs a database D and an input sequence I into one evaluation
+/// database over R ∪ {In@1..In@n}, suitable for evaluating unfolded
+/// queries.
+rel::Database PackDatabaseAndInput(const rel::Database& db,
+                                   const rel::InputSequence& input);
+
+/// Unfolds an SWS(CQ, UCQ) service into an equivalent UCQ^{≠} over
+/// R ∪ {In@1..In@n}, for input sequences of length exactly n. The
+/// construction referenced by Theorem 4.1(2) ("SWS's in SWSnr(CQ, UCQ)
+/// can be converted to UCQ queries with inequality", Section 5.2) —
+/// exponential in the depth of the service.
+///
+/// Recursive services are supported for a *fixed* n: every level of the
+/// execution tree consumes a timestamp, so the unfolding terminates at
+/// depth n regardless of cycles in the dependency graph. (This is
+/// exactly why the recursive decision problems are harder: no single n
+/// covers all inputs.)
+///
+/// Semantics preserved exactly, including the ∅-register rules: for every
+/// database D and input I with |I| = n,
+///   Run(sws, D, I).output == UnfoldNonrecursive(sws, n)
+///                                .Evaluate(PackDatabaseAndInput(D, I)).
+///
+/// Since a nonrecursive service never reads past I_depth, the family
+/// { UnfoldNonrecursive(sws, n) : n ≤ MaxDepth() } together with the
+/// n = MaxDepth() query for all longer inputs characterizes the service's
+/// full behavior. Aborts if the service is not CQ/UCQ.
+logic::UnionQuery UnfoldToUcq(const Sws& sws, size_t n);
+
+/// Backward-compatible name for nonrecursive callers.
+inline logic::UnionQuery UnfoldNonrecursive(const Sws& sws, size_t n) {
+  return UnfoldToUcq(sws, n);
+}
+
+/// Number of UCQ disjuncts the unfolding would produce before
+/// unsatisfiable-disjunct pruning (growth statistic for the Table 1
+/// benchmarks).
+size_t UnfoldDisjunctBound(const Sws& sws, size_t n);
+
+}  // namespace sws::core
+
+#endif  // SWS_SWS_UNFOLD_H_

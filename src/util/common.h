@@ -1,0 +1,67 @@
+#ifndef SWS_UTIL_COMMON_H_
+#define SWS_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Project-wide assertion macros. The library does not use exceptions
+// (Google style); violated preconditions are programmer errors and abort
+// with a diagnostic. Fallible operations on *user input* instead return
+// std::optional or a status bool plus message.
+
+namespace sws {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream-collecting helper so CHECK(x) << "context" works.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Consumes a CheckMessageBuilder in the non-failing branch of the ternary.
+struct CheckVoidify {
+  void operator&(const CheckMessageBuilder&) {}
+};
+
+}  // namespace internal
+}  // namespace sws
+
+#define SWS_CHECK(expr)                                     \
+  (expr) ? (void)0                                          \
+         : ::sws::internal::CheckVoidify() &                \
+               ::sws::internal::CheckMessageBuilder(__FILE__, __LINE__, #expr)
+
+#define SWS_CHECK_EQ(a, b) SWS_CHECK((a) == (b))
+#define SWS_CHECK_NE(a, b) SWS_CHECK((a) != (b))
+#define SWS_CHECK_LT(a, b) SWS_CHECK((a) < (b))
+#define SWS_CHECK_LE(a, b) SWS_CHECK((a) <= (b))
+#define SWS_CHECK_GT(a, b) SWS_CHECK((a) > (b))
+#define SWS_CHECK_GE(a, b) SWS_CHECK((a) >= (b))
+
+#endif  // SWS_UTIL_COMMON_H_

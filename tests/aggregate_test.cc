@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "models/travel.h"
+#include "sws/aggregate.h"
+#include "sws/execution.h"
+
+namespace sws::core {
+namespace {
+
+using models::MakeTravelDatabase;
+using models::MakeTravelRequest;
+using models::MakeTravelServiceCqUcq;
+using rel::Relation;
+using rel::Tuple;
+using rel::Value;
+
+Relation PackageOptions() {
+  // (airfare, hotel, ticket, car) price options.
+  Relation r(4);
+  r.Insert({Value::Int(300), Value::Int(120), Value::Int(80), Value::Int(0)});
+  r.Insert({Value::Int(300), Value::Int(120), Value::Int(0), Value::Int(45)});
+  r.Insert({Value::Int(450), Value::Int(90), Value::Int(80), Value::Int(0)});
+  return r;
+}
+
+CostModel TotalPrice() { return CostModel{{1, 1, 1, 1}}; }
+
+TEST(CostModelTest, WeightedSumOverIntColumns) {
+  CostModel model{{1, 2}};
+  EXPECT_EQ(model.Cost({Value::Int(10), Value::Int(5)}), 20.0);
+  // Missing weights and non-int columns contribute nothing.
+  EXPECT_EQ(model.Cost({Value::Int(10), Value::Str("x"), Value::Int(99)}),
+            10.0);
+}
+
+TEST(AggregateTest, SelectMinCostKeepsArgmin) {
+  Relation best = SelectMinCost(PackageOptions(), TotalPrice());
+  ASSERT_EQ(best.size(), 1u);
+  // 300+120+0+45 = 465 beats 500 and 620.
+  EXPECT_TRUE(best.Contains(
+      {Value::Int(300), Value::Int(120), Value::Int(0), Value::Int(45)}));
+}
+
+TEST(AggregateTest, SelectMaxCost) {
+  Relation worst = SelectMaxCost(PackageOptions(), TotalPrice());
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_TRUE(worst.Contains(
+      {Value::Int(450), Value::Int(90), Value::Int(80), Value::Int(0)}));
+}
+
+TEST(AggregateTest, TiesKeepAllOptimalTuples) {
+  Relation r(2);
+  r.Insert({Value::Int(1), Value::Int(4)});
+  r.Insert({Value::Int(4), Value::Int(1)});
+  r.Insert({Value::Int(9), Value::Int(9)});
+  Relation best = SelectMinCost(r, CostModel{{1, 1}});
+  EXPECT_EQ(best.size(), 2u);  // both cost-5 tuples survive: determinism
+}
+
+TEST(AggregateTest, EmptyInputStaysEmpty) {
+  EXPECT_TRUE(SelectMinCost(Relation(3), TotalPrice()).empty());
+  Aggregation min_agg{AggregateKind::kMin, {}, 0};
+  EXPECT_TRUE(ApplyAggregation(Relation(1), min_agg).empty());
+}
+
+TEST(AggregateTest, CountAndSum) {
+  Aggregation count{AggregateKind::kCount, {}, 0};
+  Relation c = ApplyAggregation(PackageOptions(), count);
+  EXPECT_TRUE(c.Contains({Value::Int(3)}));
+
+  Aggregation sum{AggregateKind::kSum, {}, 0};  // airfare column
+  Relation s = ApplyAggregation(PackageOptions(), sum);
+  EXPECT_TRUE(s.Contains({Value::Int(1050)}));
+  // Count of an empty output is 0, not empty.
+  EXPECT_TRUE(ApplyAggregation(Relation(4), count).Contains({Value::Int(0)}));
+}
+
+TEST(AggregateTest, MinMaxColumn) {
+  Aggregation min_hotel{AggregateKind::kMin, {}, 1};
+  EXPECT_TRUE(
+      ApplyAggregation(PackageOptions(), min_hotel).Contains({Value::Int(90)}));
+  Aggregation max_hotel{AggregateKind::kMax, {}, 1};
+  EXPECT_TRUE(ApplyAggregation(PackageOptions(), max_hotel)
+                  .Contains({Value::Int(120)}));
+}
+
+// The paper's motivating scenario: "find a travel package with minimum
+// total cost when airfare, hotel and other components are all taken
+// together" — the UCQ travel service offers both the ticket and the car
+// package for Orlando; the aggregate commits only the cheaper one.
+TEST(AggregateSwsTest, MinimumCostTravelPackage) {
+  auto service = MakeTravelServiceCqUcq();
+  Aggregation min_cost{AggregateKind::kMinCost, TotalPrice(), 0};
+  AggregateSws cheapest(&service.sws, min_cost);
+
+  rel::InputSequence input(3);
+  input.Append(MakeTravelRequest("orlando", 1000));
+  RunResult plain = sws::core::Run(service.sws, MakeTravelDatabase(), input);
+  EXPECT_EQ(plain.output.size(), 2u);  // ticket package and car package
+
+  RunResult best = cheapest.Run(MakeTravelDatabase(), input);
+  ASSERT_EQ(best.output.size(), 1u);
+  // Car package: 300 + 120 + 0 + 45 = 465 < 300 + 120 + 80 + 0 = 500.
+  EXPECT_TRUE(best.output.Contains(
+      {Value::Int(300), Value::Int(120), Value::Int(0), Value::Int(45)}));
+}
+
+TEST(AggregateSwsTest, DeterministicFunctionOfInputs) {
+  auto service = MakeTravelServiceCqUcq();
+  Aggregation min_cost{AggregateKind::kMinCost, TotalPrice(), 0};
+  AggregateSws agg(&service.sws, min_cost);
+  rel::InputSequence input(3);
+  input.Append(MakeTravelRequest("paris", 1000));
+  auto db = MakeTravelDatabase();
+  EXPECT_EQ(agg.Run(db, input).output, agg.Run(db, input).output);
+}
+
+TEST(AggregateSwsTest, FailureStillCommitsNothing) {
+  // Deferred commitment survives aggregation: an unsatisfiable
+  // conjunction aggregates to the empty package, not to a 0-cost one.
+  auto service = MakeTravelServiceCqUcq();
+  Aggregation min_cost{AggregateKind::kMinCost, TotalPrice(), 0};
+  AggregateSws agg(&service.sws, min_cost);
+  rel::InputSequence input(3);
+  input.Append(MakeTravelRequest("tokyo", 5000));
+  EXPECT_TRUE(agg.Run(MakeTravelDatabase(), input).output.empty());
+}
+
+}  // namespace
+}  // namespace sws::core

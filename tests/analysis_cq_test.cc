@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cq_analysis.h"
+#include "models/travel.h"
+#include "sws/execution.h"
+#include "sws/generator.h"
+
+namespace sws::analysis {
+namespace {
+
+using core::RelQuery;
+using core::Sws;
+using core::WorkloadGenerator;
+using logic::Atom;
+using logic::Comparison;
+using logic::ConjunctiveQuery;
+using logic::Term;
+using logic::UnionQuery;
+using models::MakeTravelDatabase;
+using models::MakeTravelRequest;
+using models::MakeTravelServiceCqUcq;
+
+TEST(CqNonEmptinessTest, TravelServiceIsNonEmptyWithVerifiedWitness) {
+  auto service = MakeTravelServiceCqUcq();
+  CqNonEmptinessResult result = CqNonEmptinessNr(service.sws);
+  ASSERT_TRUE(result.nonempty);
+  ASSERT_TRUE(result.witness.has_value());
+  // The canonical witness really drives the service to an action.
+  core::RunResult run =
+      core::Run(service.sws, result.witness->db, result.witness->input);
+  EXPECT_FALSE(run.output.empty());
+}
+
+TEST(CqNonEmptinessTest, ContradictoryServiceIsEmpty) {
+  // The leaf synthesis carries x != x via two contradictory constants.
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("R", {"a"}));
+  Sws sws(schema, 1, 1);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{core::kInputRelation, {Term::Var(0)}}});
+  sws.SetTransition(q0, {core::TransitionTarget{q1, RelQuery::Cq(pass)}});
+  ConjunctiveQuery copy({Term::Var(0)},
+                        {Atom{core::ActRelation(1), {Term::Var(0)}}});
+  sws.SetSynthesis(q0, RelQuery::Cq(copy));
+  sws.SetTransition(q1, {});
+  ConjunctiveQuery impossible(
+      {Term::Var(0)}, {Atom{"R", {Term::Var(0)}}},
+      {Comparison{Term::Var(0), Term::Var(0), /*is_equality=*/false}});
+  sws.SetSynthesis(q1, RelQuery::Cq(impossible));
+  ASSERT_FALSE(sws.Validate().has_value());
+  EXPECT_FALSE(CqNonEmptinessNr(sws).nonempty);
+}
+
+TEST(CqNonEmptinessTest, RecursiveBoundedSearch) {
+  // Recursive chain that needs at least 2 messages to reach its leaf.
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("R", {"a"}));
+  Sws sws(schema, 1, 1);
+  int q0 = sws.AddState("q0");
+  int q = sws.AddState("q");
+  int f = sws.AddState("f");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{core::kInputRelation, {Term::Var(0)}}});
+  ConjunctiveQuery copy1({Term::Var(0)},
+                         {Atom{core::ActRelation(1), {Term::Var(0)}}});
+  UnionQuery either(1);
+  either.Add(ConjunctiveQuery({Term::Var(0)},
+                              {Atom{core::ActRelation(1), {Term::Var(0)}}}));
+  either.Add(ConjunctiveQuery({Term::Var(0)},
+                              {Atom{core::ActRelation(2), {Term::Var(0)}}}));
+  sws.SetTransition(q0, {core::TransitionTarget{q, RelQuery::Cq(pass)}});
+  sws.SetSynthesis(q0, RelQuery::Cq(copy1));
+  sws.SetTransition(q, {core::TransitionTarget{q, RelQuery::Cq(pass)},
+                        core::TransitionTarget{f, RelQuery::Cq(pass)}});
+  sws.SetSynthesis(q, RelQuery::Ucq(either));
+  sws.SetTransition(f, {});
+  ConjunctiveQuery join({Term::Var(0)},
+                        {Atom{core::kMsgRelation, {Term::Var(0)}},
+                         Atom{"R", {Term::Var(0)}}});
+  sws.SetSynthesis(f, RelQuery::Cq(join));
+  ASSERT_FALSE(sws.Validate().has_value());
+  ASSERT_TRUE(sws.IsRecursive());
+
+  EXPECT_FALSE(CqNonEmptiness(sws, 1).nonempty);  // f lives at level >= 2
+  CqNonEmptinessResult result = CqNonEmptiness(sws, 3);
+  ASSERT_TRUE(result.nonempty);
+  core::RunResult run =
+      core::Run(sws, result.witness->db, result.witness->input);
+  EXPECT_FALSE(run.output.empty());
+}
+
+TEST(CqEquivalenceTest, SelfEquivalenceAndVariantInequivalence) {
+  auto a = MakeTravelServiceCqUcq();
+  auto b = MakeTravelServiceCqUcq();
+  EXPECT_TRUE(CqEquivalenceNr(a.sws, b.sws).equivalent);
+
+  // Drop the car disjunct from b's root synthesis: inequivalent.
+  UnionQuery tickets_only(4);
+  auto v = [](int i) { return Term::Var(i); };
+  tickets_only.Add(ConjunctiveQuery(
+      {v(0), v(1), v(2), v(3)},
+      {Atom{core::ActRelation(1), {v(0), v(4), v(5), v(6)}},
+       Atom{core::ActRelation(2), {v(7), v(1), v(8), v(9)}},
+       Atom{core::ActRelation(3), {v(10), v(11), v(2), v(3)}}}));
+  b.sws.SetSynthesis(0, RelQuery::Ucq(tickets_only));
+  CqEquivalenceResult result = CqEquivalenceNr(a.sws, b.sws);
+  EXPECT_FALSE(result.equivalent);
+  ASSERT_TRUE(result.differing_length.has_value());
+  EXPECT_EQ(*result.differing_length, 1u);
+}
+
+TEST(CqEquivalenceTest, DisjunctOrderAndRenamingIrrelevant) {
+  WorkloadGenerator gen(5150);
+  for (int trial = 0; trial < 8; ++trial) {
+    WorkloadGenerator::CqSwsParams params;
+    params.num_states = 3;
+    // Keep the instances inequality-free: with ≠ on the right-hand side
+    // the (conexptime-complete) check enumerates identification
+    // partitions over all variables of the unfolded queries — the
+    // blowup belongs in the benchmarks, not here.
+    params.inequality_prob = 0.0;
+    Sws a = gen.RandomCqSws(params);
+    // b: same service with every rule's variables shifted — semantically
+    // identical.
+    Sws b = a;
+    for (int q = 0; q < b.num_states(); ++q) {
+      auto successors = b.Successors(q);
+      for (auto& t : successors) {
+        t.query = RelQuery::Cq(t.query.cq().ShiftVars(50));
+      }
+      b.SetTransition(q, successors);
+      UnionQuery psi = b.Synthesis(q).AsUcq().ShiftVars(50);
+      b.SetSynthesis(q, RelQuery::Ucq(std::move(psi)));
+    }
+    EXPECT_TRUE(CqEquivalenceNr(a, b).equivalent) << a.ToString();
+  }
+}
+
+TEST(CqEquivalenceTest, InequivalentWhenDisjunctRemoved) {
+  WorkloadGenerator gen(8888);
+  int checked = 0;
+  for (int trial = 0; trial < 20 && checked < 3; ++trial) {
+    WorkloadGenerator::CqSwsParams params;
+    params.num_states = 3;
+    params.max_ucq_disjuncts = 2;
+    params.inequality_prob = 0.0;  // see DisjunctOrderAndRenamingIrrelevant
+    Sws a = gen.RandomCqSws(params);
+    // Remove one disjunct of the root synthesis, if it has two.
+    UnionQuery psi = a.Synthesis(0).AsUcq();
+    if (psi.size() < 2) continue;
+    Sws b = a;
+    UnionQuery smaller(psi.head_arity());
+    smaller.Add(psi.disjuncts()[0]);
+    b.SetSynthesis(0, RelQuery::Ucq(smaller));
+    CqEquivalenceResult result = CqEquivalenceNr(a, b);
+    // b ⊆ a always; they are equivalent only if the dropped disjunct was
+    // redundant. Cross-check the verdict by random differential testing.
+    bool differs = false;
+    WorkloadGenerator probe(trial * 31 + 7);
+    for (int r = 0; r < 60 && !differs; ++r) {
+      rel::Database db = probe.RandomDatabase(a.db_schema(), 3, 2);
+      rel::InputSequence input =
+          probe.RandomInput(a.rin_arity(), *a.MaxDepth(), 2, 2);
+      differs = core::Run(a, db, input).output !=
+                core::Run(b, db, input).output;
+    }
+    if (differs) {
+      EXPECT_FALSE(result.equivalent) << a.ToString();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(CqValidationTest, AchievableOutputValidated) {
+  auto service = MakeTravelServiceCqUcq();
+  // Use a real run's output as the target.
+  rel::InputSequence input(3);
+  input.Append(MakeTravelRequest("paris", 1000));
+  rel::Relation target =
+      core::Run(service.sws, MakeTravelDatabase(), input).output;
+  ASSERT_FALSE(target.empty());
+  CqValidationResult result = CqValidation(service.sws, target);
+  ASSERT_TRUE(result.validated);
+  core::RunResult run =
+      core::Run(service.sws, result.witness->db, result.witness->input);
+  EXPECT_EQ(run.output, target);
+}
+
+TEST(CqValidationTest, EmptyOutputTrivially) {
+  auto service = MakeTravelServiceCqUcq();
+  CqValidationResult result =
+      CqValidation(service.sws, rel::Relation(4));
+  ASSERT_TRUE(result.validated);
+  core::RunResult run =
+      core::Run(service.sws, result.witness->db, result.witness->input);
+  EXPECT_TRUE(run.output.empty());
+}
+
+TEST(CqValidationTest, ImpossibleOutputRejected) {
+  auto service = MakeTravelServiceCqUcq();
+  // Both a ticket and a car price nonzero in one tuple: no disjunct can
+  // produce it (tickets force slot 4 to 0, cars force slot 3 to 0).
+  rel::Relation impossible(4);
+  impossible.Insert({rel::Value::Int(1), rel::Value::Int(2),
+                     rel::Value::Int(3), rel::Value::Int(4)});
+  CqValidationResult result = CqValidation(service.sws, impossible);
+  EXPECT_FALSE(result.validated);
+  EXPECT_FALSE(result.budget_exhausted);
+}
+
+TEST(CqValidationTest, RandomRunOutputsAreValidated) {
+  WorkloadGenerator gen(2024);
+  int validated = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    WorkloadGenerator::CqSwsParams params;
+    params.num_states = 3;
+    params.rin_arity = 1;
+    params.rout_arity = 1;
+    params.inequality_prob = 0.0;
+    Sws sws = gen.RandomCqSws(params);
+    rel::Database db = gen.RandomDatabase(sws.db_schema(), 2, 2);
+    rel::InputSequence input = gen.RandomInput(1, *sws.MaxDepth(), 1, 2);
+    rel::Relation target = core::Run(sws, db, input).output;
+    if (target.empty() || target.size() > 2) continue;
+    CqValidationOptions options;
+    options.max_candidates = 20000;
+    CqValidationResult result = CqValidation(sws, target, options);
+    if (result.validated) {
+      ++validated;
+      core::RunResult run =
+          core::Run(sws, result.witness->db, result.witness->input);
+      EXPECT_EQ(run.output, target) << sws.ToString();
+    }
+  }
+  EXPECT_GT(validated, 0);
+}
+
+TEST(SplitPackedDatabaseTest, RoundTripsRelationsAndInput) {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("R", {"a", "b"}));
+  Sws sws(schema, 2, 1);
+  sws.AddState("q0");
+  sws.SetTransition(0, {});
+  ConjunctiveQuery echo({Term::Var(0)},
+                        {Atom{core::kMsgRelation, {Term::Var(0), Term::Var(1)}}});
+  sws.SetSynthesis(0, RelQuery::Cq(echo));
+
+  rel::Database packed;
+  rel::Relation r(2);
+  r.Insert({rel::Value::Null(0), rel::Value::Int(3)});
+  packed.Set("R", r);
+  rel::Relation in1(2);
+  in1.Insert({rel::Value::Null(0), rel::Value::Null(1)});
+  packed.Set(core::InputRelationAt(1), in1);
+
+  CqWitness witness = SplitPackedDatabase(sws, packed, 2);
+  EXPECT_EQ(witness.input.size(), 2u);
+  EXPECT_EQ(witness.input.Message(1).size(), 1u);
+  EXPECT_TRUE(witness.input.Message(2).empty());
+  EXPECT_EQ(witness.db.Get("R").size(), 1u);
+  // Nulls grounded consistently: the shared null _N0 must be the same
+  // fresh constant in R and In@1.
+  rel::Value r_first = (*witness.db.Get("R").begin())[0];
+  rel::Value in_first = (*witness.input.Message(1).begin())[0];
+  EXPECT_EQ(r_first, in_first);
+  EXPECT_TRUE(r_first.is_int());
+  EXPECT_GT(r_first.AsInt(), 3);  // fresh: outside existing constants
+}
+
+}  // namespace
+}  // namespace sws::analysis

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "analysis/pl_analysis.h"
+#include "analysis/pl_nr_analysis.h"
+#include "automata/regex.h"
+#include "sws/generator.h"
+
+namespace sws::analysis {
+namespace {
+
+using core::PlSws;
+using core::WorkloadGenerator;
+using logic::PlFormula;
+using F = PlFormula;
+
+// q0 -> four always-true leaves reporting input vars 0..3;
+// acceptance: v0 & v1 & (v2 | (!v2 & v3)) — the Figure 1(b) service.
+PlSws FigureOneService() {
+  PlSws sws(4);
+  int q0 = sws.AddState("q0");
+  std::vector<PlSws::Successor> successors;
+  std::vector<int> leaves;
+  for (int i = 0; i < 4; ++i) {
+    int leaf = sws.AddState("leaf" + std::to_string(i));
+    leaves.push_back(leaf);
+    successors.push_back({leaf, F::True()});
+  }
+  sws.SetTransition(q0, successors);
+  sws.SetSynthesis(
+      q0, F::And({F::Var(0), F::Var(1),
+                  F::Or(F::Var(2), F::And(F::Not(F::Var(2)), F::Var(3)))}));
+  for (int i = 0; i < 4; ++i) {
+    sws.SetTransition(leaves[i], {});
+    sws.SetSynthesis(leaves[i], F::Var(i));
+  }
+  return sws;
+}
+
+// A service whose root synthesis is contradictory: always false.
+PlSws ContradictoryService() {
+  PlSws sws(1);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  sws.SetTransition(q0, {{q1, F::True()}});
+  sws.SetSynthesis(q0, F::And(F::Var(0), F::Not(F::Var(0))));
+  sws.SetTransition(q1, {});
+  sws.SetSynthesis(q1, F::Var(0));
+  return sws;
+}
+
+TEST(PlAnalysisTest, NonEmptinessFindsVerifiedWitness) {
+  PlSws sws = FigureOneService();
+  PlWitnessResult result = PlNonEmptiness(sws);
+  ASSERT_TRUE(result.holds);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_TRUE(sws.Run(*result.witness));
+  EXPECT_GT(result.stats.symbols, 0u);
+}
+
+TEST(PlAnalysisTest, NonEmptinessDetectsEmptyService) {
+  PlWitnessResult result = PlNonEmptiness(ContradictoryService());
+  EXPECT_FALSE(result.holds);
+  EXPECT_FALSE(result.witness.has_value());
+  EXPECT_GT(result.stats.carries_explored, 0u);
+}
+
+TEST(PlAnalysisTest, ValidationCoincidesWithNonEmptiness) {
+  PlSws sws = FigureOneService();
+  EXPECT_TRUE(PlValidation(sws, true).holds);
+  EXPECT_TRUE(PlValidation(sws, false).holds);  // ε always yields false
+  EXPECT_FALSE(PlValidation(ContradictoryService(), true).holds);
+}
+
+TEST(PlAnalysisTest, SelfEquivalence) {
+  PlSws sws = FigureOneService();
+  EXPECT_TRUE(PlEquivalence(sws, sws).equivalent);
+}
+
+TEST(PlAnalysisTest, InequivalenceHasVerifiedCounterexample) {
+  PlSws a = FigureOneService();
+  // b drops the car fallback: acceptance needs the ticket.
+  PlSws b = FigureOneService();
+  b.SetSynthesis(0, F::And({F::Var(0), F::Var(1), F::Var(2)}));
+  PlEquivalenceResult result = PlEquivalence(a, b);
+  ASSERT_FALSE(result.equivalent);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_NE(a.Run(*result.counterexample), b.Run(*result.counterexample));
+}
+
+TEST(PlAnalysisTest, BruteForceAgreementOnRandomServices) {
+  WorkloadGenerator gen(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    WorkloadGenerator::PlSwsParams params;
+    params.num_states = 3;
+    params.num_input_vars = 2;
+    params.allow_recursion = (trial % 2) == 0;
+    PlSws sws = gen.RandomPlSws(params);
+    // Brute force over all words of length <= 4.
+    std::vector<PlSws::Symbol> symbols = EnumerateSymbols(sws);
+    if (symbols.empty()) symbols.push_back({});
+    bool brute = false;
+    std::function<void(PlSws::Word*, size_t)> explore = [&](PlSws::Word* w,
+                                                            size_t depth) {
+      if (brute) return;
+      if (sws.Run(*w)) {
+        brute = true;
+        return;
+      }
+      if (depth == 4) return;
+      for (const auto& s : symbols) {
+        w->push_back(s);
+        explore(w, depth + 1);
+        w->pop_back();
+      }
+    };
+    PlSws::Word empty;
+    explore(&empty, 0);
+
+    PlWitnessResult result = PlNonEmptiness(sws);
+    if (brute) {
+      EXPECT_TRUE(result.holds) << sws.ToString();
+    }
+    if (result.holds) {
+      EXPECT_TRUE(sws.Run(*result.witness)) << sws.ToString();
+    }
+    // Length-4 brute force can only under-approximate on recursive
+    // services; for nonrecursive ones of depth <= 3 it is exact.
+    if (!params.allow_recursion) {
+      EXPECT_EQ(result.holds, brute) << sws.ToString();
+    }
+  }
+}
+
+TEST(PlNrAnalysisTest, SatAndSearchAgreeOnNonEmptiness) {
+  WorkloadGenerator gen(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    WorkloadGenerator::PlSwsParams params;
+    params.num_states = 4;
+    params.num_input_vars = 2;
+    params.allow_recursion = false;
+    PlSws sws = gen.RandomPlSws(params);
+    PlWitnessResult search = PlNonEmptiness(sws);
+    NrAnalysisResult sat = NrNonEmptiness(sws);
+    EXPECT_EQ(search.holds, sat.holds) << sws.ToString();
+    if (sat.holds) {
+      EXPECT_TRUE(sws.Run(*sat.witness)) << sws.ToString();
+    }
+  }
+}
+
+TEST(PlNrAnalysisTest, SatAndSearchAgreeOnEquivalence) {
+  WorkloadGenerator gen(99);
+  int inequivalent_seen = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    WorkloadGenerator::PlSwsParams params;
+    params.num_states = 3;
+    params.num_input_vars = 2;
+    params.allow_recursion = false;
+    PlSws a = gen.RandomPlSws(params);
+    PlSws b = gen.RandomPlSws(params);
+    PlEquivalenceResult search = PlEquivalence(a, b);
+    NrAnalysisResult sat = NrEquivalence(a, b);
+    EXPECT_EQ(search.equivalent, sat.holds)
+        << a.ToString() << "\nvs\n" << b.ToString();
+    if (!sat.holds) {
+      ++inequivalent_seen;
+      ASSERT_TRUE(sat.witness.has_value());
+      EXPECT_NE(a.Run(*sat.witness), b.Run(*sat.witness));
+    }
+  }
+  EXPECT_GT(inequivalent_seen, 0);  // the generator should produce variety
+}
+
+TEST(PlNrAnalysisTest, RunFormulaMatchesRunSemantics) {
+  WorkloadGenerator gen(31415);
+  for (int trial = 0; trial < 15; ++trial) {
+    WorkloadGenerator::PlSwsParams params;
+    params.num_states = 4;
+    params.num_input_vars = 2;
+    params.allow_recursion = false;
+    PlSws sws = gen.RandomPlSws(params);
+    for (size_t n = 0; n <= *sws.MaxDepth(); ++n) {
+      PlFormula formula = NrRunFormula(sws, n);
+      for (int r = 0; r < 5; ++r) {
+        PlSws::Word word =
+            gen.RandomPlWord(static_cast<int>(n), params.num_input_vars);
+        std::set<int> assignment;
+        for (size_t j = 1; j <= n; ++j) {
+          for (int v : word[j - 1]) {
+            assignment.insert(RunFormulaVar(sws, j, v));
+          }
+        }
+        EXPECT_EQ(sws.Run(word), formula.Eval(assignment))
+            << sws.ToString() << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(AfaTranslationTest, LanguagePreservedOnWords) {
+  // AFA for "ends with a" AND "contains b" over {a=0, b=1}.
+  fsa::Afa afa(5, 2);
+  afa.AddFinal(2);                      // end-marker for "ends with a"
+  afa.SetTransition(0, 0, F::Or(F::Var(0), F::Var(2)));
+  afa.SetTransition(0, 1, F::Var(0));
+  afa.AddFinal(4);                      // accept-all tail
+  afa.SetTransition(1, 0, F::Var(1));   // still waiting for b
+  afa.SetTransition(1, 1, F::Var(4));
+  afa.SetTransition(4, 0, F::Var(4));
+  afa.SetTransition(4, 1, F::Var(4));
+  afa.SetInitialFormula(F::And(F::Var(0), F::Var(1)));
+
+  core::PlSws sws = AfaToPlSws(afa);
+  std::vector<std::vector<int>> words = {{},     {0},    {1},    {1, 0},
+                                         {0, 1}, {1, 1, 0}, {0, 1, 0}};
+  for (const auto& w : words) {
+    EXPECT_EQ(afa.Accepts(w), sws.Run(EncodeAfaWord(w, 2)))
+        << "word size " << w.size();
+  }
+}
+
+TEST(AfaTranslationTest, NonEmptinessTransfers) {
+  // Nonempty AFA.
+  fsa::Afa afa(2, 2);
+  afa.AddFinal(1);
+  afa.SetTransition(0, 0, F::Var(1));
+  afa.SetInitialFormula(F::Var(0));
+  core::PlSws sws = AfaToPlSws(afa);
+  PlWitnessResult result = PlNonEmptiness(sws);
+  ASSERT_TRUE(result.holds);
+  auto decoded = DecodeAfaWord(*result.witness, 2);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(afa.Accepts(*decoded));
+
+  // Empty AFA (no finals).
+  fsa::Afa empty(2, 2);
+  empty.SetTransition(0, 0, F::Var(1));
+  empty.SetInitialFormula(F::Var(0));
+  EXPECT_FALSE(PlNonEmptiness(AfaToPlSws(empty)).holds);
+}
+
+TEST(AfaTranslationTest, EmptyWordCase) {
+  // AFA accepting only the empty word.
+  fsa::Afa afa(1, 1);
+  afa.AddFinal(0);
+  afa.SetInitialFormula(F::Var(0));
+  core::PlSws sws = AfaToPlSws(afa);
+  EXPECT_TRUE(sws.Run(EncodeAfaWord({}, 1)));
+  EXPECT_FALSE(sws.Run(EncodeAfaWord({0}, 1)));
+  EXPECT_TRUE(PlNonEmptiness(sws).holds);
+}
+
+TEST(AfaTranslationTest, MalformedInputsRejected) {
+  fsa::Afa afa(2, 2);
+  afa.AddFinal(0);
+  afa.SetTransition(0, 0, F::Var(0));
+  afa.SetTransition(0, 1, F::Var(0));
+  afa.SetInitialFormula(F::Var(0));
+  core::PlSws sws = AfaToPlSws(afa);
+  EXPECT_TRUE(sws.Run(EncodeAfaWord({0, 1}, 2)));
+  // Two symbols at once, or no symbol: not a word encoding.
+  EXPECT_FALSE(sws.Run({{0, 1}, {2}}));
+  EXPECT_FALSE(sws.Run({{}, {2}}));
+  // Missing delimiter.
+  EXPECT_FALSE(sws.Run({{0}}));
+}
+
+}  // namespace
+}  // namespace sws::analysis

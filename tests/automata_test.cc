@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "automata/afa.h"
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "automata/regex.h"
+
+namespace sws::fsa {
+namespace {
+
+using logic::PlFormula;
+
+// NFA for (ab)* over alphabet {a=0, b=1}.
+Nfa AbStarNfa() {
+  Nfa nfa(2);
+  int s0 = nfa.AddState();
+  int s1 = nfa.AddState();
+  nfa.AddInitial(s0);
+  nfa.AddFinal(s0);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s1, 1, s0);
+  return nfa;
+}
+
+TEST(NfaTest, AcceptsBasics) {
+  Nfa nfa = AbStarNfa();
+  EXPECT_TRUE(nfa.Accepts({}));
+  EXPECT_TRUE(nfa.Accepts({0, 1}));
+  EXPECT_TRUE(nfa.Accepts({0, 1, 0, 1}));
+  EXPECT_FALSE(nfa.Accepts({0}));
+  EXPECT_FALSE(nfa.Accepts({1, 0}));
+}
+
+TEST(NfaTest, EpsilonClosure) {
+  Nfa nfa(1);
+  int a = nfa.AddState();
+  int b = nfa.AddState();
+  int c = nfa.AddState();
+  nfa.AddTransition(a, Nfa::kEpsilon, b);
+  nfa.AddTransition(b, Nfa::kEpsilon, c);
+  auto closure = nfa.EpsilonClosure({a});
+  EXPECT_EQ(closure, (std::set<int>{a, b, c}));
+}
+
+TEST(NfaTest, ThompsonCombinators) {
+  Nfa a = Nfa::Literal(2, 0);
+  Nfa b = Nfa::Literal(2, 1);
+  Nfa ab = Nfa::Concat(a, b);
+  EXPECT_TRUE(ab.Accepts({0, 1}));
+  EXPECT_FALSE(ab.Accepts({0}));
+  Nfa a_or_b = Nfa::Union(a, b);
+  EXPECT_TRUE(a_or_b.Accepts({0}));
+  EXPECT_TRUE(a_or_b.Accepts({1}));
+  EXPECT_FALSE(a_or_b.Accepts({0, 1}));
+  Nfa a_star = Nfa::Star(a);
+  EXPECT_TRUE(a_star.Accepts({}));
+  EXPECT_TRUE(a_star.Accepts({0, 0, 0}));
+  EXPECT_FALSE(a_star.Accepts({1}));
+}
+
+TEST(NfaTest, ShortestWordAndEmptiness) {
+  Nfa nfa = AbStarNfa();
+  auto word = nfa.ShortestAcceptedWord();
+  ASSERT_TRUE(word.has_value());
+  EXPECT_TRUE(word->empty());
+  EXPECT_FALSE(nfa.IsEmpty());
+  EXPECT_TRUE(Nfa::EmptyLanguage(2).IsEmpty());
+  // Shortest nonempty: strip the final marking from the initial state.
+  Nfa ab_plus = Nfa::Concat(Nfa::Literal(2, 0), Nfa::Literal(2, 1));
+  auto w = ab_plus.ShortestAcceptedWord();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, (std::vector<int>{0, 1}));
+}
+
+TEST(NfaTest, ReverseLanguage) {
+  Nfa ab = Nfa::Concat(Nfa::Literal(2, 0), Nfa::Literal(2, 1));
+  Nfa ba = ab.Reverse();
+  EXPECT_TRUE(ba.Accepts({1, 0}));
+  EXPECT_FALSE(ba.Accepts({0, 1}));
+}
+
+TEST(DfaTest, DeterminizeMatchesNfa) {
+  Nfa nfa = AbStarNfa();
+  Dfa dfa = Determinize(nfa);
+  std::vector<std::vector<int>> words = {
+      {}, {0}, {1}, {0, 1}, {1, 0}, {0, 1, 0}, {0, 1, 0, 1}, {0, 0}};
+  for (const auto& w : words) {
+    EXPECT_EQ(dfa.Accepts(w), nfa.Accepts(w));
+  }
+}
+
+TEST(DfaTest, ComplementAndProduct) {
+  Dfa dfa = Determinize(AbStarNfa());
+  Dfa comp = dfa.Complement();
+  EXPECT_FALSE(comp.Accepts({0, 1}));
+  EXPECT_TRUE(comp.Accepts({0}));
+  Dfa both = Dfa::Product(dfa, comp, Dfa::BoolOp::kAnd);
+  EXPECT_TRUE(both.IsEmpty());
+  Dfa either = Dfa::Product(dfa, comp, Dfa::BoolOp::kOr);
+  EXPECT_TRUE(either.IsUniversal());
+}
+
+TEST(DfaTest, EquivalenceAndContainment) {
+  RegexAlphabet alphabet;
+  auto nfas = CompileRegexes({"(ab)*", "((ab)(ab))*|(ab)((ab)(ab))*", "a*"},
+                             &alphabet);
+  Dfa d0 = Determinize(nfas[0]);
+  Dfa d1 = Determinize(nfas[1]);
+  Dfa d2 = Determinize(nfas[2]);
+  EXPECT_TRUE(Dfa::Equivalent(d0, d1));  // (ab)* = even∪odd powers of ab
+  EXPECT_FALSE(Dfa::Equivalent(d0, d2));
+  EXPECT_TRUE(Dfa::Contains(d0, d1));
+  auto witness = Dfa::WitnessDifference(d2, d0);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(d2.Accepts(*witness));
+  EXPECT_FALSE(d0.Accepts(*witness));
+}
+
+TEST(DfaTest, MinimizePreservesLanguageAndShrinks) {
+  RegexAlphabet alphabet;
+  auto nfas = CompileRegexes({"(a|b)*abb"}, &alphabet);
+  Dfa dfa = Determinize(nfas[0]);
+  Dfa mini = dfa.Minimize();
+  EXPECT_LE(mini.num_states(), dfa.num_states());
+  EXPECT_TRUE(Dfa::Equivalent(dfa, mini));
+  EXPECT_EQ(mini.num_states(), 4);  // the classic 4-state DFA
+}
+
+TEST(RegexTest, ParseOperators) {
+  RegexAlphabet alphabet;
+  auto nfas = CompileRegexes({"a+b?", "a|()", "(a|b)+c"}, &alphabet);
+  auto enc = [&alphabet](const std::string& s) { return alphabet.Encode(s); };
+  EXPECT_TRUE(nfas[0].Accepts(enc("a")));
+  EXPECT_TRUE(nfas[0].Accepts(enc("aaab")));
+  EXPECT_FALSE(nfas[0].Accepts(enc("b")));
+  EXPECT_TRUE(nfas[1].Accepts(enc("")));
+  EXPECT_TRUE(nfas[1].Accepts(enc("a")));
+  EXPECT_TRUE(nfas[2].Accepts(enc("abbac")));
+  EXPECT_FALSE(nfas[2].Accepts(enc("c")));
+}
+
+TEST(RegexTest, SyntaxErrors) {
+  RegexAlphabet alphabet;
+  alphabet.Intern('a');
+  std::string error;
+  EXPECT_FALSE(CompileRegex("(a", alphabet, &error).has_value());
+  EXPECT_FALSE(CompileRegex("*a", alphabet, &error).has_value());
+  EXPECT_FALSE(CompileRegex("a)", alphabet, &error).has_value());
+  EXPECT_FALSE(CompileRegex("z", alphabet, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AfaTest, ConjunctionOfLanguages) {
+  // AFA accepting the conjunction L = "ends with a" ∩ "length ≥ 2"
+  // over {a=0, b=1}.
+  Afa afa(6, 2);
+  // State 1: ends with a — needs nondeterminism: 1 -a-> (1 or 3), 1 -b-> 1;
+  // state 3 accepts end-of-word.
+  afa.AddFinal(3);
+  afa.SetTransition(1, 0, PlFormula::Or(PlFormula::Var(1), PlFormula::Var(3)));
+  afa.SetTransition(1, 1, PlFormula::Var(1));
+  // State 2: length ≥ 2: 2 -any-> 4 -any-> 5 (final, loops).
+  afa.AddFinal(5);
+  afa.SetTransition(2, 0, PlFormula::Var(4));
+  afa.SetTransition(2, 1, PlFormula::Var(4));
+  afa.SetTransition(4, 0, PlFormula::Var(5));
+  afa.SetTransition(4, 1, PlFormula::Var(5));
+  afa.SetTransition(5, 0, PlFormula::Var(5));
+  afa.SetTransition(5, 1, PlFormula::Var(5));
+  afa.SetInitialFormula(PlFormula::And(PlFormula::Var(1), PlFormula::Var(2)));
+
+  EXPECT_TRUE(afa.Accepts({1, 0}));     // ba
+  EXPECT_TRUE(afa.Accepts({0, 1, 0}));  // aba
+  EXPECT_FALSE(afa.Accepts({0}));       // too short
+  EXPECT_FALSE(afa.Accepts({0, 1}));    // ends with b
+  EXPECT_FALSE(afa.IsEmpty());
+  auto w = afa.ShortestAcceptedWord();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 2u);
+  EXPECT_EQ(w->back(), 0);
+  EXPECT_TRUE(afa.Accepts(*w));
+}
+
+TEST(AfaTest, FromNfaPreservesLanguage) {
+  // Build an epsilon-free NFA for a(a|b)* directly.
+  Nfa nfa(2);
+  int s0 = nfa.AddState();
+  int s1 = nfa.AddState();
+  nfa.AddInitial(s0);
+  nfa.AddFinal(s1);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s1, 0, s1);
+  nfa.AddTransition(s1, 1, s1);
+  Afa afa = Afa::FromNfa(nfa);
+  std::vector<std::vector<int>> words = {{}, {0}, {1}, {0, 1, 1}, {1, 0}};
+  for (const auto& w : words) {
+    EXPECT_EQ(afa.Accepts(w), nfa.Accepts(w));
+  }
+}
+
+TEST(AfaTest, ToNfaPreservesLanguage) {
+  Afa afa(3, 2);
+  afa.AddFinal(2);
+  // 0 -a-> 1 AND 2; 1 -b-> 2; 2 -a-> 2, 2 -b-> 2.
+  afa.SetTransition(0, 0, PlFormula::And(PlFormula::Var(1), PlFormula::Var(2)));
+  afa.SetTransition(1, 1, PlFormula::Var(2));
+  afa.SetTransition(2, 0, PlFormula::Var(2));
+  afa.SetTransition(2, 1, PlFormula::Var(2));
+  afa.SetInitialFormula(PlFormula::Var(0));
+  Nfa nfa = afa.ToNfa();
+  std::vector<std::vector<int>> words = {{}, {0}, {0, 1}, {0, 0},
+                                         {0, 1, 1}, {1}};
+  for (const auto& w : words) {
+    EXPECT_EQ(nfa.Accepts(w), afa.Accepts(w)) << "word size " << w.size();
+  }
+}
+
+TEST(AfaTest, EmptyAfa) {
+  Afa afa(2, 1);
+  afa.SetInitialFormula(PlFormula::Var(0));
+  // No finals, no transitions: empty.
+  EXPECT_TRUE(afa.IsEmpty());
+  EXPECT_GT(afa.last_search_size(), 0u);
+}
+
+}  // namespace
+}  // namespace sws::fsa

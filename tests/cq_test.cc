@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "logic/cq.h"
+#include "logic/ucq.h"
+
+namespace sws::logic {
+namespace {
+
+using rel::Database;
+using rel::Relation;
+using rel::Value;
+
+Database EdgeDatabase() {
+  // E = {(1,2), (2,3), (1,3), (3,3)}
+  Database db;
+  Relation e(2);
+  e.Insert({Value::Int(1), Value::Int(2)});
+  e.Insert({Value::Int(2), Value::Int(3)});
+  e.Insert({Value::Int(1), Value::Int(3)});
+  e.Insert({Value::Int(3), Value::Int(3)});
+  db.Set("E", e);
+  return db;
+}
+
+TEST(CqTest, SimpleJoin) {
+  // ans(x, z) :- E(x, y), E(y, z): paths of length 2.
+  ConjunctiveQuery q({Term::Var(0), Term::Var(2)},
+                     {Atom{"E", {Term::Var(0), Term::Var(1)}},
+                      Atom{"E", {Term::Var(1), Term::Var(2)}}});
+  Relation r = q.Evaluate(EdgeDatabase());
+  EXPECT_TRUE(r.Contains({Value::Int(1), Value::Int(3)}));  // 1-2-3
+  EXPECT_TRUE(r.Contains({Value::Int(3), Value::Int(3)}));  // 3-3-3
+  EXPECT_TRUE(r.Contains({Value::Int(2), Value::Int(3)}));  // 2-3-3
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(CqTest, ConstantsInBody) {
+  // ans(y) :- E(1, y).
+  ConjunctiveQuery q({Term::Var(0)}, {Atom{"E", {Term::Int(1), Term::Var(0)}}});
+  Relation r = q.Evaluate(EdgeDatabase());
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({Value::Int(2)}));
+  EXPECT_TRUE(r.Contains({Value::Int(3)}));
+}
+
+TEST(CqTest, InequalityFilters) {
+  // ans(x, y) :- E(x, y), x != y.
+  ConjunctiveQuery q({Term::Var(0), Term::Var(1)},
+                     {Atom{"E", {Term::Var(0), Term::Var(1)}}},
+                     {Comparison{Term::Var(0), Term::Var(1), false}});
+  Relation r = q.Evaluate(EdgeDatabase());
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_FALSE(r.Contains({Value::Int(3), Value::Int(3)}));
+}
+
+TEST(CqTest, EqualityComparisonActsAsSelection) {
+  // ans(x) :- E(x, y), y = 3.
+  ConjunctiveQuery q({Term::Var(0)},
+                     {Atom{"E", {Term::Var(0), Term::Var(1)}}},
+                     {Comparison{Term::Var(1), Term::Int(3), true}});
+  Relation r = q.Evaluate(EdgeDatabase());
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_FALSE(r.Contains({Value::Int(1)}) &&
+               r.Contains({Value::Int(2)}) &&
+               r.Contains({Value::Int(3)}) == false);
+  EXPECT_TRUE(r.Contains({Value::Int(2)}));
+}
+
+TEST(CqTest, MissingRelationMatchesNothing) {
+  ConjunctiveQuery q({Term::Var(0)}, {Atom{"Nope", {Term::Var(0)}}});
+  EXPECT_TRUE(q.Evaluate(EdgeDatabase()).empty());
+  EXPECT_FALSE(q.EvaluatesNonempty(EdgeDatabase()));
+}
+
+TEST(CqTest, ConstantHead) {
+  // ans(99) :- E(x, x): boolean-style query.
+  ConjunctiveQuery q({Term::Int(99)}, {Atom{"E", {Term::Var(0), Term::Var(0)}}});
+  Relation r = q.Evaluate(EdgeDatabase());
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({Value::Int(99)}));
+}
+
+TEST(CqTest, ValidateRejectsUnsafeHead) {
+  ConjunctiveQuery q({Term::Var(5)}, {Atom{"E", {Term::Var(0), Term::Var(1)}}});
+  EXPECT_TRUE(q.Validate().has_value());
+  ConjunctiveQuery ok({Term::Var(0)}, {Atom{"E", {Term::Var(0), Term::Var(1)}}});
+  EXPECT_FALSE(ok.Validate().has_value());
+}
+
+TEST(CqTest, ValidateRejectsUnsafeComparison) {
+  ConjunctiveQuery q({Term::Var(0)}, {Atom{"E", {Term::Var(0), Term::Var(1)}}},
+                     {Comparison{Term::Var(9), Term::Var(0), false}});
+  EXPECT_TRUE(q.Validate().has_value());
+}
+
+TEST(CqTest, NormalizeUnifiesEqualities) {
+  // ans(x) :- E(x, y), x = y  ≡  ans(x) :- E(x, x).
+  ConjunctiveQuery q({Term::Var(0)},
+                     {Atom{"E", {Term::Var(0), Term::Var(1)}}},
+                     {Comparison{Term::Var(0), Term::Var(1), true}});
+  auto norm = q.Normalize();
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_TRUE(norm->comparisons().empty());
+  Relation r = norm->Evaluate(EdgeDatabase());
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({Value::Int(3)}));
+}
+
+TEST(CqTest, NormalizePropagatesConstants) {
+  // x = 1, x = y: y must become 1.
+  ConjunctiveQuery q({Term::Var(1)},
+                     {Atom{"E", {Term::Var(0), Term::Var(1)}}},
+                     {Comparison{Term::Var(0), Term::Int(1), true}});
+  auto norm = q.Normalize();
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_EQ(norm->body()[0].args[0], Term::Int(1));
+}
+
+TEST(CqTest, NormalizeDetectsClashingConstants) {
+  ConjunctiveQuery q({Term::Var(0)},
+                     {Atom{"E", {Term::Var(0), Term::Var(0)}}},
+                     {Comparison{Term::Var(0), Term::Int(1), true},
+                      Comparison{Term::Var(0), Term::Int(2), true}});
+  EXPECT_FALSE(q.Normalize().has_value());
+  EXPECT_FALSE(q.IsSatisfiable());
+}
+
+TEST(CqTest, NormalizeDetectsSelfInequality) {
+  ConjunctiveQuery q({Term::Var(0)},
+                     {Atom{"E", {Term::Var(0), Term::Var(1)}}},
+                     {Comparison{Term::Var(0), Term::Var(1), true},
+                      Comparison{Term::Var(0), Term::Var(1), false}});
+  EXPECT_FALSE(q.Normalize().has_value());
+}
+
+TEST(CqTest, CanonicalDatabaseFreezesVariables) {
+  ConjunctiveQuery q({Term::Var(0)},
+                     {Atom{"E", {Term::Var(0), Term::Var(1)}},
+                      Atom{"E", {Term::Var(1), Term::Int(5)}}});
+  rel::Tuple head;
+  Database canon = q.CanonicalDatabase(&head);
+  EXPECT_EQ(head, rel::Tuple{Value::Null(0)});
+  EXPECT_TRUE(canon.Get("E").Contains({Value::Null(0), Value::Null(1)}));
+  EXPECT_TRUE(canon.Get("E").Contains({Value::Null(1), Value::Int(5)}));
+  // The query evaluated on its own canonical database yields the frozen
+  // head (the classic CQ fact).
+  EXPECT_TRUE(q.Evaluate(canon).Contains(head));
+}
+
+TEST(CqTest, SubstituteAndShiftVars) {
+  ConjunctiveQuery q({Term::Var(0)}, {Atom{"E", {Term::Var(0), Term::Var(1)}}});
+  ConjunctiveQuery shifted = q.ShiftVars(10);
+  EXPECT_EQ(shifted.head()[0], Term::Var(10));
+  EXPECT_EQ(shifted.body()[0].args[1], Term::Var(11));
+  EXPECT_EQ(q.MaxVar(), 1);
+  EXPECT_EQ(shifted.MaxVar(), 11);
+}
+
+TEST(UcqTest, EvaluateIsUnion) {
+  UnionQuery u(1);
+  u.Add(ConjunctiveQuery({Term::Var(0)},
+                         {Atom{"E", {Term::Var(0), Term::Int(2)}}}));
+  u.Add(ConjunctiveQuery({Term::Var(0)},
+                         {Atom{"E", {Term::Int(3), Term::Var(0)}}}));
+  Relation r = u.Evaluate(EdgeDatabase());
+  EXPECT_TRUE(r.Contains({Value::Int(1)}));  // E(1,2)
+  EXPECT_TRUE(r.Contains({Value::Int(3)}));  // E(3,3)
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(UcqTest, SatisfiabilityAndPruning) {
+  UnionQuery u(1);
+  u.Add(ConjunctiveQuery({Term::Var(0)},
+                         {Atom{"E", {Term::Var(0), Term::Var(0)}}},
+                         {Comparison{Term::Var(0), Term::Var(0), false}}));
+  EXPECT_FALSE(u.IsSatisfiable());
+  u.Add(ConjunctiveQuery({Term::Var(0)},
+                         {Atom{"E", {Term::Var(0), Term::Var(1)}}}));
+  EXPECT_TRUE(u.IsSatisfiable());
+  EXPECT_EQ(u.PruneUnsatisfiable().size(), 1u);
+}
+
+TEST(UcqTest, EmptyUnionIsEmpty) {
+  UnionQuery u(2);
+  EXPECT_TRUE(u.Evaluate(EdgeDatabase()).empty());
+  EXPECT_FALSE(u.IsSatisfiable());
+}
+
+}  // namespace
+}  // namespace sws::logic

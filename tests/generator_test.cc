@@ -1,0 +1,121 @@
+// The workload generator itself: determinism, well-formedness sweeps,
+// and the edge-case/death-test coverage for the core data structures.
+
+#include <gtest/gtest.h>
+
+#include "sws/execution.h"
+#include "sws/generator.h"
+#include "util/common.h"
+
+namespace sws::core {
+namespace {
+
+class GeneratorSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSweep, SameSeedSameService) {
+  WorkloadGenerator a(GetParam());
+  WorkloadGenerator b(GetParam());
+  WorkloadGenerator::CqSwsParams params;
+  params.num_states = 4;
+  Sws sa = a.RandomCqSws(params);
+  Sws sb = b.RandomCqSws(params);
+  EXPECT_EQ(sa.ToString(), sb.ToString());
+  WorkloadGenerator::PlSwsParams pl_params;
+  EXPECT_EQ(a.RandomPlSws(pl_params).ToString(),
+            b.RandomPlSws(pl_params).ToString());
+}
+
+TEST_P(GeneratorSweep, GeneratedServicesValidateAndRun) {
+  WorkloadGenerator gen(GetParam() * 997);
+  for (int round = 0; round < 3; ++round) {
+    WorkloadGenerator::CqSwsParams params;
+    params.num_states = 2 + static_cast<int>(gen.rng()() % 5);
+    params.rin_arity = 1 + gen.rng()() % 3;
+    params.rout_arity = 1 + gen.rng()() % 3;
+    params.num_db_relations = 1 + static_cast<int>(gen.rng()() % 3);
+    Sws sws = gen.RandomCqSws(params);
+    EXPECT_FALSE(sws.Validate().has_value());
+    EXPECT_FALSE(sws.IsRecursive());
+    rel::Database db = gen.RandomDatabase(sws.db_schema(), 2, 3);
+    rel::InputSequence input = gen.RandomInput(sws.rin_arity(), 2, 1, 3);
+    core::RunResult result = core::Run(sws, db, input);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.output.arity(), sws.rout_arity());
+  }
+}
+
+TEST_P(GeneratorSweep, RandomDatabasesRespectSchema) {
+  WorkloadGenerator gen(GetParam() + 17);
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("A", {"x"}));
+  schema.Add(rel::RelationSchema("B", {"x", "y", "z"}));
+  rel::Database db = gen.RandomDatabase(schema, 5, 4);
+  EXPECT_EQ(db.Get("A").arity(), 1u);
+  EXPECT_EQ(db.Get("B").arity(), 3u);
+  EXPECT_LE(db.Get("A").size(), 5u);  // duplicates collapse
+  for (const rel::Value& v : db.ActiveDomain()) {
+    ASSERT_TRUE(v.is_int());
+    EXPECT_GE(v.AsInt(), 0);
+    EXPECT_LT(v.AsInt(), 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(EdgeCaseTest, RelationArityMismatchAborts) {
+  rel::Relation r(2);
+  EXPECT_DEATH(r.Insert({rel::Value::Int(1)}), "arity");
+}
+
+TEST(EdgeCaseTest, ValueKindMisuseAborts) {
+  EXPECT_DEATH(rel::Value::Str("x").AsInt(), "not an int");
+  EXPECT_DEATH(rel::Value::Int(1).AsString(), "not a string");
+  EXPECT_DEATH(rel::Value::Int(1).null_label(), "not a null");
+}
+
+TEST(EdgeCaseTest, InputSequenceDecodeRejectsBadTimestamps) {
+  rel::Relation encoded(2);
+  encoded.Insert({rel::Value::Str("bad"), rel::Value::Int(1)});
+  EXPECT_DEATH(rel::InputSequence::Decode(encoded), "timestamp");
+}
+
+TEST(EdgeCaseTest, SchemaDuplicateNameAborts) {
+  rel::Schema s;
+  s.Add(rel::RelationSchema("R", {"a"}));
+  EXPECT_DEATH(s.Add(rel::RelationSchema("R", {"b"})), "duplicate");
+}
+
+TEST(EdgeCaseTest, SwsDuplicateStateNameAborts) {
+  Sws sws(rel::Schema{}, 1, 1);
+  sws.AddState("q0");
+  EXPECT_DEATH(sws.AddState("q0"), "duplicate");
+}
+
+TEST(EdgeCaseTest, UnvalidatedSynthesisAccessAborts) {
+  Sws sws(rel::Schema{}, 1, 1);
+  sws.AddState("q0");
+  EXPECT_DEATH(sws.Synthesis(0), "no synthesis");
+}
+
+TEST(EdgeCaseTest, RunRejectsWrongInputArity) {
+  Sws sws(rel::Schema{}, 2, 1);
+  sws.AddState("q0");
+  sws.SetTransition(0, {});
+  logic::ConjunctiveQuery echo(
+      {logic::Term::Var(0)},
+      {logic::Atom{kMsgRelation, {logic::Term::Var(0), logic::Term::Var(1)}}});
+  sws.SetSynthesis(0, RelQuery::Cq(echo));
+  rel::InputSequence wrong(1);
+  EXPECT_DEATH(core::Run(sws, rel::Database{}, wrong), "arity");
+}
+
+TEST(EdgeCaseTest, ZeroStateGeneratorParamsAbort) {
+  WorkloadGenerator gen(1);
+  WorkloadGenerator::PlSwsParams params;
+  params.num_states = 0;
+  EXPECT_DEATH(gen.RandomPlSws(params), "num_states");
+}
+
+}  // namespace
+}  // namespace sws::core

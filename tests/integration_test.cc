@@ -1,0 +1,179 @@
+// End-to-end integration: realistic pipelines that stitch multiple
+// subsystems together, the way a downstream user would.
+
+#include <gtest/gtest.h>
+
+#include "analysis/cq_analysis.h"
+#include "analysis/verification.h"
+#include "mediator/cq_composition.h"
+#include "mediator/mediator_run.h"
+#include "models/guarded.h"
+#include "models/peer.h"
+#include "models/roman.h"
+#include "models/travel.h"
+#include "sws/aggregate.h"
+#include "sws/session.h"
+#include "util/common.h"
+
+namespace sws {
+namespace {
+
+using logic::FoFormula;
+using logic::Term;
+using rel::Relation;
+using rel::Value;
+
+// Pipeline 1: a Roman-model order protocol, embedded as the deferring
+// SWS(CQ, UCQ) service, run through sessions whose committed actions are
+// written into an order log — eager FSA commitment vs the SWS's
+// all-or-nothing discipline.
+TEST(IntegrationTest, RomanProtocolSessionsCommitAtomically) {
+  // Protocol: (select pay)* — every selection must be paid before the
+  // session closes. Alphabet: select=0, pay=1.
+  fsa::Dfa protocol(3, 2);
+  protocol.set_start(0);
+  protocol.SetFinal(0);
+  protocol.SetTransition(0, 0, 1);
+  protocol.SetTransition(0, 1, 2);
+  protocol.SetTransition(1, 1, 0);
+  protocol.SetTransition(1, 0, 2);
+  protocol.SetTransition(2, 0, 2);
+  protocol.SetTransition(2, 1, 2);
+  core::Sws service = models::RomanToCqSws(protocol.ToNfa());
+
+  // Wrap its (pos, action) outputs as ins-actions into a Log relation:
+  // build a wrapper SWS? Simpler: commit manually from run outputs.
+  rel::Database db;
+  db.Set("Log", Relation(2));
+
+  auto run_session = [&](const std::vector<int>& actions) {
+    core::RunResult run = core::Run(service, rel::Database{},
+                                    models::EncodeRomanCqWord(actions, 2));
+    // Commit: every output pair becomes a Log insertion.
+    Relation commits(4);
+    for (const rel::Tuple& t : run.output) {
+      commits.Insert({Value::Str("ins"), Value::Str("Log"), t[0], t[1]});
+    }
+    return rel::CommitOutput(commits, &db);
+  };
+
+  // A legal session commits everything at once.
+  auto ok = run_session({0, 1, 0, 1});
+  EXPECT_EQ(ok.inserted, 5u);  // 4 actions + the delimiter marker
+  EXPECT_EQ(db.Get("Log").size(), 5u);
+
+  // An illegal session (unpaid selection) commits nothing at all.
+  auto bad = run_session({0, 0, 1});
+  EXPECT_EQ(bad.inserted, 0u);
+  EXPECT_EQ(db.Get("Log").size(), 5u);
+}
+
+// Pipeline 2: guarded checkout protocol → peer → SWS(FO, FO) → sessions,
+// with the database updated between sessions and the service reading the
+// updated state.
+TEST(IntegrationTest, GuardedProtocolOverEvolvingDatabase) {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Fee", {"amount"}));
+  models::GuardedAutomaton checkout(schema, 1, 1, 2, 0);
+  FoFormula add = FoFormula::MakeAtom(models::Peer::kPeerInput, {Term::Int(1)});
+  FoFormula pay = FoFormula::MakeAtom(models::Peer::kPeerInput, {Term::Int(2)});
+  checkout.AddTransition({0, 0, add, FoFormula::False()});
+  checkout.AddTransition(
+      {0, 1, pay, FoFormula::MakeAtom("Fee", {Term::Var(0)})});
+  checkout.AddTransition({1, 1, FoFormula::True(), FoFormula::False()});
+  core::Sws sws = models::PeerToSws(checkout.ToPeer());
+
+  auto run_with_fee = [&](int64_t fee_amount) {
+    rel::Database db;
+    Relation fee(1);
+    fee.Insert({Value::Int(fee_amount)});
+    db.Set("Fee", fee);
+    models::Peer peer = checkout.ToPeer();
+    Relation cmd_pay(1);
+    cmd_pay.Insert({Value::Int(2)});
+    rel::InputSequence input = models::EncodePeerInput(peer, {cmd_pay});
+    return core::Run(sws, db, input).output;
+  };
+  EXPECT_TRUE(run_with_fee(5).Contains({Value::Int(5)}));
+  // The fee table changed between sessions: the service sees the update.
+  EXPECT_TRUE(run_with_fee(9).Contains({Value::Int(9)}));
+  EXPECT_FALSE(run_with_fee(9).Contains({Value::Int(5)}));
+}
+
+// Pipeline 3: compose the travel goal from components, then run the
+// synthesized mediator under a cost-model aggregation and commit the
+// cheapest package through the session machinery.
+TEST(IntegrationTest, ComposedMediatorWithAggregatedCommit) {
+  auto goal = models::MakeTravelServiceCqUcq();
+  auto ta = models::MakeTravelComponentAirfare();
+  auto tht = models::MakeTravelComponentHotelTickets();
+  auto thc = models::MakeTravelComponentHotelCar();
+  std::vector<const core::Sws*> components = {&ta.sws, &tht.sws, &thc.sws};
+  med::CqCompositionResult composition =
+      med::ComposeCqOneLevel(goal.sws, components);
+  ASSERT_TRUE(composition.found) << composition.reason;
+
+  rel::Database db = models::MakeTravelDatabase();
+  rel::InputSequence input(3);
+  input.Append(models::MakeTravelRequest("orlando", 1000));
+  med::MediatorRunResult mediated =
+      med::RunMediator(composition.mediator, components, db, input);
+  core::Aggregation min_cost{core::AggregateKind::kMinCost,
+                             core::CostModel{{1, 1, 1, 1}}, 0};
+  Relation cheapest = core::ApplyAggregation(mediated.output, min_cost);
+  ASSERT_EQ(cheapest.size(), 1u);
+  // Commit the booked package as external messages.
+  Relation actions(6);
+  for (const rel::Tuple& t : cheapest) {
+    actions.Insert({Value::Str("msg"), Value::Str("booking"),
+                    t[0], t[1], t[2], t[3]});
+  }
+  rel::Database booking_db;
+  rel::CommitResult commit = rel::CommitOutput(actions, &booking_db);
+  ASSERT_EQ(commit.messages.size(), 1u);
+  EXPECT_EQ(commit.messages[0].target, "booking");
+  EXPECT_EQ(commit.messages[0].payload[0], Value::Int(300));
+}
+
+// Pipeline 4: verify a service, then watch the verified property hold on
+// every accepted random session (the static verdict predicts runtime
+// behavior).
+TEST(IntegrationTest, StaticSafetyPredictsRuntimeBehavior) {
+  core::PlSws service(2);
+  int q0 = service.AddState("q0");
+  int q1 = service.AddState("q1");
+  int q2 = service.AddState("q2");
+  service.SetTransition(q0, {{q1, logic::PlFormula::Var(1)}});
+  service.SetSynthesis(q0, logic::PlFormula::Var(0));
+  service.SetTransition(q1, {{q2, logic::PlFormula::Var(0)}});
+  service.SetSynthesis(q1, logic::PlFormula::Var(0));
+  service.SetTransition(q2, {});
+  service.SetSynthesis(q2, logic::PlFormula::Var(service.msg_var()));
+
+  auto alphabet = analysis::MakePropertyAlphabet(service);
+  fsa::Nfa bad = analysis::BadBeforeProperty(alphabet, 0, 1);
+  ASSERT_TRUE(analysis::CheckRegularSafety(service, bad, alphabet).safe);
+
+  // Every accepted session over the alphabet (length ≤ 3) is good.
+  fsa::Dfa bad_dfa = Determinize(bad);
+  std::function<void(core::PlSws::Word&, std::vector<int>&, size_t)> sweep =
+      [&](core::PlSws::Word& w, std::vector<int>& encoded, size_t depth) {
+        if (service.Run(w)) {
+          EXPECT_FALSE(bad_dfa.Accepts(encoded));
+        }
+        if (depth == 3) return;
+        for (size_t i = 0; i < alphabet.size(); ++i) {
+          w.push_back(alphabet[i]);
+          encoded.push_back(static_cast<int>(i));
+          sweep(w, encoded, depth + 1);
+          w.pop_back();
+          encoded.pop_back();
+        }
+      };
+  core::PlSws::Word w;
+  std::vector<int> encoded;
+  sweep(w, encoded, 0);
+}
+
+}  // namespace
+}  // namespace sws

@@ -1,0 +1,145 @@
+// k-prefix recognizability machinery (Theorem 5.1(4)/(5)) and the
+// MDT(∨) subclass predicate of Theorem 5.3.
+
+#include <gtest/gtest.h>
+
+#include "mediator/kprefix.h"
+#include "mediator/pl_composition.h"
+#include "sws/generator.h"
+
+namespace sws::med {
+namespace {
+
+using core::PlSws;
+using F = logic::PlFormula;
+
+PlSws DepthChain(int levels) {
+  PlSws sws(1);
+  int prev = sws.AddState("q0");
+  for (int i = 1; i < levels; ++i) {
+    int next = sws.AddState("q" + std::to_string(i));
+    sws.SetTransition(prev, {{next, F::True()}});
+    sws.SetSynthesis(prev, F::Var(0));
+    prev = next;
+  }
+  sws.SetTransition(prev, {});
+  sws.SetSynthesis(prev, F::Var(0));
+  return sws;
+}
+
+TEST(KPrefixTest, ServiceBoundTracksDepth) {
+  EXPECT_EQ(PlSwsPrefixBound(DepthChain(1)), 0u);  // final root: reads I_0
+  EXPECT_EQ(PlSwsPrefixBound(DepthChain(2)), 1u);
+  EXPECT_EQ(PlSwsPrefixBound(DepthChain(4)), 3u);
+}
+
+TEST(KPrefixTest, RecursiveServiceHasNoBound) {
+  PlSws sws(1);
+  int q0 = sws.AddState("q0");
+  int q = sws.AddState("q");
+  sws.SetTransition(q0, {{q, F::True()}});
+  sws.SetSynthesis(q0, F::Var(0));
+  sws.SetTransition(q, {{q, F::Var(0)}});
+  sws.SetSynthesis(q, F::Var(0));
+  EXPECT_FALSE(PlSwsPrefixBound(sws).has_value());
+}
+
+TEST(KPrefixTest, PrefixBoundIsSemanticallySufficient) {
+  // Inputs beyond the bound never change the verdict: extending a word
+  // past the bound preserves Run.
+  core::WorkloadGenerator gen(606);
+  for (int trial = 0; trial < 10; ++trial) {
+    core::WorkloadGenerator::PlSwsParams params;
+    params.num_states = 4;
+    params.allow_recursion = false;
+    PlSws sws = gen.RandomPlSws(params);
+    size_t k = *PlSwsPrefixBound(sws);
+    PlSws::Word word = gen.RandomPlWord(static_cast<int>(k), 2);
+    bool base = sws.Run(word);
+    for (int extra = 0; extra < 3; ++extra) {
+      word.push_back(gen.RandomPlWord(1, 2)[0]);
+      EXPECT_EQ(sws.Run(word), base) << sws.ToString();
+    }
+  }
+}
+
+TEST(KPrefixTest, PrefixEquivalenceCompleteOnNonrecursive) {
+  PlSws a = DepthChain(3);
+  PlSws b = DepthChain(3);
+  PrefixEquivalenceResult eq = PrefixEquivalence(a, b);
+  EXPECT_TRUE(eq.complete);
+  EXPECT_TRUE(eq.equivalent);
+
+  // Different depths: the deeper chain needs one more message.
+  PlSws c = DepthChain(4);
+  PrefixEquivalenceResult neq = PrefixEquivalence(a, c);
+  EXPECT_TRUE(neq.complete);
+  EXPECT_FALSE(neq.equivalent);
+  ASSERT_TRUE(neq.counterexample.has_value());
+  EXPECT_NE(a.Run(*neq.counterexample), c.Run(*neq.counterexample));
+}
+
+TEST(KPrefixTest, FallbackIsMarkedIncomplete) {
+  PlSws recursive(1);
+  int q0 = recursive.AddState("q0");
+  int q = recursive.AddState("q");
+  recursive.SetTransition(q0, {{q, F::True()}});
+  recursive.SetSynthesis(q0, F::Var(0));
+  recursive.SetTransition(q, {{q, F::Var(0)}});
+  recursive.SetSynthesis(q, F::Var(0));
+  PrefixEquivalenceResult eq =
+      PrefixEquivalence(recursive, recursive, /*fallback_length=*/2);
+  EXPECT_FALSE(eq.complete);
+  EXPECT_TRUE(eq.equivalent);  // only up to the fallback length
+  EXPECT_EQ(eq.tested_length, 2u);
+}
+
+TEST(KPrefixTest, MediatorBoundCombinesDepths) {
+  PlSws component = DepthChain(3);  // component bound 2
+  std::vector<const PlSws*> components = {&component};
+  PlMediator pi;
+  int q0 = pi.AddState("q0");
+  int q1 = pi.AddState("q1");
+  pi.SetTransition(q0, {MediatorTarget{q1, 0}});
+  pi.SetSynthesis(q0, F::Var(0));
+  pi.SetTransition(q1, {});
+  pi.SetSynthesis(q1, F::Var(PlMediator::kMsgVar));
+  auto bound = PlMediatorPrefixBound(pi, components);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_GE(*bound, 2u);  // at least the component's own bound
+  EXPECT_LE(*bound, 5u);  // mediator depth (2) × comp bound (2) + 1
+}
+
+TEST(MdtSubclassTest, IsDisjunctionOnlyClassifiesMediators) {
+  PlMediator disjunctive;
+  int q0 = disjunctive.AddState("q0");
+  int s0 = disjunctive.AddState("s0");
+  int s1 = disjunctive.AddState("s1");
+  disjunctive.SetTransition(q0, {MediatorTarget{s0, 0},
+                                 MediatorTarget{s1, 1}});
+  disjunctive.SetSynthesis(q0, F::Or(F::Var(0), F::Var(1)));
+  disjunctive.SetTransition(s0, {});
+  disjunctive.SetSynthesis(s0, F::Var(PlMediator::kMsgVar));
+  disjunctive.SetTransition(s1, {});
+  disjunctive.SetSynthesis(s1, F::Var(PlMediator::kMsgVar));
+  EXPECT_TRUE(disjunctive.IsDisjunctionOnly());
+
+  PlMediator conjunctive = disjunctive;
+  conjunctive.SetSynthesis(0, F::And(F::Var(0), F::Var(1)));
+  EXPECT_FALSE(conjunctive.IsDisjunctionOnly());
+
+  PlMediator negated = disjunctive;
+  negated.SetSynthesis(0, F::Or(F::Var(0), F::Not(F::Var(1))));
+  EXPECT_FALSE(negated.IsDisjunctionOnly());
+}
+
+TEST(MdtSubclassTest, ToStringSmoke) {
+  PlMediator pi;
+  pi.AddState("q0");
+  pi.SetTransition(0, {});
+  pi.SetSynthesis(0, F::Var(PlMediator::kMsgVar));
+  EXPECT_NE(pi.ToString().find("MDTnr(PL)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sws::med

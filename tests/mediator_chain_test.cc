@@ -1,0 +1,197 @@
+// Sequential (chained) mediators: each eval(τ_i) consumes a prefix of
+// the remaining input and the child's position advances past it — the
+// timestamp bookkeeping of Section 5.1 ("u_i is labeled with l_i + 1 ...
+// the first input message that has not been consumed").
+
+#include <gtest/gtest.h>
+
+#include "mediator/mediator_run.h"
+#include "sws/execution.h"
+#include "util/common.h"
+
+namespace sws::med {
+namespace {
+
+using core::ActRelation;
+using core::kInputRelation;
+using core::kMsgRelation;
+using core::PlSws;
+using core::RelQuery;
+using core::Sws;
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Term;
+using F = logic::PlFormula;
+
+// A relational component of depth 2: its leaf echoes the current input
+// message's single value tagged with `tag`; it consumes exactly one
+// message.
+Sws TaggingComponent(int64_t tag) {
+  // R_in = R_out = pairs (the paper's unified-schema assumption, so a
+  // mediator register can seed the next component).
+  Sws sws(rel::Schema{}, /*rin_arity=*/2, /*rout_arity=*/2);
+  int q0 = sws.AddState("q0");
+  int leaf = sws.AddState("leaf");
+  ConjunctiveQuery pass({Term::Var(0), Term::Var(1)},
+                        {Atom{kInputRelation, {Term::Var(0), Term::Var(1)}}});
+  sws.SetTransition(q0, {core::TransitionTarget{leaf, RelQuery::Cq(pass)}});
+  ConjunctiveQuery up({Term::Var(0), Term::Var(1)},
+                      {Atom{ActRelation(1), {Term::Var(0), Term::Var(1)}}});
+  sws.SetSynthesis(q0, RelQuery::Cq(up));
+  sws.SetTransition(leaf, {});
+  ConjunctiveQuery emit({Term::Int(tag), Term::Var(0)},
+                        {Atom{kMsgRelation, {Term::Var(0), Term::Var(1)}}});
+  sws.SetSynthesis(leaf, RelQuery::Cq(emit));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+rel::Relation Msg(int64_t v) {
+  rel::Relation m(2);
+  m.Insert({rel::Value::Int(v), rel::Value::Int(0)});
+  return m;
+}
+
+TEST(MediatorChainTest, SequentialComponentsConsumeSuccessiveMessages) {
+  // π: q0 → (q1, eval(τ_A)); q1 → (q2, eval(τ_B)); q2 echoes.
+  // τ_A tags message I_1 with 100; it consumes one message, so τ_B runs
+  // on the suffix starting at I_2 and tags I_2 with 200.
+  Sws a = TaggingComponent(100);
+  Sws b = TaggingComponent(200);
+  std::vector<const Sws*> components = {&a, &b};
+
+  Mediator pi(2, 2);
+  int q0 = pi.AddState("q0");
+  int q1 = pi.AddState("q1");
+  int q2 = pi.AddState("q2");
+  pi.SetTransition(q0, {MediatorTarget{q1, 0}});
+  ConjunctiveQuery up({Term::Var(0), Term::Var(1)},
+                      {Atom{ActRelation(1), {Term::Var(0), Term::Var(1)}}});
+  pi.SetSynthesis(q0, RelQuery::Cq(up));
+  pi.SetTransition(q1, {MediatorTarget{q2, 1}});
+  pi.SetSynthesis(q1, RelQuery::Cq(up));
+  pi.SetTransition(q2, {});
+  ConjunctiveQuery echo({Term::Var(0), Term::Var(1)},
+                        {Atom{kMsgRelation, {Term::Var(0), Term::Var(1)}}});
+  pi.SetSynthesis(q2, RelQuery::Cq(echo));
+  ASSERT_FALSE(pi.Validate(components).has_value())
+      << *pi.Validate(components);
+
+  // Hmm — note the chain: q0's child register = τ_A(I^1) = {(100, v1)};
+  // q1's child register = τ_B(I^2) = {(200, v2)}. The mediator's OUTPUT
+  // goes through the final echo of q2, which sees only τ_B's output.
+  rel::InputSequence input(2);
+  input.Append(Msg(7));
+  input.Append(Msg(8));
+  input.Append(Msg(9));
+  MediatorRunResult result = RunMediator(pi, components, rel::Database{},
+                                         input);
+  // τ_B ran on the suffix I_2..: its leaf saw I_2 = 8.
+  rel::Relation expected(2);
+  expected.Insert({rel::Value::Int(200), rel::Value::Int(8)});
+  EXPECT_EQ(result.output, expected);
+  EXPECT_EQ(result.component_invocations, 2u);
+}
+
+TEST(MediatorChainTest, ComponentConsumingNothingDoesNotAdvance) {
+  // A final-state-only component consumes zero messages (its root reads
+  // I_0); the next invocation still starts at I_1.
+  Sws zero(rel::Schema{}, 2, 2);
+  zero.AddState("q0");
+  zero.SetTransition(0, {});
+  // Outputs (42, 42) whenever invoked with nonempty input.
+  ConjunctiveQuery c({Term::Int(42), Term::Int(42)}, {});
+  zero.SetSynthesis(0, RelQuery::Cq(c));
+  Sws tagger = TaggingComponent(100);
+  std::vector<const Sws*> components = {&zero, &tagger};
+
+  Mediator pi(2, 2);
+  int q0 = pi.AddState("q0");
+  int q1 = pi.AddState("q1");
+  int q2 = pi.AddState("q2");
+  pi.SetTransition(q0, {MediatorTarget{q1, 0}});   // the zero-consumer
+  ConjunctiveQuery up({Term::Var(0), Term::Var(1)},
+                      {Atom{ActRelation(1), {Term::Var(0), Term::Var(1)}}});
+  pi.SetSynthesis(q0, RelQuery::Cq(up));
+  pi.SetTransition(q1, {MediatorTarget{q2, 1}});   // then the tagger
+  pi.SetSynthesis(q1, RelQuery::Cq(up));
+  pi.SetTransition(q2, {});
+  ConjunctiveQuery echo({Term::Var(0), Term::Var(1)},
+                        {Atom{kMsgRelation, {Term::Var(0), Term::Var(1)}}});
+  pi.SetSynthesis(q2, RelQuery::Cq(echo));
+
+  rel::InputSequence input(2);
+  input.Append(Msg(7));
+  MediatorRunResult result =
+      RunMediator(pi, components, rel::Database{}, input);
+  // The tagger still saw I_1 = 7 (the zero-consumer advanced nothing).
+  rel::Relation expected(2);
+  expected.Insert({rel::Value::Int(100), rel::Value::Int(7)});
+  EXPECT_EQ(result.output, expected);
+}
+
+TEST(MediatorChainTest, ExhaustedSuffixYieldsEmptyRegister) {
+  Sws a = TaggingComponent(100);
+  Sws b = TaggingComponent(200);
+  std::vector<const Sws*> components = {&a, &b};
+  Mediator pi(2, 2);
+  int q0 = pi.AddState("q0");
+  int q1 = pi.AddState("q1");
+  int q2 = pi.AddState("q2");
+  pi.SetTransition(q0, {MediatorTarget{q1, 0}});
+  ConjunctiveQuery up({Term::Var(0), Term::Var(1)},
+                      {Atom{ActRelation(1), {Term::Var(0), Term::Var(1)}}});
+  pi.SetSynthesis(q0, RelQuery::Cq(up));
+  pi.SetTransition(q1, {MediatorTarget{q2, 1}});
+  pi.SetSynthesis(q1, RelQuery::Cq(up));
+  pi.SetTransition(q2, {});
+  ConjunctiveQuery echo({Term::Var(0), Term::Var(1)},
+                        {Atom{kMsgRelation, {Term::Var(0), Term::Var(1)}}});
+  pi.SetSynthesis(q2, RelQuery::Cq(echo));
+
+  // Only one message: τ_A consumes it; τ_B runs on the empty suffix and
+  // returns ∅; the q2 node is dead (empty register at a non-root node).
+  rel::InputSequence input(2);
+  input.Append(Msg(7));
+  EXPECT_TRUE(
+      RunMediator(pi, components, rel::Database{}, input).output.empty());
+}
+
+TEST(PlMediatorChainTest, SequentialPlComponentsAdvancePositions) {
+  // PL components: each checks variable v in its *first* message and
+  // consumes exactly one message.
+  auto check = [](int v) {
+    PlSws sws(2);
+    int q0 = sws.AddState("q0");
+    int leaf = sws.AddState("leaf");
+    sws.SetTransition(q0, {{leaf, F::True()}});
+    sws.SetSynthesis(q0, F::Var(0));
+    sws.SetTransition(leaf, {});
+    sws.SetSynthesis(leaf, F::Var(v));
+    return sws;
+  };
+  PlSws c0 = check(0);
+  PlSws c1 = check(1);
+  std::vector<const PlSws*> components = {&c0, &c1};
+
+  PlMediator pi;
+  int q0 = pi.AddState("q0");
+  int q1 = pi.AddState("q1");
+  int q2 = pi.AddState("q2");
+  pi.SetTransition(q0, {MediatorTarget{q1, 0}});
+  pi.SetSynthesis(q0, F::Var(0));
+  pi.SetTransition(q1, {MediatorTarget{q2, 1}});
+  pi.SetSynthesis(q1, F::Var(0));
+  pi.SetTransition(q2, {});
+  pi.SetSynthesis(q2, F::Var(PlMediator::kMsgVar));
+
+  // Accepts words where var0 holds in I_1 and var1 holds in I_2.
+  EXPECT_TRUE(RunPlMediator(pi, components, {{0}, {1}}).output);
+  EXPECT_TRUE(RunPlMediator(pi, components, {{0, 1}, {1}}).output);
+  EXPECT_FALSE(RunPlMediator(pi, components, {{0}, {0}}).output);
+  EXPECT_FALSE(RunPlMediator(pi, components, {{1}, {1}}).output);
+  EXPECT_FALSE(RunPlMediator(pi, components, {{0}}).output);
+}
+
+}  // namespace
+}  // namespace sws::med

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "logic/fo.h"
+#include "mediator/cq_composition.h"
+#include "mediator/kprefix.h"
+#include "mediator/mediator_run.h"
+#include "mediator/pl_composition.h"
+#include "models/travel.h"
+#include "sws/execution.h"
+
+namespace sws::med {
+namespace {
+
+using core::ActRelation;
+using core::PlSws;
+using core::RelQuery;
+using core::Sws;
+using logic::FoFormula;
+using logic::PlFormula;
+using logic::Term;
+using models::MakeTravelDatabase;
+using models::MakeTravelRequest;
+using F = PlFormula;
+
+// The mediator π1 of Example 5.1 over components τ_a, τ_ht, τ_hc:
+//   q1 → (qa, eval(τ_a)), (qht, eval(τ_ht)), (qhc, eval(τ_hc))
+//   ψ1 = Act(qa)(x_a,_,_,_) ∧ (Act(qht)(_,x_h,x_t,x_c)
+//         ∨ ¬∃ȳ Act(qht)(ȳ) ∧ Act(qhc)(_,x_h,x_t,x_c)).
+Mediator MakePi1() {
+  Mediator pi(3, 4);
+  int q1 = pi.AddState("q1");
+  int qa = pi.AddState("qa");
+  int qht = pi.AddState("qht");
+  int qhc = pi.AddState("qhc");
+  pi.SetTransition(q1, {MediatorTarget{qa, 0}, MediatorTarget{qht, 1},
+                        MediatorTarget{qhc, 2}});
+  auto v = [](int i) { return Term::Var(i); };
+  // Echo leaves: Act ← Msg.
+  for (int leaf : {qa, qht, qhc}) {
+    pi.SetTransition(leaf, {});
+    pi.SetSynthesis(
+        leaf, RelQuery::Cq(logic::ConjunctiveQuery(
+                  {v(0), v(1), v(2), v(3)},
+                  {logic::Atom{core::kMsgRelation, {v(0), v(1), v(2), v(3)}}})));
+  }
+  FoFormula airfare = FoFormula::Exists(
+      {4, 5, 6}, FoFormula::MakeAtom(ActRelation(1), {v(0), v(4), v(5), v(6)}));
+  FoFormula ht = FoFormula::Exists(
+      {4}, FoFormula::MakeAtom(ActRelation(2), {v(4), v(1), v(2), v(3)}));
+  FoFormula any_ht = FoFormula::Exists(
+      {4, 5, 6, 7},
+      FoFormula::MakeAtom(ActRelation(2), {v(4), v(5), v(6), v(7)}));
+  FoFormula hc = FoFormula::Exists(
+      {4}, FoFormula::MakeAtom(ActRelation(3), {v(4), v(1), v(2), v(3)}));
+  FoFormula psi1 = FoFormula::And(
+      airfare, FoFormula::Or(ht, FoFormula::And(FoFormula::Not(any_ht), hc)));
+  pi.SetSynthesis(q1, RelQuery::Fo(logic::FoQuery(
+                          {v(0), v(1), v(2), v(3)}, psi1)));
+  return pi;
+}
+
+std::vector<Sws> TravelComponents() {
+  return {models::MakeTravelComponentAirfare().sws,
+          models::MakeTravelComponentHotelTickets().sws,
+          models::MakeTravelComponentHotelCar().sws};
+}
+
+std::vector<const Sws*> Pointers(const std::vector<Sws>& v) {
+  std::vector<const Sws*> out;
+  for (const Sws& s : v) out.push_back(&s);
+  return out;
+}
+
+TEST(Example51Test, ComponentsBehaveAsSpecified) {
+  auto components = TravelComponents();
+  auto db = MakeTravelDatabase();
+  rel::InputSequence input(3);
+  input.Append(MakeTravelRequest("orlando", 1000));
+  // τ_a: airfare only.
+  rel::Relation a = core::Run(components[0], db, input).output;
+  rel::Relation expected_a(4);
+  expected_a.Insert({rel::Value::Int(300), rel::Value::Int(0),
+                     rel::Value::Int(0), rel::Value::Int(0)});
+  EXPECT_EQ(a, expected_a);
+  // τ_ht: hotel + tickets.
+  rel::Relation ht = core::Run(components[1], db, input).output;
+  rel::Relation expected_ht(4);
+  expected_ht.Insert({rel::Value::Int(0), rel::Value::Int(120),
+                      rel::Value::Int(80), rel::Value::Int(0)});
+  EXPECT_EQ(ht, expected_ht);
+}
+
+TEST(Example51Test, Pi1EquivalentToTau1OnRuns) {
+  // The paper's claim: π1 ≡ τ1 given conditions (a)-(c), which our
+  // components satisfy. Verified by running both sides.
+  auto goal = models::MakeTravelService();  // τ1
+  auto components = TravelComponents();
+  auto pointers = Pointers(components);
+  Mediator pi1 = MakePi1();
+  ASSERT_FALSE(pi1.Validate(pointers).has_value())
+      << *pi1.Validate(pointers);
+  EXPECT_FALSE(pi1.IsRecursive());  // MDTnr(FO), as the example notes
+
+  auto db = MakeTravelDatabase();
+  for (const char* dest : {"orlando", "paris", "tokyo", "nowhere"}) {
+    rel::InputSequence input(3);
+    input.Append(MakeTravelRequest(dest, 1000));
+    rel::Relation from_goal = core::Run(goal.sws, db, input).output;
+    MediatorRunResult from_mediator = RunMediator(pi1, pointers, db, input);
+    EXPECT_EQ(from_goal, from_mediator.output) << dest;
+  }
+  // Empty input: both silent.
+  rel::InputSequence empty(3);
+  EXPECT_TRUE(core::Run(goal.sws, db, empty).output.empty());
+  EXPECT_TRUE(RunMediator(pi1, pointers, db, empty).output.empty());
+}
+
+TEST(Example51Test, MediatorValidationRejectsDbAccess) {
+  Mediator pi(3, 4);
+  pi.AddState("q0");
+  pi.SetTransition(0, {});
+  // Final synthesis reading a database relation: illegal for mediators.
+  pi.SetSynthesis(0, RelQuery::Cq(logic::ConjunctiveQuery(
+                         {Term::Var(0), Term::Var(1), Term::Var(2),
+                          Term::Var(3)},
+                         {logic::Atom{"Ra",
+                                      {Term::Var(0), Term::Var(1)}},
+                          logic::Atom{core::kMsgRelation,
+                                      {Term::Var(0), Term::Var(1),
+                                       Term::Var(2), Term::Var(3)}}})));
+  auto err = pi.Validate({});
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("disallowed"), std::string::npos);
+}
+
+TEST(CqCompositionTest, TravelGoalComposesFromComponents) {
+  auto goal = models::MakeTravelServiceCqUcq();
+  auto components = TravelComponents();
+  auto pointers = Pointers(components);
+  CqCompositionResult result = ComposeCqOneLevel(goal.sws, pointers);
+  ASSERT_TRUE(result.found) << result.reason;
+  EXPECT_GE(result.rewriting.size(), 2u);  // ticket and car disjuncts
+
+  // The synthesized mediator matches the goal on real runs.
+  auto db = MakeTravelDatabase();
+  for (const char* dest : {"orlando", "paris", "tokyo"}) {
+    rel::InputSequence input(3);
+    input.Append(MakeTravelRequest(dest, 1000));
+    EXPECT_EQ(core::Run(goal.sws, db, input).output,
+              RunMediator(result.mediator, pointers, db, input).output)
+        << dest;
+  }
+}
+
+TEST(CqCompositionTest, MissingCapabilityIsDetected) {
+  auto goal = models::MakeTravelServiceCqUcq();
+  // Only the airfare component: hotel/ticket/car are not expressible.
+  auto airfare = models::MakeTravelComponentAirfare();
+  CqCompositionResult result =
+      ComposeCqOneLevel(goal.sws, {&airfare.sws});
+  EXPECT_FALSE(result.found);
+  EXPECT_FALSE(result.reason.empty());
+}
+
+// --- PL mediators ---
+
+// Goal: leaves report input vars; accept iff v0 ∧ v1 (both checks pass).
+PlSws AndGoal() {
+  PlSws sws(2);
+  int q0 = sws.AddState("q0");
+  int l0 = sws.AddState("l0");
+  int l1 = sws.AddState("l1");
+  sws.SetTransition(q0, {{l0, F::True()}, {l1, F::True()}});
+  sws.SetSynthesis(q0, F::And(F::Var(0), F::Var(1)));
+  sws.SetTransition(l0, {});
+  sws.SetSynthesis(l0, F::Var(0));
+  sws.SetTransition(l1, {});
+  sws.SetSynthesis(l1, F::Var(1));
+  return sws;
+}
+
+// Component checking a single input variable v.
+PlSws SingleCheckComponent(int v) {
+  PlSws sws(2);
+  int q0 = sws.AddState("q0");
+  int leaf = sws.AddState("leaf");
+  sws.SetTransition(q0, {{leaf, F::True()}});
+  sws.SetSynthesis(q0, F::Var(0));
+  sws.SetTransition(leaf, {});
+  sws.SetSynthesis(leaf, F::Var(v));
+  return sws;
+}
+
+TEST(PlMediatorTest, RunSemantics) {
+  PlSws c0 = SingleCheckComponent(0);
+  PlSws c1 = SingleCheckComponent(1);
+  std::vector<const PlSws*> components = {&c0, &c1};
+  PlMediator pi;
+  int q0 = pi.AddState("q0");
+  int s0 = pi.AddState("s0");
+  int s1 = pi.AddState("s1");
+  pi.SetTransition(q0, {MediatorTarget{s0, 0}, MediatorTarget{s1, 1}});
+  pi.SetSynthesis(q0, F::And(F::Var(0), F::Var(1)));
+  pi.SetTransition(s0, {});
+  pi.SetSynthesis(s0, F::Var(PlMediator::kMsgVar));
+  pi.SetTransition(s1, {});
+  pi.SetSynthesis(s1, F::Var(PlMediator::kMsgVar));
+  ASSERT_FALSE(pi.Validate(components).has_value());
+
+  EXPECT_TRUE(RunPlMediator(pi, components, {{0, 1}}).output);
+  EXPECT_FALSE(RunPlMediator(pi, components, {{0}}).output);
+  EXPECT_FALSE(RunPlMediator(pi, components, {{1}}).output);
+  EXPECT_FALSE(RunPlMediator(pi, components, {}).output);
+}
+
+TEST(PlMediatorTest, KPrefixEquivalenceAgainstGoal) {
+  PlSws goal = AndGoal();
+  PlSws c0 = SingleCheckComponent(0);
+  PlSws c1 = SingleCheckComponent(1);
+  std::vector<const PlSws*> components = {&c0, &c1};
+  PlMediator pi;
+  int q0 = pi.AddState("q0");
+  int s0 = pi.AddState("s0");
+  int s1 = pi.AddState("s1");
+  pi.SetTransition(q0, {MediatorTarget{s0, 0}, MediatorTarget{s1, 1}});
+  pi.SetSynthesis(q0, F::And(F::Var(0), F::Var(1)));
+  pi.SetTransition(s0, {});
+  pi.SetSynthesis(s0, F::Var(PlMediator::kMsgVar));
+  pi.SetTransition(s1, {});
+  pi.SetSynthesis(s1, F::Var(PlMediator::kMsgVar));
+
+  PrefixEquivalenceResult eq =
+      MediatorGoalEquivalence(pi, components, goal);
+  EXPECT_TRUE(eq.complete);
+  EXPECT_TRUE(eq.equivalent) << (eq.counterexample.has_value()
+                                     ? eq.counterexample->size()
+                                     : 0);
+
+  // A wrong mediator (OR instead of AND) is refuted with a witness.
+  pi.SetSynthesis(q0, F::Or(F::Var(0), F::Var(1)));
+  PrefixEquivalenceResult neq =
+      MediatorGoalEquivalence(pi, components, goal);
+  EXPECT_FALSE(neq.equivalent);
+  ASSERT_TRUE(neq.counterexample.has_value());
+  EXPECT_NE(RunPlMediator(pi, components, *neq.counterexample).output,
+            goal.Run(*neq.counterexample));
+}
+
+TEST(PlMediatorTest, FindPlMediatorSynthesizesComposition) {
+  PlSws goal = AndGoal();
+  PlSws c0 = SingleCheckComponent(0);
+  PlSws c1 = SingleCheckComponent(1);
+  std::vector<const PlSws*> components = {&c0, &c1};
+  PlCompositionResult result = FindPlMediator(goal, components);
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.verification_complete);
+  // Spot-check the synthesized mediator on words.
+  EXPECT_TRUE(
+      RunPlMediator(result.mediator, components, {{0, 1}}).output);
+  EXPECT_FALSE(RunPlMediator(result.mediator, components, {{0}}).output);
+}
+
+TEST(PlMediatorTest, FindPlMediatorFailsWhenImpossible) {
+  // Goal needs v1 but only a v0-checking component exists.
+  PlSws goal = SingleCheckComponent(1);
+  PlSws c0 = SingleCheckComponent(0);
+  std::vector<const PlSws*> components = {&c0};
+  PlCompositionOptions options;
+  options.max_states = 3;
+  PlCompositionResult result = FindPlMediator(goal, components, options);
+  EXPECT_FALSE(result.found);
+  EXPECT_GT(result.mediators_tried, 0u);
+}
+
+TEST(PlSwsToNfaTest, LanguageMatchesRunSemantics) {
+  PlSws goal = AndGoal();
+  std::vector<PlSws::Symbol> alphabet = {{}, {0}, {1}, {0, 1}};
+  fsa::Nfa nfa = PlSwsToNfa(goal, alphabet);
+  // Cross-check membership for all words up to length 3.
+  std::function<void(PlSws::Word&, size_t)> check = [&](PlSws::Word& w,
+                                                        size_t depth) {
+    std::vector<int> encoded;
+    for (const auto& s : w) {
+      for (size_t i = 0; i < alphabet.size(); ++i) {
+        if (alphabet[i] == s) encoded.push_back(static_cast<int>(i));
+      }
+    }
+    EXPECT_EQ(nfa.Accepts(encoded), goal.Run(w)) << "len " << w.size();
+    if (depth == 3) return;
+    for (const auto& s : alphabet) {
+      w.push_back(s);
+      check(w, depth + 1);
+      w.pop_back();
+    }
+  };
+  PlSws::Word w;
+  check(w, 0);
+}
+
+TEST(PlMediatorTest, RegularRewritingComposition) {
+  // Goal = the AND service; components check v0 and v1. The goal's
+  // language is {w : |w| >= 1, v0 ∈ w_1 and v1 ∈ w_1} — it is NOT a
+  // concatenation of the component languages (each component accepts on
+  // its own variable only), so the language-level rewriting is inexact.
+  // With a component identical to the goal, it becomes exact.
+  PlSws goal = AndGoal();
+  PlSws c0 = SingleCheckComponent(0);
+  PlSws c1 = SingleCheckComponent(1);
+  RegularCompositionResult inexact =
+      ComposePlViaRegularRewriting(goal, {&c0, &c1});
+  EXPECT_FALSE(inexact.composable);
+
+  PlSws self = AndGoal();
+  RegularCompositionResult exact =
+      ComposePlViaRegularRewriting(goal, {&self});
+  EXPECT_TRUE(exact.composable);
+  EXPECT_TRUE(exact.rewriting.max_rewriting.Accepts({0}));
+}
+
+}  // namespace
+}  // namespace sws::med

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "models/guarded.h"
+#include "models/peer.h"
+#include "sws/execution.h"
+
+namespace sws::models {
+namespace {
+
+using logic::FoFormula;
+using logic::Term;
+using rel::Relation;
+using rel::Value;
+
+Term V(int i) { return Term::Var(i); }
+
+// An order-processing peer: the database holds a catalog Item(id, price).
+// Input U(id) requests items. State S(id) remembers requested item ids
+// that exist in the catalog ("cart"). Actions A(id, price): once an item
+// is in the cart and is requested a second time, it is purchased.
+Peer MakeShopPeer() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Item", {"id", "price"}));
+  Peer peer(schema, /*input_arity=*/1, /*state_arity=*/1,
+            /*action_arity=*/2);
+  // S'(x) := (S(x) ∨ U(x)) ∧ ∃p Item(x, p) — the cart accumulates valid
+  // requests (all quantifiers guarded: domain-independent).
+  peer.set_state_rule(FoFormula::And(
+      FoFormula::Or(FoFormula::MakeAtom(Peer::kPeerState, {V(0)}),
+                    FoFormula::MakeAtom(Peer::kPeerInput, {V(0)})),
+      FoFormula::Exists(1, FoFormula::MakeAtom("Item", {V(0), V(1)}))));
+  // A(x, p) := S(x) ∧ U(x) ∧ Item(x, p) — buying a carted item.
+  peer.set_action_rule(FoFormula::And(
+      {FoFormula::MakeAtom(Peer::kPeerState, {V(0)}),
+       FoFormula::MakeAtom(Peer::kPeerInput, {V(0)}),
+       FoFormula::MakeAtom("Item", {V(0), V(1)})}));
+  return peer;
+}
+
+rel::Database ShopDb() {
+  rel::Database db;
+  Relation items(2);
+  items.Insert({Value::Int(1), Value::Int(10)});
+  items.Insert({Value::Int(2), Value::Int(20)});
+  db.Set("Item", items);
+  return db;
+}
+
+Relation Request(std::vector<int64_t> ids) {
+  Relation r(1);
+  for (int64_t id : ids) r.Insert({Value::Int(id)});
+  return r;
+}
+
+TEST(PeerTest, StepSemantics) {
+  Peer peer = MakeShopPeer();
+  ASSERT_FALSE(peer.Validate().has_value());
+  rel::Database db = ShopDb();
+
+  Peer::StepResult s1 = peer.Step(db, Relation(1), Request({1, 3}));
+  EXPECT_TRUE(s1.next_state.Contains({Value::Int(1)}));
+  EXPECT_FALSE(s1.next_state.Contains({Value::Int(3)}));  // not in catalog
+  EXPECT_TRUE(s1.actions.empty());  // nothing carted before
+
+  Peer::StepResult s2 = peer.Step(db, s1.next_state, Request({1, 2}));
+  EXPECT_EQ(s2.next_state.size(), 2u);
+  ASSERT_EQ(s2.actions.size(), 1u);
+  EXPECT_TRUE(s2.actions.Contains({Value::Int(1), Value::Int(10)}));
+}
+
+TEST(PeerTest, RunAccumulatesActions) {
+  Peer peer = MakeShopPeer();
+  rel::Database db = ShopDb();
+  auto run = peer.Run(db, {Request({1}), Request({1, 2}), Request({2})});
+  ASSERT_EQ(run.cumulative_actions.size(), 3u);
+  EXPECT_TRUE(run.cumulative_actions[0].empty());
+  EXPECT_EQ(run.cumulative_actions[1].size(), 1u);
+  EXPECT_EQ(run.cumulative_actions[2].size(), 2u);
+  EXPECT_TRUE(
+      run.cumulative_actions[2].Contains({Value::Int(2), Value::Int(20)}));
+}
+
+TEST(PeerToSwsTest, PrefixRunsMatchPeerSteps) {
+  // The f_τ / f_I correspondence of Section 3: running the translated
+  // SWS on the encoded prefix I_1..I_j equals the peer's cumulative
+  // actions after step j.
+  Peer peer = MakeShopPeer();
+  core::Sws sws = PeerToSws(peer);
+  EXPECT_EQ(sws.Classify(), "SWS(FO, FO)");
+  rel::Database db = ShopDb();
+
+  std::vector<Relation> inputs = {Request({1}), Request({1, 2}),
+                                  Request({2}), Request({1})};
+  auto peer_run = peer.Run(db, inputs);
+  for (size_t j = 1; j <= inputs.size(); ++j) {
+    std::vector<Relation> prefix(inputs.begin(),
+                                 inputs.begin() + static_cast<long>(j));
+    rel::InputSequence encoded = EncodePeerInput(peer, prefix);
+    core::RunResult run = core::Run(sws, db, encoded);
+    EXPECT_EQ(run.output, peer_run.cumulative_actions[j - 1])
+        << "prefix length " << j;
+  }
+}
+
+TEST(PeerToSwsTest, EmptyInputNoActions) {
+  Peer peer = MakeShopPeer();
+  core::Sws sws = PeerToSws(peer);
+  rel::InputSequence empty(
+      std::max(peer.input_arity(), peer.state_arity()) + 1);
+  EXPECT_TRUE(core::Run(sws, ShopDb(), empty).output.empty());
+}
+
+TEST(PeerToSwsTest, EmptyMessagesKeepChainAlive) {
+  // An empty request in the middle must not kill the register chain (the
+  // "pad" tuple keeps registers nonempty).
+  Peer peer = MakeShopPeer();
+  core::Sws sws = PeerToSws(peer);
+  rel::Database db = ShopDb();
+  std::vector<Relation> inputs = {Request({1}), Request({}), Request({1})};
+  auto peer_run = peer.Run(db, inputs);
+  rel::InputSequence encoded = EncodePeerInput(peer, inputs);
+  core::RunResult run = core::Run(sws, db, encoded);
+  EXPECT_EQ(run.output, peer_run.cumulative_actions[2]);
+  EXPECT_EQ(run.output.size(), 1u);  // item 1 bought at step 3
+}
+
+// Guarded automaton: a two-phase checkout protocol. State 0 "browsing",
+// state 1 "checkout". Input U(cmd): command codes 1=add, 2=pay.
+GuardedAutomaton MakeCheckoutAutomaton() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Fee", {"amount"}));
+  GuardedAutomaton ga(schema, /*input_arity=*/1, /*action_arity=*/1,
+                      /*num_states=*/2, /*start_state=*/0);
+  FoFormula saw_add = FoFormula::MakeAtom(Peer::kPeerInput, {Term::Int(1)});
+  FoFormula saw_pay = FoFormula::MakeAtom(Peer::kPeerInput, {Term::Int(2)});
+  // Browsing loops on add; pay moves to checkout and charges the fee.
+  ga.AddTransition({0, 0, saw_add, FoFormula::False()});
+  ga.AddTransition(
+      {0, 1, saw_pay,
+       FoFormula::MakeAtom("Fee", {V(0)})});  // emit fee amounts
+  // Checkout loops on anything (keeps the configuration nonempty).
+  ga.AddTransition({1, 1, FoFormula::True(), FoFormula::False()});
+  return ga;
+}
+
+TEST(GuardedTest, DirectStepSemantics) {
+  GuardedAutomaton ga = MakeCheckoutAutomaton();
+  ASSERT_FALSE(ga.Validate().has_value());
+  rel::Database db;
+  Relation fee(1);
+  fee.Insert({Value::Int(5)});
+  db.Set("Fee", fee);
+
+  auto s1 = ga.Step(db, {0}, Request({1}));
+  EXPECT_EQ(s1.next_states, (std::set<int>{0}));
+  EXPECT_TRUE(s1.actions.empty());
+  auto s2 = ga.Step(db, {0}, Request({2}));
+  EXPECT_EQ(s2.next_states, (std::set<int>{1}));
+  EXPECT_TRUE(s2.actions.Contains({Value::Int(5)}));
+  auto s3 = ga.Step(db, {1}, Request({1}));
+  EXPECT_EQ(s3.next_states, (std::set<int>{1}));
+}
+
+TEST(GuardedTest, PeerEmbeddingMatchesDirectSemantics) {
+  GuardedAutomaton ga = MakeCheckoutAutomaton();
+  Peer peer = ga.ToPeer();
+  rel::Database db;
+  Relation fee(1);
+  fee.Insert({Value::Int(5)});
+  db.Set("Fee", fee);
+
+  std::vector<Relation> inputs = {Request({1}), Request({1}), Request({2}),
+                                  Request({1})};
+  // Direct run.
+  std::set<int> config = {ga.start_state()};
+  Relation direct_actions(1);
+  std::vector<std::set<int>> direct_configs;
+  for (const auto& input : inputs) {
+    auto step = ga.Step(db, config, input);
+    config = step.next_states;
+    direct_actions = direct_actions.Union(step.actions);
+    direct_configs.push_back(config);
+  }
+  // Peer run.
+  auto peer_run = peer.Run(db, inputs);
+  for (size_t j = 0; j < inputs.size(); ++j) {
+    std::set<int> peer_config;
+    for (const auto& t : peer_run.states[j]) {
+      peer_config.insert(static_cast<int>(t[0].AsInt()));
+    }
+    EXPECT_EQ(peer_config, direct_configs[j]) << "step " << j;
+  }
+  EXPECT_EQ(peer_run.cumulative_actions.back(), direct_actions);
+}
+
+TEST(GuardedTest, FullChainToSws) {
+  // Guarded automaton → peer → SWS(FO, FO): the full Section 3 chain.
+  GuardedAutomaton ga = MakeCheckoutAutomaton();
+  Peer peer = ga.ToPeer();
+  core::Sws sws = PeerToSws(peer);
+  rel::Database db;
+  Relation fee(1);
+  fee.Insert({Value::Int(7)});
+  db.Set("Fee", fee);
+
+  std::vector<Relation> inputs = {Request({1}), Request({2})};
+  auto peer_run = peer.Run(db, inputs);
+  rel::InputSequence encoded = EncodePeerInput(peer, inputs);
+  core::RunResult run = core::Run(sws, db, encoded);
+  EXPECT_EQ(run.output, peer_run.cumulative_actions.back());
+  EXPECT_TRUE(run.output.Contains({Value::Int(7)}));
+}
+
+}  // namespace
+}  // namespace sws::models

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "logic/pl_formula.h"
+#include "logic/pl_sat.h"
+
+namespace sws::logic {
+namespace {
+
+using F = PlFormula;
+
+TEST(PlFormulaTest, EvalBasics) {
+  F f = F::And(F::Var(0), F::Or(F::Not(F::Var(1)), F::Var(2)));
+  EXPECT_TRUE(f.Eval({0}));        // x0=1, x1=0 -> !x1 true
+  EXPECT_FALSE(f.Eval({1}));       // x0=0
+  EXPECT_FALSE(f.Eval({0, 1}));    // x1=1, x2=0
+  EXPECT_TRUE(f.Eval({0, 1, 2}));  // x2 rescues
+}
+
+TEST(PlFormulaTest, ConstantsAndEmptyConnectives) {
+  EXPECT_TRUE(F::True().Eval({}));
+  EXPECT_FALSE(F::False().Eval({}));
+  EXPECT_TRUE(F::And(std::vector<F>{}).Eval({}));   // empty conjunction
+  EXPECT_FALSE(F::Or(std::vector<F>{}).Eval({}));   // empty disjunction
+}
+
+TEST(PlFormulaTest, VarsAndSize) {
+  F f = F::Implies(F::Var(3), F::And(F::Var(1), F::Var(3)));
+  std::set<int> vars = f.Vars();
+  EXPECT_EQ(vars, (std::set<int>{1, 3}));
+  EXPECT_GE(f.Size(), 5u);
+}
+
+TEST(PlFormulaTest, SubstituteReplacesSimultaneously) {
+  // x0 := x1, x1 := x0 — simultaneous swap, not sequential.
+  F f = F::And(F::Var(0), F::Not(F::Var(1)));
+  F g = f.Substitute({{0, F::Var(1)}, {1, F::Var(0)}});
+  EXPECT_TRUE(g.Eval({1}));   // x1=1, x0=0: x1 & !x0
+  EXPECT_FALSE(g.Eval({0}));
+}
+
+TEST(PlFormulaTest, SimplifyFoldsConstants) {
+  F f = F::And(F::True(), F::Or(F::Var(0), F::False()));
+  F s = f.Simplify();
+  EXPECT_EQ(s.kind(), F::Kind::kVar);
+  EXPECT_EQ(s.var(), 0);
+  EXPECT_TRUE(F::Or(F::Var(1), F::True()).Simplify().const_value());
+  EXPECT_FALSE(F::And(F::Var(1), F::False()).Simplify().const_value());
+  // Double negation.
+  EXPECT_EQ(F::Not(F::Not(F::Var(2))).Simplify().var(), 2);
+}
+
+TEST(PlFormulaTest, SimplifyPreservesSemantics) {
+  F f = F::Or(F::And(F::Var(0), F::Not(F::False())),
+              F::And(F::Var(1), F::Or(F::Var(2), F::True())));
+  F s = f.Simplify();
+  for (int mask = 0; mask < 8; ++mask) {
+    std::set<int> a;
+    for (int v = 0; v < 3; ++v) {
+      if ((mask >> v) & 1) a.insert(v);
+    }
+    EXPECT_EQ(f.Eval(a), s.Eval(a)) << "mask=" << mask;
+  }
+}
+
+TEST(PlVarPoolTest, StableIdsAndNames) {
+  PlVarPool pool;
+  int a = pool.Id("alpha");
+  int b = pool.Id("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Id("alpha"), a);
+  EXPECT_EQ(pool.Name(a), "alpha");
+  F f = F::And(pool.Var("alpha"), pool.Var("beta"));
+  EXPECT_EQ(f.ToString(pool.Namer()), "(alpha & beta)");
+}
+
+TEST(SatTest, SimpleSatisfiable) {
+  F f = F::And(F::Var(0), F::Not(F::Var(1)));
+  std::map<int, bool> model;
+  EXPECT_TRUE(PlSatisfiable(f, &model));
+  EXPECT_TRUE(model[0]);
+  EXPECT_FALSE(model[1]);
+  EXPECT_TRUE(f.EvalWith([&model](int v) { return model[v]; }));
+}
+
+TEST(SatTest, SimpleUnsatisfiable) {
+  F f = F::And(F::Var(0), F::Not(F::Var(0)));
+  EXPECT_FALSE(PlSatisfiable(f));
+}
+
+TEST(SatTest, ConstantsFastPath) {
+  EXPECT_TRUE(PlSatisfiable(F::True()));
+  EXPECT_FALSE(PlSatisfiable(F::False()));
+  EXPECT_FALSE(PlSatisfiable(F::And(F::Var(3), F::False())));
+}
+
+TEST(SatTest, PigeonholeUnsat) {
+  // 3 pigeons, 2 holes: variable p*2+h means pigeon p in hole h.
+  std::vector<F> clauses;
+  for (int p = 0; p < 3; ++p) {
+    clauses.push_back(F::Or(F::Var(p * 2), F::Var(p * 2 + 1)));
+  }
+  for (int h = 0; h < 2; ++h) {
+    for (int p1 = 0; p1 < 3; ++p1) {
+      for (int p2 = p1 + 1; p2 < 3; ++p2) {
+        clauses.push_back(
+            F::Or(F::Not(F::Var(p1 * 2 + h)), F::Not(F::Var(p2 * 2 + h))));
+      }
+    }
+  }
+  EXPECT_FALSE(PlSatisfiable(F::And(std::move(clauses))));
+}
+
+TEST(SatTest, ValidityAndEquivalence) {
+  F excluded_middle = F::Or(F::Var(0), F::Not(F::Var(0)));
+  EXPECT_TRUE(PlValid(excluded_middle));
+  EXPECT_FALSE(PlValid(F::Var(0)));
+  // De Morgan.
+  F lhs = F::Not(F::And(F::Var(0), F::Var(1)));
+  F rhs = F::Or(F::Not(F::Var(0)), F::Not(F::Var(1)));
+  EXPECT_TRUE(PlEquivalent(lhs, rhs));
+  EXPECT_FALSE(PlEquivalent(F::Var(0), F::Var(1)));
+}
+
+TEST(SatTest, TseitinEquisatisfiability) {
+  // Random-ish structured formulas: Tseitin+DPLL agrees with brute force.
+  std::vector<F> formulas = {
+      F::Iff(F::Var(0), F::Var(1)),
+      F::And(F::Iff(F::Var(0), F::Not(F::Var(1))),
+             F::Iff(F::Var(1), F::Not(F::Var(2)))),
+      F::And({F::Or(F::Var(0), F::Var(1)), F::Or(F::Not(F::Var(0)),
+             F::Var(2)), F::Not(F::Var(2))}),
+  };
+  for (const F& f : formulas) {
+    bool brute = false;
+    for (int mask = 0; mask < 8 && !brute; ++mask) {
+      std::set<int> a;
+      for (int v = 0; v < 3; ++v) {
+        if ((mask >> v) & 1) a.insert(v);
+      }
+      brute = f.Eval(a);
+    }
+    EXPECT_EQ(PlSatisfiable(f), brute) << f.ToString();
+  }
+}
+
+TEST(SatTest, StatsAreReported) {
+  F f = F::And(F::Or(F::Var(0), F::Var(1)), F::Or(F::Var(2), F::Var(3)));
+  SatStats stats;
+  EXPECT_TRUE(PlSatisfiable(f, nullptr, &stats));
+  EXPECT_GT(stats.propagations + stats.decisions, 0u);
+}
+
+TEST(CnfTest, AddClauseValidatesRange) {
+  Cnf cnf;
+  int v = cnf.NewVar();
+  cnf.AddClause({v});
+  cnf.AddClause({-v});
+  DpllSolver solver;
+  EXPECT_FALSE(solver.Solve(cnf).has_value());
+}
+
+}  // namespace
+}  // namespace sws::logic

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "relational/actions.h"
+#include "relational/database.h"
+#include "relational/input_sequence.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace sws::rel {
+namespace {
+
+TEST(ValueTest, KindsAndEquality) {
+  Value i = Value::Int(42);
+  Value s = Value::Str("foo");
+  Value n = Value::Null(42);
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_EQ(s.AsString(), "foo");
+  EXPECT_EQ(n.null_label(), 42);
+  EXPECT_NE(i, n);  // a null is never equal to an int, even same payload
+  EXPECT_NE(i, s);
+  EXPECT_EQ(i, Value::Int(42));
+  EXPECT_EQ(n, Value::Null(42));
+  EXPECT_NE(n, Value::Null(43));
+}
+
+TEST(ValueTest, OrderingIsKindMajor) {
+  EXPECT_LT(Value::Int(99), Value::Str("a"));
+  EXPECT_LT(Value::Str("z"), Value::Null(0));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Str("x").ToString(), "'x'");
+  EXPECT_EQ(Value::Null(3).ToString(), "_N3");
+  EXPECT_EQ(TupleToString({Value::Int(1), Value::Str("a")}), "(1, 'a')");
+}
+
+TEST(SchemaTest, AttributeLookup) {
+  RelationSchema r("R", {"a", "b", "c"});
+  EXPECT_EQ(r.arity(), 3u);
+  EXPECT_EQ(r.AttributeIndex("b"), 1u);
+  EXPECT_FALSE(r.AttributeIndex("z").has_value());
+}
+
+TEST(SchemaTest, FindAndContains) {
+  Schema s;
+  s.Add(RelationSchema("R", {"a"}));
+  s.Add(RelationSchema("S", {"a", "b"}));
+  EXPECT_TRUE(s.Contains("R"));
+  EXPECT_FALSE(s.Contains("T"));
+  EXPECT_EQ(s.Find("S")->arity(), 2u);
+}
+
+TEST(RelationTest, InsertEraseContains) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(r.Insert({Value::Int(1), Value::Int(2)}));  // duplicate
+  EXPECT_TRUE(r.Contains({Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Erase({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(r.Erase({Value::Int(1), Value::Int(2)}));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RelationTest, SetOperations) {
+  Relation a(1), b(1);
+  a.Insert({Value::Int(1)});
+  a.Insert({Value::Int(2)});
+  b.Insert({Value::Int(2)});
+  b.Insert({Value::Int(3)});
+  EXPECT_EQ(a.Union(b).size(), 3u);
+  EXPECT_EQ(a.Intersect(b).size(), 1u);
+  EXPECT_EQ(a.Difference(b).size(), 1u);
+  EXPECT_TRUE(a.Intersect(b).Contains({Value::Int(2)}));
+  EXPECT_TRUE(a.Intersect(b).SubsetOf(a));
+  EXPECT_FALSE(a.SubsetOf(b));
+}
+
+TEST(DatabaseTest, SchemaConstructionAndAdom) {
+  Schema s;
+  s.Add(RelationSchema("R", {"a", "b"}));
+  Database db(s);
+  EXPECT_TRUE(db.Contains("R"));
+  EXPECT_TRUE(db.empty());
+  db.GetMutable("R")->Insert({Value::Int(1), Value::Str("x")});
+  EXPECT_FALSE(db.empty());
+  auto adom = db.ActiveDomain();
+  EXPECT_EQ(adom.size(), 2u);
+  EXPECT_TRUE(adom.count(Value::Str("x")) > 0);
+}
+
+TEST(DatabaseTest, GetOrEmpty) {
+  Database db;
+  EXPECT_EQ(db.GetOrEmpty("missing", 3).arity(), 3u);
+  EXPECT_TRUE(db.GetOrEmpty("missing", 3).empty());
+}
+
+TEST(InputSequenceTest, EncodeDecodeRoundTrip) {
+  InputSequence in(2);
+  Relation m1(2), m2(2);
+  m1.Insert({Value::Str("a"), Value::Int(1)});
+  m2.Insert({Value::Str("b"), Value::Int(2)});
+  m2.Insert({Value::Str("c"), Value::Int(3)});
+  in.Append(m1);
+  in.Append(m2);
+  Relation encoded = in.Encode();
+  EXPECT_EQ(encoded.arity(), 3u);
+  EXPECT_EQ(encoded.size(), 3u);
+  EXPECT_TRUE(encoded.Contains(
+      {Value::Int(1), Value::Str("a"), Value::Int(1)}));
+  InputSequence decoded = InputSequence::Decode(encoded);
+  EXPECT_EQ(decoded, in);
+}
+
+TEST(InputSequenceTest, DecodePreservesGaps) {
+  Relation encoded(2);
+  encoded.Insert({Value::Int(3), Value::Str("x")});
+  InputSequence in = InputSequence::Decode(encoded);
+  EXPECT_EQ(in.size(), 3u);
+  EXPECT_TRUE(in.Message(1).empty());
+  EXPECT_TRUE(in.Message(2).empty());
+  EXPECT_EQ(in.Message(3).size(), 1u);
+}
+
+TEST(InputSequenceTest, SuffixAndOutOfRange) {
+  InputSequence in(1);
+  for (int j = 1; j <= 3; ++j) {
+    Relation m(1);
+    m.Insert({Value::Int(j)});
+    in.Append(m);
+  }
+  InputSequence suffix = in.Suffix(2);
+  EXPECT_EQ(suffix.size(), 2u);
+  EXPECT_TRUE(suffix.Message(1).Contains({Value::Int(2)}));
+  EXPECT_TRUE(in.Message(9).empty());  // past the end: empty message
+  EXPECT_EQ(in.Suffix(4).size(), 0u);
+}
+
+TEST(ActionsTest, ParseClassifiesOps) {
+  Relation out(3);
+  out.Insert({Value::Str("ins"), Value::Str("R"), Value::Int(1)});
+  out.Insert({Value::Str("del"), Value::Str("R"), Value::Int(2)});
+  out.Insert({Value::Str("msg"), Value::Str("user"), Value::Int(3)});
+  out.Insert({Value::Int(0), Value::Str("R"), Value::Int(4)});  // malformed
+  std::vector<Tuple> malformed;
+  auto actions = ParseActions(out, &malformed);
+  EXPECT_EQ(actions.size(), 3u);
+  EXPECT_EQ(malformed.size(), 1u);
+}
+
+TEST(ActionsTest, CommitAppliesInsertsThenDeletes) {
+  Database db;
+  db.Set("R", Relation(1));
+  db.GetMutable("R")->Insert({Value::Int(7)});
+
+  Relation out(3);
+  out.Insert({Value::Str("ins"), Value::Str("R"), Value::Int(1)});
+  out.Insert({Value::Str("ins"), Value::Str("R"), Value::Int(2)});
+  out.Insert({Value::Str("del"), Value::Str("R"), Value::Int(7)});
+  // Simultaneous insert+delete of the same tuple: delete wins.
+  out.Insert({Value::Str("ins"), Value::Str("R"), Value::Int(9)});
+  out.Insert({Value::Str("del"), Value::Str("R"), Value::Int(9)});
+  out.Insert({Value::Str("msg"), Value::Str("user"), Value::Int(5)});
+
+  CommitResult result = CommitOutput(out, &db);
+  EXPECT_EQ(result.inserted, 3u);
+  EXPECT_EQ(result.deleted, 2u);
+  ASSERT_EQ(result.messages.size(), 1u);
+  EXPECT_EQ(result.messages[0].target, "user");
+  const Relation& r = db.Get("R");
+  EXPECT_TRUE(r.Contains({Value::Int(1)}));
+  EXPECT_TRUE(r.Contains({Value::Int(2)}));
+  EXPECT_FALSE(r.Contains({Value::Int(7)}));
+  EXPECT_FALSE(r.Contains({Value::Int(9)}));
+}
+
+TEST(ActionsTest, CommitCreatesRelationOnDemand) {
+  Database db;
+  Relation out(4);
+  out.Insert({Value::Str("ins"), Value::Str("Log"), Value::Int(1),
+              Value::Str("hello")});
+  CommitResult result = CommitOutput(out, &db);
+  EXPECT_EQ(result.inserted, 1u);
+  EXPECT_TRUE(db.Contains("Log"));
+  EXPECT_EQ(db.Get("Log").arity(), 2u);
+}
+
+}  // namespace
+}  // namespace sws::rel

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "analysis/pl_analysis.h"
+#include "automata/regex.h"
+#include "models/roman.h"
+#include "models/roman_composition.h"
+#include "sws/execution.h"
+
+namespace sws::models {
+namespace {
+
+// The classic Roman-model example: a target service alternating
+// "search" (s) and "buy" (b), split across two components that each do
+// one half. Alphabet: s=0, b=1.
+fsa::Dfa TargetSearchBuy() {
+  fsa::Dfa dfa(2, 2);
+  dfa.set_start(0);
+  dfa.SetFinal(0);
+  dfa.SetTransition(0, 0, 1);  // s
+  dfa.SetTransition(1, 1, 0);  // b
+  // Missing moves: dead state via self-loops on a fresh sink.
+  // (A 2-state DFA cannot hold a sink; rebuild with 3 states.)
+  fsa::Dfa full(3, 2);
+  full.set_start(0);
+  full.SetFinal(0);
+  full.SetTransition(0, 0, 1);
+  full.SetTransition(0, 1, 2);
+  full.SetTransition(1, 1, 0);
+  full.SetTransition(1, 0, 2);
+  full.SetTransition(2, 0, 2);
+  full.SetTransition(2, 1, 2);
+  return full;
+}
+
+TEST(RomanPlTest, AcceptanceTransfersThroughTranslation) {
+  fsa::Dfa target = TargetSearchBuy();
+  core::PlSws sws = RomanToPlSws(target);
+  EXPECT_TRUE(sws.IsRecursive());
+
+  std::vector<std::vector<int>> words = {{},        {0, 1},      {0},
+                                         {1},       {0, 1, 0, 1}, {0, 0},
+                                         {0, 1, 0}};
+  for (const auto& w : words) {
+    EXPECT_EQ(target.Accepts(w), sws.Run(EncodeRomanPlWord(w, 2)))
+        << "word of size " << w.size();
+  }
+}
+
+TEST(RomanPlTest, NfaCompositeService) {
+  // NFA: (ab)* | a — nondeterministic choice at the start.
+  fsa::RegexAlphabet alphabet;
+  auto nfas = fsa::CompileRegexes({"(ab)*|a"}, &alphabet);
+  core::PlSws sws = RomanToPlSws(nfas[0]);
+  auto enc = [&](const std::string& s) {
+    return EncodeRomanPlWord(alphabet.Encode(s), alphabet.size());
+  };
+  EXPECT_TRUE(sws.Run(enc("")));
+  EXPECT_TRUE(sws.Run(enc("a")));
+  EXPECT_TRUE(sws.Run(enc("ab")));
+  EXPECT_TRUE(sws.Run(enc("abab")));
+  EXPECT_FALSE(sws.Run(enc("b")));
+  EXPECT_FALSE(sws.Run(enc("aa")));
+  EXPECT_FALSE(sws.Run(enc("aba")));
+}
+
+TEST(RomanPlTest, NonEmptinessViaSwsAnalysis) {
+  fsa::Dfa target = TargetSearchBuy();
+  core::PlSws sws = RomanToPlSws(target);
+  analysis::PlWitnessResult result = analysis::PlNonEmptiness(sws);
+  ASSERT_TRUE(result.holds);
+  EXPECT_TRUE(sws.Run(*result.witness));
+}
+
+TEST(RomanPlTest, DelimiterRequired) {
+  fsa::Dfa target = TargetSearchBuy();
+  core::PlSws sws = RomanToPlSws(target);
+  // Accepted word but no '#': no commitment.
+  EXPECT_FALSE(sws.Run({{0}, {1}}));
+  // '#' alone: empty word, accepted (start is final).
+  EXPECT_TRUE(sws.Run({{2}}));
+}
+
+TEST(RomanCqTest, DefersCommitmentToLegalSessions) {
+  fsa::Dfa target = TargetSearchBuy();
+  core::Sws sws = RomanToCqSws(target.ToNfa());
+  EXPECT_EQ(sws.Classify(), "SWS(CQ, UCQ)");
+
+  std::vector<std::vector<int>> accepted = {{}, {0, 1}, {0, 1, 0, 1}};
+  for (const auto& w : accepted) {
+    core::RunResult run =
+        core::Run(sws, rel::Database{}, EncodeRomanCqWord(w, 2));
+    EXPECT_EQ(run.output, ExpectedRomanCqOutput(w, 2))
+        << "word of size " << w.size();
+  }
+  std::vector<std::vector<int>> rejected = {{0}, {1}, {0, 0}, {0, 1, 0}};
+  for (const auto& w : rejected) {
+    core::RunResult run =
+        core::Run(sws, rel::Database{}, EncodeRomanCqWord(w, 2));
+    EXPECT_TRUE(run.output.empty()) << "word of size " << w.size();
+  }
+}
+
+TEST(RomanCqTest, AgreesWithPlTranslationOnRandomWords) {
+  fsa::RegexAlphabet alphabet;
+  auto nfas = fsa::CompileRegexes({"(ab|ba)*b?"}, &alphabet);
+  core::PlSws pl = RomanToPlSws(nfas[0]);
+  core::Sws cq = RomanToCqSws(nfas[0]);
+  // All words up to length 4 over {a, b}.
+  for (int len = 0; len <= 4; ++len) {
+    for (int mask = 0; mask < (1 << len); ++mask) {
+      std::vector<int> w;
+      for (int i = 0; i < len; ++i) w.push_back((mask >> i) & 1);
+      bool pl_accepts = pl.Run(EncodeRomanPlWord(w, 2));
+      core::RunResult run =
+          core::Run(cq, rel::Database{}, EncodeRomanCqWord(w, 2));
+      EXPECT_EQ(pl_accepts, !run.output.empty());
+      EXPECT_EQ(pl_accepts, nfas[0].Accepts(w));
+      if (pl_accepts) {
+        EXPECT_EQ(run.output, ExpectedRomanCqOutput(w, 2));
+      }
+    }
+  }
+}
+
+TEST(RomanCompositionTest, SplitAlternationIsComposable) {
+  fsa::Dfa target = TargetSearchBuy();
+  // Component 1 can only search (s from its start, then must rest via b?
+  // no: it loops s). Component 2 can only buy.
+  // C1: state 0, s-> 0 (always searchable); b leads to sink.
+  fsa::Dfa c1(2, 2);
+  c1.set_start(0);
+  c1.SetFinal(0);
+  c1.SetTransition(0, 0, 0);
+  c1.SetTransition(0, 1, 1);
+  c1.SetTransition(1, 0, 1);
+  c1.SetTransition(1, 1, 1);
+  // C2: buys, symmetric.
+  fsa::Dfa c2(2, 2);
+  c2.set_start(0);
+  c2.SetFinal(0);
+  c2.SetTransition(0, 1, 0);
+  c2.SetTransition(0, 0, 1);
+  c2.SetTransition(1, 0, 1);
+  c2.SetTransition(1, 1, 1);
+
+  RomanCompositionResult result = ComposeRoman(target, {c1, c2});
+  ASSERT_TRUE(result.composable);
+  EXPECT_GT(result.product_states_visited, 0u);
+  EXPECT_TRUE(ExecuteOrchestration(target, {c1, c2}, result, {0, 1}));
+  EXPECT_TRUE(ExecuteOrchestration(target, {c1, c2}, result, {0, 1, 0, 1}));
+}
+
+TEST(RomanCompositionTest, MissingCapabilityBlocksComposition) {
+  fsa::Dfa target = TargetSearchBuy();
+  // Only the searching component: nobody can buy.
+  fsa::Dfa c1(2, 2);
+  c1.set_start(0);
+  c1.SetFinal(0);
+  c1.SetTransition(0, 0, 0);
+  c1.SetTransition(0, 1, 1);
+  c1.SetTransition(1, 0, 1);
+  c1.SetTransition(1, 1, 1);
+  RomanCompositionResult result = ComposeRoman(target, {c1});
+  EXPECT_FALSE(result.composable);
+}
+
+TEST(RomanCompositionTest, FinalStateConditionMatters) {
+  // Target: a single 'a' then stop (final). Component: can do 'a' but
+  // then is NOT final — it cannot legally stop, so composition fails.
+  fsa::Dfa target(3, 1);
+  target.set_start(0);
+  target.SetFinal(1);
+  target.SetTransition(0, 0, 1);
+  target.SetTransition(1, 0, 2);
+  target.SetTransition(2, 0, 2);
+
+  fsa::Dfa comp(3, 1);
+  comp.set_start(0);
+  comp.SetFinal(0);        // final only before moving
+  comp.SetTransition(0, 0, 1);
+  comp.SetTransition(1, 0, 2);
+  comp.SetTransition(2, 0, 2);
+  // State 1 is not final but 2 is reachable... make 1 alive by making a
+  // final state reachable: mark 2 final but not 1.
+  comp.SetFinal(2);
+  RomanCompositionResult result = ComposeRoman(target, {comp});
+  EXPECT_FALSE(result.composable);
+
+  // Fixing the component (final after one 'a') makes it composable.
+  fsa::Dfa good = comp;
+  good.SetFinal(1);
+  EXPECT_TRUE(ComposeRoman(target, {good}).composable);
+}
+
+TEST(RomanCompositionTest, TwoComponentsInterleave) {
+  // Target: (ab)* where 'a' and 'b' come from different providers, each
+  // of which must strictly alternate work and rest — the orchestrator
+  // interleaves them.
+  fsa::Dfa target = TargetSearchBuy();
+  fsa::Dfa c1(3, 2);  // does a, then must wait for its own b? no: c1 only a's
+  c1.set_start(0);
+  c1.SetFinal(0);
+  c1.SetTransition(0, 0, 0);
+  c1.SetTransition(0, 1, 2);
+  c1.SetTransition(1, 0, 2);
+  c1.SetTransition(1, 1, 2);
+  c1.SetTransition(2, 0, 2);
+  c1.SetTransition(2, 1, 2);
+  fsa::Dfa c2(3, 2);
+  c2.set_start(0);
+  c2.SetFinal(0);
+  c2.SetTransition(0, 1, 0);
+  c2.SetTransition(0, 0, 2);
+  c2.SetTransition(1, 0, 2);
+  c2.SetTransition(1, 1, 2);
+  c2.SetTransition(2, 0, 2);
+  c2.SetTransition(2, 1, 2);
+  RomanCompositionResult result = ComposeRoman(target, {c1, c2});
+  ASSERT_TRUE(result.composable);
+  for (const auto& w : std::vector<std::vector<int>>{
+           {}, {0, 1}, {0, 1, 0, 1}, {0, 1, 0, 1, 0, 1}}) {
+    EXPECT_TRUE(ExecuteOrchestration(target, {c1, c2}, result, w));
+  }
+}
+
+}  // namespace
+}  // namespace sws::models

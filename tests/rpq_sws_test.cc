@@ -1,0 +1,121 @@
+// The SWS(UC2RPQ) embedding (Corollary 5.2): a recursive SWS(CQ, UCQ)
+// computes an RPQ, with the input sequence as recursion fuel.
+
+#include <gtest/gtest.h>
+
+#include "automata/regex.h"
+#include "rewriting/rpq.h"
+#include "rewriting/rpq_sws.h"
+#include "sws/execution.h"
+#include "util/common.h"
+
+namespace sws::rw {
+namespace {
+
+using rel::Value;
+
+// 2-way regex over labels a=0, b=1 (inverses A, B).
+fsa::Nfa TwoWay(const std::string& pattern) {
+  fsa::RegexAlphabet alphabet;
+  alphabet.Intern('a');
+  alphabet.Intern('b');
+  alphabet.Intern('A');
+  alphabet.Intern('B');
+  std::string error;
+  auto nfa = fsa::CompileRegex(pattern, alphabet, &error);
+  SWS_CHECK(nfa.has_value()) << error;
+  return *nfa;
+}
+
+GraphDb CycleGraph() {
+  GraphDb db(2);
+  db.AddEdge(1, 0, 2);
+  db.AddEdge(2, 1, 3);
+  db.AddEdge(3, 0, 4);
+  db.AddEdge(4, 1, 1);
+  return db;
+}
+
+TEST(RpqSwsTest, StarQueryMatchesDirectEvaluation) {
+  GraphDb graph = CycleGraph();
+  fsa::Nfa rpq = TwoWay("(ab)*");
+  core::Sws sws = RpqToSws(rpq, 2);
+  EXPECT_EQ(sws.Classify(), "SWS(CQ, UCQ)");
+  EXPECT_TRUE(sws.IsRecursive());
+
+  rel::Database db = EncodeGraph(graph);
+  size_t fuel = SufficientFuel(graph, rpq);
+  core::RunResult run = core::Run(sws, db, RpqFuel(fuel));
+  EXPECT_EQ(run.output, EvalRpq(graph, rpq));
+  EXPECT_FALSE(run.output.empty());
+}
+
+TEST(RpqSwsTest, FiniteQueryIsNonrecursive) {
+  // A star-free path query embeds as a nonrecursive service.
+  fsa::Nfa rpq = TwoWay("ab");
+  core::Sws sws = RpqToSws(rpq, 2);
+  EXPECT_FALSE(sws.IsRecursive());
+  GraphDb graph = CycleGraph();
+  core::RunResult run =
+      core::Run(sws, EncodeGraph(graph), RpqFuel(4));
+  EXPECT_EQ(run.output, EvalRpq(graph, rpq));
+  EXPECT_TRUE(run.output.Contains({Value::Int(1), Value::Int(3)}));
+}
+
+TEST(RpqSwsTest, InverseSymbolsTraverseBackwards) {
+  fsa::Nfa rpq = TwoWay("aB");  // an a-edge forward, then a b-edge back
+  GraphDb graph(2);
+  graph.AddEdge(1, 0, 2);  // 1 -a-> 2
+  graph.AddEdge(3, 1, 2);  // 3 -b-> 2, so B goes 2 -> 3
+  core::Sws sws = RpqToSws(rpq, 2);
+  core::RunResult run = core::Run(sws, EncodeGraph(graph), RpqFuel(4));
+  EXPECT_EQ(run.output, EvalRpq(graph, rpq));
+  EXPECT_TRUE(run.output.Contains({Value::Int(1), Value::Int(3)}));
+  EXPECT_EQ(run.output.size(), 1u);
+}
+
+TEST(RpqSwsTest, FuelBoundsTheRecursionDepth) {
+  // On a 4-chain, reaching distance 3 needs 3 extension steps: fuel 4
+  // (root + 3 chain levels + echo happens within the same budget).
+  GraphDb graph(2);
+  graph.AddEdge(1, 0, 2);
+  graph.AddEdge(2, 0, 3);
+  graph.AddEdge(3, 0, 4);
+  fsa::Nfa rpq = TwoWay("a*");
+  core::Sws sws = RpqToSws(rpq, 2);
+  rel::Database db = EncodeGraph(graph);
+
+  auto answers = [&](size_t fuel) {
+    return core::Run(sws, db, RpqFuel(fuel)).output;
+  };
+  // With tiny fuel, long paths are missing; with enough, exact.
+  EXPECT_FALSE(answers(2).Contains({Value::Int(1), Value::Int(4)}));
+  rel::Relation exact = EvalRpq(graph, rpq);
+  size_t fuel = SufficientFuel(graph, rpq);
+  EXPECT_EQ(answers(fuel), exact);
+  // Monotone in fuel.
+  EXPECT_TRUE(answers(2).SubsetOf(answers(3)));
+  EXPECT_TRUE(answers(3).SubsetOf(answers(fuel)));
+}
+
+TEST(RpqSwsTest, EmptyGraphYieldsNothing) {
+  GraphDb graph(2);
+  fsa::Nfa rpq = TwoWay("a*");
+  core::Sws sws = RpqToSws(rpq, 2);
+  core::RunResult run = core::Run(sws, EncodeGraph(graph), RpqFuel(3));
+  EXPECT_TRUE(run.output.empty());
+}
+
+TEST(RpqSwsTest, AlternationUnion) {
+  GraphDb graph(2);
+  graph.AddEdge(1, 0, 2);  // a
+  graph.AddEdge(1, 1, 3);  // b
+  fsa::Nfa rpq = TwoWay("a|b");
+  core::Sws sws = RpqToSws(rpq, 2);
+  core::RunResult run = core::Run(sws, EncodeGraph(graph), RpqFuel(4));
+  EXPECT_EQ(run.output, EvalRpq(graph, rpq));
+  EXPECT_EQ(run.output.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sws::rw

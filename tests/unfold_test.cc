@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "logic/containment.h"
+#include "models/travel.h"
+#include "sws/execution.h"
+#include "sws/generator.h"
+#include "sws/unfold.h"
+
+namespace sws::core {
+namespace {
+
+using logic::UnionQuery;
+using models::MakeTravelDatabase;
+using models::MakeTravelRequest;
+using models::MakeTravelServiceCqUcq;
+using rel::InputSequence;
+
+TEST(UnfoldTest, TravelCqUcqMatchesRun) {
+  auto service = MakeTravelServiceCqUcq();
+  auto db = MakeTravelDatabase();
+  for (const char* dest : {"orlando", "paris", "tokyo"}) {
+    InputSequence input(3);
+    input.Append(MakeTravelRequest(dest, 1000));
+    UnionQuery unfolded = UnfoldNonrecursive(service.sws, input.size());
+    EXPECT_EQ(sws::core::Run(service.sws, db, input).output,
+              unfolded.Evaluate(PackDatabaseAndInput(db, input)))
+        << dest;
+  }
+}
+
+TEST(UnfoldTest, ZeroLengthInputIsEmptyQuery) {
+  auto service = MakeTravelServiceCqUcq();
+  UnionQuery unfolded = UnfoldNonrecursive(service.sws, 0);
+  EXPECT_TRUE(unfolded.empty());
+}
+
+TEST(UnfoldTest, DisjunctBoundGrowsWithDepth) {
+  auto service = MakeTravelServiceCqUcq();
+  EXPECT_EQ(UnfoldDisjunctBound(service.sws, 0), 0u);
+  EXPECT_GT(UnfoldDisjunctBound(service.sws, 1), 0u);
+}
+
+// The core property test (Theorem 4.1(2)'s conversion): for random
+// nonrecursive SWS(CQ, UCQ) services, random databases and random inputs,
+// the unfolded UCQ^{≠} evaluates to exactly the run output — including
+// the ∅-register guard semantics and input lengths shorter than the
+// service depth.
+TEST(UnfoldTest, RandomServicesMatchRunSemantics) {
+  WorkloadGenerator gen(987654321);
+  int runs_checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    WorkloadGenerator::CqSwsParams params;
+    params.num_states = 3 + static_cast<int>(gen.rng()() % 3);
+    params.rin_arity = 1 + gen.rng()() % 2;
+    params.rout_arity = 1 + gen.rng()() % 2;
+    Sws sws = gen.RandomCqSws(params);
+    size_t depth = *sws.MaxDepth();
+    for (size_t n = 0; n <= depth + 1; ++n) {
+      // Skip pathological blowups: the bench measures those; the property
+      // test wants breadth across many services.
+      if (UnfoldDisjunctBound(sws, n) > 200) continue;
+      UnionQuery unfolded = UnfoldNonrecursive(sws, n);
+      ASSERT_FALSE(unfolded.Validate().has_value())
+          << *unfolded.Validate() << "\n" << unfolded.ToString();
+      for (int r = 0; r < 2; ++r) {
+        rel::Database db = gen.RandomDatabase(sws.db_schema(), 3, 3);
+        InputSequence input =
+            gen.RandomInput(sws.rin_arity(), n, 2, 3);
+        rel::Relation from_run = sws::core::Run(sws, db, input).output;
+        rel::Relation from_query =
+            unfolded.Evaluate(PackDatabaseAndInput(db, input));
+        ASSERT_EQ(from_run, from_query)
+            << "trial=" << trial << " n=" << n << " r=" << r << "\n"
+            << sws.ToString() << "\nDB:\n" << db.ToString() << "\nInput: "
+            << input.ToString() << "\nUnfolded:\n" << unfolded.ToString();
+        ++runs_checked;
+      }
+    }
+  }
+  EXPECT_GT(runs_checked, 100);
+}
+
+// Inputs longer than the service depth never change the output: the
+// unfolding at n = depth represents the service for all longer inputs.
+TEST(UnfoldTest, DepthTruncationProperty) {
+  WorkloadGenerator gen(24680);
+  for (int trial = 0; trial < 10; ++trial) {
+    WorkloadGenerator::CqSwsParams params;
+    params.num_states = 4;
+    Sws sws = gen.RandomCqSws(params);
+    size_t depth = *sws.MaxDepth();
+    rel::Database db = gen.RandomDatabase(sws.db_schema(), 3, 3);
+    InputSequence input = gen.RandomInput(sws.rin_arity(), depth + 3, 2, 3);
+    InputSequence truncated(sws.rin_arity());
+    for (size_t j = 1; j <= depth; ++j) truncated.Append(input.Message(j));
+    EXPECT_EQ(sws::core::Run(sws, db, input).output, sws::core::Run(sws, db, truncated).output);
+  }
+}
+
+// The unfoldings of a service at the same n are (trivially) equivalent as
+// UCQs — exercises the containment engine on realistic unfolded queries.
+TEST(UnfoldTest, UnfoldingSelfEquivalence) {
+  WorkloadGenerator gen(1357);
+  WorkloadGenerator::CqSwsParams params;
+  params.num_states = 3;
+  params.max_ucq_disjuncts = 1;
+  Sws sws = gen.RandomCqSws(params);
+  size_t depth = *sws.MaxDepth();
+  UnionQuery a = UnfoldNonrecursive(sws, depth);
+  UnionQuery b = UnfoldNonrecursive(sws, depth);
+  EXPECT_TRUE(logic::UcqEquivalent(a, b));
+}
+
+}  // namespace
+}  // namespace sws::core

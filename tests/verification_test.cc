@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "analysis/verification.h"
+#include "logic/pl_formula.h"
+
+namespace sws::analysis {
+namespace {
+
+using core::PlSws;
+using F = logic::PlFormula;
+
+// A two-step payment service: accepts sessions whose first message
+// carries `pay` (var 1) and whose second message carries `ship` (var 0).
+PlSws PayThenShipService() {
+  PlSws sws(2);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  int q2 = sws.AddState("q2");
+  sws.SetTransition(q0, {{q1, F::Var(1)}});  // needs pay in I_1
+  sws.SetSynthesis(q0, F::Var(0));
+  sws.SetTransition(q1, {{q2, F::Var(0)}});  // needs ship in I_2
+  sws.SetSynthesis(q1, F::Var(0));
+  sws.SetTransition(q2, {});
+  sws.SetSynthesis(q2, F::Var(sws.msg_var()));
+  return sws;
+}
+
+// Like the above, but the guards are swapped: it ships before payment.
+PlSws ShipBeforePayService() {
+  PlSws sws(2);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  int q2 = sws.AddState("q2");
+  sws.SetTransition(q0, {{q1, F::Var(0)}});  // ship first!
+  sws.SetSynthesis(q0, F::Var(0));
+  sws.SetTransition(q1, {{q2, F::Var(1)}});
+  sws.SetSynthesis(q1, F::Var(0));
+  sws.SetTransition(q2, {});
+  sws.SetSynthesis(q2, F::Var(sws.msg_var()));
+  return sws;
+}
+
+TEST(VerificationTest, SafeServicePassesShipAfterPayProperty) {
+  PlSws service = PayThenShipService();
+  auto alphabet = MakePropertyAlphabet(service);
+  // Bad: shipping (var 0) before any payment (var 1) was seen.
+  fsa::Nfa bad = BadBeforeProperty(alphabet, /*bad_var=*/0,
+                                   /*required_first_var=*/1);
+  SafetyResult result = CheckRegularSafety(service, bad, alphabet);
+  EXPECT_TRUE(result.safe);
+  EXPECT_FALSE(result.counterexample.has_value());
+}
+
+TEST(VerificationTest, UnsafeServiceYieldsAcceptedCounterexample) {
+  PlSws service = ShipBeforePayService();
+  auto alphabet = MakePropertyAlphabet(service);
+  fsa::Nfa bad = BadBeforeProperty(alphabet, /*bad_var=*/0,
+                                   /*required_first_var=*/1);
+  SafetyResult result = CheckRegularSafety(service, bad, alphabet);
+  ASSERT_FALSE(result.safe);
+  ASSERT_TRUE(result.counterexample.has_value());
+  // The counterexample is a real session of the service...
+  EXPECT_TRUE(service.Run(*result.counterexample));
+  // ...whose first ship-message precedes every pay-message.
+  bool pay_seen = false;
+  bool bad_ship = false;
+  for (const auto& symbol : *result.counterexample) {
+    if (symbol.count(0) > 0 && !pay_seen && symbol.count(1) == 0) {
+      bad_ship = true;
+    }
+    if (symbol.count(1) > 0) pay_seen = true;
+  }
+  EXPECT_TRUE(bad_ship);
+}
+
+TEST(VerificationTest, SimultaneousPayAndShipIsFine) {
+  // A message carrying both pay and ship does not violate the property
+  // (BadBeforeProperty only fires on ship-without-pay messages).
+  PlSws sws(2);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  sws.SetTransition(q0, {{q1, F::And(F::Var(0), F::Var(1))}});
+  sws.SetSynthesis(q0, F::Var(0));
+  sws.SetTransition(q1, {});
+  sws.SetSynthesis(q1, F::Var(sws.msg_var()));
+  auto alphabet = MakePropertyAlphabet(sws);
+  fsa::Nfa bad = BadBeforeProperty(alphabet, 0, 1);
+  EXPECT_TRUE(CheckRegularSafety(sws, bad, alphabet).safe);
+}
+
+TEST(VerificationTest, EmptyServiceIsVacuouslySafe) {
+  PlSws sws(2);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  sws.SetTransition(q0, {{q1, F::False()}});
+  sws.SetSynthesis(q0, F::Var(0));
+  sws.SetTransition(q1, {});
+  sws.SetSynthesis(q1, F::True());
+  auto alphabet = MakePropertyAlphabet(sws);
+  fsa::Nfa bad = BadBeforeProperty(alphabet, 0, 1);
+  EXPECT_TRUE(CheckRegularSafety(sws, bad, alphabet).safe);
+}
+
+TEST(VerificationTest, AlphabetMismatchIsRejectedByCheck) {
+  PlSws service = PayThenShipService();
+  auto alphabet = MakePropertyAlphabet(service);
+  fsa::Nfa wrong(static_cast<int>(alphabet.size()) + 1);
+  wrong.AddState();
+  EXPECT_DEATH(CheckRegularSafety(service, wrong, alphabet), "mismatch");
+}
+
+}  // namespace
+}  // namespace sws::analysis
