@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_travel.dir/bench_figure1_travel.cc.o"
+  "CMakeFiles/bench_figure1_travel.dir/bench_figure1_travel.cc.o.d"
+  "bench_figure1_travel"
+  "bench_figure1_travel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_travel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

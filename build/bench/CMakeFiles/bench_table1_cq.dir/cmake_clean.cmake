@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cq.dir/bench_table1_cq.cc.o"
+  "CMakeFiles/bench_table1_cq.dir/bench_table1_cq.cc.o.d"
+  "bench_table1_cq"
+  "bench_table1_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fo.dir/bench_table1_fo.cc.o"
+  "CMakeFiles/bench_table1_fo.dir/bench_table1_fo.cc.o.d"
+  "bench_table1_fo"
+  "bench_table1_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

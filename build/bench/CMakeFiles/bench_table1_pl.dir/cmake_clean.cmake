@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_pl.dir/bench_table1_pl.cc.o"
+  "CMakeFiles/bench_table1_pl.dir/bench_table1_pl.cc.o.d"
+  "bench_table1_pl"
+  "bench_table1_pl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

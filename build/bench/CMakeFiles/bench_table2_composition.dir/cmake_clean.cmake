@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_composition.dir/bench_table2_composition.cc.o"
+  "CMakeFiles/bench_table2_composition.dir/bench_table2_composition.cc.o.d"
+  "bench_table2_composition"
+  "bench_table2_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_store.dir/peer_store.cpp.o"
+  "CMakeFiles/peer_store.dir/peer_store.cpp.o.d"
+  "peer_store"
+  "peer_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

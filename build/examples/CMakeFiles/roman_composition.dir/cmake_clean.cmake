@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roman_composition.dir/roman_composition.cpp.o"
+  "CMakeFiles/roman_composition.dir/roman_composition.cpp.o.d"
+  "roman_composition"
+  "roman_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roman_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

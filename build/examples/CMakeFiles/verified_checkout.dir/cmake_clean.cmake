@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_checkout.dir/verified_checkout.cpp.o"
+  "CMakeFiles/verified_checkout.dir/verified_checkout.cpp.o.d"
+  "verified_checkout"
+  "verified_checkout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_checkout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

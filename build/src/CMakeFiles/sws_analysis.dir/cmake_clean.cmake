@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sws_analysis.dir/analysis/cq_analysis.cc.o"
+  "CMakeFiles/sws_analysis.dir/analysis/cq_analysis.cc.o.d"
+  "CMakeFiles/sws_analysis.dir/analysis/fo_analysis.cc.o"
+  "CMakeFiles/sws_analysis.dir/analysis/fo_analysis.cc.o.d"
+  "CMakeFiles/sws_analysis.dir/analysis/pl_analysis.cc.o"
+  "CMakeFiles/sws_analysis.dir/analysis/pl_analysis.cc.o.d"
+  "CMakeFiles/sws_analysis.dir/analysis/pl_nr_analysis.cc.o"
+  "CMakeFiles/sws_analysis.dir/analysis/pl_nr_analysis.cc.o.d"
+  "CMakeFiles/sws_analysis.dir/analysis/verification.cc.o"
+  "CMakeFiles/sws_analysis.dir/analysis/verification.cc.o.d"
+  "libsws_analysis.a"
+  "libsws_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sws_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

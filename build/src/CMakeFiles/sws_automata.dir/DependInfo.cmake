@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/afa.cc" "src/CMakeFiles/sws_automata.dir/automata/afa.cc.o" "gcc" "src/CMakeFiles/sws_automata.dir/automata/afa.cc.o.d"
+  "/root/repo/src/automata/dfa.cc" "src/CMakeFiles/sws_automata.dir/automata/dfa.cc.o" "gcc" "src/CMakeFiles/sws_automata.dir/automata/dfa.cc.o.d"
+  "/root/repo/src/automata/nfa.cc" "src/CMakeFiles/sws_automata.dir/automata/nfa.cc.o" "gcc" "src/CMakeFiles/sws_automata.dir/automata/nfa.cc.o.d"
+  "/root/repo/src/automata/regex.cc" "src/CMakeFiles/sws_automata.dir/automata/regex.cc.o" "gcc" "src/CMakeFiles/sws_automata.dir/automata/regex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sws_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

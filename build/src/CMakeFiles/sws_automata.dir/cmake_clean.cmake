@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sws_automata.dir/automata/afa.cc.o"
+  "CMakeFiles/sws_automata.dir/automata/afa.cc.o.d"
+  "CMakeFiles/sws_automata.dir/automata/dfa.cc.o"
+  "CMakeFiles/sws_automata.dir/automata/dfa.cc.o.d"
+  "CMakeFiles/sws_automata.dir/automata/nfa.cc.o"
+  "CMakeFiles/sws_automata.dir/automata/nfa.cc.o.d"
+  "CMakeFiles/sws_automata.dir/automata/regex.cc.o"
+  "CMakeFiles/sws_automata.dir/automata/regex.cc.o.d"
+  "libsws_automata.a"
+  "libsws_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sws_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

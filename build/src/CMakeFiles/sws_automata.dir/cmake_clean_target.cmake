@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsws_automata.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sws/aggregate.cc" "src/CMakeFiles/sws_core.dir/sws/aggregate.cc.o" "gcc" "src/CMakeFiles/sws_core.dir/sws/aggregate.cc.o.d"
+  "/root/repo/src/sws/execution.cc" "src/CMakeFiles/sws_core.dir/sws/execution.cc.o" "gcc" "src/CMakeFiles/sws_core.dir/sws/execution.cc.o.d"
+  "/root/repo/src/sws/generator.cc" "src/CMakeFiles/sws_core.dir/sws/generator.cc.o" "gcc" "src/CMakeFiles/sws_core.dir/sws/generator.cc.o.d"
+  "/root/repo/src/sws/pl_sws.cc" "src/CMakeFiles/sws_core.dir/sws/pl_sws.cc.o" "gcc" "src/CMakeFiles/sws_core.dir/sws/pl_sws.cc.o.d"
+  "/root/repo/src/sws/query.cc" "src/CMakeFiles/sws_core.dir/sws/query.cc.o" "gcc" "src/CMakeFiles/sws_core.dir/sws/query.cc.o.d"
+  "/root/repo/src/sws/session.cc" "src/CMakeFiles/sws_core.dir/sws/session.cc.o" "gcc" "src/CMakeFiles/sws_core.dir/sws/session.cc.o.d"
+  "/root/repo/src/sws/sws.cc" "src/CMakeFiles/sws_core.dir/sws/sws.cc.o" "gcc" "src/CMakeFiles/sws_core.dir/sws/sws.cc.o.d"
+  "/root/repo/src/sws/unfold.cc" "src/CMakeFiles/sws_core.dir/sws/unfold.cc.o" "gcc" "src/CMakeFiles/sws_core.dir/sws/unfold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sws_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

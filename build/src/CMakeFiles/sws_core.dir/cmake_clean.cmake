@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sws_core.dir/sws/aggregate.cc.o"
+  "CMakeFiles/sws_core.dir/sws/aggregate.cc.o.d"
+  "CMakeFiles/sws_core.dir/sws/execution.cc.o"
+  "CMakeFiles/sws_core.dir/sws/execution.cc.o.d"
+  "CMakeFiles/sws_core.dir/sws/generator.cc.o"
+  "CMakeFiles/sws_core.dir/sws/generator.cc.o.d"
+  "CMakeFiles/sws_core.dir/sws/pl_sws.cc.o"
+  "CMakeFiles/sws_core.dir/sws/pl_sws.cc.o.d"
+  "CMakeFiles/sws_core.dir/sws/query.cc.o"
+  "CMakeFiles/sws_core.dir/sws/query.cc.o.d"
+  "CMakeFiles/sws_core.dir/sws/session.cc.o"
+  "CMakeFiles/sws_core.dir/sws/session.cc.o.d"
+  "CMakeFiles/sws_core.dir/sws/sws.cc.o"
+  "CMakeFiles/sws_core.dir/sws/sws.cc.o.d"
+  "CMakeFiles/sws_core.dir/sws/unfold.cc.o"
+  "CMakeFiles/sws_core.dir/sws/unfold.cc.o.d"
+  "libsws_core.a"
+  "libsws_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sws_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

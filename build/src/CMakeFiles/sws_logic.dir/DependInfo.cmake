@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/containment.cc" "src/CMakeFiles/sws_logic.dir/logic/containment.cc.o" "gcc" "src/CMakeFiles/sws_logic.dir/logic/containment.cc.o.d"
+  "/root/repo/src/logic/cq.cc" "src/CMakeFiles/sws_logic.dir/logic/cq.cc.o" "gcc" "src/CMakeFiles/sws_logic.dir/logic/cq.cc.o.d"
+  "/root/repo/src/logic/datalog.cc" "src/CMakeFiles/sws_logic.dir/logic/datalog.cc.o" "gcc" "src/CMakeFiles/sws_logic.dir/logic/datalog.cc.o.d"
+  "/root/repo/src/logic/fo.cc" "src/CMakeFiles/sws_logic.dir/logic/fo.cc.o" "gcc" "src/CMakeFiles/sws_logic.dir/logic/fo.cc.o.d"
+  "/root/repo/src/logic/pl_formula.cc" "src/CMakeFiles/sws_logic.dir/logic/pl_formula.cc.o" "gcc" "src/CMakeFiles/sws_logic.dir/logic/pl_formula.cc.o.d"
+  "/root/repo/src/logic/pl_sat.cc" "src/CMakeFiles/sws_logic.dir/logic/pl_sat.cc.o" "gcc" "src/CMakeFiles/sws_logic.dir/logic/pl_sat.cc.o.d"
+  "/root/repo/src/logic/ucq.cc" "src/CMakeFiles/sws_logic.dir/logic/ucq.cc.o" "gcc" "src/CMakeFiles/sws_logic.dir/logic/ucq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sws_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sws_logic.dir/logic/containment.cc.o"
+  "CMakeFiles/sws_logic.dir/logic/containment.cc.o.d"
+  "CMakeFiles/sws_logic.dir/logic/cq.cc.o"
+  "CMakeFiles/sws_logic.dir/logic/cq.cc.o.d"
+  "CMakeFiles/sws_logic.dir/logic/datalog.cc.o"
+  "CMakeFiles/sws_logic.dir/logic/datalog.cc.o.d"
+  "CMakeFiles/sws_logic.dir/logic/fo.cc.o"
+  "CMakeFiles/sws_logic.dir/logic/fo.cc.o.d"
+  "CMakeFiles/sws_logic.dir/logic/pl_formula.cc.o"
+  "CMakeFiles/sws_logic.dir/logic/pl_formula.cc.o.d"
+  "CMakeFiles/sws_logic.dir/logic/pl_sat.cc.o"
+  "CMakeFiles/sws_logic.dir/logic/pl_sat.cc.o.d"
+  "CMakeFiles/sws_logic.dir/logic/ucq.cc.o"
+  "CMakeFiles/sws_logic.dir/logic/ucq.cc.o.d"
+  "libsws_logic.a"
+  "libsws_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sws_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

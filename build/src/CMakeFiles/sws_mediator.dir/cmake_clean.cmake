@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sws_mediator.dir/mediator/cq_composition.cc.o"
+  "CMakeFiles/sws_mediator.dir/mediator/cq_composition.cc.o.d"
+  "CMakeFiles/sws_mediator.dir/mediator/kprefix.cc.o"
+  "CMakeFiles/sws_mediator.dir/mediator/kprefix.cc.o.d"
+  "CMakeFiles/sws_mediator.dir/mediator/mediator.cc.o"
+  "CMakeFiles/sws_mediator.dir/mediator/mediator.cc.o.d"
+  "CMakeFiles/sws_mediator.dir/mediator/mediator_run.cc.o"
+  "CMakeFiles/sws_mediator.dir/mediator/mediator_run.cc.o.d"
+  "CMakeFiles/sws_mediator.dir/mediator/pl_composition.cc.o"
+  "CMakeFiles/sws_mediator.dir/mediator/pl_composition.cc.o.d"
+  "libsws_mediator.a"
+  "libsws_mediator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sws_mediator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

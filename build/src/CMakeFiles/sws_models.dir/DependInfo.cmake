@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/guarded.cc" "src/CMakeFiles/sws_models.dir/models/guarded.cc.o" "gcc" "src/CMakeFiles/sws_models.dir/models/guarded.cc.o.d"
+  "/root/repo/src/models/peer.cc" "src/CMakeFiles/sws_models.dir/models/peer.cc.o" "gcc" "src/CMakeFiles/sws_models.dir/models/peer.cc.o.d"
+  "/root/repo/src/models/roman.cc" "src/CMakeFiles/sws_models.dir/models/roman.cc.o" "gcc" "src/CMakeFiles/sws_models.dir/models/roman.cc.o.d"
+  "/root/repo/src/models/roman_composition.cc" "src/CMakeFiles/sws_models.dir/models/roman_composition.cc.o" "gcc" "src/CMakeFiles/sws_models.dir/models/roman_composition.cc.o.d"
+  "/root/repo/src/models/sirup_sws.cc" "src/CMakeFiles/sws_models.dir/models/sirup_sws.cc.o" "gcc" "src/CMakeFiles/sws_models.dir/models/sirup_sws.cc.o.d"
+  "/root/repo/src/models/travel.cc" "src/CMakeFiles/sws_models.dir/models/travel.cc.o" "gcc" "src/CMakeFiles/sws_models.dir/models/travel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sws_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

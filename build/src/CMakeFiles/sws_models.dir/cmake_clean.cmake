@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sws_models.dir/models/guarded.cc.o"
+  "CMakeFiles/sws_models.dir/models/guarded.cc.o.d"
+  "CMakeFiles/sws_models.dir/models/peer.cc.o"
+  "CMakeFiles/sws_models.dir/models/peer.cc.o.d"
+  "CMakeFiles/sws_models.dir/models/roman.cc.o"
+  "CMakeFiles/sws_models.dir/models/roman.cc.o.d"
+  "CMakeFiles/sws_models.dir/models/roman_composition.cc.o"
+  "CMakeFiles/sws_models.dir/models/roman_composition.cc.o.d"
+  "CMakeFiles/sws_models.dir/models/sirup_sws.cc.o"
+  "CMakeFiles/sws_models.dir/models/sirup_sws.cc.o.d"
+  "CMakeFiles/sws_models.dir/models/travel.cc.o"
+  "CMakeFiles/sws_models.dir/models/travel.cc.o.d"
+  "libsws_models.a"
+  "libsws_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sws_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

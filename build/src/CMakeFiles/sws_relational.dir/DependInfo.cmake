@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/actions.cc" "src/CMakeFiles/sws_relational.dir/relational/actions.cc.o" "gcc" "src/CMakeFiles/sws_relational.dir/relational/actions.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/CMakeFiles/sws_relational.dir/relational/database.cc.o" "gcc" "src/CMakeFiles/sws_relational.dir/relational/database.cc.o.d"
+  "/root/repo/src/relational/input_sequence.cc" "src/CMakeFiles/sws_relational.dir/relational/input_sequence.cc.o" "gcc" "src/CMakeFiles/sws_relational.dir/relational/input_sequence.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/sws_relational.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/sws_relational.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/sws_relational.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/sws_relational.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/sws_relational.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/sws_relational.dir/relational/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

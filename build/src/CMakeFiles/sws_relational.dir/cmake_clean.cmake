@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sws_relational.dir/relational/actions.cc.o"
+  "CMakeFiles/sws_relational.dir/relational/actions.cc.o.d"
+  "CMakeFiles/sws_relational.dir/relational/database.cc.o"
+  "CMakeFiles/sws_relational.dir/relational/database.cc.o.d"
+  "CMakeFiles/sws_relational.dir/relational/input_sequence.cc.o"
+  "CMakeFiles/sws_relational.dir/relational/input_sequence.cc.o.d"
+  "CMakeFiles/sws_relational.dir/relational/relation.cc.o"
+  "CMakeFiles/sws_relational.dir/relational/relation.cc.o.d"
+  "CMakeFiles/sws_relational.dir/relational/schema.cc.o"
+  "CMakeFiles/sws_relational.dir/relational/schema.cc.o.d"
+  "CMakeFiles/sws_relational.dir/relational/value.cc.o"
+  "CMakeFiles/sws_relational.dir/relational/value.cc.o.d"
+  "libsws_relational.a"
+  "libsws_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sws_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewriting/cq_rewriting.cc" "src/CMakeFiles/sws_rewriting.dir/rewriting/cq_rewriting.cc.o" "gcc" "src/CMakeFiles/sws_rewriting.dir/rewriting/cq_rewriting.cc.o.d"
+  "/root/repo/src/rewriting/graphdb.cc" "src/CMakeFiles/sws_rewriting.dir/rewriting/graphdb.cc.o" "gcc" "src/CMakeFiles/sws_rewriting.dir/rewriting/graphdb.cc.o.d"
+  "/root/repo/src/rewriting/regular_rewriting.cc" "src/CMakeFiles/sws_rewriting.dir/rewriting/regular_rewriting.cc.o" "gcc" "src/CMakeFiles/sws_rewriting.dir/rewriting/regular_rewriting.cc.o.d"
+  "/root/repo/src/rewriting/rpq.cc" "src/CMakeFiles/sws_rewriting.dir/rewriting/rpq.cc.o" "gcc" "src/CMakeFiles/sws_rewriting.dir/rewriting/rpq.cc.o.d"
+  "/root/repo/src/rewriting/rpq_sws.cc" "src/CMakeFiles/sws_rewriting.dir/rewriting/rpq_sws.cc.o" "gcc" "src/CMakeFiles/sws_rewriting.dir/rewriting/rpq_sws.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sws_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

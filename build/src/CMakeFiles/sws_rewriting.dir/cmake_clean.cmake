@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sws_rewriting.dir/rewriting/cq_rewriting.cc.o"
+  "CMakeFiles/sws_rewriting.dir/rewriting/cq_rewriting.cc.o.d"
+  "CMakeFiles/sws_rewriting.dir/rewriting/graphdb.cc.o"
+  "CMakeFiles/sws_rewriting.dir/rewriting/graphdb.cc.o.d"
+  "CMakeFiles/sws_rewriting.dir/rewriting/regular_rewriting.cc.o"
+  "CMakeFiles/sws_rewriting.dir/rewriting/regular_rewriting.cc.o.d"
+  "CMakeFiles/sws_rewriting.dir/rewriting/rpq.cc.o"
+  "CMakeFiles/sws_rewriting.dir/rewriting/rpq.cc.o.d"
+  "CMakeFiles/sws_rewriting.dir/rewriting/rpq_sws.cc.o"
+  "CMakeFiles/sws_rewriting.dir/rewriting/rpq_sws.cc.o.d"
+  "libsws_rewriting.a"
+  "libsws_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sws_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

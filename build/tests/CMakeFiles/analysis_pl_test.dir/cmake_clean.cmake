@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_pl_test.dir/analysis_pl_test.cc.o"
+  "CMakeFiles/analysis_pl_test.dir/analysis_pl_test.cc.o.d"
+  "analysis_pl_test"
+  "analysis_pl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_pl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

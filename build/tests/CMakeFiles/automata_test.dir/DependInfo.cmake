@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/automata_test.cc" "tests/CMakeFiles/automata_test.dir/automata_test.cc.o" "gcc" "tests/CMakeFiles/automata_test.dir/automata_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sws_mediator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_rewriting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sws_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

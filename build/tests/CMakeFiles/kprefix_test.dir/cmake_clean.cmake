@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kprefix_test.dir/kprefix_test.cc.o"
+  "CMakeFiles/kprefix_test.dir/kprefix_test.cc.o.d"
+  "kprefix_test"
+  "kprefix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kprefix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_logic_test.dir/pl_logic_test.cc.o"
+  "CMakeFiles/pl_logic_test.dir/pl_logic_test.cc.o.d"
+  "pl_logic_test"
+  "pl_logic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_sws_test.dir/pl_sws_test.cc.o"
+  "CMakeFiles/pl_sws_test.dir/pl_sws_test.cc.o.d"
+  "pl_sws_test"
+  "pl_sws_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_sws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

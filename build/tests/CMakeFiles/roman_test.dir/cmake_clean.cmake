@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roman_test.dir/roman_test.cc.o"
+  "CMakeFiles/roman_test.dir/roman_test.cc.o.d"
+  "roman_test"
+  "roman_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpq_sws_test.dir/rpq_sws_test.cc.o"
+  "CMakeFiles/rpq_sws_test.dir/rpq_sws_test.cc.o.d"
+  "rpq_sws_test"
+  "rpq_sws_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpq_sws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

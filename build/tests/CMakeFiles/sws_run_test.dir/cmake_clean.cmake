@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sws_run_test.dir/sws_run_test.cc.o"
+  "CMakeFiles/sws_run_test.dir/sws_run_test.cc.o.d"
+  "sws_run_test"
+  "sws_run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sws_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
