@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the concurrent
+# runtime. Usage: scripts/check.sh [release|tsan|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_release() {
+  echo "== Release build + full ctest =="
+  cmake --preset release
+  cmake --build --preset release -j "$jobs"
+  ctest --preset release -j "$jobs"
+}
+
+run_tsan() {
+  echo "== TSan build + concurrency-sensitive tests =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" \
+    --target runtime_test session_test sws_run_test
+  # halt_on_error: a data race fails the suite instead of just logging.
+  TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -j 1
+}
+
+case "$mode" in
+  release) run_release ;;
+  tsan) run_tsan ;;
+  all) run_release; run_tsan ;;
+  *) echo "usage: $0 [release|tsan|all]" >&2; exit 2 ;;
+esac
+echo "== check.sh ($mode): OK =="

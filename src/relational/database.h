@@ -14,6 +14,15 @@ namespace sws::rel {
 /// instances. Per the paper, the local database D stays fixed during a
 /// run of an SWS; updates are committed only at the end of a session
 /// (see relational/actions.h and sws/session.h).
+///
+/// Thread-safety (audited for src/runtime): all const members are pure
+/// reads with no caches or other hidden mutable state, so a Database may
+/// be read from any number of threads concurrently as long as no thread
+/// calls Set/GetMutable — the concurrent runtime shares one immutable
+/// seed instance across workers and gives each session a private copy.
+/// The run engine (sws/execution.cc) copies the database into its
+/// per-run environment, so core::Run itself never writes the caller's
+/// instance. Relation and Value are likewise cache-free const readers.
 class Database {
  public:
   Database() = default;

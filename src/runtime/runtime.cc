@@ -1,0 +1,139 @@
+#include "runtime/runtime.h"
+
+#include <thread>
+#include <utility>
+
+#include "util/common.h"
+
+namespace sws::rt {
+
+namespace {
+
+size_t ResolveWorkers(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
+                               RuntimeOptions options)
+    : initial_db_(std::move(initial_db)),
+      options_(std::move(options)),
+      stats_(options_.num_shards != 0
+                 ? options_.num_shards
+                 : 4 * ResolveWorkers(options_.num_workers)) {
+  SWS_CHECK(sws != nullptr);
+  SWS_CHECK_GE(options_.queue_capacity, 1u);
+  const size_t workers = ResolveWorkers(options_.num_workers);
+  const size_t shards =
+      options_.num_shards != 0 ? options_.num_shards : 4 * workers;
+
+  shard_config_.sws = sws;
+  shard_config_.initial_db = &initial_db_;
+  shard_config_.run_options = options_.run_options;
+  shard_config_.before_process_hook = options_.before_process_hook;
+
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<SessionShard>(i, &shard_config_));
+  }
+  // The pool queue holds at most one drain task per shard (the scheduled
+  // flag), so `shards` capacity guarantees drain-task submission never
+  // blocks a client thread.
+  pool_ = std::make_unique<ThreadPool>(workers, shards);
+}
+
+ServiceRuntime::~ServiceRuntime() { Shutdown(); }
+
+bool ServiceRuntime::Submit(std::string session_id, rel::Relation message,
+                            OutcomeCallback callback) {
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  if (options_.default_deadline.count() > 0) {
+    deadline = std::chrono::steady_clock::now() + options_.default_deadline;
+  }
+  return SubmitInternal(std::move(session_id), std::move(message), deadline,
+                        std::move(callback));
+}
+
+bool ServiceRuntime::Submit(std::string session_id, rel::Relation message,
+                            std::chrono::nanoseconds deadline,
+                            OutcomeCallback callback) {
+  auto abs = std::chrono::steady_clock::time_point::max();
+  if (deadline.count() > 0) abs = std::chrono::steady_clock::now() + deadline;
+  return SubmitInternal(std::move(session_id), std::move(message), abs,
+                        std::move(callback));
+}
+
+bool ServiceRuntime::SubmitInternal(
+    std::string session_id, rel::Relation message,
+    std::chrono::steady_clock::time_point deadline, OutcomeCallback callback) {
+  {
+    std::unique_lock<std::mutex> lock(admission_mu_);
+    if (options_.on_full == RuntimeOptions::OnFull::kBlock) {
+      admission_cv_.wait(lock, [&] {
+        return pending_ < options_.queue_capacity || stopped_;
+      });
+    }
+    if (stopped_ || pending_ >= options_.queue_capacity) {
+      lock.unlock();
+      stats_.OnRejected();
+      return false;
+    }
+    ++pending_;
+  }
+  stats_.OnSubmitted();
+
+  SessionShard& shard = *shards_[ShardOf(session_id)];
+  const bool needs_scheduling = shard.Enqueue(Envelope{
+      std::move(session_id), std::move(message), deadline,
+      std::move(callback)});
+  if (needs_scheduling) {
+    // Cannot fail: pool capacity == num_shards ≥ shards needing a drain
+    // task, and the pool only closes after Shutdown()'s drain.
+    SWS_CHECK(pool_->Submit([this, &shard] {
+      shard.Drain(&stats_, [this] { OnEnvelopeDone(); });
+    }));
+  }
+  return true;
+}
+
+void ServiceRuntime::OnEnvelopeDone() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    SWS_CHECK_GT(pending_, 0u);
+    --pending_;
+  }
+  admission_cv_.notify_all();
+}
+
+void ServiceRuntime::Drain() {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  admission_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ServiceRuntime::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    stopped_ = true;
+  }
+  admission_cv_.notify_all();  // release submitters blocked on capacity
+  Drain();
+  pool_->Stop();
+}
+
+StatsSnapshot ServiceRuntime::Stats() const {
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    depth = pending_;
+  }
+  return stats_.Snapshot(depth);
+}
+
+size_t ServiceRuntime::ShardOf(const std::string& session_id) const {
+  return std::hash<std::string>{}(session_id) % shards_.size();
+}
+
+}  // namespace sws::rt

@@ -1,0 +1,132 @@
+#ifndef SWS_RUNTIME_RUNTIME_H_
+#define SWS_RUNTIME_RUNTIME_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "runtime/runtime_stats.h"
+#include "runtime/session_shard.h"
+#include "runtime/thread_pool.h"
+#include "sws/execution.h"
+#include "sws/sws.h"
+
+namespace sws::rt {
+
+struct RuntimeOptions {
+  /// Worker threads. 0 → std::thread::hardware_concurrency() (min 1).
+  size_t num_workers = 0;
+  /// Session shards. 0 → 4× the worker count. More shards = finer-grained
+  /// parallelism across sessions; sessions on one shard serialize.
+  size_t num_shards = 0;
+  /// Bound on admitted-but-unprocessed messages across all shards — the
+  /// backpressure knob.
+  size_t queue_capacity = 1024;
+  /// What Submit does when the bound is hit.
+  enum class OnFull {
+    kReject,  // Submit returns false immediately (load shedding)
+    kBlock,   // Submit waits for capacity (producer throttling)
+  };
+  OnFull on_full = OnFull::kReject;
+  /// Deadline applied to every message from the moment it is admitted;
+  /// zero means none. A message still queued past its deadline is dropped
+  /// (callback gets kDeadlineExceeded) without running the service.
+  std::chrono::nanoseconds default_deadline{0};
+  /// Per-run execution limits (notably max_nodes, the node budget); a
+  /// budget trip surfaces as OutcomeStatus::kBudgetExceeded.
+  core::RunOptions run_options;
+  /// Test/bench instrumentation; see SessionShard::Config.
+  std::function<void(const std::string& session_id)> before_process_hook;
+};
+
+/// The concurrent multi-session runtime: clients Submit() messages tagged
+/// with a session id; the runtime hashes each session to a shard, shards
+/// drain on a fixed worker pool, and each session replays the classic
+/// SessionRunner semantics — messages buffer until a '#' delimiter runs
+/// the service and commits to that session's private database copy.
+///
+/// Threading model (see also DESIGN.md §6):
+///  * shared-immutable: the Sws and the seed Database — read concurrently
+///    by all workers, never written;
+///  * shard-owned: every SessionRunner (session buffer + database copy) —
+///    touched only by the worker currently draining its shard;
+///  * per-session ordering: messages of one session are processed in
+///    submission order; distinct sessions on distinct shards in parallel.
+///
+/// Submit() may be called from any number of threads concurrently.
+class ServiceRuntime {
+ public:
+  /// `sws` must outlive the runtime and must not be mutated while the
+  /// runtime exists. Every new session starts from a copy of
+  /// `initial_db`.
+  ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
+                 RuntimeOptions options = {});
+  /// Shuts down (completing admitted work) if not already shut down.
+  ~ServiceRuntime();
+
+  ServiceRuntime(const ServiceRuntime&) = delete;
+  ServiceRuntime& operator=(const ServiceRuntime&) = delete;
+
+  /// Submits one message for `session_id`. Returns false iff the message
+  /// was not admitted (backpressure under OnFull::kReject, or the runtime
+  /// is shut down). `callback`, if given, fires on the worker when the
+  /// message closes a session, misses its deadline, or trips the node
+  /// budget; buffered non-delimiter messages produce no callback.
+  bool Submit(std::string session_id, rel::Relation message,
+              OutcomeCallback callback = nullptr);
+
+  /// As above with a per-request deadline overriding the default.
+  bool Submit(std::string session_id, rel::Relation message,
+              std::chrono::nanoseconds deadline, OutcomeCallback callback);
+
+  /// Blocks until every admitted message has been processed. Concurrent
+  /// Submits may keep the runtime busy past the return; typical use is
+  /// quiescing after producers stop.
+  void Drain();
+
+  /// Drains, then stops the workers. Subsequent Submits are rejected.
+  /// Idempotent.
+  void Shutdown();
+
+  /// Point-in-time counters; safe to call at any time.
+  StatsSnapshot Stats() const;
+
+  /// Which shard a session id maps to (stable for the runtime's life) —
+  /// introspection for tests, benches and placement debugging.
+  size_t ShardOf(const std::string& session_id) const;
+
+  size_t num_workers() const { return pool_->num_threads(); }
+  size_t num_shards() const { return shards_.size(); }
+  const core::Sws& sws() const { return *shard_config_.sws; }
+
+ private:
+  bool SubmitInternal(std::string session_id, rel::Relation message,
+                      std::chrono::steady_clock::time_point deadline,
+                      OutcomeCallback callback);
+  /// Called by a shard after each processed envelope: releases one unit
+  /// of queue capacity and wakes blocked submitters/drainers.
+  void OnEnvelopeDone();
+
+  rel::Database initial_db_;
+  SessionShard::Config shard_config_;
+  RuntimeOptions options_;
+  RuntimeStats stats_;
+  std::vector<std::unique_ptr<SessionShard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Admission state: `pending_` counts admitted-but-unprocessed
+  /// messages, bounded by options_.queue_capacity.
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;  // capacity freed / drained
+  size_t pending_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace sws::rt
+
+#endif  // SWS_RUNTIME_RUNTIME_H_

@@ -1,0 +1,101 @@
+#include "runtime/runtime_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace sws::rt {
+
+void LatencyHistogram::Record(uint64_t micros) {
+  size_t bucket = micros == 0 ? 0 : std::bit_width(micros) - 1;
+  bucket = std::min(bucket, kBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::array<uint64_t, LatencyHistogram::kBuckets> LatencyHistogram::Counts()
+    const {
+  std::array<uint64_t, kBuckets> out{};
+  for (size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+uint64_t StatsSnapshot::total_runs() const {
+  uint64_t total = 0;
+  for (const auto& shard : shard_latency) {
+    for (uint64_t c : shard) total += c;
+  }
+  return total;
+}
+
+uint64_t StatsSnapshot::ApproxLatencyMicros(double quantile) const {
+  const uint64_t total = total_runs();
+  if (total == 0) return 0;
+  std::array<uint64_t, LatencyHistogram::kBuckets> merged{};
+  for (const auto& shard : shard_latency) {
+    for (size_t i = 0; i < merged.size(); ++i) merged[i] += shard[i];
+  }
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(quantile * total));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    seen += merged[i];
+    if (seen >= rank) return uint64_t{1} << (i + 1);  // upper bucket bound
+  }
+  return uint64_t{1} << LatencyHistogram::kBuckets;
+}
+
+std::string StatsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "submitted=" << submitted << " completed=" << completed
+      << " rejected=" << rejected << " sessions_closed=" << sessions_closed
+      << " deadline_exceeded=" << deadline_exceeded
+      << " budget_exceeded=" << budget_exceeded
+      << " queue_depth=" << queue_depth << " runs=" << total_runs()
+      << " p50_us<=" << ApproxLatencyMicros(0.5)
+      << " p99_us<=" << ApproxLatencyMicros(0.99);
+  return out.str();
+}
+
+std::string StatsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"submitted\":" << submitted << ",\"completed\":" << completed
+      << ",\"rejected\":" << rejected
+      << ",\"sessions_closed\":" << sessions_closed
+      << ",\"deadline_exceeded\":" << deadline_exceeded
+      << ",\"budget_exceeded\":" << budget_exceeded
+      << ",\"queue_depth\":" << queue_depth << ",\"runs\":" << total_runs()
+      << ",\"p50_us\":" << ApproxLatencyMicros(0.5)
+      << ",\"p99_us\":" << ApproxLatencyMicros(0.99) << "}";
+  return out.str();
+}
+
+RuntimeStats::RuntimeStats(size_t num_shards) : shard_latency_(num_shards) {
+  SWS_CHECK_GE(num_shards, 1u);
+}
+
+void RuntimeStats::RecordRunLatency(size_t shard, uint64_t micros) {
+  SWS_CHECK_LT(shard, shard_latency_.size());
+  shard_latency_[shard].Record(micros);
+}
+
+StatsSnapshot RuntimeStats::Snapshot(uint64_t queue_depth) const {
+  StatsSnapshot snap;
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  snap.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  snap.budget_exceeded = budget_exceeded_.load(std::memory_order_relaxed);
+  snap.queue_depth = queue_depth;
+  snap.shard_latency.reserve(shard_latency_.size());
+  for (const LatencyHistogram& h : shard_latency_) {
+    snap.shard_latency.push_back(h.Counts());
+  }
+  return snap;
+}
+
+}  // namespace sws::rt

@@ -1,0 +1,92 @@
+#ifndef SWS_RUNTIME_RUNTIME_STATS_H_
+#define SWS_RUNTIME_RUNTIME_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sws::rt {
+
+/// A lock-free latency histogram with power-of-two microsecond buckets:
+/// bucket b counts samples in [2^b, 2^(b+1)) microseconds (bucket 0 also
+/// absorbs sub-microsecond samples). Recording is a single relaxed
+/// fetch_add — safe to call from every worker on every run.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Record(uint64_t micros);
+
+  /// A plain (non-atomic) copy for reporting.
+  std::array<uint64_t, kBuckets> Counts() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// A point-in-time copy of the runtime counters, safe to read and print
+/// while the runtime keeps running. Counters are monotonically increasing
+/// except queue_depth (a gauge).
+struct StatsSnapshot {
+  uint64_t submitted = 0;          // Submit() calls that were admitted
+  uint64_t rejected = 0;           // Submit() calls bounced by backpressure
+  uint64_t completed = 0;          // messages fully processed by a worker
+  uint64_t sessions_closed = 0;    // delimiter runs that committed
+  uint64_t deadline_exceeded = 0;  // messages dropped past their deadline
+  uint64_t budget_exceeded = 0;    // session runs aborted by max_nodes
+  uint64_t queue_depth = 0;        // admitted but not yet completed
+  /// Per-shard session-run latency histograms (delimiter runs only; the
+  /// buffering of a non-delimiter message is not a run).
+  std::vector<std::array<uint64_t, LatencyHistogram::kBuckets>> shard_latency;
+
+  /// Total recorded runs and an approximate latency quantile (in
+  /// microseconds, upper bucket bound) aggregated across shards.
+  uint64_t total_runs() const;
+  uint64_t ApproxLatencyMicros(double quantile) const;
+
+  std::string ToString() const;
+  /// One-line JSON object (for BENCH_*.json files and scraping).
+  std::string ToJson() const;
+};
+
+/// The live counters. All mutators are single atomic ops with relaxed
+/// ordering — the stats surface deliberately imposes no synchronization
+/// on the data path; cross-thread visibility of the *work* itself is
+/// ordered by the shard queues, not by these counters.
+class RuntimeStats {
+ public:
+  explicit RuntimeStats(size_t num_shards);
+
+  void OnSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void OnRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void OnCompleted() { completed_.fetch_add(1, std::memory_order_relaxed); }
+  void OnSessionClosed() {
+    sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnDeadlineExceeded() {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnBudgetExceeded() {
+    budget_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordRunLatency(size_t shard, uint64_t micros);
+
+  /// The queue-depth gauge is owned by the admission layer (it doubles as
+  /// the backpressure counter); the snapshot takes it as an argument.
+  StatsSnapshot Snapshot(uint64_t queue_depth) const;
+
+ private:
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> budget_exceeded_{0};
+  std::vector<LatencyHistogram> shard_latency_;
+};
+
+}  // namespace sws::rt
+
+#endif  // SWS_RUNTIME_RUNTIME_STATS_H_

@@ -1,0 +1,90 @@
+#include "runtime/session_shard.h"
+
+#include <utility>
+
+#include "util/common.h"
+
+namespace sws::rt {
+
+SessionShard::SessionShard(size_t shard_index, const Config* config)
+    : shard_index_(shard_index), config_(config) {
+  SWS_CHECK(config != nullptr);
+  SWS_CHECK(config->sws != nullptr);
+  SWS_CHECK(config->initial_db != nullptr);
+}
+
+bool SessionShard::Enqueue(Envelope envelope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(envelope));
+  if (scheduled_) return false;
+  scheduled_ = true;
+  return true;
+}
+
+void SessionShard::Drain(RuntimeStats* stats,
+                         const std::function<void()>& on_done) {
+  for (;;) {
+    Envelope envelope;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        scheduled_ = false;
+        return;
+      }
+      envelope = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Process(std::move(envelope), stats);
+    stats->OnCompleted();
+    if (on_done) on_done();
+  }
+}
+
+void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now > envelope.deadline) {
+    stats->OnDeadlineExceeded();
+    if (envelope.callback) {
+      envelope.callback(Outcome{OutcomeStatus::kDeadlineExceeded,
+                                std::move(envelope.session_id), std::nullopt});
+    }
+    return;
+  }
+  if (config_->before_process_hook) {
+    config_->before_process_hook(envelope.session_id);
+  }
+
+  auto [it, inserted] = runners_.try_emplace(
+      envelope.session_id,
+      core::SessionRunner(config_->sws, *config_->initial_db));
+  if (inserted) num_sessions_.fetch_add(1, std::memory_order_relaxed);
+  core::SessionRunner& runner = it->second;
+
+  const bool is_delimiter = core::SessionRunner::IsDelimiter(envelope.message);
+  const auto run_start = std::chrono::steady_clock::now();
+  std::optional<core::SessionRunner::SessionOutcome> outcome =
+      runner.Feed(std::move(envelope.message), config_->run_options);
+  if (!is_delimiter) return;  // buffered; nothing ran, nothing to report
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - run_start);
+  stats->RecordRunLatency(shard_index_,
+                          static_cast<uint64_t>(elapsed.count()));
+  SWS_CHECK(outcome.has_value());
+  if (!outcome->ok) {
+    stats->OnBudgetExceeded();
+    if (envelope.callback) {
+      envelope.callback(Outcome{OutcomeStatus::kBudgetExceeded,
+                                std::move(envelope.session_id), std::nullopt});
+    }
+    return;
+  }
+  stats->OnSessionClosed();
+  if (envelope.callback) {
+    envelope.callback(Outcome{OutcomeStatus::kSessionClosed,
+                              std::move(envelope.session_id),
+                              std::move(outcome)});
+  }
+}
+
+}  // namespace sws::rt

@@ -1,0 +1,114 @@
+#ifndef SWS_RUNTIME_SESSION_SHARD_H_
+#define SWS_RUNTIME_SESSION_SHARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "relational/database.h"
+#include "runtime/runtime_stats.h"
+#include "sws/session.h"
+#include "sws/sws.h"
+
+namespace sws::rt {
+
+/// Why a submitted message did (or did not) produce a session outcome.
+enum class OutcomeStatus {
+  kSessionClosed,      // a delimiter ran and committed: `session` is set
+  kDeadlineExceeded,   // the message sat in the queue past its deadline
+  kBudgetExceeded,     // the run tripped RunOptions::max_nodes
+};
+
+/// Delivered to the submitter's callback from a worker thread. Callbacks
+/// for one session are invoked in submission order (the per-shard drain
+/// serializes them); callbacks must not block for long — they run on pool
+/// workers — and must not call back into ServiceRuntime::Submit when the
+/// runtime uses blocking admission (deadlock: the worker the submit waits
+/// on is the one running the callback).
+struct Outcome {
+  OutcomeStatus status = OutcomeStatus::kSessionClosed;
+  std::string session_id;
+  /// Set iff status == kSessionClosed.
+  std::optional<core::SessionRunner::SessionOutcome> session;
+};
+
+using OutcomeCallback = std::function<void(Outcome)>;
+
+/// One admitted message, stamped by the admission layer.
+struct Envelope {
+  std::string session_id;
+  rel::Relation message;
+  std::chrono::steady_clock::time_point deadline;  // ::max() = none
+  OutcomeCallback callback;  // may be null
+};
+
+/// A shard of the session space: owns the SessionRunner (and therefore
+/// the per-session database copy) of every session id hashing to it, plus
+/// a FIFO of undelivered envelopes.
+///
+/// Concurrency protocol ("strand" scheduling): `mu_` guards only the
+/// queue and the scheduled flag. At most one worker at a time holds the
+/// *drain role* for a shard — Enqueue returns true exactly when it
+/// transitions the shard from idle to scheduled, and the caller must then
+/// post Drain() to the pool. Drain() processes envelopes one at a time
+/// without holding `mu_` during the service run, and gives the role back
+/// (scheduled_ = false) only after observing an empty queue under `mu_`.
+/// Hence: messages of one shard — a fortiori of one session — are
+/// processed in submission order by exactly one thread at a time, while
+/// distinct shards drain on distinct workers in parallel. `runners_` is
+/// only ever touched by the drain-role holder, so it needs no lock.
+class SessionShard {
+ public:
+  /// Per-message hooks and run options shared by all shards. `sws` and
+  /// `initial_db` must outlive the shard and stay unmodified (they are
+  /// read concurrently by every shard; see the thread-safety notes in
+  /// sws/sws.h and relational/database.h).
+  struct Config {
+    const core::Sws* sws = nullptr;
+    const rel::Database* initial_db = nullptr;
+    core::RunOptions run_options;
+    /// Test/bench instrumentation: invoked on the worker right before
+    /// each envelope is processed (after the deadline check).
+    std::function<void(const std::string& session_id)> before_process_hook;
+  };
+
+  SessionShard(size_t shard_index, const Config* config);
+
+  /// Appends an envelope. Returns true iff the shard was idle — the
+  /// caller must then schedule Drain() on a worker.
+  bool Enqueue(Envelope envelope);
+
+  /// Processes queued envelopes until empty; called only via the
+  /// scheduling protocol above. Every processed envelope is counted via
+  /// `stats` and `on_done` (the admission layer's queue-depth release).
+  void Drain(RuntimeStats* stats, const std::function<void()>& on_done);
+
+  /// Number of sessions ever materialized on this shard (approximate
+  /// during a drain; exact when the shard is idle).
+  size_t num_sessions() const {
+    return num_sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Process(Envelope envelope, RuntimeStats* stats);
+
+  const size_t shard_index_;
+  const Config* const config_;
+
+  std::mutex mu_;
+  std::deque<Envelope> queue_;
+  bool scheduled_ = false;
+
+  // Drain-role-owned; no lock (see class comment).
+  std::unordered_map<std::string, core::SessionRunner> runners_;
+  std::atomic<size_t> num_sessions_{0};
+};
+
+}  // namespace sws::rt
+
+#endif  // SWS_RUNTIME_SESSION_SHARD_H_

@@ -1,0 +1,92 @@
+#include "runtime/thread_pool.h"
+
+#include "util/common.h"
+
+namespace sws::rt {
+
+BoundedTaskQueue::BoundedTaskQueue(size_t capacity) : capacity_(capacity) {
+  SWS_CHECK_GE(capacity, 1u);
+}
+
+bool BoundedTaskQueue::Push(Task task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] { return tasks_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  tasks_.push_back(std::move(task));
+  not_empty_.notify_one();
+  return true;
+}
+
+bool BoundedTaskQueue::TryPush(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || tasks_.size() >= capacity_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool BoundedTaskQueue::Pop(Task* task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return !tasks_.empty() || closed_; });
+  if (tasks_.empty()) return false;  // closed and drained
+  *task = std::move(tasks_.front());
+  tasks_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void BoundedTaskQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t BoundedTaskQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : queue_(queue_capacity) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Stop(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return queue_.Push(std::move(task));
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  return queue_.TryPush(std::move(task));
+}
+
+void ThreadPool::Stop() {
+  queue_.Close();
+  std::lock_guard<std::mutex> lock(stop_mu_);  // serialize concurrent Stops
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  BoundedTaskQueue::Task task;
+  while (queue_.Pop(&task)) {
+    task();
+    task = nullptr;  // release captures before blocking in Pop again
+  }
+}
+
+}  // namespace sws::rt

@@ -1,0 +1,87 @@
+#ifndef SWS_RUNTIME_THREAD_POOL_H_
+#define SWS_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sws::rt {
+
+/// A bounded multi-producer/multi-consumer queue of tasks. Producers may
+/// either block until space frees up (Push) or fail fast (TryPush);
+/// consumers block in Pop until a task arrives or the queue is closed.
+///
+/// The implementation is a mutex + two condition variables over a deque —
+/// deliberately boring: the runtime's unit of work is a whole shard drain
+/// (many service runs), so queue overhead is nowhere near the hot path,
+/// and the blocking semantics are exactly what admission control needs.
+class BoundedTaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  explicit BoundedTaskQueue(size_t capacity);
+
+  /// Blocks until there is space, then enqueues. Returns false iff the
+  /// queue was closed (the task is dropped).
+  bool Push(Task task);
+  /// Enqueues without blocking. Returns false if full or closed.
+  bool TryPush(Task task);
+  /// Blocks for the next task. Returns false iff the queue is closed and
+  /// drained — the consumer should exit.
+  bool Pop(Task* task);
+
+  /// Closes the queue: pending tasks still Pop, new pushes fail.
+  void Close();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Task> tasks_;
+  bool closed_ = false;
+};
+
+/// A fixed-size worker pool draining a BoundedTaskQueue. Workers are
+/// started in the constructor and joined in Stop()/the destructor; tasks
+/// already queued at Stop() time are completed (graceful drain), tasks
+/// submitted after Stop() are rejected.
+class ThreadPool {
+ public:
+  /// `num_threads` 0 means std::thread::hardware_concurrency() (min 1).
+  /// `queue_capacity` bounds the number of queued-but-unstarted tasks.
+  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 1024);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Blocking submit (waits for queue space). False iff stopped.
+  bool Submit(std::function<void()> task);
+  /// Non-blocking submit. False if the queue is full or the pool stopped.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Completes all queued tasks, then joins the workers. Idempotent.
+  void Stop();
+
+  size_t num_threads() const { return threads_.size(); }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BoundedTaskQueue queue_;
+  std::mutex stop_mu_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sws::rt
+
+#endif  // SWS_RUNTIME_THREAD_POOL_H_

@@ -26,25 +26,30 @@ bool SessionRunner::IsDelimiter(const rel::Relation& message) {
 }
 
 std::optional<SessionRunner::SessionOutcome> SessionRunner::Feed(
-    rel::Relation message) {
+    rel::Relation message, const RunOptions& options) {
   if (!IsDelimiter(message)) {
     pending_.Append(std::move(message));
     return std::nullopt;
   }
   SessionOutcome outcome;
   outcome.session_length = pending_.size();
-  RunResult run = Run(*sws_, db_, pending_);
-  outcome.output = run.output;
-  outcome.commit = rel::CommitOutput(run.output, &db_);
+  RunResult run = Run(*sws_, db_, pending_, options);
+  outcome.ok = run.ok;
+  if (run.ok) {
+    outcome.output = run.output;
+    outcome.commit = rel::CommitOutput(run.output, &db_);
+  } else {
+    outcome.output = rel::Relation(sws_->rout_arity());
+  }
   pending_ = rel::InputSequence(sws_->rin_arity());
   return outcome;
 }
 
 std::vector<SessionRunner::SessionOutcome> SessionRunner::FeedStream(
-    const std::vector<rel::Relation>& stream) {
+    const std::vector<rel::Relation>& stream, const RunOptions& options) {
   std::vector<SessionOutcome> outcomes;
   for (const rel::Relation& message : stream) {
-    if (auto outcome = Feed(message); outcome.has_value()) {
+    if (auto outcome = Feed(message, options); outcome.has_value()) {
       outcomes.push_back(std::move(*outcome));
     }
   }

@@ -18,6 +18,11 @@ namespace sws::core {
 /// run on the buffered session and its actions are committed — external
 /// messages sent, updates applied to the local database. The database
 /// stays fixed *within* a session, per the paper's assumption.
+///
+/// Thread-safety: a SessionRunner is a single conversation and must be
+/// driven by one thread at a time. The pointed-to Sws is only read, so
+/// any number of runners (on any threads) may share one service — the
+/// basis of the concurrent runtime in src/runtime/.
 class SessionRunner {
  public:
   SessionRunner(const Sws* sws, rel::Database initial_db);
@@ -28,20 +33,26 @@ class SessionRunner {
   static bool IsDelimiter(const rel::Relation& message);
 
   struct SessionOutcome {
+    /// False iff the run was aborted by RunOptions::max_nodes. On abort
+    /// the output is empty, nothing is committed, and the buffered
+    /// session is discarded so the stream can continue.
+    bool ok = true;
     rel::Relation output;       // τ(D, I_session)
     rel::CommitResult commit;   // applied to the local database
     size_t session_length = 0;  // messages in the session (delimiter excl.)
   };
 
   /// Feeds one message. A delimiter closes the current session: the
-  /// service runs on the buffered messages against the current database,
-  /// the output is committed, and the outcome is returned. Non-delimiter
-  /// messages buffer and return nullopt.
-  std::optional<SessionOutcome> Feed(rel::Relation message);
+  /// service runs on the buffered messages against the current database
+  /// under `options`, the output is committed, and the outcome is
+  /// returned. Non-delimiter messages buffer and return nullopt.
+  std::optional<SessionOutcome> Feed(rel::Relation message,
+                                     const RunOptions& options = {});
 
   /// Feeds a whole stream; returns one outcome per delimiter encountered.
   std::vector<SessionOutcome> FeedStream(
-      const std::vector<rel::Relation>& stream);
+      const std::vector<rel::Relation>& stream,
+      const RunOptions& options = {});
 
   const rel::Database& db() const { return db_; }
   size_t buffered() const { return pending_.size(); }

@@ -31,6 +31,15 @@ struct TransitionTarget {
 ///
 /// The class of the service — SWS(PL,PL) is modeled separately by PlSws;
 /// here the rule languages are CQ/UCQ/FO — is reported by Classify().
+///
+/// Thread-safety (audited for src/runtime): a fully built Sws is
+/// immutable through its const interface — Successors/Synthesis/
+/// Validate/Classify and query evaluation keep no mutable caches — so
+/// one service definition may be shared read-only by any number of
+/// concurrent runs (core::Run takes it by const reference and the
+/// runtime's workers all point at one instance). Mutators (AddState,
+/// SetTransition, SetSynthesis) must not race with reads: build the
+/// service first, then share it.
 class Sws {
  public:
   /// `rin_arity`/`rout_arity` are the payload arities of the input and

@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "logic/cq.h"
+#include "models/travel.h"
+#include "runtime/runtime.h"
+#include "runtime/thread_pool.h"
+#include "util/common.h"
+
+namespace sws::rt {
+namespace {
+
+using core::RunOptions;
+using core::SessionRunner;
+using core::Sws;
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Term;
+using rel::Relation;
+using rel::Value;
+
+// The two-level logger of session_test: each session inserts its first
+// message's value into Log at commit (depth 2, so exactly I_1 lands).
+Sws MakeTwoLevelLogger() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  Sws sws(schema, 1, 3);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{core::kInputRelation, {Term::Var(0)}}});
+  sws.SetTransition(q0, {core::TransitionTarget{q1, core::RelQuery::Cq(pass)}});
+  ConjunctiveQuery copy_up(
+      {Term::Var(0), Term::Var(1), Term::Var(2)},
+      {Atom{core::ActRelation(1), {Term::Var(0), Term::Var(1), Term::Var(2)}}});
+  sws.SetSynthesis(q0, core::RelQuery::Cq(copy_up));
+  sws.SetTransition(q1, {});
+  ConjunctiveQuery log_msg(
+      {Term::Str("ins"), Term::Str("Log"), Term::Var(0)},
+      {Atom{core::kMsgRelation, {Term::Var(0)}}});
+  sws.SetSynthesis(q1, core::RelQuery::Cq(log_msg));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+rel::Database LoggerDb() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  return rel::Database(schema);
+}
+
+Relation Msg(int64_t v) {
+  Relation m(1);
+  m.Insert({Value::Int(v)});
+  return m;
+}
+
+Relation Delim() { return SessionRunner::DelimiterMessage(1); }
+
+// Collects outcomes thread-safely and lets tests wait for a count.
+class OutcomeCollector {
+ public:
+  OutcomeCallback Callback() {
+    return [this](Outcome o) {
+      std::lock_guard<std::mutex> lock(mu_);
+      outcomes_.push_back(std::move(o));
+      cv_.notify_all();
+    };
+  }
+  std::vector<Outcome> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outcomes_;
+  }
+  void WaitFor(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return outcomes_.size() >= n; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Outcome> outcomes_;
+};
+
+// A gate for before_process_hook: blocks entrants until Open(); counts
+// arrivals so tests can wait for k threads to be inside simultaneously.
+class Gate {
+ public:
+  void Block(const std::string&) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++arrived_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return open_; });
+  }
+  void WaitForArrivals(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return arrived_ >= n; });
+  }
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t arrived_ = 0;
+  bool open_ = false;
+};
+
+// Two session ids guaranteed to live on distinct shards.
+std::pair<std::string, std::string> TwoDistinctShardIds(
+    const ServiceRuntime& runtime) {
+  std::string a = "client-0";
+  for (int i = 1; i < 1000; ++i) {
+    std::string b = "client-" + std::to_string(i);
+    if (runtime.ShardOf(b) != runtime.ShardOf(a)) return {a, b};
+  }
+  SWS_CHECK(false) << "no second shard found";
+  return {};
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4, 16);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(pool.Submit([&sum, i] { sum += i; }));
+  }
+  pool.Stop();
+  EXPECT_EQ(sum.load(), 55);
+  EXPECT_FALSE(pool.Submit([] {}));  // stopped pools reject
+}
+
+TEST(ThreadPoolTest, TrySubmitBouncesWhenFull) {
+  ThreadPool pool(1, 1);
+  Gate gate;
+  ASSERT_TRUE(pool.Submit([&gate] { gate.Block(""); }));
+  gate.WaitForArrivals(1);                       // worker is busy
+  ASSERT_TRUE(pool.TrySubmit([] {}));            // fills the queue
+  bool bounced = false;
+  for (int i = 0; i < 100 && !bounced; ++i) {
+    bounced = !pool.TrySubmit([] {});
+  }
+  EXPECT_TRUE(bounced);
+  gate.Open();
+  pool.Stop();
+}
+
+TEST(RuntimeTest, OrderingPerSession) {
+  Sws sws = MakeTwoLevelLogger();
+  RuntimeOptions options;
+  options.num_workers = 4;
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+  OutcomeCollector collector;
+
+  // Three sessions on one stream: each commits its first message.
+  for (int64_t s = 0; s < 3; ++s) {
+    runtime.Submit("alice", Msg(10 + s), collector.Callback());
+    runtime.Submit("alice", Msg(100 + s), collector.Callback());
+    runtime.Submit("alice", Delim(), collector.Callback());
+  }
+  runtime.Drain();
+
+  std::vector<Outcome> outcomes = collector.Take();
+  ASSERT_EQ(outcomes.size(), 3u);  // only delimiters produce callbacks
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(outcomes[i].status, OutcomeStatus::kSessionClosed);
+    ASSERT_TRUE(outcomes[i].session.has_value());
+    EXPECT_EQ(outcomes[i].session->session_length, 2u);
+    EXPECT_EQ(outcomes[i].session->commit.inserted, 1u);
+    // FIFO per session: the i-th outcome is the i-th submitted session,
+    // whose first message (the one the depth-2 logger commits) was 10+i.
+    EXPECT_TRUE(outcomes[i].session->output.Contains(
+        {Value::Str("ins"), Value::Str("Log"), Value::Int(10 + i)}))
+        << outcomes[i].session->output.ToString();
+  }
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.submitted, 9u);
+  EXPECT_EQ(stats.completed, 9u);
+  EXPECT_EQ(stats.sessions_closed, 3u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(RuntimeTest, ParallelismAcrossSessions) {
+  // Two sessions on distinct shards must be *in flight simultaneously*:
+  // both block inside the pre-process hook, which can only happen if two
+  // workers are draining two shards in parallel.
+  Sws sws = MakeTwoLevelLogger();
+  Gate gate;
+  RuntimeOptions options;
+  options.num_workers = 2;
+  options.before_process_hook = [&gate](const std::string& id) {
+    gate.Block(id);
+  };
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+  auto [a, b] = TwoDistinctShardIds(runtime);
+
+  runtime.Submit(a, Msg(1));
+  runtime.Submit(b, Msg(2));
+  gate.WaitForArrivals(2);  // both sessions entered processing concurrently
+  gate.Open();
+  runtime.Submit(a, Delim());
+  runtime.Submit(b, Delim());
+  runtime.Drain();
+
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.sessions_closed, 2u);
+}
+
+TEST(RuntimeTest, SessionsAccumulateIndependently) {
+  // 64 sessions, two committed sessions each; the per-session database
+  // copies mean every second commit sees exactly one prior Log row.
+  Sws sws = MakeTwoLevelLogger();
+  RuntimeOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 4096;
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+  OutcomeCollector collector;
+
+  const int kSessions = 64;
+  for (int c = 0; c < kSessions; ++c) {
+    std::string id = "client-" + std::to_string(c);
+    runtime.Submit(id, Msg(c), collector.Callback());
+    runtime.Submit(id, Delim(), collector.Callback());
+    runtime.Submit(id, Msg(1000 + c), collector.Callback());
+    runtime.Submit(id, Delim(), collector.Callback());
+  }
+  runtime.Drain();
+
+  std::vector<Outcome> outcomes = collector.Take();
+  ASSERT_EQ(outcomes.size(), 2u * kSessions);
+  std::map<std::string, size_t> per_session_commits;
+  for (const Outcome& o : outcomes) {
+    ASSERT_EQ(o.status, OutcomeStatus::kSessionClosed);
+    EXPECT_EQ(o.session->commit.inserted, 1u);  // distinct values: all land
+    ++per_session_commits[o.session_id];
+  }
+  EXPECT_EQ(per_session_commits.size(), static_cast<size_t>(kSessions));
+  for (const auto& [id, n] : per_session_commits) EXPECT_EQ(n, 2u) << id;
+}
+
+TEST(RuntimeTest, BackpressureRejects) {
+  Sws sws = MakeTwoLevelLogger();
+  Gate gate;
+  RuntimeOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  options.on_full = RuntimeOptions::OnFull::kReject;
+  options.before_process_hook = [&gate](const std::string& id) {
+    gate.Block(id);
+  };
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+
+  ASSERT_TRUE(runtime.Submit("alice", Msg(1)));
+  gate.WaitForArrivals(1);  // worker parked; capacity now covers 1 more
+  ASSERT_TRUE(runtime.Submit("alice", Msg(2)));
+  EXPECT_FALSE(runtime.Submit("alice", Msg(3)));  // over capacity: shed
+  EXPECT_FALSE(runtime.Submit("bob", Msg(4)));    // other sessions too
+  gate.Open();
+  runtime.Drain();
+
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(RuntimeTest, BackpressureBlocksUntilCapacityFrees) {
+  Sws sws = MakeTwoLevelLogger();
+  Gate gate;
+  RuntimeOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.on_full = RuntimeOptions::OnFull::kBlock;
+  options.before_process_hook = [&gate](const std::string& id) {
+    gate.Block(id);
+  };
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+
+  ASSERT_TRUE(runtime.Submit("alice", Msg(1)));
+  gate.WaitForArrivals(1);  // capacity exhausted, worker parked
+
+  std::atomic<bool> second_admitted{false};
+  std::thread submitter([&] {
+    EXPECT_TRUE(runtime.Submit("alice", Msg(2)));  // blocks until released
+    second_admitted = true;
+  });
+  // The submitter cannot have been admitted while the first message still
+  // occupies the queue slot (the worker is parked in the hook).
+  EXPECT_FALSE(second_admitted.load());
+  gate.Open();
+  submitter.join();
+  EXPECT_TRUE(second_admitted.load());
+  runtime.Drain();
+  EXPECT_EQ(runtime.Stats().rejected, 0u);
+  EXPECT_EQ(runtime.Stats().completed, 2u);
+}
+
+TEST(RuntimeTest, DeadlineExpiryDropsQueuedMessages) {
+  Sws sws = MakeTwoLevelLogger();
+  Gate gate;
+  std::atomic<int> hook_calls{0};
+  RuntimeOptions options;
+  options.num_workers = 1;
+  options.before_process_hook = [&](const std::string& id) {
+    if (hook_calls.fetch_add(1) == 0) gate.Block(id);  // park 1st msg only
+  };
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+  OutcomeCollector collector;
+
+  ASSERT_TRUE(runtime.Submit("alice", Msg(1)));
+  gate.WaitForArrivals(1);  // worker parked *inside* processing of msg 1
+  // Submitted with a 1ms deadline while the only worker is parked: by the
+  // time the worker reaches it, the deadline has passed.
+  ASSERT_TRUE(runtime.Submit("alice", Delim(), std::chrono::milliseconds(1),
+                             collector.Callback()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+  runtime.Drain();
+
+  collector.WaitFor(1);
+  std::vector<Outcome> outcomes = collector.Take();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, OutcomeStatus::kDeadlineExceeded);
+  EXPECT_FALSE(outcomes[0].session.has_value());
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.sessions_closed, 0u);  // the delimiter never ran
+  EXPECT_EQ(stats.completed, 2u);        // but both messages were consumed
+}
+
+TEST(RuntimeTest, NodeBudgetSurfacesAsPerRequestError) {
+  // A recursive service with a tiny node budget: the session run aborts,
+  // the client sees kBudgetExceeded, and the runtime keeps serving.
+  models::TravelService recursive = models::MakeTravelServiceRecursive();
+  RuntimeOptions options;
+  options.num_workers = 2;
+  options.run_options.max_nodes = 3;
+  ServiceRuntime runtime(&recursive.sws, models::MakeTravelDatabase(),
+                         options);
+  OutcomeCollector collector;
+
+  for (int i = 0; i < 4; ++i) {
+    runtime.Submit("alice", models::MakeTravelRequest("orlando", 1000),
+                   collector.Callback());
+  }
+  runtime.Submit("alice", SessionRunner::DelimiterMessage(3),
+                 collector.Callback());
+  runtime.Drain();
+
+  std::vector<Outcome> outcomes = collector.Take();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, OutcomeStatus::kBudgetExceeded);
+  EXPECT_FALSE(outcomes[0].session.has_value());
+  EXPECT_EQ(runtime.Stats().budget_exceeded, 1u);
+
+  // The stream continues: an empty session on the same id still works.
+  runtime.Submit("alice", SessionRunner::DelimiterMessage(3),
+                 collector.Callback());
+  runtime.Drain();
+  outcomes = collector.Take();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[1].status, OutcomeStatus::kSessionClosed);
+}
+
+TEST(RuntimeTest, CleanShutdownCompletesAdmittedWork) {
+  Sws sws = MakeTwoLevelLogger();
+  RuntimeOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 4096;
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+
+  const int kSessions = 32;
+  uint64_t admitted = 0;
+  for (int c = 0; c < kSessions; ++c) {
+    std::string id = "client-" + std::to_string(c);
+    if (runtime.Submit(id, Msg(c))) ++admitted;
+    if (runtime.Submit(id, Delim())) ++admitted;
+  }
+  runtime.Shutdown();
+
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.submitted, admitted);
+  EXPECT_EQ(stats.completed, admitted);  // graceful: nothing dropped
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_FALSE(runtime.Submit("late", Msg(1)));  // post-shutdown rejects
+  runtime.Shutdown();                            // idempotent
+}
+
+TEST(RuntimeTest, StatsSnapshotFormats) {
+  Sws sws = MakeTwoLevelLogger();
+  ServiceRuntime runtime(&sws, LoggerDb());
+  runtime.Submit("alice", Msg(1));
+  runtime.Submit("alice", Delim());
+  runtime.Drain();
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.total_runs(), 1u);
+  EXPECT_GT(stats.ApproxLatencyMicros(0.5), 0u);
+  EXPECT_NE(stats.ToString().find("sessions_closed=1"), std::string::npos);
+  EXPECT_NE(stats.ToJson().find("\"sessions_closed\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sws::rt

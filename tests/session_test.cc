@@ -119,6 +119,59 @@ TEST(SessionTest, TwoLevelLoggerAccumulatesAcrossSessions) {
   EXPECT_TRUE(runner.db().Get("Log").Contains({Value::Int(2)}));
 }
 
+TEST(SessionTest, DelimiterAsVeryFirstMessage) {
+  Sws sws = MakeTwoLevelLogger();
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  SessionRunner runner(&sws, rel::Database(schema));
+
+  auto outcome = runner.Feed(SessionRunner::DelimiterMessage(1));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok);
+  EXPECT_EQ(outcome->session_length, 0u);
+  EXPECT_TRUE(outcome->output.empty());
+  EXPECT_EQ(outcome->commit.inserted, 0u);
+  EXPECT_EQ(runner.buffered(), 0u);
+}
+
+TEST(SessionTest, EmptySessionsBackToBack) {
+  Sws sws = MakeTwoLevelLogger();
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  SessionRunner runner(&sws, rel::Database(schema));
+
+  auto outcomes = runner.FeedStream(
+      {SessionRunner::DelimiterMessage(1), SessionRunner::DelimiterMessage(1),
+       SessionRunner::DelimiterMessage(1)});
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.session_length, 0u);
+    EXPECT_EQ(outcome.commit.inserted, 0u);
+  }
+  EXPECT_EQ(runner.buffered(), 0u);
+  EXPECT_TRUE(runner.db().Get("Log").empty());
+}
+
+TEST(SessionTest, BufferedTracksEveryOutcome) {
+  Sws sws = MakeTwoLevelLogger();
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  SessionRunner runner(&sws, rel::Database(schema));
+
+  EXPECT_EQ(runner.buffered(), 0u);
+  runner.Feed(Msg(1));
+  EXPECT_EQ(runner.buffered(), 1u);
+  runner.Feed(Msg(2));
+  EXPECT_EQ(runner.buffered(), 2u);
+  ASSERT_TRUE(runner.Feed(SessionRunner::DelimiterMessage(1)).has_value());
+  EXPECT_EQ(runner.buffered(), 0u);  // the buffer resets at each delimiter
+  runner.Feed(Msg(3));
+  EXPECT_EQ(runner.buffered(), 1u);
+  ASSERT_TRUE(runner.Feed(SessionRunner::DelimiterMessage(1)).has_value());
+  EXPECT_EQ(runner.buffered(), 0u);
+}
+
 TEST(SessionTest, DatabaseFixedWithinSession) {
   // Within one session the database the service sees is the pre-session
   // one: a session containing two messages logs both against the same DB
@@ -135,6 +188,45 @@ TEST(SessionTest, DatabaseFixedWithinSession) {
   EXPECT_EQ(outcome->session_length, 2u);
   // Only I_1 reaches the child register in this service (depth 2).
   EXPECT_EQ(runner.db().Get("Log").size(), 1u);
+}
+
+TEST(SessionTest, NodeBudgetTripReportsNotOkAndCommitsNothing) {
+  // A self-recursive echo service: q0 → (q1, pass); q1 → (q1, pass), so
+  // any nonempty session exceeds a tiny node budget.
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  Sws sws(schema, 1, 3);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  ConjunctiveQuery pass({Term::Var(0)}, {Atom{kInputRelation, {Term::Var(0)}}});
+  ConjunctiveQuery copy_up(
+      {Term::Var(0), Term::Var(1), Term::Var(2)},
+      {Atom{ActRelation(1), {Term::Var(0), Term::Var(1), Term::Var(2)}}});
+  sws.SetTransition(q0, {TransitionTarget{q1, RelQuery::Cq(pass)}});
+  sws.SetSynthesis(q0, RelQuery::Cq(copy_up));
+  sws.SetTransition(q1, {TransitionTarget{q1, RelQuery::Cq(pass)}});
+  sws.SetSynthesis(q1, RelQuery::Cq(copy_up));
+  ASSERT_TRUE(sws.IsRecursive());
+
+  SessionRunner runner(&sws, rel::Database(schema));
+  RunOptions tight;
+  tight.max_nodes = 2;
+  runner.Feed(Msg(1), tight);
+  runner.Feed(Msg(2), tight);
+  runner.Feed(Msg(3), tight);
+  auto outcome = runner.Feed(SessionRunner::DelimiterMessage(1), tight);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_TRUE(outcome->output.empty());
+  EXPECT_EQ(outcome->commit.inserted, 0u);
+  EXPECT_EQ(outcome->commit.deleted, 0u);
+  EXPECT_TRUE(runner.db().Get("Log").empty());  // nothing was committed
+  EXPECT_EQ(runner.buffered(), 0u);  // the failed session is discarded
+
+  // The stream continues: a later in-budget session still succeeds.
+  auto next = runner.Feed(SessionRunner::DelimiterMessage(1), tight);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_TRUE(next->ok);
 }
 
 }  // namespace

@@ -253,6 +253,10 @@ TEST(RunOptionsTest, NodeBudgetAborts) {
   options.max_nodes = 3;
   RunResult result = sws::core::Run(service.sws, MakeTravelDatabase(), input, options);
   EXPECT_FALSE(result.ok);
+  // An aborted run yields no output (not a partial one): callers like the
+  // session layer and the concurrent runtime rely on ok=false ⇒ empty.
+  EXPECT_TRUE(result.output.empty());
+  EXPECT_EQ(result.output.arity(), service.sws.rout_arity());
 }
 
 }  // namespace
