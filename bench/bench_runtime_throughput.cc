@@ -105,11 +105,12 @@ Workload MakePeerWorkload(const PeerFixture& fixture) {
   return w;
 }
 
-void RunWorkload(benchmark::State& state, const Workload& workload) {
+void RunWorkload(benchmark::State& state, const Workload& workload,
+                 const RuntimeOptions& base = {}) {
   const size_t workers = static_cast<size_t>(state.range(0));
   uint64_t messages = 0;
   for (auto _ : state) {
-    RuntimeOptions options;
+    RuntimeOptions options = base;
     options.num_workers = workers;
     options.queue_capacity = 1u << 16;
     ServiceRuntime runtime(workload.sws, workload.db, options);
@@ -142,6 +143,29 @@ void BM_RuntimePeerStore(benchmark::State& state) {
   RunWorkload(state, *workload);
 }
 
+// Hot-path cost of the fault-tolerance machinery when nothing fires:
+// the same travel workload with a zero-rate fault injector attached,
+// retry and the per-session circuit breaker enabled. Comparing against
+// BM_RuntimeTravel (null injector, no retry, no breaker — the all-
+// disabled default) measures the overhead of the fault path itself;
+// it should be noise (a null check, a counter bump and an integer
+// compare per run). Recorded in BENCH_runtime_faults.json.
+void BM_RuntimeTravelFaultsQuiescent(benchmark::State& state) {
+  static const auto* service =
+      new sws::models::TravelService(sws::models::MakeTravelService());
+  static const auto* workload = new Workload(MakeTravelWorkload(*service));
+  // Zero rates: every draw says "healthy", so no failure, delay or stall
+  // is ever injected — but every run pays the injector consultation.
+  static auto* injector =
+      new sws::core::FaultInjector(sws::core::FaultOptions{});
+  RuntimeOptions base;
+  base.run_options.fault_injector = injector;
+  base.run_options.retry.max_attempts = 3;
+  base.circuit_breaker.failure_threshold = 5;
+  base.circuit_breaker.open_duration = std::chrono::milliseconds(1);
+  RunWorkload(state, *workload, base);
+}
+
 void ThreadCounts(benchmark::internal::Benchmark* bench) {
   bench->Arg(1)->Arg(2)->Arg(4);
   const unsigned hw = std::thread::hardware_concurrency();
@@ -151,6 +175,7 @@ void ThreadCounts(benchmark::internal::Benchmark* bench) {
 
 BENCHMARK(BM_RuntimeTravel)->Apply(ThreadCounts);
 BENCHMARK(BM_RuntimePeerStore)->Apply(ThreadCounts);
+BENCHMARK(BM_RuntimeTravelFaultsQuiescent)->Apply(ThreadCounts);
 
 }  // namespace
 

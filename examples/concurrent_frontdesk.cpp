@@ -2,8 +2,11 @@
 // conversations with one shared service definition at once. A load
 // driver for src/runtime — client threads submit sessions against the
 // sharded runtime, exercising parallel session execution, backpressure
-// (a deliberately tight admission queue sheds load), per-request
-// deadlines and the stats surface.
+// (a deliberately tight admission queue sheds load), priority classes,
+// per-request deadlines and the stats surface. Act II re-opens the desk
+// under a fault drill: a seeded injector randomly fails runs, requests
+// retry with backoff, and the circuit breaker fast-fails sessions whose
+// runs keep tripping.
 
 #include <chrono>
 #include <cstdio>
@@ -13,27 +16,17 @@
 
 #include "models/travel.h"
 #include "runtime/runtime.h"
+#include "sws/fault.h"
 #include "sws/session.h"
 
 using namespace sws;
 
-int main() {
-  models::TravelService service = models::MakeTravelService();
-  rel::Database catalog = models::MakeTravelDatabase();
+namespace {
 
-  rt::RuntimeOptions options;
-  options.num_workers = 4;
-  options.num_shards = 16;
-  options.queue_capacity = 256;  // tight on purpose: shows load shedding
-  options.on_full = rt::RuntimeOptions::OnFull::kReject;
-  options.default_deadline = std::chrono::seconds(2);
-  rt::ServiceRuntime runtime(&service.sws, catalog, options);
-
-  std::printf("front desk open: %zu workers, %zu shards, queue=%zu\n",
-              runtime.num_workers(), runtime.num_shards(),
-              options.queue_capacity);
-
-  // 8 client threads × 32 clients each × 4 sessions per conversation.
+// 8 client threads × 32 clients each × 4 sessions per conversation;
+// every fourth conversation is a low-priority batch crawler that the
+// desk sheds first under load.
+void OfferLoad(rt::ServiceRuntime& runtime) {
   constexpr int kThreads = 8;
   constexpr int kClientsPerThread = 32;
   constexpr int kSessionsPerClient = 4;
@@ -44,29 +37,91 @@ int main() {
       for (int c = 0; c < kClientsPerThread; ++c) {
         std::string id =
             "desk-" + std::to_string(t) + "-client-" + std::to_string(c);
+        const bool batch = c % 4 == 0;
         for (int s = 0; s < kSessionsPerClient; ++s) {
           // A conversation session: an Orlando request, a cheaper Paris
           // retry, then the '#' that books and commits.
-          runtime.Submit(id, models::MakeTravelRequest("orlando", 1000));
-          runtime.Submit(id, models::MakeTravelRequest("paris", 800));
-          runtime.Submit(id, core::SessionRunner::DelimiterMessage(3));
+          auto submit = [&](rel::Relation message) {
+            rt::SubmitOptions options;
+            options.priority =
+                batch ? rt::Priority::kLow : rt::Priority::kNormal;
+            runtime.Submit(id, std::move(message), std::move(options));
+          };
+          submit(models::MakeTravelRequest("orlando", 1000));
+          submit(models::MakeTravelRequest("paris", 800));
+          submit(core::SessionRunner::DelimiterMessage(3));
         }
       }
     });
   }
   for (std::thread& p : producers) p.join();
-  rt::StatsSnapshot mid = runtime.Stats();
-  std::printf("producers done:  %s\n", mid.ToString().c_str());
+}
 
-  runtime.Drain();
-  rt::StatsSnapshot done = runtime.Stats();
-  std::printf("drained:         %s\n", done.ToString().c_str());
-  std::printf("shed %.1f%% of offered load under the tight queue\n",
-              100.0 * static_cast<double>(done.rejected) /
-                  static_cast<double>(done.submitted + done.rejected));
+}  // namespace
 
-  runtime.Shutdown();
-  std::printf("front desk closed (graceful: queue_depth=%llu)\n",
-              static_cast<unsigned long long>(runtime.Stats().queue_depth));
+int main() {
+  models::TravelService service = models::MakeTravelService();
+  rel::Database catalog = models::MakeTravelDatabase();
+
+  rt::RuntimeOptions options;
+  options.num_workers = 4;
+  options.num_shards = 16;
+  options.queue_capacity = 256;  // tight on purpose: shows load shedding
+  options.shed.low_occupancy = 0.5;  // batch traffic shed above 50% full
+  options.on_full = rt::RuntimeOptions::OnFull::kReject;
+  options.default_deadline = std::chrono::seconds(2);
+  {
+    rt::ServiceRuntime runtime(&service.sws, catalog, options);
+    std::printf("front desk open: %zu workers, %zu shards, queue=%zu\n",
+                runtime.num_workers(), runtime.num_shards(),
+                options.queue_capacity);
+    OfferLoad(runtime);
+    std::printf("producers done:  %s\n", runtime.Stats().ToString().c_str());
+
+    runtime.Drain();
+    rt::StatsSnapshot done = runtime.Stats();
+    std::printf("drained:         %s\n", done.ToString().c_str());
+    std::printf(
+        "shed %.1f%% of offered load (%llu of them low-priority batch)\n",
+        100.0 * static_cast<double>(done.rejected) /
+            static_cast<double>(done.submitted + done.rejected),
+        static_cast<unsigned long long>(done.shed_low_priority));
+    runtime.Shutdown();
+    std::printf("front desk closed (graceful: queue_depth=%llu)\n\n",
+                static_cast<unsigned long long>(runtime.Stats().queue_depth));
+  }
+
+  // ---- Act II: the same desk under a fault drill. ----
+  core::FaultOptions chaos;
+  chaos.seed = 42;
+  chaos.fail_rate = 0.10;  // 10% of runs fail transiently
+  chaos.delay_rate = 0.02;
+  chaos.delay = std::chrono::microseconds(200);
+  core::FaultInjector injector(chaos);
+
+  options.run_options.fault_injector = &injector;
+  options.run_options.retry.max_attempts = 3;  // retry with backoff...
+  options.circuit_breaker.failure_threshold = 5;  // ...but break streaks
+  options.circuit_breaker.open_duration = std::chrono::milliseconds(50);
+  rt::ServiceRuntime drilled(&service.sws, catalog, options);
+  std::printf("fault drill:     fail_rate=%.0f%%, retry<=%u, breaker@%u\n",
+              100 * chaos.fail_rate, options.run_options.retry.max_attempts,
+              options.circuit_breaker.failure_threshold);
+  OfferLoad(drilled);
+  drilled.Drain();
+  rt::StatsSnapshot after = drilled.Stats();
+  std::printf("drill drained:   %s\n", after.ToString().c_str());
+  std::printf(
+      "injector drew %llu failures over %llu run attempts; %llu requests "
+      "still failed after retries (%llu retries, %llu circuit-open "
+      "fast-fails)\n",
+      static_cast<unsigned long long>(injector.injected_failures()),
+      static_cast<unsigned long long>(injector.run_attempts()),
+      static_cast<unsigned long long>(after.injected_faults),
+      static_cast<unsigned long long>(after.retries),
+      static_cast<unsigned long long>(after.circuit_open));
+  drilled.Shutdown();
+  std::printf("fault drill over (graceful: queue_depth=%llu)\n",
+              static_cast<unsigned long long>(drilled.Stats().queue_depth));
   return 0;
 }

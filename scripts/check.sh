@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the concurrent
-# runtime. Usage: scripts/check.sh [release|tsan|all]   (default: all)
+# Tier-1 verification plus sanitizer passes over the concurrent runtime:
+# a ThreadSanitizer pass (data races — including the chaos harness) and
+# an ASan+UBSan pass (memory errors / undefined behavior).
+# Usage: scripts/check.sh [release|tsan|asan|chaos|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+san_targets=(runtime_test session_test sws_run_test fault_test chaos_test)
 
 run_release() {
   echo "== Release build + full ctest =="
@@ -17,16 +21,32 @@ run_release() {
 run_tsan() {
   echo "== TSan build + concurrency-sensitive tests =="
   cmake --preset tsan
-  cmake --build --preset tsan -j "$jobs" \
-    --target runtime_test session_test sws_run_test
+  cmake --build --preset tsan -j "$jobs" --target "${san_targets[@]}"
   # halt_on_error: a data race fails the suite instead of just logging.
   TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -j 1
+}
+
+run_asan() {
+  echo "== ASan+UBSan build + concurrency-sensitive tests =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" --target "${san_targets[@]}"
+  ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -j 1
+}
+
+run_chaos() {
+  echo "== Chaos harness (randomized faults) under TSan =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" --target chaos_test
+  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan -L chaos \
+    --output-on-failure -j 1
 }
 
 case "$mode" in
   release) run_release ;;
   tsan) run_tsan ;;
-  all) run_release; run_tsan ;;
-  *) echo "usage: $0 [release|tsan|all]" >&2; exit 2 ;;
+  asan) run_asan ;;
+  chaos) run_chaos ;;
+  all) run_release; run_tsan; run_asan ;;
+  *) echo "usage: $0 [release|tsan|asan|chaos|all]" >&2; exit 2 ;;
 esac
 echo "== check.sh ($mode): OK =="

@@ -1,0 +1,30 @@
+#include "runtime/circuit_breaker.h"
+
+namespace sws::rt {
+
+CircuitBreaker::State CircuitBreaker::OnRequest(
+    std::chrono::steady_clock::time_point now) {
+  if (!enabled()) return State::kClosed;
+  if (state_ == State::kOpen && now - opened_at_ >= policy_.open_duration) {
+    state_ = State::kHalfOpen;
+  }
+  return state_;
+}
+
+void CircuitBreaker::OnRunSuccess() {
+  if (!enabled()) return;
+  consecutive_failures_ = 0;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::OnRunFailure(std::chrono::steady_clock::time_point now) {
+  if (!enabled()) return;
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      consecutive_failures_ >= policy_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = now;
+  }
+}
+
+}  // namespace sws::rt

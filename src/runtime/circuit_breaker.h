@@ -1,0 +1,56 @@
+#ifndef SWS_RUNTIME_CIRCUIT_BREAKER_H_
+#define SWS_RUNTIME_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sws::rt {
+
+struct CircuitBreakerPolicy {
+  /// Consecutive failed runs that open the breaker; 0 disables breaking
+  /// (the breaker then always reports kClosed).
+  uint32_t failure_threshold = 0;
+  /// How long an open breaker fast-fails before admitting one half-open
+  /// trial run.
+  std::chrono::microseconds open_duration{1'000};
+};
+
+/// The classic closed → open → half-open state machine, one instance per
+/// session. While closed, runs proceed and consecutive failures are
+/// counted; at `failure_threshold` the breaker opens and the session's
+/// requests fast-fail (kCircuitOpen) without running — protecting the
+/// shard's drain role from a session whose runs keep tripping. After
+/// `open_duration` the next request is a half-open trial: its run's
+/// success closes the breaker, its failure re-opens it immediately.
+///
+/// Not thread-safe by design: a breaker lives next to its SessionRunner
+/// in shard-owned state, touched only by the shard's drain-role holder.
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerPolicy policy) : policy_(policy) {}
+
+  /// Admission check for the next request; transitions kOpen → kHalfOpen
+  /// once the cooldown has elapsed. The caller must fast-fail the
+  /// request iff this returns kOpen.
+  State OnRequest(std::chrono::steady_clock::time_point now);
+
+  /// Reports the result of a (delimiter) run to the state machine.
+  void OnRunSuccess();
+  void OnRunFailure(std::chrono::steady_clock::time_point now);
+
+  State state() const { return state_; }
+  uint32_t consecutive_failures() const { return consecutive_failures_; }
+  bool enabled() const { return policy_.failure_threshold > 0; }
+
+ private:
+  CircuitBreakerPolicy policy_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+};
+
+}  // namespace sws::rt
+
+#endif  // SWS_RUNTIME_CIRCUIT_BREAKER_H_

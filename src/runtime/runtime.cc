@@ -1,5 +1,6 @@
 #include "runtime/runtime.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
 
@@ -17,6 +18,56 @@ size_t ResolveWorkers(size_t requested) {
 
 }  // namespace
 
+core::Status ValidateRuntimeOptions(const RuntimeOptions& options) {
+  using core::RunError;
+  using core::Status;
+  auto invalid = [](std::string message) {
+    return Status::Error(RunError::kQueueRejected, std::move(message));
+  };
+  if (options.queue_capacity == 0) {
+    return invalid("queue_capacity must be >= 1 (0 admits nothing)");
+  }
+  if (options.shed.low_occupancy <= 0.0 || options.shed.low_occupancy > 1.0 ||
+      options.shed.normal_occupancy <= 0.0 ||
+      options.shed.normal_occupancy > 1.0) {
+    return invalid("shed occupancy fractions must be in (0, 1]");
+  }
+  if (options.shed.low_occupancy > options.shed.normal_occupancy) {
+    return invalid(
+        "shed.low_occupancy must not exceed shed.normal_occupancy "
+        "(low priority is shed first)");
+  }
+  if (options.default_deadline.count() < 0) {
+    return invalid("default_deadline must be >= 0 (0 = none)");
+  }
+  if (options.circuit_breaker.failure_threshold > 0 &&
+      options.circuit_breaker.open_duration.count() <= 0) {
+    return invalid(
+        "circuit_breaker.open_duration must be > 0 when breaking is "
+        "enabled");
+  }
+  if (options.run_options.max_nodes == 0) {
+    return invalid("run_options.max_nodes must be >= 1 (0 aborts every run)");
+  }
+  const core::RetryPolicy& retry = options.run_options.retry;
+  if (retry.max_attempts == 0) {
+    return invalid("retry.max_attempts must be >= 1 (1 = no retry)");
+  }
+  if (retry.initial_backoff.count() < 0 ||
+      retry.max_backoff < retry.initial_backoff) {
+    return invalid(
+        "retry backoffs must satisfy 0 <= initial_backoff <= max_backoff");
+  }
+  if (const core::FaultInjector* fi = options.run_options.fault_injector) {
+    const core::FaultOptions& fo = fi->options();
+    if (fo.fail_rate < 0 || fo.fail_rate > 1 || fo.delay_rate < 0 ||
+        fo.delay_rate > 1 || fo.stall_rate < 0 || fo.stall_rate > 1) {
+      return invalid("fault injector rates must be in [0, 1]");
+    }
+  }
+  return Status::Ok();
+}
+
 ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
                                RuntimeOptions options)
     : initial_db_(std::move(initial_db)),
@@ -25,7 +76,8 @@ ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
                  ? options_.num_shards
                  : 4 * ResolveWorkers(options_.num_workers)) {
   SWS_CHECK(sws != nullptr);
-  SWS_CHECK_GE(options_.queue_capacity, 1u);
+  core::Status valid = ValidateRuntimeOptions(options_);
+  SWS_CHECK(valid.ok()) << "invalid RuntimeOptions — " << valid.message();
   const size_t workers = ResolveWorkers(options_.num_workers);
   const size_t shards =
       options_.num_shards != 0 ? options_.num_shards : 4 * workers;
@@ -33,6 +85,7 @@ ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
   shard_config_.sws = sws;
   shard_config_.initial_db = &initial_db_;
   shard_config_.run_options = options_.run_options;
+  shard_config_.circuit_breaker = options_.circuit_breaker;
   shard_config_.before_process_hook = options_.before_process_hook;
 
   shards_.reserve(shards);
@@ -47,39 +100,99 @@ ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
 
 ServiceRuntime::~ServiceRuntime() { Shutdown(); }
 
-bool ServiceRuntime::Submit(std::string session_id, rel::Relation message,
-                            OutcomeCallback callback) {
+core::Status ServiceRuntime::Submit(std::string session_id,
+                                    rel::Relation message,
+                                    OutcomeCallback callback) {
+  SubmitOptions options;
+  options.callback = std::move(callback);
+  return Submit(std::move(session_id), std::move(message),
+                std::move(options));
+}
+
+core::Status ServiceRuntime::Submit(std::string session_id,
+                                    rel::Relation message,
+                                    std::chrono::nanoseconds deadline,
+                                    OutcomeCallback callback) {
+  SubmitOptions options;
+  options.deadline = deadline;
+  options.callback = std::move(callback);
+  return Submit(std::move(session_id), std::move(message),
+                std::move(options));
+}
+
+core::Status ServiceRuntime::Submit(std::string session_id,
+                                    rel::Relation message,
+                                    SubmitOptions options) {
   auto deadline = std::chrono::steady_clock::time_point::max();
-  if (options_.default_deadline.count() > 0) {
-    deadline = std::chrono::steady_clock::now() + options_.default_deadline;
+  if (options.absolute_deadline.has_value()) {
+    deadline = *options.absolute_deadline;
+  } else {
+    std::chrono::nanoseconds relative = options.deadline.count() > 0
+                                            ? options.deadline
+                                            : options_.default_deadline;
+    if (relative.count() > 0) {
+      deadline = std::chrono::steady_clock::now() + relative;
+    }
   }
-  return SubmitInternal(std::move(session_id), std::move(message), deadline,
-                        std::move(callback));
+  return SubmitInternal(std::move(session_id), std::move(message),
+                        options.priority, deadline,
+                        std::move(options.callback));
 }
 
-bool ServiceRuntime::Submit(std::string session_id, rel::Relation message,
-                            std::chrono::nanoseconds deadline,
-                            OutcomeCallback callback) {
-  auto abs = std::chrono::steady_clock::time_point::max();
-  if (deadline.count() > 0) abs = std::chrono::steady_clock::now() + deadline;
-  return SubmitInternal(std::move(session_id), std::move(message), abs,
-                        std::move(callback));
+size_t ServiceRuntime::LimitFor(Priority priority) const {
+  const size_t cap = options_.queue_capacity;
+  double fraction = 1.0;
+  switch (priority) {
+    case Priority::kHigh:
+      return cap;
+    case Priority::kNormal:
+      fraction = options_.shed.normal_occupancy;
+      break;
+    case Priority::kLow:
+      fraction = options_.shed.low_occupancy;
+      break;
+  }
+  return std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(cap)));
 }
 
-bool ServiceRuntime::SubmitInternal(
-    std::string session_id, rel::Relation message,
+core::Status ServiceRuntime::SubmitInternal(
+    std::string session_id, rel::Relation message, Priority priority,
     std::chrono::steady_clock::time_point deadline, OutcomeCallback callback) {
+  using core::RunError;
+  using core::Status;
+  // Dead on arrival: fast-fail without admitting or running anything.
+  if (deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() > deadline) {
+    stats_.OnExpiredAtEnqueue();
+    return Status::Error(RunError::kDeadlineExceeded,
+                         "deadline already expired at enqueue");
+  }
+  const size_t limit = LimitFor(priority);
   {
     std::unique_lock<std::mutex> lock(admission_mu_);
-    if (options_.on_full == RuntimeOptions::OnFull::kBlock) {
-      admission_cv_.wait(lock, [&] {
-        return pending_ < options_.queue_capacity || stopped_;
-      });
+    // Low priority never blocks: under overload it is shed immediately so
+    // that degraded service fails cheap work fast instead of stalling it
+    // behind the very backlog that caused the degradation.
+    if (options_.on_full == RuntimeOptions::OnFull::kBlock &&
+        priority != Priority::kLow) {
+      admission_cv_.wait(lock, [&] { return pending_ < limit || stopped_; });
     }
-    if (stopped_ || pending_ >= options_.queue_capacity) {
+    if (stopped_) {
       lock.unlock();
       stats_.OnRejected();
-      return false;
+      return Status::Error(RunError::kShutdown, "runtime is shut down");
+    }
+    if (pending_ >= limit) {
+      const bool shed_before_full = pending_ < options_.queue_capacity;
+      lock.unlock();
+      stats_.OnRejected();
+      if (priority == Priority::kLow && shed_before_full) {
+        stats_.OnShedLowPriority();
+      }
+      return Status::Error(RunError::kQueueRejected,
+                           shed_before_full ? "shed by priority policy"
+                                            : "admission queue full");
     }
     ++pending_;
   }
@@ -87,7 +200,7 @@ bool ServiceRuntime::SubmitInternal(
 
   SessionShard& shard = *shards_[ShardOf(session_id)];
   const bool needs_scheduling = shard.Enqueue(Envelope{
-      std::move(session_id), std::move(message), deadline,
+      std::move(session_id), std::move(message), deadline, priority,
       std::move(callback)});
   if (needs_scheduling) {
     // Cannot fail: pool capacity == num_shards ≥ shards needing a drain
@@ -96,7 +209,7 @@ bool ServiceRuntime::SubmitInternal(
       shard.Drain(&stats_, [this] { OnEnvelopeDone(); });
     }));
   }
-  return true;
+  return Status::Ok();
 }
 
 void ServiceRuntime::OnEnvelopeDone() {
@@ -120,6 +233,9 @@ void ServiceRuntime::Shutdown() {
   }
   admission_cv_.notify_all();  // release submitters blocked on capacity
   Drain();
+  // Safe under concurrent Shutdown: Close() is idempotent and Stop()
+  // serializes the joins internally, so every caller returns only after
+  // the workers are joined.
   pool_->Stop();
 }
 

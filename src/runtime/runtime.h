@@ -6,14 +6,17 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "relational/database.h"
+#include "runtime/circuit_breaker.h"
 #include "runtime/runtime_stats.h"
 #include "runtime/session_shard.h"
 #include "runtime/thread_pool.h"
 #include "sws/execution.h"
+#include "sws/status.h"
 #include "sws/sws.h"
 
 namespace sws::rt {
@@ -25,23 +28,64 @@ struct RuntimeOptions {
   /// parallelism across sessions; sessions on one shard serialize.
   size_t num_shards = 0;
   /// Bound on admitted-but-unprocessed messages across all shards — the
-  /// backpressure knob.
+  /// backpressure knob. Must be ≥ 1 (see ValidateRuntimeOptions).
   size_t queue_capacity = 1024;
-  /// What Submit does when the bound is hit.
+  /// What Submit does when a priority class's admission limit is hit.
   enum class OnFull {
-    kReject,  // Submit returns false immediately (load shedding)
-    kBlock,   // Submit waits for capacity (producer throttling)
+    kReject,  // Submit fails immediately (load shedding)
+    kBlock,   // Submit waits for capacity (producer throttling); low
+              // priority never blocks — it is shed instead, so degraded
+              // service fails cheap work fast rather than stalling it
   };
   OnFull on_full = OnFull::kReject;
+  /// Graceful degradation under overload: the fraction of queue_capacity
+  /// each priority class may fill before its submissions are shed. High
+  /// priority may always use the full queue, so as load rises the
+  /// runtime sheds low- then (when normal_occupancy < 1) normal-priority
+  /// work while high-priority work is still admitted. Each limit
+  /// resolves to at least 1 slot. The default keeps normal priority at
+  /// full capacity, so plain Submit behaves exactly as without shedding.
+  struct ShedPolicy {
+    double low_occupancy = 0.5;     // Priority::kLow admitted below this
+    double normal_occupancy = 1.0;  // Priority::kNormal admitted below this
+  };
+  ShedPolicy shed;
   /// Deadline applied to every message from the moment it is admitted;
   /// zero means none. A message still queued past its deadline is dropped
   /// (callback gets kDeadlineExceeded) without running the service.
   std::chrono::nanoseconds default_deadline{0};
-  /// Per-run execution limits (notably max_nodes, the node budget); a
-  /// budget trip surfaces as OutcomeStatus::kBudgetExceeded.
+  /// Per-session circuit breaking: after `failure_threshold` consecutive
+  /// failed runs a session fast-fails (kCircuitOpen) for `open_duration`,
+  /// then gets a half-open trial. Threshold 0 disables.
+  CircuitBreakerPolicy circuit_breaker;
+  /// Per-run execution limits and fault-tolerance knobs: max_nodes (the
+  /// node budget; a trip surfaces as kBudgetExceeded), fault_injector
+  /// (null = disabled), and retry (transient-failure retry with capped
+  /// backoff + decorrelated jitter, deadline-aware).
   core::RunOptions run_options;
   /// Test/bench instrumentation; see SessionShard::Config.
   std::function<void(const std::string& session_id)> before_process_hook;
+};
+
+/// Checks a RuntimeOptions for nonsense (zero queue bound, shed
+/// fractions outside (0, 1], inverted shed ordering, zero retry
+/// attempts, inverted backoff bounds, a zero node budget, an enabled
+/// breaker with a non-positive open window, fault rates outside [0, 1]).
+/// num_workers == 0 and num_shards == 0 are *valid* — they mean "auto"
+/// and resolve to at least 1. The ServiceRuntime constructor enforces
+/// this with a clear diagnostic instead of undefined behavior.
+core::Status ValidateRuntimeOptions(const RuntimeOptions& options);
+
+/// Per-request submission knobs (the long-form Submit overload).
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Relative deadline; zero falls back to RuntimeOptions::default_deadline.
+  std::chrono::nanoseconds deadline{0};
+  /// Absolute deadline; overrides `deadline` when set. A deadline already
+  /// expired at enqueue time fast-fails the submission (kDeadlineExceeded
+  /// returned, nothing admitted, no callback) without running anything.
+  std::optional<std::chrono::steady_clock::time_point> absolute_deadline;
+  OutcomeCallback callback;
 };
 
 /// The concurrent multi-session runtime: clients Submit() messages tagged
@@ -72,25 +116,36 @@ class ServiceRuntime {
   ServiceRuntime(const ServiceRuntime&) = delete;
   ServiceRuntime& operator=(const ServiceRuntime&) = delete;
 
-  /// Submits one message for `session_id`. Returns false iff the message
-  /// was not admitted (backpressure under OnFull::kReject, or the runtime
-  /// is shut down). `callback`, if given, fires on the worker when the
-  /// message closes a session, misses its deadline, or trips the node
-  /// budget; buffered non-delimiter messages produce no callback.
-  bool Submit(std::string session_id, rel::Relation message,
-              OutcomeCallback callback = nullptr);
+  /// Submits one message for `session_id`. ok() iff the message was
+  /// admitted; otherwise the code says why: kQueueRejected (backpressure
+  /// or priority shedding), kShutdown, or kDeadlineExceeded (already
+  /// expired at enqueue — fast-failed without running). A non-admitted
+  /// message produces no callback. `callback`, if given, fires on the
+  /// worker when the message closes a session, errors, or misses its
+  /// deadline; buffered non-delimiter messages produce no callback.
+  core::Status Submit(std::string session_id, rel::Relation message,
+                      OutcomeCallback callback = nullptr);
 
   /// As above with a per-request deadline overriding the default.
-  bool Submit(std::string session_id, rel::Relation message,
-              std::chrono::nanoseconds deadline, OutcomeCallback callback);
+  core::Status Submit(std::string session_id, rel::Relation message,
+                      std::chrono::nanoseconds deadline,
+                      OutcomeCallback callback);
+
+  /// The long form: priority class, deadline (relative or absolute) and
+  /// callback in one bag.
+  core::Status Submit(std::string session_id, rel::Relation message,
+                      SubmitOptions options);
 
   /// Blocks until every admitted message has been processed. Concurrent
   /// Submits may keep the runtime busy past the return; typical use is
-  /// quiescing after producers stop.
+  /// quiescing after producers stop. Idempotent and safe to call from
+  /// any number of threads, before or after Shutdown.
   void Drain();
 
-  /// Drains, then stops the workers. Subsequent Submits are rejected.
-  /// Idempotent.
+  /// Drains, then stops the workers. Subsequent Submits are rejected
+  /// with kShutdown. Idempotent and safe to call concurrently: every
+  /// caller returns only once all admitted work is complete and the
+  /// workers are joined.
   void Shutdown();
 
   /// Point-in-time counters; safe to call at any time.
@@ -105,9 +160,12 @@ class ServiceRuntime {
   const core::Sws& sws() const { return *shard_config_.sws; }
 
  private:
-  bool SubmitInternal(std::string session_id, rel::Relation message,
-                      std::chrono::steady_clock::time_point deadline,
-                      OutcomeCallback callback);
+  core::Status SubmitInternal(std::string session_id, rel::Relation message,
+                              Priority priority,
+                              std::chrono::steady_clock::time_point deadline,
+                              OutcomeCallback callback);
+  /// Admission limit (in queue slots) for a priority class.
+  size_t LimitFor(Priority priority) const;
   /// Called by a shard after each processed envelope: releases one unit
   /// of queue capacity and wakes blocked submitters/drainers.
   void OnEnvelopeDone();
@@ -120,7 +178,8 @@ class ServiceRuntime {
   std::unique_ptr<ThreadPool> pool_;
 
   /// Admission state: `pending_` counts admitted-but-unprocessed
-  /// messages, bounded by options_.queue_capacity.
+  /// messages, bounded by options_.queue_capacity (per-priority limits
+  /// below it implement the shedding policy).
   mutable std::mutex admission_mu_;
   std::condition_variable admission_cv_;  // capacity freed / drained
   size_t pending_ = 0;

@@ -54,6 +54,10 @@ std::string StatsSnapshot::ToString() const {
       << " rejected=" << rejected << " sessions_closed=" << sessions_closed
       << " deadline_exceeded=" << deadline_exceeded
       << " budget_exceeded=" << budget_exceeded
+      << " injected_faults=" << injected_faults
+      << " circuit_open=" << circuit_open << " retries=" << retries
+      << " shed_low_priority=" << shed_low_priority
+      << " expired_at_enqueue=" << expired_at_enqueue
       << " queue_depth=" << queue_depth << " runs=" << total_runs()
       << " p50_us<=" << ApproxLatencyMicros(0.5)
       << " p99_us<=" << ApproxLatencyMicros(0.99);
@@ -67,6 +71,10 @@ std::string StatsSnapshot::ToJson() const {
       << ",\"sessions_closed\":" << sessions_closed
       << ",\"deadline_exceeded\":" << deadline_exceeded
       << ",\"budget_exceeded\":" << budget_exceeded
+      << ",\"injected_faults\":" << injected_faults
+      << ",\"circuit_open\":" << circuit_open << ",\"retries\":" << retries
+      << ",\"shed_low_priority\":" << shed_low_priority
+      << ",\"expired_at_enqueue\":" << expired_at_enqueue
       << ",\"queue_depth\":" << queue_depth << ",\"runs\":" << total_runs()
       << ",\"p50_us\":" << ApproxLatencyMicros(0.5)
       << ",\"p99_us\":" << ApproxLatencyMicros(0.99) << "}";
@@ -90,6 +98,13 @@ StatsSnapshot RuntimeStats::Snapshot(uint64_t queue_depth) const {
   snap.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
   snap.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   snap.budget_exceeded = budget_exceeded_.load(std::memory_order_relaxed);
+  snap.injected_faults = injected_faults_.load(std::memory_order_relaxed);
+  snap.circuit_open = circuit_open_.load(std::memory_order_relaxed);
+  snap.retries = retries_.load(std::memory_order_relaxed);
+  snap.shed_low_priority =
+      shed_low_priority_.load(std::memory_order_relaxed);
+  snap.expired_at_enqueue =
+      expired_at_enqueue_.load(std::memory_order_relaxed);
   snap.queue_depth = queue_depth;
   snap.shard_latency.reserve(shard_latency_.size());
   for (const LatencyHistogram& h : shard_latency_) {

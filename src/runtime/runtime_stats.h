@@ -36,6 +36,11 @@ struct StatsSnapshot {
   uint64_t sessions_closed = 0;    // delimiter runs that committed
   uint64_t deadline_exceeded = 0;  // messages dropped past their deadline
   uint64_t budget_exceeded = 0;    // session runs aborted by max_nodes
+  uint64_t injected_faults = 0;    // runs failed by the fault injector
+  uint64_t circuit_open = 0;       // delimiters fast-failed by a breaker
+  uint64_t retries = 0;            // extra run attempts by the retry loop
+  uint64_t shed_low_priority = 0;  // low-priority shed before hard-full
+  uint64_t expired_at_enqueue = 0; // dead on arrival; never admitted
   uint64_t queue_depth = 0;        // admitted but not yet completed
   /// Per-shard session-run latency histograms (delimiter runs only; the
   /// buffering of a non-delimiter message is not a run).
@@ -71,6 +76,21 @@ class RuntimeStats {
   void OnBudgetExceeded() {
     budget_exceeded_.fetch_add(1, std::memory_order_relaxed);
   }
+  void OnInjectedFault() {
+    injected_faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnCircuitOpen() {
+    circuit_open_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnRetries(uint64_t n) {
+    retries_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void OnShedLowPriority() {
+    shed_low_priority_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnExpiredAtEnqueue() {
+    expired_at_enqueue_.fetch_add(1, std::memory_order_relaxed);
+  }
   void RecordRunLatency(size_t shard, uint64_t micros);
 
   /// The queue-depth gauge is owned by the admission layer (it doubles as
@@ -84,6 +104,11 @@ class RuntimeStats {
   std::atomic<uint64_t> sessions_closed_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> budget_exceeded_{0};
+  std::atomic<uint64_t> injected_faults_{0};
+  std::atomic<uint64_t> circuit_open_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> shed_low_priority_{0};
+  std::atomic<uint64_t> expired_at_enqueue_{0};
   std::vector<LatencyHistogram> shard_latency_;
 };
 

@@ -34,6 +34,12 @@ void SessionShard::Drain(RuntimeStats* stats,
       envelope = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Fault injection at the scheduling layer: a stall holds this
+    // shard's drain role (backing up its sessions) without touching any
+    // other shard. Null injector = disabled (a single branch).
+    if (config_->run_options.fault_injector) {
+      config_->run_options.fault_injector->OnDrainStep();
+    }
     Process(std::move(envelope), stats);
     stats->OnCompleted();
     if (on_done) on_done();
@@ -45,8 +51,10 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
   if (now > envelope.deadline) {
     stats->OnDeadlineExceeded();
     if (envelope.callback) {
-      envelope.callback(Outcome{OutcomeStatus::kDeadlineExceeded,
-                                std::move(envelope.session_id), std::nullopt});
+      envelope.callback(
+          Outcome{core::Status::Error(core::RunError::kDeadlineExceeded,
+                                      "expired while queued"),
+                  std::move(envelope.session_id), std::nullopt, 0});
     }
     return;
   }
@@ -54,16 +62,37 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
     config_->before_process_hook(envelope.session_id);
   }
 
-  auto [it, inserted] = runners_.try_emplace(
+  auto [it, inserted] = sessions_.try_emplace(
       envelope.session_id,
-      core::SessionRunner(config_->sws, *config_->initial_db));
+      SessionState{core::SessionRunner(config_->sws, *config_->initial_db),
+                   CircuitBreaker(config_->circuit_breaker)});
   if (inserted) num_sessions_.fetch_add(1, std::memory_order_relaxed);
-  core::SessionRunner& runner = it->second;
+  SessionState& session = it->second;
 
   const bool is_delimiter = core::SessionRunner::IsDelimiter(envelope.message);
+
+  // Fast-fail a session whose runs keep tripping: while the breaker is
+  // open, the session's stream is shed without running — buffered input
+  // is discarded (nothing was committed) and only delimiters report, so
+  // the callback contract stays "one outcome per delimiter".
+  if (session.breaker.OnRequest(now) == CircuitBreaker::State::kOpen) {
+    session.runner.DiscardPending();
+    if (!is_delimiter) return;
+    stats->OnCircuitOpen();
+    if (envelope.callback) {
+      envelope.callback(
+          Outcome{core::Status::Error(core::RunError::kCircuitOpen,
+                                      "session circuit breaker is open"),
+                  std::move(envelope.session_id), std::nullopt, 0});
+    }
+    return;
+  }
+
+  core::RunOptions run_options = config_->run_options;
+  run_options.deadline = envelope.deadline;
   const auto run_start = std::chrono::steady_clock::now();
   std::optional<core::SessionRunner::SessionOutcome> outcome =
-      runner.Feed(std::move(envelope.message), config_->run_options);
+      session.runner.Feed(std::move(envelope.message), run_options);
   if (!is_delimiter) return;  // buffered; nothing ran, nothing to report
 
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -71,19 +100,38 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
   stats->RecordRunLatency(shard_index_,
                           static_cast<uint64_t>(elapsed.count()));
   SWS_CHECK(outcome.has_value());
-  if (!outcome->ok) {
-    stats->OnBudgetExceeded();
+  if (outcome->attempts > 1) stats->OnRetries(outcome->attempts - 1);
+  if (!outcome->status.ok()) {
+    session.breaker.OnRunFailure(std::chrono::steady_clock::now());
+    switch (outcome->status.code()) {
+      case core::RunError::kBudgetExceeded:
+        stats->OnBudgetExceeded();
+        break;
+      case core::RunError::kInjectedFault:
+        stats->OnInjectedFault();
+        break;
+      case core::RunError::kDeadlineExceeded:  // retry loop ran out of time
+        stats->OnDeadlineExceeded();
+        break;
+      default:
+        SWS_CHECK(false) << "unexpected run error: "
+                         << outcome->status.ToString();
+    }
+    const uint32_t attempts = outcome->attempts;
     if (envelope.callback) {
-      envelope.callback(Outcome{OutcomeStatus::kBudgetExceeded,
-                                std::move(envelope.session_id), std::nullopt});
+      envelope.callback(Outcome{outcome->status,
+                                std::move(envelope.session_id), std::nullopt,
+                                attempts});
     }
     return;
   }
+  session.breaker.OnRunSuccess();
   stats->OnSessionClosed();
   if (envelope.callback) {
-    envelope.callback(Outcome{OutcomeStatus::kSessionClosed,
+    const uint32_t attempts = outcome->attempts;
+    envelope.callback(Outcome{core::Status::Ok(),
                               std::move(envelope.session_id),
-                              std::move(outcome)});
+                              std::move(outcome), attempts});
   }
 }
 

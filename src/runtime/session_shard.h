@@ -11,18 +11,20 @@
 #include <unordered_map>
 
 #include "relational/database.h"
+#include "runtime/circuit_breaker.h"
 #include "runtime/runtime_stats.h"
+#include "sws/fault.h"
 #include "sws/session.h"
+#include "sws/status.h"
 #include "sws/sws.h"
 
 namespace sws::rt {
 
-/// Why a submitted message did (or did not) produce a session outcome.
-enum class OutcomeStatus {
-  kSessionClosed,      // a delimiter ran and committed: `session` is set
-  kDeadlineExceeded,   // the message sat in the queue past its deadline
-  kBudgetExceeded,     // the run tripped RunOptions::max_nodes
-};
+/// Priority class of a submitted message. Priorities shape *admission
+/// only* (graceful degradation: low-priority work is shed before
+/// high-priority work blocks or bounces); once admitted, every message
+/// obeys the same per-session FIFO order.
+enum class Priority : uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
 
 /// Delivered to the submitter's callback from a worker thread. Callbacks
 /// for one session are invoked in submission order (the per-shard drain
@@ -31,10 +33,18 @@ enum class OutcomeStatus {
 /// runtime uses blocking admission (deadlock: the worker the submit waits
 /// on is the one running the callback).
 struct Outcome {
-  OutcomeStatus status = OutcomeStatus::kSessionClosed;
+  /// ok() ⇔ a delimiter ran and committed (`session` is set). Error
+  /// codes: kDeadlineExceeded (sat in the queue past its deadline, or
+  /// the retry loop ran out of deadline), kBudgetExceeded,
+  /// kInjectedFault (final, after any retries), kCircuitOpen (the
+  /// session's breaker fast-failed the delimiter without running).
+  core::Status status;
   std::string session_id;
-  /// Set iff status == kSessionClosed.
+  /// Set iff status.ok().
   std::optional<core::SessionRunner::SessionOutcome> session;
+  /// Run attempts made for this outcome (1 + retries); 0 when nothing
+  /// ran (deadline drop, circuit fast-fail).
+  uint32_t attempts = 0;
 };
 
 using OutcomeCallback = std::function<void(Outcome)>;
@@ -44,6 +54,7 @@ struct Envelope {
   std::string session_id;
   rel::Relation message;
   std::chrono::steady_clock::time_point deadline;  // ::max() = none
+  Priority priority = Priority::kNormal;
   OutcomeCallback callback;  // may be null
 };
 
@@ -71,7 +82,13 @@ class SessionShard {
   struct Config {
     const core::Sws* sws = nullptr;
     const rel::Database* initial_db = nullptr;
+    /// Carries the per-run limits plus the fault-tolerance knobs: the
+    /// (nullable) fault injector — also consulted for shard-stall
+    /// injection in Drain — and the retry policy. The per-envelope
+    /// deadline overrides run_options.deadline for each message.
     core::RunOptions run_options;
+    /// Per-session circuit breaking; failure_threshold 0 disables.
+    CircuitBreakerPolicy circuit_breaker;
     /// Test/bench instrumentation: invoked on the worker right before
     /// each envelope is processed (after the deadline check).
     std::function<void(const std::string& session_id)> before_process_hook;
@@ -95,6 +112,14 @@ class SessionShard {
   }
 
  private:
+  /// A session's shard-owned state: its runner (buffer + private
+  /// database copy) and its circuit breaker. Touched only by the
+  /// drain-role holder.
+  struct SessionState {
+    core::SessionRunner runner;
+    CircuitBreaker breaker;
+  };
+
   void Process(Envelope envelope, RuntimeStats* stats);
 
   const size_t shard_index_;
@@ -105,7 +130,7 @@ class SessionShard {
   bool scheduled_ = false;
 
   // Drain-role-owned; no lock (see class comment).
-  std::unordered_map<std::string, core::SessionRunner> runners_;
+  std::unordered_map<std::string, SessionState> sessions_;
   std::atomic<size_t> num_sessions_{0};
 };
 

@@ -36,10 +36,19 @@ class Engine {
 
   RunResult Execute(const rel::Relation& initial_msg) {
     RunResult result;
+    if (options_.fault_injector && options_.fault_injector->OnRunAttempt()) {
+      result.status = Status::Error(RunError::kInjectedFault,
+                                    "fault injector aborted the run");
+      result.output = rel::Relation(sws_.rout_arity());
+      return result;
+    }
     auto root = std::make_unique<ExecNode>();
     bool ok = Eval(sws_.start_state(), 0, initial_msg, /*is_root=*/true,
                    root.get());
-    result.ok = ok;
+    if (!ok) {
+      result.status = Status::Error(RunError::kBudgetExceeded,
+                                    "run exceeded RunOptions::max_nodes");
+    }
     result.output = ok ? root->act : rel::Relation(sws_.rout_arity());
     result.num_nodes = num_nodes_;
     result.max_timestamp = max_consumed_;

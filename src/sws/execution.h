@@ -1,12 +1,15 @@
 #ifndef SWS_SWS_EXECUTION_H_
 #define SWS_SWS_EXECUTION_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "relational/database.h"
 #include "relational/input_sequence.h"
+#include "sws/fault.h"
+#include "sws/status.h"
 #include "sws/sws.h"
 
 namespace sws::core {
@@ -28,14 +31,26 @@ struct ExecNode {
 struct RunOptions {
   /// Retain the full execution tree in RunResult::tree.
   bool keep_tree = false;
-  /// Abort the run (ok=false) if more nodes than this would be created —
-  /// a guard for recursive services on long inputs.
+  /// Abort the run (kBudgetExceeded) if more nodes than this would be
+  /// created — a guard for recursive services on long inputs.
   size_t max_nodes = 50'000'000;
+  /// Fault-injection hook consulted at each run attempt; null = disabled
+  /// (the only cost on the hot path is this null check).
+  FaultInjector* fault_injector = nullptr;
+  /// Retry of failed runs at the session layer (SessionRunner::Feed);
+  /// the default (max_attempts = 1) never retries.
+  RetryPolicy retry;
+  /// Absolute deadline for the whole request. The retry loop respects it
+  /// (no backoff sleeps or re-attempts past the deadline); ::max() = none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Result of running an SWS on (D, I).
 struct RunResult {
-  bool ok = true;                 // false iff max_nodes exceeded
+  /// ok() iff the run completed; on error (kBudgetExceeded or
+  /// kInjectedFault) the output is empty, never partial.
+  Status status;
   rel::Relation output;           // Act(root) = τ(D, I)
   size_t num_nodes = 0;           // nodes in the execution tree
   size_t max_timestamp = 0;       // l: inputs I_1..I_l were consumed

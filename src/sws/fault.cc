@@ -1,0 +1,82 @@
+#include "sws/fault.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/common.h"
+
+namespace sws::core {
+
+namespace {
+
+// Independent stream salts (arbitrary odd constants).
+constexpr uint64_t kRunFailSalt = 0x9d5c1f8a3b2e7641ULL;
+constexpr uint64_t kRunDelaySalt = 0x71c3a9e5d207b8f3ULL;
+constexpr uint64_t kDrainSalt = 0x5e8b2d94c6a1f037ULL;
+
+double UnitAt(uint64_t seed, uint64_t salt, uint64_t index) {
+  return UnitFromDraw(SplitMix64(seed ^ salt ^ (index * 0x9e3779b97f4a7c15ULL)));
+}
+
+void ValidateRate(double rate, const char* name) {
+  SWS_CHECK(rate >= 0.0 && rate <= 1.0)
+      << "FaultOptions::" << name << " must be in [0, 1], got " << rate;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultOptions options) : options_(options) {
+  ValidateRate(options_.fail_rate, "fail_rate");
+  ValidateRate(options_.delay_rate, "delay_rate");
+  ValidateRate(options_.stall_rate, "stall_rate");
+  SWS_CHECK_GE(options_.delay.count(), 0);
+  SWS_CHECK_GE(options_.stall.count(), 0);
+}
+
+bool FaultInjector::OnRunAttempt() {
+  const uint64_t n = run_draws_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.delay_rate > 0.0 && options_.delay.count() > 0 &&
+      UnitAt(options_.seed, kRunDelaySalt, n) < options_.delay_rate) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(options_.delay);
+  }
+  if (n < options_.fail_first_runs ||
+      (options_.fail_rate > 0.0 &&
+       UnitAt(options_.seed, kRunFailSalt, n) < options_.fail_rate)) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::OnDrainStep() {
+  if (options_.stall_rate == 0.0 || options_.stall.count() == 0) return;
+  const uint64_t n = drain_draws_.fetch_add(1, std::memory_order_relaxed);
+  if (UnitAt(options_.seed, kDrainSalt, n) < options_.stall_rate) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(options_.stall);
+  }
+}
+
+Backoff::Backoff(const RetryPolicy& policy, uint64_t stream)
+    : policy_(policy),
+      prev_(policy.initial_backoff),
+      state_(policy.jitter_seed ^ SplitMix64(stream)) {
+  SWS_CHECK_GE(policy_.max_attempts, 1u);
+  SWS_CHECK_GE(policy_.initial_backoff.count(), 0);
+  SWS_CHECK_GE(policy_.max_backoff.count(), policy_.initial_backoff.count());
+}
+
+std::chrono::microseconds Backoff::Next() {
+  const int64_t base = policy_.initial_backoff.count();
+  const int64_t cap = policy_.max_backoff.count();
+  // Decorrelated jitter: uniform in [base, 3 × prev), capped.
+  const int64_t hi = std::max(base + 1, 3 * prev_.count());
+  const double u = UnitFromDraw(SplitMix64(state_ ^ n_++));
+  int64_t wait = base + static_cast<int64_t>(u * static_cast<double>(hi - base));
+  wait = std::min(wait, cap);
+  prev_ = std::chrono::microseconds(wait);
+  return prev_;
+}
+
+}  // namespace sws::core

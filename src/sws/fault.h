@@ -1,0 +1,130 @@
+#ifndef SWS_SWS_FAULT_H_
+#define SWS_SWS_FAULT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "sws/status.h"
+
+namespace sws::core {
+
+/// What a FaultInjector may do, and how often. Rates are probabilities
+/// in [0, 1] evaluated on an independent deterministic stream per hook,
+/// so a given seed reproduces the same fault schedule (exactly under a
+/// single worker; the same draw *sequence* under many).
+struct FaultOptions {
+  uint64_t seed = 1;
+  /// Probability that a run attempt aborts with kInjectedFault.
+  double fail_rate = 0.0;
+  /// Deterministically fail the first N run attempts, then defer to
+  /// fail_rate — for exact retry/circuit-breaker unit tests.
+  uint32_t fail_first_runs = 0;
+  /// Probability of artificial latency injected before a run attempt.
+  double delay_rate = 0.0;
+  std::chrono::microseconds delay{0};
+  /// Probability that a shard drain step stalls while holding the drain
+  /// role — models a slow shard backing up its sessions.
+  double stall_rate = 0.0;
+  std::chrono::microseconds stall{0};
+};
+
+/// A deterministic, seeded fault-injection hook threaded through query
+/// evaluation (engine run attempts) and shard scheduling (drain steps).
+/// Thread-safe: decisions are pure functions of (seed, hook, draw index)
+/// with the draw index a relaxed atomic counter per hook. The injector
+/// is wired as a nullable pointer everywhere it appears — a disabled
+/// injector is a null pointer, and the only hot-path cost is that one
+/// branch (see bench_runtime_throughput's faults-disabled run).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultOptions options);
+
+  /// Engine hook, called once per run attempt: possibly sleeps (injected
+  /// latency), then decides whether this attempt fails with
+  /// kInjectedFault. Returns true iff the attempt must fail.
+  bool OnRunAttempt();
+
+  /// Shard-scheduling hook, called once per drained envelope: possibly
+  /// stalls the calling worker while it holds the shard's drain role.
+  void OnDrainStep();
+
+  const FaultOptions& options() const { return options_; }
+
+  // Telemetry (for tests and reports).
+  uint64_t injected_failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_delays() const {
+    return delays_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  uint64_t run_attempts() const {
+    return run_draws_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultOptions options_;
+  std::atomic<uint64_t> run_draws_{0};
+  std::atomic<uint64_t> drain_draws_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> delays_{0};
+  std::atomic<uint64_t> stalls_{0};
+};
+
+/// SplitMix64 — a tiny, high-quality mixing function; used to derive
+/// independent deterministic streams from (seed, salt, counter).
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform [0, 1) from a 64-bit draw (top 53 bits).
+inline double UnitFromDraw(uint64_t draw) {
+  return static_cast<double>(draw >> 11) * 0x1.0p-53;
+}
+
+/// Per-request retry of failed session runs. Retrying is replay-safe by
+/// construction: a failed run commits nothing and the session buffer is
+/// kept until the final attempt, so a retry re-runs the exact same
+/// (D, I_session) — the paper's determinism makes the replay idempotent.
+struct RetryPolicy {
+  /// Total run attempts per request; 1 = no retry.
+  uint32_t max_attempts = 1;
+  /// First backoff, and the cap for the exponential growth.
+  std::chrono::microseconds initial_backoff{50};
+  std::chrono::microseconds max_backoff{5'000};
+  /// Seed for the decorrelated jitter stream.
+  uint64_t jitter_seed = 1;
+};
+
+/// Only transient faults are worth re-running. A budget trip is a
+/// deterministic function of (D, I) — retrying cannot change it — and
+/// deadline/queue/shutdown conditions are terminal for the request.
+inline bool IsRetryable(RunError error) {
+  return error == RunError::kInjectedFault;
+}
+
+/// Capped exponential backoff with decorrelated jitter: each wait is
+/// uniform in [initial, 3 × previous), clamped to max_backoff — spreads
+/// synchronized retries apart instead of letting them thundering-herd.
+/// Deterministic given (policy.jitter_seed, stream).
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, uint64_t stream);
+  std::chrono::microseconds Next();
+
+ private:
+  RetryPolicy policy_;
+  std::chrono::microseconds prev_;
+  uint64_t state_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace sws::core
+
+#endif  // SWS_SWS_FAULT_H_

@@ -1,5 +1,8 @@
 #include "sws/session.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "util/common.h"
 
 namespace sws::core {
@@ -34,8 +37,30 @@ std::optional<SessionRunner::SessionOutcome> SessionRunner::Feed(
   SessionOutcome outcome;
   outcome.session_length = pending_.size();
   RunResult run = Run(*sws_, db_, pending_, options);
-  outcome.ok = run.ok;
-  if (run.ok) {
+  // Retry transient failures with capped backoff + decorrelated jitter,
+  // never past the deadline. Replay-safe: a failed run committed nothing
+  // and `pending_` is still intact, so each attempt re-runs the same
+  // (D, I_session) — by the paper's determinism, an idempotent replay.
+  Backoff backoff(options.retry, outcome.session_length);
+  while (!run.status.ok() && IsRetryable(run.status.code()) &&
+         outcome.attempts < options.retry.max_attempts) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= options.deadline) {
+      run.status = Status::Error(RunError::kDeadlineExceeded,
+                                 "deadline expired during retry");
+      break;
+    }
+    auto wait = backoff.Next();
+    if (options.deadline != std::chrono::steady_clock::time_point::max()) {
+      wait = std::min(wait, std::chrono::duration_cast<std::chrono::microseconds>(
+                                options.deadline - now));
+    }
+    if (wait.count() > 0) std::this_thread::sleep_for(wait);
+    run = Run(*sws_, db_, pending_, options);
+    ++outcome.attempts;
+  }
+  outcome.status = run.status;
+  if (run.status.ok()) {
     outcome.output = run.output;
     outcome.commit = rel::CommitOutput(run.output, &db_);
   } else {
@@ -43,6 +68,10 @@ std::optional<SessionRunner::SessionOutcome> SessionRunner::Feed(
   }
   pending_ = rel::InputSequence(sws_->rin_arity());
   return outcome;
+}
+
+void SessionRunner::DiscardPending() {
+  pending_ = rel::InputSequence(sws_->rin_arity());
 }
 
 std::vector<SessionRunner::SessionOutcome> SessionRunner::FeedStream(

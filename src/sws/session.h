@@ -33,21 +33,35 @@ class SessionRunner {
   static bool IsDelimiter(const rel::Relation& message);
 
   struct SessionOutcome {
-    /// False iff the run was aborted by RunOptions::max_nodes. On abort
-    /// the output is empty, nothing is committed, and the buffered
-    /// session is discarded so the stream can continue.
-    bool ok = true;
+    /// ok() iff the run completed and committed. On error
+    /// (kBudgetExceeded, kInjectedFault, or kDeadlineExceeded when the
+    /// retry loop ran out of deadline) the output is empty, nothing is
+    /// committed, and the buffered session is discarded so the stream
+    /// can continue.
+    Status status;
     rel::Relation output;       // τ(D, I_session)
     rel::CommitResult commit;   // applied to the local database
     size_t session_length = 0;  // messages in the session (delimiter excl.)
+    /// Run attempts made (1 + retries). Retries happen only for
+    /// transient errors under RunOptions::retry, and are replay-safe:
+    /// a failed run commits nothing, so each attempt re-runs the same
+    /// (D, I_session).
+    uint32_t attempts = 1;
   };
 
   /// Feeds one message. A delimiter closes the current session: the
   /// service runs on the buffered messages against the current database
-  /// under `options`, the output is committed, and the outcome is
-  /// returned. Non-delimiter messages buffer and return nullopt.
+  /// under `options` (retrying transient failures per `options.retry`,
+  /// within `options.deadline`), the output is committed, and the
+  /// outcome is returned. Non-delimiter messages buffer and return
+  /// nullopt.
   std::optional<SessionOutcome> Feed(rel::Relation message,
                                      const RunOptions& options = {});
+
+  /// Drops the buffered (uncommitted) session, as a failed run would —
+  /// used by the runtime's circuit breaker to shed an open session's
+  /// stream without running it.
+  void DiscardPending();
 
   /// Feeds a whole stream; returns one outcome per delimiter encountered.
   std::vector<SessionOutcome> FeedStream(

@@ -1,0 +1,35 @@
+#include "sws/status.h"
+
+namespace sws::core {
+
+const char* RunErrorName(RunError error) {
+  switch (error) {
+    case RunError::kNone:
+      return "OK";
+    case RunError::kBudgetExceeded:
+      return "BUDGET_EXCEEDED";
+    case RunError::kInjectedFault:
+      return "INJECTED_FAULT";
+    case RunError::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case RunError::kQueueRejected:
+      return "QUEUE_REJECTED";
+    case RunError::kCircuitOpen:
+      return "CIRCUIT_OPEN";
+    case RunError::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = RunErrorName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace sws::core

@@ -1,0 +1,316 @@
+// Deterministic unit tests for the fault-tolerance layer: the error
+// taxonomy (Status/RunError), the seeded FaultInjector, retry with
+// capped decorrelated-jitter backoff, and the per-session circuit
+// breaker state machine. Everything here is single-threaded and seeded —
+// the chaos harness (chaos_test.cc) covers the concurrent side.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "logic/cq.h"
+#include "relational/database.h"
+#include "runtime/circuit_breaker.h"
+#include "sws/fault.h"
+#include "sws/session.h"
+#include "sws/status.h"
+#include "sws/sws.h"
+#include "util/common.h"
+
+namespace sws::core {
+namespace {
+
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Term;
+using rel::Relation;
+using rel::Value;
+using rt::CircuitBreaker;
+using rt::CircuitBreakerPolicy;
+
+// The depth-2 logger of session_test: each session commits its first
+// message's value into Log.
+Sws MakeTwoLevelLogger() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  Sws sws(schema, 1, 3);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{kInputRelation, {Term::Var(0)}}});
+  sws.SetTransition(q0, {TransitionTarget{q1, RelQuery::Cq(pass)}});
+  ConjunctiveQuery copy_up(
+      {Term::Var(0), Term::Var(1), Term::Var(2)},
+      {Atom{ActRelation(1), {Term::Var(0), Term::Var(1), Term::Var(2)}}});
+  sws.SetSynthesis(q0, RelQuery::Cq(copy_up));
+  sws.SetTransition(q1, {});
+  ConjunctiveQuery log_msg({Term::Str("ins"), Term::Str("Log"), Term::Var(0)},
+                           {Atom{kMsgRelation, {Term::Var(0)}}});
+  sws.SetSynthesis(q1, RelQuery::Cq(log_msg));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+rel::Database LoggerDb() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  return rel::Database(schema);
+}
+
+Relation Msg(int64_t v) {
+  Relation m(1);
+  m.Insert({Value::Int(v)});
+  return m;
+}
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.code(), RunError::kNone);
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::Error(RunError::kBudgetExceeded, "50 nodes");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), RunError::kBudgetExceeded);
+  EXPECT_EQ(err.ToString(), "BUDGET_EXCEEDED: 50 nodes");
+  EXPECT_STREQ(RunErrorName(RunError::kCircuitOpen), "CIRCUIT_OPEN");
+  EXPECT_STREQ(RunErrorName(RunError::kInjectedFault), "INJECTED_FAULT");
+}
+
+TEST(StatusTest, RetryabilityIsTransientOnly) {
+  EXPECT_TRUE(IsRetryable(RunError::kInjectedFault));
+  // Budget trips are deterministic in (D, I); deadline/queue/shutdown
+  // are terminal for the request — none of them may be retried.
+  EXPECT_FALSE(IsRetryable(RunError::kBudgetExceeded));
+  EXPECT_FALSE(IsRetryable(RunError::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryable(RunError::kQueueRejected));
+  EXPECT_FALSE(IsRetryable(RunError::kShutdown));
+  EXPECT_FALSE(IsRetryable(RunError::kCircuitOpen));
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultOptions options;
+  options.seed = 1234;
+  options.fail_rate = 0.3;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  std::vector<bool> da, db;
+  for (int i = 0; i < 200; ++i) da.push_back(a.OnRunAttempt());
+  for (int i = 0; i < 200; ++i) db.push_back(b.OnRunAttempt());
+  EXPECT_EQ(da, db);
+  EXPECT_EQ(a.injected_failures(), b.injected_failures());
+  EXPECT_GT(a.injected_failures(), 0u);   // ~60 expected of 200
+  EXPECT_LT(a.injected_failures(), 200u);
+  EXPECT_EQ(a.run_attempts(), 200u);
+}
+
+TEST(FaultInjectorTest, RateEdges) {
+  FaultOptions never;
+  never.fail_rate = 0.0;
+  FaultInjector off(never);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(off.OnRunAttempt());
+
+  FaultOptions always;
+  always.fail_rate = 1.0;
+  FaultInjector on(always);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(on.OnRunAttempt());
+  EXPECT_EQ(on.injected_failures(), 50u);
+}
+
+TEST(FaultInjectorTest, FailFirstRunsExactly) {
+  FaultOptions options;
+  options.fail_first_runs = 3;
+  FaultInjector injector(options);
+  EXPECT_TRUE(injector.OnRunAttempt());
+  EXPECT_TRUE(injector.OnRunAttempt());
+  EXPECT_TRUE(injector.OnRunAttempt());
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(injector.OnRunAttempt());
+  EXPECT_EQ(injector.injected_failures(), 3u);
+}
+
+TEST(BackoffTest, BoundedDeterministicAndJittered) {
+  RetryPolicy policy;
+  policy.initial_backoff = std::chrono::microseconds(100);
+  policy.max_backoff = std::chrono::microseconds(2'000);
+  policy.jitter_seed = 7;
+
+  Backoff a(policy, /*stream=*/1);
+  Backoff b(policy, /*stream=*/1);
+  Backoff other(policy, /*stream=*/2);
+  bool any_difference = false;
+  for (int i = 0; i < 32; ++i) {
+    auto wa = a.Next();
+    EXPECT_EQ(wa, b.Next());  // deterministic per (seed, stream)
+    EXPECT_GE(wa.count(), policy.initial_backoff.count());
+    EXPECT_LE(wa.count(), policy.max_backoff.count());
+    if (other.Next() != wa) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);  // distinct streams decorrelate
+}
+
+TEST(ExecutionFaultTest, InjectedFaultAbortsRunWithEmptyOutput) {
+  Sws sws = MakeTwoLevelLogger();
+  FaultOptions fo;
+  fo.fail_first_runs = 1;
+  FaultInjector injector(fo);
+  RunOptions options;
+  options.fault_injector = &injector;
+
+  rel::InputSequence input(1);
+  input.Append(Msg(7));
+  RunResult failed = ::sws::core::Run(sws, LoggerDb(), input, options);
+  EXPECT_EQ(failed.status.code(), RunError::kInjectedFault);
+  EXPECT_TRUE(failed.output.empty());
+  EXPECT_EQ(failed.num_nodes, 0u);  // aborted before any node
+
+  RunResult healthy = ::sws::core::Run(sws, LoggerDb(), input, options);
+  EXPECT_TRUE(healthy.status.ok());
+  EXPECT_FALSE(healthy.output.empty());
+}
+
+TEST(SessionRetryTest, TransientFaultRetriedUntilSuccess) {
+  Sws sws = MakeTwoLevelLogger();
+  FaultOptions fo;
+  fo.fail_first_runs = 2;
+  FaultInjector injector(fo);
+  RunOptions options;
+  options.fault_injector = &injector;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = std::chrono::microseconds(1);
+  options.retry.max_backoff = std::chrono::microseconds(10);
+
+  SessionRunner runner(&sws, LoggerDb());
+  runner.Feed(Msg(42), options);
+  auto outcome = runner.Feed(SessionRunner::DelimiterMessage(1), options);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->status.ok()) << outcome->status.ToString();
+  EXPECT_EQ(outcome->attempts, 3u);  // two injected failures, then success
+  // Replay-safe: despite three run attempts, exactly one commit landed.
+  EXPECT_EQ(outcome->commit.inserted, 1u);
+  EXPECT_EQ(runner.db().Get("Log").size(), 1u);
+}
+
+TEST(SessionRetryTest, ExhaustedRetriesSurfaceInjectedFault) {
+  Sws sws = MakeTwoLevelLogger();
+  FaultOptions fo;
+  fo.fail_first_runs = 10;
+  FaultInjector injector(fo);
+  RunOptions options;
+  options.fault_injector = &injector;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = std::chrono::microseconds(1);
+  options.retry.max_backoff = std::chrono::microseconds(10);
+
+  SessionRunner runner(&sws, LoggerDb());
+  runner.Feed(Msg(42), options);
+  auto outcome = runner.Feed(SessionRunner::DelimiterMessage(1), options);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->status.code(), RunError::kInjectedFault);
+  EXPECT_EQ(outcome->attempts, 3u);
+  EXPECT_TRUE(outcome->output.empty());
+  EXPECT_EQ(outcome->commit.inserted, 0u);       // nothing committed
+  EXPECT_TRUE(runner.db().Get("Log").empty());
+  EXPECT_EQ(runner.buffered(), 0u);  // failed session discarded, stream lives
+
+  // The stream continues once the fault clears (fail_first_runs exhausts
+  // at attempt 10; the next delimiter's attempts get healthy draws).
+  runner.Feed(Msg(43), options);
+  runner.Feed(Msg(44), options);
+  injector.OnRunAttempt();  // burn attempts 4..10 so the next run is clean
+  for (int i = 0; i < 6; ++i) injector.OnRunAttempt();
+  auto next = runner.Feed(SessionRunner::DelimiterMessage(1), options);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_TRUE(next->status.ok());
+}
+
+TEST(SessionRetryTest, DeadlineStopsRetrying) {
+  Sws sws = MakeTwoLevelLogger();
+  FaultOptions fo;
+  fo.fail_first_runs = 100;
+  FaultInjector injector(fo);
+  RunOptions options;
+  options.fault_injector = &injector;
+  options.retry.max_attempts = 50;
+  options.retry.initial_backoff = std::chrono::microseconds(1);
+  options.retry.max_backoff = std::chrono::microseconds(10);
+  // The deadline is already over: the first failed attempt may not be
+  // retried, and the request reports the deadline, not the fault.
+  options.deadline = std::chrono::steady_clock::now();
+
+  SessionRunner runner(&sws, LoggerDb());
+  runner.Feed(Msg(1), options);
+  auto outcome = runner.Feed(SessionRunner::DelimiterMessage(1), options);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->status.code(), RunError::kDeadlineExceeded);
+  EXPECT_EQ(outcome->attempts, 1u);  // no retry past the deadline
+  EXPECT_EQ(outcome->commit.inserted, 0u);
+}
+
+TEST(SessionTest, DiscardPendingDropsBufferedInput) {
+  Sws sws = MakeTwoLevelLogger();
+  SessionRunner runner(&sws, LoggerDb());
+  runner.Feed(Msg(1));
+  runner.Feed(Msg(2));
+  EXPECT_EQ(runner.buffered(), 2u);
+  runner.DiscardPending();
+  EXPECT_EQ(runner.buffered(), 0u);
+  auto outcome = runner.Feed(SessionRunner::DelimiterMessage(1));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->session_length, 0u);  // discarded input never ran
+  EXPECT_TRUE(runner.db().Get("Log").empty());
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverOpens) {
+  CircuitBreaker breaker(CircuitBreakerPolicy{});  // threshold 0
+  const auto now = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) breaker.OnRunFailure(now);
+  EXPECT_EQ(breaker.OnRequest(now), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, ClosedToOpenToHalfOpenLifecycle) {
+  CircuitBreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_duration = std::chrono::microseconds(1'000);
+  CircuitBreaker breaker(policy);
+  auto t0 = std::chrono::steady_clock::now();
+
+  // Closed: failures below the threshold keep admitting.
+  breaker.OnRunFailure(t0);
+  breaker.OnRunFailure(t0);
+  EXPECT_EQ(breaker.OnRequest(t0), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2u);
+
+  // A success resets the streak.
+  breaker.OnRunSuccess();
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+
+  // Threshold consecutive failures open the breaker.
+  breaker.OnRunFailure(t0);
+  breaker.OnRunFailure(t0);
+  breaker.OnRunFailure(t0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.OnRequest(t0 + std::chrono::microseconds(500)),
+            CircuitBreaker::State::kOpen);  // cooldown not yet over
+
+  // After the cooldown, one half-open trial is admitted...
+  auto t1 = t0 + std::chrono::microseconds(1'500);
+  EXPECT_EQ(breaker.OnRequest(t1), CircuitBreaker::State::kHalfOpen);
+  // ...whose failure re-opens immediately (no need to re-reach the
+  // threshold)...
+  breaker.OnRunFailure(t1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.OnRequest(t1 + std::chrono::microseconds(500)),
+            CircuitBreaker::State::kOpen);
+
+  // ...and a later successful trial closes the breaker for good.
+  auto t2 = t1 + std::chrono::microseconds(1'500);
+  EXPECT_EQ(breaker.OnRequest(t2), CircuitBreaker::State::kHalfOpen);
+  breaker.OnRunSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+}
+
+}  // namespace
+}  // namespace sws::core

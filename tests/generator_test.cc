@@ -39,7 +39,7 @@ TEST_P(GeneratorSweep, GeneratedServicesValidateAndRun) {
     rel::Database db = gen.RandomDatabase(sws.db_schema(), 2, 3);
     rel::InputSequence input = gen.RandomInput(sws.rin_arity(), 2, 1, 3);
     core::RunResult result = core::Run(sws, db, input);
-    EXPECT_TRUE(result.ok);
+    EXPECT_TRUE(result.status.ok());
     EXPECT_EQ(result.output.arity(), sws.rout_arity());
   }
 }

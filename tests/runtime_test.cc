@@ -173,7 +173,7 @@ TEST(RuntimeTest, OrderingPerSession) {
   std::vector<Outcome> outcomes = collector.Take();
   ASSERT_EQ(outcomes.size(), 3u);  // only delimiters produce callbacks
   for (size_t i = 0; i < 3; ++i) {
-    ASSERT_EQ(outcomes[i].status, OutcomeStatus::kSessionClosed);
+    ASSERT_TRUE(outcomes[i].status.ok()) << outcomes[i].status.ToString();
     ASSERT_TRUE(outcomes[i].session.has_value());
     EXPECT_EQ(outcomes[i].session->session_length, 2u);
     EXPECT_EQ(outcomes[i].session->commit.inserted, 1u);
@@ -241,7 +241,7 @@ TEST(RuntimeTest, SessionsAccumulateIndependently) {
   ASSERT_EQ(outcomes.size(), 2u * kSessions);
   std::map<std::string, size_t> per_session_commits;
   for (const Outcome& o : outcomes) {
-    ASSERT_EQ(o.status, OutcomeStatus::kSessionClosed);
+    ASSERT_TRUE(o.status.ok()) << o.status.ToString();
     EXPECT_EQ(o.session->commit.inserted, 1u);  // distinct values: all land
     ++per_session_commits[o.session_id];
   }
@@ -331,7 +331,7 @@ TEST(RuntimeTest, DeadlineExpiryDropsQueuedMessages) {
   collector.WaitFor(1);
   std::vector<Outcome> outcomes = collector.Take();
   ASSERT_EQ(outcomes.size(), 1u);
-  EXPECT_EQ(outcomes[0].status, OutcomeStatus::kDeadlineExceeded);
+  EXPECT_EQ(outcomes[0].status.code(), core::RunError::kDeadlineExceeded);
   EXPECT_FALSE(outcomes[0].session.has_value());
   StatsSnapshot stats = runtime.Stats();
   EXPECT_EQ(stats.deadline_exceeded, 1u);
@@ -360,7 +360,7 @@ TEST(RuntimeTest, NodeBudgetSurfacesAsPerRequestError) {
 
   std::vector<Outcome> outcomes = collector.Take();
   ASSERT_EQ(outcomes.size(), 1u);
-  EXPECT_EQ(outcomes[0].status, OutcomeStatus::kBudgetExceeded);
+  EXPECT_EQ(outcomes[0].status.code(), core::RunError::kBudgetExceeded);
   EXPECT_FALSE(outcomes[0].session.has_value());
   EXPECT_EQ(runtime.Stats().budget_exceeded, 1u);
 
@@ -370,7 +370,7 @@ TEST(RuntimeTest, NodeBudgetSurfacesAsPerRequestError) {
   runtime.Drain();
   outcomes = collector.Take();
   ASSERT_EQ(outcomes.size(), 2u);
-  EXPECT_EQ(outcomes[1].status, OutcomeStatus::kSessionClosed);
+  EXPECT_TRUE(outcomes[1].status.ok());
 }
 
 TEST(RuntimeTest, CleanShutdownCompletesAdmittedWork) {
@@ -395,6 +395,310 @@ TEST(RuntimeTest, CleanShutdownCompletesAdmittedWork) {
   EXPECT_EQ(stats.queue_depth, 0u);
   EXPECT_FALSE(runtime.Submit("late", Msg(1)));  // post-shutdown rejects
   runtime.Shutdown();                            // idempotent
+}
+
+TEST(RuntimeTest, ValidateRuntimeOptionsFlagsEachBadKnob) {
+  EXPECT_TRUE(ValidateRuntimeOptions(RuntimeOptions{}).ok());
+
+  {
+    RuntimeOptions o;  // 0 workers / 0 shards mean "auto", not "invalid"
+    o.num_workers = 0;
+    o.num_shards = 0;
+    EXPECT_TRUE(ValidateRuntimeOptions(o).ok());
+  }
+  auto expect_invalid = [](RuntimeOptions o, const char* what) {
+    core::Status s = ValidateRuntimeOptions(o);
+    EXPECT_EQ(s.code(), core::RunError::kQueueRejected) << what;
+    EXPECT_FALSE(s.message().empty()) << what;
+  };
+  {
+    RuntimeOptions o;
+    o.queue_capacity = 0;
+    expect_invalid(o, "zero queue");
+  }
+  {
+    RuntimeOptions o;
+    o.shed.low_occupancy = 0.0;
+    expect_invalid(o, "zero shed fraction");
+  }
+  {
+    RuntimeOptions o;
+    o.shed.normal_occupancy = 1.5;
+    expect_invalid(o, "shed fraction > 1");
+  }
+  {
+    RuntimeOptions o;
+    o.shed.low_occupancy = 0.9;
+    o.shed.normal_occupancy = 0.5;
+    expect_invalid(o, "low shed above normal");
+  }
+  {
+    RuntimeOptions o;
+    o.default_deadline = std::chrono::nanoseconds(-1);
+    expect_invalid(o, "negative default deadline");
+  }
+  {
+    RuntimeOptions o;
+    o.circuit_breaker.failure_threshold = 3;
+    o.circuit_breaker.open_duration = std::chrono::microseconds(0);
+    expect_invalid(o, "breaker with zero open window");
+  }
+  {
+    RuntimeOptions o;
+    o.run_options.max_nodes = 0;
+    expect_invalid(o, "zero node budget");
+  }
+  {
+    RuntimeOptions o;
+    o.run_options.retry.max_attempts = 0;
+    expect_invalid(o, "zero retry attempts");
+  }
+  {
+    RuntimeOptions o;
+    o.run_options.retry.initial_backoff = std::chrono::microseconds(100);
+    o.run_options.retry.max_backoff = std::chrono::microseconds(10);
+    expect_invalid(o, "inverted backoff bounds");
+  }
+  {
+    RuntimeOptions o;
+    core::FaultOptions fo;
+    fo.fail_rate = 1.0;  // boundary rates are valid
+    core::FaultInjector injector(fo);
+    o.run_options.fault_injector = &injector;
+    EXPECT_TRUE(ValidateRuntimeOptions(o).ok());
+  }
+}
+
+TEST(RuntimeTest, ShutdownIsIdempotentAndConcurrent) {
+  Sws sws = MakeTwoLevelLogger();
+  RuntimeOptions options;
+  options.num_workers = 2;
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+
+  uint64_t admitted = 0;
+  for (int c = 0; c < 16; ++c) {
+    std::string id = "client-" + std::to_string(c);
+    if (runtime.Submit(id, Msg(c))) ++admitted;
+    if (runtime.Submit(id, Delim())) ++admitted;
+  }
+  // Four racing shutdowns: each must return only once all admitted work
+  // is complete and the workers are joined, and none may crash or hang.
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&runtime] { runtime.Shutdown(); });
+  }
+  for (auto& t : closers) t.join();
+
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.completed, admitted);
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  runtime.Shutdown();  // again, sequentially
+  runtime.Drain();     // drain after shutdown is a no-op, not a hang
+  core::Status late = runtime.Submit("late", Msg(1));
+  EXPECT_EQ(late.code(), core::RunError::kShutdown);
+  EXPECT_FALSE(late.message().empty());
+}
+
+TEST(RuntimeTest, ExpiredAtEnqueueFastFailsWithoutAdmitting) {
+  Sws sws = MakeTwoLevelLogger();
+  ServiceRuntime runtime(&sws, LoggerDb());
+  OutcomeCollector collector;
+
+  SubmitOptions options;
+  options.absolute_deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  options.callback = collector.Callback();
+  core::Status status = runtime.Submit("alice", Delim(), std::move(options));
+  EXPECT_EQ(status.code(), core::RunError::kDeadlineExceeded);
+
+  runtime.Drain();
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.expired_at_enqueue, 1u);
+  EXPECT_EQ(stats.submitted, 0u);   // never admitted
+  EXPECT_EQ(stats.completed, 0u);   // never processed
+  EXPECT_EQ(stats.deadline_exceeded, 0u);  // distinct from queued expiry
+  EXPECT_TRUE(collector.Take().empty());   // fast-fail fires no callback
+}
+
+TEST(RuntimeTest, PrioritySheddingDegradesGracefully) {
+  Sws sws = MakeTwoLevelLogger();
+  Gate gate;
+  RuntimeOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 10;
+  options.shed.low_occupancy = 0.5;     // low admitted below 5 pending
+  options.shed.normal_occupancy = 0.9;  // normal admitted below 9 pending
+  options.on_full = RuntimeOptions::OnFull::kReject;
+  options.before_process_hook = [&gate](const std::string& id) {
+    gate.Block(id);
+  };
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+
+  auto submit = [&](Priority p) {
+    SubmitOptions so;
+    so.priority = p;
+    return runtime.Submit("alice", Msg(1), std::move(so));
+  };
+
+  ASSERT_TRUE(submit(Priority::kNormal));
+  gate.WaitForArrivals(1);  // worker parked; the message still counts as
+                            // pending until processed
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(submit(Priority::kNormal));
+  // pending = 5 = low limit: low is shed while normal still gets in.
+  core::Status low = submit(Priority::kLow);
+  EXPECT_EQ(low.code(), core::RunError::kQueueRejected);
+  EXPECT_NE(low.message().find("priority"), std::string::npos);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(submit(Priority::kNormal));
+  // pending = 9 = normal limit: normal is shed while high still gets in.
+  EXPECT_EQ(submit(Priority::kNormal).code(),
+            core::RunError::kQueueRejected);
+  ASSERT_TRUE(submit(Priority::kHigh));
+  // pending = 10 = full queue: now even high is rejected.
+  core::Status high = submit(Priority::kHigh);
+  EXPECT_EQ(high.code(), core::RunError::kQueueRejected);
+  EXPECT_NE(high.message().find("full"), std::string::npos);
+
+  gate.Open();
+  runtime.Drain();
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.submitted, 10u);
+  EXPECT_EQ(stats.completed, 10u);
+  EXPECT_EQ(stats.rejected, 3u);
+  EXPECT_EQ(stats.shed_low_priority, 1u);  // only the low one was a shed
+}
+
+TEST(RuntimeTest, LowPriorityNeverBlocksInBlockMode) {
+  Sws sws = MakeTwoLevelLogger();
+  Gate gate;
+  RuntimeOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  options.shed.low_occupancy = 0.5;  // low limit = 1 slot
+  options.on_full = RuntimeOptions::OnFull::kBlock;
+  options.before_process_hook = [&gate](const std::string& id) {
+    gate.Block(id);
+  };
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+
+  ASSERT_TRUE(runtime.Submit("alice", Msg(1)));
+  gate.WaitForArrivals(1);  // low limit reached (1 pending)
+  SubmitOptions low;
+  low.priority = Priority::kLow;
+  // In kBlock mode this must return immediately (shed), not block the
+  // producer behind the backlog.
+  core::Status status = runtime.Submit("alice", Msg(2), std::move(low));
+  EXPECT_EQ(status.code(), core::RunError::kQueueRejected);
+  EXPECT_EQ(runtime.Stats().shed_low_priority, 1u);
+  gate.Open();
+  runtime.Drain();
+}
+
+TEST(RuntimeTest, InjectedFaultIsRetriedToSuccess) {
+  Sws sws = MakeTwoLevelLogger();
+  core::FaultOptions fo;
+  fo.fail_first_runs = 1;
+  core::FaultInjector injector(fo);
+  RuntimeOptions options;
+  options.num_workers = 1;
+  options.run_options.fault_injector = &injector;
+  options.run_options.retry.max_attempts = 3;
+  options.run_options.retry.initial_backoff = std::chrono::microseconds(1);
+  options.run_options.retry.max_backoff = std::chrono::microseconds(10);
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+  OutcomeCollector collector;
+
+  runtime.Submit("alice", Msg(7), collector.Callback());
+  runtime.Submit("alice", Delim(), collector.Callback());
+  runtime.Drain();
+
+  std::vector<Outcome> outcomes = collector.Take();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].status.ok()) << outcomes[0].status.ToString();
+  EXPECT_EQ(outcomes[0].attempts, 2u);  // one injected failure + one retry
+  ASSERT_TRUE(outcomes[0].session.has_value());
+  EXPECT_EQ(outcomes[0].session->commit.inserted, 1u);  // committed once
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.injected_faults, 0u);  // the request ultimately succeeded
+  EXPECT_EQ(stats.sessions_closed, 1u);
+}
+
+TEST(RuntimeTest, CircuitBreakerFastFailsThenRecovers) {
+  Sws sws = MakeTwoLevelLogger();
+  core::FaultOptions fo;
+  fo.fail_first_runs = 2;  // the first two runs fail, tripping the breaker
+  core::FaultInjector injector(fo);
+  RuntimeOptions options;
+  options.num_workers = 1;
+  options.run_options.fault_injector = &injector;
+  options.circuit_breaker.failure_threshold = 2;
+  options.circuit_breaker.open_duration = std::chrono::milliseconds(5);
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+  OutcomeCollector collector;
+
+  // Two failing sessions open the breaker.
+  runtime.Submit("alice", Delim(), collector.Callback());
+  runtime.Submit("alice", Delim(), collector.Callback());
+  runtime.Drain();
+  // While open: fast-fail without running (the injector is healthy now,
+  // so a kCircuitOpen outcome proves the run was skipped).
+  runtime.Submit("alice", Delim(), collector.Callback());
+  runtime.Drain();
+  // After the cooldown, the half-open trial runs and closes the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  runtime.Submit("alice", Msg(9), collector.Callback());
+  runtime.Submit("alice", Delim(), collector.Callback());
+  runtime.Drain();
+
+  std::vector<Outcome> outcomes = collector.Take();
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].status.code(), core::RunError::kInjectedFault);
+  EXPECT_EQ(outcomes[1].status.code(), core::RunError::kInjectedFault);
+  EXPECT_EQ(outcomes[2].status.code(), core::RunError::kCircuitOpen);
+  EXPECT_EQ(outcomes[2].attempts, 0u);  // nothing ran while open
+  EXPECT_TRUE(outcomes[3].status.ok()) << outcomes[3].status.ToString();
+  ASSERT_TRUE(outcomes[3].session.has_value());
+  EXPECT_EQ(outcomes[3].session->commit.inserted, 1u);
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.injected_faults, 2u);
+  EXPECT_EQ(stats.circuit_open, 1u);
+  EXPECT_EQ(stats.sessions_closed, 1u);
+}
+
+TEST(RuntimeTest, OpenBreakerShedsBufferedInputOfTheSession) {
+  Sws sws = MakeTwoLevelLogger();
+  core::FaultOptions fo;
+  fo.fail_first_runs = 1;
+  core::FaultInjector injector(fo);
+  RuntimeOptions options;
+  options.num_workers = 1;
+  options.run_options.fault_injector = &injector;
+  options.circuit_breaker.failure_threshold = 1;
+  options.circuit_breaker.open_duration = std::chrono::milliseconds(5);
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+  OutcomeCollector collector;
+
+  // One failing session opens the breaker (threshold 1).
+  runtime.Submit("alice", Delim(), collector.Callback());
+  runtime.Drain();
+  // These arrive while open: the non-delimiter is silently shed, the
+  // delimiter reports kCircuitOpen.
+  runtime.Submit("alice", Msg(1), collector.Callback());
+  runtime.Submit("alice", Delim(), collector.Callback());
+  runtime.Drain();
+  // After the cooldown the session works again — and must NOT see the
+  // shed Msg(1): its next session is empty.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  runtime.Submit("alice", Delim(), collector.Callback());
+  runtime.Drain();
+
+  std::vector<Outcome> outcomes = collector.Take();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].status.code(), core::RunError::kInjectedFault);
+  EXPECT_EQ(outcomes[1].status.code(), core::RunError::kCircuitOpen);
+  ASSERT_TRUE(outcomes[2].status.ok());
+  EXPECT_EQ(outcomes[2].session->session_length, 0u);  // Msg(1) was shed
 }
 
 TEST(RuntimeTest, StatsSnapshotFormats) {

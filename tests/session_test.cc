@@ -127,7 +127,7 @@ TEST(SessionTest, DelimiterAsVeryFirstMessage) {
 
   auto outcome = runner.Feed(SessionRunner::DelimiterMessage(1));
   ASSERT_TRUE(outcome.has_value());
-  EXPECT_TRUE(outcome->ok);
+  EXPECT_TRUE(outcome->status.ok());
   EXPECT_EQ(outcome->session_length, 0u);
   EXPECT_TRUE(outcome->output.empty());
   EXPECT_EQ(outcome->commit.inserted, 0u);
@@ -145,7 +145,7 @@ TEST(SessionTest, EmptySessionsBackToBack) {
        SessionRunner::DelimiterMessage(1)});
   ASSERT_EQ(outcomes.size(), 3u);
   for (const auto& outcome : outcomes) {
-    EXPECT_TRUE(outcome.ok);
+    EXPECT_TRUE(outcome.status.ok());
     EXPECT_EQ(outcome.session_length, 0u);
     EXPECT_EQ(outcome.commit.inserted, 0u);
   }
@@ -216,7 +216,8 @@ TEST(SessionTest, NodeBudgetTripReportsNotOkAndCommitsNothing) {
   runner.Feed(Msg(3), tight);
   auto outcome = runner.Feed(SessionRunner::DelimiterMessage(1), tight);
   ASSERT_TRUE(outcome.has_value());
-  EXPECT_FALSE(outcome->ok);
+  EXPECT_FALSE(outcome->status.ok());
+  EXPECT_EQ(outcome->status.code(), RunError::kBudgetExceeded);
   EXPECT_TRUE(outcome->output.empty());
   EXPECT_EQ(outcome->commit.inserted, 0u);
   EXPECT_EQ(outcome->commit.deleted, 0u);
@@ -226,7 +227,7 @@ TEST(SessionTest, NodeBudgetTripReportsNotOkAndCommitsNothing) {
   // The stream continues: a later in-budget session still succeeds.
   auto next = runner.Feed(SessionRunner::DelimiterMessage(1), tight);
   ASSERT_TRUE(next.has_value());
-  EXPECT_TRUE(next->ok);
+  EXPECT_TRUE(next->status.ok());
 }
 
 }  // namespace

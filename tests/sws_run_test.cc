@@ -252,7 +252,8 @@ TEST(RunOptionsTest, NodeBudgetAborts) {
   RunOptions options;
   options.max_nodes = 3;
   RunResult result = sws::core::Run(service.sws, MakeTravelDatabase(), input, options);
-  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), sws::core::RunError::kBudgetExceeded);
   // An aborted run yields no output (not a partial one): callers like the
   // session layer and the concurrent runtime rely on ok=false ⇒ empty.
   EXPECT_TRUE(result.output.empty());
