@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a checked-in baseline.
+
+Usage:
+    scripts/bench_diff.py BASELINE.json FRESH.json [--threshold 0.25]
+
+Benchmarks are matched by name; for each pair the relative change in
+real_time is reported. Exits non-zero if any benchmark regressed by
+more than the threshold (default 25% slower). Benchmarks present in
+only one file are reported but never fail the run — baselines are
+regenerated wholesale when the suite changes.
+
+Both plain google-benchmark output and the repo's wrapped baselines
+(top-level "note"/"command"/"context" plus "benchmarks") are accepted.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = float(b["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated slowdown as a fraction (0.25 = 25%%)")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+
+    regressions = []
+    common = sorted(set(base) & set(fresh))
+    if not common:
+        print("bench_diff: no common benchmarks between "
+              f"{args.baseline} and {args.fresh}", file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in common)
+    for name in common:
+        old, new = base[name], fresh[name]
+        change = (new - old) / old if old > 0 else 0.0
+        marker = ""
+        if change > args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, change))
+        elif change < -args.threshold:
+            marker = "  (faster)"
+        print(f"{name:<{width}}  {old:>12.0f}ns -> {new:>12.0f}ns  "
+              f"{change:+7.1%}{marker}")
+
+    for name in sorted(set(base) - set(fresh)):
+        print(f"{name:<{width}}  only in baseline")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"{name:<{width}}  only in fresh run")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} benchmark(s) regressed by "
+              f"more than {args.threshold:.0%}:", file=sys.stderr)
+        for name, change in regressions:
+            print(f"  {name}: {change:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nbench_diff: OK ({len(common)} benchmarks within "
+          f"{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 # Tier-1 verification plus sanitizer passes over the concurrent runtime:
 # a ThreadSanitizer pass (data races — including the chaos harness) and
 # an ASan+UBSan pass (memory errors / undefined behavior).
-# Usage: scripts/check.sh [release|tsan|asan|chaos|all]   (default: all)
+# Usage: scripts/check.sh [release|tsan|asan|chaos|bench|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +33,16 @@ run_asan() {
   ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -j 1
 }
 
+run_bench() {
+  echo "== Query-engine benchmarks vs checked-in baseline =="
+  cmake --preset release
+  cmake --build --preset release -j "$jobs" --target bench_query_engine
+  ./build/bench/bench_query_engine --benchmark_min_time=0.05 \
+    --benchmark_format=json > /tmp/bench_query_engine.fresh.json
+  python3 scripts/bench_diff.py BENCH_query_engine.json \
+    /tmp/bench_query_engine.fresh.json
+}
+
 run_chaos() {
   echo "== Chaos harness (randomized faults) under TSan =="
   cmake --preset tsan
@@ -46,7 +56,8 @@ case "$mode" in
   tsan) run_tsan ;;
   asan) run_asan ;;
   chaos) run_chaos ;;
+  bench) run_bench ;;
   all) run_release; run_tsan; run_asan ;;
-  *) echo "usage: $0 [release|tsan|asan|chaos|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [release|tsan|asan|chaos|bench|all]" >&2; exit 2 ;;
 esac
 echo "== check.sh ($mode): OK =="

@@ -1,7 +1,6 @@
 #include "logic/cq.h"
 
 #include <algorithm>
-#include <limits>
 #include <sstream>
 
 #include "util/common.h"
@@ -124,26 +123,38 @@ bool MatchFrom(const std::vector<Atom>& body,
 namespace {
 
 // Greedy join ordering: repeatedly pick the atom with the most
-// constant/already-bound argument positions. Turns the guard-heavy bodies
-// produced by unfolding (sws/unfold.h) from cross-products into chains.
-std::vector<Atom> OrderAtomsGreedily(const std::vector<Atom>& body) {
+// constant/already-bound argument positions, breaking ties toward the
+// smallest relation instance. Turns the guard-heavy bodies produced by
+// unfolding (sws/unfold.h) from cross-products into chains and feeds the
+// index-probe planner below the most selective prefix first.
+std::vector<Atom> OrderAtomsGreedily(const std::vector<Atom>& body,
+                                     const rel::Database& db) {
   std::vector<Atom> ordered;
   std::vector<bool> used(body.size(), false);
   std::set<int> bound;
+  auto relation_size = [&db](const Atom& a) -> size_t {
+    if (!db.Contains(a.relation)) return 0;  // matches nothing: run it first
+    const rel::Relation& r = db.Get(a.relation);
+    return r.arity() == a.args.size() ? r.size() : 0;
+  };
   for (size_t step = 0; step < body.size(); ++step) {
     size_t best = body.size();
-    int best_score = std::numeric_limits<int>::min();
+    int best_bound = -1;
+    size_t best_size = 0;
     for (size_t i = 0; i < body.size(); ++i) {
       if (used[i]) continue;
-      int score = 0;
+      int bound_args = 0;
       for (const Term& t : body[i].args) {
-        if (t.is_const() || (t.is_var() && bound.count(t.var()) > 0)) ++score;
+        if (t.is_const() || (t.is_var() && bound.count(t.var()) > 0)) {
+          ++bound_args;
+        }
       }
-      // Prefer higher selectivity; break ties toward smaller arity.
-      score = score * 16 - static_cast<int>(body[i].args.size());
-      if (score > best_score) {
-        best_score = score;
+      size_t size = relation_size(body[i]);
+      if (best == body.size() || bound_args > best_bound ||
+          (bound_args == best_bound && size < best_size)) {
         best = i;
+        best_bound = bound_args;
+        best_size = size;
       }
     }
     used[best] = true;
@@ -153,6 +164,218 @@ std::vector<Atom> OrderAtomsGreedily(const std::vector<Atom>& body) {
     ordered.push_back(body[best]);
   }
   return ordered;
+}
+
+// ---------------------------------------------------------------------------
+// Indexed join plans.
+//
+// Evaluate / EvaluatesNonempty / EnumerateMatches compile the (ordered)
+// body into a JoinPlan: one level per atom, each probing a per-relation
+// hash index (Relation::GetIndex) over the columns that are constant or
+// bound by earlier levels, with variable bindings held in a flat slot
+// vector indexed by order of first occurrence — no per-extension map
+// inserts or unbinding. Comparisons are resolved to slots once, attached
+// to the first level at which both sides are bound, so each comparison
+// is evaluated exactly once per candidate tuple (the legacy path
+// re-scanned every comparison on every partial binding). EvaluateNaive
+// keeps the map-based backtracking join above as the differential
+// baseline.
+// ---------------------------------------------------------------------------
+
+struct JoinPlan {
+  struct Out {  // copy tuple column -> binding slot (first occurrence)
+    size_t col;
+    int slot;
+  };
+  struct VarCheck {  // tuple column must equal an already-written slot
+    size_t col;
+    int slot;
+  };
+  struct ConstCheck {  // tuple column must equal a constant (scan mode)
+    size_t col;
+    rel::Value value;
+  };
+  struct KeyPart {  // one component of the index probe key
+    int slot = -1;  // -1: the constant below, prefilled per run
+    rel::Value constant;
+  };
+  struct SlotComparison {  // comparison with both sides resolved
+    bool is_equality = true;
+    int lhs_slot = -1;  // -1: use lhs_const
+    int rhs_slot = -1;  // -1: use rhs_const
+    rel::Value lhs_const;
+    rel::Value rhs_const;
+  };
+  struct Level {
+    const rel::Relation* relation = nullptr;
+    const rel::Relation::Index* index = nullptr;  // null: full scan
+    std::vector<KeyPart> key;  // parallel to index->cols (ascending)
+    std::vector<Out> outs;
+    std::vector<VarCheck> var_checks;
+    std::vector<ConstCheck> const_checks;
+    std::vector<SlotComparison> comparisons;
+  };
+
+  std::vector<Level> levels;
+  size_t num_slots = 0;
+  std::map<int, int> var_slot;     // variable id -> slot
+  bool never_matches = false;      // an atom's relation is absent/mismatched
+  bool comparison_failed = false;  // a const-vs-const comparison is false
+};
+
+JoinPlan CompilePlan(const std::vector<Atom>& ordered,
+                     const std::vector<Comparison>& comparisons,
+                     const rel::Database& db) {
+  JoinPlan plan;
+  std::vector<bool> attached(comparisons.size(), false);
+  for (size_t ci = 0; ci < comparisons.size(); ++ci) {
+    const Comparison& c = comparisons[ci];
+    if (c.lhs.is_const() && c.rhs.is_const()) {
+      attached[ci] = true;
+      if ((c.lhs.value() == c.rhs.value()) != c.is_equality) {
+        plan.comparison_failed = true;
+      }
+    }
+  }
+  auto slot_of = [&plan](int var) {
+    auto it = plan.var_slot.find(var);
+    return it == plan.var_slot.end() ? -1 : it->second;
+  };
+  std::set<int> bound_prior;  // vars bound at already-compiled levels
+  for (const Atom& atom : ordered) {
+    const rel::Relation* relation =
+        db.Contains(atom.relation) ? &db.Get(atom.relation) : nullptr;
+    if (relation != nullptr && relation->arity() != atom.args.size()) {
+      relation = nullptr;
+    }
+    if (relation == nullptr) {  // no facts: the whole body matches nothing
+      plan.never_matches = true;
+      return plan;
+    }
+    JoinPlan::Level level;
+    level.relation = relation;
+    uint64_t mask = 0;
+    std::vector<JoinPlan::KeyPart> key;  // ascending column order
+    for (size_t col = 0; col < atom.args.size(); ++col) {
+      const Term& term = atom.args[col];
+      if (term.is_const()) {
+        if (col < 64) {
+          mask |= uint64_t{1} << col;
+          key.push_back({-1, term.value()});
+        } else {
+          level.const_checks.push_back({col, term.value()});
+        }
+        continue;
+      }
+      int slot = slot_of(term.var());
+      if (slot < 0) {  // first occurrence anywhere: bind it here
+        slot = static_cast<int>(plan.num_slots++);
+        plan.var_slot.emplace(term.var(), slot);
+        level.outs.push_back({col, slot});
+      } else if (bound_prior.count(term.var()) > 0 && col < 64) {
+        mask |= uint64_t{1} << col;  // bound earlier: probe key component
+        key.push_back({slot, rel::Value()});
+      } else {
+        // Repeated within this atom (its slot is written by an earlier
+        // out of the same level) or beyond indexable columns.
+        level.var_checks.push_back({col, slot});
+      }
+    }
+    if (mask != 0) {
+      level.index = relation->GetIndex(mask);
+      level.key = std::move(key);
+    }
+    // Attach each comparison at the first level where both sides are
+    // bound; it is then evaluated exactly once per candidate tuple.
+    for (size_t ci = 0; ci < comparisons.size(); ++ci) {
+      if (attached[ci]) continue;
+      const Comparison& c = comparisons[ci];
+      JoinPlan::SlotComparison sc;
+      sc.is_equality = c.is_equality;
+      if (c.lhs.is_var()) {
+        sc.lhs_slot = slot_of(c.lhs.var());
+        if (sc.lhs_slot < 0) continue;
+      } else {
+        sc.lhs_const = c.lhs.value();
+      }
+      if (c.rhs.is_var()) {
+        sc.rhs_slot = slot_of(c.rhs.var());
+        if (sc.rhs_slot < 0) continue;
+      } else {
+        sc.rhs_const = c.rhs.value();
+      }
+      attached[ci] = true;
+      level.comparisons.push_back(std::move(sc));
+    }
+    for (const Term& t : atom.args) {
+      if (t.is_var()) bound_prior.insert(t.var());
+    }
+    plan.levels.push_back(std::move(level));
+  }
+  return plan;
+}
+
+// Runs one level of the plan: probes/scans, writes outs into the slot
+// vector, and recurses. Returns false iff on_match stopped enumeration.
+// Slots need no unbinding between siblings — every slot a deeper level
+// reads is rewritten deterministically by the level that owns it.
+template <typename OnMatch>
+bool RunPlanFrom(const JoinPlan& plan, size_t level_index,
+                 std::vector<rel::Value>* slots,
+                 std::vector<rel::Tuple>* key_bufs, const OnMatch& on_match) {
+  if (level_index == plan.levels.size()) return on_match(*slots);
+  const JoinPlan::Level& level = plan.levels[level_index];
+  auto try_tuple = [&](const rel::Tuple& t) {
+    for (const auto& o : level.outs) (*slots)[o.slot] = t[o.col];
+    for (const auto& vc : level.var_checks) {
+      if (!(t[vc.col] == (*slots)[vc.slot])) return true;
+    }
+    for (const auto& cc : level.const_checks) {
+      if (!(t[cc.col] == cc.value)) return true;
+    }
+    for (const auto& sc : level.comparisons) {
+      const rel::Value& l =
+          sc.lhs_slot >= 0 ? (*slots)[sc.lhs_slot] : sc.lhs_const;
+      const rel::Value& r =
+          sc.rhs_slot >= 0 ? (*slots)[sc.rhs_slot] : sc.rhs_const;
+      if ((l == r) != sc.is_equality) return true;
+    }
+    return RunPlanFrom(plan, level_index + 1, slots, key_bufs, on_match);
+  };
+  if (level.index != nullptr) {
+    rel::Tuple& key = (*key_bufs)[level_index];
+    for (size_t i = 0; i < level.key.size(); ++i) {
+      if (level.key[i].slot >= 0) key[i] = (*slots)[level.key[i].slot];
+    }
+    auto it = level.index->buckets.find(key);
+    if (it == level.index->buckets.end()) return true;
+    for (const rel::Tuple* t : it->second) {
+      if (!try_tuple(*t)) return false;
+    }
+  } else {
+    for (const rel::Tuple& t : *level.relation) {
+      if (!try_tuple(t)) return false;
+    }
+  }
+  return true;
+}
+
+// Runs a compiled plan, invoking on_match(slots) per complete binding.
+// Returns false iff on_match stopped enumeration early.
+template <typename OnMatch>
+bool RunPlan(const JoinPlan& plan, const OnMatch& on_match) {
+  if (plan.never_matches || plan.comparison_failed) return true;
+  std::vector<rel::Value> slots(plan.num_slots);
+  std::vector<rel::Tuple> key_bufs(plan.levels.size());
+  for (size_t i = 0; i < plan.levels.size(); ++i) {
+    key_bufs[i].resize(plan.levels[i].key.size());
+    for (size_t k = 0; k < plan.levels[i].key.size(); ++k) {
+      if (plan.levels[i].key[k].slot < 0) {  // constants never change
+        key_bufs[i][k] = plan.levels[i].key[k].constant;
+      }
+    }
+  }
+  return RunPlanFrom(plan, 0, &slots, &key_bufs, on_match);
 }
 
 // Splits body atoms and comparisons into connected components by shared
@@ -251,11 +474,11 @@ QueryComponents SplitComponents(const std::vector<Atom>& body,
 bool ComponentHasMatch(const std::vector<Atom>& atoms,
                        const std::vector<Comparison>& comparisons,
                        const rel::Database& db) {
+  JoinPlan plan = CompilePlan(atoms, comparisons, db);
   bool found = false;
-  Binding binding;
-  MatchFrom(atoms, comparisons, 0, db, &binding, [&found](const Binding&) {
+  RunPlan(plan, [&found](const std::vector<rel::Value>&) {
     found = true;
-    return false;
+    return false;  // one witness suffices
   });
   return found;
 }
@@ -266,9 +489,14 @@ bool EnumerateMatches(const std::vector<Atom>& body,
                       const std::vector<Comparison>& comparisons,
                       const rel::Database& db,
                       const std::function<bool(const Binding&)>& on_match) {
-  std::vector<Atom> ordered = OrderAtomsGreedily(body);
-  Binding binding;
-  return MatchFrom(ordered, comparisons, 0, db, &binding, on_match);
+  JoinPlan plan = CompilePlan(OrderAtomsGreedily(body, db), comparisons, db);
+  return RunPlan(plan, [&](const std::vector<rel::Value>& slots) {
+    Binding binding;
+    for (const auto& [var, slot] : plan.var_slot) {  // ascending var order
+      binding.emplace_hint(binding.end(), var, slots[slot]);
+    }
+    return on_match(binding);
+  });
 }
 
 rel::Relation ConjunctiveQuery::Evaluate(const rel::Database& db) const {
@@ -282,31 +510,48 @@ rel::Relation ConjunctiveQuery::Evaluate(const rel::Database& db) const {
   std::vector<Comparison> head_comparisons;
   for (size_t i = 0; i < components.atoms.size(); ++i) {
     if (components.touches_head[i]) {
-      std::vector<Atom> ordered = OrderAtomsGreedily(components.atoms[i]);
+      std::vector<Atom> ordered = OrderAtomsGreedily(components.atoms[i], db);
       head_atoms.insert(head_atoms.end(), ordered.begin(), ordered.end());
       head_comparisons.insert(head_comparisons.end(),
                               components.comparisons[i].begin(),
                               components.comparisons[i].end());
-    } else if (!ComponentHasMatch(OrderAtomsGreedily(components.atoms[i]),
+    } else if (!ComponentHasMatch(OrderAtomsGreedily(components.atoms[i], db),
                                   components.comparisons[i], db)) {
       return out;
     }
   }
 
-  Binding binding;
-  MatchFrom(head_atoms, head_comparisons, 0, db, &binding,
-            [&](const Binding& b) {
-              rel::Tuple t;
-              t.reserve(head_.size());
-              for (const Term& term : head_) {
-                auto v = ResolveTerm(term, b);
-                SWS_CHECK(v.has_value())
-                    << "unsafe head variable " << term.ToString();
-                t.push_back(*v);
-              }
-              out.Insert(std::move(t));
-              return true;
-            });
+  JoinPlan plan = CompilePlan(head_atoms, head_comparisons, db);
+  if (plan.never_matches || plan.comparison_failed) return out;
+  // Resolve head terms to slots/constants once, outside the match loop.
+  struct HeadPart {
+    int slot = -1;  // -1: the constant below
+    rel::Value constant;
+  };
+  std::vector<HeadPart> head_parts;
+  head_parts.reserve(head_.size());
+  for (const Term& term : head_) {
+    HeadPart part;
+    if (term.is_var()) {
+      auto it = plan.var_slot.find(term.var());
+      SWS_CHECK(it != plan.var_slot.end())
+          << "unsafe head variable " << term.ToString();
+      part.slot = it->second;
+    } else {
+      part.constant = term.value();
+    }
+    head_parts.push_back(std::move(part));
+  }
+
+  RunPlan(plan, [&](const std::vector<rel::Value>& slots) {
+    rel::Tuple t;
+    t.reserve(head_parts.size());
+    for (const HeadPart& part : head_parts) {
+      t.push_back(part.slot >= 0 ? slots[part.slot] : part.constant);
+    }
+    out.Insert(std::move(t));
+    return true;
+  });
   return out;
 }
 
@@ -332,7 +577,7 @@ bool ConjunctiveQuery::EvaluatesNonempty(const rel::Database& db) const {
       SplitComponents(body_, comparisons_, head_);
   if (components.constant_comparison_failed) return false;
   for (size_t i = 0; i < components.atoms.size(); ++i) {
-    if (!ComponentHasMatch(OrderAtomsGreedily(components.atoms[i]),
+    if (!ComponentHasMatch(OrderAtomsGreedily(components.atoms[i], db),
                            components.comparisons[i], db)) {
       return false;
     }

@@ -43,8 +43,12 @@ struct Comparison {
 /// where the A_i are positive atoms and the c_j are (in)equalities.
 ///
 /// Safety: every variable in the head or in a comparison must occur in
-/// some body atom (checked by Validate()). Evaluation is by backtracking
-/// join over the body atoms.
+/// some body atom (checked by Validate()). Evaluation compiles the body
+/// into an indexed join plan: atoms are greedily ordered by bound-argument
+/// count (ties toward smaller relations), each atom probes a per-relation
+/// hash index over its bound columns (rel::Relation::GetIndex), bindings
+/// live in a flat slot vector, and each comparison is checked exactly once
+/// at the first point both sides are bound.
 class ConjunctiveQuery {
  public:
   ConjunctiveQuery() = default;

@@ -125,6 +125,13 @@ int FoFormula::bound_var() const {
 bool FoFormula::Eval(const rel::Database& db,
                      const std::set<rel::Value>& domain,
                      const Binding& binding) const {
+  Binding scratch = binding;  // single copy; quantifiers mutate in place
+  return EvalMutable(db, domain, &scratch);
+}
+
+bool FoFormula::EvalMutable(const rel::Database& db,
+                            const std::set<rel::Value>& domain,
+                            Binding* binding) const {
   switch (node_->kind) {
     case Kind::kAtom: {
       if (!db.Contains(node_->relation)) return false;
@@ -133,7 +140,7 @@ bool FoFormula::Eval(const rel::Database& db,
       rel::Tuple t;
       t.reserve(node_->args.size());
       for (const Term& term : node_->args) {
-        auto v = ResolveTerm(term, binding);
+        auto v = ResolveTerm(term, *binding);
         SWS_CHECK(v.has_value()) << "unbound variable " << term.ToString()
                                  << " in FO atom";
         t.push_back(*v);
@@ -141,33 +148,46 @@ bool FoFormula::Eval(const rel::Database& db,
       return rel.Contains(t);
     }
     case Kind::kEq: {
-      auto l = ResolveTerm(node_->args[0], binding);
-      auto r = ResolveTerm(node_->args[1], binding);
+      auto l = ResolveTerm(node_->args[0], *binding);
+      auto r = ResolveTerm(node_->args[1], *binding);
       SWS_CHECK(l.has_value() && r.has_value()) << "unbound variable in '='";
       return *l == *r;
     }
     case Kind::kNot:
-      return !node_->children[0].Eval(db, domain, binding);
+      return !node_->children[0].EvalMutable(db, domain, binding);
     case Kind::kAnd:
       for (const auto& c : node_->children) {
-        if (!c.Eval(db, domain, binding)) return false;
+        if (!c.EvalMutable(db, domain, binding)) return false;
       }
       return true;
     case Kind::kOr:
       for (const auto& c : node_->children) {
-        if (c.Eval(db, domain, binding)) return true;
+        if (c.EvalMutable(db, domain, binding)) return true;
       }
       return false;
     case Kind::kExists:
     case Kind::kForall: {
       const bool is_exists = node_->kind == Kind::kExists;
-      Binding extended = binding;
-      for (const rel::Value& v : domain) {
-        extended[node_->bound_var] = v;
-        bool sub = node_->children[0].Eval(db, domain, extended);
-        if (sub == is_exists) return is_exists;
+      // The quantifier may shadow an outer binding of the same variable:
+      // save it and restore on exit (including early exit).
+      std::optional<rel::Value> saved;
+      if (auto it = binding->find(node_->bound_var); it != binding->end()) {
+        saved = it->second;
       }
-      return !is_exists;
+      bool result = !is_exists;
+      for (const rel::Value& v : domain) {
+        (*binding)[node_->bound_var] = v;
+        if (node_->children[0].EvalMutable(db, domain, binding) == is_exists) {
+          result = is_exists;  // witness / counterexample: short-circuit
+          break;
+        }
+      }
+      if (saved.has_value()) {
+        (*binding)[node_->bound_var] = *std::move(saved);
+      } else {
+        binding->erase(node_->bound_var);
+      }
+      return result;
     }
   }
   return false;
@@ -300,10 +320,23 @@ std::optional<std::string> FoQuery::Validate() const {
 }
 
 rel::Relation FoQuery::Evaluate(const rel::Database& db) const {
-  std::set<rel::Value> domain = db.ActiveDomain();
-  for (const rel::Value& c : formula_.Constants()) domain.insert(c);
+  // Active-domain semantics: quantify over adom(db) plus the query's
+  // constants. The shared snapshot is cached per database generation;
+  // copy it only if some constant is actually missing from it.
+  std::shared_ptr<const std::set<rel::Value>> adom = db.ActiveDomainShared();
+  std::set<rel::Value> constants = formula_.Constants();
   for (const Term& t : head_) {
-    if (t.is_const()) domain.insert(t.value());
+    if (t.is_const()) constants.insert(t.value());
+  }
+  const std::set<rel::Value>* domain = adom.get();
+  std::set<rel::Value> extended;
+  for (const rel::Value& c : constants) {
+    if (adom->count(c) == 0) {
+      extended = *adom;
+      extended.insert(constants.begin(), constants.end());
+      domain = &extended;
+      break;
+    }
   }
   // Enumerate assignments of the head *variables* over the domain.
   std::vector<int> vars;
@@ -317,7 +350,7 @@ rel::Relation FoQuery::Evaluate(const rel::Database& db) const {
   Binding binding;
   std::function<void(size_t)> assign = [&](size_t i) {
     if (i == vars.size()) {
-      if (formula_.Eval(db, domain, binding)) {
+      if (formula_.EvalMutable(db, *domain, &binding)) {
         rel::Tuple t;
         t.reserve(head_.size());
         for (const Term& term : head_) {
@@ -329,7 +362,7 @@ rel::Relation FoQuery::Evaluate(const rel::Database& db) const {
       }
       return;
     }
-    for (const rel::Value& v : domain) {
+    for (const rel::Value& v : *domain) {
       binding[vars[i]] = v;
       assign(i + 1);
     }
@@ -433,15 +466,16 @@ FoBoundedSatResult FoBoundedSat(const FoFormula& sentence,
   FoBoundedSatResult result;
   std::map<std::string, size_t> arities = sentence.RelationArities();
   uint64_t budget = max_databases;
+  std::set<rel::Value> constants = sentence.Constants();
   for (size_t k = 1; k <= max_domain_size && !result.found; ++k) {
-    std::set<rel::Value> domain;
+    // The evaluation domain depends only on k, not on the candidate
+    // database — build it once per k instead of once per database.
+    std::set<rel::Value> eval_domain = constants;
     for (size_t v = 1; v <= k; ++v) {
-      domain.insert(rel::Value::Int(static_cast<int64_t>(v)));
+      eval_domain.insert(rel::Value::Int(static_cast<int64_t>(v)));
     }
     EnumerateDatabases(arities, k, &budget, [&](const rel::Database& db) {
       ++result.databases_checked;
-      std::set<rel::Value> eval_domain = domain;
-      for (const rel::Value& c : sentence.Constants()) eval_domain.insert(c);
       if (sentence.Eval(db, eval_domain, {})) {
         result.found = true;
         result.witness = db;

@@ -60,6 +60,16 @@ class FoFormula {
   bool Eval(const rel::Database& db, const std::set<rel::Value>& domain,
             const Binding& binding) const;
 
+  /// As above, but extends `binding` in place while walking quantifiers
+  /// (saving and restoring shadowed entries) instead of copying the map
+  /// at every quantifier node; `binding` is unchanged on return. This is
+  /// the hot path — Eval copies once and delegates here. (A separate
+  /// name, not an overload: `Eval(db, domain, {})` must keep meaning an
+  /// empty binding, not a null pointer.)
+  bool EvalMutable(const rel::Database& db,
+                   const std::set<rel::Value>& domain,
+                   Binding* binding) const;
+
   /// Free variables of the formula.
   std::set<int> FreeVars() const;
   /// All constants occurring in the formula.

@@ -12,8 +12,33 @@ Database::Database(const Schema& schema) {
   }
 }
 
+Database::Database(const Database& other) : relations_(other.relations_) {}
+
+Database& Database::operator=(const Database& other) {
+  if (this != &other) {
+    relations_ = other.relations_;
+    ++structural_gen_;
+  }
+  return *this;
+}
+
+Database::Database(Database&& other) noexcept
+    : relations_(std::move(other.relations_)) {
+  ++other.structural_gen_;
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this != &other) {
+    relations_ = std::move(other.relations_);
+    ++structural_gen_;
+    ++other.structural_gen_;
+  }
+  return *this;
+}
+
 void Database::Set(const std::string& name, Relation relation) {
   relations_.insert_or_assign(name, std::move(relation));
+  ++structural_gen_;
 }
 
 const Relation& Database::Get(const std::string& name) const {
@@ -41,10 +66,25 @@ bool Database::empty() const {
   return true;
 }
 
+std::pair<uint64_t, uint64_t> Database::Generation() const {
+  uint64_t sum = 0;
+  for (const auto& [name, rel] : relations_) sum += rel.generation();
+  return {structural_gen_, sum};
+}
+
 std::set<Value> Database::ActiveDomain() const {
-  std::set<Value> adom;
-  for (const auto& [name, rel] : relations_) rel.CollectValues(&adom);
-  return adom;
+  return *ActiveDomainShared();
+}
+
+std::shared_ptr<const std::set<Value>> Database::ActiveDomainShared() const {
+  const std::pair<uint64_t, uint64_t> key = Generation();
+  std::lock_guard<std::mutex> lock(adom_mu_);
+  if (adom_cache_ != nullptr && adom_key_ == key) return adom_cache_;
+  auto adom = std::make_shared<std::set<Value>>();
+  for (const auto& [name, rel] : relations_) rel.CollectValues(adom.get());
+  adom_cache_ = std::move(adom);
+  adom_key_ = key;
+  return adom_cache_;
 }
 
 std::string Database::ToString() const {

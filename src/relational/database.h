@@ -1,9 +1,13 @@
 #ifndef SWS_RELATIONAL_DATABASE_H_
 #define SWS_RELATIONAL_DATABASE_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "relational/relation.h"
 #include "relational/schema.h"
@@ -16,19 +20,27 @@ namespace sws::rel {
 /// (see relational/actions.h and sws/session.h).
 ///
 /// Thread-safety (audited for src/runtime): all const members are pure
-/// reads with no caches or other hidden mutable state, so a Database may
-/// be read from any number of threads concurrently as long as no thread
-/// calls Set/GetMutable — the concurrent runtime shares one immutable
-/// seed instance across workers and gives each session a private copy.
-/// The run engine (sws/execution.cc) copies the database into its
-/// per-run environment, so core::Run itself never writes the caller's
-/// instance. Relation and Value are likewise cache-free const readers.
+/// reads or internally-synchronized caches (ActiveDomainShared guards
+/// its lazy rebuild with a mutex), so a Database may be read from any
+/// number of threads concurrently as long as no thread calls
+/// Set/GetMutable — the concurrent runtime shares one immutable seed
+/// instance across workers and gives each session a private copy. The
+/// run engine (sws/execution.cc) copies the database into its per-run
+/// environment, so core::Run itself never writes the caller's instance.
+/// Relation and Value are likewise safe const readers.
 class Database {
  public:
   Database() = default;
 
   /// An empty instance of every relation in the schema.
   explicit Database(const Schema& schema);
+
+  /// Copies/moves transfer the relations but not the active-domain
+  /// cache (rebuilt on demand).
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
 
   /// Sets (replaces) the instance of the named relation.
   void Set(const std::string& name, Relation relation);
@@ -52,12 +64,30 @@ class Database {
   /// The active domain: every value occurring in some relation instance.
   std::set<Value> ActiveDomain() const;
 
+  /// Shared snapshot of the active domain, cached per database
+  /// generation: a Set call or any relation mutation (tracked through
+  /// Relation::generation, so mutations via GetMutable pointers are
+  /// seen) invalidates the cache. The returned set stays valid as a
+  /// snapshot even if the database mutates afterwards.
+  std::shared_ptr<const std::set<Value>> ActiveDomainShared() const;
+
   std::string ToString() const;
 
-  friend bool operator==(const Database&, const Database&) = default;
+  friend bool operator==(const Database& a, const Database& b) {
+    return a.relations_ == b.relations_;
+  }
 
  private:
+  /// Version key for derived-state caches: (structural changes, sum of
+  /// relation generations). Both components only grow between structural
+  /// changes, so key equality means "unchanged".
+  std::pair<uint64_t, uint64_t> Generation() const;
+
   std::map<std::string, Relation> relations_;
+  uint64_t structural_gen_ = 0;
+  mutable std::mutex adom_mu_;
+  mutable std::shared_ptr<const std::set<Value>> adom_cache_;
+  mutable std::pair<uint64_t, uint64_t> adom_key_{~uint64_t{0}, ~uint64_t{0}};
 };
 
 }  // namespace sws::rel

@@ -1,5 +1,6 @@
 #include "relational/relation.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/common.h"
@@ -10,49 +11,139 @@ Relation::Relation(size_t arity, std::vector<Tuple> tuples) : arity_(arity) {
   for (auto& t : tuples) Insert(std::move(t));
 }
 
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_), tuples_(other.tuples_) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this != &other) {
+    arity_ = other.arity_;
+    tuples_ = other.tuples_;
+    Touch();
+  }
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : arity_(other.arity_), tuples_(std::move(other.tuples_)) {
+  other.Touch();
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this != &other) {
+    arity_ = other.arity_;
+    tuples_ = std::move(other.tuples_);
+    Touch();
+    other.Touch();
+  }
+  return *this;
+}
+
+void Relation::Touch() {
+  ++generation_;
+  // No lock needed: mutation may not race with reads by contract.
+  indexes_.clear();
+}
+
 bool Relation::Insert(Tuple t) {
   SWS_CHECK_EQ(t.size(), arity_) << "arity mismatch inserting "
                                  << TupleToString(t);
-  return tuples_.insert(std::move(t)).second;
+  bool inserted = tuples_.insert(std::move(t)).second;
+  if (inserted) Touch();
+  return inserted;
+}
+
+bool Relation::Erase(const Tuple& t) {
+  bool erased = tuples_.erase(t) > 0;
+  if (erased) Touch();
+  return erased;
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  Touch();
+}
+
+Relation Relation::FromSorted(size_t arity, std::vector<Tuple> sorted) {
+  Relation r(arity);
+  // Hinted insertion at end(): O(1) amortized per tuple for sorted input.
+  for (auto& t : sorted) {
+    SWS_CHECK_EQ(t.size(), arity);
+    r.tuples_.insert(r.tuples_.end(), std::move(t));
+  }
+  return r;
+}
+
+void Relation::MergeFrom(Relation&& other) {
+  SWS_CHECK_EQ(arity_, other.arity_);
+  tuples_.merge(std::move(other.tuples_));  // node splicing, no copies
+  Touch();
+  other.Touch();
 }
 
 Relation Relation::Union(const Relation& other) const {
   SWS_CHECK_EQ(arity_, other.arity_);
-  Relation r = *this;
-  for (const auto& t : other.tuples_) r.tuples_.insert(t);
-  return r;
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::set_union(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                 other.tuples_.end(), std::back_inserter(merged));
+  return FromSorted(arity_, std::move(merged));
 }
 
 Relation Relation::Intersect(const Relation& other) const {
   SWS_CHECK_EQ(arity_, other.arity_);
-  Relation r(arity_);
-  for (const auto& t : tuples_) {
-    if (other.Contains(t)) r.tuples_.insert(t);
-  }
-  return r;
+  std::vector<Tuple> merged;
+  std::set_intersection(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                        other.tuples_.end(), std::back_inserter(merged));
+  return FromSorted(arity_, std::move(merged));
 }
 
 Relation Relation::Difference(const Relation& other) const {
   SWS_CHECK_EQ(arity_, other.arity_);
-  Relation r(arity_);
-  for (const auto& t : tuples_) {
-    if (!other.Contains(t)) r.tuples_.insert(t);
-  }
-  return r;
+  std::vector<Tuple> merged;
+  std::set_difference(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                      other.tuples_.end(), std::back_inserter(merged));
+  return FromSorted(arity_, std::move(merged));
 }
 
 bool Relation::SubsetOf(const Relation& other) const {
   SWS_CHECK_EQ(arity_, other.arity_);
-  for (const auto& t : tuples_) {
-    if (!other.Contains(t)) return false;
-  }
-  return true;
+  return std::includes(other.tuples_.begin(), other.tuples_.end(),
+                       tuples_.begin(), tuples_.end());
 }
 
 void Relation::CollectValues(std::set<Value>* out) const {
   for (const auto& t : tuples_) {
     for (const auto& v : t) out->insert(v);
   }
+}
+
+size_t Relation::Hash() const {
+  size_t h = 1469598103934665603ull ^ arity_;
+  TupleHash tuple_hash;
+  for (const Tuple& t : tuples_) {
+    h = (h ^ tuple_hash(t)) * 1099511628211ull;
+  }
+  return h;
+}
+
+const Relation::Index* Relation::GetIndex(uint64_t mask) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  for (const auto& index : indexes_) {
+    if (index->mask == mask) return index.get();
+  }
+  auto index = std::make_shared<Index>();
+  index->mask = mask;
+  for (size_t c = 0; c < arity_ && c < 64; ++c) {
+    if ((mask >> c) & 1) index->cols.push_back(c);
+  }
+  for (const Tuple& t : tuples_) {
+    Tuple key;
+    key.reserve(index->cols.size());
+    for (size_t c : index->cols) key.push_back(t[c]);
+    index->buckets[std::move(key)].push_back(&t);
+  }
+  indexes_.push_back(std::move(index));
+  return indexes_.back().get();
 }
 
 std::string Relation::ToString() const {

@@ -1,8 +1,12 @@
 #ifndef SWS_RELATIONAL_RELATION_H_
 #define SWS_RELATIONAL_RELATION_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "relational/value.h"
@@ -15,6 +19,15 @@ namespace sws::rel {
 /// important because SWS runs must be deterministic functions of (D, I)
 /// (the paper's central modeling point) and because tests compare printed
 /// forms.
+///
+/// On top of the ordered set, a relation lazily builds hash indexes keyed
+/// by bound-column masks (see GetIndex) so the join engine in logic/cq.cc
+/// can probe matching tuples in O(1) instead of scanning. Indexes are a
+/// cache: any mutation invalidates them and bumps generation().
+///
+/// Thread-safety (audited for src/runtime): concurrent const readers are
+/// safe, including concurrent GetIndex calls (the lazy build is guarded
+/// by an internal mutex); mutations must not race with reads, as before.
 class Relation {
  public:
   /// An empty relation of the given arity.
@@ -23,6 +36,14 @@ class Relation {
   /// A relation holding the given tuples; all must share one arity.
   Relation(size_t arity, std::vector<Tuple> tuples);
 
+  /// Copies/moves transfer arity and tuples but not the index cache
+  /// (rebuilt on demand). Assignment bumps the destination's generation
+  /// so callers caching derived state per generation notice the change.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
+
   size_t arity() const { return arity_; }
   size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
@@ -30,30 +51,72 @@ class Relation {
   /// Inserts a tuple. Aborts on arity mismatch. Returns true if new.
   bool Insert(Tuple t);
   /// Removes a tuple if present; returns true if it was present.
-  bool Erase(const Tuple& t) { return tuples_.erase(t) > 0; }
+  bool Erase(const Tuple& t);
   bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
-  void Clear() { tuples_.clear(); }
+  void Clear();
 
   const std::set<Tuple>& tuples() const { return tuples_; }
   auto begin() const { return tuples_.begin(); }
   auto end() const { return tuples_.end(); }
 
-  /// Set operations; operands must share the arity.
+  /// Set operations; operands must share the arity. All three run in
+  /// O(|this| + |other|) via sorted merges + bulk construction.
   Relation Union(const Relation& other) const;
   Relation Intersect(const Relation& other) const;
   Relation Difference(const Relation& other) const;
   bool SubsetOf(const Relation& other) const;
 
+  /// Moves all of `other`'s tuples into this relation by set-node
+  /// splicing (no tuple copies, no re-balancing per tuple). `other` is
+  /// left holding the duplicates (tuples already present here).
+  void MergeFrom(Relation&& other);
+
+  /// Bulk construction from an already sorted, deduplicated tuple vector
+  /// in O(n) (hinted insertion) — the fast path behind the set algebra.
+  static Relation FromSorted(size_t arity, std::vector<Tuple> sorted);
+
   /// All values occurring in any tuple (contribution to the active domain).
   void CollectValues(std::set<Value>* out) const;
 
+  /// Deterministic FNV-style hash of (arity, tuple set); tuples_ is
+  /// ordered, so equal relations hash equal. Keys the execution-tree
+  /// memo cache (sws/execution.cc).
+  size_t Hash() const;
+
+  /// Bumped on every mutation (and on assignment); lets callers cache
+  /// derived state — e.g. Database's active domain — per version.
+  uint64_t generation() const { return generation_; }
+
+  /// A hash index over the columns set in `mask` (bit i ⇒ column i;
+  /// columns ≥ 64 cannot be indexed). The probe key is the tuple of
+  /// values at those columns, ascending. Built lazily on first request
+  /// and cached until the next mutation. Bucket vectors list tuples in
+  /// set order (deterministic). The returned pointer stays valid until
+  /// the relation is mutated, assigned over, or destroyed.
+  struct Index {
+    uint64_t mask = 0;
+    std::vector<size_t> cols;  // the set bits of mask, ascending
+    std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> buckets;
+  };
+  const Index* GetIndex(uint64_t mask) const;
+
   std::string ToString() const;
 
-  friend bool operator==(const Relation&, const Relation&) = default;
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.arity_ == b.arity_ && a.tuples_ == b.tuples_;
+  }
 
  private:
+  /// Records a mutation: bumps the generation and drops cached indexes.
+  void Touch();
+
   size_t arity_;
   std::set<Tuple> tuples_;
+  uint64_t generation_ = 0;
+  /// Lazily-built per-mask indexes; guarded so concurrent const readers
+  /// may trigger the build safely. Small (one entry per distinct mask).
+  mutable std::mutex index_mu_;
+  mutable std::vector<std::shared_ptr<const Index>> indexes_;
 };
 
 }  // namespace sws::rel

@@ -99,4 +99,20 @@ struct TupleHash {
 
 }  // namespace sws::rel
 
+/// std::hash support so Value/Tuple can key std::unordered_map directly
+/// (relation indexes, the execution-tree memo cache).
+template <>
+struct std::hash<sws::rel::Value> {
+  size_t operator()(const sws::rel::Value& v) const noexcept {
+    return v.Hash();
+  }
+};
+
+template <>
+struct std::hash<sws::rel::Tuple> {
+  size_t operator()(const sws::rel::Tuple& t) const noexcept {
+    return sws::rel::TupleHash()(t);
+  }
+};
+
 #endif  // SWS_RELATIONAL_VALUE_H_

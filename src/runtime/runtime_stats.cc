@@ -58,6 +58,7 @@ std::string StatsSnapshot::ToString() const {
       << " circuit_open=" << circuit_open << " retries=" << retries
       << " shed_low_priority=" << shed_low_priority
       << " expired_at_enqueue=" << expired_at_enqueue
+      << " memo_hits=" << memo_hits << " memo_misses=" << memo_misses
       << " queue_depth=" << queue_depth << " runs=" << total_runs()
       << " p50_us<=" << ApproxLatencyMicros(0.5)
       << " p99_us<=" << ApproxLatencyMicros(0.99);
@@ -75,6 +76,8 @@ std::string StatsSnapshot::ToJson() const {
       << ",\"circuit_open\":" << circuit_open << ",\"retries\":" << retries
       << ",\"shed_low_priority\":" << shed_low_priority
       << ",\"expired_at_enqueue\":" << expired_at_enqueue
+      << ",\"memo_hits\":" << memo_hits
+      << ",\"memo_misses\":" << memo_misses
       << ",\"queue_depth\":" << queue_depth << ",\"runs\":" << total_runs()
       << ",\"p50_us\":" << ApproxLatencyMicros(0.5)
       << ",\"p99_us\":" << ApproxLatencyMicros(0.99) << "}";
@@ -105,6 +108,8 @@ StatsSnapshot RuntimeStats::Snapshot(uint64_t queue_depth) const {
       shed_low_priority_.load(std::memory_order_relaxed);
   snap.expired_at_enqueue =
       expired_at_enqueue_.load(std::memory_order_relaxed);
+  snap.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  snap.memo_misses = memo_misses_.load(std::memory_order_relaxed);
   snap.queue_depth = queue_depth;
   snap.shard_latency.reserve(shard_latency_.size());
   for (const LatencyHistogram& h : shard_latency_) {

@@ -41,6 +41,8 @@ struct StatsSnapshot {
   uint64_t retries = 0;            // extra run attempts by the retry loop
   uint64_t shed_low_priority = 0;  // low-priority shed before hard-full
   uint64_t expired_at_enqueue = 0; // dead on arrival; never admitted
+  uint64_t memo_hits = 0;          // subtrees replayed from the memo cache
+  uint64_t memo_misses = 0;        // subtrees evaluated and cached
   uint64_t queue_depth = 0;        // admitted but not yet completed
   /// Per-shard session-run latency histograms (delimiter runs only; the
   /// buffering of a non-delimiter message is not a run).
@@ -91,6 +93,11 @@ class RuntimeStats {
   void OnExpiredAtEnqueue() {
     expired_at_enqueue_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Execution-tree memoization counters from one committed session run.
+  void OnMemo(uint64_t hits, uint64_t misses) {
+    if (hits > 0) memo_hits_.fetch_add(hits, std::memory_order_relaxed);
+    if (misses > 0) memo_misses_.fetch_add(misses, std::memory_order_relaxed);
+  }
   void RecordRunLatency(size_t shard, uint64_t micros);
 
   /// The queue-depth gauge is owned by the admission layer (it doubles as
@@ -109,6 +116,8 @@ class RuntimeStats {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> shed_low_priority_{0};
   std::atomic<uint64_t> expired_at_enqueue_{0};
+  std::atomic<uint64_t> memo_hits_{0};
+  std::atomic<uint64_t> memo_misses_{0};
   std::vector<LatencyHistogram> shard_latency_;
 };
 

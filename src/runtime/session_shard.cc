@@ -127,6 +127,7 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
   }
   session.breaker.OnRunSuccess();
   stats->OnSessionClosed();
+  stats->OnMemo(outcome->memo_hits, outcome->memo_misses);
   if (envelope.callback) {
     const uint32_t attempts = outcome->attempts;
     envelope.callback(Outcome{core::Status::Ok(),

@@ -1,6 +1,8 @@
 #include "sws/execution.h"
 
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
 #include "util/common.h"
 
@@ -52,6 +54,9 @@ class Engine {
     result.output = ok ? root->act : rel::Relation(sws_.rout_arity());
     result.num_nodes = num_nodes_;
     result.max_timestamp = max_consumed_;
+    result.memo_hits = memo_hits_;
+    result.memo_misses = memo_misses_;
+    result.memo_entries = memo_.size();
     if (options_.keep_tree) result.tree = std::move(root);
     return result;
   }
@@ -64,14 +69,46 @@ class Engine {
   }
 
   // Fills node->act; returns false if the node budget was exhausted.
+  //
+  // Memoization: given fixed (D, I), the engine computes node->act as a
+  // deterministic function of (state, j, msg) — conditions (1)-(4) below
+  // consult nothing else — so identical labels yield identical subtrees
+  // and the cache replays them at the cost of a single node. The root is
+  // excluded (RunSeeded's seed makes it a different function), and
+  // entries are only inserted after a subtree completes, so a budget
+  // abort never caches a partial result. max_consumed_ needs no
+  // replaying on a hit: it is a global max, and the first (cached)
+  // evaluation of the subtree already applied its contributions.
   bool Eval(int state, size_t j, rel::Relation msg, bool is_root,
             ExecNode* node) {
     if (++num_nodes_ > options_.max_nodes) return false;
     node->state = state;
     node->timestamp = j;
-    node->msg = msg;
+    // Keep a copy of the register only if the caller retains the tree —
+    // the evaluation itself reads the local `msg` (one copy per node at
+    // most, where the seed version always copied).
+    if (options_.keep_tree) node->msg = msg;
     node->act = rel::Relation(sws_.rout_arity());
+    if (!memoize_ || is_root) {
+      return EvalInner(state, j, std::move(msg), is_root, node);
+    }
+    MemoKey key{state, j, std::move(msg)};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ++memo_hits_;
+      node->act = it->second;
+      return true;
+    }
+    ++memo_misses_;
+    // The key keeps the register alive; evaluate against a reference so
+    // insertion below can still move the key into the map.
+    if (!EvalInner(state, j, key.msg, is_root, node)) return false;
+    memo_.emplace(std::move(key), node->act);
+    return true;
+  }
 
+  bool EvalInner(int state, size_t j, rel::Relation msg, bool is_root,
+                 ExecNode* node) {
     const size_t n = input_.size();
     // Condition (1): exhausted input, or an empty register at a non-root
     // node. The root (empty register by construction, or an empty seed)
@@ -117,12 +154,37 @@ class Engine {
     return true;
   }
 
+  // Subtree cache: (state, timestamp, Msg) -> Act. Per-run only — a new
+  // (D, I) pair gets a fresh Engine, so no cross-run invalidation is
+  // needed.
+  struct MemoKey {
+    int state;
+    size_t timestamp;
+    rel::Relation msg;
+
+    friend bool operator==(const MemoKey& a, const MemoKey& b) {
+      return a.state == b.state && a.timestamp == b.timestamp &&
+             a.msg == b.msg;
+    }
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& k) const {
+      size_t h = std::hash<int>()(k.state);
+      h = h * 1099511628211ull ^ std::hash<size_t>()(k.timestamp);
+      return h * 1099511628211ull ^ k.msg.Hash();
+    }
+  };
+
   const Sws& sws_;
   const rel::InputSequence& input_;
   const RunOptions& options_;
   rel::Database env_;
   size_t num_nodes_ = 0;
   size_t max_consumed_ = 0;
+  const bool memoize_ = options_.memoize && !options_.keep_tree;
+  std::unordered_map<MemoKey, rel::Relation, MemoKeyHash> memo_;
+  size_t memo_hits_ = 0;
+  size_t memo_misses_ = 0;
 };
 
 }  // namespace

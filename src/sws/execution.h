@@ -31,6 +31,16 @@ struct ExecNode {
 struct RunOptions {
   /// Retain the full execution tree in RunResult::tree.
   bool keep_tree = false;
+  /// Memoize identical subtrees within the run: given fixed (D, I), a
+  /// node's action register is a deterministic function of its
+  /// (state, timestamp, Msg) label, so repeated labels — ubiquitous in
+  /// recursive services, whose trees otherwise grow exponentially — are
+  /// evaluated once and replayed. Sound by construction (Section 2:
+  /// runs are deterministic in (D, I)); the output never changes, only
+  /// num_nodes. Ignored when keep_tree is set, since a retained tree
+  /// must materialize every subtree. Hit/miss counts are reported in
+  /// RunResult.
+  bool memoize = true;
   /// Abort the run (kBudgetExceeded) if more nodes than this would be
   /// created — a guard for recursive services on long inputs.
   size_t max_nodes = 50'000'000;
@@ -52,9 +62,15 @@ struct RunResult {
   /// kInjectedFault) the output is empty, never partial.
   Status status;
   rel::Relation output;           // Act(root) = τ(D, I)
-  size_t num_nodes = 0;           // nodes in the execution tree
+  size_t num_nodes = 0;           // nodes evaluated (hits count as one)
   size_t max_timestamp = 0;       // l: inputs I_1..I_l were consumed
   std::unique_ptr<ExecNode> tree; // populated iff keep_tree
+  /// Memoization counters (all zero when RunOptions::memoize is off or
+  /// keep_tree suppressed it). For a successful memoized run,
+  /// num_nodes == 1 + memo_hits + memo_misses.
+  size_t memo_hits = 0;    // subtrees replayed from the cache
+  size_t memo_misses = 0;  // subtrees evaluated and cached
+  size_t memo_entries = 0; // cache size at end of run
 };
 
 /// The run of τ on (D, I): builds the execution tree top-down (one input

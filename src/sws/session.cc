@@ -60,6 +60,9 @@ std::optional<SessionRunner::SessionOutcome> SessionRunner::Feed(
     ++outcome.attempts;
   }
   outcome.status = run.status;
+  outcome.run_nodes = run.num_nodes;
+  outcome.memo_hits = run.memo_hits;
+  outcome.memo_misses = run.memo_misses;
   if (run.status.ok()) {
     outcome.output = run.output;
     outcome.commit = rel::CommitOutput(run.output, &db_);

@@ -47,6 +47,13 @@ class SessionRunner {
     /// a failed run commits nothing, so each attempt re-runs the same
     /// (D, I_session).
     uint32_t attempts = 1;
+    /// Execution-tree accounting for the final run attempt (see
+    /// RunResult): nodes evaluated and subtree-memoization hit/miss
+    /// counts. For a successful memoized run,
+    /// run_nodes == 1 + memo_hits + memo_misses.
+    size_t run_nodes = 0;
+    size_t memo_hits = 0;
+    size_t memo_misses = 0;
   };
 
   /// Feeds one message. A delimiter closes the current session: the

@@ -86,6 +86,10 @@ struct Delivery {
   bool is_delimiter;
   RunError code;
   uint32_t attempts;
+  // Execution accounting from the committed run (ok outcomes only).
+  uint64_t run_nodes = 0;
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
 };
 
 // Thread-safe record of every callback, keyed by session.
@@ -176,8 +180,13 @@ TEST(ChaosTest, InvariantsHoldUnderRandomizedFaults) {
               submit.deadline = std::chrono::milliseconds(5);
             }
             submit.callback = [&log, id, seq, is_delimiter](Outcome o) {
-              log.Record(id, Delivery{seq, is_delimiter, o.status.code(),
-                                      o.attempts});
+              Delivery d{seq, is_delimiter, o.status.code(), o.attempts};
+              if (o.session.has_value()) {
+                d.run_nodes = o.session->run_nodes;
+                d.memo_hits = o.session->memo_hits;
+                d.memo_misses = o.session->memo_misses;
+              }
+              log.Record(id, std::move(d));
             };
             ++stream.attempted;
             core::Status status =
@@ -231,7 +240,7 @@ TEST(ChaosTest, InvariantsHoldUnderRandomizedFaults) {
   // Per-session invariants from the callback log.
   std::map<std::string, std::vector<Delivery>> delivered = log.Take();
   uint64_t ok_outcomes = 0, injected = 0, circuit_open = 0, deadline = 0,
-           retries = 0;
+           retries = 0, memo_hits = 0, memo_misses = 0;
   for (const auto& [id, deliveries] : delivered) {
     // FIFO: outcome order == submission order (strictly increasing seqs).
     for (size_t i = 1; i < deliveries.size(); ++i) {
@@ -254,6 +263,12 @@ TEST(ChaosTest, InvariantsHoldUnderRandomizedFaults) {
       switch (d.code) {
         case RunError::kNone:
           ++ok_outcomes;
+          // Memoized-run accounting: every evaluated node is either the
+          // single root, a memo hit or a memo miss.
+          ASSERT_EQ(d.run_nodes, 1 + d.memo_hits + d.memo_misses)
+              << "memo accounting broken in session " << id;
+          memo_hits += d.memo_hits;
+          memo_misses += d.memo_misses;
           break;
         case RunError::kInjectedFault:
           ++injected;
@@ -283,6 +298,10 @@ TEST(ChaosTest, InvariantsHoldUnderRandomizedFaults) {
   EXPECT_EQ(stats.deadline_exceeded, deadline);
   EXPECT_EQ(stats.retries, retries);
   EXPECT_EQ(stats.budget_exceeded, 0u);  // the logger never trips budgets
+  // Memo counters are aggregated only from committed (ok) runs, so they
+  // must match the callback-side sums exactly.
+  EXPECT_EQ(stats.memo_hits, memo_hits);
+  EXPECT_EQ(stats.memo_misses, memo_misses);
 
   // The injector actually exercised the fault paths (seeded rates on
   // thousands of runs make this deterministic in expectation and robust

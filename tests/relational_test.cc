@@ -191,5 +191,102 @@ TEST(ActionsTest, CommitCreatesRelationOnDemand) {
   EXPECT_EQ(db.Get("Log").arity(), 2u);
 }
 
+TEST(RelationTest, IndexProbesBoundColumns) {
+  Relation r(2);
+  r.Insert({Value::Int(1), Value::Int(2)});
+  r.Insert({Value::Int(1), Value::Int(3)});
+  r.Insert({Value::Int(2), Value::Int(3)});
+  const Relation::Index* by_first = r.GetIndex(0b01);
+  ASSERT_NE(by_first, nullptr);
+  EXPECT_EQ(by_first->cols, std::vector<size_t>{0});
+  auto it = by_first->buckets.find({Value::Int(1)});
+  ASSERT_NE(it, by_first->buckets.end());
+  EXPECT_EQ(it->second.size(), 2u);
+  EXPECT_EQ(by_first->buckets.count({Value::Int(3)}), 0u);
+  // The same mask returns the cached index; a different mask builds a
+  // second one over the other column.
+  EXPECT_EQ(r.GetIndex(0b01), by_first);
+  const Relation::Index* by_second = r.GetIndex(0b10);
+  EXPECT_EQ(by_second->buckets.count({Value::Int(3)}), 1u);
+}
+
+TEST(RelationTest, MutationInvalidatesIndexes) {
+  // Regression: a stale index would keep answering from the
+  // pre-mutation instance. Every mutation path (Insert, Erase, Clear,
+  // assignment) must bump the generation and drop cached indexes.
+  Relation r(1);
+  r.Insert({Value::Int(1)});
+  const uint64_t gen0 = r.generation();
+  const Relation::Index* index = r.GetIndex(0b1);
+  EXPECT_EQ(index->buckets.count({Value::Int(2)}), 0u);
+
+  ASSERT_TRUE(r.Insert({Value::Int(2)}));
+  EXPECT_GT(r.generation(), gen0);
+  index = r.GetIndex(0b1);
+  EXPECT_EQ(index->buckets.count({Value::Int(2)}), 1u);
+
+  ASSERT_TRUE(r.Erase({Value::Int(1)}));
+  index = r.GetIndex(0b1);
+  EXPECT_EQ(index->buckets.count({Value::Int(1)}), 0u);
+
+  // Duplicate inserts / missing erases leave the set unchanged and must
+  // NOT invalidate (the generations gate Database's derived caches).
+  const uint64_t gen1 = r.generation();
+  EXPECT_FALSE(r.Insert({Value::Int(2)}));
+  EXPECT_FALSE(r.Erase({Value::Int(9)}));
+  EXPECT_EQ(r.generation(), gen1);
+
+  r = Relation(1);
+  EXPECT_GT(r.generation(), gen1);  // assignment counts as mutation
+  EXPECT_EQ(r.GetIndex(0b1)->buckets.size(), 0u);
+}
+
+TEST(RelationTest, BulkSetAlgebraAndMerge) {
+  Relation a(1), b(1);
+  for (int i = 0; i < 6; ++i) a.Insert({Value::Int(i)});
+  for (int i = 4; i < 10; ++i) b.Insert({Value::Int(i)});
+
+  EXPECT_EQ(a.Union(b).size(), 10u);
+  EXPECT_EQ(a.Intersect(b).size(), 2u);
+  EXPECT_EQ(a.Difference(b).size(), 4u);
+  EXPECT_TRUE(a.Intersect(b).SubsetOf(a));
+  EXPECT_FALSE(a.SubsetOf(b));
+
+  Relation merged = a;  // {0..5}
+  merged.MergeFrom(std::move(b));
+  EXPECT_EQ(merged.size(), 10u);
+  EXPECT_EQ(merged, a.Union(Relation(1, {{Value::Int(4)},
+                                         {Value::Int(5)},
+                                         {Value::Int(6)},
+                                         {Value::Int(7)},
+                                         {Value::Int(8)},
+                                         {Value::Int(9)}})));
+
+  Relation from_sorted = Relation::FromSorted(
+      1, {{Value::Int(1)}, {Value::Int(2)}, {Value::Int(3)}});
+  EXPECT_EQ(from_sorted.size(), 3u);
+  EXPECT_TRUE(from_sorted.Contains({Value::Int(2)}));
+}
+
+TEST(DatabaseTest, ActiveDomainCacheTracksMutations) {
+  Database db;
+  db.Set("R", Relation(1, {{Value::Int(1)}}));
+  auto first = db.ActiveDomainShared();
+  EXPECT_EQ(first->count(Value::Int(1)), 1u);
+  // Unchanged database: the snapshot is reused, not rebuilt.
+  EXPECT_EQ(db.ActiveDomainShared().get(), first.get());
+  // Mutation through a GetMutable pointer must be observed (tracked via
+  // the relation generation, not just Database::Set).
+  db.GetMutable("R")->Insert({Value::Int(7)});
+  auto second = db.ActiveDomainShared();
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_EQ(second->count(Value::Int(7)), 1u);
+  // The old snapshot is a stable copy of the pre-mutation domain.
+  EXPECT_EQ(first->count(Value::Int(7)), 0u);
+  // Replacing a relation through Set is a structural change.
+  db.Set("S", Relation(1, {{Value::Int(9)}}));
+  EXPECT_EQ(db.ActiveDomainShared()->count(Value::Int(9)), 1u);
+}
+
 }  // namespace
 }  // namespace sws::rel

@@ -714,5 +714,59 @@ TEST(RuntimeTest, StatsSnapshotFormats) {
   EXPECT_NE(stats.ToJson().find("\"sessions_closed\":1"), std::string::npos);
 }
 
+TEST(RuntimeTest, MemoStatsAggregateAcrossSessions) {
+  // A q0 with two identical successors: both children of the root carry
+  // the same (state, timestamp, Msg) label, so every committed session
+  // scores exactly one memo hit and one miss. The runtime must surface
+  // the per-run counters through SessionOutcome and aggregate them into
+  // the stats snapshot.
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  Sws sws(schema, 1, 3);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{core::kInputRelation, {Term::Var(0)}}});
+  sws.SetTransition(q0,
+                    {core::TransitionTarget{q1, core::RelQuery::Cq(pass)},
+                     core::TransitionTarget{q1, core::RelQuery::Cq(pass)}});
+  ConjunctiveQuery copy_up(
+      {Term::Var(0), Term::Var(1), Term::Var(2)},
+      {Atom{core::ActRelation(1), {Term::Var(0), Term::Var(1), Term::Var(2)}}});
+  sws.SetSynthesis(q0, core::RelQuery::Cq(copy_up));
+  sws.SetTransition(q1, {});
+  ConjunctiveQuery log_msg(
+      {Term::Str("ins"), Term::Str("Log"), Term::Var(0)},
+      {Atom{core::kMsgRelation, {Term::Var(0)}}});
+  sws.SetSynthesis(q1, core::RelQuery::Cq(log_msg));
+  ASSERT_FALSE(sws.Validate().has_value());
+
+  ServiceRuntime runtime(&sws, LoggerDb());
+  OutcomeCollector collector;
+  for (const char* id : {"alice", "bob"}) {
+    runtime.Submit(id, Msg(5), collector.Callback());
+    runtime.Submit(id, Delim(), collector.Callback());
+  }
+  runtime.Drain();
+
+  uint64_t hits = 0, misses = 0;
+  for (const Outcome& o : collector.Take()) {
+    if (!o.session.has_value()) continue;
+    ASSERT_TRUE(o.status.ok());
+    EXPECT_EQ(o.session->run_nodes,
+              1 + o.session->memo_hits + o.session->memo_misses);
+    hits += o.session->memo_hits;
+    misses += o.session->memo_misses;
+  }
+  EXPECT_EQ(hits, 2u);    // one replayed child per session
+  EXPECT_EQ(misses, 2u);  // one evaluated child per session
+
+  StatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.memo_hits, hits);
+  EXPECT_EQ(stats.memo_misses, misses);
+  EXPECT_NE(stats.ToString().find("memo_hits=2"), std::string::npos);
+  EXPECT_NE(stats.ToJson().find("\"memo_hits\":2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sws::rt
