@@ -1,0 +1,227 @@
+// Durability benchmarks (PR 4): write-ahead journal append throughput
+// under each fsync policy, snapshot capture cost, and full recovery
+// (scan + deterministic replay) latency as the session count grows.
+// The checked-in baseline is BENCH_persistence.json; regenerate with
+//   scripts/check.sh bench
+// after any change to src/persistence/ or the serde formats.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "logic/cq.h"
+#include "persistence/durability.h"
+#include "persistence/journal.h"
+#include "persistence/recovery.h"
+#include "persistence/serde.h"
+#include "persistence/snapshot.h"
+#include "sws/session.h"
+#include "util/common.h"
+
+namespace {
+
+using sws::core::SessionRunner;
+using sws::core::Sws;
+using sws::logic::Atom;
+using sws::logic::ConjunctiveQuery;
+using sws::logic::Term;
+using sws::rel::Relation;
+using sws::rel::Value;
+namespace persistence = sws::persistence;
+
+// The depth-2 logger of session_test: one committed insert per session.
+Sws MakeTwoLevelLogger() {
+  sws::rel::Schema schema;
+  schema.Add(sws::rel::RelationSchema("Log", {"x"}));
+  Sws sws(schema, 1, 3);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{sws::core::kInputRelation, {Term::Var(0)}}});
+  sws.SetTransition(
+      q0, {sws::core::TransitionTarget{q1, sws::core::RelQuery::Cq(pass)}});
+  ConjunctiveQuery copy_up(
+      {Term::Var(0), Term::Var(1), Term::Var(2)},
+      {Atom{sws::core::ActRelation(1),
+            {Term::Var(0), Term::Var(1), Term::Var(2)}}});
+  sws.SetSynthesis(q0, sws::core::RelQuery::Cq(copy_up));
+  sws.SetTransition(q1, {});
+  ConjunctiveQuery log_msg(
+      {Term::Str("ins"), Term::Str("Log"), Term::Var(0)},
+      {Atom{sws::core::kMsgRelation, {Term::Var(0)}}});
+  sws.SetSynthesis(q1, sws::core::RelQuery::Cq(log_msg));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+sws::rel::Database LoggerDb() {
+  sws::rel::Schema schema;
+  schema.Add(sws::rel::RelationSchema("Log", {"x"}));
+  return sws::rel::Database(schema);
+}
+
+Relation Msg(int64_t v) {
+  Relation m(1);
+  m.Insert({Value::Int(v)});
+  return m;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/sws_bench_persistence_XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    SWS_CHECK(made != nullptr);
+    path_ = made;
+  }
+  ~TempDir() {
+    std::vector<persistence::DurableFile> files;
+    if (persistence::ListDurableFiles(path_, &files).ok()) {
+      for (const persistence::DurableFile& f : files) {
+        ::unlink((path_ + "/" + f.name).c_str());
+      }
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Journal append throughput under one fsync policy. Policy is the whole
+// story here: kNever is a buffered write, kBatch adds one fsync per 64
+// inputs, kAlways one per append.
+void JournalAppendBench(benchmark::State& state,
+                        persistence::FsyncPolicy policy) {
+  TempDir dir;
+  persistence::DurabilityOptions options;
+  options.dir = dir.path();
+  options.fsync = policy;
+  // Keep rotation and snapshot triggers out of the measurement.
+  options.segment_bytes = 1ull << 30;
+  options.snapshot_interval_appends = 1ull << 40;
+  persistence::ShardDurability shard(options,
+                                     persistence::SegmentHeader{1, 0, 7}, 0,
+                                     nullptr);
+  const Relation payload = Msg(42);
+  uint64_t seq = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    persistence::JournalRecord record;
+    record.type = persistence::JournalRecord::Type::kInput;
+    record.session_id = "bench";
+    record.seq = seq++;
+    record.payload = payload;
+    sws::core::Status status = shard.AppendInput(record);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    bytes += 8 + 1 + 4 + 5 + 8 + 1 + 8 + 4 + 4 + 13;  // approx frame size
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+
+void BM_JournalAppendNever(benchmark::State& state) {
+  JournalAppendBench(state, persistence::FsyncPolicy::kNever);
+}
+BENCHMARK(BM_JournalAppendNever);
+
+void BM_JournalAppendBatch(benchmark::State& state) {
+  JournalAppendBench(state, persistence::FsyncPolicy::kBatch);
+}
+BENCHMARK(BM_JournalAppendBatch);
+
+void BM_JournalAppendAlways(benchmark::State& state) {
+  JournalAppendBench(state, persistence::FsyncPolicy::kAlways);
+}
+BENCHMARK(BM_JournalAppendAlways);
+
+// Snapshot capture cost vs session count: serialize + CRC + atomic
+// rename of N session images, each a one-tuple database.
+void BM_SnapshotWrite(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  std::vector<persistence::SessionImage> images;
+  images.reserve(sessions);
+  for (int i = 0; i < sessions; ++i) {
+    persistence::SessionImage image;
+    image.session_id = "s" + std::to_string(i);
+    image.db = LoggerDb();
+    image.db.GetMutable("Log")->Insert({Value::Int(i)});
+    image.next_seq = 2;
+    images.push_back(std::move(image));
+  }
+  persistence::SnapshotData data;
+  data.header = persistence::SegmentHeader{1, 0, 7};
+  data.sessions = images;
+  TempDir dir;
+  const std::string path =
+      dir.path() + "/" + persistence::SnapFileName(1, 0, 0);
+  for (auto _ : state) {
+    sws::core::Status status = persistence::WriteSnapshot(path, data, nullptr);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    ::unlink(path.c_str());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * sessions);
+}
+BENCHMARK(BM_SnapshotWrite)->RangeMultiplier(4)->Range(64, 1024);
+
+// Full recovery latency vs session count: scan a journal of N sessions
+// (one buffered input + one unacknowledged delimiter each) and replay
+// every session deterministically through the engine. Inspect() is the
+// non-mutating recovery path, so each iteration does the full work.
+void BM_RecoveryReplay(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  Sws sws = MakeTwoLevelLogger();
+  TempDir dir;
+  {
+    persistence::DurabilityOptions options;
+    options.dir = dir.path();
+    options.fsync = persistence::FsyncPolicy::kNever;
+    options.segment_bytes = 1ull << 30;
+    options.snapshot_interval_appends = 1ull << 40;
+    persistence::ShardDurability shard(
+        options,
+        persistence::SegmentHeader{1, 0, persistence::SwsFingerprint(sws)}, 0,
+        nullptr);
+    for (int i = 0; i < sessions; ++i) {
+      persistence::JournalRecord record;
+      record.type = persistence::JournalRecord::Type::kInput;
+      record.session_id = "s" + std::to_string(i);
+      record.seq = 0;
+      record.payload = Msg(i);
+      SWS_CHECK(shard.AppendInput(record).ok());
+      record.seq = 1;
+      record.payload = SessionRunner::DelimiterMessage(1);
+      SWS_CHECK(shard.AppendInput(record).ok());
+    }
+  }
+  for (auto _ : state) {
+    persistence::RecoveryManager manager(dir.path(), &sws, LoggerDb(),
+                                         persistence::RecoveryOptions{},
+                                         nullptr);
+    persistence::RecoveryResult result = manager.Inspect();
+    if (!result.status.ok()) {
+      state.SkipWithError(result.status.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+    SWS_CHECK(result.replayed.size() == static_cast<size_t>(sessions));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * sessions);
+}
+BENCHMARK(BM_RecoveryReplay)->RangeMultiplier(4)->Range(64, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

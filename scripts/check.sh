@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus sanitizer passes over the concurrent runtime:
 # a ThreadSanitizer pass (data races — including the chaos harness) and
-# an ASan+UBSan pass (memory errors / undefined behavior).
-# Usage: scripts/check.sh [release|tsan|asan|chaos|bench|all]   (default: all)
+# an ASan+UBSan pass (memory errors / undefined behavior), plus a
+# crash-recovery chaos pass (randomized kill points) under ASan.
+# Usage: scripts/check.sh [release|tsan|asan|chaos|recovery|bench|all]
+# (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-san_targets=(runtime_test session_test sws_run_test fault_test chaos_test)
+san_targets=(runtime_test session_test sws_run_test fault_test chaos_test
+             persistence_test crash_recovery_test)
 
 run_release() {
   echo "== Release build + full ctest =="
@@ -36,11 +39,27 @@ run_asan() {
 run_bench() {
   echo "== Query-engine benchmarks vs checked-in baseline =="
   cmake --preset release
-  cmake --build --preset release -j "$jobs" --target bench_query_engine
+  cmake --build --preset release -j "$jobs" --target bench_query_engine \
+    bench_persistence
   ./build/bench/bench_query_engine --benchmark_min_time=0.05 \
     --benchmark_format=json > /tmp/bench_query_engine.fresh.json
   python3 scripts/bench_diff.py BENCH_query_engine.json \
     /tmp/bench_query_engine.fresh.json
+  echo "== Durability benchmarks vs checked-in baseline =="
+  ./build/bench/bench_persistence --benchmark_min_time=0.05 \
+    --benchmark_format=json > /tmp/bench_persistence.fresh.json
+  # fsync timing is at the mercy of the host's storage stack; allow 2x.
+  python3 scripts/bench_diff.py BENCH_persistence.json \
+    /tmp/bench_persistence.fresh.json --threshold 1.0
+}
+
+run_recovery() {
+  echo "== Crash-recovery chaos harness (randomized kill points) under ASan =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" --target crash_recovery_test \
+    persistence_test
+  ASAN_OPTIONS="halt_on_error=1" ctest --test-dir build-asan -L recovery \
+    --output-on-failure -j 1
 }
 
 run_chaos() {
@@ -56,8 +75,10 @@ case "$mode" in
   tsan) run_tsan ;;
   asan) run_asan ;;
   chaos) run_chaos ;;
+  recovery) run_recovery ;;
   bench) run_bench ;;
   all) run_release; run_tsan; run_asan ;;
-  *) echo "usage: $0 [release|tsan|asan|chaos|bench|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [release|tsan|asan|chaos|recovery|bench|all]" >&2
+     exit 2 ;;
 esac
 echo "== check.sh ($mode): OK =="

@@ -1,0 +1,244 @@
+#include "persistence/durability.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "persistence/serde.h"
+
+namespace sws::persistence {
+
+namespace {
+
+core::Status IoError(const std::string& what, const std::string& path) {
+  return core::Status::Error(
+      core::RunError::kStorageFailure,
+      what + " failed for " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+core::Status ValidateDurabilityOptions(const DurabilityOptions& options) {
+  if (!options.enabled()) return core::Status::Ok();
+  if (options.fsync_batch_appends == 0) {
+    return core::Status::Error(
+        core::RunError::kStorageFailure,
+        "DurabilityOptions::fsync_batch_appends must be >= 1");
+  }
+  if (options.segment_bytes < 4096) {
+    return core::Status::Error(
+        core::RunError::kStorageFailure,
+        "DurabilityOptions::segment_bytes must be >= 4096");
+  }
+  if (options.snapshot_interval_appends == 0) {
+    return core::Status::Error(
+        core::RunError::kStorageFailure,
+        "DurabilityOptions::snapshot_interval_appends must be >= 1");
+  }
+  return core::Status::Ok();
+}
+
+std::string WalFileName(uint64_t incarnation, uint64_t shard, uint64_t n) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "wal-i%06" PRIu64 "-s%05" PRIu64 "-n%06" PRIu64 ".log",
+                incarnation, shard, n);
+  return buf;
+}
+
+std::string SnapFileName(uint64_t incarnation, uint64_t shard, uint64_t n) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "snap-i%06" PRIu64 "-s%05" PRIu64 "-n%06" PRIu64 ".snap",
+                incarnation, shard, n);
+  return buf;
+}
+
+bool ParseDurableFileName(const std::string& name, DurableFile* out) {
+  uint64_t inc = 0, shard = 0, n = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(),
+                  "wal-i%" SCNu64 "-s%" SCNu64 "-n%" SCNu64 ".log%n", &inc,
+                  &shard, &n, &consumed) == 3 &&
+      static_cast<size_t>(consumed) == name.size()) {
+    *out = DurableFile{name, /*is_snapshot=*/false, inc, shard, n};
+    return true;
+  }
+  consumed = 0;
+  if (std::sscanf(name.c_str(),
+                  "snap-i%" SCNu64 "-s%" SCNu64 "-n%" SCNu64 ".snap%n", &inc,
+                  &shard, &n, &consumed) == 3 &&
+      static_cast<size_t>(consumed) == name.size()) {
+    *out = DurableFile{name, /*is_snapshot=*/true, inc, shard, n};
+    return true;
+  }
+  return false;
+}
+
+core::Status ListDurableFiles(const std::string& dir,
+                              std::vector<DurableFile>* out) {
+  out->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return IoError("opendir", dir);
+  while (dirent* entry = ::readdir(d)) {
+    DurableFile file;
+    if (ParseDurableFileName(entry->d_name, &file)) {
+      out->push_back(std::move(file));
+    }
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end(),
+            [](const DurableFile& a, const DurableFile& b) {
+              return a.name < b.name;
+            });
+  return core::Status::Ok();
+}
+
+core::Status NextIncarnation(const std::string& dir, uint64_t* out) {
+  std::vector<DurableFile> files;
+  core::Status status = ListDurableFiles(dir, &files);
+  if (!status.ok()) return status;
+  uint64_t max_inc = 0;
+  for (const DurableFile& f : files) max_inc = std::max(max_inc, f.incarnation);
+  *out = max_inc + 1;
+  return core::Status::Ok();
+}
+
+core::Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return core::Status::Ok();
+  }
+  return IoError("mkdir", dir);
+}
+
+ShardDurability::ShardDurability(const DurabilityOptions& options,
+                                 SegmentHeader header, uint64_t first_segment_n,
+                                 core::FaultInjector* fault_injector)
+    : options_(options),
+      header_(header),
+      fault_injector_(fault_injector),
+      segment_n_(first_segment_n) {}
+
+core::Status ShardDurability::EnsureWriter() {
+  if (writer_) return core::Status::Ok();
+  const std::string path =
+      options_.dir + "/" + WalFileName(header_.incarnation, header_.shard,
+                                       segment_n_);
+  auto writer =
+      std::make_unique<JournalWriter>(path, header_, fault_injector_);
+  core::Status status = writer->Open();
+  if (!status.ok()) return status;
+  writer_ = std::move(writer);
+  ++segment_n_;
+  return core::Status::Ok();
+}
+
+core::Status ShardDurability::Append(const JournalRecord& record) {
+  // Rotate at the record boundary *before* the append, so a segment
+  // never grows past the cap by more than one record.
+  if (writer_ && !writer_->poisoned() &&
+      writer_->bytes_written() >= options_.segment_bytes) {
+    core::Status status = RotateSegment();
+    if (!status.ok()) return status;
+  }
+  core::Status status = EnsureWriter();
+  if (!status.ok()) return status;
+  status = writer_->Append(record);
+  if (!status.ok()) return status;
+  ++appends_;
+  ++appends_since_snapshot_;
+  return core::Status::Ok();
+}
+
+core::Status ShardDurability::RotateSegment() {
+  if (writer_) {
+    if (options_.fsync != FsyncPolicy::kNever && unsynced_inputs_ > 0) {
+      core::Status status = writer_->Sync();
+      if (!status.ok()) return status;
+    }
+    unsynced_inputs_ = 0;
+    writer_->Close();
+    writer_.reset();
+  }
+  return EnsureWriter();
+}
+
+core::Status ShardDurability::AppendInput(const JournalRecord& record) {
+  core::Status status = Append(record);
+  if (!status.ok()) return status;
+  switch (options_.fsync) {
+    case FsyncPolicy::kAlways:
+      return writer_->Sync();
+    case FsyncPolicy::kBatch:
+      if (++unsynced_inputs_ >= options_.fsync_batch_appends) {
+        unsynced_inputs_ = 0;
+        return writer_->Sync();
+      }
+      return core::Status::Ok();
+    case FsyncPolicy::kNever:
+      return core::Status::Ok();
+  }
+  return core::Status::Ok();
+}
+
+core::Status ShardDurability::AppendOutcomeAndAck(const JournalRecord& record) {
+  core::Status status = Append(record);
+  if (!status.ok()) return status;
+  if (options_.fsync == FsyncPolicy::kNever) return core::Status::Ok();
+  unsynced_inputs_ = 0;
+  return writer_->Sync();
+}
+
+core::Status ShardDurability::AppendDiscard(const JournalRecord& record) {
+  // A discard changes replay semantics (it sheds buffered inputs), so it
+  // is made durable like an outcome.
+  return AppendOutcomeAndAck(record);
+}
+
+bool ShardDurability::ShouldSnapshot() const {
+  return appends_since_snapshot_ >= options_.snapshot_interval_appends;
+}
+
+core::Status ShardDurability::WriteShardSnapshot(
+    std::vector<SessionImage> sessions) {
+  SnapshotData data;
+  data.header = header_;
+  data.sessions = std::move(sessions);
+  const uint64_t snap_n = snapshot_n_;
+  const std::string path =
+      options_.dir + "/" + SnapFileName(header_.incarnation, header_.shard,
+                                        snap_n);
+  core::Status status = WriteSnapshot(path, data, fault_injector_);
+  if (!status.ok()) return status;
+  ++snapshot_n_;
+  ++snapshots_written_;
+  appends_since_snapshot_ = 0;
+
+  // The snapshot subsumes this shard's journal so far: rotate to a fresh
+  // segment, then drop this shard's older segments and snapshots. Other
+  // shards' files and recovery's consolidated snapshot are untouched.
+  status = RotateSegment();
+  if (!status.ok()) return status;
+  std::vector<DurableFile> files;
+  status = ListDurableFiles(options_.dir, &files);
+  if (!status.ok()) return status;
+  const uint64_t live_segment_n = segment_n_ - 1;  // the one just opened
+  for (const DurableFile& f : files) {
+    if (f.incarnation != header_.incarnation || f.shard != header_.shard) {
+      continue;
+    }
+    const bool stale =
+        f.is_snapshot ? f.n < snap_n : f.n < live_segment_n;
+    if (stale) ::unlink((options_.dir + "/" + f.name).c_str());
+  }
+  return core::Status::Ok();
+}
+
+}  // namespace sws::persistence

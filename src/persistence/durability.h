@@ -1,0 +1,128 @@
+#ifndef SWS_PERSISTENCE_DURABILITY_H_
+#define SWS_PERSISTENCE_DURABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persistence/journal.h"
+#include "persistence/snapshot.h"
+#include "sws/fault.h"
+#include "sws/status.h"
+
+namespace sws::persistence {
+
+/// Durability knobs, carried by rt::RuntimeOptions::durability. An empty
+/// dir disables the whole subsystem — the shards then hold a null
+/// ShardDurability pointer and the non-durable hot path is untouched.
+struct DurabilityOptions {
+  /// Directory for journal segments and snapshots; "" = durability off.
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// Under kBatch: sync after this many un-synced input appends (outcome
+  /// appends always sync before the ack, under kBatch and kAlways alike).
+  uint32_t fsync_batch_appends = 64;
+  /// Rotate to a fresh journal segment past this many bytes.
+  uint64_t segment_bytes = 4ull << 20;
+  /// Capture a shard snapshot (and GC its older files) every this many
+  /// journal appends.
+  uint64_t snapshot_interval_appends = 1024;
+  /// Recovery re-runs acknowledged sessions and checks the recomputed
+  /// output byte-for-byte against the journaled one (determinism audit).
+  bool verify_replay_outputs = true;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+core::Status ValidateDurabilityOptions(const DurabilityOptions& options);
+
+/// Durable-file naming: wal-i<incarnation>-s<shard>-n<counter>.log and
+/// snap-i<incarnation>-s<shard>-n<counter>.snap under options.dir.
+std::string WalFileName(uint64_t incarnation, uint64_t shard, uint64_t n);
+std::string SnapFileName(uint64_t incarnation, uint64_t shard, uint64_t n);
+
+struct DurableFile {
+  std::string name;  // basename within the durable dir
+  bool is_snapshot = false;
+  uint64_t incarnation = 0;
+  uint64_t shard = 0;
+  uint64_t n = 0;
+};
+
+/// Parses a durable-file basename; returns false for foreign files
+/// (including .tmp leftovers), which recovery ignores.
+bool ParseDurableFileName(const std::string& name, DurableFile* out);
+
+/// All recognized durable files in `dir`, name-sorted (deterministic).
+core::Status ListDurableFiles(const std::string& dir,
+                              std::vector<DurableFile>* out);
+
+/// 1 + the largest incarnation among existing durable files (1 for an
+/// empty dir) — the incarnation a restarting runtime writes under.
+core::Status NextIncarnation(const std::string& dir, uint64_t* out);
+
+/// Creates `dir` if absent (one level).
+core::Status EnsureDir(const std::string& dir);
+
+/// One shard's durable state: the current journal segment plus rotation,
+/// fsync batching, and snapshot bookkeeping. Like the shard's session
+/// map, it is only ever touched by the shard's drain-role holder, so it
+/// needs no lock (see runtime/session_shard.h).
+///
+/// The write-ahead contract it maintains:
+///  * AppendInput runs *before* the message is fed to the session; if it
+///    fails the message must not be fed (the journal never under-reports
+///    consumed inputs);
+///  * AppendOutcomeAndAck runs after a delimiter run and *before* the
+///    callback — under kAlways/kBatch it syncs, so an acknowledged
+///    output is always recoverable (and recovery suppresses its
+///    re-emission).
+class ShardDurability {
+ public:
+  ShardDurability(const DurabilityOptions& options, SegmentHeader header,
+                  uint64_t first_segment_n, core::FaultInjector* fault_injector);
+
+  /// Journals one input record (and possibly rotates / batch-syncs).
+  core::Status AppendInput(const JournalRecord& record);
+
+  /// Journals an outcome record and makes it durable per the fsync
+  /// policy; only after this returns OK may the callback acknowledge.
+  core::Status AppendOutcomeAndAck(const JournalRecord& record);
+
+  /// Journals a discard marker (circuit-breaker shed of buffered input).
+  core::Status AppendDiscard(const JournalRecord& record);
+
+  /// True once enough appends have accumulated that the shard should
+  /// capture a snapshot at its next safe point.
+  bool ShouldSnapshot() const;
+
+  /// Writes the shard's snapshot atomically, rotates to a fresh journal
+  /// segment, and garbage-collects this shard's older segments and
+  /// snapshots (safe: the new snapshot subsumes them).
+  core::Status WriteShardSnapshot(std::vector<SessionImage> sessions);
+
+  uint64_t appends() const { return appends_; }
+  uint64_t snapshots_written() const { return snapshots_written_; }
+  bool poisoned() const { return writer_ && writer_->poisoned(); }
+
+ private:
+  core::Status EnsureWriter();
+  core::Status Append(const JournalRecord& record);
+  core::Status RotateSegment();
+
+  DurabilityOptions options_;
+  SegmentHeader header_;
+  core::FaultInjector* fault_injector_;
+  std::unique_ptr<JournalWriter> writer_;
+  uint64_t segment_n_;        // counter for the *next* segment to open
+  uint64_t snapshot_n_ = 0;   // counter for the next snapshot
+  uint64_t appends_ = 0;      // lifetime appends (all record types)
+  uint64_t appends_since_snapshot_ = 0;
+  uint32_t unsynced_inputs_ = 0;
+  uint64_t snapshots_written_ = 0;
+};
+
+}  // namespace sws::persistence
+
+#endif  // SWS_PERSISTENCE_DURABILITY_H_

@@ -1,0 +1,290 @@
+#include "persistence/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "persistence/serde.h"
+#include "util/common.h"
+
+namespace sws::persistence {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'S', 'W', 'S', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8;  // magic|version|inc|shard|fp
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+core::Status IoError(const std::string& what, const std::string& path) {
+  return core::Status::Error(
+      core::RunError::kStorageFailure,
+      what + " failed for " + path + ": " + std::strerror(errno));
+}
+
+/// fsyncs the directory containing `path` so a freshly created or
+/// renamed entry survives a crash (POSIX requires syncing the dirent
+/// separately from the file).
+void SyncParentDir(const std::string& path) {
+  std::string dir = ".";
+  if (size_t slash = path.rfind('/'); slash != std::string::npos) {
+    dir = path.substr(0, slash == 0 ? 1 : slash);
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::string EncodeRecordPayload(const JournalRecord& record) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(record.type));
+  w.PutString(record.session_id);
+  w.PutU64(record.seq);
+  switch (record.type) {
+    case JournalRecord::Type::kInput:
+      w.PutU8(record.priority);
+      w.PutI64(record.deadline_ns);
+      EncodeRelation(record.payload, &w);
+      break;
+    case JournalRecord::Type::kOutcome:
+      w.PutU8(record.status_code);
+      EncodeRelation(record.payload, &w);
+      break;
+    case JournalRecord::Type::kDiscard:
+      break;
+  }
+  return w.Take();
+}
+
+bool DecodeRecordPayload(std::string_view payload, JournalRecord* out) {
+  ByteReader r(payload);
+  const uint8_t type = r.GetU8();
+  out->session_id = r.GetString();
+  out->seq = r.GetU64();
+  switch (type) {
+    case static_cast<uint8_t>(JournalRecord::Type::kInput): {
+      out->type = JournalRecord::Type::kInput;
+      out->priority = r.GetU8();
+      out->deadline_ns = r.GetI64();
+      auto rel = DecodeRelation(&r);
+      if (!rel) return false;
+      out->payload = std::move(*rel);
+      break;
+    }
+    case static_cast<uint8_t>(JournalRecord::Type::kOutcome): {
+      out->type = JournalRecord::Type::kOutcome;
+      out->status_code = r.GetU8();
+      auto rel = DecodeRelation(&r);
+      if (!rel) return false;
+      out->payload = std::move(*rel);
+      break;
+    }
+    case static_cast<uint8_t>(JournalRecord::Type::kDiscard):
+      out->type = JournalRecord::Type::kDiscard;
+      break;
+    default:
+      return false;
+  }
+  return r.AtEnd();
+}
+
+/// Loops ::write over EINTR; returns bytes actually written (< size on
+/// hard error or disk-full).
+size_t WriteFully(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    done += static_cast<size_t>(n);
+  }
+  return done;
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
+
+void EncodeSegmentHeader(const SegmentHeader& header, const char magic[8],
+                         std::string* out) {
+  out->append(magic, 8);
+  ByteWriter w;
+  w.PutU32(kFormatVersion);
+  w.PutU64(header.incarnation);
+  w.PutU64(header.shard);
+  w.PutU64(header.service_fingerprint);
+  out->append(w.str());
+}
+
+JournalWriter::JournalWriter(std::string path, SegmentHeader header,
+                             core::FaultInjector* fault_injector)
+    : path_(std::move(path)),
+      header_(header),
+      fault_injector_(fault_injector) {}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+core::Status JournalWriter::Open() {
+  SWS_CHECK(fd_ < 0) << "journal segment opened twice: " << path_;
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd_ < 0) return IoError("open", path_);
+  std::string header;
+  EncodeSegmentHeader(header_, kWalMagic, &header);
+  if (WriteFully(fd_, header.data(), header.size()) != header.size()) {
+    poisoned_ = true;
+    return IoError("write(header)", path_);
+  }
+  bytes_written_ = header.size();
+  if (::fsync(fd_) != 0) return IoError("fsync(header)", path_);
+  SyncParentDir(path_);
+  return core::Status::Ok();
+}
+
+core::Status JournalWriter::Append(const JournalRecord& record) {
+  if (poisoned_) {
+    return core::Status::Error(core::RunError::kStorageFailure,
+                               "journal segment is poisoned: " + path_);
+  }
+  SWS_CHECK(fd_ >= 0) << "append to unopened journal segment " << path_;
+  const std::string payload = EncodeRecordPayload(record);
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  std::string bytes = frame.Take();
+  bytes += payload;
+
+  // Injected torn write: deliberately leave a partial frame on disk —
+  // exactly what a crash in mid-append leaves behind — and poison the
+  // writer (the simulated process is as good as dead to this segment).
+  if (fault_injector_ && fault_injector_->OnJournalAppend()) {
+    const size_t torn = std::max<size_t>(1, bytes.size() / 2);
+    WriteFully(fd_, bytes.data(), torn);
+    bytes_written_ += torn;
+    poisoned_ = true;
+    return core::Status::Error(core::RunError::kStorageFailure,
+                               "injected torn write in " + path_);
+  }
+
+  const size_t written = WriteFully(fd_, bytes.data(), bytes.size());
+  if (written != bytes.size()) {
+    // Try to restore the last-record-boundary invariant; if that works
+    // the error is transient (the append simply did not happen).
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_written_)) == 0 &&
+        ::lseek(fd_, static_cast<off_t>(bytes_written_), SEEK_SET) >= 0) {
+      return IoError("write(record)", path_);
+    }
+    poisoned_ = true;
+    return IoError("write(record, unrecovered)", path_);
+  }
+  bytes_written_ += bytes.size();
+  return core::Status::Ok();
+}
+
+core::Status JournalWriter::Sync() {
+  if (poisoned_) {
+    return core::Status::Error(core::RunError::kStorageFailure,
+                               "journal segment is poisoned: " + path_);
+  }
+  SWS_CHECK(fd_ >= 0) << "sync of unopened journal segment " << path_;
+  if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  return core::Status::Ok();
+}
+
+void JournalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+core::Status ReadSegment(const std::string& path,
+                         core::FaultInjector* fault_injector,
+                         SegmentContents* out) {
+  if (fault_injector && fault_injector->OnJournalRead()) {
+    return core::Status::Error(core::RunError::kStorageFailure,
+                               "injected short read of " + path);
+  }
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoError("open", path);
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IoError("read", path);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  *out = SegmentContents{};
+  if (data.size() < kHeaderBytes) {
+    // Crash while the segment header was being written; nothing usable.
+    out->torn = true;
+    return core::Status::Ok();
+  }
+  if (std::memcmp(data.data(), kWalMagic, 8) != 0) {
+    return core::Status::Error(core::RunError::kStorageFailure,
+                               "not a journal segment: " + path);
+  }
+  ByteReader header(std::string_view(data).substr(8, kHeaderBytes - 8));
+  const uint32_t version = header.GetU32();
+  if (version != kFormatVersion) {
+    return core::Status::Error(
+        core::RunError::kStorageFailure,
+        "unsupported journal format version " + std::to_string(version) +
+            " in " + path);
+  }
+  out->header.incarnation = header.GetU64();
+  out->header.shard = header.GetU64();
+  out->header.service_fingerprint = header.GetU64();
+  out->valid_bytes = kHeaderBytes;
+
+  size_t pos = kHeaderBytes;
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) break;  // torn frame header
+    ByteReader frame(std::string_view(data).substr(pos, 8));
+    const uint32_t len = frame.GetU32();
+    const uint32_t crc = frame.GetU32();
+    if (len > kMaxRecordBytes || data.size() - pos - 8 < len) break;
+    std::string_view payload = std::string_view(data).substr(pos + 8, len);
+    if (Crc32(payload) != crc) break;
+    JournalRecord record;
+    if (!DecodeRecordPayload(payload, &record)) break;
+    out->records.push_back(std::move(record));
+    pos += 8 + len;
+    out->valid_bytes = pos;
+  }
+  out->torn = out->valid_bytes != data.size();
+  return core::Status::Ok();
+}
+
+core::Status TruncateTornTail(const std::string& path, uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    return IoError("truncate", path);
+  }
+  return core::Status::Ok();
+}
+
+}  // namespace sws::persistence

@@ -1,0 +1,130 @@
+#ifndef SWS_PERSISTENCE_JOURNAL_H_
+#define SWS_PERSISTENCE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "sws/fault.h"
+#include "sws/status.h"
+
+namespace sws::persistence {
+
+/// When the journal fsyncs. The write-ahead contract ("acknowledged ⇒
+/// durable") holds under kAlways and kBatch — both sync an outcome
+/// record before its callback is acknowledged; kBatch defers input
+/// syncs to every Nth append. kNever leaves flushing to the OS: fastest,
+/// and a crash may lose acknowledged tail records (replay then treats
+/// them as never-submitted).
+enum class FsyncPolicy : uint8_t { kNever = 0, kBatch = 1, kAlways = 2 };
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// One journal record. The WAL discipline (see DESIGN.md §9):
+///  * kInput  — appended *before* a message is fed to its session:
+///              (session_id, seq, input, priority, deadline);
+///  * kOutcome — appended after a delimiter run, before the callback is
+///              invoked: (session_id, seq, status, output). Its presence
+///              marks the seq as acknowledged — recovery replays the
+///              input for state but suppresses re-emission;
+///  * kDiscard — the session's buffered inputs were discarded without a
+///              run (circuit-breaker shedding); carries the session's
+///              input count at discard time so replay can order it.
+struct JournalRecord {
+  enum class Type : uint8_t { kInput = 1, kOutcome = 2, kDiscard = 3 };
+
+  Type type = Type::kInput;
+  std::string session_id;
+  uint64_t seq = 0;
+  uint8_t priority = 1;      // kInput: rt::Priority as u8
+  int64_t deadline_ns = -1;  // kInput: remaining at append; -1 = none
+  uint8_t status_code = 0;   // kOutcome: core::RunError as u8
+  rel::Relation payload;     // kInput: the message; kOutcome: the output
+};
+
+/// Identity stamped into every segment and snapshot header.
+struct SegmentHeader {
+  uint64_t incarnation = 0;  // runtime incarnation that wrote the file
+  uint64_t shard = 0;        // owning shard (kRecoveryShard for recovery)
+  uint64_t service_fingerprint = 0;  // SwsFingerprint of the service
+};
+
+/// The shard index recovery stamps into its consolidated snapshot.
+inline constexpr uint64_t kRecoveryShard = ~uint64_t{0};
+
+/// Appends CRC32-framed records to one segment file. Not thread-safe: a
+/// writer is owned by its shard and only ever touched by the shard's
+/// drain-role holder (see runtime/session_shard.h).
+///
+/// Failure handling: a short or failed write leaves the file in an
+/// unknown state, so the writer first tries to truncate back to the last
+/// record boundary (the error is then transient — the append simply did
+/// not happen); if even that fails, or a torn write was injected (which
+/// deliberately leaves a partial frame on disk, simulating a crash in
+/// mid-append), the writer is *poisoned*: every later append fails fast
+/// with kStorageFailure and the segment is left for recovery to mend.
+class JournalWriter {
+ public:
+  /// `fault_injector` may be null; it is consulted once per append for
+  /// torn-write injection.
+  JournalWriter(std::string path, SegmentHeader header,
+                core::FaultInjector* fault_injector);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Creates the file (must not exist) and writes the segment header.
+  core::Status Open();
+
+  /// Frames, checksums and appends one record.
+  core::Status Append(const JournalRecord& record);
+
+  /// fsync(2) of everything appended so far.
+  core::Status Sync();
+
+  /// Flushed-to-OS size; the segment-rotation trigger.
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+  bool poisoned() const { return poisoned_; }
+
+  void Close();
+
+ private:
+  std::string path_;
+  SegmentHeader header_;
+  core::FaultInjector* fault_injector_;
+  int fd_ = -1;
+  uint64_t bytes_written_ = 0;
+  bool poisoned_ = false;
+};
+
+/// A fully parsed segment plus where its valid prefix ends.
+struct SegmentContents {
+  SegmentHeader header;
+  std::vector<JournalRecord> records;
+  /// Offset one past the last intact record; anything beyond is a torn
+  /// tail (crash mid-append) to be truncated by recovery.
+  uint64_t valid_bytes = 0;
+  bool torn = false;
+};
+
+/// Reads a whole segment, stopping cleanly at the first torn/corrupt
+/// record (that is a normal crash artifact, not an error). Hard errors:
+/// unreadable file, foreign magic/version, or an injected short read
+/// (`fault_injector`, transient — the caller retries).
+core::Status ReadSegment(const std::string& path,
+                         core::FaultInjector* fault_injector,
+                         SegmentContents* out);
+
+/// Truncates the file to its valid prefix (recovery's torn-tail repair).
+core::Status TruncateTornTail(const std::string& path, uint64_t valid_bytes);
+
+/// Encodes the segment header (shared with snapshot files).
+void EncodeSegmentHeader(const SegmentHeader& header, const char magic[8],
+                         std::string* out);
+
+}  // namespace sws::persistence
+
+#endif  // SWS_PERSISTENCE_JOURNAL_H_

@@ -1,0 +1,574 @@
+#include "persistence/serde.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "logic/cq.h"
+#include "logic/fo.h"
+#include "logic/term.h"
+#include "logic/ucq.h"
+
+namespace sws::persistence {
+
+namespace {
+
+using logic::Atom;
+using logic::Comparison;
+using logic::ConjunctiveQuery;
+using logic::FoFormula;
+using logic::FoQuery;
+using logic::Term;
+using logic::UnionQuery;
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+bool ByteReader::Need(size_t n) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::GetU8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t ByteReader::GetU32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ByteReader::GetU64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+std::string ByteReader::GetString() {
+  uint32_t len = GetU32();
+  if (!Need(len)) return {};
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+bool ByteReader::CheckCount(uint64_t count, uint64_t min_bytes_per_elem) {
+  if (failed_ || count > remaining() / std::max<uint64_t>(1, min_bytes_per_elem)) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Relational layer.
+
+void EncodeValue(const rel::Value& v, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case rel::Value::Kind::kInt:
+      w->PutI64(v.AsInt());
+      break;
+    case rel::Value::Kind::kString:
+      w->PutString(v.AsString());
+      break;
+    case rel::Value::Kind::kNull:
+      w->PutI64(v.null_label());
+      break;
+  }
+}
+
+std::optional<rel::Value> DecodeValue(ByteReader* r) {
+  switch (r->GetU8()) {
+    case static_cast<uint8_t>(rel::Value::Kind::kInt):
+      return rel::Value::Int(r->GetI64());
+    case static_cast<uint8_t>(rel::Value::Kind::kString):
+      return rel::Value::Str(r->GetString());
+    case static_cast<uint8_t>(rel::Value::Kind::kNull):
+      return rel::Value::Null(r->GetI64());
+    default:
+      r->MarkFailed();
+      return std::nullopt;
+  }
+}
+
+void EncodeTuple(const rel::Tuple& t, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(t.size()));
+  for (const rel::Value& v : t) EncodeValue(v, w);
+}
+
+std::optional<rel::Tuple> DecodeTuple(ByteReader* r) {
+  uint32_t n = r->GetU32();
+  if (!r->CheckCount(n, 1)) return std::nullopt;
+  rel::Tuple t;
+  t.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto v = DecodeValue(r);
+    if (!v) return std::nullopt;
+    t.push_back(std::move(*v));
+  }
+  return t;
+}
+
+void EncodeRelation(const rel::Relation& rel, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(rel.arity()));
+  w->PutU32(static_cast<uint32_t>(rel.size()));
+  for (const rel::Tuple& t : rel) {
+    for (const rel::Value& v : t) EncodeValue(v, w);
+  }
+}
+
+std::optional<rel::Relation> DecodeRelation(ByteReader* r) {
+  const uint32_t arity = r->GetU32();
+  const uint32_t count = r->GetU32();
+  if (arity > (1u << 20) || !r->CheckCount(count, std::max<uint32_t>(1, arity)))
+    return std::nullopt;
+  // Tuples were written in set order, so bulk construction applies.
+  std::vector<rel::Tuple> tuples;
+  tuples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    rel::Tuple t;
+    t.reserve(arity);
+    for (uint32_t j = 0; j < arity; ++j) {
+      auto v = DecodeValue(r);
+      if (!v) return std::nullopt;
+      t.push_back(std::move(*v));
+    }
+    if (!tuples.empty() && !(tuples.back() < t)) {  // must be strictly sorted
+      r->MarkFailed();
+      return std::nullopt;
+    }
+    tuples.push_back(std::move(t));
+  }
+  if (!r->ok()) return std::nullopt;
+  return rel::Relation::FromSorted(arity, std::move(tuples));
+}
+
+void EncodeDatabase(const rel::Database& db, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(db.relations().size()));
+  for (const auto& [name, rel] : db.relations()) {
+    w->PutString(name);
+    EncodeRelation(rel, w);
+  }
+}
+
+std::optional<rel::Database> DecodeDatabase(ByteReader* r) {
+  const uint32_t n = r->GetU32();
+  if (!r->CheckCount(n, 8)) return std::nullopt;
+  rel::Database db;
+  std::string prev;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name = r->GetString();
+    auto rel = DecodeRelation(r);
+    if (!rel) return std::nullopt;
+    if (i > 0 && !(prev < name)) {  // map order ⇒ strictly increasing names
+      r->MarkFailed();
+      return std::nullopt;
+    }
+    prev = name;
+    db.Set(name, std::move(*rel));
+  }
+  return db;
+}
+
+void EncodeInputSequence(const rel::InputSequence& seq, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(seq.message_arity()));
+  w->PutU32(static_cast<uint32_t>(seq.size()));
+  for (size_t j = 1; j <= seq.size(); ++j) EncodeRelation(seq.Message(j), w);
+}
+
+std::optional<rel::InputSequence> DecodeInputSequence(ByteReader* r) {
+  const uint32_t arity = r->GetU32();
+  const uint32_t n = r->GetU32();
+  if (!r->CheckCount(n, 8)) return std::nullopt;
+  std::vector<rel::Relation> messages;
+  messages.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto rel = DecodeRelation(r);
+    if (!rel) return std::nullopt;
+    if (rel->arity() != arity) {
+      r->MarkFailed();
+      return std::nullopt;
+    }
+    messages.push_back(std::move(*rel));
+  }
+  return rel::InputSequence(arity, std::move(messages));
+}
+
+void EncodeSchema(const rel::Schema& schema, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(schema.size()));
+  for (const rel::RelationSchema& rs : schema.relations()) {
+    w->PutString(rs.name());
+    w->PutU32(static_cast<uint32_t>(rs.arity()));
+    for (const std::string& attr : rs.attributes()) w->PutString(attr);
+  }
+}
+
+std::optional<rel::Schema> DecodeSchema(ByteReader* r) {
+  const uint32_t n = r->GetU32();
+  if (!r->CheckCount(n, 8)) return std::nullopt;
+  rel::Schema schema;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name = r->GetString();
+    const uint32_t arity = r->GetU32();
+    if (!r->CheckCount(arity, 4)) return std::nullopt;
+    std::vector<std::string> attrs;
+    attrs.reserve(arity);
+    for (uint32_t j = 0; j < arity; ++j) attrs.push_back(r->GetString());
+    if (!r->ok() || schema.Contains(name)) {
+      r->MarkFailed();
+      return std::nullopt;
+    }
+    schema.Add(rel::RelationSchema(std::move(name), std::move(attrs)));
+  }
+  return schema;
+}
+
+// ---------------------------------------------------------------------------
+// Query ASTs.
+
+namespace {
+
+void EncodeTerm(const Term& t, ByteWriter* w) {
+  w->PutU8(t.is_var() ? 0 : 1);
+  if (t.is_var()) {
+    w->PutI64(t.var());
+  } else {
+    EncodeValue(t.value(), w);
+  }
+}
+
+std::optional<Term> DecodeTerm(ByteReader* r) {
+  switch (r->GetU8()) {
+    case 0:
+      return Term::Var(static_cast<int>(r->GetI64()));
+    case 1: {
+      auto v = DecodeValue(r);
+      if (!v) return std::nullopt;
+      return Term::Const(std::move(*v));
+    }
+    default:
+      r->MarkFailed();
+      return std::nullopt;
+  }
+}
+
+bool DecodeTerms(ByteReader* r, std::vector<Term>* out) {
+  const uint32_t n = r->GetU32();
+  if (!r->CheckCount(n, 2)) return false;
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto t = DecodeTerm(r);
+    if (!t) return false;
+    out->push_back(std::move(*t));
+  }
+  return true;
+}
+
+void EncodeTerms(const std::vector<Term>& terms, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(terms.size()));
+  for (const Term& t : terms) EncodeTerm(t, w);
+}
+
+void EncodeCq(const ConjunctiveQuery& cq, ByteWriter* w) {
+  EncodeTerms(cq.head(), w);
+  w->PutU32(static_cast<uint32_t>(cq.body().size()));
+  for (const Atom& a : cq.body()) {
+    w->PutString(a.relation);
+    EncodeTerms(a.args, w);
+  }
+  w->PutU32(static_cast<uint32_t>(cq.comparisons().size()));
+  for (const Comparison& c : cq.comparisons()) {
+    EncodeTerm(c.lhs, w);
+    EncodeTerm(c.rhs, w);
+    w->PutU8(c.is_equality ? 1 : 0);
+  }
+}
+
+std::optional<ConjunctiveQuery> DecodeCq(ByteReader* r) {
+  std::vector<Term> head;
+  if (!DecodeTerms(r, &head)) return std::nullopt;
+  const uint32_t num_atoms = r->GetU32();
+  if (!r->CheckCount(num_atoms, 8)) return std::nullopt;
+  std::vector<Atom> body;
+  body.reserve(num_atoms);
+  for (uint32_t i = 0; i < num_atoms; ++i) {
+    Atom a;
+    a.relation = r->GetString();
+    if (!DecodeTerms(r, &a.args)) return std::nullopt;
+    body.push_back(std::move(a));
+  }
+  const uint32_t num_cmp = r->GetU32();
+  if (!r->CheckCount(num_cmp, 5)) return std::nullopt;
+  std::vector<Comparison> comparisons;
+  comparisons.reserve(num_cmp);
+  for (uint32_t i = 0; i < num_cmp; ++i) {
+    Comparison c;
+    auto lhs = DecodeTerm(r);
+    auto rhs = DecodeTerm(r);
+    if (!lhs || !rhs) return std::nullopt;
+    c.lhs = std::move(*lhs);
+    c.rhs = std::move(*rhs);
+    c.is_equality = r->GetU8() != 0;
+    comparisons.push_back(std::move(c));
+  }
+  if (!r->ok()) return std::nullopt;
+  return ConjunctiveQuery(std::move(head), std::move(body),
+                          std::move(comparisons));
+}
+
+void EncodeFoFormula(const FoFormula& f, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(f.kind()));
+  switch (f.kind()) {
+    case FoFormula::Kind::kAtom:
+      w->PutString(f.relation());
+      EncodeTerms(f.args(), w);
+      return;
+    case FoFormula::Kind::kEq:
+      EncodeTerm(f.args()[0], w);
+      EncodeTerm(f.args()[1], w);
+      return;
+    case FoFormula::Kind::kExists:
+    case FoFormula::Kind::kForall:
+      w->PutI64(f.bound_var());
+      EncodeFoFormula(f.children()[0], w);
+      return;
+    case FoFormula::Kind::kNot:
+      EncodeFoFormula(f.children()[0], w);
+      return;
+    case FoFormula::Kind::kAnd:
+    case FoFormula::Kind::kOr:
+      w->PutU32(static_cast<uint32_t>(f.children().size()));
+      for (const FoFormula& c : f.children()) EncodeFoFormula(c, w);
+      return;
+  }
+}
+
+std::optional<FoFormula> DecodeFoFormula(ByteReader* r, int depth = 0) {
+  if (depth > 512) {  // corrupted nesting guard
+    r->MarkFailed();
+    return std::nullopt;
+  }
+  const uint8_t kind = r->GetU8();
+  switch (static_cast<FoFormula::Kind>(kind)) {
+    case FoFormula::Kind::kAtom: {
+      std::string relation = r->GetString();
+      std::vector<Term> args;
+      if (!DecodeTerms(r, &args)) return std::nullopt;
+      return FoFormula::MakeAtom(std::move(relation), std::move(args));
+    }
+    case FoFormula::Kind::kEq: {
+      auto lhs = DecodeTerm(r);
+      auto rhs = DecodeTerm(r);
+      if (!lhs || !rhs) return std::nullopt;
+      return FoFormula::Eq(std::move(*lhs), std::move(*rhs));
+    }
+    case FoFormula::Kind::kExists:
+    case FoFormula::Kind::kForall: {
+      const int var = static_cast<int>(r->GetI64());
+      auto body = DecodeFoFormula(r, depth + 1);
+      if (!body) return std::nullopt;
+      return static_cast<FoFormula::Kind>(kind) == FoFormula::Kind::kExists
+                 ? FoFormula::Exists(var, std::move(*body))
+                 : FoFormula::Forall(var, std::move(*body));
+    }
+    case FoFormula::Kind::kNot: {
+      auto body = DecodeFoFormula(r, depth + 1);
+      if (!body) return std::nullopt;
+      return FoFormula::Not(std::move(*body));
+    }
+    case FoFormula::Kind::kAnd:
+    case FoFormula::Kind::kOr: {
+      const uint32_t n = r->GetU32();
+      if (!r->CheckCount(n, 1)) return std::nullopt;
+      std::vector<FoFormula> children;
+      children.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        auto c = DecodeFoFormula(r, depth + 1);
+        if (!c) return std::nullopt;
+        children.push_back(std::move(*c));
+      }
+      return static_cast<FoFormula::Kind>(kind) == FoFormula::Kind::kAnd
+                 ? FoFormula::And(std::move(children))
+                 : FoFormula::Or(std::move(children));
+    }
+  }
+  r->MarkFailed();
+  return std::nullopt;
+}
+
+}  // namespace
+
+void EncodeRelQuery(const core::RelQuery& q, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(q.language()));
+  switch (q.language()) {
+    case core::RelQuery::Language::kCq:
+      EncodeCq(q.cq(), w);
+      return;
+    case core::RelQuery::Language::kUcq: {
+      const UnionQuery& u = q.ucq();
+      w->PutU32(static_cast<uint32_t>(u.head_arity()));
+      w->PutU32(static_cast<uint32_t>(u.disjuncts().size()));
+      for (const ConjunctiveQuery& cq : u.disjuncts()) EncodeCq(cq, w);
+      return;
+    }
+    case core::RelQuery::Language::kFo: {
+      const FoQuery& fo = q.fo();
+      EncodeTerms(fo.head(), w);
+      EncodeFoFormula(fo.formula(), w);
+      return;
+    }
+  }
+}
+
+std::optional<core::RelQuery> DecodeRelQuery(ByteReader* r) {
+  switch (r->GetU8()) {
+    case static_cast<uint8_t>(core::RelQuery::Language::kCq): {
+      auto cq = DecodeCq(r);
+      if (!cq) return std::nullopt;
+      return core::RelQuery::Cq(std::move(*cq));
+    }
+    case static_cast<uint8_t>(core::RelQuery::Language::kUcq): {
+      const uint32_t head_arity = r->GetU32();
+      const uint32_t n = r->GetU32();
+      if (head_arity > (1u << 20) || !r->CheckCount(n, 8)) return std::nullopt;
+      UnionQuery u(head_arity);
+      for (uint32_t i = 0; i < n; ++i) {
+        auto cq = DecodeCq(r);
+        if (!cq) return std::nullopt;
+        if (cq->head_arity() != head_arity) {  // Add would abort
+          r->MarkFailed();
+          return std::nullopt;
+        }
+        u.Add(std::move(*cq));
+      }
+      return core::RelQuery::Ucq(std::move(u));
+    }
+    case static_cast<uint8_t>(core::RelQuery::Language::kFo): {
+      std::vector<Term> head;
+      if (!DecodeTerms(r, &head)) return std::nullopt;
+      auto formula = DecodeFoFormula(r);
+      if (!formula) return std::nullopt;
+      return core::RelQuery::Fo(FoQuery(std::move(head), std::move(*formula)));
+    }
+    default:
+      r->MarkFailed();
+      return std::nullopt;
+  }
+}
+
+void EncodeSws(const core::Sws& sws, ByteWriter* w) {
+  EncodeSchema(sws.db_schema(), w);
+  w->PutU32(static_cast<uint32_t>(sws.rin_arity()));
+  w->PutU32(static_cast<uint32_t>(sws.rout_arity()));
+  w->PutU32(static_cast<uint32_t>(sws.num_states()));
+  for (int q = 0; q < sws.num_states(); ++q) w->PutString(sws.StateName(q));
+  for (int q = 0; q < sws.num_states(); ++q) {
+    const auto& successors = sws.Successors(q);
+    w->PutU32(static_cast<uint32_t>(successors.size()));
+    for (const core::TransitionTarget& t : successors) {
+      w->PutU32(static_cast<uint32_t>(t.state));
+      EncodeRelQuery(t.query, w);
+    }
+    EncodeRelQuery(sws.Synthesis(q), w);
+  }
+}
+
+std::optional<core::Sws> DecodeSws(ByteReader* r) {
+  auto schema = DecodeSchema(r);
+  if (!schema) return std::nullopt;
+  const uint32_t rin = r->GetU32();
+  const uint32_t rout = r->GetU32();
+  const uint32_t num_states = r->GetU32();
+  if (rin > (1u << 20) || rout > (1u << 20) || !r->CheckCount(num_states, 8)) {
+    return std::nullopt;
+  }
+  core::Sws sws(std::move(*schema), rin, rout);
+  for (uint32_t q = 0; q < num_states; ++q) sws.AddState(r->GetString());
+  if (!r->ok()) return std::nullopt;
+  for (uint32_t q = 0; q < num_states; ++q) {
+    const uint32_t num_succ = r->GetU32();
+    if (!r->CheckCount(num_succ, 5)) return std::nullopt;
+    std::vector<core::TransitionTarget> successors;
+    successors.reserve(num_succ);
+    for (uint32_t i = 0; i < num_succ; ++i) {
+      const uint32_t target = r->GetU32();
+      auto query = DecodeRelQuery(r);
+      if (!query || target >= num_states) {
+        r->MarkFailed();
+        return std::nullopt;
+      }
+      successors.push_back(
+          core::TransitionTarget{static_cast<int>(target), std::move(*query)});
+    }
+    auto synthesis = DecodeRelQuery(r);
+    if (!synthesis) return std::nullopt;
+    sws.SetTransition(static_cast<int>(q), std::move(successors));
+    sws.SetSynthesis(static_cast<int>(q), std::move(*synthesis));
+  }
+  if (!r->ok()) return std::nullopt;
+  return sws;
+}
+
+uint64_t SwsFingerprint(const core::Sws& sws) {
+  ByteWriter w;
+  EncodeSws(sws, &w);
+  const std::string& bytes = w.str();
+  // 64-bit FNV-1a over the canonical encoding.
+  uint64_t h = 1469598103934665603ull;
+  for (char ch : bytes) {
+    h = (h ^ static_cast<uint8_t>(ch)) * 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace sws::persistence

@@ -1,0 +1,124 @@
+#ifndef SWS_PERSISTENCE_SERDE_H_
+#define SWS_PERSISTENCE_SERDE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "relational/database.h"
+#include "relational/input_sequence.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "sws/query.h"
+#include "sws/sws.h"
+
+namespace sws::persistence {
+
+/// The on-disk format version shared by journal segments and snapshots.
+/// Bumped on any incompatible change to the encodings below; readers
+/// reject files from a different major version instead of misparsing.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+/// string — the per-record checksum of the journal and snapshot formats.
+uint32_t Crc32(std::string_view data);
+
+/// An append-only little-endian byte sink. All multi-byte integers are
+/// fixed-width little-endian (the build targets are little-endian; the
+/// explicit byte assembly below keeps the format well-defined anyway).
+/// Strings and blobs are u32-length-prefixed and may contain any bytes.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutString(std::string_view s);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// The matching reader. Decoding never aborts on malformed input: any
+/// short read, bad tag or implausible count trips the failure flag, after
+/// which every getter returns a zero value and ok() is false. Callers
+/// check ok() once at the end of a decode.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  std::string GetString();
+
+  /// Guards a decoded element count against the bytes actually left:
+  /// fails (and returns false) unless count * min_bytes_per_elem fits in
+  /// the remainder — so a corrupted count cannot drive a giant
+  /// allocation or a quadratic parse.
+  bool CheckCount(uint64_t count, uint64_t min_bytes_per_elem);
+
+  bool ok() const { return !failed_; }
+  void MarkFailed() { failed_ = true; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return ok() && pos_ == data_.size(); }
+
+ private:
+  bool Need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Relational layer. Every DecodeX mirrors its EncodeX; a decode returns
+// nullopt (or a zero value with reader.ok() == false) on any corruption.
+
+void EncodeValue(const rel::Value& v, ByteWriter* w);
+std::optional<rel::Value> DecodeValue(ByteReader* r);
+
+void EncodeTuple(const rel::Tuple& t, ByteWriter* w);
+std::optional<rel::Tuple> DecodeTuple(ByteReader* r);
+
+void EncodeRelation(const rel::Relation& rel, ByteWriter* w);
+std::optional<rel::Relation> DecodeRelation(ByteReader* r);
+
+void EncodeDatabase(const rel::Database& db, ByteWriter* w);
+std::optional<rel::Database> DecodeDatabase(ByteReader* r);
+
+void EncodeInputSequence(const rel::InputSequence& seq, ByteWriter* w);
+std::optional<rel::InputSequence> DecodeInputSequence(ByteReader* r);
+
+void EncodeSchema(const rel::Schema& schema, ByteWriter* w);
+std::optional<rel::Schema> DecodeSchema(ByteReader* r);
+
+// ---------------------------------------------------------------------------
+// Service definitions: the full rule ASTs (terms, CQ/UCQ/FO, per-state
+// transition and synthesis rules), so a service can be persisted next to
+// the data it produced and recovery can verify it is replaying through
+// the same τ.
+
+void EncodeRelQuery(const core::RelQuery& q, ByteWriter* w);
+std::optional<core::RelQuery> DecodeRelQuery(ByteReader* r);
+
+void EncodeSws(const core::Sws& sws, ByteWriter* w);
+/// Requires a fully built service (every state has its synthesis rule
+/// set, as Sws::Validate demands); returns nullopt on corruption.
+std::optional<core::Sws> DecodeSws(ByteReader* r);
+
+/// A stable fingerprint of a service definition — stamped into journal
+/// and snapshot headers so RecoveryManager refuses to replay a journal
+/// through a different τ than the one that wrote it.
+uint64_t SwsFingerprint(const core::Sws& sws);
+
+}  // namespace sws::persistence
+
+#endif  // SWS_PERSISTENCE_SERDE_H_

@@ -1,0 +1,175 @@
+#include "persistence/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "persistence/serde.h"
+
+namespace sws::persistence {
+
+namespace {
+
+constexpr char kSnapMagic[8] = {'S', 'W', 'S', 'S', 'N', 'P', '0', '1'};
+
+core::Status IoError(const std::string& what, const std::string& path) {
+  return core::Status::Error(
+      core::RunError::kStorageFailure,
+      what + " failed for " + path + ": " + std::strerror(errno));
+}
+
+core::Status Corrupt(const std::string& path, const std::string& why) {
+  return core::Status::Error(core::RunError::kStorageFailure,
+                             "corrupt snapshot " + path + ": " + why);
+}
+
+void SyncParentDir(const std::string& path) {
+  std::string dir = ".";
+  if (size_t slash = path.rfind('/'); slash != std::string::npos) {
+    dir = path.substr(0, slash == 0 ? 1 : slash);
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+size_t WriteFully(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    done += static_cast<size_t>(n);
+  }
+  return done;
+}
+
+}  // namespace
+
+core::Status WriteSnapshot(const std::string& path, const SnapshotData& data,
+                           core::FaultInjector* fault_injector) {
+  ByteWriter body;
+  body.PutU64(data.sessions.size());
+  for (const SessionImage& image : data.sessions) {
+    body.PutString(image.session_id);
+    body.PutU64(image.next_seq);
+    EncodeDatabase(image.db, &body);
+    EncodeInputSequence(image.pending, &body);
+  }
+  const std::string payload = body.Take();
+
+  std::string bytes;
+  EncodeSegmentHeader(data.header, kSnapMagic, &bytes);
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  bytes += frame.str();
+  bytes += payload;
+
+  const std::string tmp = path + ".tmp";
+  ::unlink(tmp.c_str());  // a stale .tmp from an earlier crash
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return IoError("open", tmp);
+
+  // Injected torn write: leave a partial .tmp behind (a crash mid-
+  // snapshot) — it is never renamed, so the previous snapshot survives.
+  if (fault_injector && fault_injector->OnJournalAppend()) {
+    WriteFully(fd, bytes.data(), std::max<size_t>(1, bytes.size() / 2));
+    ::close(fd);
+    return core::Status::Error(core::RunError::kStorageFailure,
+                               "injected torn write in " + tmp);
+  }
+
+  if (WriteFully(fd, bytes.data(), bytes.size()) != bytes.size()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoError("write", tmp);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoError("fsync", tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return IoError("rename", path);
+  }
+  SyncParentDir(path);
+  return core::Status::Ok();
+}
+
+core::Status ReadSnapshot(const std::string& path,
+                          core::FaultInjector* fault_injector,
+                          SnapshotData* out) {
+  if (fault_injector && fault_injector->OnJournalRead()) {
+    return core::Status::Error(core::RunError::kStorageFailure,
+                               "injected short read of " + path);
+  }
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoError("open", path);
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IoError("read", path);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8;
+  if (data.size() < kHeaderBytes + 8) return Corrupt(path, "short file");
+  if (std::memcmp(data.data(), kSnapMagic, 8) != 0) {
+    return Corrupt(path, "bad magic");
+  }
+  ByteReader header(std::string_view(data).substr(8, kHeaderBytes - 8));
+  const uint32_t version = header.GetU32();
+  if (version != kFormatVersion) {
+    return Corrupt(path, "format version " + std::to_string(version));
+  }
+  *out = SnapshotData{};
+  out->header.incarnation = header.GetU64();
+  out->header.shard = header.GetU64();
+  out->header.service_fingerprint = header.GetU64();
+
+  ByteReader frame(std::string_view(data).substr(kHeaderBytes, 8));
+  const uint32_t len = frame.GetU32();
+  const uint32_t crc = frame.GetU32();
+  if (data.size() - kHeaderBytes - 8 != len) return Corrupt(path, "bad length");
+  std::string_view payload = std::string_view(data).substr(kHeaderBytes + 8);
+  if (Crc32(payload) != crc) return Corrupt(path, "checksum mismatch");
+
+  ByteReader r(payload);
+  const uint64_t count = r.GetU64();
+  if (!r.CheckCount(count, 1)) return Corrupt(path, "bad session count");
+  out->sessions.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SessionImage image;
+    image.session_id = r.GetString();
+    image.next_seq = r.GetU64();
+    auto db = DecodeDatabase(&r);
+    if (!db) return Corrupt(path, "bad session database");
+    image.db = std::move(*db);
+    auto pending = DecodeInputSequence(&r);
+    if (!pending) return Corrupt(path, "bad session pending buffer");
+    image.pending = std::move(*pending);
+    out->sessions.push_back(std::move(image));
+  }
+  if (!r.AtEnd()) return Corrupt(path, "trailing bytes");
+  return core::Status::Ok();
+}
+
+}  // namespace sws::persistence

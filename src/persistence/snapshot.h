@@ -1,0 +1,53 @@
+#ifndef SWS_PERSISTENCE_SNAPSHOT_H_
+#define SWS_PERSISTENCE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persistence/journal.h"
+#include "relational/database.h"
+#include "relational/input_sequence.h"
+#include "sws/fault.h"
+#include "sws/status.h"
+
+namespace sws::persistence {
+
+/// Everything needed to rebuild one session mid-stream: its private
+/// database, the buffered (uncommitted) prefix of the current session,
+/// and the journal seq of the next input it expects. Replay feeds the
+/// journaled inputs with seq >= next_seq through SessionRunner::Feed.
+struct SessionImage {
+  std::string session_id;
+  rel::Database db;
+  rel::InputSequence pending{1};
+  uint64_t next_seq = 0;
+};
+
+/// One snapshot file: the writing shard's identity plus its sessions'
+/// images at capture time.
+struct SnapshotData {
+  SegmentHeader header;
+  std::vector<SessionImage> sessions;
+};
+
+/// Writes a snapshot atomically: encode to `path + ".tmp"`, fsync,
+/// rename(2) into place, fsync the directory. A crash at any point
+/// leaves either the old state or the new file — never a torn snapshot
+/// under the final name (a stray .tmp is ignored by recovery). The body
+/// is CRC32-framed like a journal record, so ReadSnapshot rejects
+/// silent corruption. `fault_injector` may be null (torn-write hook).
+core::Status WriteSnapshot(const std::string& path, const SnapshotData& data,
+                           core::FaultInjector* fault_injector);
+
+/// Reads a snapshot written by WriteSnapshot. Any corruption is a hard
+/// error — the atomic-rename protocol means a valid snapshot name must
+/// hold a complete file. An injected short read (`fault_injector`) is
+/// transient; the caller retries.
+core::Status ReadSnapshot(const std::string& path,
+                          core::FaultInjector* fault_injector,
+                          SnapshotData* out);
+
+}  // namespace sws::persistence
+
+#endif  // SWS_PERSISTENCE_SNAPSHOT_H_

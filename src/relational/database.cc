@@ -98,4 +98,14 @@ std::string Database::ToString() const {
   return out.str();
 }
 
+uint64_t Database::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& [name, rel] : relations_) {
+    uint64_t entry = std::hash<std::string>{}(name);
+    entry = entry * 0x100000001b3ULL ^ static_cast<uint64_t>(rel.Hash());
+    h = h * 0x100000001b3ULL ^ entry;
+  }
+  return h;
+}
+
 }  // namespace sws::rel

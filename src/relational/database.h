@@ -73,6 +73,12 @@ class Database {
 
   std::string ToString() const;
 
+  /// Structural hash over the (name, Relation::Hash) pairs in canonical
+  /// (name-sorted) order — cheap convergence checks for crash-recovery
+  /// tests. Equal databases hash equal; collisions are possible but not
+  /// adversarial here.
+  uint64_t Hash() const;
+
   friend bool operator==(const Database& a, const Database& b) {
     return a.relations_ == b.relations_;
   }

@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "persistence/serde.h"
 #include "util/common.h"
 
 namespace sws::rt {
@@ -61,9 +62,16 @@ core::Status ValidateRuntimeOptions(const RuntimeOptions& options) {
   if (const core::FaultInjector* fi = options.run_options.fault_injector) {
     const core::FaultOptions& fo = fi->options();
     if (fo.fail_rate < 0 || fo.fail_rate > 1 || fo.delay_rate < 0 ||
-        fo.delay_rate > 1 || fo.stall_rate < 0 || fo.stall_rate > 1) {
+        fo.delay_rate > 1 || fo.stall_rate < 0 || fo.stall_rate > 1 ||
+        fo.torn_write_rate < 0 || fo.torn_write_rate > 1 ||
+        fo.short_read_rate < 0 || fo.short_read_rate > 1) {
       return invalid("fault injector rates must be in [0, 1]");
     }
+  }
+  if (core::Status durability =
+          persistence::ValidateDurabilityOptions(options.durability);
+      !durability.ok()) {
+    return invalid(durability.message());
   }
   return Status::Ok();
 }
@@ -88,9 +96,50 @@ ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
   shard_config_.circuit_breaker = options_.circuit_breaker;
   shard_config_.before_process_hook = options_.before_process_hook;
 
+  // Durable startup: recover the directory (replaying any previous
+  // incarnation's journal) *before* any shard exists, then hand each
+  // shard its durable state and its recovered sessions, and only then
+  // start the workers. Recovery runs without the fault injector — it
+  // models a fresh process; injected storage faults belong to the life
+  // that crashed (tests drive RecoveryManager directly to fault it).
+  if (options_.durability.enabled()) {
+    core::Status dir_status = persistence::EnsureDir(options_.durability.dir);
+    SWS_CHECK(dir_status.ok()) << dir_status.ToString();
+    persistence::RecoveryOptions recovery_options;
+    recovery_options.verify_replay_outputs =
+        options_.durability.verify_replay_outputs;
+    recovery_options.run_max_nodes = options_.run_options.max_nodes;
+    persistence::RecoveryManager manager(options_.durability.dir, sws,
+                                         initial_db_, recovery_options,
+                                         /*fault_injector=*/nullptr);
+    recovery_ =
+        std::make_unique<persistence::RecoveryResult>(manager.Recover());
+    SWS_CHECK(recovery_->status.ok())
+        << "crash recovery failed — " << recovery_->status.ToString();
+
+    const uint64_t fingerprint = persistence::SwsFingerprint(*sws);
+    durability_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      durability_.push_back(std::make_unique<persistence::ShardDurability>(
+          options_.durability,
+          persistence::SegmentHeader{recovery_->next_incarnation, i,
+                                     fingerprint},
+          /*first_segment_n=*/0, options_.run_options.fault_injector));
+    }
+  }
+
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<SessionShard>(i, &shard_config_));
+    shards_.push_back(std::make_unique<SessionShard>(
+        i, &shard_config_,
+        durability_.empty() ? nullptr : durability_[i].get()));
+  }
+  if (recovery_ != nullptr) {
+    for (const auto& [session_id, image] : recovery_->sessions) {
+      shards_[ShardOf(session_id)]->InstallSession(
+          session_id, core::SessionRunner(sws, image.db, image.pending),
+          image.next_seq);
+    }
   }
   // The pool queue holds at most one drain task per shard (the scheduled
   // flag), so `shards` capacity guarantees drain-task submission never

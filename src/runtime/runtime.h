@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "persistence/durability.h"
+#include "persistence/recovery.h"
 #include "relational/database.h"
 #include "runtime/circuit_breaker.h"
 #include "runtime/runtime_stats.h"
@@ -63,6 +65,13 @@ struct RuntimeOptions {
   /// (null = disabled), and retry (transient-failure retry with capped
   /// backoff + decorrelated jitter, deadline-aware).
   core::RunOptions run_options;
+  /// Durability (write-ahead journal + snapshots + crash recovery,
+  /// DESIGN.md §9). Off by default (`dir` empty): the shards then carry
+  /// a null durability pointer and the hot path is identical to a
+  /// non-durable build. When set, the constructor first *recovers* the
+  /// directory (replaying any prior incarnation's journal), installs the
+  /// recovered sessions, and only then starts the workers.
+  persistence::DurabilityOptions durability;
   /// Test/bench instrumentation; see SessionShard::Config.
   std::function<void(const std::string& session_id)> before_process_hook;
 };
@@ -159,6 +168,13 @@ class ServiceRuntime {
   size_t num_shards() const { return shards_.size(); }
   const core::Sws& sws() const { return *shard_config_.sws; }
 
+  /// The constructor-time recovery result (replayed outputs a client
+  /// must deliver, per-session next_seq for resubmission), or null when
+  /// durability is off. Valid for the runtime's lifetime.
+  const persistence::RecoveryResult* recovery() const {
+    return recovery_.get();
+  }
+
  private:
   core::Status SubmitInternal(std::string session_id, rel::Relation message,
                               Priority priority,
@@ -174,6 +190,8 @@ class ServiceRuntime {
   SessionShard::Config shard_config_;
   RuntimeOptions options_;
   RuntimeStats stats_;
+  std::unique_ptr<persistence::RecoveryResult> recovery_;
+  std::vector<std::unique_ptr<persistence::ShardDurability>> durability_;
   std::vector<std::unique_ptr<SessionShard>> shards_;
   std::unique_ptr<ThreadPool> pool_;
 

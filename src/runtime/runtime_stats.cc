@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <sstream>
+#include <string_view>
+#include <utility>
 
 #include "util/common.h"
 
@@ -59,29 +62,94 @@ std::string StatsSnapshot::ToString() const {
       << " shed_low_priority=" << shed_low_priority
       << " expired_at_enqueue=" << expired_at_enqueue
       << " memo_hits=" << memo_hits << " memo_misses=" << memo_misses
+      << " storage_failures=" << storage_failures
+      << " journal_appends=" << journal_appends << " snapshots=" << snapshots
       << " queue_depth=" << queue_depth << " runs=" << total_runs()
       << " p50_us<=" << ApproxLatencyMicros(0.5)
       << " p99_us<=" << ApproxLatencyMicros(0.99);
   return out.str();
 }
 
+namespace {
+
+/// RFC 8259 string escaping: quotes, backslashes and control characters.
+/// The keys below are all plain identifiers today, but the escaping is
+/// unconditional so the emitter can never produce invalid JSON (the
+/// output feeds scripts/bench_diff.py's strict parser).
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
 std::string StatsSnapshot::ToJson() const {
-  std::ostringstream out;
-  out << "{\"submitted\":" << submitted << ",\"completed\":" << completed
-      << ",\"rejected\":" << rejected
-      << ",\"sessions_closed\":" << sessions_closed
-      << ",\"deadline_exceeded\":" << deadline_exceeded
-      << ",\"budget_exceeded\":" << budget_exceeded
-      << ",\"injected_faults\":" << injected_faults
-      << ",\"circuit_open\":" << circuit_open << ",\"retries\":" << retries
-      << ",\"shed_low_priority\":" << shed_low_priority
-      << ",\"expired_at_enqueue\":" << expired_at_enqueue
-      << ",\"memo_hits\":" << memo_hits
-      << ",\"memo_misses\":" << memo_misses
-      << ",\"queue_depth\":" << queue_depth << ",\"runs\":" << total_runs()
-      << ",\"p50_us\":" << ApproxLatencyMicros(0.5)
-      << ",\"p99_us\":" << ApproxLatencyMicros(0.99) << "}";
-  return out.str();
+  const std::pair<std::string_view, uint64_t> fields[] = {
+      {"submitted", submitted},
+      {"completed", completed},
+      {"rejected", rejected},
+      {"sessions_closed", sessions_closed},
+      {"deadline_exceeded", deadline_exceeded},
+      {"budget_exceeded", budget_exceeded},
+      {"injected_faults", injected_faults},
+      {"circuit_open", circuit_open},
+      {"retries", retries},
+      {"shed_low_priority", shed_low_priority},
+      {"expired_at_enqueue", expired_at_enqueue},
+      {"memo_hits", memo_hits},
+      {"memo_misses", memo_misses},
+      {"storage_failures", storage_failures},
+      {"journal_appends", journal_appends},
+      {"snapshots", snapshots},
+      {"queue_depth", queue_depth},
+      {"runs", total_runs()},
+      {"p50_us", ApproxLatencyMicros(0.5)},
+      {"p99_us", ApproxLatencyMicros(0.99)},
+  };
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(key, &out);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out.push_back('}');
+  return out;
 }
 
 RuntimeStats::RuntimeStats(size_t num_shards) : shard_latency_(num_shards) {
@@ -110,6 +178,9 @@ StatsSnapshot RuntimeStats::Snapshot(uint64_t queue_depth) const {
       expired_at_enqueue_.load(std::memory_order_relaxed);
   snap.memo_hits = memo_hits_.load(std::memory_order_relaxed);
   snap.memo_misses = memo_misses_.load(std::memory_order_relaxed);
+  snap.storage_failures = storage_failures_.load(std::memory_order_relaxed);
+  snap.journal_appends = journal_appends_.load(std::memory_order_relaxed);
+  snap.snapshots = snapshots_.load(std::memory_order_relaxed);
   snap.queue_depth = queue_depth;
   snap.shard_latency.reserve(shard_latency_.size());
   for (const LatencyHistogram& h : shard_latency_) {

@@ -43,6 +43,9 @@ struct StatsSnapshot {
   uint64_t expired_at_enqueue = 0; // dead on arrival; never admitted
   uint64_t memo_hits = 0;          // subtrees replayed from the memo cache
   uint64_t memo_misses = 0;        // subtrees evaluated and cached
+  uint64_t storage_failures = 0;   // durable appends/snapshots that failed
+  uint64_t journal_appends = 0;    // records appended to the WAL
+  uint64_t snapshots = 0;          // shard snapshots captured
   uint64_t queue_depth = 0;        // admitted but not yet completed
   /// Per-shard session-run latency histograms (delimiter runs only; the
   /// buffering of a non-delimiter message is not a run).
@@ -54,7 +57,9 @@ struct StatsSnapshot {
   uint64_t ApproxLatencyMicros(double quantile) const;
 
   std::string ToString() const;
-  /// One-line JSON object (for BENCH_*.json files and scraping).
+  /// One-line JSON object (for BENCH_*.json files and scraping). The
+  /// output is guaranteed-valid JSON: keys go through full string
+  /// escaping and every value is emitted as a plain integer.
   std::string ToJson() const;
 };
 
@@ -98,6 +103,13 @@ class RuntimeStats {
     if (hits > 0) memo_hits_.fetch_add(hits, std::memory_order_relaxed);
     if (misses > 0) memo_misses_.fetch_add(misses, std::memory_order_relaxed);
   }
+  void OnStorageFailure() {
+    storage_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnJournalAppends(uint64_t n) {
+    if (n > 0) journal_appends_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void OnSnapshot() { snapshots_.fetch_add(1, std::memory_order_relaxed); }
   void RecordRunLatency(size_t shard, uint64_t micros);
 
   /// The queue-depth gauge is owned by the admission layer (it doubles as
@@ -118,6 +130,9 @@ class RuntimeStats {
   std::atomic<uint64_t> expired_at_enqueue_{0};
   std::atomic<uint64_t> memo_hits_{0};
   std::atomic<uint64_t> memo_misses_{0};
+  std::atomic<uint64_t> storage_failures_{0};
+  std::atomic<uint64_t> journal_appends_{0};
+  std::atomic<uint64_t> snapshots_{0};
   std::vector<LatencyHistogram> shard_latency_;
 };
 

@@ -6,11 +6,23 @@
 
 namespace sws::rt {
 
-SessionShard::SessionShard(size_t shard_index, const Config* config)
-    : shard_index_(shard_index), config_(config) {
+SessionShard::SessionShard(size_t shard_index, const Config* config,
+                           persistence::ShardDurability* durability)
+    : shard_index_(shard_index), config_(config), durability_(durability) {
   SWS_CHECK(config != nullptr);
   SWS_CHECK(config->sws != nullptr);
   SWS_CHECK(config->initial_db != nullptr);
+}
+
+void SessionShard::InstallSession(const std::string& session_id,
+                                  core::SessionRunner runner,
+                                  uint64_t next_seq) {
+  auto [it, inserted] = sessions_.try_emplace(
+      session_id, SessionState{std::move(runner),
+                               CircuitBreaker(config_->circuit_breaker),
+                               next_seq});
+  SWS_CHECK(inserted) << "session installed twice: " << session_id;
+  num_sessions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool SessionShard::Enqueue(Envelope envelope) {
@@ -41,6 +53,9 @@ void SessionShard::Drain(RuntimeStats* stats,
       config_->run_options.fault_injector->OnDrainStep();
     }
     Process(std::move(envelope), stats);
+    if (durability_ != nullptr && durability_->ShouldSnapshot()) {
+      MaybeSnapshot(stats);
+    }
     stats->OnCompleted();
     if (on_done) on_done();
   }
@@ -76,6 +91,27 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
   // is discarded (nothing was committed) and only delimiters report, so
   // the callback contract stays "one outcome per delimiter".
   if (session.breaker.OnRequest(now) == CircuitBreaker::State::kOpen) {
+    // The discard changes what replay must reproduce, so it is journaled
+    // first (WAL discipline); if the journal refuses, the buffer is kept
+    // — deferring the discard keeps disk and memory in agreement.
+    if (durability_ != nullptr && session.runner.buffered() > 0) {
+      persistence::JournalRecord discard;
+      discard.type = persistence::JournalRecord::Type::kDiscard;
+      discard.session_id = envelope.session_id;
+      discard.seq = session.next_seq;
+      core::Status journaled = durability_->AppendDiscard(discard);
+      if (!journaled.ok()) {
+        stats->OnStorageFailure();
+        if (!is_delimiter) return;
+        if (envelope.callback) {
+          envelope.callback(Outcome{std::move(journaled),
+                                    std::move(envelope.session_id),
+                                    std::nullopt, 0});
+        }
+        return;
+      }
+      stats->OnJournalAppends(1);
+    }
     session.runner.DiscardPending();
     if (!is_delimiter) return;
     stats->OnCircuitOpen();
@@ -86,6 +122,39 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
                   std::move(envelope.session_id), std::nullopt, 0});
     }
     return;
+  }
+
+  // Write-ahead: the input is journaled before it is fed. On journal
+  // failure the message is dropped un-fed (the callback reports it, the
+  // client may resubmit) — the journal never under-reports consumed
+  // inputs, which is what makes replay exact.
+  uint64_t seq = 0;
+  if (durability_ != nullptr) {
+    persistence::JournalRecord input;
+    input.type = persistence::JournalRecord::Type::kInput;
+    input.session_id = envelope.session_id;
+    input.seq = session.next_seq;
+    input.priority = static_cast<uint8_t>(envelope.priority);
+    input.deadline_ns =
+        envelope.deadline == std::chrono::steady_clock::time_point::max()
+            ? -1
+            : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  envelope.deadline - now)
+                  .count();
+    input.payload = envelope.message;
+    core::Status journaled = durability_->AppendInput(input);
+    if (!journaled.ok()) {
+      stats->OnStorageFailure();
+      session.breaker.OnRunFailure(std::chrono::steady_clock::now());
+      if (envelope.callback) {
+        envelope.callback(Outcome{std::move(journaled),
+                                  std::move(envelope.session_id),
+                                  std::nullopt, 0});
+      }
+      return;
+    }
+    stats->OnJournalAppends(1);
+    seq = session.next_seq++;
   }
 
   core::RunOptions run_options = config_->run_options;
@@ -100,6 +169,35 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
   stats->RecordRunLatency(shard_index_,
                           static_cast<uint64_t>(elapsed.count()));
   SWS_CHECK(outcome.has_value());
+
+  // The ack barrier: the outcome record must be durable before the
+  // callback fires, so an acknowledged output is always recoverable (and
+  // recovery can suppress its re-emission — exactly-once). If the append
+  // fails the output is withheld: the run may well have committed, but
+  // the client only learns kStorageFailure, and recovery will re-run the
+  // session deterministically and emit the output exactly once.
+  if (durability_ != nullptr) {
+    persistence::JournalRecord record;
+    record.type = persistence::JournalRecord::Type::kOutcome;
+    record.session_id = envelope.session_id;
+    record.seq = seq;
+    record.status_code = static_cast<uint8_t>(outcome->status.code());
+    if (outcome->status.ok()) record.payload = outcome->output;
+    core::Status journaled = durability_->AppendOutcomeAndAck(record);
+    if (!journaled.ok()) {
+      stats->OnStorageFailure();
+      session.breaker.OnRunFailure(std::chrono::steady_clock::now());
+      if (envelope.callback) {
+        const uint32_t attempts = outcome->attempts;
+        envelope.callback(Outcome{std::move(journaled),
+                                  std::move(envelope.session_id),
+                                  std::nullopt, attempts});
+      }
+      return;
+    }
+    stats->OnJournalAppends(1);
+  }
+
   if (outcome->attempts > 1) stats->OnRetries(outcome->attempts - 1);
   if (!outcome->status.ok()) {
     session.breaker.OnRunFailure(std::chrono::steady_clock::now());
@@ -133,6 +231,22 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
     envelope.callback(Outcome{core::Status::Ok(),
                               std::move(envelope.session_id),
                               std::move(outcome), attempts});
+  }
+}
+
+void SessionShard::MaybeSnapshot(RuntimeStats* stats) {
+  std::vector<persistence::SessionImage> images;
+  images.reserve(sessions_.size());
+  for (const auto& [session_id, state] : sessions_) {
+    images.push_back(persistence::SessionImage{
+        session_id, state.runner.db(), state.runner.pending(),
+        state.next_seq});
+  }
+  core::Status status = durability_->WriteShardSnapshot(std::move(images));
+  if (status.ok()) {
+    stats->OnSnapshot();
+  } else {
+    stats->OnStorageFailure();
   }
 }
 

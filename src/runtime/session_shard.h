@@ -10,6 +10,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "persistence/durability.h"
 #include "relational/database.h"
 #include "runtime/circuit_breaker.h"
 #include "runtime/runtime_stats.h"
@@ -94,11 +95,22 @@ class SessionShard {
     std::function<void(const std::string& session_id)> before_process_hook;
   };
 
-  SessionShard(size_t shard_index, const Config* config);
+  /// `durability` is the shard's durable state (write-ahead journal +
+  /// snapshots), or null when durability is off — the null check is the
+  /// non-durable hot path's entire cost. Like `sessions_`, it is only
+  /// ever touched by the drain-role holder.
+  SessionShard(size_t shard_index, const Config* config,
+               persistence::ShardDurability* durability = nullptr);
 
   /// Appends an envelope. Returns true iff the shard was idle — the
   /// caller must then schedule Drain() on a worker.
   bool Enqueue(Envelope envelope);
+
+  /// Installs a recovered session (runner state + the journal seq it
+  /// expects next). Pre-start only: must be called before any worker can
+  /// drain this shard, since it touches `sessions_` without the role.
+  void InstallSession(const std::string& session_id,
+                      core::SessionRunner runner, uint64_t next_seq);
 
   /// Processes queued envelopes until empty; called only via the
   /// scheduling protocol above. Every processed envelope is counted via
@@ -118,12 +130,20 @@ class SessionShard {
   struct SessionState {
     core::SessionRunner runner;
     CircuitBreaker breaker;
+    /// Journal seq of the session's next input (durable runtimes only).
+    uint64_t next_seq = 0;
   };
 
   void Process(Envelope envelope, RuntimeStats* stats);
 
+  /// Captures all sessions into a shard snapshot (drain-role holder
+  /// only). Failures are counted, not fatal: the journal still covers
+  /// everything the snapshot would have.
+  void MaybeSnapshot(RuntimeStats* stats);
+
   const size_t shard_index_;
   const Config* const config_;
+  persistence::ShardDurability* const durability_;
 
   std::mutex mu_;
   std::deque<Envelope> queue_;

@@ -13,6 +13,20 @@ namespace {
 constexpr uint64_t kRunFailSalt = 0x9d5c1f8a3b2e7641ULL;
 constexpr uint64_t kRunDelaySalt = 0x71c3a9e5d207b8f3ULL;
 constexpr uint64_t kDrainSalt = 0x5e8b2d94c6a1f037ULL;
+constexpr uint64_t kTornWriteSalt = 0x2f6e4c8a1d3b9075ULL;
+constexpr uint64_t kShortReadSalt = 0x8a1f5c3e7b2d6490ULL;
+
+/// Decrements a countdown of deterministically armed faults; returns
+/// true iff one was armed (and thus consumed).
+bool ConsumeArmed(std::atomic<uint32_t>* armed) {
+  uint32_t n = armed->load(std::memory_order_relaxed);
+  while (n > 0) {
+    if (armed->compare_exchange_weak(n, n - 1, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
 
 double UnitAt(uint64_t seed, uint64_t salt, uint64_t index) {
   return UnitFromDraw(SplitMix64(seed ^ salt ^ (index * 0x9e3779b97f4a7c15ULL)));
@@ -29,6 +43,8 @@ FaultInjector::FaultInjector(FaultOptions options) : options_(options) {
   ValidateRate(options_.fail_rate, "fail_rate");
   ValidateRate(options_.delay_rate, "delay_rate");
   ValidateRate(options_.stall_rate, "stall_rate");
+  ValidateRate(options_.torn_write_rate, "torn_write_rate");
+  ValidateRate(options_.short_read_rate, "short_read_rate");
   SWS_CHECK_GE(options_.delay.count(), 0);
   SWS_CHECK_GE(options_.stall.count(), 0);
 }
@@ -56,6 +72,28 @@ void FaultInjector::OnDrainStep() {
     stalls_.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::sleep_for(options_.stall);
   }
+}
+
+bool FaultInjector::OnJournalAppend() {
+  const uint64_t n = append_draws_.fetch_add(1, std::memory_order_relaxed);
+  if (ConsumeArmed(&armed_torn_) ||
+      (options_.torn_write_rate > 0.0 &&
+       UnitAt(options_.seed, kTornWriteSalt, n) < options_.torn_write_rate)) {
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::OnJournalRead() {
+  const uint64_t n = read_draws_.fetch_add(1, std::memory_order_relaxed);
+  if (ConsumeArmed(&armed_short_read_) ||
+      (options_.short_read_rate > 0.0 &&
+       UnitAt(options_.seed, kShortReadSalt, n) < options_.short_read_rate)) {
+    short_reads_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 Backoff::Backoff(const RetryPolicy& policy, uint64_t stream)

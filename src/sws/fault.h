@@ -27,6 +27,13 @@ struct FaultOptions {
   /// role — models a slow shard backing up its sessions.
   double stall_rate = 0.0;
   std::chrono::microseconds stall{0};
+  /// Probability that a journal append tears: a partial frame is left on
+  /// disk (as a crash in mid-write would leave) and the writer is
+  /// poisoned. See persistence::JournalWriter.
+  double torn_write_rate = 0.0;
+  /// Probability that a journal segment read fails transiently (short
+  /// read); recovery retries the read.
+  double short_read_rate = 0.0;
 };
 
 /// A deterministic, seeded fault-injection hook threaded through query
@@ -49,6 +56,24 @@ class FaultInjector {
   /// stalls the calling worker while it holds the shard's drain role.
   void OnDrainStep();
 
+  /// Storage hook, called once per journal append: returns true iff this
+  /// append must tear (armed tears fire before the probabilistic stream).
+  bool OnJournalAppend();
+
+  /// Storage hook, called once per segment read: returns true iff this
+  /// read must fail transiently (armed short reads fire first).
+  bool OnJournalRead();
+
+  /// Arms the next `n` journal appends / segment reads to fail
+  /// deterministically, independent of seed and draw position — for
+  /// tests that must hit an exact append (e.g. a breaker probe).
+  void ArmTornWrites(uint32_t n) {
+    armed_torn_.store(n, std::memory_order_relaxed);
+  }
+  void ArmShortReads(uint32_t n) {
+    armed_short_read_.store(n, std::memory_order_relaxed);
+  }
+
   const FaultOptions& options() const { return options_; }
 
   // Telemetry (for tests and reports).
@@ -64,14 +89,26 @@ class FaultInjector {
   uint64_t run_attempts() const {
     return run_draws_.load(std::memory_order_relaxed);
   }
+  uint64_t injected_torn_writes() const {
+    return torn_writes_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_short_reads() const {
+    return short_reads_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultOptions options_;
   std::atomic<uint64_t> run_draws_{0};
   std::atomic<uint64_t> drain_draws_{0};
+  std::atomic<uint64_t> append_draws_{0};
+  std::atomic<uint64_t> read_draws_{0};
   std::atomic<uint64_t> failures_{0};
   std::atomic<uint64_t> delays_{0};
   std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> torn_writes_{0};
+  std::atomic<uint64_t> short_reads_{0};
+  std::atomic<uint32_t> armed_torn_{0};
+  std::atomic<uint32_t> armed_short_read_{0};
 };
 
 /// SplitMix64 — a tiny, high-quality mixing function; used to derive

@@ -12,6 +12,14 @@ SessionRunner::SessionRunner(const Sws* sws, rel::Database initial_db)
   SWS_CHECK(sws != nullptr);
 }
 
+SessionRunner::SessionRunner(const Sws* sws, rel::Database db,
+                             rel::InputSequence pending)
+    : sws_(sws), db_(std::move(db)), pending_(std::move(pending)) {
+  SWS_CHECK(sws != nullptr);
+  SWS_CHECK_EQ(pending_.message_arity(), sws->rin_arity())
+      << "restored pending buffer has the wrong message arity";
+}
+
 rel::Relation SessionRunner::DelimiterMessage(size_t arity) {
   SWS_CHECK_GE(arity, 1u) << "delimiters need at least one attribute";
   rel::Tuple t;

@@ -27,6 +27,12 @@ class SessionRunner {
  public:
   SessionRunner(const Sws* sws, rel::Database initial_db);
 
+  /// Restores a runner to a mid-stream point: `pending` is the buffered
+  /// (uncommitted) prefix of the current session — exactly what
+  /// pending() returned when the state was captured. Used by crash
+  /// recovery (src/persistence/) to rebuild sessions from a snapshot.
+  SessionRunner(const Sws* sws, rel::Database db, rel::InputSequence pending);
+
   /// The delimiter: a message containing exactly one tuple whose first
   /// attribute is the string "#" (remaining attributes are nulls).
   static rel::Relation DelimiterMessage(size_t arity);
@@ -77,6 +83,8 @@ class SessionRunner {
 
   const rel::Database& db() const { return db_; }
   size_t buffered() const { return pending_.size(); }
+  /// The buffered (uncommitted) session prefix — snapshot material.
+  const rel::InputSequence& pending() const { return pending_; }
 
  private:
   const Sws* sws_;

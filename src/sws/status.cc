@@ -18,6 +18,8 @@ const char* RunErrorName(RunError error) {
       return "CIRCUIT_OPEN";
     case RunError::kShutdown:
       return "SHUTDOWN";
+    case RunError::kStorageFailure:
+      return "STORAGE_FAILURE";
   }
   return "UNKNOWN";
 }

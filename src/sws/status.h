@@ -19,6 +19,7 @@ enum class RunError : uint8_t {
   kQueueRejected,     // admission refused the request (full queue / shed)
   kCircuitOpen,       // the session's circuit breaker is fast-failing
   kShutdown,          // the runtime is shut down
+  kStorageFailure,    // the durability layer could not journal/persist
 };
 
 const char* RunErrorName(RunError error);

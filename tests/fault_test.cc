@@ -6,12 +6,20 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "logic/cq.h"
+#include "persistence/durability.h"
 #include "relational/database.h"
 #include "runtime/circuit_breaker.h"
+#include "runtime/runtime.h"
 #include "sws/fault.h"
 #include "sws/session.h"
 #include "sws/status.h"
@@ -310,6 +318,113 @@ TEST(CircuitBreakerTest, ClosedToOpenToHalfOpenLifecycle) {
   breaker.OnRunSuccess();
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_EQ(breaker.consecutive_failures(), 0u);
+}
+
+TEST(FaultInjectorTest, ArmedStorageFaultsFireExactly) {
+  FaultInjector injector(FaultOptions{});  // all rates zero
+  injector.ArmTornWrites(2);
+  EXPECT_TRUE(injector.OnJournalAppend());
+  EXPECT_TRUE(injector.OnJournalAppend());
+  EXPECT_FALSE(injector.OnJournalAppend());  // armed count exhausted
+  EXPECT_EQ(injector.injected_torn_writes(), 2u);
+
+  injector.ArmShortReads(1);
+  EXPECT_TRUE(injector.OnJournalRead());
+  EXPECT_FALSE(injector.OnJournalRead());
+  EXPECT_EQ(injector.injected_short_reads(), 1u);
+}
+
+TEST(FaultInjectorTest, StorageFaultStreamsAreSeededAndIndependent) {
+  FaultOptions options;
+  options.seed = 7;
+  options.torn_write_rate = 0.5;
+  options.short_read_rate = 0.5;
+  FaultInjector a(options), b(options);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.OnJournalAppend(), b.OnJournalAppend());
+    EXPECT_EQ(a.OnJournalRead(), b.OnJournalRead());
+  }
+  // Both rates 0.5 over 200 draws: each stream must fire at least once
+  // and skip at least once, and the two streams must not be identical
+  // (distinct salts).
+  EXPECT_GT(a.injected_torn_writes(), 0u);
+  EXPECT_LT(a.injected_torn_writes(), 200u);
+  EXPECT_GT(a.injected_short_reads(), 0u);
+  EXPECT_LT(a.injected_short_reads(), 200u);
+}
+
+// The satellite regression of PR 4: a half-open breaker probe that hits
+// an injected torn write on its *journal append* must count as a probe
+// failure and re-trip the breaker to open — storage failures are
+// failures, and a session whose journal cannot accept its inputs must
+// not be half-open-probed into feeding unjournaled messages.
+TEST(CircuitBreakerRuntimeTest, HalfOpenProbeTornWriteReTripsToOpen) {
+  char tmpl[] = "/tmp/sws_fault_test_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+
+  Sws sws = MakeTwoLevelLogger();
+  FaultOptions fault_options;
+  fault_options.fail_first_runs = 1;  // the run that opens the breaker
+  FaultInjector injector(fault_options);
+
+  rt::RuntimeOptions options;
+  options.num_workers = 1;
+  options.run_options.fault_injector = &injector;
+  options.circuit_breaker.failure_threshold = 1;
+  options.circuit_breaker.open_duration = std::chrono::milliseconds(50);
+  options.durability.dir = dir;
+  options.durability.fsync = persistence::FsyncPolicy::kAlways;
+  rt::ServiceRuntime runtime(&sws, LoggerDb(), options);
+
+  std::mutex mu;
+  std::vector<RunError> codes;
+  auto record = [&](rt::Outcome outcome) {
+    std::lock_guard<std::mutex> lock(mu);
+    codes.push_back(outcome.status.code());
+  };
+
+  // 1. One injected run failure opens the breaker (threshold 1).
+  ASSERT_TRUE(runtime.Submit("alice", SessionRunner::DelimiterMessage(1),
+                             record).ok());
+  runtime.Drain();
+  // 2. While open: fast-fail, nothing runs, nothing is journaled.
+  ASSERT_TRUE(runtime.Submit("alice", SessionRunner::DelimiterMessage(1),
+                             record).ok());
+  runtime.Drain();
+  // 3. After the cooldown the next delimiter is the half-open probe; its
+  //    write-ahead input append is armed to tear.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  injector.ArmTornWrites(1);
+  ASSERT_TRUE(runtime.Submit("alice", SessionRunner::DelimiterMessage(1),
+                             record).ok());
+  runtime.Drain();
+  // 4. The probe's storage failure must have re-tripped the breaker:
+  //    immediately after, the session is open again (fast-fail, no
+  //    journal touch — the poisoned writer would fail anyway).
+  ASSERT_TRUE(runtime.Submit("alice", SessionRunner::DelimiterMessage(1),
+                             record).ok());
+  runtime.Drain();
+  runtime.Shutdown();
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(codes.size(), 4u);
+    EXPECT_EQ(codes[0], RunError::kInjectedFault);
+    EXPECT_EQ(codes[1], RunError::kCircuitOpen);
+    EXPECT_EQ(codes[2], RunError::kStorageFailure);  // the torn probe
+    EXPECT_EQ(codes[3], RunError::kCircuitOpen);     // re-tripped
+  }
+  EXPECT_EQ(injector.injected_torn_writes(), 1u);
+  EXPECT_GE(runtime.Stats().storage_failures, 1u);
+
+  std::vector<persistence::DurableFile> files;
+  if (persistence::ListDurableFiles(dir, &files).ok()) {
+    for (const persistence::DurableFile& f : files) {
+      ::unlink((std::string(dir) + "/" + f.name).c_str());
+    }
+  }
+  ::rmdir(dir);
 }
 
 }  // namespace

@@ -1,16 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "logic/cq.h"
 #include "models/travel.h"
+#include "persistence/durability.h"
 #include "runtime/runtime.h"
 #include "runtime/thread_pool.h"
 #include "util/common.h"
@@ -766,6 +771,203 @@ TEST(RuntimeTest, MemoStatsAggregateAcrossSessions) {
   EXPECT_EQ(stats.memo_misses, misses);
   EXPECT_NE(stats.ToString().find("memo_hits=2"), std::string::npos);
   EXPECT_NE(stats.ToJson().find("\"memo_hits\":2"), std::string::npos);
+}
+
+// A strict checker for the exact JSON subset StatsSnapshot::ToJson
+// emits: one flat object of string keys and unsigned integer values, no
+// trailing commas, no unescaped control characters, full input consumed.
+// Returns the parsed object; fails the test on any deviation.
+std::map<std::string, uint64_t> ParseFlatJsonObject(const std::string& json) {
+  std::map<std::string, uint64_t> fields;
+  size_t i = 0;
+  auto fail = [&](const std::string& why) {
+    ADD_FAILURE() << "invalid JSON at byte " << i << ": " << why << "\n"
+                  << json;
+  };
+  if (i >= json.size() || json[i] != '{') {
+    fail("expected '{'");
+    return fields;
+  }
+  ++i;
+  bool first = true;
+  while (i < json.size() && json[i] != '}') {
+    if (!first) {
+      if (json[i] != ',') {
+        fail("expected ','");
+        return fields;
+      }
+      ++i;
+    }
+    first = false;
+    if (i >= json.size() || json[i] != '"') {
+      fail("expected '\"' opening a key");
+      return fields;
+    }
+    ++i;
+    std::string key;
+    while (i < json.size() && json[i] != '"') {
+      unsigned char c = json[i];
+      if (c < 0x20) {
+        fail("unescaped control character in key");
+        return fields;
+      }
+      if (c == '\\') {
+        if (i + 1 >= json.size()) {
+          fail("truncated escape");
+          return fields;
+        }
+        key.push_back(json[i + 1]);  // keeps the raw escaped char
+        i += 2;
+        continue;
+      }
+      key.push_back(static_cast<char>(c));
+      ++i;
+    }
+    if (i >= json.size()) {
+      fail("unterminated key");
+      return fields;
+    }
+    ++i;  // closing quote
+    if (i >= json.size() || json[i] != ':') {
+      fail("expected ':'");
+      return fields;
+    }
+    ++i;
+    if (i >= json.size() || json[i] < '0' || json[i] > '9') {
+      fail("expected an unsigned integer value");
+      return fields;
+    }
+    uint64_t value = 0;
+    while (i < json.size() && json[i] >= '0' && json[i] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(json[i] - '0');
+      ++i;
+    }
+    if (!fields.emplace(key, value).second) {
+      fail("duplicate key: " + key);
+      return fields;
+    }
+  }
+  if (i >= json.size() || json[i] != '}') {
+    fail("expected '}'");
+    return fields;
+  }
+  ++i;
+  if (i != json.size()) fail("trailing bytes after the object");
+  return fields;
+}
+
+TEST(RuntimeStatsTest, ToJsonIsStrictlyValidAndComplete) {
+  Sws sws = MakeTwoLevelLogger();
+  RuntimeOptions options;
+  options.num_workers = 2;
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+  for (int i = 0; i < 5; ++i) {
+    runtime.Submit("s" + std::to_string(i), Msg(i));
+    runtime.Submit("s" + std::to_string(i), Delim());
+  }
+  runtime.Drain();
+
+  StatsSnapshot stats = runtime.Stats();
+  std::map<std::string, uint64_t> fields = ParseFlatJsonObject(stats.ToJson());
+  // Every counter the snapshot carries must appear, with the value the
+  // snapshot holds — ToJson must not drift from the struct.
+  const std::pair<const char*, uint64_t> expected[] = {
+      {"submitted", stats.submitted},
+      {"rejected", stats.rejected},
+      {"completed", stats.completed},
+      {"sessions_closed", stats.sessions_closed},
+      {"deadline_exceeded", stats.deadline_exceeded},
+      {"budget_exceeded", stats.budget_exceeded},
+      {"injected_faults", stats.injected_faults},
+      {"circuit_open", stats.circuit_open},
+      {"retries", stats.retries},
+      {"shed_low_priority", stats.shed_low_priority},
+      {"expired_at_enqueue", stats.expired_at_enqueue},
+      {"memo_hits", stats.memo_hits},
+      {"memo_misses", stats.memo_misses},
+      {"storage_failures", stats.storage_failures},
+      {"journal_appends", stats.journal_appends},
+      {"snapshots", stats.snapshots},
+      {"queue_depth", stats.queue_depth},
+      {"runs", stats.total_runs()},
+  };
+  for (const auto& [key, value] : expected) {
+    ASSERT_EQ(fields.count(key), 1u) << "missing field: " << key;
+    EXPECT_EQ(fields.at(key), value) << "wrong value for: " << key;
+  }
+  EXPECT_EQ(stats.submitted, 10u);
+  EXPECT_EQ(stats.sessions_closed, 5u);
+  EXPECT_EQ(fields.count("p50_us"), 1u);
+  EXPECT_EQ(fields.count("p99_us"), 1u);
+}
+
+// Regression for the durable submit path: Drain() (and the shard
+// snapshots it can trigger) racing Submit() of durable sessions from
+// another thread must neither lose outcomes nor trip TSan — the drain
+// role, not a lock, is what serializes `sessions_` and the shard's
+// journal. Run under TSan via the tsan preset (runtime_test is in its
+// filter).
+TEST(RuntimeTest, DurableDrainRacesSubmit) {
+  char tmpl[] = "/tmp/sws_runtime_test_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+
+  Sws sws = MakeTwoLevelLogger();
+  RuntimeOptions options;
+  options.num_workers = 4;
+  options.num_shards = 4;
+  options.durability.dir = dir;
+  // Snapshot on nearly every append so Drain's snapshot path runs
+  // *while* the producer keeps submitting.
+  options.durability.snapshot_interval_appends = 2;
+  options.durability.segment_bytes = 4096;
+  {
+    ServiceRuntime runtime(&sws, LoggerDb(), options);
+    OutcomeCollector collector;
+
+    constexpr int kSessions = 64;
+    std::thread producer([&] {
+      for (int i = 0; i < kSessions; ++i) {
+        const std::string id = "race-" + std::to_string(i);
+        EXPECT_TRUE(runtime.Submit(id, Msg(i)).ok());
+        EXPECT_TRUE(runtime.Submit(id, Delim(), collector.Callback()).ok());
+      }
+    });
+    // Drain concurrently with the producer: each call must return (no
+    // deadlock with snapshotting shards) and must never count work twice.
+    for (int i = 0; i < 50; ++i) runtime.Drain();
+    producer.join();
+    runtime.Drain();
+
+    std::vector<Outcome> outcomes = collector.Take();
+    ASSERT_EQ(outcomes.size(), static_cast<size_t>(kSessions));
+    for (const Outcome& o : outcomes) {
+      EXPECT_TRUE(o.status.ok()) << o.status.ToString();
+    }
+    StatsSnapshot stats = runtime.Stats();
+    EXPECT_EQ(stats.storage_failures, 0u);
+    EXPECT_EQ(stats.sessions_closed, static_cast<uint64_t>(kSessions));
+    EXPECT_GE(stats.snapshots, 1u);
+    EXPECT_GE(stats.journal_appends, static_cast<uint64_t>(2 * kSessions));
+    runtime.Shutdown();
+  }
+
+  // The durable directory must recover to exactly the submitted world.
+  RuntimeOptions reopen = options;
+  ServiceRuntime recovered(&sws, LoggerDb(), reopen);
+  ASSERT_NE(recovered.recovery(), nullptr);
+  EXPECT_TRUE(recovered.recovery()->status.ok());
+  EXPECT_EQ(recovered.recovery()->sessions.size(), 64u);
+  EXPECT_TRUE(recovered.recovery()->replayed.empty());
+  recovered.Shutdown();
+
+  std::vector<persistence::DurableFile> files;
+  if (persistence::ListDurableFiles(dir, &files).ok()) {
+    for (const persistence::DurableFile& f : files) {
+      ::unlink((std::string(dir) + "/" + f.name).c_str());
+    }
+  }
+  ::rmdir(dir);
 }
 
 }  // namespace
