@@ -118,9 +118,9 @@ void JournalAppendBench(benchmark::State& state,
     record.session_id = "bench";
     record.seq = seq++;
     record.payload = payload;
-    sws::core::Status status = shard.AppendInput(record);
-    if (!status.ok()) {
-      state.SkipWithError(status.ToString().c_str());
+    persistence::AppendResult result = shard.AppendInput(record);
+    if (!result.ok()) {
+      state.SkipWithError(result.status.ToString().c_str());
       return;
     }
     bytes += 8 + 1 + 4 + 5 + 8 + 1 + 8 + 4 + 4 + 13;  // approx frame size

@@ -140,28 +140,38 @@ core::Status ShardDurability::EnsureWriter() {
   return core::Status::Ok();
 }
 
-core::Status ShardDurability::Append(const JournalRecord& record) {
-  // Rotate at the record boundary *before* the append, so a segment
-  // never grows past the cap by more than one record.
-  if (writer_ && !writer_->poisoned() &&
-      writer_->bytes_written() >= options_.segment_bytes) {
-    core::Status status = RotateSegment();
-    if (!status.ok()) return status;
+AppendResult ShardDurability::Append(const JournalRecord& record) {
+  AppendResult result;
+  // Rotate at the record boundary *before* the append — when the
+  // segment is full (so it never grows past the cap by more than one
+  // record), or when it is poisoned: a torn/sync-failed segment is
+  // abandoned to recovery (which truncates its torn tail) instead of
+  // failing every later append, so one storage incident costs one
+  // record, not the shard.
+  if (writer_ && (writer_->poisoned() ||
+                  writer_->bytes_written() >= options_.segment_bytes)) {
+    result.status = RotateSegment();
+    if (!result.status.ok()) return result;
   }
-  core::Status status = EnsureWriter();
-  if (!status.ok()) return status;
-  status = writer_->Append(record);
-  if (!status.ok()) return status;
+  result.status = EnsureWriter();
+  if (!result.status.ok()) return result;
+  result.status = writer_->Append(record);
+  if (!result.status.ok()) return result;
+  result.persisted = true;
   ++appends_;
   ++appends_since_snapshot_;
-  return core::Status::Ok();
+  return result;
 }
 
 core::Status ShardDurability::RotateSegment() {
   if (writer_) {
-    if (options_.fsync != FsyncPolicy::kNever && unsynced_inputs_ > 0) {
-      core::Status status = writer_->Sync();
-      if (!status.ok()) return status;
+    // Flush the outgoing segment's unsynced tail. A failure here only
+    // forfeits that tail's OS-crash durability (the frames are in the
+    // file and survive a process crash), so rotation proceeds; the
+    // event is recorded in sync_failures().
+    if (!writer_->poisoned() && options_.fsync != FsyncPolicy::kNever &&
+        unsynced_inputs_ > 0 && !writer_->Sync().ok()) {
+      ++sync_failures_;
     }
     unsynced_inputs_ = 0;
     writer_->Close();
@@ -170,33 +180,47 @@ core::Status ShardDurability::RotateSegment() {
   return EnsureWriter();
 }
 
-core::Status ShardDurability::AppendInput(const JournalRecord& record) {
-  core::Status status = Append(record);
-  if (!status.ok()) return status;
+AppendResult ShardDurability::AppendInput(const JournalRecord& record) {
+  AppendResult result = Append(record);
+  if (!result.persisted) return result;
+  core::Status synced;
   switch (options_.fsync) {
     case FsyncPolicy::kAlways:
-      return writer_->Sync();
+      synced = writer_->Sync();
+      break;
     case FsyncPolicy::kBatch:
       if (++unsynced_inputs_ >= options_.fsync_batch_appends) {
         unsynced_inputs_ = 0;
-        return writer_->Sync();
+        synced = writer_->Sync();
       }
-      return core::Status::Ok();
+      break;
     case FsyncPolicy::kNever:
-      return core::Status::Ok();
+      break;
   }
-  return core::Status::Ok();
+  if (!synced.ok()) {
+    // The record is on disk but its fsync failed: report the error with
+    // persisted=true so the caller still feeds the message — treating
+    // the record as absent would reuse its seq and fork the journal.
+    // The poisoned segment rotates away at the next append.
+    ++sync_failures_;
+    result.status = std::move(synced);
+  }
+  return result;
 }
 
-core::Status ShardDurability::AppendOutcomeAndAck(const JournalRecord& record) {
-  core::Status status = Append(record);
-  if (!status.ok()) return status;
-  if (options_.fsync == FsyncPolicy::kNever) return core::Status::Ok();
+AppendResult ShardDurability::AppendOutcomeAndAck(const JournalRecord& record) {
+  AppendResult result = Append(record);
+  if (!result.persisted) return result;
+  if (options_.fsync == FsyncPolicy::kNever) return result;
   unsynced_inputs_ = 0;
-  return writer_->Sync();
+  if (core::Status synced = writer_->Sync(); !synced.ok()) {
+    ++sync_failures_;
+    result.status = std::move(synced);
+  }
+  return result;
 }
 
-core::Status ShardDurability::AppendDiscard(const JournalRecord& record) {
+AppendResult ShardDurability::AppendDiscard(const JournalRecord& record) {
   // A discard changes replay semantics (it sheds buffered inputs), so it
   // is made durable like an outcome.
   return AppendOutcomeAndAck(record);
@@ -208,6 +232,12 @@ bool ShardDurability::ShouldSnapshot() const {
 
 core::Status ShardDurability::WriteShardSnapshot(
     std::vector<SessionImage> sessions) {
+  // Re-arm the interval up front: a failed snapshot retries only after
+  // another snapshot_interval_appends, not after every drained envelope
+  // — encoding every session plus the file IO is exactly the load an
+  // already-failing disk cannot absorb. Nothing is lost by waiting: the
+  // journal keeps the state recoverable without the snapshot.
+  appends_since_snapshot_ = 0;
   SnapshotData data;
   data.header = header_;
   data.sessions = std::move(sessions);
@@ -219,7 +249,6 @@ core::Status ShardDurability::WriteShardSnapshot(
   if (!status.ok()) return status;
   ++snapshot_n_;
   ++snapshots_written_;
-  appends_since_snapshot_ = 0;
 
   // The snapshot subsumes this shard's journal so far: rotate to a fresh
   // segment, then drop this shard's older segments and snapshots. Other

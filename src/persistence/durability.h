@@ -65,33 +65,62 @@ core::Status NextIncarnation(const std::string& dir, uint64_t* out);
 /// Creates `dir` if absent (one level).
 core::Status EnsureDir(const std::string& dir);
 
+/// Outcome of one durable append. `persisted` is the caller's
+/// feed/apply decision: true means the whole CRC-framed record reached
+/// the segment file, so recovery WILL replay it — even when `status`
+/// carries a sync error (the record is in the page cache; a process
+/// crash still recovers it, only its OS-crash durability is forfeit).
+/// false means no intact frame exists on disk (nothing was written, the
+/// partial frame was truncated away, or what remains is CRC-invalid),
+/// so recovery will never see it and its seq may be safely reissued.
+/// The two must never be conflated: acting as if a persisted record
+/// were absent forks the journal — the same seq gets re-journaled with
+/// a different payload and replay diverges from the live run.
+struct AppendResult {
+  core::Status status;
+  bool persisted = false;
+  bool ok() const { return status.ok(); }
+};
+
 /// One shard's durable state: the current journal segment plus rotation,
 /// fsync batching, and snapshot bookkeeping. Like the shard's session
 /// map, it is only ever touched by the shard's drain-role holder, so it
 /// needs no lock (see runtime/session_shard.h).
 ///
 /// The write-ahead contract it maintains:
-///  * AppendInput runs *before* the message is fed to the session; if it
-///    fails the message must not be fed (the journal never under-reports
-///    consumed inputs);
+///  * AppendInput runs *before* the message is fed to the session; the
+///    message is fed iff the record persisted (the journal and the live
+///    session always agree on the consumed-input sequence);
 ///  * AppendOutcomeAndAck runs after a delimiter run and *before* the
 ///    callback — under kAlways/kBatch it syncs, so an acknowledged
 ///    output is always recoverable (and recovery suppresses its
 ///    re-emission).
+///
+/// A poisoned segment (torn write, failed append truncation, failed
+/// fsync) is abandoned at the next append: the shard rotates to a fresh
+/// segment and the torn tail is left for recovery to truncate, so one
+/// storage incident costs one record, never the shard.
 class ShardDurability {
  public:
   ShardDurability(const DurabilityOptions& options, SegmentHeader header,
                   uint64_t first_segment_n, core::FaultInjector* fault_injector);
 
   /// Journals one input record (and possibly rotates / batch-syncs).
-  core::Status AppendInput(const JournalRecord& record);
+  /// The caller feeds the message iff `persisted`, regardless of
+  /// `status` — see AppendResult.
+  AppendResult AppendInput(const JournalRecord& record);
 
   /// Journals an outcome record and makes it durable per the fsync
-  /// policy; only after this returns OK may the callback acknowledge.
-  core::Status AppendOutcomeAndAck(const JournalRecord& record);
+  /// policy; only after this returns ok() may the callback acknowledge.
+  /// When `persisted` but not ok() (append landed, fsync failed) the
+  /// caller must still withhold the ack — but recovery may see the
+  /// record and treat the seq as acknowledged; see the ack-barrier
+  /// comment in runtime/session_shard.cc for the resulting semantics.
+  AppendResult AppendOutcomeAndAck(const JournalRecord& record);
 
   /// Journals a discard marker (circuit-breaker shed of buffered input).
-  core::Status AppendDiscard(const JournalRecord& record);
+  /// The caller applies the discard iff `persisted`.
+  AppendResult AppendDiscard(const JournalRecord& record);
 
   /// True once enough appends have accumulated that the shard should
   /// capture a snapshot at its next safe point.
@@ -104,11 +133,17 @@ class ShardDurability {
 
   uint64_t appends() const { return appends_; }
   uint64_t snapshots_written() const { return snapshots_written_; }
+  /// Failed fsyncs (appends, ack barriers, rotation flushes). Each one
+  /// forfeits the OS-crash durability of one segment's unsynced tail;
+  /// process-crash recoverability is unaffected.
+  uint64_t sync_failures() const { return sync_failures_; }
+  /// True while the *current* segment is poisoned; the next append
+  /// rotates it away, so this is transient, not a terminal shard state.
   bool poisoned() const { return writer_ && writer_->poisoned(); }
 
  private:
   core::Status EnsureWriter();
-  core::Status Append(const JournalRecord& record);
+  AppendResult Append(const JournalRecord& record);
   core::Status RotateSegment();
 
   DurabilityOptions options_;
@@ -121,6 +156,7 @@ class ShardDurability {
   uint64_t appends_since_snapshot_ = 0;
   uint32_t unsynced_inputs_ = 0;
   uint64_t snapshots_written_ = 0;
+  uint64_t sync_failures_ = 0;
 };
 
 }  // namespace sws::persistence

@@ -204,7 +204,20 @@ core::Status JournalWriter::Sync() {
                                "journal segment is poisoned: " + path_);
   }
   SWS_CHECK(fd_ >= 0) << "sync of unopened journal segment " << path_;
-  if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  // Injected fsync failure: models fsync(2) returning EIO — the appended
+  // frames are in the page cache (a process crash still recovers them)
+  // but their OS-crash durability is gone, and Linux marks the dirty
+  // pages clean afterwards, so no retry on this fd can be trusted.
+  // Poison the segment; the shard rotates to a fresh one.
+  if (fault_injector_ && fault_injector_->OnJournalSync()) {
+    poisoned_ = true;
+    return core::Status::Error(core::RunError::kStorageFailure,
+                               "injected fsync failure in " + path_);
+  }
+  if (::fsync(fd_) != 0) {
+    poisoned_ = true;
+    return IoError("fsync", path_);
+  }
   return core::Status::Ok();
 }
 

@@ -62,12 +62,16 @@ inline constexpr uint64_t kRecoveryShard = ~uint64_t{0};
 /// record boundary (the error is then transient — the append simply did
 /// not happen); if even that fails, or a torn write was injected (which
 /// deliberately leaves a partial frame on disk, simulating a crash in
-/// mid-append), the writer is *poisoned*: every later append fails fast
-/// with kStorageFailure and the segment is left for recovery to mend.
+/// mid-append), or an fsync failed (the segment's unsynced tail has lost
+/// its OS-crash durability guarantee, though its whole frames remain
+/// readable and survive a *process* crash), the writer is *poisoned*:
+/// every later append fails fast with kStorageFailure. The owning
+/// ShardDurability then rotates to a fresh segment, leaving this one for
+/// recovery to mend — poisoning quarantines a segment, not the shard.
 class JournalWriter {
  public:
   /// `fault_injector` may be null; it is consulted once per append for
-  /// torn-write injection.
+  /// torn-write injection and once per Sync for fsync-failure injection.
   JournalWriter(std::string path, SegmentHeader header,
                 core::FaultInjector* fault_injector);
   ~JournalWriter();
@@ -81,7 +85,11 @@ class JournalWriter {
   /// Frames, checksums and appends one record.
   core::Status Append(const JournalRecord& record);
 
-  /// fsync(2) of everything appended so far.
+  /// fsync(2) of everything appended so far. On failure the writer is
+  /// poisoned: the kernel may have dropped the dirty pages' error state,
+  /// so no later sync on this fd could be trusted to cover them — the
+  /// caller rotates to a fresh segment instead. Appended frames remain
+  /// readable (and recoverable after a process crash) either way.
   core::Status Sync();
 
   /// Flushed-to-OS size; the segment-rotation trigger.

@@ -64,6 +64,7 @@ core::Status ValidateRuntimeOptions(const RuntimeOptions& options) {
     if (fo.fail_rate < 0 || fo.fail_rate > 1 || fo.delay_rate < 0 ||
         fo.delay_rate > 1 || fo.stall_rate < 0 || fo.stall_rate > 1 ||
         fo.torn_write_rate < 0 || fo.torn_write_rate > 1 ||
+        fo.sync_fail_rate < 0 || fo.sync_fail_rate > 1 ||
         fo.short_read_rate < 0 || fo.short_read_rate > 1) {
       return invalid("fault injector rates must be in [0, 1]");
     }
@@ -103,28 +104,38 @@ ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
   // models a fresh process; injected storage faults belong to the life
   // that crashed (tests drive RecoveryManager directly to fault it).
   if (options_.durability.enabled()) {
+    // Durable-startup failures (unreachable dir, corrupt/foreign journal,
+    // replay divergence) are environmental: aborting would crash-loop on
+    // the same bad bytes at every restart. Instead the runtime comes up
+    // in a failed state — workers run but every Submit is rejected with
+    // init_status() — so the operator can inspect the durable dir.
     core::Status dir_status = persistence::EnsureDir(options_.durability.dir);
-    SWS_CHECK(dir_status.ok()) << dir_status.ToString();
-    persistence::RecoveryOptions recovery_options;
-    recovery_options.verify_replay_outputs =
-        options_.durability.verify_replay_outputs;
-    recovery_options.run_max_nodes = options_.run_options.max_nodes;
-    persistence::RecoveryManager manager(options_.durability.dir, sws,
-                                         initial_db_, recovery_options,
-                                         /*fault_injector=*/nullptr);
-    recovery_ =
-        std::make_unique<persistence::RecoveryResult>(manager.Recover());
-    SWS_CHECK(recovery_->status.ok())
-        << "crash recovery failed — " << recovery_->status.ToString();
-
-    const uint64_t fingerprint = persistence::SwsFingerprint(*sws);
-    durability_.reserve(shards);
-    for (size_t i = 0; i < shards; ++i) {
-      durability_.push_back(std::make_unique<persistence::ShardDurability>(
-          options_.durability,
-          persistence::SegmentHeader{recovery_->next_incarnation, i,
-                                     fingerprint},
-          /*first_segment_n=*/0, options_.run_options.fault_injector));
+    if (!dir_status.ok()) {
+      init_error_ = std::move(dir_status);
+    } else {
+      persistence::RecoveryOptions recovery_options;
+      recovery_options.verify_replay_outputs =
+          options_.durability.verify_replay_outputs;
+      recovery_options.run_max_nodes = options_.run_options.max_nodes;
+      persistence::RecoveryManager manager(options_.durability.dir, sws,
+                                           initial_db_, recovery_options,
+                                           /*fault_injector=*/nullptr);
+      recovery_ =
+          std::make_unique<persistence::RecoveryResult>(manager.Recover());
+      if (!recovery_->status.ok()) {
+        init_error_ = recovery_->status;
+      }
+    }
+    if (init_error_.ok()) {
+      const uint64_t fingerprint = persistence::SwsFingerprint(*sws);
+      durability_.reserve(shards);
+      for (size_t i = 0; i < shards; ++i) {
+        durability_.push_back(std::make_unique<persistence::ShardDurability>(
+            options_.durability,
+            persistence::SegmentHeader{recovery_->next_incarnation, i,
+                                       fingerprint},
+            /*first_segment_n=*/0, options_.run_options.fault_injector));
+      }
     }
   }
 
@@ -134,7 +145,7 @@ ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
         i, &shard_config_,
         durability_.empty() ? nullptr : durability_[i].get()));
   }
-  if (recovery_ != nullptr) {
+  if (recovery_ != nullptr && init_error_.ok()) {
     for (const auto& [session_id, image] : recovery_->sessions) {
       shards_[ShardOf(session_id)]->InstallSession(
           session_id, core::SessionRunner(sws, image.db, image.pending),
@@ -210,6 +221,11 @@ core::Status ServiceRuntime::SubmitInternal(
     std::chrono::steady_clock::time_point deadline, OutcomeCallback callback) {
   using core::RunError;
   using core::Status;
+  // Failed-state runtime (durable startup failed): nothing is admitted.
+  if (!init_error_.ok()) {
+    stats_.OnRejected();
+    return init_error_;
+  }
   // Dead on arrival: fast-fail without admitting or running anything.
   if (deadline != std::chrono::steady_clock::time_point::max() &&
       std::chrono::steady_clock::now() > deadline) {

@@ -175,6 +175,16 @@ class ServiceRuntime {
     return recovery_.get();
   }
 
+  /// Ok unless durable startup failed (unreachable dir, corrupt or
+  /// foreign journal, replay-divergence with verify_replay_outputs).
+  /// These are environmental, not programmer errors, so construction
+  /// surfaces them here instead of aborting: the runtime comes up in a
+  /// failed state that rejects every Submit with this status, letting
+  /// the operator inspect the durable dir and decide — an abort would
+  /// just crash-loop on the same bad bytes. Check after constructing
+  /// any runtime whose options enable durability.
+  const core::Status& init_status() const { return init_error_; }
+
  private:
   core::Status SubmitInternal(std::string session_id, rel::Relation message,
                               Priority priority,
@@ -190,6 +200,7 @@ class ServiceRuntime {
   SessionShard::Config shard_config_;
   RuntimeOptions options_;
   RuntimeStats stats_;
+  core::Status init_error_;  // set = failed-state runtime, see init_status()
   std::unique_ptr<persistence::RecoveryResult> recovery_;
   std::vector<std::unique_ptr<persistence::ShardDurability>> durability_;
   std::vector<std::unique_ptr<SessionShard>> shards_;

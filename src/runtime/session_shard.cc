@@ -92,19 +92,22 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
   // the callback contract stays "one outcome per delimiter".
   if (session.breaker.OnRequest(now) == CircuitBreaker::State::kOpen) {
     // The discard changes what replay must reproduce, so it is journaled
-    // first (WAL discipline); if the journal refuses, the buffer is kept
-    // — deferring the discard keeps disk and memory in agreement.
+    // first (WAL discipline). The discard is applied iff the record
+    // persisted — a persisted-but-unsynced marker will still be replayed
+    // after a process crash, so disk and memory agree either way; only
+    // when no record reached the disk is the buffer kept (discard
+    // deferred).
     if (durability_ != nullptr && session.runner.buffered() > 0) {
       persistence::JournalRecord discard;
       discard.type = persistence::JournalRecord::Type::kDiscard;
       discard.session_id = envelope.session_id;
       discard.seq = session.next_seq;
-      core::Status journaled = durability_->AppendDiscard(discard);
-      if (!journaled.ok()) {
-        stats->OnStorageFailure();
+      persistence::AppendResult journaled = durability_->AppendDiscard(discard);
+      if (!journaled.ok()) stats->OnStorageFailure();
+      if (!journaled.persisted) {
         if (!is_delimiter) return;
         if (envelope.callback) {
-          envelope.callback(Outcome{std::move(journaled),
+          envelope.callback(Outcome{std::move(journaled.status),
                                     std::move(envelope.session_id),
                                     std::nullopt, 0});
         }
@@ -124,10 +127,18 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
     return;
   }
 
-  // Write-ahead: the input is journaled before it is fed. On journal
-  // failure the message is dropped un-fed (the callback reports it, the
-  // client may resubmit) — the journal never under-reports consumed
-  // inputs, which is what makes replay exact.
+  // Write-ahead: the input is journaled before it is fed, and the
+  // feed/no-feed decision follows `persisted` exactly — the journal and
+  // the live session must agree on the consumed-input sequence, which is
+  // what makes replay exact. When no record reached the disk the message
+  // is dropped un-fed (the callback reports it, the client may resubmit)
+  // and its seq is safely reissued. When the record persisted but its
+  // fsync failed, the message is still fed and the seq still advances:
+  // recovery after a process crash WILL replay that record, so dropping
+  // the message (or reusing its seq for a different payload) would fork
+  // the journal from the live run. Only OS-crash durability of that one
+  // record is forfeit; the failure is counted and the poisoned segment
+  // rotates away at the next append.
   uint64_t seq = 0;
   if (durability_ != nullptr) {
     persistence::JournalRecord input;
@@ -142,12 +153,12 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
                   envelope.deadline - now)
                   .count();
     input.payload = envelope.message;
-    core::Status journaled = durability_->AppendInput(input);
-    if (!journaled.ok()) {
-      stats->OnStorageFailure();
+    persistence::AppendResult journaled = durability_->AppendInput(input);
+    if (!journaled.ok()) stats->OnStorageFailure();
+    if (!journaled.persisted) {
       session.breaker.OnRunFailure(std::chrono::steady_clock::now());
       if (envelope.callback) {
-        envelope.callback(Outcome{std::move(journaled),
+        envelope.callback(Outcome{std::move(journaled.status),
                                   std::move(envelope.session_id),
                                   std::nullopt, 0});
       }
@@ -172,10 +183,18 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
 
   // The ack barrier: the outcome record must be durable before the
   // callback fires, so an acknowledged output is always recoverable (and
-  // recovery can suppress its re-emission — exactly-once). If the append
-  // fails the output is withheld: the run may well have committed, but
-  // the client only learns kStorageFailure, and recovery will re-run the
-  // session deterministically and emit the output exactly once.
+  // recovery can suppress its re-emission). Exactly-once is guaranteed
+  // for *acknowledged* outputs; a delimiter whose append fails gets
+  // kStorageFailure instead of its output, and which way recovery
+  // resolves it depends on whether the record reached the disk:
+  //  * no record persisted — recovery re-runs the session
+  //    deterministically and emits the output exactly once (via
+  //    RecoveryResult::replayed);
+  //  * record persisted but its fsync failed — recovery sees the record
+  //    and treats the seq as acknowledged, so the output is re-emitted
+  //    by neither path. The client saw an error, never an ack, so this
+  //    is the standard at-most-once resolution of a storage-ambiguous
+  //    request, not an exactly-once violation.
   if (durability_ != nullptr) {
     persistence::JournalRecord record;
     record.type = persistence::JournalRecord::Type::kOutcome;
@@ -183,19 +202,20 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
     record.seq = seq;
     record.status_code = static_cast<uint8_t>(outcome->status.code());
     if (outcome->status.ok()) record.payload = outcome->output;
-    core::Status journaled = durability_->AppendOutcomeAndAck(record);
+    persistence::AppendResult journaled =
+        durability_->AppendOutcomeAndAck(record);
+    if (journaled.persisted) stats->OnJournalAppends(1);
     if (!journaled.ok()) {
       stats->OnStorageFailure();
       session.breaker.OnRunFailure(std::chrono::steady_clock::now());
       if (envelope.callback) {
         const uint32_t attempts = outcome->attempts;
-        envelope.callback(Outcome{std::move(journaled),
+        envelope.callback(Outcome{std::move(journaled.status),
                                   std::move(envelope.session_id),
                                   std::nullopt, attempts});
       }
       return;
     }
-    stats->OnJournalAppends(1);
   }
 
   if (outcome->attempts > 1) stats->OnRetries(outcome->attempts - 1);

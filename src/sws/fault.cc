@@ -14,6 +14,7 @@ constexpr uint64_t kRunFailSalt = 0x9d5c1f8a3b2e7641ULL;
 constexpr uint64_t kRunDelaySalt = 0x71c3a9e5d207b8f3ULL;
 constexpr uint64_t kDrainSalt = 0x5e8b2d94c6a1f037ULL;
 constexpr uint64_t kTornWriteSalt = 0x2f6e4c8a1d3b9075ULL;
+constexpr uint64_t kSyncFailSalt = 0x4b9d2e7f8c135a60ULL;
 constexpr uint64_t kShortReadSalt = 0x8a1f5c3e7b2d6490ULL;
 
 /// Decrements a countdown of deterministically armed faults; returns
@@ -44,6 +45,7 @@ FaultInjector::FaultInjector(FaultOptions options) : options_(options) {
   ValidateRate(options_.delay_rate, "delay_rate");
   ValidateRate(options_.stall_rate, "stall_rate");
   ValidateRate(options_.torn_write_rate, "torn_write_rate");
+  ValidateRate(options_.sync_fail_rate, "sync_fail_rate");
   ValidateRate(options_.short_read_rate, "short_read_rate");
   SWS_CHECK_GE(options_.delay.count(), 0);
   SWS_CHECK_GE(options_.stall.count(), 0);
@@ -76,10 +78,27 @@ void FaultInjector::OnDrainStep() {
 
 bool FaultInjector::OnJournalAppend() {
   const uint64_t n = append_draws_.fetch_add(1, std::memory_order_relaxed);
-  if (ConsumeArmed(&armed_torn_) ||
+  // Dead-disk countdown: > 1 consumes one healthy append, 1 means the
+  // disk is dead — every append tears from here on.
+  uint32_t kill = storage_kill_.load(std::memory_order_relaxed);
+  while (kill > 1 && !storage_kill_.compare_exchange_weak(
+                         kill, kill - 1, std::memory_order_relaxed)) {
+  }
+  if (kill == 1 || ConsumeArmed(&armed_torn_) ||
       (options_.torn_write_rate > 0.0 &&
        UnitAt(options_.seed, kTornWriteSalt, n) < options_.torn_write_rate)) {
     torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::OnJournalSync() {
+  const uint64_t n = sync_draws_.fetch_add(1, std::memory_order_relaxed);
+  if (ConsumeArmed(&armed_sync_fail_) ||
+      (options_.sync_fail_rate > 0.0 &&
+       UnitAt(options_.seed, kSyncFailSalt, n) < options_.sync_fail_rate)) {
+    sync_failures_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;

@@ -31,6 +31,11 @@ struct FaultOptions {
   /// disk (as a crash in mid-write would leave) and the writer is
   /// poisoned. See persistence::JournalWriter.
   double torn_write_rate = 0.0;
+  /// Probability that a journal fsync fails (models fsync(2) returning
+  /// EIO: the record reached the file's page cache — a process crash
+  /// still recovers it — but its OS-crash durability is forfeit and the
+  /// writer is poisoned so the segment rotates away).
+  double sync_fail_rate = 0.0;
   /// Probability that a journal segment read fails transiently (short
   /// read); recovery retries the read.
   double short_read_rate = 0.0;
@@ -57,21 +62,39 @@ class FaultInjector {
   void OnDrainStep();
 
   /// Storage hook, called once per journal append: returns true iff this
-  /// append must tear (armed tears fire before the probabilistic stream).
+  /// append must tear (a dead disk and armed tears fire before the
+  /// probabilistic stream).
   bool OnJournalAppend();
+
+  /// Storage hook, called once per journal fsync: returns true iff this
+  /// sync must fail (armed failures fire before the probabilistic
+  /// stream).
+  bool OnJournalSync();
 
   /// Storage hook, called once per segment read: returns true iff this
   /// read must fail transiently (armed short reads fire first).
   bool OnJournalRead();
 
-  /// Arms the next `n` journal appends / segment reads to fail
+  /// Arms the next `n` journal appends / fsyncs / segment reads to fail
   /// deterministically, independent of seed and draw position — for
   /// tests that must hit an exact append (e.g. a breaker probe).
   void ArmTornWrites(uint32_t n) {
     armed_torn_.store(n, std::memory_order_relaxed);
   }
+  void ArmSyncFailures(uint32_t n) {
+    armed_sync_fail_.store(n, std::memory_order_relaxed);
+  }
   void ArmShortReads(uint32_t n) {
     armed_short_read_.store(n, std::memory_order_relaxed);
+  }
+
+  /// The dead-disk model: after `healthy` more journal appends, every
+  /// subsequent append tears, permanently — segment rotation cannot
+  /// revive it. For crash drills where storage death precedes process
+  /// death (a lone armed tear only kills one append now that a poisoned
+  /// segment rotates away).
+  void KillStorageAfter(uint32_t healthy) {
+    storage_kill_.store(healthy + 1, std::memory_order_relaxed);
   }
 
   const FaultOptions& options() const { return options_; }
@@ -92,6 +115,9 @@ class FaultInjector {
   uint64_t injected_torn_writes() const {
     return torn_writes_.load(std::memory_order_relaxed);
   }
+  uint64_t injected_sync_failures() const {
+    return sync_failures_.load(std::memory_order_relaxed);
+  }
   uint64_t injected_short_reads() const {
     return short_reads_.load(std::memory_order_relaxed);
   }
@@ -101,14 +127,19 @@ class FaultInjector {
   std::atomic<uint64_t> run_draws_{0};
   std::atomic<uint64_t> drain_draws_{0};
   std::atomic<uint64_t> append_draws_{0};
+  std::atomic<uint64_t> sync_draws_{0};
   std::atomic<uint64_t> read_draws_{0};
   std::atomic<uint64_t> failures_{0};
   std::atomic<uint64_t> delays_{0};
   std::atomic<uint64_t> stalls_{0};
   std::atomic<uint64_t> torn_writes_{0};
+  std::atomic<uint64_t> sync_failures_{0};
   std::atomic<uint64_t> short_reads_{0};
   std::atomic<uint32_t> armed_torn_{0};
+  std::atomic<uint32_t> armed_sync_fail_{0};
   std::atomic<uint32_t> armed_short_read_{0};
+  /// 0 = inactive; > 1 = that many healthy appends left; 1 = dead.
+  std::atomic<uint32_t> storage_kill_{0};
 };
 
 /// SplitMix64 — a tiny, high-quality mixing function; used to derive

@@ -187,12 +187,15 @@ class Trial {
         to_submit.emplace_back(id, next_seq == 0 ? value : -1);
       }
 
-      // Mid-cycle kill point: arm a torn write at a random upcoming
-      // journal append. Every append after the tear fails kStorageFailure
-      // (the poisoned writer models the dead disk of a crashing box).
+      // Mid-cycle kill point: kill the disk at a random upcoming journal
+      // append — the first affected append tears mid-frame and every
+      // later one fails too (a crashing box's storage does not heal, so
+      // rotation cannot open a fresh segment either). This is what makes
+      // the next_seq resubmission protocol sound: nothing can reach the
+      // journal after the kill, so next_seq from recovery is exact.
       const bool tear = torn_crashes_ && cycle + 1 < cycles;
       if (tear) {
-        injector.ArmTornWrites(1 + rng_() % 12);
+        injector.KillStorageAfter(rng_() % 24);
         ++kill_points_;
       }
 
@@ -339,10 +342,12 @@ TEST(CrashRecoveryChaosTest, CleanCrashCycles) {
   EXPECT_GE(kill_points, 500u);
 }
 
-// Torn crashes: a randomized armed torn-write poisons the journal
-// mid-lifetime — the on-disk tail is a half-written frame, exactly what
-// a power cut mid-append leaves. Recovery truncates the torn tail and
-// converges anyway; un-journaled inputs are resubmitted by the client.
+// Torn crashes: the disk dies at a randomized append mid-lifetime — the
+// first affected append leaves a half-written frame (exactly what a
+// power cut mid-append leaves) and every later append fails too, like
+// the storage of a box that is going down. Recovery truncates the torn
+// tail and converges anyway; un-journaled inputs are resubmitted by the
+// client.
 TEST(CrashRecoveryChaosTest, TornWriteCrashCycles) {
   size_t kill_points = 0;
   for (uint64_t seed = 1000; seed <= 1180; ++seed) {

@@ -400,8 +400,16 @@ TEST(CircuitBreakerRuntimeTest, HalfOpenProbeTornWriteReTripsToOpen) {
                              record).ok());
   runtime.Drain();
   // 4. The probe's storage failure must have re-tripped the breaker:
-  //    immediately after, the session is open again (fast-fail, no
-  //    journal touch — the poisoned writer would fail anyway).
+  //    immediately after, the session is open again (fast-fail without
+  //    touching the journal — nothing is buffered, so there is no
+  //    discard to record).
+  ASSERT_TRUE(runtime.Submit("alice", SessionRunner::DelimiterMessage(1),
+                             record).ok());
+  runtime.Drain();
+  // 5. One torn write costs one record, not the shard: after another
+  //    cooldown the next probe's append rotates the poisoned segment
+  //    away and lands on a fresh one, so the probe runs and succeeds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
   ASSERT_TRUE(runtime.Submit("alice", SessionRunner::DelimiterMessage(1),
                              record).ok());
   runtime.Drain();
@@ -409,11 +417,12 @@ TEST(CircuitBreakerRuntimeTest, HalfOpenProbeTornWriteReTripsToOpen) {
 
   {
     std::lock_guard<std::mutex> lock(mu);
-    ASSERT_EQ(codes.size(), 4u);
+    ASSERT_EQ(codes.size(), 5u);
     EXPECT_EQ(codes[0], RunError::kInjectedFault);
     EXPECT_EQ(codes[1], RunError::kCircuitOpen);
     EXPECT_EQ(codes[2], RunError::kStorageFailure);  // the torn probe
     EXPECT_EQ(codes[3], RunError::kCircuitOpen);     // re-tripped
+    EXPECT_EQ(codes[4], RunError::kNone);            // healed by rotation
   }
   EXPECT_EQ(injector.injected_torn_writes(), 1u);
   EXPECT_GE(runtime.Stats().storage_failures, 1u);

@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -361,6 +362,34 @@ TEST(JournalTest, InjectedTornWritePoisonsWriter) {
   EXPECT_EQ(seg.records[0].payload, Msg(1));
 }
 
+TEST(JournalTest, InjectedSyncFailurePoisonsWriterButKeepsTheRecord) {
+  TempDir dir;
+  const std::string path = dir.path() + "/" + WalFileName(1, 0, 0);
+  core::FaultInjector injector(core::FaultOptions{});
+  JournalWriter writer(path, SegmentHeader{1, 0, 7}, &injector);
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.Append(InputRecord("s", 0, Msg(1))).ok());
+
+  // fsync EIO: the appended frame is intact in the file, but the fd can
+  // no longer be trusted (Linux marks the dirty pages clean), so the
+  // writer must poison itself.
+  injector.ArmSyncFailures(1);
+  EXPECT_EQ(writer.Sync().code(), RunError::kStorageFailure);
+  EXPECT_TRUE(writer.poisoned());
+  EXPECT_EQ(injector.injected_sync_failures(), 1u);
+  EXPECT_EQ(writer.Append(InputRecord("s", 1, Msg(2))).code(),
+            RunError::kStorageFailure);
+  writer.Close();
+
+  // Unlike a torn write, the record itself is whole: a process crash
+  // after the failed fsync still recovers it.
+  SegmentContents seg;
+  ASSERT_TRUE(ReadSegment(path, nullptr, &seg).ok());
+  EXPECT_FALSE(seg.torn);
+  ASSERT_EQ(seg.records.size(), 1u);
+  EXPECT_EQ(seg.records[0].payload, Msg(1));
+}
+
 TEST(JournalTest, InjectedShortReadIsTransient) {
   TempDir dir;
   const std::string path = dir.path() + "/" + WalFileName(1, 0, 0);
@@ -497,6 +526,104 @@ TEST(ShardDurabilityTest, SegmentRotationAndSnapshotGc) {
   for (const DurableFile& f : files) (f.is_snapshot ? snaps : wals)++;
   EXPECT_EQ(snaps, 1u);
   EXPECT_EQ(wals, 1u);
+}
+
+TEST(ShardDurabilityTest, PoisonedSegmentRotatesAway) {
+  TempDir dir;
+  core::FaultInjector injector(core::FaultOptions{});
+  DurabilityOptions options;
+  options.dir = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  ShardDurability shard(options, SegmentHeader{1, 0, 7}, 0, &injector);
+
+  ASSERT_TRUE(shard.AppendInput(InputRecord("s", 0, Msg(0))).ok());
+  injector.ArmTornWrites(1);
+  AppendResult torn = shard.AppendInput(InputRecord("s", 1, Msg(1)));
+  EXPECT_EQ(torn.status.code(), RunError::kStorageFailure);
+  EXPECT_FALSE(torn.persisted);
+  EXPECT_TRUE(shard.poisoned());
+
+  // One storage incident costs one record, not the shard: the next
+  // append abandons the poisoned segment and lands on a fresh one.
+  AppendResult healed = shard.AppendInput(InputRecord("s", 1, Msg(1)));
+  EXPECT_TRUE(healed.ok()) << healed.status.ToString();
+  EXPECT_TRUE(healed.persisted);
+  EXPECT_FALSE(shard.poisoned());
+
+  std::vector<DurableFile> files;
+  ASSERT_TRUE(ListDurableFiles(dir.path(), &files).ok());
+  ASSERT_EQ(files.size(), 2u) << "expected the poisoned + the fresh segment";
+  // Across both segments each seq appears exactly once: seq 0 before the
+  // torn tail, the retried seq 1 on the fresh segment.
+  std::vector<uint64_t> seqs;
+  for (const DurableFile& f : files) {
+    SegmentContents seg;
+    ASSERT_TRUE(ReadSegment(dir.path() + "/" + f.name, nullptr, &seg).ok());
+    for (const JournalRecord& r : seg.records) seqs.push_back(r.seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(ShardDurabilityTest, SyncFailureStillPersistsTheRecord) {
+  TempDir dir;
+  core::FaultInjector injector(core::FaultOptions{});
+  DurabilityOptions options;
+  options.dir = dir.path();
+  options.fsync = FsyncPolicy::kAlways;
+  ShardDurability shard(options, SegmentHeader{1, 0, 7}, 0, &injector);
+
+  // The append lands, its fsync fails: the caller must learn both — the
+  // error (no OS-crash durability) and that the record IS on disk, so
+  // the message must still be fed and the seq must not be reused.
+  injector.ArmSyncFailures(1);
+  AppendResult result = shard.AppendInput(InputRecord("s", 0, Msg(0)));
+  EXPECT_EQ(result.status.code(), RunError::kStorageFailure);
+  EXPECT_TRUE(result.persisted);
+  EXPECT_EQ(shard.sync_failures(), 1u);
+
+  // The shard heals by rotation and the journal has no duplicate seq.
+  AppendResult next = shard.AppendInput(InputRecord("s", 1, Msg(1)));
+  EXPECT_TRUE(next.ok()) << next.status.ToString();
+  std::vector<DurableFile> files;
+  ASSERT_TRUE(ListDurableFiles(dir.path(), &files).ok());
+  std::vector<uint64_t> seqs;
+  for (const DurableFile& f : files) {
+    SegmentContents seg;
+    ASSERT_TRUE(ReadSegment(dir.path() + "/" + f.name, nullptr, &seg).ok());
+    for (const JournalRecord& r : seg.records) seqs.push_back(r.seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(ShardDurabilityTest, FailedSnapshotReArmsTheInterval) {
+  TempDir dir;
+  core::FaultInjector injector(core::FaultOptions{});
+  DurabilityOptions options;
+  options.dir = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  options.snapshot_interval_appends = 4;
+  ShardDurability shard(options, SegmentHeader{1, 0, 7}, 0, &injector);
+
+  for (uint64_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(shard.AppendInput(InputRecord("s", s, Msg(0))).ok());
+  }
+  ASSERT_TRUE(shard.ShouldSnapshot());
+  injector.ArmTornWrites(1);  // tears the snapshot's own write
+  EXPECT_EQ(shard.WriteShardSnapshot({}).code(), RunError::kStorageFailure);
+  // A failed snapshot must not be retried after every envelope — that is
+  // exactly the load a failing disk cannot absorb. The interval re-arms:
+  // only after another full interval does ShouldSnapshot fire again.
+  EXPECT_FALSE(shard.ShouldSnapshot());
+  for (uint64_t s = 4; s < 7; ++s) {
+    ASSERT_TRUE(shard.AppendInput(InputRecord("s", s, Msg(0))).ok());
+    EXPECT_FALSE(shard.ShouldSnapshot());
+  }
+  ASSERT_TRUE(shard.AppendInput(InputRecord("s", 7, Msg(0))).ok());
+  EXPECT_TRUE(shard.ShouldSnapshot());
+  EXPECT_TRUE(shard.WriteShardSnapshot({}).ok());
+  EXPECT_EQ(shard.snapshots_written(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -755,6 +882,86 @@ TEST(DurableRuntimeTest, RestartRecoversSessionsAndSuppressesAckedOutputs) {
   RecoveryResult final_state = RecoverLogger(dir.path(), sws);
   ASSERT_TRUE(final_state.status.ok());
   EXPECT_EQ(final_state.sessions.at("open").db, oracle.db());
+}
+
+// The high-severity regression of the PR-4 review: an input append
+// whose fsync fails must still feed the message and consume its seq —
+// the record is on disk and recovery WILL replay it. Treating it as
+// absent would re-journal the same seq with the next payload, and the
+// restart's replay (keep-first dedup) would feed the never-fed first
+// record: divergence, and with verify_replay_outputs a permanently
+// unrecoverable directory.
+TEST(DurableRuntimeTest, InputSyncFailureDoesNotForkTheJournal) {
+  TempDir dir;
+  Sws sws = MakeTwoLevelLogger();
+  core::FaultInjector injector(core::FaultOptions{});
+  rt::RuntimeOptions options;
+  options.num_workers = 1;
+  options.num_shards = 1;
+  options.durability.dir = dir.path();
+  options.durability.fsync = FsyncPolicy::kAlways;
+  options.durability.verify_replay_outputs = true;
+  options.run_options.fault_injector = &injector;
+
+  // Life 1: the first input's fsync fails mid-session; the session then
+  // closes normally (the outcome lands on a fresh, healthy segment).
+  {
+    rt::ServiceRuntime runtime(&sws, LoggerDb(), options);
+    injector.ArmSyncFailures(1);
+    ASSERT_TRUE(runtime.Submit("alice", Msg(7)).ok());
+    ASSERT_TRUE(
+        runtime.Submit("alice", SessionRunner::DelimiterMessage(1)).ok());
+    runtime.Drain();
+    auto stats = runtime.Stats();
+    EXPECT_GE(stats.storage_failures, 1u) << "the failed fsync must surface";
+    runtime.Shutdown();
+  }
+  EXPECT_EQ(injector.injected_sync_failures(), 1u);
+
+  // Life 2: recovery must verify cleanly — one record per seq, replay
+  // byte-identical to the journaled output, acked output suppressed.
+  options.run_options.fault_injector = nullptr;
+  rt::ServiceRuntime runtime(&sws, LoggerDb(), options);
+  ASSERT_TRUE(runtime.init_status().ok()) << runtime.init_status().ToString();
+  const RecoveryResult& recovery = *runtime.recovery();
+  ASSERT_TRUE(recovery.status.ok()) << recovery.status.ToString();
+  EXPECT_EQ(recovery.stats.duplicate_records, 0u);
+  EXPECT_EQ(recovery.stats.output_mismatches, 0u);
+  EXPECT_EQ(recovery.stats.seq_gaps, 0u);
+  EXPECT_EQ(recovery.stats.acked_suppressed, 1u);
+  ASSERT_EQ(recovery.sessions.count("alice"), 1u);
+  EXPECT_EQ(recovery.sessions.at("alice").next_seq, 2u);
+  SessionRunner oracle(&sws, LoggerDb());
+  oracle.Feed(Msg(7));
+  oracle.Feed(SessionRunner::DelimiterMessage(1));
+  EXPECT_EQ(recovery.sessions.at("alice").db, oracle.db());
+  runtime.Shutdown();
+}
+
+// A durable dir that cannot be recovered (here: a journal written for a
+// different service) must not abort construction — that would just
+// crash-loop on the same bad bytes. The runtime comes up in a failed
+// state: init_status() carries the recovery error and every Submit is
+// rejected with it.
+TEST(DurableRuntimeTest, RecoveryFailureSurfacesAsFailedState) {
+  TempDir dir;
+  Sws sws = MakeTwoLevelLogger();
+  {
+    DurabilityOptions options;
+    options.dir = dir.path();
+    ShardDurability shard(options, SegmentHeader{1, 0, /*fingerprint=*/123},
+                          0, nullptr);
+    JournalSession(&shard, sws, "alice", 0, 7, /*with_outcome=*/false);
+  }
+  rt::RuntimeOptions options;
+  options.num_workers = 1;
+  options.durability.dir = dir.path();
+  rt::ServiceRuntime runtime(&sws, LoggerDb(), options);
+  EXPECT_EQ(runtime.init_status().code(), RunError::kStorageFailure);
+  core::Status submitted = runtime.Submit("bob", Msg(1));
+  EXPECT_EQ(submitted.code(), RunError::kStorageFailure);
+  EXPECT_GE(runtime.Stats().rejected, 1u);
+  runtime.Shutdown();  // shutdown of a failed-state runtime is clean
 }
 
 }  // namespace
