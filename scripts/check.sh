@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus sanitizer passes over the concurrent runtime:
 # a ThreadSanitizer pass (data races — including the chaos harness) and
-# an ASan+UBSan pass (memory errors / undefined behavior), plus a
-# crash-recovery chaos pass (randomized kill points) under ASan.
-# Usage: scripts/check.sh [release|tsan|asan|chaos|recovery|bench|all]
+# an ASan+UBSan pass (memory errors / undefined behavior), a standalone
+# UBSan pass (UB without ASan interposition), a crash-recovery chaos pass
+# (randomized kill points) under ASan, and a deterministic fuzz smoke over
+# the serde decoders.
+# Usage: scripts/check.sh [release|tsan|asan|ubsan|chaos|recovery|bench|fuzz|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,7 +14,7 @@ mode="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 san_targets=(runtime_test session_test sws_run_test fault_test chaos_test
-             persistence_test crash_recovery_test)
+             persistence_test crash_recovery_test governor_test serde_fuzz)
 
 run_release() {
   echo "== Release build + full ctest =="
@@ -34,6 +36,21 @@ run_asan() {
   cmake --preset asan
   cmake --build --preset asan -j "$jobs" --target "${san_targets[@]}"
   ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -j 1
+}
+
+run_ubsan() {
+  echo "== Standalone UBSan build + concurrency-sensitive tests =="
+  cmake --preset ubsan
+  cmake --build --preset ubsan -j "$jobs" --target "${san_targets[@]}"
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest --preset ubsan -j 1
+}
+
+run_fuzz() {
+  echo "== Deterministic fuzz smoke over the serde decoders =="
+  cmake --preset release
+  cmake --build --preset release -j "$jobs" --target serde_fuzz
+  ctest --test-dir build -L fuzz --output-on-failure -j 1
 }
 
 run_bench() {
@@ -74,11 +91,13 @@ case "$mode" in
   release) run_release ;;
   tsan) run_tsan ;;
   asan) run_asan ;;
+  ubsan) run_ubsan ;;
   chaos) run_chaos ;;
   recovery) run_recovery ;;
   bench) run_bench ;;
-  all) run_release; run_tsan; run_asan ;;
-  *) echo "usage: $0 [release|tsan|asan|chaos|recovery|bench|all]" >&2
+  fuzz) run_fuzz ;;
+  all) run_release; run_tsan; run_asan; run_ubsan ;;
+  *) echo "usage: $0 [release|tsan|asan|ubsan|chaos|recovery|bench|fuzz|all]" >&2
      exit 2 ;;
 esac
 echo "== check.sh ($mode): OK =="

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/cancellation.h"
 #include "util/common.h"
 
 namespace sws::logic {
@@ -88,6 +89,9 @@ bool MatchFrom(const std::vector<Atom>& body,
   const rel::Relation& rel = db.Get(atom.relation);
   if (rel.arity() != atom.args.size()) return true;
   for (const rel::Tuple& t : rel) {
+    // Cooperative cancellation: a governed run must stop this join
+    // within a bounded number of candidate tuples of being cancelled.
+    if (!sws::util::StepTick()) return false;
     // Try to extend the binding with this tuple.
     std::vector<int> newly_bound;
     bool ok = true;
@@ -208,7 +212,9 @@ struct JoinPlan {
   };
   struct Level {
     const rel::Relation* relation = nullptr;
-    const rel::Relation::Index* index = nullptr;  // null: full scan
+    // Shared ownership: under an IndexBudget the relation's pool may
+    // evict this index mid-run; the plan's reference keeps it alive.
+    std::shared_ptr<const rel::Relation::Index> index;  // null: full scan
     std::vector<KeyPart> key;  // parallel to index->cols (ascending)
     std::vector<Out> outs;
     std::vector<VarCheck> var_checks;
@@ -326,6 +332,11 @@ bool RunPlanFrom(const JoinPlan& plan, size_t level_index,
   if (level_index == plan.levels.size()) return on_match(*slots);
   const JoinPlan::Level& level = plan.levels[level_index];
   auto try_tuple = [&](const rel::Tuple& t) {
+    // Cooperative cancellation: the probe loops must notice a tripped
+    // governor within a bounded number of candidate tuples. `false`
+    // stops enumeration through every enclosing level; the governed
+    // caller discards the partial result.
+    if (!sws::util::StepTick()) return false;
     for (const auto& o : level.outs) (*slots)[o.slot] = t[o.col];
     for (const auto& vc : level.var_checks) {
       if (!(t[vc.col] == (*slots)[vc.slot])) return true;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/cancellation.h"
 #include "util/common.h"
 
 namespace sws::logic {
@@ -176,6 +177,12 @@ bool FoFormula::EvalMutable(const rel::Database& db,
       }
       bool result = !is_exists;
       for (const rel::Value& v : domain) {
+        // Cooperative cancellation inside the quantifier sweep — the
+        // O(|adom|^depth) alternation is the paper's intractable core.
+        // The gate is sticky, so every enclosing quantifier also stops
+        // at its next tick and the unwind costs O(depth); the governed
+        // caller discards the (meaningless) boolean.
+        if (!sws::util::StepTick()) break;
         (*binding)[node_->bound_var] = v;
         if (node_->children[0].EvalMutable(db, domain, binding) == is_exists) {
           result = is_exists;  // witness / counterexample: short-circuit
@@ -363,6 +370,7 @@ rel::Relation FoQuery::Evaluate(const rel::Database& db) const {
       return;
     }
     for (const rel::Value& v : *domain) {
+      if (!sws::util::StepTick()) break;  // cancelled: abandon enumeration
       binding[vars[i]] = v;
       assign(i + 1);
     }

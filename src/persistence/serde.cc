@@ -170,8 +170,21 @@ void EncodeRelation(const rel::Relation& rel, ByteWriter* w) {
 std::optional<rel::Relation> DecodeRelation(ByteReader* r) {
   const uint32_t arity = r->GetU32();
   const uint32_t count = r->GetU32();
-  if (arity > (1u << 20) || !r->CheckCount(count, std::max<uint32_t>(1, arity)))
+  if (arity > (1u << 20)) {
+    r->MarkFailed();
     return std::nullopt;
+  }
+  // A nullary relation's tuples occupy zero bytes, so the byte-backed
+  // count guard below cannot apply; it can only hold ∅ or {()}, so the
+  // count itself is the guard.
+  if (arity == 0) {
+    if (count > 1) {
+      r->MarkFailed();
+      return std::nullopt;
+    }
+  } else if (!r->CheckCount(count, arity)) {
+    return std::nullopt;
+  }
   // Tuples were written in set order, so bulk construction applies.
   std::vector<rel::Tuple> tuples;
   tuples.reserve(count);
@@ -533,8 +546,16 @@ std::optional<core::Sws> DecodeSws(ByteReader* r) {
     return std::nullopt;
   }
   core::Sws sws(std::move(*schema), rin, rout);
-  for (uint32_t q = 0; q < num_states; ++q) sws.AddState(r->GetString());
-  if (!r->ok()) return std::nullopt;
+  for (uint32_t q = 0; q < num_states; ++q) {
+    std::string name = r->GetString();
+    // AddState CHECK-fails on duplicates (a programming error for live
+    // construction); corrupted input must be rejected, not aborted on.
+    if (!r->ok() || sws.FindState(name) >= 0) {
+      r->MarkFailed();
+      return std::nullopt;
+    }
+    sws.AddState(std::move(name));
+  }
   for (uint32_t q = 0; q < num_states; ++q) {
     const uint32_t num_succ = r->GetU32();
     if (!r->CheckCount(num_succ, 5)) return std::nullopt;

@@ -42,8 +42,25 @@ class Database {
   Database(Database&& other) noexcept;
   Database& operator=(Database&& other) noexcept;
 
-  /// Sets (replaces) the instance of the named relation.
+  /// Sets (replaces) the instance of the named relation. The incoming
+  /// relation is stamped with this database's index budget (see
+  /// SetIndexBudget) so governed caps survive per-run Set calls.
   void Set(const std::string& name, Relation relation);
+
+  /// Installs an index-cache budget on every current relation and
+  /// remembers it for relations installed by future Set calls. Mutation
+  /// contract: must not race with concurrent readers.
+  void SetIndexBudget(IndexBudget budget);
+  const IndexBudget& index_budget() const { return index_budget_; }
+
+  /// Σ cached_index_bytes over all relations (live governed cache gauge)
+  /// and Σ lifetime LRU index evictions.
+  size_t TrackedIndexBytes() const;
+  uint64_t IndexEvictions() const;
+
+  /// Drops every relation's cached indexes (releasing tracked bytes) —
+  /// memory-pressure degradation hook. Mutation contract applies.
+  void DropIndexCaches();
 
   /// Instance of the named relation; aborts if absent.
   const Relation& Get(const std::string& name) const;
@@ -91,6 +108,7 @@ class Database {
 
   std::map<std::string, Relation> relations_;
   uint64_t structural_gen_ = 0;
+  IndexBudget index_budget_;
   mutable std::mutex adom_mu_;
   mutable std::shared_ptr<const std::set<Value>> adom_cache_;
   mutable std::pair<uint64_t, uint64_t> adom_key_{~uint64_t{0}, ~uint64_t{0}};

@@ -3,28 +3,49 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/cancellation.h"
 #include "util/common.h"
 
 namespace sws::rel {
+
+namespace {
+
+/// Byte estimate for one cached index — computed once at build time so
+/// eviction accounting never re-walks buckets. The constant stands in
+/// for unordered_map node overhead.
+size_t IndexApproxBytes(const Relation::Index& index) {
+  size_t bytes = sizeof(Relation::Index) + index.cols.size() * sizeof(size_t);
+  for (const auto& [key, bucket] : index.buckets) {
+    bytes += ApproxBytes(key) + bucket.size() * sizeof(const Tuple*) + 48;
+  }
+  return bytes;
+}
+
+}  // namespace
 
 Relation::Relation(size_t arity, std::vector<Tuple> tuples) : arity_(arity) {
   for (auto& t : tuples) Insert(std::move(t));
 }
 
 Relation::Relation(const Relation& other)
-    : arity_(other.arity_), tuples_(other.tuples_) {}
+    : arity_(other.arity_),
+      tuples_(other.tuples_),
+      index_budget_(other.index_budget_) {}
 
 Relation& Relation::operator=(const Relation& other) {
   if (this != &other) {
     arity_ = other.arity_;
     tuples_ = other.tuples_;
+    index_budget_ = other.index_budget_;
     Touch();
   }
   return *this;
 }
 
 Relation::Relation(Relation&& other) noexcept
-    : arity_(other.arity_), tuples_(std::move(other.tuples_)) {
+    : arity_(other.arity_),
+      tuples_(std::move(other.tuples_)),
+      index_budget_(other.index_budget_) {
   other.Touch();
 }
 
@@ -32,16 +53,48 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   if (this != &other) {
     arity_ = other.arity_;
     tuples_ = std::move(other.tuples_);
+    index_budget_ = other.index_budget_;
     Touch();
     other.Touch();
   }
   return *this;
 }
 
+Relation::~Relation() {
+  // Release the cached indexes' tracked bytes so a governor's byte gauge
+  // does not drift when governed relations die (Engine's working copies).
+  if (cached_index_bytes_ != 0) {
+    sws::util::ChargeGateBytes(-static_cast<int64_t>(cached_index_bytes_));
+  }
+}
+
+void Relation::ReleaseIndexesLocked() {
+  indexes_.clear();
+  if (cached_index_bytes_ != 0) {
+    sws::util::ChargeGateBytes(-static_cast<int64_t>(cached_index_bytes_));
+    cached_index_bytes_ = 0;
+  }
+}
+
 void Relation::Touch() {
   ++generation_;
   // No lock needed: mutation may not race with reads by contract.
-  indexes_.clear();
+  ReleaseIndexesLocked();
+}
+
+void Relation::DropIndexCache() {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  ReleaseIndexesLocked();
+}
+
+size_t Relation::cached_index_bytes() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return cached_index_bytes_;
+}
+
+uint64_t Relation::index_evictions() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return index_evictions_;
 }
 
 bool Relation::Insert(Tuple t) {
@@ -113,6 +166,9 @@ bool Relation::SubsetOf(const Relation& other) const {
 
 void Relation::CollectValues(std::set<Value>* out) const {
   for (const auto& t : tuples_) {
+    // Cooperative cancellation: active-domain construction over a huge
+    // relation must not outlive the run's deadline/fuel budget.
+    if (!sws::util::StepTick()) return;
     for (const auto& v : t) out->insert(v);
   }
 }
@@ -126,10 +182,20 @@ size_t Relation::Hash() const {
   return h;
 }
 
-const Relation::Index* Relation::GetIndex(uint64_t mask) const {
+std::shared_ptr<const Relation::Index> Relation::GetIndex(
+    uint64_t mask) const {
   std::lock_guard<std::mutex> lock(index_mu_);
-  for (const auto& index : indexes_) {
-    if (index->mask == mask) return index.get();
+  // Linear scan is fine: the pool holds one entry per distinct mask and
+  // the budget keeps it small. Front = most recently used.
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i]->mask == mask) {
+      std::shared_ptr<const Index> hit = indexes_[i];
+      if (i != 0) {
+        indexes_.erase(indexes_.begin() + static_cast<ptrdiff_t>(i));
+        indexes_.insert(indexes_.begin(), hit);
+      }
+      return hit;
+    }
   }
   auto index = std::make_shared<Index>();
   index->mask = mask;
@@ -142,8 +208,30 @@ const Relation::Index* Relation::GetIndex(uint64_t mask) const {
     for (size_t c : index->cols) key.push_back(t[c]);
     index->buckets[std::move(key)].push_back(&t);
   }
-  indexes_.push_back(std::move(index));
-  return indexes_.back().get();
+  index->approx_bytes = IndexApproxBytes(*index);
+  cached_index_bytes_ += index->approx_bytes;
+  sws::util::ChargeGateBytes(static_cast<int64_t>(index->approx_bytes));
+  std::shared_ptr<const Index> result = index;
+  indexes_.insert(indexes_.begin(), std::move(index));
+  // Evict LRU entries past the budget — but never the index just built,
+  // since the caller is about to probe it (an instantly-evicted index
+  // would still be correct via the shared_ptr, just pointlessly cold).
+  auto over_budget = [&] {
+    if (index_budget_.max_indexes != 0 &&
+        indexes_.size() > index_budget_.max_indexes) {
+      return true;
+    }
+    return index_budget_.max_bytes != 0 &&
+           cached_index_bytes_ > index_budget_.max_bytes;
+  };
+  while (indexes_.size() > 1 && over_budget()) {
+    const size_t bytes = indexes_.back()->approx_bytes;
+    indexes_.pop_back();
+    cached_index_bytes_ -= bytes;
+    sws::util::ChargeGateBytes(-static_cast<int64_t>(bytes));
+    ++index_evictions_;
+  }
+  return result;
 }
 
 std::string Relation::ToString() const {

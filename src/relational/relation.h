@@ -13,6 +13,15 @@
 
 namespace sws::rel {
 
+/// Caps on a relation's lazy index cache (0 = unlimited). When a cap is
+/// exceeded after building a new index, the least-recently-used cached
+/// indexes are evicted (never the one just built) — the cache stays a
+/// cache: eviction only costs a rebuild on the next probe.
+struct IndexBudget {
+  size_t max_bytes = 0;
+  size_t max_indexes = 0;
+};
+
 /// A relation instance: a set of tuples of a fixed arity.
 ///
 /// Tuples are kept in an ordered set so iteration order is deterministic —
@@ -90,15 +99,39 @@ class Relation {
   /// A hash index over the columns set in `mask` (bit i ⇒ column i;
   /// columns ≥ 64 cannot be indexed). The probe key is the tuple of
   /// values at those columns, ascending. Built lazily on first request
-  /// and cached until the next mutation. Bucket vectors list tuples in
-  /// set order (deterministic). The returned pointer stays valid until
-  /// the relation is mutated, assigned over, or destroyed.
+  /// and cached until the next mutation — or until evicted under an
+  /// IndexBudget. Bucket vectors list tuples in set order
+  /// (deterministic). Callers hold the returned shared_ptr for as long
+  /// as they probe it: eviction only drops the cache's reference, so an
+  /// in-flight join plan keeps its index alive even if the pool evicts
+  /// it mid-run. The tuple pointers inside stay valid only until the
+  /// relation is mutated, assigned over, or destroyed (unchanged).
   struct Index {
     uint64_t mask = 0;
     std::vector<size_t> cols;  // the set bits of mask, ascending
     std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> buckets;
+    size_t approx_bytes = 0;  // computed once at build time
   };
-  const Index* GetIndex(uint64_t mask) const;
+  std::shared_ptr<const Index> GetIndex(uint64_t mask) const;
+
+  /// Installs index-cache caps. Applies on the next GetIndex (an
+  /// already-oversized cache shrinks then). Mutation-contract: must not
+  /// race with concurrent readers.
+  void set_index_budget(IndexBudget budget) { index_budget_ = budget; }
+  const IndexBudget& index_budget() const { return index_budget_; }
+
+  /// Approximate bytes currently held by cached indexes, and how many
+  /// cache entries were evicted over this relation's lifetime (LRU under
+  /// the budget; invalidation by mutation does not count). Reported to
+  /// the installed util::StepGate as the bytes change.
+  size_t cached_index_bytes() const;
+  uint64_t index_evictions() const;
+
+  /// Drops every cached index (releasing their tracked bytes) without
+  /// bumping the generation. Used by the runtime's memory-pressure
+  /// degradation; safe only under the mutation contract (no concurrent
+  /// readers).
+  void DropIndexCache();
 
   std::string ToString() const;
 
@@ -106,18 +139,36 @@ class Relation {
     return a.arity_ == b.arity_ && a.tuples_ == b.tuples_;
   }
 
+  ~Relation();
+
  private:
   /// Records a mutation: bumps the generation and drops cached indexes.
   void Touch();
+  /// Drops all cached indexes and reports the byte release to the
+  /// thread's StepGate. Caller must hold index_mu_ or own the mutation.
+  void ReleaseIndexesLocked();
 
   size_t arity_;
   std::set<Tuple> tuples_;
   uint64_t generation_ = 0;
-  /// Lazily-built per-mask indexes; guarded so concurrent const readers
-  /// may trigger the build safely. Small (one entry per distinct mask).
+  IndexBudget index_budget_;
+  /// Lazily-built per-mask indexes in LRU order (front = most recently
+  /// used); guarded so concurrent const readers may trigger the build
+  /// safely. Small (one entry per distinct mask under the budget).
   mutable std::mutex index_mu_;
   mutable std::vector<std::shared_ptr<const Index>> indexes_;
+  mutable size_t cached_index_bytes_ = 0;
+  mutable uint64_t index_evictions_ = 0;
 };
+
+/// Approximate heap footprint of a relation's tuple set (cache-byte
+/// accounting for the execution-tree memo). The per-tuple constant
+/// stands in for std::set node overhead.
+inline size_t ApproxBytes(const Relation& r) {
+  size_t bytes = sizeof(Relation);
+  for (const Tuple& t : r.tuples()) bytes += ApproxBytes(t) + 64;
+  return bytes;
+}
 
 }  // namespace sws::rel
 

@@ -97,6 +97,22 @@ struct TupleHash {
   }
 };
 
+/// Approximate heap footprint of a value/tuple, used by the resource
+/// governor to account cache bytes (memo entries, relation indexes).
+/// Deliberately cheap and deterministic — `capacity` would vary across
+/// allocators, so only logical sizes count.
+inline size_t ApproxBytes(const Value& v) {
+  size_t bytes = sizeof(Value);
+  if (v.is_string()) bytes += v.AsString().size();
+  return bytes;
+}
+
+inline size_t ApproxBytes(const Tuple& t) {
+  size_t bytes = sizeof(Tuple);
+  for (const Value& v : t) bytes += ApproxBytes(v);
+  return bytes;
+}
+
 }  // namespace sws::rel
 
 /// std::hash support so Value/Tuple can key std::unordered_map directly

@@ -74,6 +74,18 @@ core::Status ValidateRuntimeOptions(const RuntimeOptions& options) {
       !durability.ok()) {
     return invalid(durability.message());
   }
+  const RuntimeOptions::GovernanceOptions& gov = options.governance;
+  if (gov.enable_watchdog && gov.watchdog_interval.count() <= 0) {
+    return invalid("governance.watchdog_interval must be > 0");
+  }
+  if (gov.deadline_grace < 1.0) {
+    return invalid(
+        "governance.deadline_grace must be >= 1 (the watchdog must not "
+        "cancel before the deadline itself)");
+  }
+  if (gov.recovery_fraction <= 0.0 || gov.recovery_fraction > 1.0) {
+    return invalid("governance.recovery_fraction must be in (0, 1]");
+  }
   return Status::Ok();
 }
 
@@ -96,6 +108,10 @@ ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
   shard_config_.run_options = options_.run_options;
   shard_config_.circuit_breaker = options_.circuit_breaker;
   shard_config_.before_process_hook = options_.before_process_hook;
+  if (options_.governance.enable_watchdog) {
+    shard_config_.root_governor = &root_governor_;
+    shard_config_.pressure_level = &pressure_level_;
+  }
 
   // Durable startup: recover the directory (replaying any previous
   // incarnation's journal) *before* any shard exists, then hand each
@@ -156,6 +172,9 @@ ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
   // flag), so `shards` capacity guarantees drain-task submission never
   // blocks a client thread.
   pool_ = std::make_unique<ThreadPool>(workers, shards);
+  if (options_.governance.enable_watchdog) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 ServiceRuntime::~ServiceRuntime() { Shutdown(); }
@@ -233,6 +252,16 @@ core::Status ServiceRuntime::SubmitInternal(
     return Status::Error(RunError::kDeadlineExceeded,
                          "deadline already expired at enqueue");
   }
+  // Memory-pressure shedding (degradation level 3): while the ladder is
+  // maxed, low-priority work is refused at the door — the cheapest way
+  // to stop feeding a system already shedding caches.
+  if (priority == Priority::kLow &&
+      pressure_level_.load(std::memory_order_relaxed) >= 3) {
+    stats_.OnRejected();
+    stats_.OnShedLowPriority();
+    return Status::Error(RunError::kQueueRejected,
+                         "shed under memory pressure");
+  }
   const size_t limit = LimitFor(priority);
   {
     std::unique_lock<std::mutex> lock(admission_mu_);
@@ -300,8 +329,73 @@ void ServiceRuntime::Shutdown() {
   Drain();
   // Safe under concurrent Shutdown: Close() is idempotent and Stop()
   // serializes the joins internally, so every caller returns only after
-  // the workers are joined.
+  // the workers are joined. The watchdog outlives the drain (it must be
+  // able to cancel a wedged run that the drain is waiting on) and is
+  // stopped last; its join is serialized by its own mutex.
   pool_->Stop();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_join_mu_);
+    if (watchdog_.joinable()) watchdog_.join();
+  }
+}
+
+void ServiceRuntime::WatchdogLoop() {
+  const RuntimeOptions::GovernanceOptions& gov = options_.governance;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu_);
+      watchdog_cv_.wait_for(lock, gov.watchdog_interval,
+                            [&] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+    }
+    // Deadline backstop: cancel any in-flight run that has overrun its
+    // deadline by the grace factor. Cancel() is sticky/first-writer-wins,
+    // so repeated ticks over the same hog count one watchdog cancel.
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& shard : shards_) {
+      std::optional<SessionShard::InFlightRun> run = shard->CurrentRun();
+      if (!run.has_value() ||
+          run->deadline == std::chrono::steady_clock::time_point::max()) {
+        continue;
+      }
+      const auto budget = run->deadline - run->start;
+      const auto graced =
+          run->start +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              budget * gov.deadline_grace);
+      if (now > graced &&
+          run->governor->Cancel(core::RunError::kDeadlineExceeded,
+                                "cancelled by watchdog: run overran its "
+                                "deadline past the grace factor")) {
+        stats_.OnWatchdogCancel();
+      }
+    }
+    // Memory-pressure ladder: one step per tick, up at ≥ threshold, down
+    // at ≤ recovery_fraction × threshold (hysteresis in between).
+    if (gov.memory_pressure_bytes > 0) {
+      const uint64_t bytes =
+          gov.pressure_probe
+              ? gov.pressure_probe()
+              : static_cast<uint64_t>(
+                    std::max<int64_t>(0, root_governor_.tracked_bytes()));
+      stats_.OnTrackedBytes(bytes);
+      const int level = pressure_level_.load(std::memory_order_relaxed);
+      if (bytes >= gov.memory_pressure_bytes && level < 3) {
+        pressure_level_.store(level + 1, std::memory_order_relaxed);
+        stats_.OnDegradation();
+      } else if (bytes <= static_cast<uint64_t>(
+                              gov.recovery_fraction *
+                              static_cast<double>(gov.memory_pressure_bytes)) &&
+                 level > 0) {
+        pressure_level_.store(level - 1, std::memory_order_relaxed);
+      }
+    }
+  }
 }
 
 StatsSnapshot ServiceRuntime::Stats() const {
@@ -310,7 +404,9 @@ StatsSnapshot ServiceRuntime::Stats() const {
     std::lock_guard<std::mutex> lock(admission_mu_);
     depth = pending_;
   }
-  return stats_.Snapshot(depth);
+  return stats_.Snapshot(
+      depth, static_cast<uint64_t>(
+                 pressure_level_.load(std::memory_order_relaxed)));
 }
 
 size_t ServiceRuntime::ShardOf(const std::string& session_id) const {

@@ -1,6 +1,7 @@
 #ifndef SWS_RUNTIME_RUNTIME_H_
 #define SWS_RUNTIME_RUNTIME_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -8,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "persistence/durability.h"
@@ -72,6 +74,40 @@ struct RuntimeOptions {
   /// directory (replaying any prior incarnation's journal), installs the
   /// recovered sessions, and only then starts the workers.
   persistence::DurabilityOptions durability;
+  /// Resource governance (DESIGN.md §10): per-run governors, a watchdog
+  /// that externally cancels runs overrunning their deadline, and a
+  /// memory-pressure ladder that degrades service gracefully instead of
+  /// letting cache growth run away.
+  struct GovernanceOptions {
+    /// Master switch. When true every delimiter run gets an
+    /// ExecutionGovernor parented to the runtime root (cooperative
+    /// cancellation + budget enforcement inside query evaluation) and
+    /// the watchdog thread runs. Off by default: the ungoverned hot
+    /// path is unchanged.
+    bool enable_watchdog = false;
+    /// Watchdog tick period. Must be > 0 when the watchdog is enabled.
+    std::chrono::microseconds watchdog_interval{1000};
+    /// A governed run started at s with deadline d is cancelled from
+    /// outside once now > s + deadline_grace × (d − s). Cooperative
+    /// in-run cancellation should fire first; the watchdog is the
+    /// backstop for runs wedged where no cancellation point runs.
+    /// Must be ≥ 1.
+    double deadline_grace = 2.0;
+    /// Global governed-cache-bytes threshold that starts the
+    /// degradation ladder; 0 disables pressure handling. Each watchdog
+    /// tick at or above the threshold raises the level (max 3):
+    ///   1 — new runs stop memoizing (memo caches shed);
+    ///   2 — new runs clamp their index pools to one index/relation;
+    ///   3 — low-priority submissions are shed at admission.
+    /// Ticks at or below recovery_fraction × threshold step back down.
+    size_t memory_pressure_bytes = 0;
+    /// Hysteresis for stepping the ladder down. Must be in (0, 1].
+    double recovery_fraction = 0.7;
+    /// Overrides the pressure signal (tests inject synthetic pressure);
+    /// null = the root governor's live tracked_bytes().
+    std::function<uint64_t()> pressure_probe;
+  };
+  GovernanceOptions governance;
   /// Test/bench instrumentation; see SessionShard::Config.
   std::function<void(const std::string& session_id)> before_process_hook;
 };
@@ -195,6 +231,9 @@ class ServiceRuntime {
   /// Called by a shard after each processed envelope: releases one unit
   /// of queue capacity and wakes blocked submitters/drainers.
   void OnEnvelopeDone();
+  /// The watchdog thread body: each tick cancels overrunning in-flight
+  /// runs and steps the memory-pressure ladder (see GovernanceOptions).
+  void WatchdogLoop();
 
   rel::Database initial_db_;
   SessionShard::Config shard_config_;
@@ -213,6 +252,17 @@ class ServiceRuntime {
   std::condition_variable admission_cv_;  // capacity freed / drained
   size_t pending_ = 0;
   bool stopped_ = false;
+
+  /// Governance state (enable_watchdog only). The root governor is the
+  /// parent of every per-run governor, so its tracked_bytes() is the
+  /// live global governed-cache gauge the pressure ladder samples.
+  core::ExecutionGovernor root_governor_;
+  std::atomic<int> pressure_level_{0};
+  std::mutex watchdog_mu_;  // guards watchdog_stop_ + the tick cv
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::mutex watchdog_join_mu_;  // serializes concurrent Shutdown joins
+  std::thread watchdog_;
 };
 
 }  // namespace sws::rt

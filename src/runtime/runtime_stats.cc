@@ -64,6 +64,13 @@ std::string StatsSnapshot::ToString() const {
       << " memo_hits=" << memo_hits << " memo_misses=" << memo_misses
       << " storage_failures=" << storage_failures
       << " journal_appends=" << journal_appends << " snapshots=" << snapshots
+      << " fuel_exhausted=" << fuel_exhausted
+      << " watchdog_cancels=" << watchdog_cancels
+      << " degradations=" << degradations
+      << " memo_evictions=" << memo_evictions
+      << " index_evictions=" << index_evictions
+      << " tracked_bytes_hwm=" << tracked_bytes_hwm
+      << " pressure_level=" << pressure_level
       << " queue_depth=" << queue_depth << " runs=" << total_runs()
       << " p50_us<=" << ApproxLatencyMicros(0.5)
       << " p99_us<=" << ApproxLatencyMicros(0.99);
@@ -134,6 +141,13 @@ std::string StatsSnapshot::ToJson() const {
       {"storage_failures", storage_failures},
       {"journal_appends", journal_appends},
       {"snapshots", snapshots},
+      {"fuel_exhausted", fuel_exhausted},
+      {"watchdog_cancels", watchdog_cancels},
+      {"degradations", degradations},
+      {"memo_evictions", memo_evictions},
+      {"index_evictions", index_evictions},
+      {"tracked_bytes_hwm", tracked_bytes_hwm},
+      {"pressure_level", pressure_level},
       {"queue_depth", queue_depth},
       {"runs", total_runs()},
       {"p50_us", ApproxLatencyMicros(0.5)},
@@ -161,7 +175,8 @@ void RuntimeStats::RecordRunLatency(size_t shard, uint64_t micros) {
   shard_latency_[shard].Record(micros);
 }
 
-StatsSnapshot RuntimeStats::Snapshot(uint64_t queue_depth) const {
+StatsSnapshot RuntimeStats::Snapshot(uint64_t queue_depth,
+                                     uint64_t pressure_level) const {
   StatsSnapshot snap;
   snap.submitted = submitted_.load(std::memory_order_relaxed);
   snap.rejected = rejected_.load(std::memory_order_relaxed);
@@ -181,6 +196,14 @@ StatsSnapshot RuntimeStats::Snapshot(uint64_t queue_depth) const {
   snap.storage_failures = storage_failures_.load(std::memory_order_relaxed);
   snap.journal_appends = journal_appends_.load(std::memory_order_relaxed);
   snap.snapshots = snapshots_.load(std::memory_order_relaxed);
+  snap.fuel_exhausted = fuel_exhausted_.load(std::memory_order_relaxed);
+  snap.watchdog_cancels = watchdog_cancels_.load(std::memory_order_relaxed);
+  snap.degradations = degradations_.load(std::memory_order_relaxed);
+  snap.memo_evictions = memo_evictions_.load(std::memory_order_relaxed);
+  snap.index_evictions = index_evictions_.load(std::memory_order_relaxed);
+  snap.tracked_bytes_hwm =
+      tracked_bytes_hwm_.load(std::memory_order_relaxed);
+  snap.pressure_level = pressure_level;
   snap.queue_depth = queue_depth;
   snap.shard_latency.reserve(shard_latency_.size());
   for (const LatencyHistogram& h : shard_latency_) {

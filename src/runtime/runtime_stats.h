@@ -46,6 +46,13 @@ struct StatsSnapshot {
   uint64_t storage_failures = 0;   // durable appends/snapshots that failed
   uint64_t journal_appends = 0;    // records appended to the WAL
   uint64_t snapshots = 0;          // shard snapshots captured
+  uint64_t fuel_exhausted = 0;     // runs aborted by a fuel / byte budget
+  uint64_t watchdog_cancels = 0;   // overrunning runs cancelled externally
+  uint64_t degradations = 0;       // pressure-ladder level increases
+  uint64_t memo_evictions = 0;     // memo entries evicted by the byte cap
+  uint64_t index_evictions = 0;    // relation indexes evicted by the pool cap
+  uint64_t tracked_bytes_hwm = 0;  // high-water mark of governed cache bytes
+  uint64_t pressure_level = 0;     // current degradation level (gauge, 0-3)
   uint64_t queue_depth = 0;        // admitted but not yet completed
   /// Per-shard session-run latency histograms (delimiter runs only; the
   /// buffering of a non-delimiter message is not a run).
@@ -110,11 +117,34 @@ class RuntimeStats {
     if (n > 0) journal_appends_.fetch_add(n, std::memory_order_relaxed);
   }
   void OnSnapshot() { snapshots_.fetch_add(1, std::memory_order_relaxed); }
+  void OnFuelExhausted() {
+    fuel_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnWatchdogCancel() {
+    watchdog_cancels_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnDegradation() {
+    degradations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Cache-eviction counters from one session run (bounded caches).
+  void OnEvictions(uint64_t memo, uint64_t index) {
+    if (memo > 0) memo_evictions_.fetch_add(memo, std::memory_order_relaxed);
+    if (index > 0) index_evictions_.fetch_add(index, std::memory_order_relaxed);
+  }
+  /// Raises the governed-cache-bytes high-water mark (watchdog samples).
+  void OnTrackedBytes(uint64_t bytes) {
+    uint64_t prev = tracked_bytes_hwm_.load(std::memory_order_relaxed);
+    while (prev < bytes && !tracked_bytes_hwm_.compare_exchange_weak(
+                               prev, bytes, std::memory_order_relaxed)) {
+    }
+  }
   void RecordRunLatency(size_t shard, uint64_t micros);
 
-  /// The queue-depth gauge is owned by the admission layer (it doubles as
-  /// the backpressure counter); the snapshot takes it as an argument.
-  StatsSnapshot Snapshot(uint64_t queue_depth) const;
+  /// The queue-depth and pressure-level gauges are owned by the admission
+  /// layer and the watchdog respectively; the snapshot takes them as
+  /// arguments.
+  StatsSnapshot Snapshot(uint64_t queue_depth, uint64_t pressure_level = 0)
+      const;
 
  private:
   std::atomic<uint64_t> submitted_{0};
@@ -133,6 +163,12 @@ class RuntimeStats {
   std::atomic<uint64_t> storage_failures_{0};
   std::atomic<uint64_t> journal_appends_{0};
   std::atomic<uint64_t> snapshots_{0};
+  std::atomic<uint64_t> fuel_exhausted_{0};
+  std::atomic<uint64_t> watchdog_cancels_{0};
+  std::atomic<uint64_t> degradations_{0};
+  std::atomic<uint64_t> memo_evictions_{0};
+  std::atomic<uint64_t> index_evictions_{0};
+  std::atomic<uint64_t> tracked_bytes_hwm_{0};
   std::vector<LatencyHistogram> shard_latency_;
 };
 

@@ -48,9 +48,12 @@ void SessionShard::Drain(RuntimeStats* stats,
     }
     // Fault injection at the scheduling layer: a stall holds this
     // shard's drain role (backing up its sessions) without touching any
-    // other shard. Null injector = disabled (a single branch).
+    // other shard. Null injector = disabled (a single branch). Under
+    // governance the stall sleeps interruptibly against the runtime's
+    // root governor, so shutdown/watchdog cancellation is not blocked
+    // behind an injected stall.
     if (config_->run_options.fault_injector) {
-      config_->run_options.fault_injector->OnDrainStep();
+      config_->run_options.fault_injector->OnDrainStep(config_->root_governor);
     }
     Process(std::move(envelope), stats);
     if (durability_ != nullptr && durability_->ShouldSnapshot()) {
@@ -73,6 +76,50 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
     }
     return;
   }
+
+  const bool is_delimiter = core::SessionRunner::IsDelimiter(envelope.message);
+
+  core::RunOptions run_options = config_->run_options;
+  run_options.deadline = envelope.deadline;
+
+  // Graceful degradation under memory pressure (watchdog-driven): level
+  // ≥1 stops new runs from building memo caches, level ≥2 additionally
+  // clamps each run's index pool to one index per relation. Shaping only
+  // *new* runs suffices because all caches are per-run and released at
+  // the end of Execute.
+  if (is_delimiter && config_->pressure_level != nullptr) {
+    const int level = config_->pressure_level->load(std::memory_order_relaxed);
+    if (level >= 1) run_options.memoize = false;
+    if (level >= 2) run_options.index_budget.max_indexes = 1;
+  }
+
+  // Governed runtimes give each delimiter run its own governor, parented
+  // to the runtime root (so steps/bytes roll up globally) and published
+  // in the in-flight slot so the watchdog can cancel an overrunning run
+  // from outside the strand. The slot is published before any further
+  // per-envelope work (hook, breaker, journal, feed) so the watchdog
+  // covers the whole service window, and cleared on every exit path.
+  std::shared_ptr<core::ExecutionGovernor> governor;
+  if (is_delimiter && config_->root_governor != nullptr) {
+    core::ExecutionGovernor::Limits limits;
+    limits.deadline = envelope.deadline;
+    limits.max_eval_steps = run_options.max_eval_steps;
+    limits.max_tracked_bytes = run_options.max_tracked_bytes;
+    governor = std::make_shared<core::ExecutionGovernor>(
+        limits, config_->root_governor);
+    run_options.governor = governor.get();
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_ = InFlightRun{governor, now, envelope.deadline};
+  }
+  struct InFlightClear {
+    SessionShard* shard;
+    ~InFlightClear() {
+      if (shard == nullptr) return;
+      std::lock_guard<std::mutex> lock(shard->inflight_mu_);
+      shard->inflight_.reset();
+    }
+  } inflight_clear{governor == nullptr ? nullptr : this};
+
   if (config_->before_process_hook) {
     config_->before_process_hook(envelope.session_id);
   }
@@ -83,8 +130,6 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
                    CircuitBreaker(config_->circuit_breaker)});
   if (inserted) num_sessions_.fetch_add(1, std::memory_order_relaxed);
   SessionState& session = it->second;
-
-  const bool is_delimiter = core::SessionRunner::IsDelimiter(envelope.message);
 
   // Fast-fail a session whose runs keep tripping: while the breaker is
   // open, the session's stream is shed without running — buffered input
@@ -168,11 +213,10 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
     seq = session.next_seq++;
   }
 
-  core::RunOptions run_options = config_->run_options;
-  run_options.deadline = envelope.deadline;
   const auto run_start = std::chrono::steady_clock::now();
   std::optional<core::SessionRunner::SessionOutcome> outcome =
       session.runner.Feed(std::move(envelope.message), run_options);
+
   if (!is_delimiter) return;  // buffered; nothing ran, nothing to report
 
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -180,6 +224,7 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
   stats->RecordRunLatency(shard_index_,
                           static_cast<uint64_t>(elapsed.count()));
   SWS_CHECK(outcome.has_value());
+  stats->OnEvictions(outcome->memo_evictions, outcome->index_evictions);
 
   // The ack barrier: the outcome record must be durable before the
   // callback fires, so an acknowledged output is always recoverable (and
@@ -228,8 +273,11 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
       case core::RunError::kInjectedFault:
         stats->OnInjectedFault();
         break;
-      case core::RunError::kDeadlineExceeded:  // retry loop ran out of time
+      case core::RunError::kDeadlineExceeded:  // in-run, watchdog, or retry
         stats->OnDeadlineExceeded();
+        break;
+      case core::RunError::kFuelExhausted:  // eval-step / byte budget
+        stats->OnFuelExhausted();
         break;
       default:
         SWS_CHECK(false) << "unexpected run error: "
@@ -252,6 +300,11 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
                               std::move(envelope.session_id),
                               std::move(outcome), attempts});
   }
+}
+
+std::optional<SessionShard::InFlightRun> SessionShard::CurrentRun() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return inflight_;
 }
 
 void SessionShard::MaybeSnapshot(RuntimeStats* stats) {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -15,6 +16,7 @@
 #include "runtime/circuit_breaker.h"
 #include "runtime/runtime_stats.h"
 #include "sws/fault.h"
+#include "sws/governor.h"
 #include "sws/session.h"
 #include "sws/status.h"
 #include "sws/sws.h"
@@ -93,6 +95,24 @@ class SessionShard {
     /// Test/bench instrumentation: invoked on the worker right before
     /// each envelope is processed (after the deadline check).
     std::function<void(const std::string& session_id)> before_process_hook;
+    /// Resource governance (see DESIGN.md §10). The runtime's root
+    /// governor — parent of every per-request governor, so steps/bytes
+    /// roll up to a live global gauge — or null when governance is off.
+    core::ExecutionGovernor* root_governor = nullptr;
+    /// The runtime watchdog's memory-pressure degradation level (0 =
+    /// healthy). Read per delimiter: ≥1 disables run memoization, ≥2
+    /// additionally clamps the run's index pool to one index per
+    /// relation. Null = no degradation.
+    const std::atomic<int>* pressure_level = nullptr;
+  };
+
+  /// What the runtime watchdog sees of a run in flight on this shard:
+  /// the request's governor (cancellable from the watchdog thread) plus
+  /// when it started and when it was due.
+  struct InFlightRun {
+    std::shared_ptr<core::ExecutionGovernor> governor;
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point deadline;
   };
 
   /// `durability` is the shard's durable state (write-ahead journal +
@@ -123,6 +143,10 @@ class SessionShard {
     return num_sessions_.load(std::memory_order_relaxed);
   }
 
+  /// The delimiter run currently in flight on this shard, if any —
+  /// watchdog-safe (its own lock; never contends with the strand).
+  std::optional<InFlightRun> CurrentRun() const;
+
  private:
   /// A session's shard-owned state: its runner (buffer + private
   /// database copy) and its circuit breaker. Touched only by the
@@ -152,6 +176,12 @@ class SessionShard {
   // Drain-role-owned; no lock (see class comment).
   std::unordered_map<std::string, SessionState> sessions_;
   std::atomic<size_t> num_sessions_{0};
+
+  /// The in-flight slot: published by the drain-role holder around each
+  /// delimiter run, read by the runtime watchdog. Guarded by its own
+  /// mutex so the watchdog never touches the strand's state.
+  mutable std::mutex inflight_mu_;
+  std::optional<InFlightRun> inflight_;
 };
 
 }  // namespace sws::rt

@@ -9,6 +9,7 @@
 #include "relational/database.h"
 #include "relational/input_sequence.h"
 #include "sws/fault.h"
+#include "sws/governor.h"
 #include "sws/status.h"
 #include "sws/sws.h"
 
@@ -50,16 +51,44 @@ struct RunOptions {
   /// Retry of failed runs at the session layer (SessionRunner::Feed);
   /// the default (max_attempts = 1) never retries.
   RetryPolicy retry;
-  /// Absolute deadline for the whole request. The retry loop respects it
-  /// (no backoff sleeps or re-attempts past the deadline); ::max() = none.
+  /// Absolute deadline for the whole request. Enforced *inside* query
+  /// evaluation (the engine installs a governor that cancels the run
+  /// cooperatively, within a bounded number of tuples, once the deadline
+  /// passes — kDeadlineExceeded) and by the retry loop (no backoff
+  /// sleeps or re-attempts past the deadline); ::max() = none.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+
+  // Resource governance (see DESIGN.md §10). All zero-valued caps mean
+  // "unlimited"; with every cap unlimited, no deadline, and no governor,
+  // runs pay nothing for governance.
+  /// Evaluation-fuel budget: total steps (candidate tuples probed,
+  /// quantifier domain values tried, tree nodes evaluated) before the
+  /// run aborts with kFuelExhausted. 0 = unlimited.
+  uint64_t max_eval_steps = 0;
+  /// Cap on the run's memo-cache bytes; past it, least-recently-used
+  /// entries are evicted (size-accounted LRU). 0 = unlimited.
+  size_t max_memo_bytes = 0;
+  /// Cap on total tracked cache bytes (memo + relation indexes)
+  /// attributed to the run's governor; past it, the run aborts with
+  /// kFuelExhausted at its next tick. 0 = unlimited.
+  size_t max_tracked_bytes = 0;
+  /// Per-relation index-pool caps, stamped onto the run's environment
+  /// database (and every relation Set into it). Zeros = unlimited.
+  rel::IndexBudget index_budget;
+  /// External governor for this run (not owned): the runtime threads a
+  /// per-request governor here so a watchdog can cancel the run
+  /// mid-query and so steps/bytes roll up to the runtime root. When
+  /// null, the engine builds a local governor iff a deadline or a
+  /// fuel/byte cap above is set.
+  ExecutionGovernor* governor = nullptr;
 };
 
 /// Result of running an SWS on (D, I).
 struct RunResult {
-  /// ok() iff the run completed; on error (kBudgetExceeded or
-  /// kInjectedFault) the output is empty, never partial.
+  /// ok() iff the run completed; on error (kBudgetExceeded,
+  /// kInjectedFault, kDeadlineExceeded or kFuelExhausted) the output is
+  /// empty, never partial.
   Status status;
   rel::Relation output;           // Act(root) = τ(D, I)
   size_t num_nodes = 0;           // nodes evaluated (hits count as one)
@@ -71,6 +100,16 @@ struct RunResult {
   size_t memo_hits = 0;    // subtrees replayed from the cache
   size_t memo_misses = 0;  // subtrees evaluated and cached
   size_t memo_entries = 0; // cache size at end of run
+  /// Logical tree size: nodes the un-memoized tree would have (a memo
+  /// hit charges its whole replayed subtree). Saturates at SIZE_MAX.
+  /// RunOptions::max_nodes bounds *this* count, so the budget cannot be
+  /// bypassed through the cache; for un-memoized runs it equals
+  /// num_nodes.
+  size_t logical_nodes = 0;
+  // Governance counters (see DESIGN.md §10).
+  size_t memo_evictions = 0;   // memo entries evicted under max_memo_bytes
+  size_t memo_bytes_peak = 0;  // high-water of accounted memo bytes
+  uint64_t index_evictions = 0;  // index-pool LRU evictions in the run env
 };
 
 /// The run of τ on (D, I): builds the execution tree top-down (one input

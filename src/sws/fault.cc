@@ -3,11 +3,24 @@
 #include <algorithm>
 #include <thread>
 
+#include "sws/governor.h"
 #include "util/common.h"
 
 namespace sws::core {
 
 namespace {
+
+/// Injected latency: interruptible when the run is governed — a
+/// watchdog cancel or an in-sleep deadline must not wait out the full
+/// injected delay — plain sleep otherwise.
+void InjectedSleep(std::chrono::microseconds duration,
+                   ExecutionGovernor* governor) {
+  if (governor != nullptr) {
+    governor->SleepInterruptible(duration);
+  } else {
+    std::this_thread::sleep_for(duration);
+  }
+}
 
 // Independent stream salts (arbitrary odd constants).
 constexpr uint64_t kRunFailSalt = 0x9d5c1f8a3b2e7641ULL;
@@ -51,12 +64,12 @@ FaultInjector::FaultInjector(FaultOptions options) : options_(options) {
   SWS_CHECK_GE(options_.stall.count(), 0);
 }
 
-bool FaultInjector::OnRunAttempt() {
+bool FaultInjector::OnRunAttempt(ExecutionGovernor* governor) {
   const uint64_t n = run_draws_.fetch_add(1, std::memory_order_relaxed);
   if (options_.delay_rate > 0.0 && options_.delay.count() > 0 &&
       UnitAt(options_.seed, kRunDelaySalt, n) < options_.delay_rate) {
     delays_.fetch_add(1, std::memory_order_relaxed);
-    std::this_thread::sleep_for(options_.delay);
+    InjectedSleep(options_.delay, governor);
   }
   if (n < options_.fail_first_runs ||
       (options_.fail_rate > 0.0 &&
@@ -67,12 +80,12 @@ bool FaultInjector::OnRunAttempt() {
   return false;
 }
 
-void FaultInjector::OnDrainStep() {
+void FaultInjector::OnDrainStep(ExecutionGovernor* governor) {
   if (options_.stall_rate == 0.0 || options_.stall.count() == 0) return;
   const uint64_t n = drain_draws_.fetch_add(1, std::memory_order_relaxed);
   if (UnitAt(options_.seed, kDrainSalt, n) < options_.stall_rate) {
     stalls_.fetch_add(1, std::memory_order_relaxed);
-    std::this_thread::sleep_for(options_.stall);
+    InjectedSleep(options_.stall, governor);
   }
 }
 

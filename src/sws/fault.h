@@ -9,6 +9,8 @@
 
 namespace sws::core {
 
+class ExecutionGovernor;
+
 /// What a FaultInjector may do, and how often. Rates are probabilities
 /// in [0, 1] evaluated on an independent deterministic stream per hook,
 /// so a given seed reproduces the same fault schedule (exactly under a
@@ -54,12 +56,16 @@ class FaultInjector {
 
   /// Engine hook, called once per run attempt: possibly sleeps (injected
   /// latency), then decides whether this attempt fails with
-  /// kInjectedFault. Returns true iff the attempt must fail.
-  bool OnRunAttempt();
+  /// kInjectedFault. Returns true iff the attempt must fail. With a
+  /// governor, the injected sleep is interruptible: a cancelled run (or
+  /// one whose deadline passes mid-sleep) wakes immediately instead of
+  /// sleeping out the full injected delay.
+  bool OnRunAttempt(ExecutionGovernor* governor = nullptr);
 
   /// Shard-scheduling hook, called once per drained envelope: possibly
   /// stalls the calling worker while it holds the shard's drain role.
-  void OnDrainStep();
+  /// With a governor, the stall is interruptible (as OnRunAttempt).
+  void OnDrainStep(ExecutionGovernor* governor = nullptr);
 
   /// Storage hook, called once per journal append: returns true iff this
   /// append must tear (a dead disk and armed tears fire before the

@@ -1,0 +1,102 @@
+#include "sws/governor.h"
+
+#include <utility>
+
+namespace sws::core {
+
+bool ExecutionGovernor::Admit(uint64_t steps) {
+  if (code_.load(std::memory_order_acquire) != RunError::kNone) return false;
+
+  const uint64_t total =
+      steps_.fetch_add(steps, std::memory_order_relaxed) + steps;
+  if (limits_.max_eval_steps != 0 && total > limits_.max_eval_steps) {
+    Cancel(RunError::kFuelExhausted,
+           "evaluation fuel exhausted (max_eval_steps)");
+    return false;
+  }
+  if (limits_.max_tracked_bytes != 0 &&
+      tracked_bytes_.load(std::memory_order_relaxed) >
+          static_cast<int64_t>(limits_.max_tracked_bytes)) {
+    Cancel(RunError::kFuelExhausted,
+           "tracked cache bytes over budget (max_tracked_bytes)");
+    return false;
+  }
+  if (limits_.deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() > limits_.deadline) {
+    Cancel(RunError::kDeadlineExceeded, "in-query deadline exceeded");
+    return false;
+  }
+  if (parent_ != nullptr && !parent_->Admit(steps)) {
+    // Adopt the ancestor's cancellation so status() is typed even when
+    // observed through this child.
+    Status up = parent_->status();
+    Cancel(up.code(), up.message());
+    return false;
+  }
+  return true;
+}
+
+void ExecutionGovernor::OnBytes(int64_t delta) {
+  const int64_t now =
+      tracked_bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (delta > 0) {
+    int64_t peak = tracked_bytes_peak_.load(std::memory_order_relaxed);
+    while (now > peak && !tracked_bytes_peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  if (parent_ != nullptr) parent_->OnBytes(delta);
+}
+
+bool ExecutionGovernor::Cancel(RunError error, std::string message) {
+  if (error == RunError::kNone) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RunError expected = RunError::kNone;
+    // message_ must be in place before code_ publishes (acq/rel pair
+    // with the load in status()); both happen under mu_ for simplicity.
+    if (!code_.compare_exchange_strong(expected, error,
+                                       std::memory_order_acq_rel)) {
+      return false;
+    }
+    message_ = std::move(message);
+  }
+  cv_.notify_all();
+  return true;
+}
+
+Status ExecutionGovernor::status() const {
+  const RunError code = code_.load(std::memory_order_acquire);
+  if (code != RunError::kNone) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Status::Error(code, message_);
+  }
+  if (parent_ != nullptr) return parent_->status();
+  return Status::Ok();
+}
+
+bool ExecutionGovernor::SleepInterruptible(std::chrono::nanoseconds duration) {
+  if (duration.count() <= 0) return !cancelled();
+  const auto wake = std::chrono::steady_clock::now() + duration;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!cancelled()) {
+    auto until = wake;
+    if (limits_.deadline < until) until = limits_.deadline;
+    if (std::chrono::steady_clock::now() >= until) break;
+    // A cancelled ancestor notifies its own cv, not ours, so poll with a
+    // short cap instead of waiting the full interval on this cv alone.
+    auto cap = std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+    cv_.wait_until(lock, until < cap ? until : cap);
+  }
+  if (cancelled()) return false;
+  if (limits_.deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= limits_.deadline &&
+      std::chrono::steady_clock::now() < wake) {
+    lock.unlock();
+    Cancel(RunError::kDeadlineExceeded, "deadline passed during injected wait");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sws::core

@@ -63,7 +63,19 @@ std::optional<SessionRunner::SessionOutcome> SessionRunner::Feed(
       wait = std::min(wait, std::chrono::duration_cast<std::chrono::microseconds>(
                                 options.deadline - now));
     }
-    if (wait.count() > 0) std::this_thread::sleep_for(wait);
+    if (wait.count() > 0) {
+      // Governed requests sleep interruptibly: a watchdog cancel (or the
+      // deadline passing mid-backoff) ends the retry loop immediately
+      // with the governor's typed status instead of sleeping it out.
+      if (options.governor != nullptr) {
+        if (!options.governor->SleepInterruptible(wait)) {
+          run.status = options.governor->status();
+          break;
+        }
+      } else {
+        std::this_thread::sleep_for(wait);
+      }
+    }
     run = Run(*sws_, db_, pending_, options);
     ++outcome.attempts;
   }
@@ -71,6 +83,9 @@ std::optional<SessionRunner::SessionOutcome> SessionRunner::Feed(
   outcome.run_nodes = run.num_nodes;
   outcome.memo_hits = run.memo_hits;
   outcome.memo_misses = run.memo_misses;
+  outcome.logical_nodes = run.logical_nodes;
+  outcome.memo_evictions = run.memo_evictions;
+  outcome.index_evictions = run.index_evictions;
   if (run.status.ok()) {
     outcome.output = run.output;
     outcome.commit = rel::CommitOutput(run.output, &db_);

@@ -60,6 +60,12 @@ class SessionRunner {
     size_t run_nodes = 0;
     size_t memo_hits = 0;
     size_t memo_misses = 0;
+    /// Governance accounting for the final run attempt (see RunResult):
+    /// logical (un-memoized) tree size bounded by max_nodes, and cache
+    /// evictions under the run's memo/index byte caps.
+    size_t logical_nodes = 0;
+    size_t memo_evictions = 0;
+    uint64_t index_evictions = 0;
   };
 
   /// Feeds one message. A delimiter closes the current session: the

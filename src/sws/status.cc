@@ -20,6 +20,8 @@ const char* RunErrorName(RunError error) {
       return "SHUTDOWN";
     case RunError::kStorageFailure:
       return "STORAGE_FAILURE";
+    case RunError::kFuelExhausted:
+      return "FUEL_EXHAUSTED";
   }
   return "UNKNOWN";
 }

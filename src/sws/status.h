@@ -20,6 +20,7 @@ enum class RunError : uint8_t {
   kCircuitOpen,       // the session's circuit breaker is fast-failing
   kShutdown,          // the runtime is shut down
   kStorageFailure,    // the durability layer could not journal/persist
+  kFuelExhausted,     // the run tripped an evaluation-fuel / byte budget
 };
 
 const char* RunErrorName(RunError error);

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <iostream>
 #include <map>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "logic/cq.h"
+#include "logic/fo.h"
 #include "runtime/runtime.h"
 #include "sws/session.h"
 #include "util/common.h"
@@ -79,6 +81,42 @@ Relation Msg(int64_t v) {
   Relation m(1);
   m.Insert({Value::Int(v)});
   return m;
+}
+
+// A two-level logger whose commit query is an FO ∀-alternation
+// tautology of fixed depth: evaluation never short-circuits, so each
+// run costs |adom|^depth quantifier bindings. The active domain is the
+// session's own data, which makes the *message* set the price of the
+// round — a one-value message is microseconds, a 40-value message is
+// minutes — so a single session can hog the service without changing
+// anything for its neighbours.
+Sws MakeGovernedLogger(int depth) {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  Sws sws(schema, 1, 3);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{core::kInputRelation, {Term::Var(0)}}});
+  sws.SetTransition(q0, {core::TransitionTarget{q1, core::RelQuery::Cq(pass)}});
+  ConjunctiveQuery copy_up(
+      {Term::Var(0), Term::Var(1), Term::Var(2)},
+      {Atom{core::ActRelation(1), {Term::Var(0), Term::Var(1), Term::Var(2)}}});
+  sws.SetSynthesis(q0, core::RelQuery::Cq(copy_up));
+  sws.SetTransition(q1, {});
+  logic::FoFormula body = logic::FoFormula::Or(
+      logic::FoFormula::MakeAtom(core::kMsgRelation, {Term::Var(0)}),
+      logic::FoFormula::Not(
+          logic::FoFormula::MakeAtom(core::kMsgRelation, {Term::Var(0)})));
+  for (int i = depth - 1; i >= 0; --i) {
+    body = logic::FoFormula::Forall(i, std::move(body));
+  }
+  sws.SetSynthesis(
+      q1, core::RelQuery::Fo(logic::FoQuery(
+              {Term::Str("ins"), Term::Str("Log"), Term::Int(1)},
+              std::move(body))));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
 }
 
 struct Delivery {
@@ -313,6 +351,126 @@ TEST(ChaosTest, InvariantsHoldUnderRandomizedFaults) {
             << " injected faults surfaced, " << retries << " retries, "
             << circuit_open << " circuit-open sheds, " << deadline
             << " deadline drops\n";
+}
+
+// Resource-governance containment: one hog session repeatedly submits
+// a round whose commit query would run for minutes, under a 100ms
+// deadline, while healthy sessions share the runtime. The hog must be
+// cancelled in-query (typed kDeadlineExceeded, not wedged), its breaker
+// must open and fast-fail the later rounds, and the healthy sessions
+// must keep FIFO order and exactly-once delimiter outcomes throughout.
+TEST(ChaosTest, HogSessionIsContainedAndBreakerIsolated) {
+  // depth 5: a healthy round (adom ≈ 5) costs ~5^5 bindings; the hog's
+  // 40-value message (adom ≈ 44) costs ~44^5 ≈ 1.6×10^8 — minutes of
+  // work against a 100ms deadline.
+  Sws sws = MakeGovernedLogger(/*depth=*/5);
+
+  RuntimeOptions options;
+  options.num_workers = 4;
+  options.num_shards = 8;
+  options.queue_capacity = 1024;
+  options.on_full = RuntimeOptions::OnFull::kBlock;
+  options.circuit_breaker.failure_threshold = 2;
+  options.circuit_breaker.open_duration = std::chrono::seconds(30);
+  options.governance.enable_watchdog = true;
+  options.governance.watchdog_interval = std::chrono::milliseconds(1);
+  options.governance.deadline_grace = 2.0;
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+
+  // Healthy traffic runs concurrently with the hog for the whole test.
+  constexpr int kHealthySessions = 8;
+  constexpr int kHealthyRounds = 6;
+  DeliveryLog log;
+  std::thread healthy([&] {
+    for (int round = 0; round < kHealthyRounds; ++round) {
+      for (int s = 0; s < kHealthySessions; ++s) {
+        const std::string id = "h" + std::to_string(s);
+        ASSERT_TRUE(
+            runtime.Submit(id, Msg(round), SubmitOptions{}).ok());
+        SubmitOptions submit;
+        const uint64_t seq = static_cast<uint64_t>(round);
+        submit.callback = [&log, id, seq](Outcome o) {
+          log.Record(id, Delivery{seq, true, o.status.code(), o.attempts});
+        };
+        ASSERT_TRUE(runtime
+                        .Submit(id, SessionRunner::DelimiterMessage(1),
+                                std::move(submit))
+                        .ok());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  // The hog: serialized rounds so each delimiter is picked up promptly
+  // (its deadline budgets the run, not queue time).
+  constexpr int kHogRounds = 5;
+  std::mutex hog_mu;
+  std::condition_variable hog_cv;
+  std::vector<RunError> hog_codes;
+  for (int r = 0; r < kHogRounds; ++r) {
+    Relation hog_msg(1);
+    for (int v = 0; v < 40; ++v) hog_msg.Insert({Value::Int(100 + v)});
+    ASSERT_TRUE(runtime.Submit("hog", std::move(hog_msg), SubmitOptions{}).ok());
+    SubmitOptions submit;
+    submit.deadline = std::chrono::milliseconds(100);
+    submit.callback = [&](Outcome o) {
+      std::lock_guard<std::mutex> lock(hog_mu);
+      hog_codes.push_back(o.status.code());
+      hog_cv.notify_all();
+    };
+    ASSERT_TRUE(runtime
+                    .Submit("hog", SessionRunner::DelimiterMessage(1),
+                            std::move(submit))
+                    .ok());
+    std::unique_lock<std::mutex> lock(hog_mu);
+    hog_cv.wait(lock, [&] { return hog_codes.size() > static_cast<size_t>(r); });
+  }
+  healthy.join();
+  runtime.Drain();
+  StatsSnapshot stats = runtime.Stats();
+  runtime.Shutdown();
+
+  // The hog was contained: every round failed typed — cancelled
+  // in-query at its deadline until the breaker opened, fast-failed
+  // after — and by the last round the breaker isolation had kicked in.
+  ASSERT_EQ(hog_codes.size(), static_cast<size_t>(kHogRounds));
+  uint64_t hog_deadline = 0, hog_circuit = 0;
+  for (RunError code : hog_codes) {
+    ASSERT_TRUE(code == RunError::kDeadlineExceeded ||
+                code == RunError::kCircuitOpen)
+        << core::RunErrorName(code);
+    if (code == RunError::kDeadlineExceeded) ++hog_deadline;
+    if (code == RunError::kCircuitOpen) ++hog_circuit;
+  }
+  EXPECT_GE(hog_deadline, 2u);  // breaker threshold was actually reached
+  EXPECT_GE(hog_circuit, 1u);   // and later rounds were shed without running
+  EXPECT_EQ(hog_codes.back(), RunError::kCircuitOpen);
+
+  // Healthy sessions were unaffected: every delimiter committed ok,
+  // exactly once, in FIFO order.
+  std::map<std::string, std::vector<Delivery>> delivered = log.Take();
+  uint64_t healthy_ok = 0;
+  for (int s = 0; s < kHealthySessions; ++s) {
+    const std::string id = "h" + std::to_string(s);
+    const auto& deliveries = delivered[id];
+    ASSERT_EQ(deliveries.size(), static_cast<size_t>(kHealthyRounds)) << id;
+    for (int round = 0; round < kHealthyRounds; ++round) {
+      EXPECT_EQ(deliveries[round].seq, static_cast<uint64_t>(round)) << id;
+      EXPECT_EQ(deliveries[round].code, RunError::kNone)
+          << id << ": " << core::RunErrorName(deliveries[round].code);
+      ++healthy_ok;
+    }
+  }
+  EXPECT_EQ(stats.sessions_closed, healthy_ok);
+  EXPECT_EQ(stats.deadline_exceeded, hog_deadline);
+  EXPECT_EQ(stats.circuit_open, hog_circuit);
+  EXPECT_EQ(stats.budget_exceeded, 0u);
+  EXPECT_EQ(stats.fuel_exhausted, 0u);
+  std::cout << "[ chaos  ] hog contained: " << hog_deadline
+            << " in-query deadline cancellations, " << hog_circuit
+            << " breaker sheds, " << stats.watchdog_cancels
+            << " watchdog cancels; " << healthy_ok
+            << " healthy rounds unaffected\n";
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "runtime/circuit_breaker.h"
 #include "runtime/runtime.h"
 #include "sws/fault.h"
+#include "sws/governor.h"
 #include "sws/session.h"
 #include "sws/status.h"
 #include "sws/sws.h"
@@ -318,6 +319,59 @@ TEST(CircuitBreakerTest, ClosedToOpenToHalfOpenLifecycle) {
   breaker.OnRunSuccess();
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_EQ(breaker.consecutive_failures(), 0u);
+}
+
+TEST(FaultInjectorTest, InjectedDelayInterruptedByCancelledGovernor) {
+  // Regression: injected delays/stalls used to be plain sleep_for, so a
+  // cancelled run (watchdog, deadline) still slept out the full injected
+  // latency. Governed hooks must wake as soon as the governor cancels.
+  FaultOptions fo;
+  fo.delay_rate = 1.0;
+  fo.delay = std::chrono::microseconds(2'000'000);  // 2s if uninterrupted
+  fo.stall_rate = 1.0;
+  fo.stall = std::chrono::microseconds(2'000'000);
+  FaultInjector injector(fo);
+  ExecutionGovernor gov;
+  gov.Cancel(RunError::kDeadlineExceeded, "already cancelled");
+
+  auto start = std::chrono::steady_clock::now();
+  injector.OnRunAttempt(&gov);
+  injector.OnDrainStep(&gov);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(1))
+      << "injected sleeps ignored the cancelled governor";
+}
+
+TEST(FaultInjectorTest, InjectedDelayInterruptedMidSleep) {
+  FaultOptions fo;
+  fo.delay_rate = 1.0;
+  fo.delay = std::chrono::microseconds(10'000'000);  // 10s if uninterrupted
+  FaultInjector injector(fo);
+  ExecutionGovernor gov;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gov.Cancel(RunError::kDeadlineExceeded, "watchdog");
+  });
+  const auto start = std::chrono::steady_clock::now();
+  injector.OnRunAttempt(&gov);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  canceller.join();
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(FaultInjectorTest, GovernedDelayStillWaitsWhenHealthy) {
+  // The interruptible path must not turn injected latency into a no-op:
+  // an uncancelled governor sleeps the full delay.
+  FaultOptions fo;
+  fo.delay_rate = 1.0;
+  fo.delay = std::chrono::microseconds(30'000);
+  FaultInjector injector(fo);
+  ExecutionGovernor gov;
+  const auto start = std::chrono::steady_clock::now();
+  injector.OnRunAttempt(&gov);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(30));
+  EXPECT_FALSE(gov.cancelled());
 }
 
 TEST(FaultInjectorTest, ArmedStorageFaultsFireExactly) {

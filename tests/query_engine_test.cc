@@ -286,6 +286,11 @@ TEST(QueryEngineTest, MemoizationCollapsesRepeatedSubtrees) {
   EXPECT_GT(with.memo_hits, 0u);
   EXPECT_GE(without.num_nodes, 10 * with.num_nodes)
       << "memoized=" << with.num_nodes << " raw=" << without.num_nodes;
+  // The *logical* node count — what the un-memoized tree would evaluate —
+  // must be identical either way: a memo hit charges the full replayed
+  // subtree, so memoization is a speedup, not a budget loophole.
+  EXPECT_EQ(with.logical_nodes, without.logical_nodes);
+  EXPECT_EQ(without.logical_nodes, without.num_nodes);
 }
 
 TEST(QueryEngineTest, KeepTreeDisablesMemoization) {
@@ -341,13 +346,16 @@ TEST(QueryEngineTest, MemoizedBudgetAbortStaysClean) {
   core::RunResult full = core::Run(sws, edb, fuel);
   ASSERT_TRUE(full.status.ok());
 
+  // max_nodes bounds the *logical* tree (memo hits charge the replayed
+  // subtree), so the budget that exactly fits is logical_nodes — the
+  // same number a memoization-free run would report.
   core::RunOptions tight;
-  tight.max_nodes = full.num_nodes;
+  tight.max_nodes = full.logical_nodes;
   core::RunResult ok = core::Run(sws, edb, fuel, tight);
   EXPECT_TRUE(ok.status.ok());
   EXPECT_EQ(ok.output, full.output);
 
-  tight.max_nodes = full.num_nodes - 1;
+  tight.max_nodes = full.logical_nodes - 1;
   core::RunResult aborted = core::Run(sws, edb, fuel, tight);
   EXPECT_FALSE(aborted.status.ok());
   EXPECT_TRUE(aborted.output.empty());

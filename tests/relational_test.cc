@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "relational/actions.h"
 #include "relational/database.h"
 #include "relational/input_sequence.h"
@@ -196,7 +198,7 @@ TEST(RelationTest, IndexProbesBoundColumns) {
   r.Insert({Value::Int(1), Value::Int(2)});
   r.Insert({Value::Int(1), Value::Int(3)});
   r.Insert({Value::Int(2), Value::Int(3)});
-  const Relation::Index* by_first = r.GetIndex(0b01);
+  std::shared_ptr<const Relation::Index> by_first = r.GetIndex(0b01);
   ASSERT_NE(by_first, nullptr);
   EXPECT_EQ(by_first->cols, std::vector<size_t>{0});
   auto it = by_first->buckets.find({Value::Int(1)});
@@ -205,8 +207,8 @@ TEST(RelationTest, IndexProbesBoundColumns) {
   EXPECT_EQ(by_first->buckets.count({Value::Int(3)}), 0u);
   // The same mask returns the cached index; a different mask builds a
   // second one over the other column.
-  EXPECT_EQ(r.GetIndex(0b01), by_first);
-  const Relation::Index* by_second = r.GetIndex(0b10);
+  EXPECT_EQ(r.GetIndex(0b01).get(), by_first.get());
+  std::shared_ptr<const Relation::Index> by_second = r.GetIndex(0b10);
   EXPECT_EQ(by_second->buckets.count({Value::Int(3)}), 1u);
 }
 
@@ -217,7 +219,7 @@ TEST(RelationTest, MutationInvalidatesIndexes) {
   Relation r(1);
   r.Insert({Value::Int(1)});
   const uint64_t gen0 = r.generation();
-  const Relation::Index* index = r.GetIndex(0b1);
+  std::shared_ptr<const Relation::Index> index = r.GetIndex(0b1);
   EXPECT_EQ(index->buckets.count({Value::Int(2)}), 0u);
 
   ASSERT_TRUE(r.Insert({Value::Int(2)}));

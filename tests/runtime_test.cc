@@ -773,6 +773,115 @@ TEST(RuntimeTest, MemoStatsAggregateAcrossSessions) {
   EXPECT_NE(stats.ToJson().find("\"memo_hits\":2"), std::string::npos);
 }
 
+TEST(RuntimeTest, WatchdogCancelsWedgedRunPastGrace) {
+  // The cooperative deadline fires at the next cancellation point, so to
+  // observe the watchdog *backstop* the run must wedge somewhere no
+  // cancellation point executes. The process hook runs inside the
+  // published in-flight window, which is exactly that: the watchdog sees
+  // an overrunning governed run and cancels it from outside the strand,
+  // and the run then fails typed at its first admission check.
+  Sws sws = MakeTwoLevelLogger();
+  RuntimeOptions options;
+  options.num_workers = 1;
+  options.num_shards = 1;
+  options.governance.enable_watchdog = true;
+  options.governance.watchdog_interval = std::chrono::milliseconds(1);
+  options.governance.deadline_grace = 1.5;
+  std::atomic<int> envelopes{0};
+  options.before_process_hook = [&envelopes](const std::string&) {
+    // Wedge only the delimiter (second envelope); the payload must be
+    // consumed promptly so the delimiter does not expire while queued.
+    if (envelopes.fetch_add(1) == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    }
+  };
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+
+  OutcomeCollector collector;
+  ASSERT_TRUE(runtime.Submit("wedged", Msg(1), SubmitOptions{}).ok());
+  SubmitOptions submit;
+  submit.deadline = std::chrono::milliseconds(40);
+  submit.callback = collector.Callback();
+  ASSERT_TRUE(runtime.Submit("wedged", Delim(), std::move(submit)).ok());
+  collector.WaitFor(1);
+  runtime.Drain();
+  StatsSnapshot stats = runtime.Stats();
+  runtime.Shutdown();
+
+  std::vector<Outcome> outcomes = collector.Take();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status.code(), core::RunError::kDeadlineExceeded)
+      << outcomes[0].status.ToString();
+  EXPECT_NE(outcomes[0].status.message().find("watchdog"), std::string::npos)
+      << outcomes[0].status.message();
+  EXPECT_EQ(stats.watchdog_cancels, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+}
+
+TEST(RuntimeTest, MemoryPressureLadderShedsAndRecovers) {
+  // Synthetic pressure probe drives the degradation ladder
+  // deterministically: above the threshold the watchdog ratchets one
+  // step per tick up to level 3 (memo off → index clamp → shed low
+  // priority); below recovery_fraction × threshold it unwinds to 0.
+  Sws sws = MakeTwoLevelLogger();
+  std::atomic<uint64_t> synthetic_bytes{0};
+  RuntimeOptions options;
+  options.num_workers = 1;
+  options.num_shards = 1;
+  options.governance.enable_watchdog = true;
+  options.governance.watchdog_interval = std::chrono::milliseconds(1);
+  options.governance.memory_pressure_bytes = 1000;
+  options.governance.recovery_fraction = 0.5;
+  options.governance.pressure_probe = [&synthetic_bytes] {
+    return synthetic_bytes.load();
+  };
+  ServiceRuntime runtime(&sws, LoggerDb(), options);
+
+  auto wait_for_level = [&](uint64_t level) {
+    for (int i = 0; i < 5000; ++i) {
+      if (runtime.Stats().pressure_level == level) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  };
+
+  synthetic_bytes = 5000;
+  ASSERT_TRUE(wait_for_level(3));
+
+  // Maxed ladder: low-priority work is refused at the door, typed.
+  SubmitOptions low;
+  low.priority = Priority::kLow;
+  core::Status shed = runtime.Submit("other", Delim(), std::move(low));
+  EXPECT_EQ(shed.code(), core::RunError::kQueueRejected) << shed.ToString();
+  EXPECT_NE(shed.message().find("memory pressure"), std::string::npos)
+      << shed.message();
+
+  // ...while normal traffic still commits, degraded (no memo cache).
+  OutcomeCollector ok;
+  ASSERT_TRUE(runtime.Submit("s", Msg(7), SubmitOptions{}).ok());
+  SubmitOptions submit;
+  submit.callback = ok.Callback();
+  ASSERT_TRUE(runtime.Submit("s", Delim(), std::move(submit)).ok());
+  ok.WaitFor(1);
+  ASSERT_TRUE(ok.Take()[0].status.ok());
+
+  // Pressure released: the ladder unwinds and low priority is admitted
+  // again.
+  synthetic_bytes = 100;
+  ASSERT_TRUE(wait_for_level(0));
+  SubmitOptions low_again;
+  low_again.priority = Priority::kLow;
+  EXPECT_TRUE(runtime.Submit("s", Msg(8), std::move(low_again)).ok());
+
+  runtime.Drain();
+  StatsSnapshot stats = runtime.Stats();
+  runtime.Shutdown();
+  EXPECT_GE(stats.degradations, 3u);
+  EXPECT_GE(stats.tracked_bytes_hwm, 5000u);
+  EXPECT_EQ(stats.pressure_level, 0u);
+  EXPECT_GE(stats.shed_low_priority, 1u);
+}
+
 // A strict checker for the exact JSON subset StatsSnapshot::ToJson
 // emits: one flat object of string keys and unsigned integer values, no
 // trailing commas, no unescaped control characters, full input consumed.
@@ -888,6 +997,13 @@ TEST(RuntimeStatsTest, ToJsonIsStrictlyValidAndComplete) {
       {"storage_failures", stats.storage_failures},
       {"journal_appends", stats.journal_appends},
       {"snapshots", stats.snapshots},
+      {"fuel_exhausted", stats.fuel_exhausted},
+      {"watchdog_cancels", stats.watchdog_cancels},
+      {"degradations", stats.degradations},
+      {"memo_evictions", stats.memo_evictions},
+      {"index_evictions", stats.index_evictions},
+      {"tracked_bytes_hwm", stats.tracked_bytes_hwm},
+      {"pressure_level", stats.pressure_level},
       {"queue_depth", stats.queue_depth},
       {"runs", stats.total_runs()},
   };
