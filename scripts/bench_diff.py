@@ -12,6 +12,13 @@ regenerated wholesale when the suite changes.
 
 Both plain google-benchmark output and the repo's wrapped baselines
 (top-level "note"/"command"/"context" plus "benchmarks") are accepted.
+
+Runs whose `context.library_build_type` differ are refused outright:
+debug-library timings are not comparable to release-library timings,
+so a mismatch means the baseline must be re-recorded, not diffed
+against. (The field reports how the google-benchmark *library* was
+compiled — Debian's libbenchmark ships without NDEBUG and always says
+"debug" regardless of how this repo is built.)
 """
 
 import argparse
@@ -28,7 +35,8 @@ def load_benchmarks(path):
         if b.get("run_type") == "aggregate":
             continue
         out[b["name"]] = float(b["real_time"])
-    return out
+    build_type = doc.get("context", {}).get("library_build_type")
+    return out, build_type
 
 
 def main():
@@ -39,8 +47,14 @@ def main():
                         help="max tolerated slowdown as a fraction (0.25 = 25%%)")
     args = parser.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    fresh = load_benchmarks(args.fresh)
+    base, base_build = load_benchmarks(args.baseline)
+    fresh, fresh_build = load_benchmarks(args.fresh)
+
+    if base_build != fresh_build:
+        print("bench_diff: refusing to compare across library_build_type: "
+              f"baseline={base_build!r} fresh={fresh_build!r} — "
+              "re-record the baseline instead", file=sys.stderr)
+        return 2
 
     regressions = []
     common = sorted(set(base) & set(fresh))

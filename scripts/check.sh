@@ -3,9 +3,11 @@
 # a ThreadSanitizer pass (data races — including the chaos harness) and
 # an ASan+UBSan pass (memory errors / undefined behavior), a standalone
 # UBSan pass (UB without ASan interposition), a crash-recovery chaos pass
-# (randomized kill points) under ASan, and a deterministic fuzz smoke over
-# the serde decoders.
-# Usage: scripts/check.sh [release|tsan|asan|ubsan|chaos|recovery|bench|fuzz|all]
+# (randomized kill points) under ASan, a replicated-node kill/promotion
+# chaos pass under ASan, and a deterministic fuzz smoke over the serde
+# decoders.
+# Usage: scripts/check.sh
+#   [release|tsan|asan|ubsan|chaos|recovery|replication|bench|fuzz|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,7 +16,8 @@ mode="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 san_targets=(runtime_test session_test sws_run_test fault_test chaos_test
-             persistence_test crash_recovery_test governor_test serde_fuzz)
+             persistence_test crash_recovery_test governor_test serde_fuzz
+             replication_test node_chaos_test)
 
 run_release() {
   echo "== Release build + full ctest =="
@@ -68,6 +71,13 @@ run_bench() {
   # fsync timing is at the mercy of the host's storage stack; allow 2x.
   python3 scripts/bench_diff.py BENCH_persistence.json \
     /tmp/bench_persistence.fresh.json --threshold 1.0
+  echo "== Replication benchmarks vs checked-in baseline =="
+  cmake --build --preset release -j "$jobs" --target bench_replication
+  ./build/bench/bench_replication --benchmark_min_time=0.05 \
+    --benchmark_format=json > /tmp/bench_replication.fresh.json
+  # Barrier latency is scheduler-bound on a 1-CPU host; allow 2x.
+  python3 scripts/bench_diff.py BENCH_replication.json \
+    /tmp/bench_replication.fresh.json --threshold 1.0
 }
 
 run_recovery() {
@@ -76,6 +86,15 @@ run_recovery() {
   cmake --build --preset asan -j "$jobs" --target crash_recovery_test \
     persistence_test
   ASAN_OPTIONS="halt_on_error=1" ctest --test-dir build-asan -L recovery \
+    --output-on-failure -j 1
+}
+
+run_replication() {
+  echo "== Replicated-node kill/promotion chaos under ASan =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" --target replication_test \
+    node_chaos_test
+  ASAN_OPTIONS="halt_on_error=1" ctest --test-dir build-asan -L replication \
     --output-on-failure -j 1
 }
 
@@ -94,10 +113,11 @@ case "$mode" in
   ubsan) run_ubsan ;;
   chaos) run_chaos ;;
   recovery) run_recovery ;;
+  replication) run_replication ;;
   bench) run_bench ;;
   fuzz) run_fuzz ;;
   all) run_release; run_tsan; run_asan; run_ubsan ;;
-  *) echo "usage: $0 [release|tsan|asan|ubsan|chaos|recovery|bench|fuzz|all]" >&2
+  *) echo "usage: $0 [release|tsan|asan|ubsan|chaos|recovery|replication|bench|fuzz|all]" >&2
      exit 2 ;;
 esac
 echo "== check.sh ($mode): OK =="

@@ -259,12 +259,16 @@ core::Status ShardDurability::WriteShardSnapshot(
   status = ListDurableFiles(options_.dir, &files);
   if (!status.ok()) return status;
   const uint64_t live_segment_n = segment_n_ - 1;  // the one just opened
+  // Segments at or past the replication pin survive the GC even though
+  // the snapshot subsumes them: a replication cursor still references
+  // them as its retransmit source (see PinSegmentsFrom).
+  const uint64_t pin = gc_pin_.load(std::memory_order_relaxed);
   for (const DurableFile& f : files) {
     if (f.incarnation != header_.incarnation || f.shard != header_.shard) {
       continue;
     }
     const bool stale =
-        f.is_snapshot ? f.n < snap_n : f.n < live_segment_n;
+        f.is_snapshot ? f.n < snap_n : f.n < live_segment_n && f.n < pin;
     if (stale) ::unlink((options_.dir + "/" + f.name).c_str());
   }
   return core::Status::Ok();

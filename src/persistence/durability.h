@@ -1,6 +1,7 @@
 #ifndef SWS_PERSISTENCE_DURABILITY_H_
 #define SWS_PERSISTENCE_DURABILITY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -131,6 +132,29 @@ class ShardDurability {
   /// snapshots (safe: the new snapshot subsumes them).
   core::Status WriteShardSnapshot(std::vector<SessionImage> sessions);
 
+  /// Replication GC pin. A snapshot normally subsumes this shard's older
+  /// segments, but a replication cursor may still be shipping records out
+  /// of them — reclaiming such a segment would strand a lagging follower
+  /// with no retransmit source. WriteShardSnapshot therefore never
+  /// unlinks a journal segment with counter >= `segment_n`; pass
+  /// kNoSegmentPin (the default) to release the pin. Snapshot files are
+  /// never pinned (followers receive records, not snapshots). Thread-safe
+  /// (an atomic): the replicator publishes, the drain-role holder reads.
+  static constexpr uint64_t kNoSegmentPin = ~uint64_t{0};
+  void PinSegmentsFrom(uint64_t segment_n) {
+    gc_pin_.store(segment_n, std::memory_order_relaxed);
+  }
+  uint64_t segment_pin() const {
+    return gc_pin_.load(std::memory_order_relaxed);
+  }
+
+  /// Counter of the currently open segment — the one the last persisted
+  /// append landed in (the next segment to open, if none is). The
+  /// replication cursor stamps this into each shipment.
+  uint64_t current_segment_n() const {
+    return writer_ ? segment_n_ - 1 : segment_n_;
+  }
+
   uint64_t appends() const { return appends_; }
   uint64_t snapshots_written() const { return snapshots_written_; }
   /// Failed fsyncs (appends, ack barriers, rotation flushes). Each one
@@ -157,6 +181,7 @@ class ShardDurability {
   uint32_t unsynced_inputs_ = 0;
   uint64_t snapshots_written_ = 0;
   uint64_t sync_failures_ = 0;
+  std::atomic<uint64_t> gc_pin_{kNoSegmentPin};
 };
 
 }  // namespace sws::persistence

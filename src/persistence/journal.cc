@@ -123,6 +123,27 @@ const char* FsyncPolicyName(FsyncPolicy policy) {
   return "unknown";
 }
 
+std::string EncodeRecordFrame(const JournalRecord& record) {
+  const std::string payload = EncodeRecordPayload(record);
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  std::string bytes = frame.Take();
+  bytes += payload;
+  return bytes;
+}
+
+bool DecodeRecordFrame(std::string_view frame, JournalRecord* out) {
+  if (frame.size() < 8) return false;
+  ByteReader header(frame.substr(0, 8));
+  const uint32_t len = header.GetU32();
+  const uint32_t crc = header.GetU32();
+  if (len > kMaxRecordBytes || frame.size() - 8 != len) return false;
+  std::string_view payload = frame.substr(8);
+  if (Crc32(payload) != crc) return false;
+  return DecodeRecordPayload(payload, out);
+}
+
 void EncodeSegmentHeader(const SegmentHeader& header, const char magic[8],
                          std::string* out) {
   out->append(magic, 8);
@@ -164,12 +185,7 @@ core::Status JournalWriter::Append(const JournalRecord& record) {
                                "journal segment is poisoned: " + path_);
   }
   SWS_CHECK(fd_ >= 0) << "append to unopened journal segment " << path_;
-  const std::string payload = EncodeRecordPayload(record);
-  ByteWriter frame;
-  frame.PutU32(static_cast<uint32_t>(payload.size()));
-  frame.PutU32(Crc32(payload));
-  std::string bytes = frame.Take();
-  bytes += payload;
+  const std::string bytes = EncodeRecordFrame(record);
 
   // Injected torn write: deliberately leave a partial frame on disk —
   // exactly what a crash in mid-append leaves behind — and poison the

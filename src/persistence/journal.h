@@ -133,6 +133,17 @@ core::Status TruncateTornTail(const std::string& path, uint64_t valid_bytes);
 void EncodeSegmentHeader(const SegmentHeader& header, const char magic[8],
                          std::string* out);
 
+/// Encodes `record` as one CRC32-framed journal frame —
+/// [u32 len][u32 crc][payload], the exact bytes JournalWriter appends.
+/// This framed unit is also what the replication transport ships, so a
+/// follower persists byte-identical records to the primary's segment.
+std::string EncodeRecordFrame(const JournalRecord& record);
+
+/// Decodes one frame produced by EncodeRecordFrame. Returns false on a
+/// short, oversized, CRC-mismatching or malformed frame (a corrupted
+/// shipment — the receiver drops it and waits for the retransmit).
+bool DecodeRecordFrame(std::string_view frame, JournalRecord* out);
+
 }  // namespace sws::persistence
 
 #endif  // SWS_PERSISTENCE_JOURNAL_H_

@@ -1,0 +1,175 @@
+#include "replication/follower.h"
+
+#include <utility>
+
+#include "persistence/journal.h"
+
+namespace sws::replication {
+
+FollowerApplier::FollowerApplier(std::string node_id, Options options,
+                                 ReplicationTransport* transport,
+                                 uint64_t incarnation,
+                                 core::FaultInjector* injector)
+    : node_id_(std::move(node_id)),
+      options_(std::move(options)),
+      transport_(transport),
+      incarnation_(incarnation),
+      injector_(injector) {}
+
+FollowerApplier::SourceLink& FollowerApplier::LinkFor(
+    const std::string& source, std::chrono::steady_clock::time_point now) {
+  SourceLink& link = sources_[source];
+  if (link.replica_shard == 0) {
+    link.replica_shard = kReplicaShardBase + next_ordinal_++;
+  }
+  link.last_heard = now;
+  link.suspected = false;
+  return link;
+}
+
+bool FollowerApplier::DrainPendingLocked(SourceLink* link) {
+  bool advanced = false;
+  while (!link->pending.empty()) {
+    auto it = link->pending.begin();
+    if (it->first <= link->applied_seq) {
+      // Subsumed by a fast-forward while buffered.
+      link->pending.erase(it);
+      continue;
+    }
+    if (it->first != link->applied_seq + 1) break;  // gap: wait for retransmit
+    const Shipment& shipment = it->second;
+    persistence::JournalRecord record;
+    if (!persistence::DecodeRecordFrame(shipment.frame, &record)) {
+      // Corrupt in flight; drop it — the retransmit carries a clean copy.
+      ++rejected_;
+      link->pending.erase(it);
+      break;
+    }
+    if (!link->durability) {
+      persistence::DurabilityOptions durability_options;
+      durability_options.dir = options_.dir;
+      durability_options.fsync = options_.fsync;
+      durability_options.segment_bytes = options_.segment_bytes;
+      // The applier never snapshots: consolidation happens in recovery
+      // (promotion / restart), which subsumes replica journals there.
+      durability_options.snapshot_interval_appends = ~uint64_t{0};
+      persistence::SegmentHeader header;
+      header.incarnation = incarnation_;
+      header.shard = link->replica_shard;
+      header.service_fingerprint = options_.service_fingerprint;
+      link->durability = std::make_unique<persistence::ShardDurability>(
+          durability_options, header, /*first_segment_n=*/0, injector_);
+    }
+    persistence::AppendResult result;
+    switch (record.type) {
+      case persistence::JournalRecord::Type::kInput:
+        result = link->durability->AppendInput(record);
+        break;
+      case persistence::JournalRecord::Type::kOutcome:
+        result = link->durability->AppendOutcomeAndAck(record);
+        break;
+      case persistence::JournalRecord::Type::kDiscard:
+        result = link->durability->AppendDiscard(record);
+        break;
+    }
+    if (!result.persisted) {
+      // Local storage trouble (torn write / dead disk). Keep the
+      // shipment buffered and stop: the next arrival (or retransmit)
+      // retries, by which time the poisoned segment has rotated away.
+      ++rejected_;
+      break;
+    }
+    link->applied_seq = it->first;
+    link->pending.erase(it);
+    ++applied_;
+    advanced = true;
+  }
+  return advanced;
+}
+
+void FollowerApplier::OnShipment(const Shipment& shipment) {
+  uint64_t ack = 0;
+  {
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    SourceLink& link = LinkFor(shipment.source, now);
+    if (shipment.source_incarnation < link.source_incarnation) return;  // stale life
+    if (shipment.source_incarnation > link.source_incarnation) {
+      // The source restarted: its links renumber from 1. Everything the
+      // old life shipped and we acked is durable here; the new life's
+      // first_unacked says where its stream begins.
+      link.source_incarnation = shipment.source_incarnation;
+      link.pending.clear();
+      link.applied_seq = shipment.first_unacked - 1;
+    }
+    // Fast-forward: seqs below first_unacked were cumulatively acked —
+    // by this node in a previous life if not this one — so they are in
+    // the local journal already. Without this a restarted follower
+    // would wait forever for records the primary no longer retains.
+    if (shipment.first_unacked > 0 &&
+        link.applied_seq < shipment.first_unacked - 1) {
+      link.applied_seq = shipment.first_unacked - 1;
+    }
+    if (shipment.link_seq <= link.applied_seq) {
+      ++duplicates_;  // retransmit of something already applied: re-ack
+    } else {
+      link.pending.emplace(shipment.link_seq, shipment);
+      DrainPendingLocked(&link);
+    }
+    ack = link.applied_seq;
+  }
+  // Ack outside mu_ (transport takes its own lock). Cumulative, so
+  // acking after every shipment — duplicates included — is harmless
+  // and re-seeds a primary whose acks were dropped in flight.
+  transport_->SendAck(node_id_, shipment.source, shipment.source_incarnation,
+                      ack);
+}
+
+void FollowerApplier::ExpectPeers(const std::vector<std::string>& peers) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& peer : peers) {
+    if (peer == node_id_) continue;
+    if (sources_.find(peer) == sources_.end()) LinkFor(peer, now);
+  }
+}
+
+void FollowerApplier::OnHeartbeat(const std::string& from,
+                                  uint64_t incarnation) {
+  (void)incarnation;  // liveness only; stream resets ride on shipments
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkFor(from, now);
+}
+
+std::vector<std::string> FollowerApplier::SuspectPeers(
+    std::chrono::steady_clock::time_point now,
+    std::chrono::nanoseconds timeout) {
+  std::vector<std::string> suspects;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [source, link] : sources_) {
+    if (link.suspected) continue;
+    if (now - link.last_heard >= timeout) {
+      link.suspected = true;  // once per silence episode
+      suspects.push_back(source);
+    }
+  }
+  return suspects;
+}
+
+uint64_t FollowerApplier::applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_;
+}
+
+uint64_t FollowerApplier::duplicates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicates_;
+}
+
+uint64_t FollowerApplier::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace sws::replication

@@ -1,0 +1,116 @@
+#ifndef SWS_REPLICATION_FOLLOWER_H_
+#define SWS_REPLICATION_FOLLOWER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "persistence/durability.h"
+#include "replication/transport.h"
+#include "runtime/replication_hooks.h"
+
+namespace sws::replication {
+
+/// Shard index space for replica journals: records received from the
+/// k-th distinct source this applier life are journaled under shard
+/// kReplicaShardBase + k in the node's own durable dir. Disjoint from
+/// the runtime's own shard indices (and from kRecoveryShard), so a
+/// node's primary journal and its replica journals coexist in one dir
+/// and RecoveryManager consolidates both — which is exactly what
+/// promotion is: recover the dir, replica records included.
+inline constexpr uint64_t kReplicaShardBase = 1ull << 40;
+
+/// Follower-side replication: receives shipped journal records, applies
+/// them in link order through the node's own journal writers (fsync
+/// before ack — "acknowledged ⇒ durable" holds across the wire), and
+/// acks cumulatively. Also the node's liveness monitor
+/// (rt::FailoverMonitor): any source gone silent past the failover
+/// timeout is reported once per silence episode.
+///
+/// Out-of-order shipments buffer until the gap fills (retransmission
+/// guarantees it does); duplicates re-ack. A shipment whose
+/// first_unacked is ahead of the local cursor fast-forwards it — those
+/// records were acknowledged by a previous life of this node and are
+/// already in its journal (see Shipment::first_unacked).
+///
+/// Thread-safety: OnShipment/OnHeartbeat run on the transport delivery
+/// thread; SuspectPeers on the runtime watchdog thread; one mutex guards
+/// everything. The ShardDurability writers are created lazily per source
+/// under the mutex, so the "drain-role holder only" contract those
+/// writers assume maps here to "delivery thread under mu_".
+class FollowerApplier : public rt::FailoverMonitor {
+ public:
+  struct Options {
+    /// The node's own durable dir (shared with its runtime).
+    std::string dir;
+    persistence::FsyncPolicy fsync = persistence::FsyncPolicy::kAlways;
+    uint64_t segment_bytes = 4ull << 20;
+    uint64_t service_fingerprint = 0;
+  };
+
+  /// `incarnation` is the node's current journal incarnation (replica
+  /// segments are stamped with it, like the runtime's own segments).
+  FollowerApplier(std::string node_id, Options options,
+                  ReplicationTransport* transport, uint64_t incarnation,
+                  core::FaultInjector* injector);
+
+  void OnShipment(const Shipment& shipment);
+  void OnHeartbeat(const std::string& from, uint64_t incarnation);
+
+  /// Registers peers the monitor should expect to hear from, starting
+  /// the silence clock now. Without this a peer that dies (or is
+  /// starved off the CPU) before its first heartbeat lands is never
+  /// suspectable — silence is only measurable against a baseline. The
+  /// node calls this at startup with its group when failover is armed;
+  /// peers already heard from are left untouched.
+  void ExpectPeers(const std::vector<std::string>& peers);
+
+  // rt::FailoverMonitor
+  std::vector<std::string> SuspectPeers(
+      std::chrono::steady_clock::time_point now,
+      std::chrono::nanoseconds timeout) override;
+
+  // Telemetry.
+  uint64_t applied() const;
+  uint64_t duplicates() const;
+  uint64_t rejected() const;  // corrupt frames / failed appends dropped
+
+ private:
+  struct SourceLink {
+    uint64_t source_incarnation = 0;
+    /// Cumulative: every link_seq <= applied_seq is durably journaled.
+    uint64_t applied_seq = 0;
+    std::map<uint64_t, Shipment> pending;  // out-of-order buffer
+    std::unique_ptr<persistence::ShardDurability> durability;
+    uint64_t replica_shard = 0;
+    std::chrono::steady_clock::time_point last_heard{};
+    bool suspected = false;
+  };
+
+  SourceLink& LinkFor(const std::string& source,
+                      std::chrono::steady_clock::time_point now);
+  /// Applies pending shipments in order until a gap or a failure;
+  /// returns true if applied_seq advanced.
+  bool DrainPendingLocked(SourceLink* link);
+
+  const std::string node_id_;
+  const Options options_;
+  ReplicationTransport* const transport_;
+  const uint64_t incarnation_;
+  core::FaultInjector* const injector_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, SourceLink> sources_;
+  uint64_t next_ordinal_ = 0;
+  uint64_t applied_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace sws::replication
+
+#endif  // SWS_REPLICATION_FOLLOWER_H_

@@ -1,0 +1,328 @@
+#include "replication/node.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "persistence/durability.h"
+#include "persistence/journal.h"
+#include "persistence/serde.h"
+#include "persistence/snapshot.h"
+
+namespace sws::replication {
+
+ReplicatedNode::ReplicatedNode(NodeOptions options, const core::Sws* sws,
+                               rel::Database initial_db, ReplicaGroup* group,
+                               InProcessTransport* transport)
+    : options_(std::move(options)),
+      sws_(sws),
+      initial_db_(std::move(initial_db)),
+      group_(group),
+      transport_(transport) {}
+
+ReplicatedNode::~ReplicatedNode() { Stop(); }
+
+core::Status ReplicatedNode::Start() {
+  if (running_) return core::Status::Ok();
+  return StartLife();
+}
+
+core::Status ReplicatedNode::StartLife() {
+  core::Status status = persistence::EnsureDir(options_.dir);
+  if (!status.ok()) return status;
+  // Every life gets a fresh injector: a previous life's injected storage
+  // death (KillStorageAfter) must not follow the node into its restart.
+  injector_ = std::make_unique<core::FaultInjector>(options_.faults);
+
+  // The incarnation this life will journal under. The runtime
+  // constructor's recovery recomputes the same value (nothing is written
+  // to the dir in between), so the replica journals the applier writes
+  // carry the same stamp as the runtime's own segments.
+  uint64_t incarnation = 1;
+  status = persistence::NextIncarnation(options_.dir, &incarnation);
+  if (!status.ok()) return status;
+
+  // Capture the un-consolidated journal tail of the sessions this node
+  // owns *before* the runtime constructor runs: its recovery writes a
+  // consolidated snapshot and deletes the segments. A crash wiped the
+  // previous life's retransmit buffers, so anything in these segments
+  // the followers never acked exists here alone until re-shipped.
+  std::vector<TailRecord> tail;
+  if (options_.replication.replicas > 0) CollectOwnedTail(&tail);
+
+  FollowerApplier::Options applier_options;
+  applier_options.dir = options_.dir;
+  applier_options.fsync = persistence::FsyncPolicy::kAlways;
+  applier_options.segment_bytes = options_.runtime.durability.segment_bytes;
+  applier_options.service_fingerprint = persistence::SwsFingerprint(*sws_);
+  applier_ = std::make_unique<FollowerApplier>(
+      options_.id, applier_options, transport_, incarnation, injector_.get());
+  if (options_.failover_timeout.count() > 0) {
+    // Arm the silence clock for every peer now: a peer that dies before
+    // its first heartbeat lands must still become suspect.
+    applier_->ExpectPeers(group_->nodes());
+  }
+  replicator_ = std::make_unique<Replicator>(options_.id, group_,
+                                             options_.replication, transport_,
+                                             incarnation);
+
+  rt::RuntimeOptions runtime_options = options_.runtime;
+  runtime_options.durability.dir = options_.dir;
+  runtime_options.run_options.fault_injector = injector_.get();
+  runtime_options.replication.client =
+      options_.replication.replicas > 0 ? replicator_.get() : nullptr;
+  runtime_options.replication.monitor = applier_.get();
+  runtime_options.replication.failover_timeout = options_.failover_timeout;
+  runtime_options.replication.promotions = promotions_;
+  if (options_.on_peer_suspected) {
+    const std::string node_id = options_.id;
+    auto callback = options_.on_peer_suspected;
+    runtime_options.replication.on_peer_suspected =
+        [node_id, callback](const std::string& peer) {
+          callback(node_id, peer);
+        };
+  }
+
+  // The constructor recovers the dir: own journal *and* replica
+  // journals consolidate into one snapshot, sessions install warm.
+  runtime_ = std::make_unique<rt::ServiceRuntime>(sws_, initial_db_,
+                                                  runtime_options);
+  if (!runtime_->init_status().ok()) {
+    status = runtime_->init_status();
+    runtime_.reset();
+    replicator_.reset();
+    applier_.reset();
+    return status;
+  }
+  if (runtime_->recovery() != nullptr) {
+    incarnation_ = runtime_->recovery()->next_incarnation;
+    // Ownership-gated re-emission (DESIGN.md §11): deliver only the
+    // unacknowledged outcomes of sessions this node currently serves. A
+    // deposed primary replays the rest for state but stays silent —
+    // their heir already delivered (or will).
+    replayed_.clear();
+    for (const persistence::ReplayedOutcome& outcome :
+         runtime_->recovery()->replayed) {
+      if (group_->PrimaryOf(outcome.session_id) == options_.id) {
+        replayed_.push_back(outcome);
+      }
+    }
+  } else {
+    incarnation_ = incarnation;
+    replayed_.clear();
+  }
+
+  transport_->Rejoin(options_.id);
+  transport_->Bind(options_.id, this);
+  // With the binding up (acks can flow back), converge the followers:
+  // re-ship the pre-consolidation tail, then gate each replayed
+  // outcome's re-emission on the follower ack barrier. FIFO links order
+  // the barrier record after the tail, so a follower's ack of the
+  // outcome implies the whole prefix is durable there.
+  if (options_.replication.replicas > 0) ReplicateRecoveredState(tail);
+  running_ = true;
+  return core::Status::Ok();
+}
+
+void ReplicatedNode::CollectOwnedTail(std::vector<TailRecord>* tail) const {
+  std::vector<persistence::DurableFile> files;
+  if (!persistence::ListDurableFiles(options_.dir, &files).ok()) return;
+  // Segment order within a shard (incarnation, then n) is append order;
+  // the final per-session sort below interleaves shards correctly.
+  std::stable_sort(files.begin(), files.end(),
+                   [](const persistence::DurableFile& a,
+                      const persistence::DurableFile& b) {
+                     return std::tie(a.shard, a.incarnation, a.n) <
+                            std::tie(b.shard, b.incarnation, b.n);
+                   });
+  // Uncommitted inputs that were consolidated into a snapshot by a
+  // previous life no longer exist as journal records, but a follower
+  // that missed their original shipment still needs them — a replayed
+  // outcome's ack is only as good as the input prefix shipped before it.
+  // SessionImage::pending holds those messages verbatim (recovery
+  // replays from them), so input records synthesized here are exact.
+  std::map<std::string, persistence::SessionImage> snapshot_images;
+  for (const persistence::DurableFile& file : files) {
+    const std::string path = options_.dir + "/" + file.name;
+    if (file.is_snapshot) {
+      persistence::SnapshotData snap;
+      if (!persistence::ReadSnapshot(path, nullptr, &snap).ok()) continue;
+      for (persistence::SessionImage& image : snap.sessions) {
+        if (group_->PrimaryOf(image.session_id) != options_.id) continue;
+        auto [it, inserted] =
+            snapshot_images.try_emplace(image.session_id, std::move(image));
+        if (!inserted && image.next_seq > it->second.next_seq) {
+          it->second = std::move(image);  // recovery's merge rule
+        }
+      }
+      continue;
+    }
+    persistence::SegmentContents contents;
+    if (!persistence::ReadSegment(path, nullptr, &contents).ok()) {
+      continue;  // unreadable segment: recovery decides its fate, not us
+    }
+    for (persistence::JournalRecord& record : contents.records) {
+      if (group_->PrimaryOf(record.session_id) != options_.id) continue;
+      tail->push_back({std::move(record), file.shard, file.n});
+    }
+  }
+  for (const auto& [session_id, image] : snapshot_images) {
+    const size_t count = image.pending.size();
+    for (size_t j = 1; j <= count; ++j) {
+      persistence::JournalRecord record;
+      record.type = persistence::JournalRecord::Type::kInput;
+      record.session_id = session_id;
+      // pending holds the messages at seqs [next_seq - n, next_seq).
+      record.seq = image.next_seq - count + (j - 1);
+      record.payload = image.pending.Message(j);
+      // priority/deadline stay at defaults: they steer live admission,
+      // never replay. A segment copy of the same seq may coexist;
+      // follower recovery keeps the first and counts a duplicate.
+      tail->push_back({std::move(record), /*shard=*/0, /*segment_n=*/0});
+    }
+  }
+  // Ship in per-session seq order so a follower applies without gaps.
+  // The same record may appear twice (own journal and a replica journal
+  // both hold it); follower recovery dedups by seq.
+  std::stable_sort(tail->begin(), tail->end(),
+                   [](const TailRecord& a, const TailRecord& b) {
+                     return std::tie(a.record.session_id, a.record.seq) <
+                            std::tie(b.record.session_id, b.record.seq);
+                   });
+}
+
+void ReplicatedNode::ReplicateRecoveredState(
+    const std::vector<TailRecord>& tail) {
+  for (const TailRecord& entry : tail) {
+    // Fire-and-forget: the links buffer and retransmit until acked.
+    // Client-acked outcomes in the tail are already quorum-durable
+    // (that is what their barrier proved); everything else has an
+    // ambiguous client, so durability convergence is all that is owed.
+    replicator_->ShipRecord(entry.record, entry.shard, entry.segment_n);
+  }
+  // Replayed outcomes were recomputed — no outcome record exists on any
+  // disk. Re-emitting one without quorum durability would let a later
+  // heir (which cannot see it) re-run the session and deliver again, so
+  // each re-emission pays the same ack barrier as a live commit first.
+  // A failed barrier withholds the re-emission: legal, because a crash
+  // fails every in-flight callback, leaving those clients ambiguous.
+  std::vector<persistence::ReplayedOutcome> deliverable;
+  deliverable.reserve(replayed_.size());
+  suppressed_reemissions_ = 0;
+  for (persistence::ReplayedOutcome& outcome : replayed_) {
+    persistence::JournalRecord record;
+    record.type = persistence::JournalRecord::Type::kOutcome;
+    record.session_id = outcome.session_id;
+    record.seq = outcome.seq;
+    record.status_code = static_cast<uint8_t>(outcome.status.code());
+    if (outcome.status.ok()) record.payload = outcome.output;
+    // The record belongs to no local segment (it was recomputed, not
+    // read), so pin it to segment 0: MinUnackedSegment only ever
+    // over-retains, and the pin clears with the ack.
+    if (replicator_->ShipOutcomeAndWait(record, /*shard=*/0, /*segment_n=*/0)
+            .ok()) {
+      deliverable.push_back(std::move(outcome));
+    } else {
+      ++suppressed_reemissions_;
+    }
+  }
+  replayed_ = std::move(deliverable);
+}
+
+void ReplicatedNode::Teardown(bool crash) {
+  // The runtime references the replicator and applier through its
+  // options; it dies first. (Its Shutdown also joins the watchdog, so
+  // no SuspectPeers poll can touch the applier afterwards.)
+  runtime_.reset();
+  replicator_.reset();
+  applier_.reset();
+  if (!crash) replayed_.clear();
+  running_ = false;
+}
+
+void ReplicatedNode::Kill() {
+  if (!running_) return;
+  // Crash choreography: storage dies first (in-flight appends tear and
+  // nothing more persists), the wire is cut (no deliveries in or out,
+  // Unbind waits out the one in flight), barrier waiters wake with
+  // failure, and only then is the runtime drained and destroyed. What
+  // the callbacks report during the drain is what a client of a crashed
+  // node sees: errors, never acks.
+  injector_->KillStorageAfter(0);
+  transport_->Isolate(options_.id);
+  transport_->Unbind(options_.id);
+  replicator_->Abort();
+  runtime_->Shutdown();
+  Teardown(/*crash=*/true);
+}
+
+void ReplicatedNode::Stop() {
+  if (!running_) return;
+  // Clean shutdown: drain with the wire still up, so outstanding ack
+  // barriers resolve normally before the node leaves.
+  runtime_->Shutdown();
+  transport_->Unbind(options_.id);
+  Teardown(/*crash=*/false);
+}
+
+core::Status ReplicatedNode::Promote(const std::string& dead) {
+  if (!running_) {
+    return core::Status::Error(core::RunError::kShutdown,
+                               "promote: node not running");
+  }
+  // Quiesce this life: finish local work, leave the wire (retransmission
+  // covers the gap), drop the replication stack.
+  runtime_->Shutdown();
+  transport_->Unbind(options_.id);
+  replicator_->Abort();
+  Teardown(/*crash=*/false);
+  // Take ownership *before* the next life recovers, so the re-emission
+  // filter sees the dead node's sessions as ours.
+  group_->Promote(dead, options_.id);
+  ++promotions_;
+  return StartLife();
+}
+
+void ReplicatedNode::OnShipment(const Shipment& shipment) {
+  if (applier_ != nullptr) applier_->OnShipment(shipment);
+}
+
+void ReplicatedNode::OnAck(const std::string& from, uint64_t source_incarnation,
+                           uint64_t acked_link_seq) {
+  if (replicator_ != nullptr) {
+    replicator_->OnAck(from, source_incarnation, acked_link_seq);
+  }
+}
+
+void ReplicatedNode::OnHeartbeat(const std::string& from,
+                                 uint64_t incarnation) {
+  if (applier_ != nullptr) applier_->OnHeartbeat(from, incarnation);
+}
+
+std::string ChoosePromotionCandidate(
+    const std::vector<ReplicatedNode*>& candidates, const core::Sws* sws,
+    const rel::Database& seed_db) {
+  std::string best;
+  uint64_t best_total = 0;
+  for (ReplicatedNode* node : candidates) {
+    if (node == nullptr) continue;
+    persistence::RecoveryOptions options;
+    options.verify_replay_outputs = false;  // caught-up-ness only
+    persistence::RecoveryManager manager(node->options().dir, sws, seed_db,
+                                         options, nullptr);
+    persistence::RecoveryResult result = manager.Inspect();
+    uint64_t total = 0;
+    for (const auto& [session_id, image] : result.sessions) {
+      total += image.next_seq;
+    }
+    if (best.empty() || total > best_total ||
+        (total == best_total && node->id() < best)) {
+      best = node->id();
+      best_total = total;
+    }
+  }
+  return best;
+}
+
+}  // namespace sws::replication

@@ -1,0 +1,188 @@
+#ifndef SWS_REPLICATION_NODE_H_
+#define SWS_REPLICATION_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persistence/recovery.h"
+#include "relational/database.h"
+#include "replication/follower.h"
+#include "replication/replica_group.h"
+#include "replication/replicator.h"
+#include "replication/transport.h"
+#include "runtime/runtime.h"
+#include "sws/fault.h"
+#include "sws/sws.h"
+
+namespace sws::replication {
+
+struct NodeOptions {
+  std::string id;
+  /// The node's own durable directory (journal + snapshots + replica
+  /// journals all live here; promotion is recovery over this dir).
+  std::string dir;
+  ReplicationOptions replication;
+  /// Base runtime options; the node overrides durability.dir and the
+  /// replication wiring per life. governance.enable_watchdog plus
+  /// failover_timeout > 0 arm the watchdog-driven failover signal.
+  rt::RuntimeOptions runtime;
+  std::chrono::nanoseconds failover_timeout{0};
+  /// Fired from the node's watchdog thread when a peer's replication
+  /// stream goes silent past failover_timeout (once per episode).
+  std::function<void(const std::string& node, const std::string& peer)>
+      on_peer_suspected;
+  /// Per-life storage/run fault options (the transport's faults live on
+  /// the transport's own injector).
+  core::FaultOptions faults;
+};
+
+/// One in-process "node": a restartable ServiceRuntime over its own
+/// durable dir, a Replicator for the sessions it serves, and a
+/// FollowerApplier for the sessions it follows, all joined to the wire
+/// by one transport binding. Every life gets a fresh FaultInjector
+/// (injected storage death does not leak into the next life).
+///
+/// Lifecycle: Start → [Kill | Stop] → Start ... Kill models a crash —
+/// storage dies first (every in-flight append tears), the transport cuts
+/// the node off, barrier waiters are woken with failure, then the
+/// runtime is torn down; nothing is flushed. Promote(dead) re-runs
+/// recovery over the node's own dir — replica journals included — so
+/// the node comes back serving the dead node's sessions with
+/// deterministic state, never double-acking (acknowledged outcomes are
+/// suppressed by replay) and never re-running failed outcomes.
+///
+/// Restart re-replication (DESIGN.md §11): a crash wipes the
+/// replicator's retransmit buffers, so records committed locally but
+/// never acked by followers would otherwise exist on this node alone —
+/// and a *later* promotion would lose them (or re-deliver them: a
+/// follower that never saw the outcome record re-runs the session on
+/// its own promotion and re-emits). Every Start therefore re-ships the
+/// un-consolidated journal tail of the sessions it owns before serving
+/// (followers dedup by seq on recovery), and gates each replayed
+/// outcome's re-emission on the same follower ack barrier as a live
+/// commit: an outcome this node re-delivers is quorum-durable first, so
+/// every future promotion candidate suppresses it. When the barrier
+/// cannot be reached (a peer is down), the re-emission is withheld —
+/// the client saw an error for that outcome, so at-most-once resolution
+/// applies, never a double delivery. FIFO links make the gate
+/// sufficient: a follower's ack of the outcome's link_seq implies every
+/// earlier tail record on that link is applied and durable there.
+///
+/// Not thread-safe: Start/Stop/Kill/Promote are harness calls from one
+/// thread. The endpoint methods (transport thread) only touch the
+/// applier/replicator, whose pointers are stable while bound — Bind
+/// happens after they exist, Unbind (which waits out in-flight
+/// deliveries) before they die.
+class ReplicatedNode : public ReplicationEndpoint {
+ public:
+  ReplicatedNode(NodeOptions options, const core::Sws* sws,
+                 rel::Database initial_db, ReplicaGroup* group,
+                 InProcessTransport* transport);
+  ~ReplicatedNode() override;
+
+  /// Brings up a life: recovery (via the runtime constructor), then
+  /// replication wiring, then the transport binding. Fails if the
+  /// durable dir is unrecoverable.
+  core::Status Start();
+
+  /// Crash. Idempotent; a killed node can Start() again.
+  void Kill();
+
+  /// Clean shutdown (drains admitted work, flushes). Idempotent.
+  void Stop();
+
+  /// Takes over `dead`'s sessions: rebuilds this node's runtime from its
+  /// own dir (replica journals make the state current), registers the
+  /// override in the group, and exposes the ownership-filtered
+  /// unacknowledged outcomes in replayed(). The node must be running.
+  core::Status Promote(const std::string& dead);
+
+  // ReplicationEndpoint (transport delivery thread).
+  void OnShipment(const Shipment& shipment) override;
+  void OnAck(const std::string& from, uint64_t source_incarnation,
+             uint64_t acked_link_seq) override;
+  void OnHeartbeat(const std::string& from, uint64_t incarnation) override;
+
+  bool running() const { return running_; }
+  const std::string& id() const { return options_.id; }
+  const NodeOptions& options() const { return options_; }
+  rt::ServiceRuntime* runtime() { return runtime_.get(); }
+  core::FaultInjector* injector() { return injector_.get(); }
+  FollowerApplier* applier() { return applier_.get(); }
+  Replicator* replicator() { return replicator_.get(); }
+  uint64_t promotions() const { return promotions_; }
+  uint64_t incarnation() const { return incarnation_; }
+  /// Replayed outcomes the last Start()/Promote() withheld because their
+  /// re-emission ack barrier failed (a follower was unreachable). Their
+  /// clients saw errors — withholding is at-most-once, not loss.
+  uint64_t suppressed_reemissions() const { return suppressed_reemissions_; }
+
+  /// Unacknowledged outcomes recomputed by the last Start()/Promote()
+  /// recovery, filtered to sessions this node currently owns
+  /// (group->PrimaryOf == id). A deposed primary restarting replays its
+  /// journal for state but stays silent about sessions promoted away —
+  /// re-emitting them would double-deliver what the heir already
+  /// delivered. See DESIGN.md §11.
+  const std::vector<persistence::ReplayedOutcome>& replayed() const {
+    return replayed_;
+  }
+
+ private:
+  /// One journal record read back off disk before recovery consolidated
+  /// (and deleted) its segment, tagged with the segment identity the
+  /// replicator's pin bookkeeping expects.
+  struct TailRecord {
+    persistence::JournalRecord record;
+    uint64_t shard = 0;
+    uint64_t segment_n = 0;
+  };
+
+  core::Status StartLife();
+  void Teardown(bool crash);
+  /// Reads every journal segment in the dir (own shards and replica
+  /// shards alike) and collects the records of sessions this node
+  /// currently owns, ordered (session, seq). Must run before the runtime
+  /// constructor: its recovery consolidates the dir and deletes the
+  /// segments being read.
+  void CollectOwnedTail(std::vector<TailRecord>* tail) const;
+  /// Re-ships `tail` to this node's followers and runs the re-emission
+  /// ack barrier over replayed_, dropping entries whose barrier fails.
+  /// Requires the transport binding to be up (acks must flow back).
+  void ReplicateRecoveredState(const std::vector<TailRecord>& tail);
+
+  NodeOptions options_;
+  const core::Sws* const sws_;
+  const rel::Database initial_db_;
+  ReplicaGroup* const group_;
+  InProcessTransport* const transport_;
+
+  std::unique_ptr<core::FaultInjector> injector_;
+  std::unique_ptr<FollowerApplier> applier_;
+  std::unique_ptr<Replicator> replicator_;
+  std::unique_ptr<rt::ServiceRuntime> runtime_;
+  std::vector<persistence::ReplayedOutcome> replayed_;
+  uint64_t incarnation_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t suppressed_reemissions_ = 0;
+  bool running_ = false;
+};
+
+/// The promotion rule: among `candidates` (the live followers of the
+/// dead node's sessions), pick the most caught-up — the one whose
+/// durable dir would recover the largest total next_seq over the dead
+/// node's sessions — breaking ties by node id. With ack_quorum ==
+/// replicas every follower is in every acked outcome's quorum, so any
+/// candidate preserves exactly-once; the most-caught-up rule additionally
+/// minimizes re-run work (and is required for exactly-once when the
+/// quorum is smaller — the most-caught-up follower has provably seen
+/// every quorum-acked outcome when it is the only follower).
+std::string ChoosePromotionCandidate(
+    const std::vector<ReplicatedNode*>& candidates, const core::Sws* sws,
+    const rel::Database& seed_db);
+
+}  // namespace sws::replication
+
+#endif  // SWS_REPLICATION_NODE_H_

@@ -1,0 +1,125 @@
+#include "replication/replica_group.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sws/fault.h"  // SplitMix64
+
+namespace sws::replication {
+namespace {
+
+uint64_t HashBytes(const std::string& s) {
+  // FNV-1a folded through SplitMix64 — stable across platforms (no
+  // std::hash, whose value is implementation-defined and would make
+  // placement differ between builds of the same group).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h = (h ^ c) * 0x100000001b3ULL;
+  }
+  return core::SplitMix64(h);
+}
+
+}  // namespace
+
+core::Status ValidateReplicationOptions(const ReplicationOptions& options,
+                                        size_t group_size) {
+  if (options.replicas == 0) return core::Status::Ok();
+  if (group_size == 0) {
+    return core::Status::Error(core::RunError::kQueueRejected,
+        "replication: empty replica group");
+  }
+  if (options.replicas > group_size - 1) {
+    return core::Status::Error(core::RunError::kQueueRejected,
+        "replication: replicas exceeds group size - 1");
+  }
+  if (options.ack_quorum > options.replicas) {
+    return core::Status::Error(core::RunError::kQueueRejected,
+        "replication: ack_quorum exceeds replicas");
+  }
+  if (options.ack_timeout.count() <= 0 ||
+      options.retransmit_interval.count() <= 0) {
+    return core::Status::Error(core::RunError::kQueueRejected,
+        "replication: ack_timeout and retransmit_interval must be positive");
+  }
+  if (options.heartbeat_interval.count() < 0) {
+    return core::Status::Error(core::RunError::kQueueRejected,
+        "replication: heartbeat_interval must be non-negative");
+  }
+  return core::Status::Ok();
+}
+
+ReplicaGroup::ReplicaGroup(std::vector<std::string> nodes,
+                           size_t virtual_tokens)
+    : nodes_(std::move(nodes)) {
+  if (virtual_tokens == 0) virtual_tokens = 1;
+  ring_.reserve(nodes_.size() * virtual_tokens);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const uint64_t base = HashBytes(nodes_[i]);
+    for (size_t t = 0; t < virtual_tokens; ++t) {
+      ring_.emplace_back(
+          core::SplitMix64(base ^ (t * 0x9e3779b97f4a7c15ULL)), i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::string ReplicaGroup::Resolve(const std::string& node) const {
+  // Follow the override chain (heir may itself have been promoted away).
+  // Chains are acyclic by construction — Promote never maps a node onto
+  // one that resolves back to it — but cap the walk defensively.
+  std::string current = node;
+  for (size_t hops = 0; hops <= overrides_.size(); ++hops) {
+    auto it = overrides_.find(current);
+    if (it == overrides_.end()) return current;
+    current = it->second;
+  }
+  return current;
+}
+
+std::string ReplicaGroup::PrimaryOf(const std::string& session_id) const {
+  std::vector<std::string> owners = ReplicasOf(session_id, 0);
+  return owners.empty() ? std::string() : owners.front();
+}
+
+std::vector<std::string> ReplicaGroup::ReplicasOf(
+    const std::string& session_id, size_t replicas) const {
+  std::vector<std::string> out;
+  if (ring_.empty()) return out;
+  const uint64_t point = HashBytes(session_id);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(point, size_t{0}));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unordered_set<std::string> seen;
+  // Walk clockwise collecting distinct *resolved* owners; a dead node's
+  // tokens yield its heir, so its arcs (as primary or follower) fold
+  // onto the heir without disturbing anyone else's placement.
+  for (size_t step = 0; step < ring_.size() && out.size() < replicas + 1;
+       ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    std::string owner = Resolve(nodes_[it->second]);
+    if (seen.insert(owner).second) out.push_back(std::move(owner));
+  }
+  return out;
+}
+
+std::vector<std::string> ReplicaGroup::FollowersOf(
+    const std::string& session_id, size_t replicas) const {
+  std::vector<std::string> owners = ReplicasOf(session_id, replicas);
+  if (!owners.empty()) owners.erase(owners.begin());
+  return owners;
+}
+
+void ReplicaGroup::Promote(const std::string& dead, const std::string& heir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead == heir) return;
+  // Redirect chains that currently end at `dead` straight to `heir`, and
+  // drop any stale mapping *from* `heir` (a previously-demoted node being
+  // promoted back) so the new chain cannot loop.
+  overrides_.erase(heir);
+  for (auto& [from, to] : overrides_) {
+    if (to == dead) to = heir;
+  }
+  overrides_[dead] = heir;
+}
+
+}  // namespace sws::replication

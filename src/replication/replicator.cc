@@ -1,0 +1,224 @@
+#include "replication/replicator.h"
+
+#include <algorithm>
+
+#include "persistence/journal.h"
+
+namespace sws::replication {
+
+Replicator::Replicator(std::string node_id, const ReplicaGroup* group,
+                       ReplicationOptions options,
+                       ReplicationTransport* transport, uint64_t incarnation)
+    : node_id_(std::move(node_id)),
+      group_(group),
+      options_(options),
+      transport_(transport),
+      incarnation_(incarnation),
+      background_([this] { BackgroundLoop(); }) {}
+
+Replicator::~Replicator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    aborted_ = true;
+  }
+  ack_cv_.notify_all();
+  background_.join();
+}
+
+uint64_t Replicator::BufferLocked(const std::string& dest,
+                                  const std::string& frame, uint64_t shard,
+                                  uint64_t segment_n,
+                                  std::vector<Shipment>* to_send) {
+  Link& link = links_[dest];
+  Shipment shipment;
+  shipment.source = node_id_;
+  shipment.dest = dest;
+  shipment.source_incarnation = incarnation_;
+  shipment.link_seq = link.next_link_seq++;
+  shipment.first_unacked = link.acked + 1;
+  shipment.shard = shard;
+  shipment.segment_n = segment_n;
+  shipment.frame = frame;
+  link.unacked.push_back(shipment);
+  link.last_send = std::chrono::steady_clock::now();
+  follower_lag_hwm_ = std::max<uint64_t>(follower_lag_hwm_, link.unacked.size());
+  to_send->push_back(std::move(shipment));
+  return link.next_link_seq - 1;
+}
+
+void Replicator::NoteSegmentLocked(uint64_t shard, uint64_t segment_n) {
+  auto it = last_segment_.find(shard);
+  if (it == last_segment_.end() || it->second != segment_n) {
+    last_segment_[shard] = segment_n;
+    ++segments_shipped_;
+  }
+}
+
+void Replicator::ShipRecord(const persistence::JournalRecord& record,
+                            uint64_t shard, uint64_t segment_n) {
+  const std::vector<std::string> followers =
+      group_->FollowersOf(record.session_id, options_.replicas);
+  if (followers.empty()) return;
+  const std::string frame = persistence::EncodeRecordFrame(record);
+  std::vector<Shipment> to_send;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_) return;
+    NoteSegmentLocked(shard, segment_n);
+    for (const std::string& dest : followers) {
+      if (dest == node_id_) continue;
+      BufferLocked(dest, frame, shard, segment_n, &to_send);
+    }
+  }
+  for (Shipment& s : to_send) transport_->Ship(std::move(s));
+}
+
+core::Status Replicator::ShipOutcomeAndWait(
+    const persistence::JournalRecord& record, uint64_t shard,
+    uint64_t segment_n) {
+  const std::vector<std::string> followers =
+      group_->FollowersOf(record.session_id, options_.replicas);
+  std::vector<std::pair<std::string, uint64_t>> targets;  // dest -> link_seq
+  std::vector<Shipment> to_send;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_) {
+      return core::Status::Error(core::RunError::kShutdown,
+                                 "replicator aborted");
+    }
+    NoteSegmentLocked(shard, segment_n);
+    const std::string frame = persistence::EncodeRecordFrame(record);
+    for (const std::string& dest : followers) {
+      if (dest == node_id_) continue;
+      targets.emplace_back(
+          dest, BufferLocked(dest, frame, shard, segment_n, &to_send));
+    }
+  }
+  for (Shipment& s : to_send) transport_->Ship(std::move(s));
+
+  // The barrier: quorum of the session's followers must cover the
+  // outcome's link position. A group smaller than replicas+1 caps the
+  // quorum at what exists (a 1-node "group" degenerates to local-only).
+  const size_t quorum = std::min(options_.resolved_quorum(), targets.size());
+  if (quorum == 0) return core::Status::Ok();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + options_.ack_timeout;
+  const bool reached = ack_cv_.wait_until(lock, deadline, [&] {
+    if (aborted_) return true;
+    size_t acked = 0;
+    for (const auto& [dest, seq] : targets) {
+      auto it = links_.find(dest);
+      if (it != links_.end() && it->second.acked >= seq) ++acked;
+    }
+    return acked >= quorum;
+  });
+  if (aborted_) {
+    return core::Status::Error(core::RunError::kShutdown,
+                               "replicator aborted");
+  }
+  if (!reached) {
+    return core::Status::Error(core::RunError::kReplicationTimeout,
+                               "follower ack quorum not reached in time");
+  }
+  return core::Status::Ok();
+}
+
+uint64_t Replicator::MinUnackedSegment(uint64_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t min_segment = persistence::ShardDurability::kNoSegmentPin;
+  for (const auto& [dest, link] : links_) {
+    for (const Shipment& s : link.unacked) {
+      if (s.shard == shard) {
+        min_segment = std::min(min_segment, s.segment_n);
+        break;  // unacked is link_seq-ordered; ship order follows journal order per shard
+      }
+    }
+  }
+  return min_segment;
+}
+
+uint64_t Replicator::segments_shipped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_shipped_;
+}
+
+uint64_t Replicator::follower_lag_hwm() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return follower_lag_hwm_;
+}
+
+void Replicator::OnAck(const std::string& from, uint64_t source_incarnation,
+                       uint64_t acked_link_seq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (source_incarnation != incarnation_) return;  // a past life's ack
+    auto it = links_.find(from);
+    if (it == links_.end()) return;
+    Link& link = it->second;
+    if (acked_link_seq <= link.acked) return;  // duplicate / out of order
+    link.acked = acked_link_seq;
+    while (!link.unacked.empty() &&
+           link.unacked.front().link_seq <= link.acked) {
+      link.unacked.pop_front();
+    }
+  }
+  ack_cv_.notify_all();
+}
+
+void Replicator::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+  ack_cv_.notify_all();
+}
+
+void Replicator::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto last_heartbeat = std::chrono::steady_clock::now();
+  while (!stop_) {
+    auto tick = options_.retransmit_interval;
+    if (options_.heartbeat_interval.count() > 0) {
+      tick = std::min(tick, options_.heartbeat_interval);
+    }
+    ack_cv_.wait_for(lock, tick);
+    if (stop_ || aborted_) {
+      if (stop_) return;
+      // Aborted but not destroyed: idle until destruction.
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Shipment> to_send;
+    for (auto& [dest, link] : links_) {
+      if (link.unacked.empty()) continue;
+      if (now - link.last_send < options_.retransmit_interval) continue;
+      link.last_send = now;
+      for (Shipment& s : link.unacked) {
+        // Refresh the resync hint to the current cumulative ack: a
+        // follower that lost its link state fast-forwards past what it
+        // acknowledged in a previous life (those records are in its
+        // journal) instead of deadlocking on seqs we no longer retain.
+        s.first_unacked = link.acked + 1;
+        to_send.push_back(s);
+      }
+    }
+    std::vector<std::string> beat_peers;
+    if (options_.heartbeat_interval.count() > 0 &&
+        now - last_heartbeat >= options_.heartbeat_interval) {
+      last_heartbeat = now;
+      for (const std::string& peer : group_->nodes()) {
+        if (peer != node_id_) beat_peers.push_back(peer);
+      }
+    }
+    lock.unlock();
+    for (Shipment& s : to_send) transport_->Ship(std::move(s));
+    for (const std::string& peer : beat_peers) {
+      transport_->SendHeartbeat(node_id_, peer, incarnation_);
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace sws::replication

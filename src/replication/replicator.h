@@ -1,0 +1,105 @@
+#ifndef SWS_REPLICATION_REPLICATOR_H_
+#define SWS_REPLICATION_REPLICATOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "persistence/durability.h"
+#include "replication/replica_group.h"
+#include "replication/transport.h"
+#include "runtime/replication_hooks.h"
+
+namespace sws::replication {
+
+/// Primary-side replication: ships this node's persisted journal records
+/// to each session's followers over per-destination FIFO links, tracks
+/// cumulative acks, retransmits, and implements the ack barrier the
+/// shard drain path blocks on (rt::ReplicationClient).
+///
+/// Link protocol (DESIGN.md §11): shipments on a (source, dest) link
+/// carry a monotone link_seq starting at 1 per source incarnation;
+/// followers apply in link order and ack cumulatively after persisting.
+/// Acked shipments leave the retransmit buffer; unacked ones are resent
+/// every retransmit_interval with first_unacked refreshed, so a follower
+/// that lost its in-memory link state can re-synchronize (see
+/// Shipment::first_unacked).
+///
+/// Thread-safety: ShipRecord/ShipOutcomeAndWait are called by shard
+/// drain workers, OnAck by the transport delivery thread, Abort by the
+/// node teardown path; one mutex guards the link table. Lock order:
+/// mu_ may be held while calling transport Ship (the transport never
+/// calls back into the replicator while holding its own lock).
+class Replicator : public rt::ReplicationClient {
+ public:
+  Replicator(std::string node_id, const ReplicaGroup* group,
+             ReplicationOptions options, ReplicationTransport* transport,
+             uint64_t incarnation);
+  ~Replicator() override;
+
+  // rt::ReplicationClient
+  void ShipRecord(const persistence::JournalRecord& record, uint64_t shard,
+                  uint64_t segment_n) override;
+  core::Status ShipOutcomeAndWait(const persistence::JournalRecord& record,
+                                  uint64_t shard,
+                                  uint64_t segment_n) override;
+  uint64_t MinUnackedSegment(uint64_t shard) const override;
+  uint64_t segments_shipped() const override;
+  uint64_t follower_lag_hwm() const override;
+
+  /// Transport ack, routed by the node's endpoint. Acks echoing a stale
+  /// incarnation (a past life of this node) are ignored.
+  void OnAck(const std::string& from, uint64_t source_incarnation,
+             uint64_t acked_link_seq);
+
+  /// Node death: wakes every barrier waiter with failure and stops all
+  /// shipping/retransmission permanently. Idempotent.
+  void Abort();
+
+  uint64_t incarnation() const { return incarnation_; }
+
+ private:
+  struct Link {
+    uint64_t next_link_seq = 1;
+    uint64_t acked = 0;  // cumulative: follower applied+persisted <= acked
+    std::deque<Shipment> unacked;  // retransmit buffer, link_seq order
+    std::chrono::steady_clock::time_point last_send{};
+  };
+
+  /// Builds + buffers a shipment of `frame` on `dest`'s link and returns
+  /// its link_seq. Caller holds mu_.
+  uint64_t BufferLocked(const std::string& dest, const std::string& frame,
+                        uint64_t shard, uint64_t segment_n,
+                        std::vector<Shipment>* to_send);
+  void NoteSegmentLocked(uint64_t shard, uint64_t segment_n);
+  void BackgroundLoop();
+
+  const std::string node_id_;
+  const ReplicaGroup* const group_;
+  const ReplicationOptions options_;
+  ReplicationTransport* const transport_;
+  const uint64_t incarnation_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ack_cv_;
+  bool aborted_ = false;
+  bool stop_ = false;
+  std::map<std::string, Link> links_;
+  /// Last journal segment seen per shard (counts segment transitions
+  /// into segments_shipped_).
+  std::map<uint64_t, uint64_t> last_segment_;
+  uint64_t segments_shipped_ = 0;
+  uint64_t follower_lag_hwm_ = 0;
+
+  std::thread background_;
+};
+
+}  // namespace sws::replication
+
+#endif  // SWS_REPLICATION_REPLICATOR_H_

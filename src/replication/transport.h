@@ -1,0 +1,168 @@
+#ifndef SWS_REPLICATION_TRANSPORT_H_
+#define SWS_REPLICATION_TRANSPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sws/fault.h"
+
+namespace sws::replication {
+
+/// One journal record in flight on a (source, dest) link. `frame` is the
+/// exact CRC-framed byte string the primary's JournalWriter appended
+/// (persistence::EncodeRecordFrame) — the follower re-verifies the CRC
+/// on apply, so transport corruption surfaces exactly like torn storage.
+struct Shipment {
+  std::string source;
+  std::string dest;
+  /// The source node's journal incarnation; bumps when the source
+  /// restarts, resetting the link (link_seq restarts at 1).
+  uint64_t source_incarnation = 0;
+  /// 1-based FIFO position on the (source, dest, source_incarnation)
+  /// link. Followers apply in link order and ack cumulatively.
+  uint64_t link_seq = 0;
+  /// Lowest link_seq the source may still retransmit (its cumulative
+  /// ack + 1 at last send). Everything below was acknowledged — i.e.
+  /// durably applied by some follower life — so a follower that lost its
+  /// in-memory link state (restart, promotion) may fast-forward to it.
+  uint64_t first_unacked = 1;
+  /// Where the record sits in the source's journal: shard index and
+  /// segment counter — the replication cursor that pins the segment
+  /// against snapshot GC until acknowledged.
+  uint64_t shard = 0;
+  uint64_t segment_n = 0;
+  std::string frame;
+};
+
+/// A node's receive surface. Methods are invoked from the transport's
+/// delivery thread, one delivery at a time per node; they must not call
+/// back into the transport while blocking (sending acks is fine).
+class ReplicationEndpoint {
+ public:
+  virtual ~ReplicationEndpoint() = default;
+  virtual void OnShipment(const Shipment& shipment) = 0;
+  /// Cumulative: `acked_link_seq` and everything below it is durably
+  /// applied by `from`. `source_incarnation` echoes the shipments being
+  /// acknowledged, so a restarted source ignores its past life's acks.
+  virtual void OnAck(const std::string& from, uint64_t source_incarnation,
+                     uint64_t acked_link_seq) = 0;
+  virtual void OnHeartbeat(const std::string& from, uint64_t incarnation) = 0;
+};
+
+/// The wire between nodes. In-process today (InProcessTransport below);
+/// the interface is socket-shaped — addressed, fire-and-forget, loss and
+/// reordering allowed — so a real network transport can replace it
+/// without touching Replicator/FollowerApplier.
+class ReplicationTransport {
+ public:
+  virtual ~ReplicationTransport() = default;
+  virtual void Bind(const std::string& node, ReplicationEndpoint* endpoint) = 0;
+  /// Blocks until no delivery into `node` is in flight; after return the
+  /// endpoint is never called again (safe to destroy).
+  virtual void Unbind(const std::string& node) = 0;
+  virtual void Ship(Shipment shipment) = 0;
+  virtual void SendAck(const std::string& from, const std::string& to,
+                       uint64_t source_incarnation, uint64_t acked_link_seq) = 0;
+  virtual void SendHeartbeat(const std::string& from, const std::string& to,
+                             uint64_t incarnation) = 0;
+};
+
+/// In-process transport: one delivery thread draining a due-time queue.
+/// Fault injection (drop / duplicate / reorder / delay) reuses the
+/// FaultInjector's per-point deterministic streams — FaultPoint::
+/// kTransport* — so a seed reproduces the same loss/reorder schedule
+/// without perturbing the storage or run fault schedules. Partitions and
+/// isolation are evaluated at send time; a message already in flight to
+/// a node that dies mid-flight is dropped by the unbound check at
+/// delivery (exactly what a crashed receiver does to a packet).
+class InProcessTransport : public ReplicationTransport {
+ public:
+  /// `injector` may be null (no injected faults). Reorder holds a
+  /// message back by 4× the delay penalty; the penalty is
+  /// options().transport_delay, or 200µs when that is zero.
+  explicit InProcessTransport(core::FaultInjector* injector = nullptr);
+  ~InProcessTransport() override;
+
+  void Bind(const std::string& node, ReplicationEndpoint* endpoint) override;
+  void Unbind(const std::string& node) override;
+  void Ship(Shipment shipment) override;
+  void SendAck(const std::string& from, const std::string& to,
+               uint64_t source_incarnation, uint64_t acked_link_seq) override;
+  void SendHeartbeat(const std::string& from, const std::string& to,
+                     uint64_t incarnation) override;
+
+  /// One-way partition: messages src→dst vanish until healed.
+  void Partition(const std::string& src, const std::string& dst);
+  void Heal(const std::string& src, const std::string& dst);
+  /// Both-ways cut from everyone (node death); Rejoin restores.
+  void Isolate(const std::string& node);
+  void Rejoin(const std::string& node);
+  /// Fixed extra latency on one link (follower lag).
+  void SetLinkLag(const std::string& src, const std::string& dst,
+                  std::chrono::microseconds lag);
+
+  // Telemetry.
+  uint64_t delivered() const { return delivered_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t duplicated() const { return duplicated_.load(std::memory_order_relaxed); }
+  uint64_t reordered() const { return reordered_.load(std::memory_order_relaxed); }
+
+ private:
+  enum class Kind : uint8_t { kShipment, kAck, kHeartbeat };
+  struct Event {
+    Kind kind;
+    std::string src;
+    std::string dst;
+    Shipment shipment;            // kShipment
+    uint64_t source_incarnation;  // kAck / kHeartbeat
+    uint64_t acked_link_seq;      // kAck
+    std::chrono::steady_clock::time_point due;
+    uint64_t order;  // tie-break: submission order
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.due != b.due ? a.due > b.due : a.order > b.order;
+    }
+  };
+  /// Per-node delivery slot: its mutex serializes deliveries into the
+  /// endpoint and lets Unbind wait out an in-flight one.
+  struct Slot {
+    std::mutex mu;
+    ReplicationEndpoint* endpoint = nullptr;
+  };
+
+  void Submit(Event event);
+  bool Blocked(const std::string& src, const std::string& dst) const;
+  void DeliveryLoop();
+
+  core::FaultInjector* const injector_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t next_order_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::map<std::string, std::shared_ptr<Slot>> slots_;
+  std::set<std::pair<std::string, std::string>> partitions_;
+  std::set<std::string> isolated_;
+  std::map<std::pair<std::string, std::string>, std::chrono::microseconds>
+      link_lag_;
+  std::atomic<uint64_t> delivered_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> duplicated_{0};
+  std::atomic<uint64_t> reordered_{0};
+  std::thread thread_;
+};
+
+}  // namespace sws::replication
+
+#endif  // SWS_REPLICATION_TRANSPORT_H_

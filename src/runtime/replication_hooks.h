@@ -1,0 +1,93 @@
+#ifndef SWS_RUNTIME_REPLICATION_HOOKS_H_
+#define SWS_RUNTIME_REPLICATION_HOOKS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "persistence/journal.h"
+#include "sws/status.h"
+
+namespace sws::rt {
+
+/// Primary-side replication hooks, implemented by
+/// replication::Replicator and wired through RuntimeOptions. The shard
+/// drain path calls these from the drain-role holder right after the
+/// corresponding durable append, so shipments follow journal order per
+/// shard. A null client is replication off — the hot path's only cost
+/// is that null check (the replicas=0 contract in DESIGN.md §11).
+class ReplicationClient {
+ public:
+  virtual ~ReplicationClient() = default;
+
+  /// Ships one *persisted* input or discard record to the session's
+  /// followers. Non-blocking: followers acknowledge asynchronously and
+  /// the record is retransmitted until they do. `shard` and `segment_n`
+  /// locate the record in the primary's journal — the replication
+  /// cursor, which pins the segment against snapshot GC until every
+  /// follower has acknowledged past it.
+  virtual void ShipRecord(const persistence::JournalRecord& record,
+                          uint64_t shard, uint64_t segment_n) = 0;
+
+  /// The extended ack barrier (DESIGN.md §11): ships the persisted
+  /// outcome record, then blocks until `ack_quorum` of the session's
+  /// followers have durably acknowledged everything up to and including
+  /// it, or `ack_timeout` passes. Ok ⇒ the callback may acknowledge the
+  /// client; kReplicationTimeout ⇒ the ack must be withheld (the outcome
+  /// is durable locally but not provably replicated).
+  virtual core::Status ShipOutcomeAndWait(
+      const persistence::JournalRecord& record, uint64_t shard,
+      uint64_t segment_n) = 0;
+
+  /// Smallest journal segment counter of `shard` that an unacknowledged
+  /// shipment still references (the GC pin the shard installs before
+  /// snapshotting), or persistence::ShardDurability::kNoSegmentPin when
+  /// every shipment of that shard has been acknowledged.
+  virtual uint64_t MinUnackedSegment(uint64_t shard) const = 0;
+
+  // Pulled into StatsSnapshot by ServiceRuntime::Stats().
+  virtual uint64_t segments_shipped() const = 0;
+  virtual uint64_t follower_lag_hwm() const = 0;
+};
+
+/// Follower-side failover signal, implemented by
+/// replication::FollowerApplier and polled by the runtime watchdog: a
+/// peer whose replication stream (records or heartbeats) has gone silent
+/// past the failover timeout is reported once per silence episode, and
+/// the runtime fires RuntimeOptions::replication.on_peer_suspected so
+/// the operator (or a chaos harness) can decide to promote.
+class FailoverMonitor {
+ public:
+  virtual ~FailoverMonitor() = default;
+  virtual std::vector<std::string> SuspectPeers(
+      std::chrono::steady_clock::time_point now,
+      std::chrono::nanoseconds timeout) = 0;
+};
+
+/// Replication wiring carried by RuntimeOptions::replication. All
+/// defaults off: a runtime constructed without touching this struct is
+/// byte-for-byte the unreplicated runtime.
+struct ReplicationRuntimeOptions {
+  /// Primary-side shipping + ack barrier; null = replication off.
+  /// Must outlive the runtime.
+  ReplicationClient* client = nullptr;
+  /// Follower-side silence detection; null = no failover trigger.
+  /// Must outlive the runtime.
+  FailoverMonitor* monitor = nullptr;
+  /// Silence window after which a peer is suspected dead. Requires the
+  /// watchdog (governance.enable_watchdog) and `monitor`; 0 disables.
+  std::chrono::nanoseconds failover_timeout{0};
+  /// Fired from the watchdog thread, once per silence episode per peer.
+  /// Must not block: promotion work belongs on the caller's own thread.
+  std::function<void(const std::string& peer)> on_peer_suspected;
+  /// Completed promotions this node has performed (stamped into
+  /// StatsSnapshot::promotions — the counter survives the runtime
+  /// rebuild a promotion performs, so the node passes it back in).
+  uint64_t promotions = 0;
+};
+
+}  // namespace sws::rt
+
+#endif  // SWS_RUNTIME_REPLICATION_HOOKS_H_

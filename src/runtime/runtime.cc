@@ -86,6 +86,21 @@ core::Status ValidateRuntimeOptions(const RuntimeOptions& options) {
   if (gov.recovery_fraction <= 0.0 || gov.recovery_fraction > 1.0) {
     return invalid("governance.recovery_fraction must be in (0, 1]");
   }
+  const ReplicationRuntimeOptions& repl = options.replication;
+  if (repl.client != nullptr && !options.durability.enabled()) {
+    return invalid(
+        "replication.client requires durability (the replicated unit is "
+        "the journal record; there is nothing to ship without a journal)");
+  }
+  if (repl.failover_timeout.count() < 0) {
+    return invalid("replication.failover_timeout must be >= 0 (0 = off)");
+  }
+  if (repl.failover_timeout.count() > 0 &&
+      (repl.monitor == nullptr || !gov.enable_watchdog)) {
+    return invalid(
+        "replication.failover_timeout requires a monitor and the watchdog "
+        "(governance.enable_watchdog) — the watchdog thread polls it");
+  }
   return Status::Ok();
 }
 
@@ -112,6 +127,7 @@ ServiceRuntime::ServiceRuntime(const core::Sws* sws, rel::Database initial_db,
     shard_config_.root_governor = &root_governor_;
     shard_config_.pressure_level = &pressure_level_;
   }
+  shard_config_.replication = options_.replication.client;
 
   // Durable startup: recover the directory (replaying any previous
   // incarnation's journal) *before* any shard exists, then hand each
@@ -375,6 +391,19 @@ void ServiceRuntime::WatchdogLoop() {
         stats_.OnWatchdogCancel();
       }
     }
+    // Failover trigger: a peer whose replication stream has gone silent
+    // past the failover timeout is reported (once per silence episode by
+    // the monitor's contract) so the node above can decide to promote.
+    // Detection only — promotion itself tears this runtime down and
+    // recovers the follower journal, which cannot happen on this thread.
+    const ReplicationRuntimeOptions& repl = options_.replication;
+    if (repl.monitor != nullptr && repl.failover_timeout.count() > 0 &&
+        repl.on_peer_suspected) {
+      for (const std::string& peer :
+           repl.monitor->SuspectPeers(now, repl.failover_timeout)) {
+        repl.on_peer_suspected(peer);
+      }
+    }
     // Memory-pressure ladder: one step per tick, up at ≥ threshold, down
     // at ≤ recovery_fraction × threshold (hysteresis in between).
     if (gov.memory_pressure_bytes > 0) {
@@ -404,9 +433,18 @@ StatsSnapshot ServiceRuntime::Stats() const {
     std::lock_guard<std::mutex> lock(admission_mu_);
     depth = pending_;
   }
-  return stats_.Snapshot(
+  StatsSnapshot snap = stats_.Snapshot(
       depth, static_cast<uint64_t>(
                  pressure_level_.load(std::memory_order_relaxed)));
+  // Replication-layer gauges live outside RuntimeStats: the promotion
+  // counter survives the runtime rebuild a promotion performs, and the
+  // shipping counters are owned by the replicator.
+  snap.promotions = options_.replication.promotions;
+  if (const ReplicationClient* client = options_.replication.client) {
+    snap.segments_shipped = client->segments_shipped();
+    snap.follower_lag_hwm = client->follower_lag_hwm();
+  }
+  return snap;
 }
 
 size_t ServiceRuntime::ShardOf(const std::string& session_id) const {

@@ -16,6 +16,7 @@
 #include "persistence/recovery.h"
 #include "relational/database.h"
 #include "runtime/circuit_breaker.h"
+#include "runtime/replication_hooks.h"
 #include "runtime/runtime_stats.h"
 #include "runtime/session_shard.h"
 #include "runtime/thread_pool.h"
@@ -108,6 +109,12 @@ struct RuntimeOptions {
     std::function<uint64_t()> pressure_probe;
   };
   GovernanceOptions governance;
+  /// Cross-node replication wiring (DESIGN.md §11): the primary-side
+  /// shipper + quorum ack barrier, the follower-side silence monitor the
+  /// watchdog polls for failover, and the promotion counter. All-default
+  /// = replication off; `client` requires durability (the shipped unit
+  /// is the journal record) and `failover_timeout` requires the watchdog.
+  ReplicationRuntimeOptions replication;
   /// Test/bench instrumentation; see SessionShard::Config.
   std::function<void(const std::string& session_id)> before_process_hook;
 };

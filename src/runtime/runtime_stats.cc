@@ -70,6 +70,11 @@ std::string StatsSnapshot::ToString() const {
       << " memo_evictions=" << memo_evictions
       << " index_evictions=" << index_evictions
       << " tracked_bytes_hwm=" << tracked_bytes_hwm
+      << " replication_acks=" << replication_acks
+      << " replication_timeouts=" << replication_timeouts
+      << " promotions=" << promotions
+      << " segments_shipped=" << segments_shipped
+      << " follower_lag_hwm=" << follower_lag_hwm
       << " pressure_level=" << pressure_level
       << " queue_depth=" << queue_depth << " runs=" << total_runs()
       << " p50_us<=" << ApproxLatencyMicros(0.5)
@@ -147,6 +152,11 @@ std::string StatsSnapshot::ToJson() const {
       {"memo_evictions", memo_evictions},
       {"index_evictions", index_evictions},
       {"tracked_bytes_hwm", tracked_bytes_hwm},
+      {"replication_acks", replication_acks},
+      {"replication_timeouts", replication_timeouts},
+      {"promotions", promotions},
+      {"segments_shipped", segments_shipped},
+      {"follower_lag_hwm", follower_lag_hwm},
       {"pressure_level", pressure_level},
       {"queue_depth", queue_depth},
       {"runs", total_runs()},
@@ -203,6 +213,11 @@ StatsSnapshot RuntimeStats::Snapshot(uint64_t queue_depth,
   snap.index_evictions = index_evictions_.load(std::memory_order_relaxed);
   snap.tracked_bytes_hwm =
       tracked_bytes_hwm_.load(std::memory_order_relaxed);
+  snap.replication_acks = replication_acks_.load(std::memory_order_relaxed);
+  snap.replication_timeouts =
+      replication_timeouts_.load(std::memory_order_relaxed);
+  // promotions / segments_shipped / follower_lag_hwm are owned by the
+  // replication layer; ServiceRuntime::Stats() stamps them afterwards.
   snap.pressure_level = pressure_level;
   snap.queue_depth = queue_depth;
   snap.shard_latency.reserve(shard_latency_.size());

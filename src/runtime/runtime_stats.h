@@ -52,6 +52,11 @@ struct StatsSnapshot {
   uint64_t memo_evictions = 0;     // memo entries evicted by the byte cap
   uint64_t index_evictions = 0;    // relation indexes evicted by the pool cap
   uint64_t tracked_bytes_hwm = 0;  // high-water mark of governed cache bytes
+  uint64_t replication_acks = 0;   // ack barriers satisfied by the quorum
+  uint64_t replication_timeouts = 0;  // ack barriers that timed out
+  uint64_t promotions = 0;         // follower→primary promotions (this node)
+  uint64_t segments_shipped = 0;   // journal segments streamed to followers
+  uint64_t follower_lag_hwm = 0;   // high-water mark of unacked shipments
   uint64_t pressure_level = 0;     // current degradation level (gauge, 0-3)
   uint64_t queue_depth = 0;        // admitted but not yet completed
   /// Per-shard session-run latency histograms (delimiter runs only; the
@@ -131,6 +136,12 @@ class RuntimeStats {
     if (memo > 0) memo_evictions_.fetch_add(memo, std::memory_order_relaxed);
     if (index > 0) index_evictions_.fetch_add(index, std::memory_order_relaxed);
   }
+  void OnReplicationAck() {
+    replication_acks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnReplicationTimeout() {
+    replication_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// Raises the governed-cache-bytes high-water mark (watchdog samples).
   void OnTrackedBytes(uint64_t bytes) {
     uint64_t prev = tracked_bytes_hwm_.load(std::memory_order_relaxed);
@@ -169,6 +180,8 @@ class RuntimeStats {
   std::atomic<uint64_t> memo_evictions_{0};
   std::atomic<uint64_t> index_evictions_{0};
   std::atomic<uint64_t> tracked_bytes_hwm_{0};
+  std::atomic<uint64_t> replication_acks_{0};
+  std::atomic<uint64_t> replication_timeouts_{0};
   std::vector<LatencyHistogram> shard_latency_;
 };
 

@@ -159,6 +159,12 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
         return;
       }
       stats->OnJournalAppends(1);
+      // A discard changes what replay reproduces, so followers must see
+      // it too (same order as the primary's journal).
+      if (config_->replication != nullptr) {
+        config_->replication->ShipRecord(discard, shard_index_,
+                                         durability_->current_segment_n());
+      }
     }
     session.runner.DiscardPending();
     if (!is_delimiter) return;
@@ -211,6 +217,12 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
     }
     stats->OnJournalAppends(1);
     seq = session.next_seq++;
+    // Ship the persisted input to the session's followers (async; the
+    // quorum is only awaited at the delimiter's ack barrier below).
+    if (config_->replication != nullptr) {
+      config_->replication->ShipRecord(input, shard_index_,
+                                       durability_->current_segment_n());
+    }
   }
 
   const auto run_start = std::chrono::steady_clock::now();
@@ -261,6 +273,31 @@ void SessionShard::Process(Envelope envelope, RuntimeStats* stats) {
       }
       return;
     }
+    // The replicated ack barrier (DESIGN.md §11): with replication on,
+    // local durability alone does not earn the ack — the outcome must
+    // also be durable on a quorum of the session's followers, or a
+    // primary death after the ack could promote a follower that never
+    // saw it (a lost acknowledged output). On timeout the ack is
+    // withheld and the client sees kReplicationTimeout: the outcome is
+    // committed locally, so recovery treats the seq as acknowledged —
+    // the same at-most-once resolution as a failed outcome fsync above.
+    if (config_->replication != nullptr) {
+      core::Status replicated = config_->replication->ShipOutcomeAndWait(
+          record, shard_index_, durability_->current_segment_n());
+      if (replicated.ok()) {
+        stats->OnReplicationAck();
+      } else {
+        stats->OnReplicationTimeout();
+        session.breaker.OnRunFailure(std::chrono::steady_clock::now());
+        if (envelope.callback) {
+          const uint32_t attempts = outcome->attempts;
+          envelope.callback(Outcome{std::move(replicated),
+                                    std::move(envelope.session_id),
+                                    std::nullopt, attempts});
+        }
+        return;
+      }
+    }
   }
 
   if (outcome->attempts > 1) stats->OnRetries(outcome->attempts - 1);
@@ -308,6 +345,13 @@ std::optional<SessionShard::InFlightRun> SessionShard::CurrentRun() const {
 }
 
 void SessionShard::MaybeSnapshot(RuntimeStats* stats) {
+  // Refresh the replication GC pin first: the snapshot's segment GC must
+  // not reclaim a segment an unacknowledged shipment still references
+  // (the follower's retransmit source) — see ShardDurability's pin.
+  if (config_->replication != nullptr) {
+    durability_->PinSegmentsFrom(
+        config_->replication->MinUnackedSegment(shard_index_));
+  }
   std::vector<persistence::SessionImage> images;
   images.reserve(sessions_.size());
   for (const auto& [session_id, state] : sessions_) {

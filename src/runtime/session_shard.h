@@ -14,6 +14,7 @@
 #include "persistence/durability.h"
 #include "relational/database.h"
 #include "runtime/circuit_breaker.h"
+#include "runtime/replication_hooks.h"
 #include "runtime/runtime_stats.h"
 #include "sws/fault.h"
 #include "sws/governor.h"
@@ -104,6 +105,12 @@ class SessionShard {
     /// additionally clamps the run's index pool to one index per
     /// relation. Null = no degradation.
     const std::atomic<int>* pressure_level = nullptr;
+    /// Primary-side replication (DESIGN.md §11): persisted records are
+    /// shipped to followers and delimiter acks wait for the follower
+    /// quorum. Null = replication off — the single-node ack path is
+    /// untouched. Only meaningful with durability (there is no journal
+    /// record to ship otherwise; ValidateRuntimeOptions enforces it).
+    ReplicationClient* replication = nullptr;
   };
 
   /// What the runtime watchdog sees of a run in flight on this shard:

@@ -22,13 +22,21 @@ void InjectedSleep(std::chrono::microseconds duration,
   }
 }
 
-// Independent stream salts (arbitrary odd constants).
-constexpr uint64_t kRunFailSalt = 0x9d5c1f8a3b2e7641ULL;
-constexpr uint64_t kRunDelaySalt = 0x71c3a9e5d207b8f3ULL;
-constexpr uint64_t kDrainSalt = 0x5e8b2d94c6a1f037ULL;
-constexpr uint64_t kTornWriteSalt = 0x2f6e4c8a1d3b9075ULL;
-constexpr uint64_t kSyncFailSalt = 0x4b9d2e7f8c135a60ULL;
-constexpr uint64_t kShortReadSalt = 0x8a1f5c3e7b2d6490ULL;
+// Per-point stream salts (arbitrary odd constants), indexed by
+// FaultPoint. The first six predate the FaultPoint table and must never
+// change: existing seeded tests depend on their schedules.
+constexpr uint64_t kPointSalt[kNumFaultPoints] = {
+    0x9d5c1f8a3b2e7641ULL,  // kRunFailure
+    0x71c3a9e5d207b8f3ULL,  // kRunDelay
+    0x5e8b2d94c6a1f037ULL,  // kDrainStall
+    0x2f6e4c8a1d3b9075ULL,  // kTornWrite
+    0x4b9d2e7f8c135a60ULL,  // kSyncFailure
+    0x8a1f5c3e7b2d6490ULL,  // kShortRead
+    0x3c7e9a1b5d2f8064ULL,  // kTransportDrop
+    0x6f2d8c4a9e1b7350ULL,  // kTransportDuplicate
+    0x1a9e3c5f7b2d8642ULL,  // kTransportReorder
+    0xd4b8f1a6c3e97025ULL,  // kTransportDelay
+};
 
 /// Decrements a countdown of deterministically armed faults; returns
 /// true iff one was armed (and thus consumed).
@@ -60,72 +68,83 @@ FaultInjector::FaultInjector(FaultOptions options) : options_(options) {
   ValidateRate(options_.torn_write_rate, "torn_write_rate");
   ValidateRate(options_.sync_fail_rate, "sync_fail_rate");
   ValidateRate(options_.short_read_rate, "short_read_rate");
+  ValidateRate(options_.transport_drop_rate, "transport_drop_rate");
+  ValidateRate(options_.transport_duplicate_rate, "transport_duplicate_rate");
+  ValidateRate(options_.transport_reorder_rate, "transport_reorder_rate");
+  ValidateRate(options_.transport_delay_rate, "transport_delay_rate");
   SWS_CHECK_GE(options_.delay.count(), 0);
   SWS_CHECK_GE(options_.stall.count(), 0);
+  SWS_CHECK_GE(options_.transport_delay.count(), 0);
+}
+
+bool FaultInjector::Decide(FaultPoint point, double rate, uint64_t index) {
+  if (rate <= 0.0 ||
+      UnitAt(options_.seed, kPointSalt[static_cast<size_t>(point)], index) >=
+          rate) {
+    return false;
+  }
+  RecordHit(point);
+  return true;
+}
+
+bool FaultInjector::Draw(FaultPoint point, double rate) {
+  return Decide(point, rate, NextIndex(point));
 }
 
 bool FaultInjector::OnRunAttempt(ExecutionGovernor* governor) {
-  const uint64_t n = run_draws_.fetch_add(1, std::memory_order_relaxed);
-  if (options_.delay_rate > 0.0 && options_.delay.count() > 0 &&
-      UnitAt(options_.seed, kRunDelaySalt, n) < options_.delay_rate) {
-    delays_.fetch_add(1, std::memory_order_relaxed);
+  // The delay and failure streams advance in lockstep (one arrival at
+  // each per attempt), preserving the pre-FaultPoint schedules.
+  const uint64_t delay_index = NextIndex(FaultPoint::kRunDelay);
+  if (options_.delay.count() > 0 &&
+      Decide(FaultPoint::kRunDelay, options_.delay_rate, delay_index)) {
     InjectedSleep(options_.delay, governor);
   }
-  if (n < options_.fail_first_runs ||
-      (options_.fail_rate > 0.0 &&
-       UnitAt(options_.seed, kRunFailSalt, n) < options_.fail_rate)) {
-    failures_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n = NextIndex(FaultPoint::kRunFailure);
+  if (n < options_.fail_first_runs) {
+    RecordHit(FaultPoint::kRunFailure);
     return true;
   }
-  return false;
+  return Decide(FaultPoint::kRunFailure, options_.fail_rate, n);
 }
 
 void FaultInjector::OnDrainStep(ExecutionGovernor* governor) {
   if (options_.stall_rate == 0.0 || options_.stall.count() == 0) return;
-  const uint64_t n = drain_draws_.fetch_add(1, std::memory_order_relaxed);
-  if (UnitAt(options_.seed, kDrainSalt, n) < options_.stall_rate) {
-    stalls_.fetch_add(1, std::memory_order_relaxed);
+  if (Draw(FaultPoint::kDrainStall, options_.stall_rate)) {
     InjectedSleep(options_.stall, governor);
   }
 }
 
 bool FaultInjector::OnJournalAppend() {
-  const uint64_t n = append_draws_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n = NextIndex(FaultPoint::kTornWrite);
   // Dead-disk countdown: > 1 consumes one healthy append, 1 means the
   // disk is dead — every append tears from here on.
   uint32_t kill = storage_kill_.load(std::memory_order_relaxed);
   while (kill > 1 && !storage_kill_.compare_exchange_weak(
                          kill, kill - 1, std::memory_order_relaxed)) {
   }
-  if (kill == 1 || ConsumeArmed(&armed_torn_) ||
-      (options_.torn_write_rate > 0.0 &&
-       UnitAt(options_.seed, kTornWriteSalt, n) < options_.torn_write_rate)) {
-    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+  if (kill == 1 || ConsumeArmed(&armed_torn_)) {
+    RecordHit(FaultPoint::kTornWrite);
     return true;
   }
-  return false;
+  return Decide(FaultPoint::kTornWrite, options_.torn_write_rate, n);
 }
 
 bool FaultInjector::OnJournalSync() {
-  const uint64_t n = sync_draws_.fetch_add(1, std::memory_order_relaxed);
-  if (ConsumeArmed(&armed_sync_fail_) ||
-      (options_.sync_fail_rate > 0.0 &&
-       UnitAt(options_.seed, kSyncFailSalt, n) < options_.sync_fail_rate)) {
-    sync_failures_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n = NextIndex(FaultPoint::kSyncFailure);
+  if (ConsumeArmed(&armed_sync_fail_)) {
+    RecordHit(FaultPoint::kSyncFailure);
     return true;
   }
-  return false;
+  return Decide(FaultPoint::kSyncFailure, options_.sync_fail_rate, n);
 }
 
 bool FaultInjector::OnJournalRead() {
-  const uint64_t n = read_draws_.fetch_add(1, std::memory_order_relaxed);
-  if (ConsumeArmed(&armed_short_read_) ||
-      (options_.short_read_rate > 0.0 &&
-       UnitAt(options_.seed, kShortReadSalt, n) < options_.short_read_rate)) {
-    short_reads_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n = NextIndex(FaultPoint::kShortRead);
+  if (ConsumeArmed(&armed_short_read_)) {
+    RecordHit(FaultPoint::kShortRead);
     return true;
   }
-  return false;
+  return Decide(FaultPoint::kShortRead, options_.short_read_rate, n);
 }
 
 Backoff::Backoff(const RetryPolicy& policy, uint64_t stream)

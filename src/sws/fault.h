@@ -1,6 +1,7 @@
 #ifndef SWS_SWS_FAULT_H_
 #define SWS_SWS_FAULT_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -11,10 +12,28 @@ namespace sws::core {
 
 class ExecutionGovernor;
 
+/// Every place a fault can be injected. Each point owns one independent
+/// deterministic decision stream (see the seed-derivation rule on
+/// FaultInjector::Draw), so points never perturb each other's schedules
+/// and new callsites can reuse a point without seeding drift.
+enum class FaultPoint : uint8_t {
+  kRunFailure = 0,      // engine run attempt aborts with kInjectedFault
+  kRunDelay,            // latency injected before a run attempt
+  kDrainStall,          // a shard drain step stalls holding the role
+  kTornWrite,           // a journal append leaves a partial frame
+  kSyncFailure,         // a journal fsync fails (EIO model)
+  kShortRead,           // a journal segment read fails transiently
+  kTransportDrop,       // a replication shipment/ack is dropped
+  kTransportDuplicate,  // a replication shipment is delivered twice
+  kTransportReorder,    // a replication shipment is delayed past later ones
+  kTransportDelay,      // a replication shipment is delivered late
+};
+inline constexpr size_t kNumFaultPoints = 10;
+
 /// What a FaultInjector may do, and how often. Rates are probabilities
-/// in [0, 1] evaluated on an independent deterministic stream per hook,
-/// so a given seed reproduces the same fault schedule (exactly under a
-/// single worker; the same draw *sequence* under many).
+/// in [0, 1] evaluated on an independent deterministic stream per fault
+/// point, so a given seed reproduces the same fault schedule (exactly
+/// under a single worker; the same draw *sequence* under many).
 struct FaultOptions {
   uint64_t seed = 1;
   /// Probability that a run attempt aborts with kInjectedFault.
@@ -41,6 +60,15 @@ struct FaultOptions {
   /// Probability that a journal segment read fails transiently (short
   /// read); recovery retries the read.
   double short_read_rate = 0.0;
+  /// Replication-transport faults (see replication/transport.h): each
+  /// shipment event draws drop, duplicate, reorder and delay decisions
+  /// from its own stream. A reorder holds one shipment back past later
+  /// ones; a delay delivers it `transport_delay` late.
+  double transport_drop_rate = 0.0;
+  double transport_duplicate_rate = 0.0;
+  double transport_reorder_rate = 0.0;
+  double transport_delay_rate = 0.0;
+  std::chrono::microseconds transport_delay{0};
 };
 
 /// A deterministic, seeded fault-injection hook threaded through query
@@ -81,6 +109,31 @@ class FaultInjector {
   /// read must fail transiently (armed short reads fire first).
   bool OnJournalRead();
 
+  /// The one seed-derivation rule every fault point obeys. The n-th
+  /// arrival at point p fires iff
+  ///
+  ///   UnitFromDraw(SplitMix64(seed ^ salt(p) ^ n · 0x9e3779b97f4a7c15)) < rate
+  ///
+  /// where salt(p) is a fixed per-point constant (fault.cc) and n is the
+  /// point's own atomic arrival counter — advanced on every call, hit or
+  /// miss. Because each point owns its counter and salt, a callsite can
+  /// share a point (or a new subsystem can adopt one, as the replication
+  /// transport does) without shifting any other point's schedule, and
+  /// the same seed reproduces the same per-point decision sequence
+  /// regardless of how draws on different points interleave.
+  bool Draw(FaultPoint point, double rate);
+
+  /// Arrivals at / fired decisions of one point (telemetry; the named
+  /// getters below are aliases for the pre-transport points).
+  uint64_t draws(FaultPoint point) const {
+    return point_draws_[static_cast<size_t>(point)].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t hits(FaultPoint point) const {
+    return point_hits_[static_cast<size_t>(point)].load(
+        std::memory_order_relaxed);
+  }
+
   /// Arms the next `n` journal appends / fsyncs / segment reads to fail
   /// deterministically, independent of seed and draw position — for
   /// tests that must hit an exact append (e.g. a breaker probe).
@@ -103,44 +156,45 @@ class FaultInjector {
     storage_kill_.store(healthy + 1, std::memory_order_relaxed);
   }
 
+  /// Re-arms dead storage as healthy — an in-process "node" that killed
+  /// its disk to crash can restart a fresh life against the same injector.
+  void ReviveStorage() { storage_kill_.store(0, std::memory_order_relaxed); }
+
   const FaultOptions& options() const { return options_; }
 
-  // Telemetry (for tests and reports).
-  uint64_t injected_failures() const {
-    return failures_.load(std::memory_order_relaxed);
-  }
-  uint64_t injected_delays() const {
-    return delays_.load(std::memory_order_relaxed);
-  }
-  uint64_t injected_stalls() const {
-    return stalls_.load(std::memory_order_relaxed);
-  }
-  uint64_t run_attempts() const {
-    return run_draws_.load(std::memory_order_relaxed);
-  }
+  // Telemetry (for tests and reports); aliases over draws()/hits().
+  uint64_t injected_failures() const { return hits(FaultPoint::kRunFailure); }
+  uint64_t injected_delays() const { return hits(FaultPoint::kRunDelay); }
+  uint64_t injected_stalls() const { return hits(FaultPoint::kDrainStall); }
+  uint64_t run_attempts() const { return draws(FaultPoint::kRunFailure); }
   uint64_t injected_torn_writes() const {
-    return torn_writes_.load(std::memory_order_relaxed);
+    return hits(FaultPoint::kTornWrite);
   }
   uint64_t injected_sync_failures() const {
-    return sync_failures_.load(std::memory_order_relaxed);
+    return hits(FaultPoint::kSyncFailure);
   }
   uint64_t injected_short_reads() const {
-    return short_reads_.load(std::memory_order_relaxed);
+    return hits(FaultPoint::kShortRead);
   }
 
  private:
+  /// Advances `point`'s arrival counter; returns the index fed to the
+  /// derivation rule.
+  uint64_t NextIndex(FaultPoint point) {
+    return point_draws_[static_cast<size_t>(point)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void RecordHit(FaultPoint point) {
+    point_hits_[static_cast<size_t>(point)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  /// The pure decision function of (seed, salt(point), index) vs `rate`;
+  /// counts a hit when it fires.
+  bool Decide(FaultPoint point, double rate, uint64_t index);
+
   FaultOptions options_;
-  std::atomic<uint64_t> run_draws_{0};
-  std::atomic<uint64_t> drain_draws_{0};
-  std::atomic<uint64_t> append_draws_{0};
-  std::atomic<uint64_t> sync_draws_{0};
-  std::atomic<uint64_t> read_draws_{0};
-  std::atomic<uint64_t> failures_{0};
-  std::atomic<uint64_t> delays_{0};
-  std::atomic<uint64_t> stalls_{0};
-  std::atomic<uint64_t> torn_writes_{0};
-  std::atomic<uint64_t> sync_failures_{0};
-  std::atomic<uint64_t> short_reads_{0};
+  std::array<std::atomic<uint64_t>, kNumFaultPoints> point_draws_{};
+  std::array<std::atomic<uint64_t>, kNumFaultPoints> point_hits_{};
   std::atomic<uint32_t> armed_torn_{0};
   std::atomic<uint32_t> armed_sync_fail_{0};
   std::atomic<uint32_t> armed_short_read_{0};

@@ -22,6 +22,8 @@ const char* RunErrorName(RunError error) {
       return "STORAGE_FAILURE";
     case RunError::kFuelExhausted:
       return "FUEL_EXHAUSTED";
+    case RunError::kReplicationTimeout:
+      return "REPLICATION_TIMEOUT";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,7 @@ enum class RunError : uint8_t {
   kShutdown,          // the runtime is shut down
   kStorageFailure,    // the durability layer could not journal/persist
   kFuelExhausted,     // the run tripped an evaluation-fuel / byte budget
+  kReplicationTimeout,  // the follower ack quorum was not reached in time
 };
 
 const char* RunErrorName(RunError error);

@@ -1,0 +1,520 @@
+// Whole-node kill/restart chaos over replicated sessions (ISSUE 7
+// tentpole gate; DESIGN.md §11). Each trial runs M = 3 in-process nodes
+// — own dirs, own runtimes, own fault injectors — joined by one
+// InProcessTransport with randomized drop/duplicate/reorder/delay
+// faults, and drives randomized whole-node kills and restarts,
+// including primaries killed mid-ack-barrier (delimiters submitted,
+// then the node killed after a random sleep, sometimes behind a
+// partition so the outcome commits locally but never ships). After each
+// kill the harness either promotes the most-caught-up live follower
+// (ChoosePromotionCandidate) or restarts the victim in place, then
+// finishes every session and checks the two invariants end to end:
+//
+//  * exactly-once: every session's outcome is delivered to the client
+//    at most once — acks and replay re-emissions never double up; a
+//    session whose ack was lost to a crash or a barrier timeout is
+//    *ambiguous* (0 or 1 deliveries), everything else is exactly 1;
+//  * oracle convergence: the final primary of every session recovers a
+//    database byte-identical (operator== and Hash) to an unkilled
+//    SessionRunner oracle fed the same stream, with next_seq == 2 and
+//    an empty pending buffer.
+//
+// Trials use replicas = 2, ack_quorum = 2 in the 3-node group, so every
+// client-acknowledged outcome is durable on every live non-deposed node
+// — the quorum-intersection invariant that makes any such node a safe
+// promotion target. Deposed nodes (promoted away) stop receiving the
+// stream and are never promotion candidates again.
+//
+// The two TESTs together exercise >= 500 distinct randomized kill
+// points (seeded, so failures reproduce). Run under ASan by
+// `scripts/check.sh replication`.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "logic/cq.h"
+#include "persistence/recovery.h"
+#include "replication/node.h"
+#include "replication/replica_group.h"
+#include "replication/transport.h"
+#include "runtime/runtime.h"
+#include "sws/session.h"
+#include "util/common.h"
+
+namespace sws::replication {
+namespace {
+
+using core::SessionRunner;
+using core::Sws;
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Term;
+using rel::Relation;
+using rel::Value;
+
+// The depth-2 logger service (as in crash_recovery_test): each
+// session's first message is committed into Log by its delimiter run.
+Sws MakeTwoLevelLogger() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  Sws sws(schema, 1, 3);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{core::kInputRelation, {Term::Var(0)}}});
+  sws.SetTransition(q0, {core::TransitionTarget{q1, core::RelQuery::Cq(pass)}});
+  ConjunctiveQuery copy_up(
+      {Term::Var(0), Term::Var(1), Term::Var(2)},
+      {Atom{core::ActRelation(1), {Term::Var(0), Term::Var(1), Term::Var(2)}}});
+  sws.SetSynthesis(q0, core::RelQuery::Cq(copy_up));
+  sws.SetTransition(q1, {});
+  ConjunctiveQuery log_msg(
+      {Term::Str("ins"), Term::Str("Log"), Term::Var(0)},
+      {Atom{core::kMsgRelation, {Term::Var(0)}}});
+  sws.SetSynthesis(q1, core::RelQuery::Cq(log_msg));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+rel::Database LoggerDb() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  return rel::Database(schema);
+}
+
+Relation Msg(int64_t v) {
+  Relation m(1);
+  m.Insert({Value::Int(v)});
+  return m;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/sws_node_chaos_XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    SWS_CHECK(made != nullptr);
+    path_ = made;
+  }
+  ~TempDir() {
+    std::vector<persistence::DurableFile> files;
+    if (persistence::ListDurableFiles(path_, &files).ok()) {
+      for (const persistence::DurableFile& f : files) {
+        ::unlink((path_ + "/" + f.name).c_str());
+      }
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// One randomized trial: bring up the cluster, run sessions through
+// kills/promotions/restarts, then settle and check the invariants.
+class Trial {
+ public:
+  explicit Trial(uint64_t seed)
+      : seed_(seed), rng_(seed), sws_(MakeTwoLevelLogger()) {}
+
+  size_t kill_points() const { return kill_points_; }
+
+  void Run() {
+    Build();
+    for (auto& node : nodes_) ASSERT_TRUE(node->Start().ok());
+
+    // Open all sessions; close a random ~half immediately (their acks
+    // must hold exactly-once through whatever chaos follows).
+    const size_t n_sessions = 6 + rng_() % 6;
+    for (size_t i = 0; i < n_sessions; ++i) {
+      const std::string id = "s" + std::to_string(i);
+      sessions_[id].value = static_cast<int64_t>(seed_ * 1000 + i);
+    }
+    for (auto& [id, client] : sessions_) {
+      SubmitMsg(id);
+      if (rng_() % 2 == 0) SubmitDelimiter(id);
+    }
+    DrainAll();
+
+    const size_t cycles = 3;
+    for (size_t cycle = 0; cycle < cycles && !::testing::Test::HasFatalFailure();
+         ++cycle) {
+      RunCycle();
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+    Settle();
+    CheckExactlyOnce();
+    CheckOracleConvergence();
+  }
+
+ private:
+  struct ClientSession {
+    int64_t value = 0;
+    bool delimiter_sent = false;
+    /// The client saw an error (or a crash ate the callback): the
+    /// outcome may or may not have committed — 0 or 1 deliveries legal.
+    bool ambiguous = false;
+    bool done = false;
+    int deliveries = 0;
+  };
+
+  void Build() {
+    group_ = std::make_unique<ReplicaGroup>(
+        std::vector<std::string>{"c0", "c1", "c2"});
+    core::FaultOptions wire;
+    wire.seed = seed_ ^ 0x7f4a7c15ull;
+    const double drops[] = {0.0, 0.05, 0.15};
+    wire.transport_drop_rate = drops[rng_() % 3];
+    wire.transport_duplicate_rate = (rng_() % 2) * 0.1;
+    wire.transport_reorder_rate = (rng_() % 2) * 0.1;
+    wire.transport_delay_rate = (rng_() % 2) * 0.1;
+    wire.transport_delay = std::chrono::microseconds(300);
+    wire_injector_ = std::make_unique<core::FaultInjector>(wire);
+    transport_ = std::make_unique<InProcessTransport>(wire_injector_.get());
+
+    ReplicationOptions replication;
+    replication.replicas = 2;
+    replication.ack_quorum = 2;  // quorum-intersection: any live
+                                 // non-deposed node is a safe heir
+    replication.ack_timeout = std::chrono::milliseconds(40);
+    replication.retransmit_interval = std::chrono::milliseconds(2);
+    replication.heartbeat_interval = std::chrono::milliseconds(5);
+    for (size_t i = 0; i < 3; ++i) {
+      NodeOptions options;
+      options.id = "c" + std::to_string(i);
+      options.dir = dirs_[i].path();
+      options.replication = replication;
+      options.runtime.num_workers = 2;
+      options.runtime.num_shards = 1 + rng_() % 3;
+      options.runtime.durability.fsync = persistence::FsyncPolicy::kAlways;
+      options.runtime.durability.segment_bytes = 4096;  // frequent rotation
+      options.runtime.durability.snapshot_interval_appends = 4 + rng_() % 8;
+      nodes_[i] = std::make_unique<ReplicatedNode>(options, &sws_, LoggerDb(),
+                                                   group_.get(),
+                                                   transport_.get());
+    }
+  }
+
+  ReplicatedNode* node(const std::string& id) {
+    for (auto& n : nodes_) {
+      if (n->id() == id) return n.get();
+    }
+    return nullptr;
+  }
+
+  ReplicatedNode* PrimaryNode(const std::string& session) {
+    return node(group_->PrimaryOf(session));
+  }
+
+  void RecordDelivery(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ClientSession& client = sessions_[id];
+    ++client.deliveries;
+    client.done = true;
+  }
+
+  void SubmitMsg(const std::string& id) {
+    ReplicatedNode* primary = PrimaryNode(id);
+    ASSERT_TRUE(primary != nullptr && primary->running());
+    int64_t value;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      value = sessions_[id].value;
+    }
+    core::Status admitted = primary->runtime()->Submit(id, Msg(value));
+    ASSERT_TRUE(admitted.ok()) << admitted.ToString();
+  }
+
+  void SubmitDelimiter(const std::string& id) {
+    ReplicatedNode* primary = PrimaryNode(id);
+    ASSERT_TRUE(primary != nullptr && primary->running());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_[id].delimiter_sent = true;
+    }
+    core::Status admitted = primary->runtime()->Submit(
+        id, SessionRunner::DelimiterMessage(1), [this, id](rt::Outcome outcome) {
+          if (outcome.status.ok()) {
+            RecordDelivery(id);
+          } else {
+            std::lock_guard<std::mutex> lock(mu_);
+            sessions_[id].ambiguous = true;
+          }
+        });
+    ASSERT_TRUE(admitted.ok()) << admitted.ToString();
+  }
+
+  void DrainAll() {
+    for (auto& n : nodes_) {
+      if (n->running()) n->runtime()->Drain();
+    }
+  }
+
+  /// After a node Start()/Promote(): deliver its replayed outcomes, then
+  /// resolve every session it now owns against that life's recovery
+  /// image — the only authoritative moment to resubmit (a stale image
+  /// would re-run an already-committed delimiter and fork the state).
+  void OnLifeEvent(ReplicatedNode* n) {
+    for (const persistence::ReplayedOutcome& outcome : n->replayed()) {
+      RecordDelivery(outcome.session_id);
+    }
+    const persistence::RecoveryResult* recovery = n->runtime()->recovery();
+    for (auto& [id, client] : sessions_) {
+      if (group_->PrimaryOf(id) != n->id()) continue;
+      bool done, delimiter_sent, ambiguous;
+      int deliveries;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        done = client.done;
+        delimiter_sent = client.delimiter_sent;
+        ambiguous = client.ambiguous;
+        deliveries = client.deliveries;
+      }
+      uint64_t next_seq = 0;
+      if (recovery != nullptr) {
+        auto it = recovery->sessions.find(id);
+        if (it != recovery->sessions.end()) next_seq = it->second.next_seq;
+      }
+      if (next_seq >= 2) {
+        // Committed but never acknowledged to the client: legal only for
+        // a session whose submission visibly failed (at-most-once).
+        EXPECT_TRUE(ambiguous || deliveries > 0)
+            << "session " << id << " (seed " << seed_
+            << ") committed without the client ever seeing an ack or error";
+        std::lock_guard<std::mutex> lock(mu_);
+        client.done = true;
+        continue;
+      }
+      // The authoritative owner does not have the commit. A *delivered*
+      // outcome is quorum-durable on every node that can ever become
+      // owner (the ack barrier gates both live commits and replay
+      // re-emissions), so regression here proves the client was never
+      // delivered — what it may have observed before was a local-only
+      // commit that died with a deposed node. An ambiguous client
+      // resolves the uncertainty by resubmitting; its earlier "done" was
+      // provisional.
+      EXPECT_EQ(deliveries, 0)
+          << "session " << id << " (seed " << seed_
+          << ") was delivered, yet the current owner recovered without the "
+             "commit — a delivered outcome must be durable on every heir";
+      if (deliveries > 0) continue;
+      if (done) {
+        std::lock_guard<std::mutex> lock(mu_);
+        client.done = false;
+      }
+      if (next_seq == 0) SubmitMsg(id);
+      if (delimiter_sent) SubmitDelimiter(id);
+    }
+  }
+
+  void RunCycle() {
+    // Every node is up at the top of a cycle.
+    for (auto& n : nodes_) {
+      if (!n->running()) {
+        ASSERT_TRUE(n->Start().ok());
+        OnLifeEvent(n.get());
+      }
+    }
+    DrainAll();
+
+    ReplicatedNode* victim = nodes_[rng_() % 3].get();
+
+    // Chaos flavor: sometimes the victim's disk dies first (torn
+    // appends), sometimes it is partitioned from the others so its last
+    // outcome commits locally but never ships — the mid-ack-barrier
+    // kill the heir must resolve by replay.
+    if (rng_() % 3 == 0) {
+      victim->injector()->KillStorageAfter(
+          static_cast<uint32_t>(rng_() % 6));
+    }
+    const bool partitioned = rng_() % 3 == 0;
+    if (partitioned) {
+      for (auto& n : nodes_) {
+        if (n->id() != victim->id()) transport_->Partition(victim->id(), n->id());
+      }
+    }
+
+    // Fresh delimiters (never-sent only — resubmission is reserved for
+    // life events with an authoritative recovery image), biased to the
+    // victim so kills land mid-stream and mid-barrier.
+    std::vector<std::string> fresh;
+    for (auto& [id, client] : sessions_) {
+      if (!client.delimiter_sent) fresh.push_back(id);
+    }
+    size_t sent = 0;
+    for (const std::string& id : fresh) {
+      const bool on_victim = group_->PrimaryOf(id) == victim->id();
+      if (on_victim || (sent < 2 && rng_() % 2 == 0)) {
+        SubmitDelimiter(id);
+        if (::testing::Test::HasFatalFailure()) return;
+        if (!on_victim) ++sent;
+      }
+    }
+
+    // The kill point: a random slice into the in-flight work.
+    std::this_thread::sleep_for(std::chrono::milliseconds(rng_() % 6));
+    victim->Kill();
+    ++kill_points_;
+    if (partitioned) {
+      for (auto& n : nodes_) {
+        if (n->id() != victim->id()) transport_->Heal(victim->id(), n->id());
+      }
+    }
+    DrainAll();  // surviving barriers resolve or time out
+
+    // Recovery flavor: promote a live never-deposed follower, or restart
+    // the victim in place (self-recovery, no promotion).
+    std::vector<ReplicatedNode*> candidates;
+    for (auto& n : nodes_) {
+      if (n->running() && deposed_.count(n->id()) == 0) candidates.push_back(n.get());
+    }
+    if (!candidates.empty() && rng_() % 3 != 0) {
+      const std::string heir_id =
+          ChoosePromotionCandidate(candidates, &sws_, LoggerDb());
+      ASSERT_FALSE(heir_id.empty());
+      ReplicatedNode* heir = node(heir_id);
+      ASSERT_TRUE(heir->Promote(victim->id()).ok());
+      deposed_.insert(victim->id());
+      OnLifeEvent(heir);
+      if (rng_() % 2 == 0) {
+        ASSERT_TRUE(victim->Start().ok());
+        OnLifeEvent(victim);  // owns nothing: replay stays silent
+      }
+    } else {
+      ASSERT_TRUE(victim->Start().ok());
+      OnLifeEvent(victim);
+    }
+    DrainAll();
+  }
+
+  /// Final lifetime: clean-restart every node (authoritative recovery
+  /// image for every session), finish what is unfinished, no more kills.
+  void Settle() {
+    for (auto& n : nodes_) {
+      if (n->running()) n->Stop();
+      ASSERT_TRUE(n->Start().ok());
+    }
+    for (auto& n : nodes_) OnLifeEvent(n.get());
+    // Sessions whose delimiter was never sent close now.
+    for (auto& [id, client] : sessions_) {
+      bool needs_delimiter;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        needs_delimiter = !client.delimiter_sent;
+      }
+      if (needs_delimiter) {
+        SubmitDelimiter(id);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    DrainAll();
+  }
+
+  void CheckExactlyOnce() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, client] : sessions_) {
+      EXPECT_LE(client.deliveries, 1)
+          << "session " << id << " (seed " << seed_ << ") delivered "
+          << client.deliveries << " times — exactly-once violated";
+      if (!client.ambiguous) {
+        EXPECT_EQ(client.deliveries, 1)
+            << "session " << id << " (seed " << seed_
+            << ") was never delivered despite no visible failure";
+      }
+      EXPECT_TRUE(client.done)
+          << "session " << id << " (seed " << seed_ << ") never settled";
+    }
+  }
+
+  // Every session's final primary must have recovered state
+  // byte-identical to an unkilled oracle fed the same stream.
+  void CheckOracleConvergence() {
+    for (auto& n : nodes_) {
+      if (n->running()) n->Stop();
+    }
+    std::map<std::string, persistence::RecoveryResult> inspected;
+    for (auto& n : nodes_) {
+      persistence::RecoveryManager manager(n->options().dir, &sws_, LoggerDb(),
+                                           persistence::RecoveryOptions{},
+                                           nullptr);
+      inspected.emplace(n->id(), manager.Inspect());
+    }
+    for (const auto& [id, client] : sessions_) {
+      const persistence::RecoveryResult& state =
+          inspected.at(group_->PrimaryOf(id));
+      ASSERT_TRUE(state.status.ok()) << state.status.ToString();
+      auto it = state.sessions.find(id);
+      ASSERT_TRUE(it != state.sessions.end())
+          << "session " << id << " (seed " << seed_
+          << ") missing from its primary's durable state";
+      SessionRunner oracle(&sws_, LoggerDb());
+      oracle.Feed(Msg(client.value));
+      auto outcome = oracle.Feed(SessionRunner::DelimiterMessage(1));
+      ASSERT_TRUE(outcome.has_value() && outcome->status.ok());
+      EXPECT_TRUE(it->second.db == oracle.db())
+          << "session " << id << " (seed " << seed_ << ") diverged from "
+          << "the unkilled oracle";
+      EXPECT_EQ(it->second.db.Hash(), oracle.db().Hash());
+      EXPECT_EQ(it->second.pending.size(), 0u);
+      EXPECT_EQ(it->second.next_seq, 2u);
+    }
+  }
+
+  const uint64_t seed_;
+  std::mt19937_64 rng_;
+  size_t kill_points_ = 0;
+
+  Sws sws_;
+  std::unique_ptr<ReplicaGroup> group_;
+  std::unique_ptr<core::FaultInjector> wire_injector_;
+  std::unique_ptr<InProcessTransport> transport_;
+  TempDir dirs_[3];
+  std::unique_ptr<ReplicatedNode> nodes_[3];
+  std::set<std::string> deposed_;
+
+  std::mutex mu_;
+  std::map<std::string, ClientSession> sessions_;
+};
+
+TEST(NodeChaosTest, RandomizedKillsConvergeExactlyOnceLowSeeds) {
+  size_t kill_points = 0;
+  for (uint64_t seed = 1; seed <= 85; ++seed) {
+    Trial trial(seed);
+    trial.Run();
+    kill_points += trial.kill_points();
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "aborting at seed " << seed;
+    }
+  }
+  EXPECT_GE(kill_points, 250u);
+}
+
+TEST(NodeChaosTest, RandomizedKillsConvergeExactlyOnceHighSeeds) {
+  size_t kill_points = 0;
+  for (uint64_t seed = 501; seed <= 585; ++seed) {
+    Trial trial(seed);
+    trial.Run();
+    kill_points += trial.kill_points();
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "aborting at seed " << seed;
+    }
+  }
+  EXPECT_GE(kill_points, 250u);
+}
+
+}  // namespace
+}  // namespace sws::replication

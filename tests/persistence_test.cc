@@ -528,6 +528,66 @@ TEST(ShardDurabilityTest, SegmentRotationAndSnapshotGc) {
   EXPECT_EQ(wals, 1u);
 }
 
+// A shard snapshot must not GC journal segments an in-flight replication
+// cursor still retransmits from: the runtime refreshes the pin from
+// Replicator::MinUnackedSegment before every snapshot (session_shard.cc),
+// and the GC spares every segment at or past it. Without the pin, a
+// snapshot racing a slow follower would unlink the very segment whose
+// records are still unacked on the wire — the retransmit source would be
+// gone before the follower ever durably applied them.
+TEST(ShardDurabilityTest, ReplicationPinExemptsSegmentsFromSnapshotGc) {
+  TempDir dir;
+  DurabilityOptions options;
+  options.dir = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  options.segment_bytes = 4096;  // minimum: rotate quickly
+  ShardDurability shard(options, SegmentHeader{1, 0, 7}, 0, nullptr);
+
+  Relation big(1);
+  for (int i = 0; i < 64; ++i) big.Insert({Value::Int(i)});
+  for (uint64_t s = 0; s < 64; ++s) {
+    ASSERT_TRUE(shard.AppendInput(InputRecord("s", s, big)).ok());
+  }
+  std::vector<DurableFile> files;
+  ASSERT_TRUE(ListDurableFiles(dir.path(), &files).ok());
+  ASSERT_GT(files.size(), 2u) << "expected several rotations";
+
+  // The replication cursor still holds unacked shipments from segment 1:
+  // the snapshot GC must spare segments 1.. even though the snapshot
+  // subsumes them, and they must stay readable (the retransmit source).
+  shard.PinSegmentsFrom(1);
+  ASSERT_TRUE(shard.WriteShardSnapshot({}).ok());
+  ASSERT_TRUE(ListDurableFiles(dir.path(), &files).ok());
+  size_t snaps = 0;
+  std::vector<uint64_t> wal_ns;
+  for (const DurableFile& f : files) {
+    if (f.is_snapshot) {
+      ++snaps;
+    } else {
+      wal_ns.push_back(f.n);
+      SegmentContents seg;
+      ASSERT_TRUE(ReadSegment(dir.path() + "/" + f.name, nullptr, &seg).ok());
+      EXPECT_FALSE(seg.torn);
+    }
+  }
+  EXPECT_EQ(snaps, 1u);
+  std::sort(wal_ns.begin(), wal_ns.end());
+  ASSERT_GE(wal_ns.size(), 2u);
+  EXPECT_EQ(wal_ns.front(), 1u) << "segment 0 was unpinned and GC-able; "
+                                   "segment 1 onward must survive the pin";
+
+  // The follower acked everything: the cursor releases the pin and the
+  // next snapshot collects the previously pinned segments.
+  shard.PinSegmentsFrom(ShardDurability::kNoSegmentPin);
+  ASSERT_TRUE(shard.WriteShardSnapshot({}).ok());
+  ASSERT_TRUE(ListDurableFiles(dir.path(), &files).ok());
+  size_t wals = 0;
+  snaps = 0;
+  for (const DurableFile& f : files) (f.is_snapshot ? snaps : wals)++;
+  EXPECT_EQ(snaps, 1u);
+  EXPECT_EQ(wals, 1u) << "released pin: only the live segment remains";
+}
+
 TEST(ShardDurabilityTest, PoisonedSegmentRotatesAway) {
   TempDir dir;
   core::FaultInjector injector(core::FaultOptions{});

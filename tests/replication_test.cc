@@ -1,0 +1,1006 @@
+// Unit and small-integration coverage for src/replication/: consistent-
+// hash placement and promotion overrides, the in-process transport (FIFO
+// delivery, partitions, injected drop/duplicate faults), the link
+// protocol (in-order apply, cumulative acks, duplicate re-acks,
+// first_unacked fast-forward, source-incarnation resets), the quorum ack
+// barrier (reach, timeout, heal-and-retransmit), GC-pin bookkeeping, the
+// failover monitor, and an end-to-end kill + promotion over real
+// runtimes. The large randomized harness lives in node_chaos_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "logic/cq.h"
+#include "persistence/recovery.h"
+#include "replication/follower.h"
+#include "replication/node.h"
+#include "replication/replica_group.h"
+#include "replication/replicator.h"
+#include "replication/transport.h"
+#include "runtime/runtime.h"
+#include "sws/session.h"
+#include "util/common.h"
+
+namespace sws::replication {
+namespace {
+
+using core::RunError;
+using core::SessionRunner;
+using core::Sws;
+using logic::Atom;
+using logic::ConjunctiveQuery;
+using logic::Term;
+using rel::Relation;
+using rel::Value;
+
+// The depth-2 logger from session_test.cc / crash_recovery_test.cc:
+// commits each session's first message into Log.
+Sws MakeTwoLevelLogger() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  Sws sws(schema, 1, 3);
+  int q0 = sws.AddState("q0");
+  int q1 = sws.AddState("q1");
+  ConjunctiveQuery pass({Term::Var(0)},
+                        {Atom{core::kInputRelation, {Term::Var(0)}}});
+  sws.SetTransition(q0, {core::TransitionTarget{q1, core::RelQuery::Cq(pass)}});
+  ConjunctiveQuery copy_up(
+      {Term::Var(0), Term::Var(1), Term::Var(2)},
+      {Atom{core::ActRelation(1), {Term::Var(0), Term::Var(1), Term::Var(2)}}});
+  sws.SetSynthesis(q0, core::RelQuery::Cq(copy_up));
+  sws.SetTransition(q1, {});
+  ConjunctiveQuery log_msg(
+      {Term::Str("ins"), Term::Str("Log"), Term::Var(0)},
+      {Atom{core::kMsgRelation, {Term::Var(0)}}});
+  sws.SetSynthesis(q1, core::RelQuery::Cq(log_msg));
+  SWS_CHECK(!sws.Validate().has_value()) << *sws.Validate();
+  return sws;
+}
+
+rel::Database LoggerDb() {
+  rel::Schema schema;
+  schema.Add(rel::RelationSchema("Log", {"x"}));
+  return rel::Database(schema);
+}
+
+Relation Msg(int64_t v) {
+  Relation m(1);
+  m.Insert({Value::Int(v)});
+  return m;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/sws_replication_XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    SWS_CHECK(made != nullptr);
+    path_ = made;
+  }
+  ~TempDir() {
+    std::vector<persistence::DurableFile> files;
+    if (persistence::ListDurableFiles(path_, &files).ok()) {
+      for (const persistence::DurableFile& f : files) {
+        ::unlink((path_ + "/" + f.name).c_str());
+      }
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+persistence::JournalRecord InputRecord(const std::string& session,
+                                       uint64_t seq, Relation payload) {
+  persistence::JournalRecord record;
+  record.type = persistence::JournalRecord::Type::kInput;
+  record.session_id = session;
+  record.seq = seq;
+  record.payload = std::move(payload);
+  return record;
+}
+
+Shipment MakeShipment(const std::string& source, const std::string& dest,
+                      uint64_t incarnation, uint64_t link_seq,
+                      uint64_t first_unacked,
+                      const persistence::JournalRecord& record) {
+  Shipment s;
+  s.source = source;
+  s.dest = dest;
+  s.source_incarnation = incarnation;
+  s.link_seq = link_seq;
+  s.first_unacked = first_unacked;
+  s.shard = 0;
+  s.segment_n = 0;
+  s.frame = persistence::EncodeRecordFrame(record);
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Options validation
+
+TEST(ReplicationOptionsTest, ValidatesAgainstGroupSize) {
+  ReplicationOptions options;
+  EXPECT_TRUE(ValidateReplicationOptions(options, 0).ok());  // off is off
+
+  options.replicas = 2;
+  EXPECT_TRUE(ValidateReplicationOptions(options, 3).ok());
+  EXPECT_FALSE(ValidateReplicationOptions(options, 2).ok());  // > group-1
+  EXPECT_FALSE(ValidateReplicationOptions(options, 0).ok());
+
+  options.ack_quorum = 3;
+  EXPECT_FALSE(ValidateReplicationOptions(options, 4).ok());  // > replicas
+  options.ack_quorum = 2;
+  EXPECT_TRUE(ValidateReplicationOptions(options, 4).ok());
+
+  options.ack_timeout = std::chrono::milliseconds(0);
+  EXPECT_FALSE(ValidateReplicationOptions(options, 4).ok());
+  options.ack_timeout = std::chrono::milliseconds(10);
+  options.retransmit_interval = std::chrono::milliseconds(-1);
+  EXPECT_FALSE(ValidateReplicationOptions(options, 4).ok());
+}
+
+TEST(ReplicationOptionsTest, QuorumZeroResolvesToAllFollowers) {
+  ReplicationOptions options;
+  options.replicas = 3;
+  EXPECT_EQ(options.resolved_quorum(), 3u);
+  options.ack_quorum = 1;
+  EXPECT_EQ(options.resolved_quorum(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// ReplicaGroup
+
+TEST(ReplicaGroupTest, PlacementIsDeterministicDistinctAndCovering) {
+  const std::vector<std::string> nodes = {"n0", "n1", "n2"};
+  ReplicaGroup a(nodes);
+  ReplicaGroup b(nodes);
+  std::map<std::string, size_t> owned;
+  for (int i = 0; i < 300; ++i) {
+    const std::string id = "s" + std::to_string(i);
+    EXPECT_EQ(a.PrimaryOf(id), b.PrimaryOf(id));  // pure function of inputs
+    const std::vector<std::string> replicas = a.ReplicasOf(id, 2);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(std::set<std::string>(replicas.begin(), replicas.end()).size(),
+              3u);
+    EXPECT_EQ(replicas.front(), a.PrimaryOf(id));
+    const std::vector<std::string> followers = a.FollowersOf(id, 2);
+    ASSERT_EQ(followers.size(), 2u);
+    EXPECT_EQ(followers[0], replicas[1]);
+    ++owned[a.PrimaryOf(id)];
+  }
+  // Every node serves a non-trivial share (consistent hashing spreads).
+  for (const std::string& node : nodes) {
+    EXPECT_GT(owned[node], 30u) << node;
+  }
+}
+
+TEST(ReplicaGroupTest, ReplicasCappedByGroupSize) {
+  ReplicaGroup group({"n0", "n1"});
+  EXPECT_EQ(group.ReplicasOf("s", 5).size(), 2u);
+}
+
+TEST(ReplicaGroupTest, PromoteReroutesDeadArcsAndChains) {
+  ReplicaGroup group({"n0", "n1", "n2"});
+  // Find a session served by n0.
+  std::string victim_session;
+  for (int i = 0; i < 200 && victim_session.empty(); ++i) {
+    const std::string id = "s" + std::to_string(i);
+    if (group.PrimaryOf(id) == "n0") victim_session = id;
+  }
+  ASSERT_FALSE(victim_session.empty());
+
+  group.Promote("n0", "n1");
+  EXPECT_EQ(group.PrimaryOf(victim_session), "n1");
+  // n0 vanishes from every replica set (its tokens resolve to n1).
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<std::string> replicas =
+        group.ReplicasOf("s" + std::to_string(i), 2);
+    for (const std::string& node : replicas) EXPECT_NE(node, "n0");
+    EXPECT_LE(replicas.size(), 2u);  // only two live owners remain
+  }
+  // Chain: n1 dies too; n0's sessions follow to n2.
+  group.Promote("n1", "n2");
+  EXPECT_EQ(group.PrimaryOf(victim_session), "n2");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(group.PrimaryOf("s" + std::to_string(i)), "n2");
+  }
+}
+
+// ---------------------------------------------------------------------
+// InProcessTransport
+
+class RecordingEndpoint : public ReplicationEndpoint {
+ public:
+  void OnShipment(const Shipment& shipment) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    shipments_.push_back(shipment);
+  }
+  void OnAck(const std::string& from, uint64_t incarnation,
+             uint64_t acked) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    acks_.emplace_back(from, acked);
+    (void)incarnation;
+  }
+  void OnHeartbeat(const std::string& from, uint64_t incarnation) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++heartbeats_;
+    (void)from;
+    (void)incarnation;
+  }
+
+  std::vector<Shipment> shipments() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shipments_;
+  }
+  size_t heartbeats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return heartbeats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Shipment> shipments_;
+  std::vector<std::pair<std::string, uint64_t>> acks_;
+  size_t heartbeats_ = 0;
+};
+
+// Spin-waits (bounded) for an asynchronous delivery condition.
+template <typename Predicate>
+bool WaitFor(Predicate predicate,
+             std::chrono::milliseconds budget = std::chrono::seconds(5)) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return predicate();
+}
+
+TEST(InProcessTransportTest, DeliversInOrderWithoutFaults) {
+  InProcessTransport transport(nullptr);
+  RecordingEndpoint follower;
+  transport.Bind("f", &follower);
+  const persistence::JournalRecord record = InputRecord("s", 0, Msg(1));
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    transport.Ship(MakeShipment("p", "f", 1, seq, 1, record));
+  }
+  ASSERT_TRUE(WaitFor([&] { return follower.shipments().size() == 8; }));
+  const std::vector<Shipment> got = follower.shipments();
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    EXPECT_EQ(got[seq - 1].link_seq, seq);
+  }
+  transport.Unbind("f");
+}
+
+TEST(InProcessTransportTest, PartitionsAndIsolationDrop) {
+  InProcessTransport transport(nullptr);
+  RecordingEndpoint follower;
+  transport.Bind("f", &follower);
+  const persistence::JournalRecord record = InputRecord("s", 0, Msg(1));
+
+  transport.Partition("p", "f");
+  transport.Ship(MakeShipment("p", "f", 1, 1, 1, record));
+  transport.Heal("p", "f");
+  transport.Ship(MakeShipment("p", "f", 1, 2, 1, record));
+  ASSERT_TRUE(WaitFor([&] { return follower.shipments().size() == 1; }));
+  EXPECT_EQ(follower.shipments()[0].link_seq, 2u);  // seq 1 vanished
+
+  transport.Isolate("f");
+  transport.Ship(MakeShipment("p", "f", 1, 3, 1, record));
+  transport.Rejoin("f");
+  transport.Ship(MakeShipment("p", "f", 1, 4, 1, record));
+  ASSERT_TRUE(WaitFor([&] { return follower.shipments().size() == 2; }));
+  EXPECT_EQ(follower.shipments()[1].link_seq, 4u);
+  EXPECT_GE(transport.dropped(), 2u);
+  transport.Unbind("f");
+}
+
+TEST(InProcessTransportTest, InjectedDropAndDuplicateFaults) {
+  const persistence::JournalRecord record = InputRecord("s", 0, Msg(1));
+  {
+    core::FaultOptions fault_options;
+    fault_options.transport_drop_rate = 1.0;
+    core::FaultInjector injector(fault_options);
+    InProcessTransport transport(&injector);
+    RecordingEndpoint follower;
+    transport.Bind("f", &follower);
+    for (uint64_t seq = 1; seq <= 5; ++seq) {
+      transport.Ship(MakeShipment("p", "f", 1, seq, 1, record));
+    }
+    EXPECT_FALSE(
+        WaitFor([&] { return !follower.shipments().empty(); },
+                std::chrono::milliseconds(50)));
+    EXPECT_EQ(transport.dropped(), 5u);
+    EXPECT_EQ(injector.hits(core::FaultPoint::kTransportDrop), 5u);
+    transport.Unbind("f");
+  }
+  {
+    core::FaultOptions fault_options;
+    fault_options.transport_duplicate_rate = 1.0;
+    core::FaultInjector injector(fault_options);
+    InProcessTransport transport(&injector);
+    RecordingEndpoint follower;
+    transport.Bind("f", &follower);
+    transport.Ship(MakeShipment("p", "f", 1, 1, 1, record));
+    ASSERT_TRUE(WaitFor([&] { return follower.shipments().size() == 2; }));
+    EXPECT_EQ(transport.duplicated(), 1u);
+    transport.Unbind("f");
+  }
+}
+
+// ---------------------------------------------------------------------
+// FollowerApplier link protocol
+
+struct ApplierRig {
+  explicit ApplierRig(uint64_t incarnation = 1)
+      : applier("f", MakeOptions(dir.path()), &transport, incarnation,
+                nullptr) {
+    transport.Bind("p", &primary);  // receives the applier's acks
+  }
+  ~ApplierRig() { transport.Unbind("p"); }  // before `primary` dies
+  static FollowerApplier::Options MakeOptions(const std::string& dir) {
+    FollowerApplier::Options options;
+    options.dir = dir;
+    return options;
+  }
+  TempDir dir;
+  InProcessTransport transport;
+  RecordingEndpoint primary;
+  FollowerApplier applier;
+};
+
+TEST(FollowerApplierTest, AppliesInLinkOrderAndBuffersGaps) {
+  ApplierRig rig;
+  const persistence::JournalRecord r1 = InputRecord("s", 0, Msg(1));
+  const persistence::JournalRecord r2 = InputRecord("s", 1, Msg(2));
+  const persistence::JournalRecord r3 = InputRecord("s", 2, Msg(3));
+
+  // Out of order: 2 buffers (gap), 1 releases both, 3 extends.
+  rig.applier.OnShipment(MakeShipment("p", "f", 1, 2, 1, r2));
+  EXPECT_EQ(rig.applier.applied(), 0u);
+  rig.applier.OnShipment(MakeShipment("p", "f", 1, 1, 1, r1));
+  EXPECT_EQ(rig.applier.applied(), 2u);
+  rig.applier.OnShipment(MakeShipment("p", "f", 1, 3, 1, r3));
+  EXPECT_EQ(rig.applier.applied(), 3u);
+
+  // Duplicate of an applied seq: re-acked, not re-applied.
+  rig.applier.OnShipment(MakeShipment("p", "f", 1, 2, 1, r2));
+  EXPECT_EQ(rig.applier.applied(), 3u);
+  EXPECT_EQ(rig.applier.duplicates(), 1u);
+
+  // The records are durably journaled in the applier's dir.
+  std::vector<persistence::DurableFile> files;
+  ASSERT_TRUE(persistence::ListDurableFiles(rig.dir.path(), &files).ok());
+  EXPECT_FALSE(files.empty());
+}
+
+TEST(FollowerApplierTest, CorruptFrameIsRejectedNotApplied) {
+  ApplierRig rig;
+  Shipment bad = MakeShipment("p", "f", 1, 1, 1, InputRecord("s", 0, Msg(1)));
+  bad.frame[bad.frame.size() - 1] ^= 0x5a;  // flip a payload byte: CRC fails
+  rig.applier.OnShipment(bad);
+  EXPECT_EQ(rig.applier.applied(), 0u);
+  EXPECT_EQ(rig.applier.rejected(), 1u);
+  // The clean retransmit applies.
+  rig.applier.OnShipment(
+      MakeShipment("p", "f", 1, 1, 1, InputRecord("s", 0, Msg(1))));
+  EXPECT_EQ(rig.applier.applied(), 1u);
+}
+
+TEST(FollowerApplierTest, FastForwardsPastAckedPrefix) {
+  // A fresh link (this applier life never saw the source) receiving
+  // link_seq 5 with first_unacked 5 must not wait for 1..4: those were
+  // cumulatively acked — i.e. durably applied by a previous life.
+  ApplierRig rig;
+  rig.applier.OnShipment(
+      MakeShipment("p", "f", 1, 5, 5, InputRecord("s", 4, Msg(5))));
+  EXPECT_EQ(rig.applier.applied(), 1u);
+
+  // A later retransmit below the fast-forward point is a duplicate.
+  rig.applier.OnShipment(
+      MakeShipment("p", "f", 1, 3, 1, InputRecord("s", 2, Msg(3))));
+  EXPECT_EQ(rig.applier.applied(), 1u);
+  EXPECT_EQ(rig.applier.duplicates(), 1u);
+}
+
+TEST(FollowerApplierTest, SourceIncarnationBumpResetsTheLink) {
+  ApplierRig rig;
+  rig.applier.OnShipment(
+      MakeShipment("p", "f", 1, 1, 1, InputRecord("s", 0, Msg(1))));
+  rig.applier.OnShipment(
+      MakeShipment("p", "f", 1, 2, 1, InputRecord("s", 1, Msg(2))));
+  EXPECT_EQ(rig.applier.applied(), 2u);
+
+  // The source restarts: new incarnation renumbers from 1.
+  rig.applier.OnShipment(
+      MakeShipment("p", "f", 2, 1, 1, InputRecord("t", 0, Msg(7))));
+  EXPECT_EQ(rig.applier.applied(), 3u);
+
+  // The old life's stragglers are stale, not applied.
+  rig.applier.OnShipment(
+      MakeShipment("p", "f", 1, 3, 1, InputRecord("s", 2, Msg(3))));
+  EXPECT_EQ(rig.applier.applied(), 3u);
+}
+
+TEST(FollowerApplierTest, SuspectsSilentSourcesOncePerEpisode) {
+  ApplierRig rig;
+  const auto start = std::chrono::steady_clock::now();
+  rig.applier.OnHeartbeat("p", 1);
+  EXPECT_TRUE(
+      rig.applier.SuspectPeers(start, std::chrono::milliseconds(50)).empty());
+  const auto later = start + std::chrono::milliseconds(200);
+  const std::vector<std::string> suspects =
+      rig.applier.SuspectPeers(later, std::chrono::milliseconds(50));
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], "p");
+  // Same silence episode: not reported again.
+  EXPECT_TRUE(
+      rig.applier.SuspectPeers(later, std::chrono::milliseconds(50)).empty());
+  // A sign of life, then silence again: a fresh episode fires.
+  rig.applier.OnHeartbeat("p", 1);
+  const auto much_later = later + std::chrono::seconds(1);
+  EXPECT_EQ(
+      rig.applier.SuspectPeers(much_later, std::chrono::milliseconds(50))
+          .size(),
+      1u);
+}
+
+TEST(FollowerApplierTest, ExpectedPeersAreSuspectableWithoutEverHearingThem) {
+  ApplierRig rig;
+  // "q" never sends a heartbeat; without a baseline it is invisible to
+  // the monitor. ExpectPeers arms the clock (self is skipped), and an
+  // already-heard peer's clock is not reset by a later ExpectPeers.
+  rig.applier.ExpectPeers({"f", "q"});
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(
+      rig.applier.SuspectPeers(start, std::chrono::seconds(10)).empty());
+  rig.applier.OnHeartbeat("p", 1);
+  rig.applier.ExpectPeers({"p"});  // no-op: "p" was just heard
+  const auto later = start + std::chrono::milliseconds(200);
+  std::vector<std::string> suspects =
+      rig.applier.SuspectPeers(later, std::chrono::milliseconds(50));
+  std::sort(suspects.begin(), suspects.end());
+  EXPECT_EQ(suspects, (std::vector<std::string>{"p", "q"}));
+}
+
+// ---------------------------------------------------------------------
+// Replicator: links, barrier, retransmission, pins
+
+struct ReplicatorRig {
+  ReplicatorRig(ReplicationOptions options, core::FaultInjector* injector =
+                                                nullptr)
+      : group({"p", "f1", "f2"}),
+        transport(injector),
+        replicator("p", &group, options, &transport, /*incarnation=*/1) {}
+  ReplicaGroup group;
+  InProcessTransport transport;
+  Replicator replicator;
+};
+
+ReplicationOptions FastOptions(size_t replicas, size_t quorum) {
+  ReplicationOptions options;
+  options.replicas = replicas;
+  options.ack_quorum = quorum;
+  options.ack_timeout = std::chrono::milliseconds(150);
+  options.retransmit_interval = std::chrono::milliseconds(3);
+  options.heartbeat_interval = std::chrono::milliseconds(5);
+  return options;
+}
+
+// A real applier per follower gives end-to-end acks over the transport.
+struct FollowerRig {
+  FollowerRig(const std::string& id, InProcessTransport* transport)
+      : applier(id, ApplierRig::MakeOptions(dir.path()), transport,
+                /*incarnation=*/1, nullptr) {}
+  TempDir dir;
+  FollowerApplier applier;
+};
+
+class FollowerEndpoint : public ReplicationEndpoint {
+ public:
+  explicit FollowerEndpoint(FollowerApplier* applier) : applier_(applier) {}
+  void OnShipment(const Shipment& shipment) override {
+    applier_->OnShipment(shipment);
+  }
+  void OnAck(const std::string&, uint64_t, uint64_t) override {}
+  void OnHeartbeat(const std::string& from, uint64_t incarnation) override {
+    applier_->OnHeartbeat(from, incarnation);
+  }
+
+ private:
+  FollowerApplier* const applier_;
+};
+
+class ReplicatorEndpoint : public ReplicationEndpoint {
+ public:
+  explicit ReplicatorEndpoint(Replicator* replicator)
+      : replicator_(replicator) {}
+  void OnShipment(const Shipment&) override {}
+  void OnAck(const std::string& from, uint64_t incarnation,
+             uint64_t acked) override {
+    replicator_->OnAck(from, incarnation, acked);
+  }
+  void OnHeartbeat(const std::string&, uint64_t) override {}
+
+ private:
+  Replicator* const replicator_;
+};
+
+TEST(ReplicatorTest, BarrierReachesQuorumThroughRealFollowers) {
+  ReplicatorRig rig(FastOptions(2, 2));
+  FollowerRig f1("f1", &rig.transport);
+  FollowerRig f2("f2", &rig.transport);
+  FollowerEndpoint e1(&f1.applier);
+  FollowerEndpoint e2(&f2.applier);
+  ReplicatorEndpoint ep(&rig.replicator);
+  rig.transport.Bind("f1", &e1);
+  rig.transport.Bind("f2", &e2);
+  rig.transport.Bind("p", &ep);
+
+  // A session this replicator serves: both other nodes are its followers.
+  std::string session;
+  for (int i = 0; i < 200 && session.empty(); ++i) {
+    const std::string id = "s" + std::to_string(i);
+    if (rig.group.PrimaryOf(id) == "p") session = id;
+  }
+  ASSERT_FALSE(session.empty());
+  rig.replicator.ShipRecord(InputRecord(session, 0, Msg(1)), 0, 0);
+  const core::Status barrier = rig.replicator.ShipOutcomeAndWait(
+      InputRecord(session, 1, SessionRunner::DelimiterMessage(1)), 0, 0);
+  EXPECT_TRUE(barrier.ok()) << barrier.ToString();
+  EXPECT_EQ(f1.applier.applied() + f2.applier.applied(), 4u);
+
+  // Everything acknowledged: no segment pinned anywhere.
+  EXPECT_EQ(rig.replicator.MinUnackedSegment(0),
+            persistence::ShardDurability::kNoSegmentPin);
+
+  rig.transport.Unbind("p");
+  rig.transport.Unbind("f1");
+  rig.transport.Unbind("f2");
+}
+
+TEST(ReplicatorTest, BarrierTimesOutWithoutQuorum) {
+  // Followers exist in the group but nothing is bound: acks never come.
+  ReplicatorRig rig(FastOptions(2, 1));
+  const auto start = std::chrono::steady_clock::now();
+  const core::Status barrier = rig.replicator.ShipOutcomeAndWait(
+      InputRecord("s1", 1, SessionRunner::DelimiterMessage(1)), 0, 7);
+  EXPECT_EQ(barrier.code(), RunError::kReplicationTimeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(150));
+  // The unacknowledged outcome pins its segment.
+  EXPECT_EQ(rig.replicator.MinUnackedSegment(0), 7u);
+  EXPECT_GE(rig.replicator.follower_lag_hwm(), 1u);
+}
+
+TEST(ReplicatorTest, RetransmissionCoversAHealedPartition) {
+  ReplicatorRig rig(FastOptions(1, 1));
+  // The single follower of each session is its ring successor; find a
+  // session followed by f1.
+  std::string session;
+  for (int i = 0; i < 200 && session.empty(); ++i) {
+    const std::string id = "s" + std::to_string(i);
+    const std::vector<std::string> followers = rig.group.FollowersOf(id, 1);
+    if (!followers.empty() && followers[0] == "f1" &&
+        rig.group.PrimaryOf(id) == "p") {
+      session = id;
+    }
+  }
+  ASSERT_FALSE(session.empty());
+
+  FollowerRig f1("f1", &rig.transport);
+  FollowerEndpoint e1(&f1.applier);
+  ReplicatorEndpoint ep(&rig.replicator);
+  rig.transport.Bind("f1", &e1);
+  rig.transport.Bind("p", &ep);
+
+  rig.transport.Partition("p", "f1");
+  std::thread healer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    rig.transport.Heal("p", "f1");
+  });
+  // The first transmission vanishes into the partition; the barrier is
+  // saved by retransmission after the heal.
+  const core::Status barrier = rig.replicator.ShipOutcomeAndWait(
+      InputRecord(session, 1, SessionRunner::DelimiterMessage(1)), 0, 0);
+  healer.join();
+  EXPECT_TRUE(barrier.ok()) << barrier.ToString();
+  EXPECT_GE(f1.applier.applied(), 1u);
+
+  rig.transport.Unbind("p");
+  rig.transport.Unbind("f1");
+}
+
+TEST(ReplicatorTest, AbortWakesBarrierWaiters) {
+  ReplicatorRig rig(FastOptions(2, 2));
+  std::thread aborter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    rig.replicator.Abort();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const core::Status barrier = rig.replicator.ShipOutcomeAndWait(
+      InputRecord("s1", 1, SessionRunner::DelimiterMessage(1)), 0, 0);
+  aborter.join();
+  EXPECT_EQ(barrier.code(), RunError::kShutdown);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(140));  // did not sit out ack_timeout
+}
+
+TEST(ReplicatorTest, CountsSegmentTransitions) {
+  ReplicatorRig rig(FastOptions(2, 2));
+  rig.replicator.ShipRecord(InputRecord("s1", 0, Msg(1)), 0, 0);
+  rig.replicator.ShipRecord(InputRecord("s1", 1, Msg(2)), 0, 0);  // same seg
+  rig.replicator.ShipRecord(InputRecord("s1", 2, Msg(3)), 0, 1);  // rotated
+  rig.replicator.ShipRecord(InputRecord("s1", 3, Msg(4)), 1, 5);  // new shard
+  EXPECT_EQ(rig.replicator.segments_shipped(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// End to end: replicated nodes, kill, promotion
+
+struct Cluster {
+  explicit Cluster(ReplicationOptions replication,
+                   std::chrono::nanoseconds failover = {})
+      : group({"n0", "n1", "n2"}), sws(MakeTwoLevelLogger()) {
+    for (size_t i = 0; i < 3; ++i) {
+      NodeOptions options;
+      options.id = "n" + std::to_string(i);
+      options.dir = dirs[i].path();
+      options.replication = replication;
+      options.runtime.num_workers = 2;
+      options.runtime.num_shards = 2;
+      options.runtime.durability.fsync = persistence::FsyncPolicy::kAlways;
+      options.runtime.durability.segment_bytes = 4096;
+      options.runtime.durability.snapshot_interval_appends = 8;
+      if (failover.count() > 0) {
+        options.failover_timeout = failover;
+        options.runtime.governance.enable_watchdog = true;
+        options.runtime.governance.watchdog_interval =
+            std::chrono::microseconds(500);
+        options.on_peer_suspected = [this](const std::string& node,
+                                           const std::string& peer) {
+          std::lock_guard<std::mutex> lock(mu);
+          suspected.emplace_back(node, peer);
+        };
+      }
+      nodes[i] = std::make_unique<ReplicatedNode>(options, &sws, LoggerDb(),
+                                                  &group, &transport);
+    }
+  }
+
+  ReplicatedNode* node(const std::string& id) {
+    for (auto& n : nodes) {
+      if (n->id() == id) return n.get();
+    }
+    return nullptr;
+  }
+
+  // First session id (s0, s1, ...) currently served by `primary`.
+  std::string SessionOn(const std::string& primary, int salt = 0) {
+    for (int i = salt; i < salt + 500; ++i) {
+      const std::string id = "s" + std::to_string(i);
+      if (group.PrimaryOf(id) == primary) return id;
+    }
+    return {};
+  }
+
+  ReplicaGroup group;
+  Sws sws;
+  InProcessTransport transport{nullptr};
+  TempDir dirs[3];
+  std::unique_ptr<ReplicatedNode> nodes[3];
+  std::mutex mu;
+  std::vector<std::pair<std::string, std::string>> suspected;
+};
+
+// Runs one full session (message + delimiter) on its primary; returns
+// the number of ok-acks received.
+int RunSession(Cluster& cluster, const std::string& id, int64_t value) {
+  ReplicatedNode* primary = cluster.node(cluster.group.PrimaryOf(id));
+  SWS_CHECK(primary != nullptr && primary->running());
+  std::atomic<int> acked{0};
+  std::atomic<int> errored{0};
+  EXPECT_TRUE(primary->runtime()->Submit(id, Msg(value)).ok());
+  EXPECT_TRUE(primary->runtime()
+                  ->Submit(id, SessionRunner::DelimiterMessage(1),
+                           [&](rt::Outcome outcome) {
+                             if (outcome.status.ok()) {
+                               acked.fetch_add(1);
+                             } else {
+                               errored.fetch_add(1);
+                             }
+                           })
+                  .ok());
+  primary->runtime()->Drain();
+  EXPECT_EQ(errored.load(), 0);
+  return acked.load();
+}
+
+TEST(ReplicatedNodeTest, AcksOnlyAfterFollowerQuorumAndExposesStats) {
+  Cluster cluster(FastOptions(2, 2));
+  for (auto& node : cluster.nodes) ASSERT_TRUE(node->Start().ok());
+
+  const std::string s0 = cluster.SessionOn("n0");
+  ASSERT_FALSE(s0.empty());
+  EXPECT_EQ(RunSession(cluster, s0, 7), 1);
+
+  const rt::StatsSnapshot stats = cluster.node("n0")->runtime()->Stats();
+  EXPECT_EQ(stats.replication_acks, 1u);
+  EXPECT_EQ(stats.replication_timeouts, 0u);
+  EXPECT_EQ(stats.promotions, 0u);
+  EXPECT_GE(stats.segments_shipped, 1u);
+
+  // Both followers durably applied the session's three records (two
+  // inputs + outcome).
+  uint64_t applied = 0;
+  for (auto& node : cluster.nodes) {
+    if (node->id() != "n0") applied += node->applier()->applied();
+  }
+  EXPECT_EQ(applied, 6u);
+  for (auto& node : cluster.nodes) node->Stop();
+}
+
+TEST(ReplicatedNodeTest, BarrierTimeoutWithholdsTheAck) {
+  Cluster cluster(FastOptions(2, 2));
+  for (auto& node : cluster.nodes) ASSERT_TRUE(node->Start().ok());
+  const std::string s0 = cluster.SessionOn("n0");
+  ASSERT_FALSE(s0.empty());
+
+  // Cut the primary off from both followers: local persistence succeeds,
+  // the quorum never acks, the client sees kReplicationTimeout.
+  cluster.transport.Partition("n0", "n1");
+  cluster.transport.Partition("n0", "n2");
+  ReplicatedNode* primary = cluster.node("n0");
+  std::atomic<int> timeouts{0};
+  ASSERT_TRUE(primary->runtime()->Submit(s0, Msg(1)).ok());
+  ASSERT_TRUE(primary->runtime()
+                  ->Submit(s0, SessionRunner::DelimiterMessage(1),
+                           [&](rt::Outcome outcome) {
+                             if (outcome.status.code() ==
+                                 RunError::kReplicationTimeout) {
+                               timeouts.fetch_add(1);
+                             }
+                           })
+                  .ok());
+  primary->runtime()->Drain();
+  EXPECT_EQ(timeouts.load(), 1);
+  EXPECT_EQ(primary->runtime()->Stats().replication_timeouts, 1u);
+  EXPECT_EQ(primary->runtime()->Stats().replication_acks, 0u);
+  for (auto& node : cluster.nodes) node->Stop();
+}
+
+TEST(ReplicatedNodeTest, PromotionRecoversAckedSessionsWithoutDoubleAck) {
+  Cluster cluster(FastOptions(2, 2));
+  for (auto& node : cluster.nodes) ASSERT_TRUE(node->Start().ok());
+
+  // One acked session and one half-submitted session on n0.
+  const std::string acked_id = cluster.SessionOn("n0");
+  ASSERT_FALSE(acked_id.empty());
+  EXPECT_EQ(RunSession(cluster, acked_id, 41), 1);
+  const std::string open_id = cluster.SessionOn("n0", 1000);
+  ASSERT_FALSE(open_id.empty());
+  ASSERT_NE(open_id, acked_id);
+  ASSERT_TRUE(cluster.node("n0")->runtime()->Submit(open_id, Msg(42)).ok());
+  cluster.node("n0")->runtime()->Drain();
+  // Give the async input shipment time to land on the followers.
+  ASSERT_TRUE(WaitFor([&] {
+    uint64_t applied = 0;
+    for (auto& node : cluster.nodes) {
+      if (node->id() != "n0") applied += node->applier()->applied();
+    }
+    return applied >= 8;  // acked session 3x2 + open input x2
+  }));
+
+  cluster.node("n0")->Kill();
+  const std::string heir = ChoosePromotionCandidate(
+      {cluster.node("n1"), cluster.node("n2")}, &cluster.sws, LoggerDb());
+  ASSERT_FALSE(heir.empty());
+  ASSERT_TRUE(cluster.node(heir)->Promote("n0").ok());
+  EXPECT_EQ(cluster.node(heir)->promotions(), 1u);
+  EXPECT_EQ(cluster.node(heir)->runtime()->Stats().promotions, 1u);
+  EXPECT_EQ(cluster.group.PrimaryOf(acked_id), heir);
+
+  // The acked session was fully journaled on the heir: replay suppresses
+  // its outcome (no double ack) and its state is current.
+  for (const persistence::ReplayedOutcome& outcome :
+       cluster.node(heir)->replayed()) {
+    EXPECT_NE(outcome.session_id, acked_id)
+        << "acknowledged outcome re-emitted after promotion";
+  }
+  const persistence::RecoveryResult* recovery =
+      cluster.node(heir)->runtime()->recovery();
+  ASSERT_TRUE(recovery != nullptr);
+  auto acked_image = recovery->sessions.find(acked_id);
+  ASSERT_TRUE(acked_image != recovery->sessions.end());
+  EXPECT_EQ(acked_image->second.next_seq, 2u);
+  SessionRunner oracle(&cluster.sws, LoggerDb());
+  oracle.Feed(Msg(41));
+  auto oracle_out = oracle.Feed(SessionRunner::DelimiterMessage(1));
+  ASSERT_TRUE(oracle_out.has_value() && oracle_out->status.ok());
+  EXPECT_TRUE(acked_image->second.db == oracle.db());
+  EXPECT_EQ(acked_image->second.db.Hash(), oracle.db().Hash());
+
+  // The open session lost nothing: its journaled input survived to the
+  // heir; the client finishes it there exactly once.
+  auto open_image = recovery->sessions.find(open_id);
+  ASSERT_TRUE(open_image != recovery->sessions.end());
+  EXPECT_EQ(open_image->second.next_seq, 1u);
+  std::atomic<int> acks{0};
+  ASSERT_TRUE(cluster.node(heir)
+                  ->runtime()
+                  ->Submit(open_id, SessionRunner::DelimiterMessage(1),
+                           [&](rt::Outcome outcome) {
+                             if (outcome.status.ok()) acks.fetch_add(1);
+                           })
+                  .ok());
+  cluster.node(heir)->runtime()->Drain();
+  EXPECT_EQ(acks.load(), 1);
+
+  for (auto& node : cluster.nodes) node->Stop();
+}
+
+TEST(ReplicatedNodeTest, DeposedPrimaryNeverReEmitsPromotedSessions) {
+  Cluster cluster(FastOptions(2, 2));
+  for (auto& node : cluster.nodes) ASSERT_TRUE(node->Start().ok());
+  const std::string id = cluster.SessionOn("n0");
+  ASSERT_FALSE(id.empty());
+
+  // Kill n0's disk after two more appends: both inputs persist (and
+  // ship), the outcome append tears — the classic unacknowledged-outcome
+  // crash. The client sees an error, never an ack.
+  cluster.node("n0")->injector()->KillStorageAfter(2);
+  std::atomic<int> errors{0};
+  ASSERT_TRUE(cluster.node("n0")->runtime()->Submit(id, Msg(1)).ok());
+  ASSERT_TRUE(cluster.node("n0")
+                  ->runtime()
+                  ->Submit(id, SessionRunner::DelimiterMessage(1),
+                           [&](rt::Outcome outcome) {
+                             if (!outcome.status.ok()) errors.fetch_add(1);
+                           })
+                  .ok());
+  cluster.node("n0")->runtime()->Drain();
+  EXPECT_EQ(errors.load(), 1);
+  // Both shipped inputs must land on both followers before the crash.
+  ASSERT_TRUE(WaitFor([&] {
+    return cluster.node("n1")->applier()->applied() >= 2 &&
+           cluster.node("n2")->applier()->applied() >= 2;
+  }));
+  cluster.node("n0")->Kill();
+
+  // The heir replays the session — both inputs, no outcome — and
+  // re-emits the recomputed outcome exactly once.
+  ASSERT_TRUE(cluster.node("n1")->Promote("n0").ok());
+  ASSERT_EQ(cluster.node("n1")->replayed().size(), 1u);
+  EXPECT_EQ(cluster.node("n1")->replayed()[0].session_id, id);
+
+  // The deposed primary restarts with the same unacknowledged outcome in
+  // its own journal, but the ownership filter keeps it silent: the
+  // session resolved away to the heir, which already delivered.
+  ASSERT_TRUE(cluster.node("n0")->Start().ok());
+  EXPECT_TRUE(cluster.node("n0")->replayed().empty());
+  for (auto& node : cluster.nodes) node->Stop();
+}
+
+TEST(ReplicatedNodeTest, WatchdogSuspectsASilentPeer) {
+  Cluster cluster(FastOptions(2, 2),
+                  /*failover=*/std::chrono::milliseconds(60));
+  for (auto& node : cluster.nodes) ASSERT_TRUE(node->Start().ok());
+  // Heartbeats flow; nobody is suspected while all three live.
+  const std::string id = cluster.SessionOn("n0");
+  ASSERT_FALSE(id.empty());
+  EXPECT_EQ(RunSession(cluster, id, 9), 1);
+
+  cluster.node("n1")->Kill();
+  // Suspicion needs no pre-kill heartbeat baseline: ExpectPeers armed the
+  // silence clock for every group member at startup, so even a peer that
+  // never got a heartbeat out (single-core schedules can starve it off
+  // the CPU entirely) becomes suspect after the failover timeout.
+  ASSERT_TRUE(WaitFor([&] {
+    std::lock_guard<std::mutex> lock(cluster.mu);
+    for (const auto& [node, peer] : cluster.suspected) {
+      if (peer == "n1") return true;
+    }
+    return false;
+  })) << "no survivor suspected the killed node";
+  {
+    std::lock_guard<std::mutex> lock(cluster.mu);
+    for (const auto& [node, peer] : cluster.suspected) {
+      EXPECT_NE(node, "n1");  // the dead node reports nothing
+    }
+  }
+  for (auto& node : cluster.nodes) node->Stop();
+}
+
+TEST(ReplicatedNodeTest, ReplicasZeroLeavesTheSingleNodePathAlone) {
+  ReplicaGroup group({"n0"});
+  InProcessTransport transport(nullptr);
+  Sws sws = MakeTwoLevelLogger();
+  NodeOptions options;
+  options.id = "n0";
+  TempDir dir;
+  options.dir = dir.path();
+  options.replication.replicas = 0;
+  options.runtime.num_workers = 1;
+  options.runtime.num_shards = 1;
+  options.runtime.durability.fsync = persistence::FsyncPolicy::kAlways;
+  ReplicatedNode node(std::move(options), &sws, LoggerDb(), &group,
+                      &transport);
+  ASSERT_TRUE(node.Start().ok());
+  std::atomic<int> acks{0};
+  ASSERT_TRUE(node.runtime()->Submit("s", Msg(3)).ok());
+  ASSERT_TRUE(node.runtime()
+                  ->Submit("s", SessionRunner::DelimiterMessage(1),
+                           [&](rt::Outcome outcome) {
+                             if (outcome.status.ok()) acks.fetch_add(1);
+                           })
+                  .ok());
+  node.runtime()->Drain();
+  EXPECT_EQ(acks.load(), 1);
+  const rt::StatsSnapshot stats = node.runtime()->Stats();
+  EXPECT_EQ(stats.replication_acks, 0u);
+  EXPECT_EQ(stats.segments_shipped, 0u);
+  node.Stop();
+}
+
+// Replication wiring is rejected without its prerequisites.
+TEST(ReplicationRuntimeOptionsTest, ValidationRequiresDurabilityAndWatchdog) {
+  class NullClient : public rt::ReplicationClient {
+   public:
+    void ShipRecord(const persistence::JournalRecord&, uint64_t,
+                    uint64_t) override {}
+    core::Status ShipOutcomeAndWait(const persistence::JournalRecord&,
+                                    uint64_t, uint64_t) override {
+      return core::Status::Ok();
+    }
+    uint64_t MinUnackedSegment(uint64_t) const override {
+      return persistence::ShardDurability::kNoSegmentPin;
+    }
+    uint64_t segments_shipped() const override { return 0; }
+    uint64_t follower_lag_hwm() const override { return 0; }
+  };
+  class NullMonitor : public rt::FailoverMonitor {
+   public:
+    std::vector<std::string> SuspectPeers(
+        std::chrono::steady_clock::time_point,
+        std::chrono::nanoseconds) override {
+      return {};
+    }
+  };
+  NullClient client;
+  NullMonitor monitor;
+
+  rt::RuntimeOptions options;
+  options.replication.client = &client;
+  EXPECT_FALSE(rt::ValidateRuntimeOptions(options).ok())
+      << "a replication client without durability must be rejected";
+  options.durability.dir = "/tmp/x";
+  EXPECT_TRUE(rt::ValidateRuntimeOptions(options).ok());
+
+  options.replication.failover_timeout = std::chrono::milliseconds(10);
+  EXPECT_FALSE(rt::ValidateRuntimeOptions(options).ok())
+      << "failover needs the monitor and the watchdog";
+  options.replication.monitor = &monitor;
+  EXPECT_FALSE(rt::ValidateRuntimeOptions(options).ok());
+  options.governance.enable_watchdog = true;
+  EXPECT_TRUE(rt::ValidateRuntimeOptions(options).ok());
+  options.replication.failover_timeout = std::chrono::nanoseconds(-1);
+  EXPECT_FALSE(rt::ValidateRuntimeOptions(options).ok());
+}
+
+}  // namespace
+}  // namespace sws::replication

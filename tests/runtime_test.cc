@@ -1005,6 +1005,11 @@ TEST(RuntimeStatsTest, ToJsonIsStrictlyValidAndComplete) {
       {"tracked_bytes_hwm", stats.tracked_bytes_hwm},
       {"pressure_level", stats.pressure_level},
       {"queue_depth", stats.queue_depth},
+      {"replication_acks", stats.replication_acks},
+      {"replication_timeouts", stats.replication_timeouts},
+      {"promotions", stats.promotions},
+      {"segments_shipped", stats.segments_shipped},
+      {"follower_lag_hwm", stats.follower_lag_hwm},
       {"runs", stats.total_runs()},
   };
   for (const auto& [key, value] : expected) {
@@ -1015,6 +1020,14 @@ TEST(RuntimeStatsTest, ToJsonIsStrictlyValidAndComplete) {
   EXPECT_EQ(stats.sessions_closed, 5u);
   EXPECT_EQ(fields.count("p50_us"), 1u);
   EXPECT_EQ(fields.count("p99_us"), 1u);
+  // ToString carries the replication counters too (all zero here —
+  // replicas=0 leaves the single-node path alone).
+  const std::string text = stats.ToString();
+  for (const char* field :
+       {"replication_acks=0", "replication_timeouts=0", "promotions=0",
+        "segments_shipped=0", "follower_lag_hwm=0"}) {
+    EXPECT_NE(text.find(field), std::string::npos) << "missing: " << field;
+  }
 }
 
 // Regression for the durable submit path: Drain() (and the shard
