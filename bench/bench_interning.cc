@@ -1,0 +1,144 @@
+// Interning + columnar-relation microbenchmarks (PR 7): intern/lookup
+// throughput, packed-Value equality/hash, and columnar scans vs the
+// boxed tuple iteration the set-backed representation forced. The
+// checked-in baseline is BENCH_interning.json; regenerate with
+//   scripts/check.sh bench
+// after any change to relational/intern.* or the Value/Relation layout.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "relational/intern.h"
+#include "relational/relation.h"
+#include "relational/value.h"
+
+namespace {
+
+using sws::rel::Interner;
+using sws::rel::Relation;
+using sws::rel::Tuple;
+using sws::rel::TupleHash;
+using sws::rel::Value;
+
+std::vector<std::string> Words(size_t n) {
+  std::vector<std::string> words;
+  words.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    words.push_back("constant_" + std::to_string(i));
+  }
+  return words;
+}
+
+// Hit-path throughput: re-interning an already-known string (the common
+// case — workload vocabularies are finite). Covers the shard-map lookup.
+void BM_InternStringHit(benchmark::State& state) {
+  const auto words = Words(static_cast<size_t>(state.range(0)));
+  for (const auto& w : words) Interner::Global().InternString(w);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Interner::Global().InternString(words[i]));
+    i = (i + 1) % words.size();
+  }
+}
+BENCHMARK(BM_InternStringHit)->Arg(1024);
+
+// Id-to-payload lookup (the hot direction: ToString/serde/ordering).
+// Lock-free chunked-table read.
+void BM_InternStringLookup(benchmark::State& state) {
+  const auto words = Words(1024);
+  std::vector<uint64_t> ids;
+  ids.reserve(words.size());
+  for (const auto& w : words) {
+    ids.push_back(Interner::Global().InternString(w));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Interner::Global().StringAt(ids[i]).size());
+    i = (i + 1) % ids.size();
+  }
+}
+BENCHMARK(BM_InternStringLookup);
+
+// Equality of two string-kind Values: one packed-word compare now; was
+// a kind check + std::string compare before interning.
+void BM_ValueStringEquality(benchmark::State& state) {
+  const Value a = Value::Str("a_moderately_long_constant_name");
+  const Value b = Value::Str("a_moderately_long_constant_nam_");
+  bool eq = false;
+  for (auto _ : state) {
+    eq ^= (a == b);
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_ValueStringEquality);
+
+void BM_TupleHash3(benchmark::State& state) {
+  const Tuple t = {Value::Str("orlando"), Value::Int(42), Value::Null(7)};
+  TupleHash hash;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash(t));
+  }
+}
+BENCHMARK(BM_TupleHash3);
+
+Relation ScanRelation(size_t rows) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int64_t> v(0, 1 << 20);
+  Relation r(3);
+  while (r.size() < rows) {
+    r.Insert({Value::Int(v(rng)), Value::Int(v(rng)), Value::Int(v(rng))});
+  }
+  return r;
+}
+
+// Columnar scan: walk one column of the arena directly (what the
+// bytecode executor's kLoad/kCheckCol ops do per candidate row).
+void BM_ColumnarScan(benchmark::State& state) {
+  const Relation r = ScanRelation(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    size_t h = 0;
+    const Value* col = r.ColumnData(1);
+    for (size_t i = 0; i < r.size(); ++i) h ^= col[i].Hash();
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(r.size()));
+}
+BENCHMARK(BM_ColumnarScan)->Range(1 << 10, 1 << 14);
+
+// Boxed iteration: materialize each row as a Tuple, the legacy-style
+// access pattern (what pre-columnar set iteration cost per tuple, minus
+// the pointer chasing).
+void BM_BoxedTupleScan(benchmark::State& state) {
+  const Relation r = ScanRelation(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    size_t h = 0;
+    for (const Tuple& t : r) h ^= t[1].Hash();
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(r.size()));
+}
+BENCHMARK(BM_BoxedTupleScan)->Range(1 << 10, 1 << 14);
+
+// Sorted point insertion into the columnar arena (binary search + one
+// memmove per column): the mutation-side cost the scan speed buys.
+void BM_RelationInsertErase(benchmark::State& state) {
+  Relation r = ScanRelation(static_cast<size_t>(state.range(0)));
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<int64_t> v(0, 1 << 20);
+  for (auto _ : state) {
+    Tuple t = {Value::Int(v(rng)), Value::Int(v(rng)), Value::Int(v(rng))};
+    if (r.Insert(t)) r.Erase(t);
+    benchmark::DoNotOptimize(r.size());
+  }
+}
+BENCHMARK(BM_RelationInsertErase)->Range(1 << 10, 1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,10 +2,11 @@
 """Compare a google-benchmark JSON run against a checked-in baseline.
 
 Usage:
-    scripts/bench_diff.py BASELINE.json FRESH.json [--threshold 0.25]
+    scripts/bench_diff.py BASELINE.json FRESH.json \
+        [--threshold 0.25] [--filter REGEX]
 
-Benchmarks are matched by name; for each pair the relative change in
-real_time is reported. Exits non-zero if any benchmark regressed by
+Benchmarks are matched by name (optionally restricted to names matching
+--filter); for each pair the relative change in real_time is reported. Exits non-zero if any benchmark regressed by
 more than the threshold (default 25% slower). Benchmarks present in
 only one file are reported but never fail the run — baselines are
 regenerated wholesale when the suite changes.
@@ -23,6 +24,7 @@ compiled — Debian's libbenchmark ships without NDEBUG and always says
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -45,10 +47,16 @@ def main():
     parser.add_argument("fresh")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated slowdown as a fraction (0.25 = 25%%)")
+    parser.add_argument("--filter", default=None, metavar="REGEX",
+                        help="only compare benchmarks whose name matches")
     args = parser.parse_args()
 
     base, base_build = load_benchmarks(args.baseline)
     fresh, fresh_build = load_benchmarks(args.fresh)
+    if args.filter:
+        pattern = re.compile(args.filter)
+        base = {n: v for n, v in base.items() if pattern.search(n)}
+        fresh = {n: v for n, v in fresh.items() if pattern.search(n)}
 
     if base_build != fresh_build:
         print("bench_diff: refusing to compare across library_build_type: "

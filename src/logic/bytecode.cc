@@ -1,0 +1,149 @@
+#include "logic/bytecode.h"
+
+#include <set>
+
+#include "util/common.h"
+
+namespace sws::logic::bytecode {
+
+JoinProgram Compile(const std::vector<Atom>& ordered,
+                    const std::vector<Comparison>& comparisons,
+                    const rel::Database& db) {
+  JoinProgram program;
+
+  // Pass 1: assign variable registers in first-occurrence order (the
+  // same numbering the legacy JoinPlan gives its slots, which keeps the
+  // two paths easy to differential-test).
+  for (const Atom& atom : ordered) {
+    for (const Term& term : atom.args) {
+      if (term.is_var() && program.var_reg.count(term.var()) == 0) {
+        const int reg = static_cast<int>(program.var_reg.size());
+        program.var_reg.emplace(term.var(), reg);
+      }
+    }
+  }
+  SWS_CHECK_LE(program.var_reg.size(), size_t{UINT16_MAX});
+  program.num_var_regs = static_cast<uint16_t>(program.var_reg.size());
+
+  std::vector<rel::Value> constants;
+  std::map<rel::Value, uint16_t> const_reg_of;
+  auto const_reg = [&](const rel::Value& v) -> uint16_t {
+    auto it = const_reg_of.find(v);
+    if (it != const_reg_of.end()) return it->second;
+    const uint16_t reg =
+        static_cast<uint16_t>(program.num_var_regs + constants.size());
+    constants.push_back(v);
+    const_reg_of.emplace(v, reg);
+    return reg;
+  };
+
+  // Constant-vs-constant comparisons resolve at compile time.
+  std::vector<bool> attached(comparisons.size(), false);
+  for (size_t ci = 0; ci < comparisons.size(); ++ci) {
+    const Comparison& c = comparisons[ci];
+    if (c.lhs.is_const() && c.rhs.is_const()) {
+      attached[ci] = true;
+      if ((c.lhs.value() == c.rhs.value()) != c.is_equality) {
+        program.comparison_failed = true;
+      }
+    }
+  }
+
+  // Pass 2: one Level per atom.
+  std::set<int> loaded;       // vars with their kLoad already emitted
+  std::set<int> bound_prior;  // vars bound at fully-compiled levels
+  for (const Atom& atom : ordered) {
+    const rel::Relation* relation =
+        db.Contains(atom.relation) ? &db.Get(atom.relation) : nullptr;
+    if (relation != nullptr && relation->arity() != atom.args.size()) {
+      relation = nullptr;
+    }
+    if (relation == nullptr) {  // no facts: the whole body matches nothing
+      program.never_matches = true;
+      return program;
+    }
+    Level level;
+    level.relation = relation;
+    level.ops_begin = static_cast<uint32_t>(program.ops.size());
+    level.keys_begin = static_cast<uint32_t>(program.keys.size());
+    uint64_t mask = 0;
+    rel::Tuple key_template;  // parallel to the masked columns, ascending
+    for (size_t col = 0; col < atom.args.size(); ++col) {
+      const Term& term = atom.args[col];
+      if (term.is_const()) {
+        if (col < 64) {
+          mask |= uint64_t{1} << col;
+          key_template.push_back(term.value());  // prefilled, never rewritten
+        } else {
+          program.ops.push_back({Op::kCheckCol, const_reg(term.value()),
+                                 static_cast<uint32_t>(col)});
+        }
+        continue;
+      }
+      const uint16_t reg =
+          static_cast<uint16_t>(program.var_reg.at(term.var()));
+      if (loaded.count(term.var()) == 0) {  // first occurrence: bind here
+        loaded.insert(term.var());
+        program.ops.push_back({Op::kLoad, reg, static_cast<uint32_t>(col)});
+      } else if (bound_prior.count(term.var()) > 0 && col < 64) {
+        mask |= uint64_t{1} << col;  // bound earlier: probe key component
+        program.keys.push_back(
+            {static_cast<uint32_t>(key_template.size()), reg});
+        key_template.push_back(rel::Value());  // rewritten per probe
+      } else {
+        // Repeated within this atom (its register is written by an
+        // earlier kLoad of the same level) or beyond indexable columns.
+        program.ops.push_back(
+            {Op::kCheckCol, reg, static_cast<uint32_t>(col)});
+      }
+    }
+    if (mask != 0) {
+      level.index = relation->GetIndex(mask);
+    }
+    // Attach each comparison at the first level where both sides are
+    // bound; it then costs exactly one compare per candidate row.
+    for (size_t ci = 0; ci < comparisons.size(); ++ci) {
+      if (attached[ci]) continue;
+      const Comparison& c = comparisons[ci];
+      uint16_t lhs, rhs;
+      if (c.lhs.is_var()) {
+        if (loaded.count(c.lhs.var()) == 0) continue;
+        lhs = static_cast<uint16_t>(program.var_reg.at(c.lhs.var()));
+      } else {
+        lhs = const_reg(c.lhs.value());
+      }
+      if (c.rhs.is_var()) {
+        if (loaded.count(c.rhs.var()) == 0) continue;
+        rhs = static_cast<uint16_t>(program.var_reg.at(c.rhs.var()));
+      } else {
+        rhs = const_reg(c.rhs.value());
+      }
+      attached[ci] = true;
+      program.ops.push_back(
+          {c.is_equality ? Op::kCmpEq : Op::kCmpNe, lhs, rhs});
+    }
+    for (const Term& t : atom.args) {
+      if (t.is_var()) bound_prior.insert(t.var());
+    }
+    level.ops_end = static_cast<uint32_t>(program.ops.size());
+    level.keys_end = static_cast<uint32_t>(program.keys.size());
+    program.key_templates.push_back(std::move(key_template));
+    program.levels.push_back(std::move(level));
+  }
+
+  program.reg_init.assign(program.num_var_regs, rel::Value());
+  program.reg_init.insert(program.reg_init.end(), constants.begin(),
+                          constants.end());
+  return program;
+}
+
+bool HasMatch(const JoinProgram& p) {
+  bool found = false;
+  Run(p, [&found](const std::vector<rel::Value>&) {
+    found = true;
+    return false;  // one witness suffices
+  });
+  return found;
+}
+
+}  // namespace sws::logic::bytecode

@@ -1,0 +1,187 @@
+#ifndef SWS_LOGIC_BYTECODE_H_
+#define SWS_LOGIC_BYTECODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "logic/cq.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "util/cancellation.h"
+
+namespace sws::logic::bytecode {
+
+/// Register-bytecode join execution (the PR 7 tentpole, stage 3).
+///
+/// A greedily-ordered CQ body is lowered once into a JoinProgram: a flat
+/// register machine whose state is a vector of packed 8-byte rel::Value
+/// words ("registers") — variables in first-occurrence order, then the
+/// program's constants, preloaded. One Level per atom either scans its
+/// relation's rows or probes a bound-column-mask hash index
+/// (rel::Relation::GetIndex), and each candidate row is vetted by a
+/// straight-line span of three-operand ops over registers and columnar
+/// loads. No virtual dispatch, no per-probe allocation: the executor is
+/// an iterative cursor stack driven by one switch loop, and probe keys
+/// reuse per-level buffers whose constant components are prefilled at
+/// compile time.
+///
+/// ISA (see DESIGN.md §12 for the op table):
+///   kLoad      regs[a] = row[b]        bind a first-occurrence variable
+///   kCheckCol  row[b] == regs[a]?      repeated variable / constant /
+///                                      non-indexable column check
+///   kCmpEq     regs[a] == regs[b]?     attached '=' comparison
+///   kCmpNe     regs[a] != regs[b]?     attached '≠' comparison
+/// Check ops reject the candidate row on failure. Because Values are
+/// canonical packed words, every op is a single integer load/compare.
+struct Op {
+  enum Code : uint8_t { kLoad = 0, kCheckCol = 1, kCmpEq = 2, kCmpNe = 3 };
+  Code code;
+  uint16_t a;  // register
+  uint32_t b;  // column (kLoad/kCheckCol) or second register (kCmp*)
+};
+
+/// One variable component of a probe key: key[pos] = regs[reg].
+/// Constant components are prefilled in the level's key template.
+struct KeySlot {
+  uint32_t pos;
+  uint16_t reg;
+};
+
+struct Level {
+  const rel::Relation* relation = nullptr;
+  /// Shared ownership: under an IndexBudget the relation's pool may
+  /// evict this index mid-run; the program's reference keeps it alive.
+  std::shared_ptr<const rel::Relation::Index> index;  // null: full scan
+  uint32_t ops_begin = 0, ops_end = 0;    // span into JoinProgram::ops
+  uint32_t keys_begin = 0, keys_end = 0;  // span into JoinProgram::keys
+};
+
+struct JoinProgram {
+  std::vector<Level> levels;
+  std::vector<Op> ops;        // all levels' ops, concatenated
+  std::vector<KeySlot> keys;  // all levels' variable key slots
+  /// Initial register file: [0, num_var_regs) zeroed variable registers
+  /// (written by kLoad before any read), then the constants.
+  std::vector<rel::Value> reg_init;
+  uint16_t num_var_regs = 0;
+  /// Per-level probe-key buffers with constant components prefilled;
+  /// copied once per execution, reused across every probe.
+  std::vector<rel::Tuple> key_templates;
+  /// Variable id -> register, for resolving head terms / bindings.
+  std::map<int, int> var_reg;
+  bool never_matches = false;      // an atom's relation absent/mismatched
+  bool comparison_failed = false;  // a const-vs-const comparison is false
+};
+
+/// Lowers a body (atoms already join-ordered, e.g. by OrderAtomsGreedily)
+/// into a JoinProgram against the given database. Each comparison is
+/// attached at the first level where both sides are bound, so it costs
+/// exactly one compare per candidate row.
+JoinProgram Compile(const std::vector<Atom>& ordered,
+                    const std::vector<Comparison>& comparisons,
+                    const rel::Database& db);
+
+/// Runs the program; `sink(regs)` fires once per complete match and may
+/// return false to stop enumeration. Returns false iff stopped early —
+/// by the sink or by a tripped util::StepGate (cooperative cancellation
+/// is checked once per candidate row; StepTick batches the gate admit).
+/// An empty program (no levels) has exactly one empty match.
+template <typename Sink>
+bool Run(const JoinProgram& p, Sink&& sink) {
+  if (p.never_matches || p.comparison_failed) return true;
+  const size_t depth = p.levels.size();
+  std::vector<rel::Value> regs = p.reg_init;
+  if (depth == 0) return sink(regs);
+  std::vector<rel::Tuple> key_bufs = p.key_templates;
+
+  struct Cursor {
+    const uint32_t* bucket = nullptr;  // null: positional scan
+    size_t pos = 0;
+    size_t end = 0;
+  };
+  std::vector<Cursor> cursors(depth);
+
+  size_t li = 0;
+  bool entering = true;
+  while (true) {
+    const Level& level = p.levels[li];
+    Cursor& cur = cursors[li];
+    if (entering) {
+      entering = false;
+      if (level.index != nullptr) {
+        rel::Tuple& key = key_bufs[li];
+        for (uint32_t k = level.keys_begin; k != level.keys_end; ++k) {
+          key[p.keys[k].pos] = regs[p.keys[k].reg];
+        }
+        auto it = level.index->buckets.find(key);
+        if (it == level.index->buckets.end()) {
+          cur = Cursor{};
+        } else {
+          cur.bucket = it->second.data();
+          cur.pos = 0;
+          cur.end = it->second.size();
+        }
+      } else {
+        cur.bucket = nullptr;
+        cur.pos = 0;
+        cur.end = level.relation->size();
+      }
+    }
+
+    // Advance this level's cursor to the next row passing all ops.
+    const rel::Relation& rel = *level.relation;
+    bool found = false;
+    while (cur.pos < cur.end) {
+      const size_t row = cur.bucket != nullptr ? cur.bucket[cur.pos] : cur.pos;
+      ++cur.pos;
+      if (!sws::util::StepTick()) return false;
+      bool ok = true;
+      for (uint32_t oi = level.ops_begin; oi != level.ops_end; ++oi) {
+        const Op op = p.ops[oi];
+        switch (op.code) {
+          case Op::kLoad:
+            regs[op.a] = rel.At(row, op.b);
+            break;
+          case Op::kCheckCol:
+            ok = rel.At(row, op.b) == regs[op.a];
+            break;
+          case Op::kCmpEq:
+            ok = regs[op.a] == regs[op.b];
+            break;
+          case Op::kCmpNe:
+            ok = !(regs[op.a] == regs[op.b]);
+            break;
+        }
+        if (!ok) break;
+      }
+      if (ok) {
+        found = true;
+        break;
+      }
+    }
+
+    if (!found) {
+      if (li == 0) return true;  // exhausted the outermost level: done
+      --li;                      // resume the parent cursor where it was
+      continue;
+    }
+    if (li + 1 == depth) {
+      if (!sink(regs)) return false;
+      // Stay at this level; keep advancing its cursor.
+    } else {
+      ++li;
+      entering = true;
+    }
+  }
+}
+
+/// True iff the program has at least one match (stops at the first).
+/// Distinguishes "no match" from a cancellation abort by checking the
+/// found flag, matching the legacy ComponentHasMatch contract.
+bool HasMatch(const JoinProgram& p);
+
+}  // namespace sws::logic::bytecode
+
+#endif  // SWS_LOGIC_BYTECODE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "logic/bytecode.h"
 #include "util/cancellation.h"
 #include "util/common.h"
 
@@ -331,18 +332,19 @@ bool RunPlanFrom(const JoinPlan& plan, size_t level_index,
                  std::vector<rel::Tuple>* key_bufs, const OnMatch& on_match) {
   if (level_index == plan.levels.size()) return on_match(*slots);
   const JoinPlan::Level& level = plan.levels[level_index];
-  auto try_tuple = [&](const rel::Tuple& t) {
+  const rel::Relation& rel = *level.relation;
+  auto try_row = [&](size_t row) {
     // Cooperative cancellation: the probe loops must notice a tripped
     // governor within a bounded number of candidate tuples. `false`
     // stops enumeration through every enclosing level; the governed
     // caller discards the partial result.
     if (!sws::util::StepTick()) return false;
-    for (const auto& o : level.outs) (*slots)[o.slot] = t[o.col];
+    for (const auto& o : level.outs) (*slots)[o.slot] = rel.At(row, o.col);
     for (const auto& vc : level.var_checks) {
-      if (!(t[vc.col] == (*slots)[vc.slot])) return true;
+      if (!(rel.At(row, vc.col) == (*slots)[vc.slot])) return true;
     }
     for (const auto& cc : level.const_checks) {
-      if (!(t[cc.col] == cc.value)) return true;
+      if (!(rel.At(row, cc.col) == cc.value)) return true;
     }
     for (const auto& sc : level.comparisons) {
       const rel::Value& l =
@@ -360,12 +362,12 @@ bool RunPlanFrom(const JoinPlan& plan, size_t level_index,
     }
     auto it = level.index->buckets.find(key);
     if (it == level.index->buckets.end()) return true;
-    for (const rel::Tuple* t : it->second) {
-      if (!try_tuple(*t)) return false;
+    for (uint32_t row : it->second) {
+      if (!try_row(row)) return false;
     }
   } else {
-    for (const rel::Tuple& t : *level.relation) {
-      if (!try_tuple(t)) return false;
+    for (size_t row = 0; row < rel.size(); ++row) {
+      if (!try_row(row)) return false;
     }
   }
   return true;
@@ -503,14 +505,238 @@ bool EnumerateMatches(const std::vector<Atom>& body,
   JoinPlan plan = CompilePlan(OrderAtomsGreedily(body, db), comparisons, db);
   return RunPlan(plan, [&](const std::vector<rel::Value>& slots) {
     Binding binding;
-    for (const auto& [var, slot] : plan.var_slot) {  // ascending var order
-      binding.emplace_hint(binding.end(), var, slots[slot]);
+    for (const auto& [var, slot] : plan.var_slot) {
+      binding.emplace(var, slots[slot]);
     }
     return on_match(binding);
   });
 }
 
 rel::Relation ConjunctiveQuery::Evaluate(const rel::Database& db) const {
+  return EvaluateWith(db, CqEngine::kBytecode);
+}
+
+rel::Relation ConjunctiveQuery::EvaluateWith(const rel::Database& db,
+                                             CqEngine engine) const {
+  if (engine == CqEngine::kNaive) return EvaluateNaive(db);
+  if (engine == CqEngine::kIndexedPlan) return EvaluateIndexed(db);
+
+  rel::Relation out(head_.size());
+  QueryComponents components = SplitComponents(body_, comparisons_, head_);
+  if (components.constant_comparison_failed) return out;
+
+  // Existential components (no head variable): one witness suffices.
+  std::vector<Atom> head_atoms;
+  std::vector<Comparison> head_comparisons;
+  for (size_t i = 0; i < components.atoms.size(); ++i) {
+    if (components.touches_head[i]) {
+      std::vector<Atom> ordered = OrderAtomsGreedily(components.atoms[i], db);
+      head_atoms.insert(head_atoms.end(), ordered.begin(), ordered.end());
+      head_comparisons.insert(head_comparisons.end(),
+                              components.comparisons[i].begin(),
+                              components.comparisons[i].end());
+    } else if (!bytecode::HasMatch(bytecode::Compile(
+                   OrderAtomsGreedily(components.atoms[i], db),
+                   components.comparisons[i], db))) {
+      return out;
+    }
+  }
+
+  bytecode::JoinProgram program =
+      bytecode::Compile(head_atoms, head_comparisons, db);
+  if (program.never_matches || program.comparison_failed) return out;
+  // Resolve head terms to registers/constants once, outside the loop.
+  struct HeadPart {
+    int reg = -1;  // -1: the constant below
+    rel::Value constant;
+  };
+  std::vector<HeadPart> head_parts;
+  head_parts.reserve(head_.size());
+  for (const Term& term : head_) {
+    HeadPart part;
+    if (term.is_var()) {
+      auto it = program.var_reg.find(term.var());
+      SWS_CHECK(it != program.var_reg.end())
+          << "unsafe head variable " << term.ToString();
+      part.reg = it->second;
+    } else {
+      part.constant = term.value();
+    }
+    head_parts.push_back(std::move(part));
+  }
+
+  if (head_.empty()) {  // nullary head: {()} iff any match exists
+    if (bytecode::HasMatch(program)) out.Insert({});
+    return out;
+  }
+  // Emit matches into one flat row-major buffer, deduplicating head
+  // rows at emit time with an open-addressing set over the packed value
+  // words: a chain join enumerates every witness path but most project
+  // to an already-seen head row, and rows dropped here are rows the
+  // final sort never has to touch. FromRowMajor then sorts + bulk
+  // transposes the distinct rows (no per-match ordered insertion).
+  const size_t arity = head_.size();
+
+  // Grouped-emission detection: when head parts [0, p) are variables
+  // kLoad-ed from columns [0, p), in order, at an outermost *scan*
+  // level, the scan walks its relation in lexicographic row order, so
+  // (a) every match sharing a head prefix arrives consecutively and
+  // (b) prefix groups arrive in ascending order. Deduplication then
+  // needs only a small per-group table over the head suffix (epoch-
+  // tagged, so group changes never clear it), and the output assembles
+  // already sorted — FromRowMajor's linear sortedness check skips the
+  // final sort entirely.
+  size_t group_prefix = 0;
+  if (!program.levels.empty() && program.levels[0].index == nullptr) {
+    const bytecode::Level& lvl = program.levels[0];
+    while (group_prefix < arity) {
+      const HeadPart& part = head_parts[group_prefix];
+      bool loads_col = false;
+      for (uint32_t oi = lvl.ops_begin; oi != lvl.ops_end && !loads_col;
+           ++oi) {
+        const bytecode::Op& op = program.ops[oi];
+        loads_col = op.code == bytecode::Op::kLoad && op.b == group_prefix &&
+                    part.reg >= 0 && op.a == part.reg;
+      }
+      if (!loads_col) break;
+      ++group_prefix;
+    }
+  }
+
+  const size_t p = group_prefix;
+  const size_t sfx = arity - p;
+  std::vector<rel::Value> flat;       // final row-major output rows
+  std::vector<rel::Value> row(sfx);   // head-suffix scratch
+  std::vector<rel::Value> group(p);   // current group's prefix values
+  bool have_group = false;
+  bool group_inline = true;  // every suffix value has an inline order key
+  std::vector<rel::Value> gflat;      // distinct suffix rows, this group
+  std::vector<uint64_t> gslots(p > 0 ? 256 : 4096, 0);
+  size_t gmask = gslots.size() - 1;
+  uint32_t epoch = 0;  // gslots entry: (epoch << 32) | suffix row index
+  std::vector<uint64_t> key_scratch;   // flush: bare order keys
+  std::vector<uint32_t> order_scratch; // flush: permutation fallback
+  // Independent per-column mixes (rotated golden-ratio products) keep
+  // the hash's dependency chain flat — the sink runs once per witness
+  // path, so single-digit-ns constants matter here.
+  auto row_hash = [sfx](const rel::Value* r) {
+    size_t h = 0;
+    for (size_t c = 0; c < sfx; ++c) {
+      const size_t m = r[c].Hash();
+      h ^= (m << (c & 63)) | (m >> ((64 - c) & 63));
+    }
+    return h;
+  };
+  // Sorts the current group's distinct suffix rows and appends the
+  // (prefix, suffix) rows to `flat`. Group sizes are small, so the sort
+  // runs in cache; when every suffix value is an inline int/null the
+  // sort runs over bare u64 order keys with no value decoding at all.
+  auto flush_group = [&]() {
+    if (!have_group) return;
+    if (sfx == 0) {
+      flat.insert(flat.end(), group.begin(), group.end());
+      return;
+    }
+    const size_t m = gflat.size() / sfx;
+    if (m == 0) return;
+    const size_t base = flat.size();
+    flat.resize(base + m * arity);
+    rel::Value* dst = flat.data() + base;
+    if (sfx == 1 && group_inline) {
+      key_scratch.resize(m);
+      for (size_t i = 0; i < m; ++i) {
+        key_scratch[i] = gflat[i].InlineOrderKey();
+      }
+      std::sort(key_scratch.begin(), key_scratch.end());
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t c = 0; c < p; ++c) *dst++ = group[c];
+        *dst++ = rel::Value::FromInlineOrderKey(key_scratch[i]);
+      }
+      return;
+    }
+    order_scratch.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      order_scratch[i] = static_cast<uint32_t>(i);
+    }
+    const bool inline_keys = group_inline;
+    std::sort(order_scratch.begin(), order_scratch.end(),
+              [&gflat, sfx, inline_keys](uint32_t a, uint32_t b) {
+                const rel::Value* ra = gflat.data() + size_t{a} * sfx;
+                const rel::Value* rb = gflat.data() + size_t{b} * sfx;
+                for (size_t c = 0; c < sfx; ++c) {
+                  if (inline_keys) {
+                    const uint64_t ka = ra[c].InlineOrderKey();
+                    const uint64_t kb = rb[c].InlineOrderKey();
+                    if (ka != kb) return ka < kb;
+                  } else {
+                    auto cmp = ra[c] <=> rb[c];
+                    if (cmp != std::strong_ordering::equal) return cmp < 0;
+                  }
+                }
+                return false;
+              });
+    for (uint32_t idx : order_scratch) {
+      for (size_t c = 0; c < p; ++c) *dst++ = group[c];
+      const rel::Value* src = gflat.data() + size_t{idx} * sfx;
+      for (size_t c = 0; c < sfx; ++c) *dst++ = src[c];
+    }
+  };
+  bytecode::Run(program, [&](const std::vector<rel::Value>& regs) {
+    bool boundary = !have_group;
+    for (size_t c = 0; c < p && !boundary; ++c) {
+      boundary = !(regs[head_parts[c].reg] == group[c]);
+    }
+    if (boundary) {
+      flush_group();
+      for (size_t c = 0; c < p; ++c) group[c] = regs[head_parts[c].reg];
+      have_group = true;
+      group_inline = true;
+      gflat.clear();
+      ++epoch;
+      if (sfx == 0) return true;  // prefix-only head: row emitted at flush
+    }
+    if (sfx == 0) return true;
+    for (size_t c = 0; c < sfx; ++c) {
+      const HeadPart& part = head_parts[p + c];
+      row[c] = part.reg >= 0 ? regs[part.reg] : part.constant;
+    }
+    size_t pos = row_hash(row.data()) & gmask;
+    for (;;) {
+      const uint64_t slot = gslots[pos];
+      if (static_cast<uint32_t>(slot >> 32) != epoch) break;  // free slot
+      const rel::Value* seen =
+          gflat.data() + size_t{static_cast<uint32_t>(slot)} * sfx;
+      size_t c = 0;
+      while (c < sfx && seen[c] == row[c]) ++c;
+      if (c == sfx) return true;  // duplicate suffix in this group: drop
+      pos = (pos + 1) & gmask;
+    }
+    const size_t count = gflat.size() / sfx;
+    gslots[pos] = (uint64_t{epoch} << 32) | count;
+    for (size_t c = 0; c < sfx; ++c) {
+      group_inline = group_inline && row[c].HasInlineOrderKey();
+    }
+    gflat.insert(gflat.end(), row.begin(), row.end());
+    if ((count + 1) * 4 > gslots.size() * 3) {  // keep load under 3/4
+      std::vector<uint64_t> grown(gslots.size() * 2, 0);
+      const size_t m2 = grown.size() - 1;
+      for (size_t i = 0; i <= count; ++i) {
+        size_t gpos = row_hash(gflat.data() + i * sfx) & m2;
+        while (static_cast<uint32_t>(grown[gpos] >> 32) == epoch) {
+          gpos = (gpos + 1) & m2;
+        }
+        grown[gpos] = (uint64_t{epoch} << 32) | i;
+      }
+      gslots = std::move(grown);
+      gmask = m2;
+    }
+    return true;
+  });
+  flush_group();
+  return rel::Relation::FromRowMajor(arity, flat);
+}
+
+rel::Relation ConjunctiveQuery::EvaluateIndexed(const rel::Database& db) const {
   rel::Relation out(head_.size());
   QueryComponents components =
       SplitComponents(body_, comparisons_, head_);
@@ -588,8 +814,9 @@ bool ConjunctiveQuery::EvaluatesNonempty(const rel::Database& db) const {
       SplitComponents(body_, comparisons_, head_);
   if (components.constant_comparison_failed) return false;
   for (size_t i = 0; i < components.atoms.size(); ++i) {
-    if (!ComponentHasMatch(OrderAtomsGreedily(components.atoms[i], db),
-                           components.comparisons[i], db)) {
+    if (!bytecode::HasMatch(bytecode::Compile(
+            OrderAtomsGreedily(components.atoms[i], db),
+            components.comparisons[i], db))) {
       return false;
     }
   }

@@ -1,10 +1,12 @@
 #ifndef SWS_LOGIC_CQ_H_
 #define SWS_LOGIC_CQ_H_
 
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "logic/term.h"
@@ -36,6 +38,19 @@ struct Comparison {
   friend bool operator==(const Comparison&, const Comparison&) = default;
   friend std::strong_ordering operator<=>(const Comparison&, const Comparison&) =
       default;
+};
+
+/// Evaluation engine selection, for differential testing and ablation
+/// benchmarks. All three are semantically identical.
+enum class CqEngine {
+  /// Register-bytecode executor over columnar relations (logic/
+  /// bytecode.h) — the default since the PR 7 interning refactor.
+  kBytecode,
+  /// The PR 3 compiled JoinPlan (recursive template walker). Retained as
+  /// the mid-fidelity differential reference and ablation baseline.
+  kIndexedPlan,
+  /// Plain backtracking join in textual atom order — the oracle.
+  kNaive,
 };
 
 /// A conjunctive query with equality and inequality:
@@ -75,6 +90,10 @@ class ConjunctiveQuery {
   /// the database match nothing. Inequalities compare values directly
   /// (labeled nulls are plain values: distinct labels are distinct).
   rel::Relation Evaluate(const rel::Database& db) const;
+
+  /// Evaluates with an explicit engine (see CqEngine). Evaluate() is
+  /// EvaluateWith(db, CqEngine::kBytecode).
+  rel::Relation EvaluateWith(const rel::Database& db, CqEngine engine) const;
 
   /// Reference evaluation: plain backtracking join in textual atom order,
   /// with no greedy reordering and no connected-component decomposition.
@@ -126,14 +145,66 @@ class ConjunctiveQuery {
       default;
 
  private:
+  /// The legacy JoinPlan evaluation (CqEngine::kIndexedPlan).
+  rel::Relation EvaluateIndexed(const rel::Database& db) const;
+
   std::vector<Term> head_;
   std::vector<Atom> body_;
   std::vector<Comparison> comparisons_;
 };
 
 /// Binding of query variables to values during evaluation / homomorphism
-/// search.
-using Binding = std::map<int, rel::Value>;
+/// search. Bindings hold a handful of variables at a time, so this is a
+/// flat small-vector map with linear lookup: with packed one-word Values
+/// the whole binding sits in one or two cache lines, and find/erase beat
+/// the node-based std::map it replaced by a wide margin in the FO/CQ
+/// interpreter loops (the peer-store runtime workload resolves terms
+/// millions of times per run). Iteration order is insertion order with
+/// swap-removal on erase — unspecified, like the unordered maps it
+/// mirrors; no caller may depend on it.
+class Binding {
+ public:
+  using value_type = std::pair<int, rel::Value>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  Binding() = default;
+  Binding(std::initializer_list<value_type> init) : entries_(init) {}
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const_iterator find(int var) const {
+    auto it = entries_.begin();
+    while (it != entries_.end() && it->first != var) ++it;
+    return it;
+  }
+  /// Returns the value bound to `var`, default-inserting like std::map.
+  rel::Value& operator[](int var) {
+    for (auto& e : entries_) {
+      if (e.first == var) return e.second;
+    }
+    entries_.emplace_back(var, rel::Value());
+    return entries_.back().second;
+  }
+  /// Inserts only if `var` is unbound (std::map::emplace semantics).
+  void emplace(int var, const rel::Value& v) {
+    if (find(var) == end()) entries_.emplace_back(var, v);
+  }
+  void erase(int var) {
+    for (auto& e : entries_) {
+      if (e.first == var) {
+        e = entries_.back();
+        entries_.pop_back();
+        return;
+      }
+    }
+  }
+
+ private:
+  std::vector<value_type> entries_;
+};
 
 /// Resolves a term under a binding; nullopt if an unbound variable.
 std::optional<rel::Value> ResolveTerm(const Term& term, const Binding& binding);

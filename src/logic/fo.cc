@@ -132,13 +132,31 @@ bool FoFormula::Eval(const rel::Database& db,
 
 bool FoFormula::EvalMutable(const rel::Database& db,
                             const std::set<rel::Value>& domain,
-                            Binding* binding) const {
+                            Binding* binding, EvalContext* ctx) const {
   switch (node_->kind) {
     case Kind::kAtom: {
-      if (!db.Contains(node_->relation)) return false;
-      const rel::Relation& rel = db.Get(node_->relation);
-      if (rel.arity() != node_->args.size()) return false;
-      rel::Tuple t;
+      // Resolve the atom's relation: through the per-evaluation cache
+      // when the caller supplies one (two string-keyed map lookups per
+      // atom evaluation otherwise — the dominant cost of quantifier
+      // sweeps), directly against the database when not. nullptr in the
+      // cache records "absent or arity mismatch": the atom is false.
+      const rel::Relation* rel = nullptr;
+      if (ctx != nullptr) {
+        auto [it, inserted] =
+            ctx->atom_relations.try_emplace(node_.get(), nullptr);
+        if (inserted && db.Contains(node_->relation)) {
+          const rel::Relation& r = db.Get(node_->relation);
+          if (r.arity() == node_->args.size()) it->second = &r;
+        }
+        rel = it->second;
+      } else if (db.Contains(node_->relation)) {
+        const rel::Relation& r = db.Get(node_->relation);
+        if (r.arity() == node_->args.size()) rel = &r;
+      }
+      if (rel == nullptr) return false;
+      rel::Tuple local;
+      rel::Tuple& t = ctx != nullptr ? ctx->probe : local;
+      t.clear();
       t.reserve(node_->args.size());
       for (const Term& term : node_->args) {
         auto v = ResolveTerm(term, *binding);
@@ -146,7 +164,7 @@ bool FoFormula::EvalMutable(const rel::Database& db,
                                  << " in FO atom";
         t.push_back(*v);
       }
-      return rel.Contains(t);
+      return rel->Contains(t);
     }
     case Kind::kEq: {
       auto l = ResolveTerm(node_->args[0], *binding);
@@ -155,15 +173,15 @@ bool FoFormula::EvalMutable(const rel::Database& db,
       return *l == *r;
     }
     case Kind::kNot:
-      return !node_->children[0].EvalMutable(db, domain, binding);
+      return !node_->children[0].EvalMutable(db, domain, binding, ctx);
     case Kind::kAnd:
       for (const auto& c : node_->children) {
-        if (!c.EvalMutable(db, domain, binding)) return false;
+        if (!c.EvalMutable(db, domain, binding, ctx)) return false;
       }
       return true;
     case Kind::kOr:
       for (const auto& c : node_->children) {
-        if (c.EvalMutable(db, domain, binding)) return true;
+        if (c.EvalMutable(db, domain, binding, ctx)) return true;
       }
       return false;
     case Kind::kExists:
@@ -184,7 +202,8 @@ bool FoFormula::EvalMutable(const rel::Database& db,
         // caller discards the (meaningless) boolean.
         if (!sws::util::StepTick()) break;
         (*binding)[node_->bound_var] = v;
-        if (node_->children[0].EvalMutable(db, domain, binding) == is_exists) {
+        if (node_->children[0].EvalMutable(db, domain, binding, ctx) ==
+            is_exists) {
           result = is_exists;  // witness / counterexample: short-circuit
           break;
         }
@@ -355,9 +374,10 @@ rel::Relation FoQuery::Evaluate(const rel::Database& db) const {
   }
   rel::Relation out(head_.size());
   Binding binding;
+  FoFormula::EvalContext ctx;  // shared across the O(|adom|^k) sweeps
   std::function<void(size_t)> assign = [&](size_t i) {
     if (i == vars.size()) {
-      if (formula_.EvalMutable(db, *domain, &binding)) {
+      if (formula_.EvalMutable(db, *domain, &binding, &ctx)) {
         rel::Tuple t;
         t.reserve(head_.size());
         for (const Term& term : head_) {

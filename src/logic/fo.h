@@ -6,6 +6,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "logic/cq.h"
@@ -60,15 +61,28 @@ class FoFormula {
   bool Eval(const rel::Database& db, const std::set<rel::Value>& domain,
             const Binding& binding) const;
 
+  /// Reusable per-evaluation state for repeated EvalMutable calls over
+  /// one fixed database (FoQuery::Evaluate invokes the formula once per
+  /// head-variable assignment — O(|adom|^k) times). Caches each atom
+  /// node's resolved relation so the inner loop skips the two
+  /// string-keyed database lookups per atom, and reuses one probe-tuple
+  /// buffer instead of allocating per atom evaluation. Must not outlive
+  /// the database it was first used with.
+  struct EvalContext {
+    std::unordered_map<const void*, const rel::Relation*> atom_relations;
+    rel::Tuple probe;
+  };
+
   /// As above, but extends `binding` in place while walking quantifiers
   /// (saving and restoring shadowed entries) instead of copying the map
   /// at every quantifier node; `binding` is unchanged on return. This is
   /// the hot path — Eval copies once and delegates here. (A separate
   /// name, not an overload: `Eval(db, domain, {})` must keep meaning an
-  /// empty binding, not a null pointer.)
+  /// empty binding, not a null pointer.) Pass the same `ctx` across
+  /// calls against one database to amortize atom-relation resolution.
   bool EvalMutable(const rel::Database& db,
-                   const std::set<rel::Value>& domain,
-                   Binding* binding) const;
+                   const std::set<rel::Value>& domain, Binding* binding,
+                   EvalContext* ctx = nullptr) const;
 
   /// Free variables of the formula.
   std::set<int> FreeVars() const;

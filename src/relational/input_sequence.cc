@@ -1,24 +1,10 @@
 #include "relational/input_sequence.h"
 
-#include <map>
 #include <sstream>
 
 #include "util/common.h"
 
 namespace sws::rel {
-
-namespace {
-// Shared empty message returned for out-of-range indices. One static
-// instance per arity would be cleaner but arities vary; we keep a small
-// cache keyed by arity via a function-local static pointer (never deleted,
-// per the style rule on static storage duration).
-const Relation& EmptyMessage(size_t arity) {
-  static auto& cache = *new std::map<size_t, Relation>();
-  auto it = cache.find(arity);
-  if (it == cache.end()) it = cache.emplace(arity, Relation(arity)).first;
-  return it->second;
-}
-}  // namespace
 
 InputSequence::InputSequence(size_t message_arity,
                              std::vector<Relation> messages)
@@ -28,7 +14,7 @@ InputSequence::InputSequence(size_t message_arity,
 
 const Relation& InputSequence::Message(size_t j) const {
   SWS_CHECK_GE(j, 1u) << "messages are 1-indexed";
-  if (j > messages_.size()) return EmptyMessage(message_arity_);
+  if (j > messages_.size()) return empty_message_;
   return messages_[j - 1];
 }
 

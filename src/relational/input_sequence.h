@@ -56,6 +56,13 @@ class InputSequence {
 
  private:
   size_t message_arity_;
+  /// Returned by Message() for out-of-range indices. Owned per object —
+  /// the previous shared function-local `std::map<arity, Relation>` cache
+  /// was unbounded and raced when concurrent shards first touched a new
+  /// arity; an empty Relation is one word of arity plus empty vectors, so
+  /// per-object storage is cheaper than any cache. Declared after
+  /// message_arity_ so its initializer may read it.
+  Relation empty_message_{message_arity_};
   std::vector<Relation> messages_;
 };
 

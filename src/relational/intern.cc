@@ -1,0 +1,79 @@
+#include "relational/intern.h"
+
+#include "util/common.h"
+
+namespace sws::rel {
+
+Interner& Interner::Global() {
+  static Interner* instance = new Interner();  // leaky: ids live forever
+  return *instance;
+}
+
+uint64_t Interner::InternString(std::string_view s) {
+  const size_t shard_index =
+      std::hash<std::string_view>()(s) & (kNumShards - 1);
+  Shard& shard = shards_[shard_index];
+  std::lock_guard<std::mutex> shard_lock(shard.mu);
+  auto it = shard.map.find(s);
+  if (it != shard.map.end()) return it->second;
+
+  const std::string* stored;
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> append_lock(append_mu_);
+    id = string_size_.load(std::memory_order_relaxed);
+    const size_t chunk = id >> kChunkShift;
+    SWS_CHECK_LT(chunk, kMaxStringChunks) << "intern string table overflow";
+    std::string* base = string_chunks_[chunk].load(std::memory_order_acquire);
+    if (base == nullptr) {
+      base = new std::string[kChunkSize];
+      string_chunks_[chunk].store(base, std::memory_order_release);
+    }
+    base[id & kChunkMask].assign(s.data(), s.size());
+    stored = &base[id & kChunkMask];
+    // Publish after the payload is fully constructed: readers pair an
+    // acquire load of the size with this store.
+    string_size_.store(id + 1, std::memory_order_release);
+  }
+  approx_bytes_.fetch_add(sizeof(std::string) + s.size() + 64,
+                          std::memory_order_relaxed);
+  shard.map.emplace(std::string_view(*stored), id);
+  return id;
+}
+
+const std::string& Interner::StringAt(uint64_t id) const {
+  SWS_CHECK_LT(id, string_size_.load(std::memory_order_acquire))
+      << "intern id out of range";
+  const std::string* base =
+      string_chunks_[id >> kChunkShift].load(std::memory_order_acquire);
+  return base[id & kChunkMask];
+}
+
+uint64_t Interner::InternInt(int64_t v) {
+  std::lock_guard<std::mutex> lock(int_mu_);
+  auto it = int_map_.find(v);
+  if (it != int_map_.end()) return it->second;
+  const uint64_t id = int_size_.load(std::memory_order_relaxed);
+  const size_t chunk = id >> kChunkShift;
+  SWS_CHECK_LT(chunk, kMaxIntChunks) << "intern int table overflow";
+  int64_t* base = int_chunks_[chunk].load(std::memory_order_acquire);
+  if (base == nullptr) {
+    base = new int64_t[kChunkSize];
+    int_chunks_[chunk].store(base, std::memory_order_release);
+  }
+  base[id & kChunkMask] = v;
+  int_size_.store(id + 1, std::memory_order_release);
+  approx_bytes_.fetch_add(sizeof(int64_t) + 48, std::memory_order_relaxed);
+  int_map_.emplace(v, id);
+  return id;
+}
+
+int64_t Interner::IntAt(uint64_t id) const {
+  SWS_CHECK_LT(id, int_size_.load(std::memory_order_acquire))
+      << "intern id out of range";
+  const int64_t* base =
+      int_chunks_[id >> kChunkShift].load(std::memory_order_acquire);
+  return base[id & kChunkMask];
+}
+
+}  // namespace sws::rel

@@ -1,0 +1,112 @@
+#ifndef SWS_RELATIONAL_INTERN_H_
+#define SWS_RELATIONAL_INTERN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sws::rel {
+
+/// The process-wide value intern table behind rel::Value.
+///
+/// Scope decision (documented per DESIGN.md §12): the table is
+/// process-wide, not per-Database. Values flow freely across databases —
+/// session registers, memo keys, serde decode, replication shipments —
+/// so a per-Database table would force an id translation at every one of
+/// those boundaries and reintroduce string compares exactly where the
+/// interning is supposed to remove them. The cost of the global scope is
+/// that the table only grows (ids must stay stable for the lifetime of
+/// every Value in flight); constants in real workloads come from schemas
+/// and finite domains, so the table size tracks the vocabulary, not the
+/// data volume.
+///
+/// Concurrency: interning takes a sharded lock (16 shards by payload
+/// hash; novel payloads additionally take the append lock). Lookups by
+/// id — the hot direction: Value ordering, ToString, serde encode — are
+/// lock-free reads of append-only chunked storage. Chunks are never
+/// moved or freed, so `const std::string&` returned by StringAt stays
+/// valid forever (Value::AsString relies on this). The acquire-load of
+/// the published size pairs with the appender's release-store, making
+/// the payload bytes visible to any thread that legitimately holds the
+/// id.
+///
+/// Ids are dense indexes starting at 0, assigned in first-intern order.
+/// They are NOT stable across processes and never appear in any
+/// persisted encoding — serde writes the boxed payload (kind + bytes),
+/// so the on-disk format is byte-identical to the pre-interning format.
+class Interner {
+ public:
+  /// The process-wide instance (leaky singleton, never destroyed).
+  static Interner& Global();
+
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// Returns the id for `s`, interning it on first sight. Equal strings
+  /// always yield equal ids; distinct strings always yield distinct ids
+  /// (this injectivity is what makes Value equality a single integer
+  /// compare).
+  uint64_t InternString(std::string_view s);
+
+  /// The interned string for a valid id. Aborts on an id never handed
+  /// out (an id cannot be forged through the Value API; serde decodes
+  /// re-intern payload bytes rather than trusting raw ids).
+  const std::string& StringAt(uint64_t id) const;
+
+  /// Side table for int64 payloads that do not fit Value's 61-bit
+  /// inline range (large ints and labeled-null labels). Same contract
+  /// as the string table.
+  uint64_t InternInt(int64_t v);
+  int64_t IntAt(uint64_t id) const;
+
+  /// Table sizes (monotone; for stats and tests).
+  size_t num_strings() const {
+    return string_size_.load(std::memory_order_acquire);
+  }
+  size_t num_ints() const { return int_size_.load(std::memory_order_acquire); }
+
+  /// Approximate heap footprint of the tables (payload bytes + fixed
+  /// per-entry overhead) — observability only, never governed: the
+  /// table is shared state, not per-run cache.
+  size_t ApproxTableBytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Interner() = default;
+
+  // Chunked append-only storage: chunk pointers are published with a
+  // release store and never change afterwards, so readers index without
+  // locks. 4096 entries per chunk.
+  static constexpr size_t kChunkShift = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxStringChunks = size_t{1} << 15;  // 134M ids
+  static constexpr size_t kMaxIntChunks = size_t{1} << 12;     // 16M ids
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    // Keys view into chunk-stored strings (stable addresses).
+    std::unordered_map<std::string_view, uint64_t> map;
+  };
+
+  Shard shards_[kNumShards];
+  std::mutex append_mu_;  // guards id assignment + chunk allocation
+  std::atomic<std::string*> string_chunks_[kMaxStringChunks] = {};
+  std::atomic<uint64_t> string_size_{0};
+
+  std::mutex int_mu_;
+  std::unordered_map<int64_t, uint64_t> int_map_;
+  std::atomic<int64_t*> int_chunks_[kMaxIntChunks] = {};
+  std::atomic<uint64_t> int_size_{0};
+
+  std::atomic<size_t> approx_bytes_{0};
+};
+
+}  // namespace sws::rel
+
+#endif  // SWS_RELATIONAL_INTERN_H_

@@ -1,6 +1,7 @@
 #ifndef SWS_RELATIONAL_RELATION_H_
 #define SWS_RELATIONAL_RELATION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -24,15 +25,23 @@ struct IndexBudget {
 
 /// A relation instance: a set of tuples of a fixed arity.
 ///
-/// Tuples are kept in an ordered set so iteration order is deterministic —
-/// important because SWS runs must be deterministic functions of (D, I)
-/// (the paper's central modeling point) and because tests compare printed
-/// forms.
+/// Storage (the PR 7 columnar refactor): tuples live in one arena of
+/// packed 8-byte Values laid out column-major — column c occupies
+/// [c*capacity, c*capacity + rows) — with rows kept in lexicographic
+/// tuple order. Iteration order is therefore still deterministic and
+/// identical to the previous std::set representation (important because
+/// SWS runs must be deterministic functions of (D, I), and because
+/// ToString and the persisted encoding walk tuples in order). Point
+/// mutation is a binary search plus a per-column memmove — O(arity·n),
+/// same contiguous-shift cost class as a B-tree leaf, and in exchange
+/// scans and joins touch dense cache lines of POD ints instead of
+/// chasing set nodes.
 ///
-/// On top of the ordered set, a relation lazily builds hash indexes keyed
-/// by bound-column masks (see GetIndex) so the join engine in logic/cq.cc
-/// can probe matching tuples in O(1) instead of scanning. Indexes are a
-/// cache: any mutation invalidates them and bumps generation().
+/// On top of the sorted arena, a relation lazily builds hash indexes
+/// keyed by bound-column masks (see GetIndex) so the join engine in
+/// logic/cq.cc and logic/bytecode.cc can probe matching rows in O(1)
+/// instead of scanning. Indexes are a cache: any mutation invalidates
+/// them and bumps generation().
 ///
 /// Thread-safety (audited for src/runtime): concurrent const readers are
 /// safe, including concurrent GetIndex calls (the lazy build is guarded
@@ -54,40 +63,120 @@ class Relation {
   Relation& operator=(Relation&& other) noexcept;
 
   size_t arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
 
   /// Inserts a tuple. Aborts on arity mismatch. Returns true if new.
   bool Insert(Tuple t);
   /// Removes a tuple if present; returns true if it was present.
   bool Erase(const Tuple& t);
-  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+  bool Contains(const Tuple& t) const;
   void Clear();
 
-  const std::set<Tuple>& tuples() const { return tuples_; }
-  auto begin() const { return tuples_.begin(); }
-  auto end() const { return tuples_.end(); }
+  /// The value at (row, column); rows are in lexicographic tuple order.
+  /// The hot accessor for the bytecode executor — one indexed load.
+  Value At(size_t row, size_t col) const {
+    return arena_[col * capacity_ + row];
+  }
+  /// The contiguous column vector for column c ([c][0..size())); valid
+  /// until the next mutation.
+  const Value* ColumnData(size_t col) const {
+    return arena_.data() + col * capacity_;
+  }
+  /// Materializes row r as a boxed tuple.
+  Tuple Row(size_t r) const {
+    Tuple t;
+    t.reserve(arity_);
+    for (size_t c = 0; c < arity_; ++c) t.push_back(At(r, c));
+    return t;
+  }
+
+  /// Input iterator over tuples in lexicographic order. Dereferencing
+  /// materializes the row BY VALUE (the columnar arena has no resident
+  /// Tuple to reference); `for (const Tuple& t : rel)` still works via
+  /// temporary lifetime extension.
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Tuple;
+    using difference_type = ptrdiff_t;
+    using pointer = void;
+    using reference = const Tuple&;
+
+    const_iterator() : rel_(nullptr), row_(0) {}
+    const_iterator(const Relation* rel, size_t row) : rel_(rel), row_(row) {}
+
+    /// Returns a reference to an internal row buffer, refilled lazily
+    /// per row and reused across increments — iteration allocates once,
+    /// not once per row. Standard input-iterator caveat: the reference
+    /// is invalidated by ++ and by destroying the iterator; copy the
+    /// Tuple to keep it.
+    const Tuple& operator*() const {
+      if (!cached_) {
+        current_.assign(rel_->arity_, Value());
+        for (size_t c = 0; c < rel_->arity_; ++c) {
+          current_[c] = rel_->At(row_, c);
+        }
+        cached_ = true;
+      }
+      return current_;
+    }
+    const_iterator& operator++() {
+      ++row_;
+      cached_ = false;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++row_;
+      cached_ = false;
+      return old;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.row_ == b.row_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.row_ != b.row_;
+    }
+
+   private:
+    const Relation* rel_;
+    size_t row_;
+    mutable Tuple current_;
+    mutable bool cached_ = false;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, rows_); }
 
   /// Set operations; operands must share the arity. All three run in
-  /// O(|this| + |other|) via sorted merges + bulk construction.
+  /// O(|this| + |other|) via sorted column-arena merges.
   Relation Union(const Relation& other) const;
   Relation Intersect(const Relation& other) const;
   Relation Difference(const Relation& other) const;
   bool SubsetOf(const Relation& other) const;
 
-  /// Moves all of `other`'s tuples into this relation by set-node
-  /// splicing (no tuple copies, no re-balancing per tuple). `other` is
-  /// left holding the duplicates (tuples already present here).
+  /// Moves all of `other`'s tuples into this relation. `other` is left
+  /// holding the duplicates (tuples already present here), matching the
+  /// pre-columnar set-splice semantics.
   void MergeFrom(Relation&& other);
 
-  /// Bulk construction from an already sorted, deduplicated tuple vector
-  /// in O(n) (hinted insertion) — the fast path behind the set algebra.
+  /// Bulk construction from a sorted, deduplicated tuple vector in O(n)
+  /// (straight transposition into the arena) — the fast path behind the
+  /// set algebra and serde decode. Unsorted or duplicated input is
+  /// tolerated (sorted + deduplicated first) but forfeits the fast path.
   static Relation FromSorted(size_t arity, std::vector<Tuple> sorted);
+
+  /// Bulk construction from rows packed row-major in one flat vector
+  /// (`rows.size()` must be a multiple of `arity`, which must be > 0).
+  /// Input need not be sorted or unique: rows are permutation-sorted and
+  /// deduplicated, then transposed into the arena — no per-tuple
+  /// allocation. The emit path of the bytecode join executor.
+  static Relation FromRowMajor(size_t arity, const std::vector<Value>& rows);
 
   /// All values occurring in any tuple (contribution to the active domain).
   void CollectValues(std::set<Value>* out) const;
 
-  /// Deterministic FNV-style hash of (arity, tuple set); tuples_ is
+  /// Deterministic FNV-style hash of (arity, tuple set); rows are
   /// ordered, so equal relations hash equal. Keys the execution-tree
   /// memo cache (sws/execution.cc).
   size_t Hash() const;
@@ -100,16 +189,16 @@ class Relation {
   /// columns ≥ 64 cannot be indexed). The probe key is the tuple of
   /// values at those columns, ascending. Built lazily on first request
   /// and cached until the next mutation — or until evicted under an
-  /// IndexBudget. Bucket vectors list tuples in set order
+  /// IndexBudget. Bucket vectors list row ids in row (set) order
   /// (deterministic). Callers hold the returned shared_ptr for as long
   /// as they probe it: eviction only drops the cache's reference, so an
   /// in-flight join plan keeps its index alive even if the pool evicts
-  /// it mid-run. The tuple pointers inside stay valid only until the
-  /// relation is mutated, assigned over, or destroyed (unchanged).
+  /// it mid-run. The row ids inside stay valid only until the relation
+  /// is mutated, assigned over, or destroyed (unchanged contract).
   struct Index {
     uint64_t mask = 0;
     std::vector<size_t> cols;  // the set bits of mask, ascending
-    std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> buckets;
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
     size_t approx_bytes = 0;  // computed once at build time
   };
   std::shared_ptr<const Index> GetIndex(uint64_t mask) const;
@@ -135,9 +224,7 @@ class Relation {
 
   std::string ToString() const;
 
-  friend bool operator==(const Relation& a, const Relation& b) {
-    return a.arity_ == b.arity_ && a.tuples_ == b.tuples_;
-  }
+  friend bool operator==(const Relation& a, const Relation& b);
 
   ~Relation();
 
@@ -148,8 +235,22 @@ class Relation {
   /// thread's StepGate. Caller must hold index_mu_ or own the mutation.
   void ReleaseIndexesLocked();
 
+  /// Grows the arena to hold at least min_rows rows per column,
+  /// re-laying out existing columns at the new stride.
+  void Reserve(size_t min_rows);
+  /// Three-way compare of resident row r against a boxed tuple.
+  std::strong_ordering CompareRow(size_t r, const Tuple& t) const;
+  /// First row not lexicographically less than t (binary search).
+  size_t LowerBound(const Tuple& t) const;
+  /// Appends a row of `arity_` values; caller guarantees capacity and
+  /// that the row sorts strictly after every resident row.
+  void AppendRow(const Value* vals);
+
   size_t arity_;
-  std::set<Tuple> tuples_;
+  size_t rows_ = 0;
+  size_t capacity_ = 0;
+  /// Column-major arena: column c at [c*capacity_, c*capacity_+rows_).
+  std::vector<Value> arena_;
   uint64_t generation_ = 0;
   IndexBudget index_budget_;
   /// Lazily-built per-mask indexes in LRU order (front = most recently
@@ -161,13 +262,12 @@ class Relation {
   mutable uint64_t index_evictions_ = 0;
 };
 
-/// Approximate heap footprint of a relation's tuple set (cache-byte
-/// accounting for the execution-tree memo). The per-tuple constant
-/// stands in for std::set node overhead.
+/// Approximate heap footprint of a relation's tuple storage (cache-byte
+/// accounting for the execution-tree memo). Columnar arena: one packed
+/// word per value, plus a small per-row constant standing in for the
+/// arena slack and bookkeeping.
 inline size_t ApproxBytes(const Relation& r) {
-  size_t bytes = sizeof(Relation);
-  for (const Tuple& t : r.tuples()) bytes += ApproxBytes(t) + 64;
-  return bytes;
+  return sizeof(Relation) + r.size() * (r.arity() * sizeof(Value) + 16);
 }
 
 }  // namespace sws::rel

@@ -1,48 +1,60 @@
 #include "relational/value.h"
 
-#include <sstream>
-
 #include "util/common.h"
 
 namespace sws::rel {
 
 int64_t Value::AsInt() const {
-  SWS_CHECK(kind_ == Kind::kInt) << "Value is not an int: " << ToString();
-  return int_;
+  SWS_CHECK(is_int()) << "Value is not an int: " << ToString();
+  return IntPayload();
 }
 
 const std::string& Value::AsString() const {
-  SWS_CHECK(kind_ == Kind::kString)
-      << "Value is not a string: " << ToString();
-  return str_;
+  SWS_CHECK(is_string()) << "Value is not a string: " << ToString();
+  return Interner::Global().StringAt(bits_ & kPayloadMask);
 }
 
 int64_t Value::null_label() const {
-  SWS_CHECK(kind_ == Kind::kNull) << "Value is not a null: " << ToString();
-  return int_;
+  SWS_CHECK(is_null()) << "Value is not a null: " << ToString();
+  return IntPayload();
 }
 
 std::string Value::ToString() const {
-  switch (kind_) {
+  switch (kind()) {
     case Kind::kInt:
-      return std::to_string(int_);
+      return std::to_string(IntPayload());
     case Kind::kString:
-      return "'" + str_ + "'";
+      return "'" + Interner::Global().StringAt(bits_ & kPayloadMask) + "'";
     case Kind::kNull:
-      return "_N" + std::to_string(int_);
+      return "_N" + std::to_string(IntPayload());
   }
   return "?";
 }
 
-std::string TupleToString(const Tuple& t) {
-  std::ostringstream out;
-  out << "(";
-  for (size_t i = 0; i < t.size(); ++i) {
-    if (i > 0) out << ", ";
-    out << t[i].ToString();
+std::strong_ordering Value::CompareSlow(const Value& a, const Value& b) {
+  // Kind-major order (kInt < kString < kNull) matches the pre-interning
+  // boxed comparison, keeping sorted iteration — and therefore ToString
+  // and the persisted encoding of relations — byte-identical.
+  const Kind ka = a.kind(), kb = b.kind();
+  if (ka != kb) {
+    return static_cast<uint8_t>(ka) <=> static_cast<uint8_t>(kb);
   }
-  out << ")";
-  return out.str();
+  if (ka == Kind::kString) {
+    const Interner& interner = Interner::Global();
+    return interner.StringAt(a.bits_ & kPayloadMask)
+               .compare(interner.StringAt(b.bits_ & kPayloadMask)) <=> 0;
+  }
+  return a.IntPayload() <=> b.IntPayload();  // ints and null labels
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
 }
 
 }  // namespace sws::rel

@@ -5,7 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "relational/intern.h"
 
 namespace sws::rel {
 
@@ -19,70 +22,163 @@ namespace sws::rel {
 ///              variables of canonical databases used by the containment
 ///              and validation procedures (Sections 4 and 5 of the paper).
 ///
-/// Values are totally ordered (kind-major) so relations can be kept as
-/// ordered sets with deterministic iteration.
+/// Representation (the PR 7 interning refactor): a Value is a single
+/// packed 64-bit word — 3 tag bits plus a 61-bit payload. Small ints and
+/// null labels (the overwhelmingly common case) are stored inline;
+/// strings and out-of-range ints/labels hold an id into the process-wide
+/// rel::Interner. The packing is *canonical* — every abstract value has
+/// exactly one bit pattern — so equality and hashing in join probe loops
+/// are single integer ops with no string traffic. The boxed view
+/// (AsString/ToString/serde) reads payloads back through the interner,
+/// keeping printed forms and the CRC-framed persistence encoding
+/// byte-identical to the pre-interning format.
+///
+/// Values remain totally ordered (kind-major, then by payload value —
+/// strings lexicographically via the intern table) so relations keep
+/// deterministic iteration order. Raw-word order is NOT value order;
+/// operator<=> decodes.
 class Value {
  public:
   enum class Kind : uint8_t { kInt = 0, kString = 1, kNull = 2 };
 
-  Value() : kind_(Kind::kInt), int_(0) {}
+  Value() : bits_(0) {}  // Int(0): tag kInlineInt, payload 0
 
   static Value Int(int64_t v) {
     Value r;
-    r.kind_ = Kind::kInt;
-    r.int_ = v;
+    if (FitsInline(v)) {
+      r.bits_ = Pack(kTagInlineInt, static_cast<uint64_t>(v) & kPayloadMask);
+    } else {
+      r.bits_ = Pack(kTagBigInt, Interner::Global().InternInt(v));
+    }
     return r;
   }
-  static Value Str(std::string s) {
+  static Value Str(std::string_view s) {
     Value r;
-    r.kind_ = Kind::kString;
-    r.int_ = 0;
-    r.str_ = std::move(s);
+    r.bits_ = Pack(kTagString, Interner::Global().InternString(s));
     return r;
   }
   /// A labeled null with the given label. Nulls with distinct labels are
   /// distinct values; nulls never compare equal to ints or strings.
   static Value Null(int64_t label) {
     Value r;
-    r.kind_ = Kind::kNull;
-    r.int_ = label;
+    if (FitsInline(label)) {
+      r.bits_ =
+          Pack(kTagInlineNull, static_cast<uint64_t>(label) & kPayloadMask);
+    } else {
+      r.bits_ = Pack(kTagBigNull, Interner::Global().InternInt(label));
+    }
     return r;
   }
 
-  Kind kind() const { return kind_; }
-  bool is_int() const { return kind_ == Kind::kInt; }
-  bool is_string() const { return kind_ == Kind::kString; }
-  bool is_null() const { return kind_ == Kind::kNull; }
+  Kind kind() const {
+    switch (tag()) {
+      case kTagInlineInt:
+      case kTagBigInt:
+        return Kind::kInt;
+      case kTagString:
+        return Kind::kString;
+      default:
+        return Kind::kNull;
+    }
+  }
+  bool is_int() const { return tag() <= kTagBigInt; }
+  bool is_string() const { return tag() == kTagString; }
+  bool is_null() const { return tag() >= kTagInlineNull; }
 
   /// Integer payload; valid for kInt values only.
   int64_t AsInt() const;
-  /// String payload; valid for kString values only.
+  /// String payload; valid for kString values only. The reference is to
+  /// the interned copy and stays valid for the process lifetime.
   const std::string& AsString() const;
   /// Null label; valid for kNull values only.
   int64_t null_label() const;
 
   std::string ToString() const;
 
+  /// The packed word. Canonical: equal values have equal bits. Exposed
+  /// for the bytecode executor and tests; not stable across processes.
+  uint64_t bits() const { return bits_; }
+
   friend bool operator==(const Value& a, const Value& b) {
-    return a.kind_ == b.kind_ && a.int_ == b.int_ && a.str_ == b.str_;
+    return a.bits_ == b.bits_;
   }
   friend std::strong_ordering operator<=>(const Value& a, const Value& b) {
-    if (a.kind_ != b.kind_) return a.kind_ <=> b.kind_;
-    if (a.kind_ == Kind::kString) return a.str_ <=> b.str_;
-    return a.int_ <=> b.int_;
+    if (a.bits_ == b.bits_) return std::strong_ordering::equal;
+    // Fast path for the common case: two inline ints decode without
+    // touching the intern table.
+    if (a.tag() == kTagInlineInt && b.tag() == kTagInlineInt) {
+      return a.InlinePayload() <=> b.InlinePayload();
+    }
+    return CompareSlow(a, b);
   }
 
   size_t Hash() const {
-    size_t h = std::hash<int64_t>()(int_) * 31 + static_cast<size_t>(kind_);
-    if (kind_ == Kind::kString) h = h * 31 + std::hash<std::string>()(str_);
-    return h;
+    // Fibonacci multiplicative mix: ids and small ints are dense, and
+    // this spreads them across the hash range in one multiply.
+    return static_cast<size_t>(bits_ * 0x9E3779B97F4A7C15ull);
+  }
+
+  /// True iff InlineOrderKey() is meaningful for this value: inline ints
+  /// and inline labeled nulls only. When every value in a batch passes,
+  /// the batch can be sorted by unsigned key compares (no decoding) —
+  /// the bulk-build fast path in Relation::FromRowMajor.
+  bool HasInlineOrderKey() const {
+    return tag() == kTagInlineInt || tag() == kTagInlineNull;
+  }
+  /// Order-isomorphic u64: flipping the payload's sign bit (bit 60)
+  /// makes unsigned order match the 61-bit two's-complement payload
+  /// order, and the untouched tag bits keep kind-major order (inline
+  /// ints tag 0 < inline nulls tag 3; strings and big payloads are
+  /// excluded by HasInlineOrderKey, so the string/big tags between and
+  /// above never appear in a key batch).
+  uint64_t InlineOrderKey() const { return bits_ ^ (uint64_t{1} << 60); }
+  /// Inverse of InlineOrderKey — lets bulk sorts carry bare keys (no
+  /// row ids) and reconstruct the values afterwards. The key must have
+  /// come from InlineOrderKey in this process.
+  static Value FromInlineOrderKey(uint64_t key) {
+    Value v;
+    v.bits_ = key ^ (uint64_t{1} << 60);
+    return v;
   }
 
  private:
-  Kind kind_;
-  int64_t int_;       // int payload or null label
-  std::string str_;   // string payload
+  // Tag values group by kind so kind() is two compares; inline/interned
+  // variants of one kind are adjacent.
+  static constexpr uint64_t kTagInlineInt = 0;
+  static constexpr uint64_t kTagBigInt = 1;
+  static constexpr uint64_t kTagString = 2;
+  static constexpr uint64_t kTagInlineNull = 3;
+  static constexpr uint64_t kTagBigNull = 4;
+  static constexpr int kTagShift = 61;
+  static constexpr uint64_t kPayloadMask = (uint64_t{1} << kTagShift) - 1;
+
+  static constexpr uint64_t Pack(uint64_t tag, uint64_t payload) {
+    return (tag << kTagShift) | (payload & kPayloadMask);
+  }
+  static constexpr bool FitsInline(int64_t v) {
+    // Round-trips through a 61-bit field: shift out the tag bits and
+    // sign-extend back (unsigned left shift avoids signed overflow).
+    return (static_cast<int64_t>(static_cast<uint64_t>(v) << 3) >> 3) == v;
+  }
+
+  uint64_t tag() const { return bits_ >> kTagShift; }
+  int64_t InlinePayload() const {  // sign-extend the low 61 bits
+    return static_cast<int64_t>(bits_ << 3) >> 3;
+  }
+  int64_t IntPayload() const {  // inline or interned int/label
+    return (tag() == kTagBigInt || tag() == kTagBigNull)
+               ? Interner::Global().IntAt(bits_ & kPayloadMask)
+               : InlinePayload();
+  }
+
+  static std::strong_ordering CompareSlow(const Value& a, const Value& b);
+
+  uint64_t bits_;
 };
+
+static_assert(sizeof(Value) == 8, "Value must stay one packed word");
+static_assert(std::is_trivially_copyable_v<Value>,
+              "columnar relations memmove Values");
 
 /// A database tuple: a fixed-arity vector of values.
 using Tuple = std::vector<Value>;
@@ -99,18 +195,14 @@ struct TupleHash {
 
 /// Approximate heap footprint of a value/tuple, used by the resource
 /// governor to account cache bytes (memo entries, relation indexes).
-/// Deliberately cheap and deterministic — `capacity` would vary across
-/// allocators, so only logical sizes count.
-inline size_t ApproxBytes(const Value& v) {
-  size_t bytes = sizeof(Value);
-  if (v.is_string()) bytes += v.AsString().size();
-  return bytes;
-}
+/// Deliberately cheap and deterministic. Interned payloads (strings,
+/// big ints) are shared process-wide and live forever, so copies of a
+/// Value cost exactly one packed word — the intern table itself is
+/// observable via Interner::ApproxTableBytes but is not per-run cache.
+inline size_t ApproxBytes(const Value&) { return sizeof(Value); }
 
 inline size_t ApproxBytes(const Tuple& t) {
-  size_t bytes = sizeof(Tuple);
-  for (const Value& v : t) bytes += ApproxBytes(v);
-  return bytes;
+  return sizeof(Tuple) + t.size() * sizeof(Value);
 }
 
 }  // namespace sws::rel

@@ -31,9 +31,9 @@ rel::Relation SessionRunner::DelimiterMessage(size_t arity) {
 }
 
 bool SessionRunner::IsDelimiter(const rel::Relation& message) {
-  if (message.size() != 1) return false;
-  const rel::Tuple& t = *message.begin();
-  return !t.empty() && t[0].is_string() && t[0].AsString() == "#";
+  if (message.size() != 1 || message.arity() == 0) return false;
+  const rel::Value& v = message.At(0, 0);
+  return v.is_string() && v.AsString() == "#";
 }
 
 std::optional<SessionRunner::SessionOutcome> SessionRunner::Feed(

@@ -34,7 +34,7 @@ TEST(PaperClaims, Section1_DeterministicCommitmentToOneOption) {
   rel::Relation out =
       core::Run(service.sws, models::MakeTravelDatabase(), input).output;
   ASSERT_EQ(out.size(), 1u);
-  const rel::Tuple& booked = *out.begin();
+  const rel::Tuple booked = *out.begin();  // copy: iterator buffer is temp
   // Exactly one of ticket (slot 2) and car (slot 3) is booked.
   bool ticket = !(booked[2] == rel::Value::Int(0));
   bool car = !(booked[3] == rel::Value::Int(0));

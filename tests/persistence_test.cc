@@ -150,6 +150,59 @@ TEST(SerdeTest, RelationAndDatabaseRoundtrip) {
   EXPECT_EQ(db.Hash(), decoded->Hash());
 }
 
+TEST(SerdeTest, InternedDatabaseEncodesByteIdenticallyToPreInterningFormat) {
+  // Golden bytes captured from the PR 6 build (boxed Values, std::set
+  // relations) encoding this exact database. The PR 7 interning/columnar
+  // refactor must keep the persisted format — and printed forms — byte
+  // identical, or journals and snapshots written before the upgrade
+  // would stop recovering. Covers both int extremes (interned big-int
+  // path), the empty string, negative/zero/large null labels (the
+  // beyond-inline-range label takes the interned path) and a nullary
+  // relation holding the empty tuple.
+  rel::Database db;
+  Relation flight(3);
+  flight.Insert({Value::Int(-7), Value::Str("orlando"), Value::Null(42)});
+  flight.Insert({Value::Int(9223372036854775807LL), Value::Str(""),
+                 Value::Null(-1)});
+  flight.Insert({Value::Int(-9223372036854775807LL - 1), Value::Str("a"),
+                 Value::Null(0)});
+  db.Set("Flight", flight);
+  Relation hotel(1);
+  hotel.Insert({Value::Str("h")});
+  hotel.Insert({Value::Int(0)});
+  hotel.Insert({Value::Null(1152921504606846976LL)});  // 2^60: not inline
+  db.Set("Hotel", hotel);
+  Relation nullary(0);
+  nullary.Insert({});
+  db.Set("Z", nullary);
+
+  ByteWriter w;
+  EncodeDatabase(db, &w);
+  std::string hex;
+  for (unsigned char c : w.str()) {
+    static const char kDigits[] = "0123456789abcdef";
+    hex.push_back(kDigits[c >> 4]);
+    hex.push_back(kDigits[c & 0xF]);
+  }
+  EXPECT_EQ(hex,
+            "0300000006000000466c69676874030000000300000000000000000000008001"
+            "010000006102000000000000000000f9ffffffffffffff01070000006f726c61"
+            "6e646f022a0000000000000000ffffffffffffff7f010000000002ffffffffff"
+            "ffffff05000000486f74656c0100000003000000000000000000000000010100"
+            "000068020000000000000010010000005a0000000001000000");
+  EXPECT_EQ(db.ToString(),
+            "Flight = {(-9223372036854775808, 'a', _N0), (-7, 'orlando', "
+            "_N42), (9223372036854775807, '', _N-1)}\n"
+            "Hotel = {(0), ('h'), (_N1152921504606846976)}\n"
+            "Z = {()}");
+
+  ByteReader r(w.str());
+  auto decoded = DecodeDatabase(&r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(db, *decoded);
+}
+
 TEST(SerdeTest, InputSequenceRoundtrip) {
   rel::InputSequence seq(1);
   seq.Append(Msg(4));

@@ -111,7 +111,19 @@ class CqFuzzer {
     return out;
   }
 
-  Value RandomValue() { return Value::Int(Int(1, 4)); }
+  // Small shared domain across all three kinds, so joins exercise the
+  // interned packed representations (inline ints, interned strings,
+  // labeled nulls) and still collide often enough to produce matches.
+  Value RandomValue() {
+    switch (Int(0, 3)) {
+      case 0:
+        return Value::Str("s" + std::to_string(Int(1, 3)));
+      case 1:
+        return Value::Null(Int(1, 3));
+      default:
+        return Value::Int(Int(1, 4));
+    }
+  }
 
   int Int(int lo, int hi) {
     return std::uniform_int_distribution<int>(lo, hi)(rng_);
@@ -135,6 +147,70 @@ TEST(QueryEngineTest, IndexedJoinMatchesNaiveOnRandomQueries) {
     ASSERT_EQ(c.query.EvaluatesNonempty(c.db), !naive.empty())
         << "case " << i << ": " << c.query.ToString();
   }
+}
+
+TEST(QueryEngineTest, ThreeWayEngineDifferential) {
+  // The register-bytecode executor (default), the legacy JoinPlan and
+  // the naive backtracking oracle must agree on every randomized case.
+  using logic::CqEngine;
+  CqFuzzer fuzzer(977001);
+  for (int i = 0; i < 1000; ++i) {
+    RandomCq c = fuzzer.Next();
+    Relation bytecode = c.query.EvaluateWith(c.db, CqEngine::kBytecode);
+    Relation indexed = c.query.EvaluateWith(c.db, CqEngine::kIndexedPlan);
+    Relation naive = c.query.EvaluateWith(c.db, CqEngine::kNaive);
+    ASSERT_EQ(bytecode, naive)
+        << "bytecode vs naive, case " << i << ": " << c.query.ToString()
+        << "\nover\n"
+        << c.db.ToString();
+    ASSERT_EQ(indexed, naive)
+        << "indexed vs naive, case " << i << ": " << c.query.ToString();
+  }
+}
+
+TEST(QueryEngineTest, BytecodeHandlesConstantsComparisonsAndNullaryHeads) {
+  using logic::CqEngine;
+  auto v = [](int i) { return Term::Var(i); };
+  Database db;
+  Relation r(2);
+  r.Insert({Value::Str("a"), Value::Int(1)});
+  r.Insert({Value::Str("a"), Value::Int(2)});
+  r.Insert({Value::Str("b"), Value::Int(2)});
+  r.Insert({Value::Null(7), Value::Int(3)});
+  db.Set("R", r);
+
+  // Constant probe key + attached inequality.
+  ConjunctiveQuery q1({v(1)},
+                      {Atom{"R", {Term::Const(Value::Str("a")), v(1)}}},
+                      {Comparison{v(1), Term::Int(1), false}});
+  EXPECT_EQ(q1.EvaluateWith(db, CqEngine::kBytecode),
+            q1.EvaluateWith(db, CqEngine::kNaive));
+  EXPECT_EQ(q1.Evaluate(db).size(), 1u);
+
+  // Repeated variable within one atom.
+  Relation s(2);
+  s.Insert({Value::Int(1), Value::Int(1)});
+  s.Insert({Value::Int(1), Value::Int(2)});
+  db.Set("S", s);
+  ConjunctiveQuery q2({v(0)}, {Atom{"S", {v(0), v(0)}}});
+  EXPECT_EQ(q2.EvaluateWith(db, CqEngine::kBytecode),
+            q2.EvaluateWith(db, CqEngine::kNaive));
+  EXPECT_EQ(q2.Evaluate(db).size(), 1u);
+
+  // Nullary head over a purely existential body: {()} iff a match.
+  ConjunctiveQuery q3({}, {Atom{"R", {v(0), v(1)}}, Atom{"S", {v(1), v(2)}}});
+  Relation nullary = q3.Evaluate(db);
+  EXPECT_EQ(nullary, q3.EvaluateWith(db, CqEngine::kNaive));
+  EXPECT_EQ(nullary.size(), 1u);
+  EXPECT_EQ(nullary.arity(), 0u);
+
+  // Labeled nulls join only with their own label.
+  ConjunctiveQuery q4({v(1)},
+                      {Atom{"R", {Term::Const(Value::Null(7)), v(1)}}});
+  EXPECT_EQ(q4.Evaluate(db).size(), 1u);
+  ConjunctiveQuery q5({v(1)},
+                      {Atom{"R", {Term::Const(Value::Null(8)), v(1)}}});
+  EXPECT_TRUE(q5.Evaluate(db).empty());
 }
 
 TEST(QueryEngineTest, IndexedJoinTracksDatabaseMutation) {

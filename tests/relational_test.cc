@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "relational/intern.h"
 #include "relational/actions.h"
 #include "relational/database.h"
 #include "relational/input_sequence.h"
@@ -288,6 +292,151 @@ TEST(DatabaseTest, ActiveDomainCacheTracksMutations) {
   // Replacing a relation through Set is a structural change.
   db.Set("S", Relation(1, {{Value::Int(9)}}));
   EXPECT_EQ(db.ActiveDomainShared()->count(Value::Int(9)), 1u);
+}
+
+TEST(ValueTest, PackedRepresentationIsCanonical) {
+  // Equal payloads must pack to equal words — Value equality is a
+  // single integer compare, so canonicalisation is the whole contract.
+  EXPECT_EQ(Value::Str("same").Hash(), Value::Str("same").Hash());
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+  // Extremes survive the inline/big split on both int and null sides.
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1} << 59,
+                    -(int64_t{1} << 60), INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(Value::Int(v).AsInt(), v) << v;
+    EXPECT_EQ(Value::Null(v).null_label(), v) << v;
+    EXPECT_NE(Value::Int(v), Value::Null(v)) << v;
+  }
+  // Embedded NULs and near-miss payloads stay distinct.
+  EXPECT_NE(Value::Str(std::string_view("a\0b", 3)),
+            Value::Str(std::string_view("a\0c", 3)));
+  EXPECT_EQ(Value::Str(std::string_view("a\0b", 3)).AsString(),
+            std::string("a\0b", 3));
+}
+
+TEST(RelationTest, ColumnarLayoutExposesRowsAndColumns) {
+  Relation r(3);
+  r.Insert({Value::Int(2), Value::Str("b"), Value::Null(1)});
+  r.Insert({Value::Int(1), Value::Str("a"), Value::Null(2)});
+  r.Insert({Value::Int(3), Value::Str("c"), Value::Null(3)});
+  ASSERT_EQ(r.size(), 3u);
+  // Rows are kept in lexicographic tuple order; At(row, col) and
+  // ColumnData(col)[row] are two views of the same arena cell.
+  EXPECT_EQ(r.At(0, 0), Value::Int(1));
+  EXPECT_EQ(r.At(1, 0), Value::Int(2));
+  EXPECT_EQ(r.At(2, 1), Value::Str("c"));
+  for (size_t c = 0; c < 3; ++c) {
+    const Value* col = r.ColumnData(c);
+    for (size_t row = 0; row < r.size(); ++row) {
+      EXPECT_EQ(col[row], r.At(row, c)) << row << "," << c;
+    }
+  }
+  EXPECT_EQ(r.Row(1), (Tuple{Value::Int(2), Value::Str("b"), Value::Null(1)}));
+  // Iteration materializes rows in the same sorted order.
+  std::vector<Tuple> seen(r.begin(), r.end());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0][0], Value::Int(1));
+  EXPECT_EQ(seen[2][0], Value::Int(3));
+}
+
+TEST(RelationTest, FromRowMajorSortsAndDedupes) {
+  const std::vector<Value> flat = {
+      Value::Int(3), Value::Str("c"),  // row 0
+      Value::Int(1), Value::Str("a"),  // row 1
+      Value::Int(3), Value::Str("c"),  // duplicate of row 0
+      Value::Int(2), Value::Str("b"),  // row 3
+      Value::Int(1), Value::Str("a"),  // duplicate of row 1
+  };
+  Relation r = Relation::FromRowMajor(2, flat);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.At(0, 0), Value::Int(1));
+  EXPECT_EQ(r.At(1, 0), Value::Int(2));
+  EXPECT_EQ(r.At(2, 0), Value::Int(3));
+  // Must agree with the incremental-insert construction exactly.
+  Relation incremental(2);
+  for (size_t i = 0; i < flat.size(); i += 2) {
+    incremental.Insert({flat[i], flat[i + 1]});
+  }
+  EXPECT_EQ(r, incremental);
+  EXPECT_TRUE(Relation::FromRowMajor(2, {}).empty());
+}
+
+TEST(RelationTest, CopyAndMovePreserveContentsAndInvalidate) {
+  Relation a(2);
+  a.Insert({Value::Int(1), Value::Int(2)});
+  a.Insert({Value::Int(3), Value::Int(4)});
+  std::shared_ptr<const Relation::Index> index = a.GetIndex(0b01);
+
+  Relation copy = a;  // fresh arena, no shared indexes
+  EXPECT_EQ(copy, a);
+  EXPECT_NE(copy.GetIndex(0b01).get(), index.get());
+
+  // Assigning over an existing relation invalidates its cached indexes.
+  Relation b(2);
+  b.Insert({Value::Int(9), Value::Int(9)});
+  const uint64_t gen_b = b.generation();
+  b = a;
+  EXPECT_GT(b.generation(), gen_b);
+  EXPECT_EQ(b, a);
+
+  // Moved-from relations are empty but usable; the moved-to relation
+  // owns the rows.
+  Relation moved = std::move(b);
+  EXPECT_EQ(moved, a);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.Insert({Value::Int(5), Value::Int(6)}));
+  EXPECT_EQ(b.size(), 1u);
+
+  // The index snapshot taken before all of this still answers from its
+  // own generation (shared_ptr keeps it alive past invalidation).
+  EXPECT_EQ(index->buckets.count({Value::Int(1)}), 1u);
+}
+
+TEST(InternerTest, InterningIsInjectiveAndStable) {
+  Interner& interner = Interner::Global();
+  const uint64_t a1 = interner.InternString("intern_stability_a");
+  const uint64_t b = interner.InternString("intern_stability_b");
+  const uint64_t a2 = interner.InternString("intern_stability_a");
+  EXPECT_EQ(a1, a2);  // same payload, same id — forever
+  EXPECT_NE(a1, b);   // distinct payloads never share an id
+  EXPECT_EQ(interner.StringAt(a1), "intern_stability_a");
+  EXPECT_EQ(interner.StringAt(b), "intern_stability_b");
+  // Ids survive arbitrary later interning traffic.
+  for (int i = 0; i < 1000; ++i) {
+    interner.InternString("intern_churn_" + std::to_string(i));
+  }
+  EXPECT_EQ(interner.InternString("intern_stability_a"), a1);
+  EXPECT_EQ(interner.StringAt(a1), "intern_stability_a");
+}
+
+TEST(InternerTest, ConcurrentInternAndLookupAreRaceFree) {
+  // Hammer the same small vocabulary from several threads while readers
+  // chase ids back to payloads. Under TSan this is the lock-free
+  // published-size protocol's regression test; under any build it
+  // checks cross-thread id agreement.
+  constexpr int kThreads = 4;
+  constexpr int kWords = 64;
+  std::vector<std::vector<uint64_t>> ids(kThreads,
+                                         std::vector<uint64_t>(kWords));
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &ids] {
+      Interner& interner = Interner::Global();
+      for (int round = 0; round < 200; ++round) {
+        for (int w = 0; w < kWords; ++w) {
+          const std::string word = "concurrent_word_" + std::to_string(w);
+          const uint64_t id = interner.InternString(word);
+          ids[t][w] = id;
+          // Immediately read the payload back through the chunked table.
+          ASSERT_EQ(interner.StringAt(id), word);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[t], ids[0]) << "thread " << t << " saw different ids";
+  }
 }
 
 }  // namespace

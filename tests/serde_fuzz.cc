@@ -341,6 +341,84 @@ TEST(SerdeFuzzTest, SeededRandomBlobsAreHandledCleanly) {
   }
 }
 
+TEST(SerdeFuzzTest, HostileBlobsNeverMintAliasingInternIds) {
+  // Value decoding re-interns payload bytes through the same canonical
+  // path as construction, so a decoded id can only alias a constant
+  // whose payload is byte-identical. This sweep asserts that invariant
+  // holds under hostile input: every accepted decode must rebuild to
+  // the identical packed word, and equality with a pre-interned
+  // sentinel must imply payload equality — never a bare id collision.
+  const std::vector<Value> sentinels = {
+      Value::Str("orlando"),      Value::Str(""),
+      Value::Str({"\0", 1}),      Value::Str("orland"),
+      Value::Null(0),             Value::Null(-1),
+      Value::Int(42)};
+  auto check_canonical = [&sentinels](const Value& v) {
+    switch (v.kind()) {
+      case Value::Kind::kInt:
+        ASSERT_EQ(Value::Int(v.AsInt()), v);
+        break;
+      case Value::Kind::kString:
+        ASSERT_EQ(Value::Str(v.AsString()), v);
+        break;
+      case Value::Kind::kNull:
+        ASSERT_EQ(Value::Null(v.null_label()), v);
+        break;
+    }
+    for (const Value& s : sentinels) {
+      if (v == s) {
+        ASSERT_EQ(v.kind(), s.kind());
+        if (v.kind() == Value::Kind::kString) {
+          ASSERT_EQ(v.AsString(), s.AsString());
+        } else if (v.kind() == Value::Kind::kNull) {
+          ASSERT_EQ(v.null_label(), s.null_label());
+        }
+      }
+    }
+  };
+  uint64_t state = 0xDEADBEEFCAFEF00Dull;
+  auto next = [&state]() -> uint8_t {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint8_t>(state >> 33);
+  };
+  // Pass 1: mutated encodings of the sentinels themselves — near-miss
+  // payloads are the likeliest way a buggy decoder could alias an id.
+  std::vector<std::string> seeds;
+  for (const Value& s : sentinels) {
+    ByteWriter w;
+    EncodeValue(s, &w);
+    seeds.push_back(w.str());
+  }
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string blob = seeds[static_cast<size_t>(iter) % seeds.size()];
+    const size_t flips = 1 + next() % 3;
+    for (size_t f = 0; f < flips; ++f) {
+      blob[next() % blob.size()] =
+          static_cast<char>(blob[next() % blob.size()] ^ (1u << (next() % 8)));
+    }
+    ByteReader r(blob);
+    std::optional<Value> v = DecodeValue(&r);
+    if (v.has_value() && r.ok()) check_canonical(*v);
+  }
+  // Pass 2: unstructured random blobs decoded as tuples, so string
+  // payloads of arbitrary bytes flow through the intern table.
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string blob(1 + next() % 64, '\0');
+    for (char& b : blob) b = static_cast<char>(next());
+    ByteReader r(blob);
+    std::optional<rel::Tuple> t = DecodeTuple(&r);
+    if (t.has_value() && r.ok()) {
+      for (const Value& v : *t) check_canonical(v);
+    }
+  }
+  // The hostile traffic must not have perturbed the sentinels.
+  for (size_t i = 0; i < sentinels.size(); ++i) {
+    for (size_t j = i + 1; j < sentinels.size(); ++j) {
+      EXPECT_NE(sentinels[i], sentinels[j]) << i << " vs " << j;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // File-level checks on the CRC32-framed journal segment format.
 // ---------------------------------------------------------------------
