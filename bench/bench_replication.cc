@@ -25,6 +25,7 @@
 #include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "logic/cq.h"
@@ -102,6 +103,8 @@ class TempDir {
         ::unlink((path_ + "/" + f.name).c_str());
       }
     }
+    // The fencing state is deliberately invisible to ListDurableFiles.
+    ::unlink((path_ + "/epoch.fence").c_str());
     ::rmdir(path_.c_str());
   }
   const std::string& path() const { return path_; }
@@ -114,18 +117,27 @@ class TempDir {
 // Storage is tuned so it never stalls the measurement: no fsync, large
 // segments, snapshots effectively off.
 struct Cluster {
-  explicit Cluster(sws::replication::ReplicationOptions replication)
+  explicit Cluster(sws::replication::ReplicationOptions replication,
+                   bool auto_failover = false)
       : group({"n0", "n1", "n2"}), sws(MakeTwoLevelLogger()) {
     for (size_t i = 0; i < 3; ++i) {
       sws::replication::NodeOptions options;
       options.id = "n" + std::to_string(i);
       options.dir = dirs[i].path();
       options.replication = replication;
+      options.auto_failover = auto_failover;
       options.runtime.num_workers = 2;
       options.runtime.num_shards = 2;
       options.runtime.durability.fsync = sws::persistence::FsyncPolicy::kNever;
       options.runtime.durability.segment_bytes = 1u << 22;
       options.runtime.durability.snapshot_interval_appends = 1u << 20;
+      if (auto_failover) {
+        // The watchdog pumps the suspicion clock; its interval bounds
+        // how fast silence can be noticed at all.
+        options.runtime.governance.enable_watchdog = true;
+        options.runtime.governance.watchdog_interval =
+            std::chrono::microseconds(500);
+      }
       nodes[i] = std::make_unique<sws::replication::ReplicatedNode>(
           options, &sws, LoggerDb(), &group, &transport);
     }
@@ -192,6 +204,95 @@ void BM_ReplicatedCommit(benchmark::State& state) {
   state.counters["quorum"] = static_cast<double>(quorum);
 }
 
+// Downtime of a fully automatic failover: wall-clock from killing a
+// primary to the first client-acked commit of one of its sessions on
+// the self-elected heir. The measured window therefore spans detector
+// silence (suspicion_misses missed heartbeats), the quorum election,
+// the heir's promotion life (recovery plus tail re-ship), and one
+// commit with its ack barrier. Every iteration builds a fresh cluster
+// (untimed, via manual timing): depositions are permanent, so a killed
+// primary cannot be measured twice in the same group.
+void BM_FailoverDowntime(benchmark::State& state) {
+  sws::replication::ReplicationOptions replication;
+  replication.replicas = 2;
+  replication.ack_quorum = 1;
+  replication.ack_timeout = std::chrono::milliseconds(250);
+  replication.retransmit_interval = std::chrono::milliseconds(2);
+  replication.heartbeat_interval = std::chrono::milliseconds(2);
+  replication.suspicion_misses = 3;
+  replication.heartbeat_jitter = 0.25;
+  replication.election_timeout = std::chrono::milliseconds(10);
+  uint64_t failovers = 0;
+  for (auto _ : state) {
+    Cluster cluster(replication, /*auto_failover=*/true);
+    // Prime one committed session on n0 so the heir adopts real state,
+    // not an empty namespace.
+    {
+      const std::string warm = cluster.NextSessionOn("n0");
+      std::atomic<int> ok{0};
+      SWS_CHECK(cluster.node("n0")->runtime()->Submit(warm, Msg(1)).ok());
+      SWS_CHECK(cluster.node("n0")
+                    ->runtime()
+                    ->Submit(warm, SessionRunner::DelimiterMessage(1),
+                             [&](sws::rt::Outcome outcome) {
+                               if (outcome.status.ok()) ok.fetch_add(1);
+                             })
+                    .ok());
+      cluster.node("n0")->runtime()->Drain();
+      SWS_CHECK(ok.load() == 1) << "warmup commit did not ack";
+    }
+
+    // Pre-generate n0-owned session ids: once the heir promotes itself,
+    // n0 is deposed and PrimaryOf never maps a fresh id to it again, so
+    // NextSessionOn("n0") would spin forever post-failover.
+    std::vector<std::string> spares;
+    for (int k = 0; k < 128; ++k) spares.push_back(cluster.NextSessionOn("n0"));
+    const std::string outage = spares.back();
+    const auto t0 = std::chrono::steady_clock::now();
+    cluster.node("n0")->Kill();
+    // The outage ends at the first acked commit of an n0-owned session;
+    // attempts before the election resolves simply fail and retry, each
+    // burning a spare id (an abandoned half-submitted session must not
+    // be reused).
+    const auto deadline = t0 + std::chrono::seconds(20);
+    bool acked = false;
+    std::chrono::steady_clock::time_point t1;
+    while (!acked) {
+      SWS_CHECK(std::chrono::steady_clock::now() < deadline)
+          << "failover never completed";
+      SWS_CHECK(!spares.empty()) << "failover attempt budget exhausted";
+      const std::string owner = cluster.group.PrimaryOf(outage);
+      sws::replication::ReplicatedNode* primary = cluster.node(owner);
+      if (owner == "n0" || primary == nullptr || !primary->running()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      auto runtime = primary->runtime_snapshot();
+      if (runtime == nullptr) continue;
+      const std::string id = spares.back();
+      spares.pop_back();
+      std::atomic<int> ok{0};
+      if (!runtime->Submit(id, Msg(2)).ok()) continue;
+      if (!runtime
+               ->Submit(id, SessionRunner::DelimiterMessage(1),
+                        [&](sws::rt::Outcome outcome) {
+                          if (outcome.status.ok()) ok.fetch_add(1);
+                        })
+               .ok()) {
+        continue;
+      }
+      runtime->Drain();
+      if (ok.load() == 1) {
+        t1 = std::chrono::steady_clock::now();
+        acked = true;
+      }
+    }
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    ++failovers;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(failovers));
+}
+
 // The BENCH_runtime.json travel workload, verbatim, through the library
 // that now carries the replication hooks — with no barrier wired the
 // commit path must cost what it did before the hooks existed.
@@ -233,6 +334,10 @@ BENCHMARK(BM_ReplicatedCommit)
     ->Arg(2)
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
+BENCHMARK(BM_FailoverDowntime)
+    ->Iterations(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RuntimeTravelReplicasZero)
     ->Arg(1)
     ->Arg(2)

@@ -4,10 +4,11 @@
 # an ASan+UBSan pass (memory errors / undefined behavior), a standalone
 # UBSan pass (UB without ASan interposition), a crash-recovery chaos pass
 # (randomized kill points) under ASan, a replicated-node kill/promotion
-# chaos pass under ASan, and a deterministic fuzz smoke over the serde
-# decoders.
+# chaos pass under ASan, a self-healing failover pass (fencing epochs,
+# elections, catch-up) under ASan, and a deterministic fuzz smoke over
+# the serde decoders.
 # Usage: scripts/check.sh
-#   [release|tsan|asan|ubsan|chaos|recovery|replication|bench|fuzz|all]
+#   [release|tsan|asan|ubsan|chaos|recovery|replication|failover|bench|fuzz|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,7 +18,7 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 
 san_targets=(runtime_test session_test sws_run_test fault_test chaos_test
              persistence_test crash_recovery_test governor_test serde_fuzz
-             replication_test node_chaos_test relational_test
+             replication_test node_chaos_test failover_test relational_test
              query_engine_test)
 
 run_release() {
@@ -113,6 +114,15 @@ run_replication() {
     --output-on-failure -j 1
 }
 
+run_failover() {
+  echo "== Self-healing failover (fencing, elections, catch-up) under ASan =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" --target failover_test \
+    replication_test
+  ASAN_OPTIONS="halt_on_error=1" ctest --test-dir build-asan -L failover \
+    --output-on-failure -j 1
+}
+
 run_chaos() {
   echo "== Chaos harness (randomized faults) under TSan =="
   cmake --preset tsan
@@ -129,10 +139,11 @@ case "$mode" in
   chaos) run_chaos ;;
   recovery) run_recovery ;;
   replication) run_replication ;;
+  failover) run_failover ;;
   bench) run_bench ;;
   fuzz) run_fuzz ;;
   all) run_release; run_tsan; run_asan; run_ubsan ;;
-  *) echo "usage: $0 [release|tsan|asan|ubsan|chaos|recovery|replication|bench|fuzz|all]" >&2
+  *) echo "usage: $0 [release|tsan|asan|ubsan|chaos|recovery|replication|failover|bench|fuzz|all]" >&2
      exit 2 ;;
 esac
 echo "== check.sh ($mode): OK =="

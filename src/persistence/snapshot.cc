@@ -54,8 +54,7 @@ size_t WriteFully(int fd, const char* data, size_t size) {
 
 }  // namespace
 
-core::Status WriteSnapshot(const std::string& path, const SnapshotData& data,
-                           core::FaultInjector* fault_injector) {
+void EncodeSnapshotPayload(const SnapshotData& data, std::string* out) {
   ByteWriter body;
   body.PutU64(data.sessions.size());
   for (const SessionImage& image : data.sessions) {
@@ -66,13 +65,64 @@ core::Status WriteSnapshot(const std::string& path, const SnapshotData& data,
   }
   const std::string payload = body.Take();
 
-  std::string bytes;
-  EncodeSegmentHeader(data.header, kSnapMagic, &bytes);
+  out->clear();
+  EncodeSegmentHeader(data.header, kSnapMagic, out);
   ByteWriter frame;
   frame.PutU32(static_cast<uint32_t>(payload.size()));
   frame.PutU32(Crc32(payload));
-  bytes += frame.str();
-  bytes += payload;
+  *out += frame.str();
+  *out += payload;
+}
+
+core::Status DecodeSnapshotPayload(std::string_view data,
+                                   const std::string& what,
+                                   SnapshotData* out) {
+  constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8;
+  if (data.size() < kHeaderBytes + 8) return Corrupt(what, "short file");
+  if (std::memcmp(data.data(), kSnapMagic, 8) != 0) {
+    return Corrupt(what, "bad magic");
+  }
+  ByteReader header(data.substr(8, kHeaderBytes - 8));
+  const uint32_t version = header.GetU32();
+  if (version != kFormatVersion) {
+    return Corrupt(what, "format version " + std::to_string(version));
+  }
+  *out = SnapshotData{};
+  out->header.incarnation = header.GetU64();
+  out->header.shard = header.GetU64();
+  out->header.service_fingerprint = header.GetU64();
+
+  ByteReader frame(data.substr(kHeaderBytes, 8));
+  const uint32_t len = frame.GetU32();
+  const uint32_t crc = frame.GetU32();
+  if (data.size() - kHeaderBytes - 8 != len) return Corrupt(what, "bad length");
+  std::string_view payload = data.substr(kHeaderBytes + 8);
+  if (Crc32(payload) != crc) return Corrupt(what, "checksum mismatch");
+
+  ByteReader r(payload);
+  const uint64_t count = r.GetU64();
+  if (!r.CheckCount(count, 1)) return Corrupt(what, "bad session count");
+  out->sessions.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SessionImage image;
+    image.session_id = r.GetString();
+    image.next_seq = r.GetU64();
+    auto db = DecodeDatabase(&r);
+    if (!db) return Corrupt(what, "bad session database");
+    image.db = std::move(*db);
+    auto pending = DecodeInputSequence(&r);
+    if (!pending) return Corrupt(what, "bad session pending buffer");
+    image.pending = std::move(*pending);
+    out->sessions.push_back(std::move(image));
+  }
+  if (!r.AtEnd()) return Corrupt(what, "trailing bytes");
+  return core::Status::Ok();
+}
+
+core::Status WriteSnapshot(const std::string& path, const SnapshotData& data,
+                           core::FaultInjector* fault_injector) {
+  std::string bytes;
+  EncodeSnapshotPayload(data, &bytes);
 
   const std::string tmp = path + ".tmp";
   ::unlink(tmp.c_str());  // a stale .tmp from an earlier crash
@@ -130,44 +180,93 @@ core::Status ReadSnapshot(const std::string& path,
   }
   ::close(fd);
 
-  constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8;
-  if (data.size() < kHeaderBytes + 8) return Corrupt(path, "short file");
-  if (std::memcmp(data.data(), kSnapMagic, 8) != 0) {
+  return DecodeSnapshotPayload(data, path, out);
+}
+
+namespace {
+constexpr char kFenceMagic[8] = {'S', 'W', 'S', 'F', 'N', 'C', '0', '1'};
+}  // namespace
+
+core::Status WriteFencingState(const std::string& dir,
+                               const FencingState& state,
+                               core::FaultInjector* fault_injector) {
+  ByteWriter body;
+  body.PutU64(state.epoch);
+  body.PutU64(state.last_vote_epoch);
+  const std::string payload = body.Take();
+
+  std::string bytes(kFenceMagic, 8);
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  bytes += frame.str();
+  bytes += payload;
+
+  const std::string path = dir + "/epoch.fence";
+  const std::string tmp = path + ".tmp";
+  ::unlink(tmp.c_str());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return IoError("open", tmp);
+  if (fault_injector && fault_injector->OnJournalAppend()) {
+    WriteFully(fd, bytes.data(), std::max<size_t>(1, bytes.size() / 2));
+    ::close(fd);
+    return core::Status::Error(core::RunError::kStorageFailure,
+                               "injected torn write in " + tmp);
+  }
+  if (WriteFully(fd, bytes.data(), bytes.size()) != bytes.size()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoError("write", tmp);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoError("fsync", tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return IoError("rename", path);
+  }
+  SyncParentDir(path);
+  return core::Status::Ok();
+}
+
+core::Status ReadFencingState(const std::string& dir, FencingState* out) {
+  *out = FencingState{};
+  const std::string path = dir + "/epoch.fence";
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return core::Status::Ok();
+    return IoError("open", path);
+  }
+  std::string data;
+  char buf[256];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IoError("read", path);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  if (data.size() < 8 + 8) return Corrupt(path, "short file");
+  if (std::memcmp(data.data(), kFenceMagic, 8) != 0) {
     return Corrupt(path, "bad magic");
   }
-  ByteReader header(std::string_view(data).substr(8, kHeaderBytes - 8));
-  const uint32_t version = header.GetU32();
-  if (version != kFormatVersion) {
-    return Corrupt(path, "format version " + std::to_string(version));
-  }
-  *out = SnapshotData{};
-  out->header.incarnation = header.GetU64();
-  out->header.shard = header.GetU64();
-  out->header.service_fingerprint = header.GetU64();
-
-  ByteReader frame(std::string_view(data).substr(kHeaderBytes, 8));
+  ByteReader frame(std::string_view(data).substr(8, 8));
   const uint32_t len = frame.GetU32();
   const uint32_t crc = frame.GetU32();
-  if (data.size() - kHeaderBytes - 8 != len) return Corrupt(path, "bad length");
-  std::string_view payload = std::string_view(data).substr(kHeaderBytes + 8);
+  if (data.size() - 16 != len) return Corrupt(path, "bad length");
+  std::string_view payload = std::string_view(data).substr(16);
   if (Crc32(payload) != crc) return Corrupt(path, "checksum mismatch");
-
   ByteReader r(payload);
-  const uint64_t count = r.GetU64();
-  if (!r.CheckCount(count, 1)) return Corrupt(path, "bad session count");
-  out->sessions.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    SessionImage image;
-    image.session_id = r.GetString();
-    image.next_seq = r.GetU64();
-    auto db = DecodeDatabase(&r);
-    if (!db) return Corrupt(path, "bad session database");
-    image.db = std::move(*db);
-    auto pending = DecodeInputSequence(&r);
-    if (!pending) return Corrupt(path, "bad session pending buffer");
-    image.pending = std::move(*pending);
-    out->sessions.push_back(std::move(image));
-  }
+  out->epoch = r.GetU64();
+  out->last_vote_epoch = r.GetU64();
   if (!r.AtEnd()) return Corrupt(path, "trailing bytes");
   return core::Status::Ok();
 }

@@ -31,6 +31,19 @@ struct SnapshotData {
   std::vector<SessionImage> sessions;
 };
 
+/// Encodes `data` to the exact byte string a snapshot file holds:
+/// magic + versioned segment header + [u32 len][u32 crc32] + sessions.
+/// This is also the catch-up transfer unit — a primary ships these bytes
+/// to a joining node, which persists them as a snapshot file in its own
+/// dir, so the wire format and the disk format cannot drift.
+void EncodeSnapshotPayload(const SnapshotData& data, std::string* out);
+
+/// Decodes bytes produced by EncodeSnapshotPayload (equivalently: a
+/// complete snapshot file's contents). `what` names the source in error
+/// messages. Rejects any truncation or corruption via the CRC frame.
+core::Status DecodeSnapshotPayload(std::string_view bytes,
+                                   const std::string& what, SnapshotData* out);
+
 /// Writes a snapshot atomically: encode to `path + ".tmp"`, fsync,
 /// rename(2) into place, fsync the directory. A crash at any point
 /// leaves either the old state or the new file — never a torn snapshot
@@ -47,6 +60,29 @@ core::Status WriteSnapshot(const std::string& path, const SnapshotData& data,
 core::Status ReadSnapshot(const std::string& path,
                           core::FaultInjector* fault_injector,
                           SnapshotData* out);
+
+/// A node's durable fencing state (replication failover, DESIGN.md §13):
+/// the highest group epoch this node has adopted and the highest epoch
+/// it has granted an election vote at. Persisted before acting so a
+/// restarted node can neither accept a deposed primary's stale-epoch
+/// writes nor vote twice in one epoch.
+struct FencingState {
+  uint64_t epoch = 0;
+  uint64_t last_vote_epoch = 0;
+};
+
+/// Atomically writes `dir + "/epoch.fence"` (tmp + fsync + rename, CRC-
+/// framed). The file name is ignored by ParseDurableFileName, so journal
+/// recovery never confuses it for a segment or snapshot. A write failure
+/// (including an injected torn write) leaves the previous state intact.
+core::Status WriteFencingState(const std::string& dir,
+                               const FencingState& state,
+                               core::FaultInjector* fault_injector);
+
+/// Reads the fencing state; a missing file is Ok and leaves `out` at
+/// epoch 0 (a node that never adopted an epoch). Corruption is a hard
+/// error — fencing safety depends on not silently regressing the epoch.
+core::Status ReadFencingState(const std::string& dir, FencingState* out);
 
 }  // namespace sws::persistence
 

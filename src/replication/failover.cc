@@ -1,0 +1,305 @@
+#include "replication/failover.h"
+
+#include <algorithm>
+
+#include "sws/fault.h"  // SplitMix64
+
+namespace sws::replication {
+
+FencingEpoch::FencingEpoch(std::string dir) : dir_(std::move(dir)) {}
+
+core::Status FencingEpoch::Load() {
+  std::lock_guard<std::mutex> lock(mu_);
+  persistence::FencingState state;
+  core::Status status = persistence::ReadFencingState(dir_, &state);
+  if (!status.ok()) return status;
+  epoch_.store(state.epoch, std::memory_order_release);
+  last_vote_.store(state.last_vote_epoch, std::memory_order_release);
+  return core::Status::Ok();
+}
+
+bool FencingEpoch::Adopt(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch <= epoch_.load(std::memory_order_relaxed)) return false;
+  // Publish before persisting: rejects must use the new epoch even if
+  // the disk is dead. Losing the write cannot regress safety (see class
+  // comment), so the persist result is advisory here.
+  epoch_.store(epoch, std::memory_order_release);
+  persistence::FencingState state{epoch,
+                                  last_vote_.load(std::memory_order_relaxed)};
+  (void)persistence::WriteFencingState(dir_, state, nullptr);
+  return true;
+}
+
+bool FencingEpoch::TryVote(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch <= last_vote_.load(std::memory_order_relaxed)) return false;
+  persistence::FencingState state{epoch_.load(std::memory_order_relaxed),
+                                  epoch};
+  if (!persistence::WriteFencingState(dir_, state, nullptr).ok()) {
+    return false;  // cannot durably promise: abstain
+  }
+  last_vote_.store(epoch, std::memory_order_release);
+  return true;
+}
+
+FailoverCoordinator::FailoverCoordinator(
+    std::string self, ReplicaGroup* group, ReplicationTransport* transport,
+    FencingEpoch* fence, ReplicationOptions options,
+    std::chrono::nanoseconds suspicion_timeout, FailoverHooks hooks,
+    rt::ReplicationCounters* counters)
+    : self_(std::move(self)),
+      group_(group),
+      transport_(transport),
+      fence_(fence),
+      options_(options),
+      suspicion_timeout_(suspicion_timeout),
+      hooks_(std::move(hooks)),
+      counters_(counters) {
+  ResetClocks();
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+FailoverCoordinator::~FailoverCoordinator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void FailoverCoordinator::NoteSuspect(const std::string& peer) {
+  if (peer == self_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    suspects_.try_emplace(peer, std::chrono::steady_clock::now());
+  }
+  cv_.notify_all();
+}
+
+void FailoverCoordinator::NoteAlive(const std::string& peer) {
+  if (peer == self_) return;
+  bool revived = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_heard_[peer] = std::chrono::steady_clock::now();
+    revived = suspects_.erase(peer) > 0;
+  }
+  // A flapping peer returning mid-campaign: the worker re-validates
+  // silence before promoting, so waking it is enough.
+  if (revived) cv_.notify_all();
+}
+
+void FailoverCoordinator::ResetClocks() {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& peer : group_->nodes()) {
+    if (peer != self_) last_heard_[peer] = now;
+  }
+}
+
+bool FailoverCoordinator::PeerLooksDeadLocked(
+    const std::string& peer, std::chrono::steady_clock::time_point now) const {
+  auto it = last_heard_.find(peer);
+  if (it == last_heard_.end()) return false;  // unknown: assume alive
+  return now - it->second >= suspicion_timeout_;
+}
+
+void FailoverCoordinator::OnVoteRequest(const std::string& from, uint64_t epoch,
+                                        const std::string& suspect) {
+  bool grant = false;
+  {
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    // Grant iff the claim is ahead of everything we have adopted AND our
+    // own clock agrees the suspect is silent — a voter on the suspect's
+    // side of an asymmetric partition still hears it and refuses, which
+    // is what keeps a live primary from being deposed by one confused
+    // observer.
+    grant = from != self_ && suspect != self_ &&
+            epoch > fence_->current() && PeerLooksDeadLocked(suspect, now);
+  }
+  // The vote itself must be durable before the grant leaves (TryVote
+  // also enforces one vote per epoch, including votes this node cast as
+  // a candidate).
+  if (grant) grant = fence_->TryVote(epoch);
+  if (grant) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++votes_granted_;
+  }
+  transport_->SendVoteGrant(self_, from, epoch, grant);
+}
+
+void FailoverCoordinator::OnVoteGrant(const std::string& from, uint64_t epoch,
+                                      bool granted) {
+  (void)from;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!election_active_ || epoch != election_epoch_) return;
+    if (granted) {
+      ++grants_;
+    } else {
+      ++denials_;
+    }
+  }
+  cv_.notify_all();
+}
+
+uint64_t FailoverCoordinator::elections_started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return elections_;
+}
+
+uint64_t FailoverCoordinator::votes_granted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return votes_granted_;
+}
+
+uint64_t FailoverCoordinator::suspect_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suspects_.size();
+}
+
+void FailoverCoordinator::WorkerLoop() {
+  // Per-node deterministic jitter stream for retry staggering: duelling
+  // candidates (after a vote split) must not retry in lock-step.
+  uint64_t jitter_seed = 0xcbf29ce484222325ULL;
+  for (unsigned char c : self_) jitter_seed = (jitter_seed ^ c) * 0x100000001b3ULL;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    auto now = std::chrono::steady_clock::now();
+    // Re-derive suspicion from our own liveness clocks. The applier's
+    // NoteSuspect is only a wake-up hint — it latches once per silence
+    // episode — so an entry lost to any erase below (a marginal
+    // revalidation, a suspect that revived for one beat mid-election)
+    // must grow back here or the partition goes undetected for good.
+    // try_emplace keeps the retry schedule of entries already present.
+    for (const auto& [peer, at] : last_heard_) {
+      if (now - at >= suspicion_timeout_ && !group_->IsDeposed(peer)) {
+        suspects_.try_emplace(peer, now);
+      }
+    }
+    // Pick the suspect whose retry time is soonest due.
+    std::string dead;
+    auto soonest = now + std::chrono::hours(24);
+    for (const auto& [peer, at] : suspects_) {
+      if (at < soonest) {
+        soonest = at;
+        dead = peer;
+      }
+    }
+    if (dead.empty()) {
+      // Bounded wait: the scan above must re-run even if no hint ever
+      // arrives (the hint can be permanently spent).
+      cv_.wait_for(lock, std::max<std::chrono::nanoseconds>(
+                             suspicion_timeout_, std::chrono::milliseconds(1)));
+      continue;
+    }
+    if (soonest > now) {
+      cv_.wait_until(lock, soonest);
+      continue;
+    }
+
+    const auto retry_at = [&] {
+      const auto base = options_.election_timeout;
+      const uint64_t draw = core::SplitMix64(jitter_seed ^ ++attempt_);
+      const auto jitter = base * (draw % 512) / 1024;  // [0, base/2)
+      return std::chrono::steady_clock::now() + base + jitter;
+    };
+
+    // Validate the suspicion with our own clock. Not-yet-silent is NOT
+    // proof of life: the applier's liveness clock runs slightly ahead of
+    // ours, and it latches its suspicion once per silence episode — if
+    // we dropped the entry here, nothing would ever re-raise it and the
+    // partition would go undetected for good. Re-check after a grace
+    // period instead; a peer that genuinely revived is erased by
+    // NoteAlive when its next heartbeat lands.
+    if (!PeerLooksDeadLocked(dead, now)) {
+      suspects_[dead] = retry_at();
+      continue;
+    }
+    std::vector<std::string> exclude;
+    for (const auto& [peer, at] : suspects_) {
+      if (peer != dead) exclude.push_back(peer);
+    }
+    lock.unlock();
+
+    // Candidacy checks, outside the lock (group/hooks take their own).
+    bool run = true;
+    if (group_->IsDeposed(dead)) {
+      // Someone already promoted it away; nothing to heal.
+      lock.lock();
+      suspects_.erase(dead);
+      continue;
+    }
+    if (group_->HeirOf(dead, exclude) != self_) run = false;  // not our job
+    if (run && !hooks_.ready()) run = false;
+    uint64_t target = 0;
+    if (run) {
+      // Campaign above everything we have adopted AND everything we have
+      // voted at — a failed candidacy burns its epoch (our own durable
+      // vote), so retrying at current+1 alone would self-veto forever.
+      target = std::max(fence_->current(), fence_->last_vote()) + 1;
+      // Cast our own (durable) vote first; failing means our disk is
+      // dead — stand down this round.
+      if (!fence_->TryVote(target)) run = false;
+    }
+    if (!run) {
+      lock.lock();
+      if (suspects_.count(dead)) suspects_[dead] = retry_at();
+      continue;
+    }
+
+    const std::vector<std::string> peers = group_->nodes();
+    lock.lock();
+    election_active_ = true;
+    election_epoch_ = target;
+    grants_ = 1;  // our own vote
+    denials_ = 0;
+    ++elections_;
+    const size_t majority = peers.size() / 2 + 1;
+    lock.unlock();
+    for (const std::string& peer : peers) {
+      if (peer != self_) transport_->SendVoteRequest(self_, peer, target, dead);
+    }
+
+    lock.lock();
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.election_timeout;
+    cv_.wait_until(lock, deadline, [&] {
+      return stop_ || grants_ >= majority ||
+             denials_ > peers.size() - majority;
+    });
+    const bool won = grants_ >= majority;
+    election_active_ = false;
+    if (stop_) return;
+    if (!won) {
+      if (suspects_.count(dead)) suspects_[dead] = retry_at();
+      continue;
+    }
+    // Final revalidation before committing: the suspect may have revived
+    // after the votes were cast (fencing keeps even the lost race safe,
+    // but deposing a live primary for nothing is churn worth avoiding).
+    now = std::chrono::steady_clock::now();
+    const bool still_dead =
+        suspects_.count(dead) > 0 && PeerLooksDeadLocked(dead, now);
+    lock.unlock();
+    bool promoted = false;
+    if (still_dead && !group_->IsDeposed(dead)) {
+      promoted = hooks_.promote(dead, target).ok();
+      if (promoted && counters_ != nullptr) {
+        counters_->auto_promotions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    lock.lock();
+    if (promoted || !still_dead) {
+      suspects_.erase(dead);
+    } else if (suspects_.count(dead)) {
+      suspects_[dead] = retry_at();
+    }
+  }
+}
+
+}  // namespace sws::replication

@@ -1,0 +1,173 @@
+#ifndef SWS_REPLICATION_FAILOVER_H_
+#define SWS_REPLICATION_FAILOVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "persistence/snapshot.h"
+#include "replication/replica_group.h"
+#include "replication/transport.h"
+#include "runtime/replication_hooks.h"
+#include "sws/status.h"
+
+namespace sws::replication {
+
+/// A node's view of the group fencing epoch (DESIGN.md §13). The epoch
+/// is a monotone counter bumped by every promotion; every shipment, ack
+/// and heartbeat carries the sender's view. Safety invariants:
+///
+///  * a follower never applies a shipment stamped below its own epoch
+///    (a deposed primary's stale traffic is rejected, not merged);
+///  * a node never grants two election votes at the same epoch, even
+///    across restarts — the vote is persisted before the grant leaves.
+///
+/// Adoption (raising the in-memory epoch on observing a higher one) is
+/// persisted best-effort: losing the write only means a restarted node
+/// briefly re-learns the epoch from the first heartbeat, never that it
+/// regresses safety — rejects are driven by the in-memory value and
+/// votes require the durable write to succeed.
+///
+/// Thread-safe; lives on the node across lives (an epoch survives
+/// restarts by design).
+class FencingEpoch {
+ public:
+  /// `dir` is the node's durable dir ("epoch.fence" lives there).
+  explicit FencingEpoch(std::string dir);
+
+  /// Loads persisted state; missing file leaves everything at zero.
+  core::Status Load();
+
+  uint64_t current() const { return epoch_.load(std::memory_order_acquire); }
+  uint64_t last_vote() const {
+    return last_vote_.load(std::memory_order_acquire);
+  }
+
+  /// Raises the epoch to `epoch` if higher (persisting best-effort).
+  /// Returns true when the epoch moved.
+  bool Adopt(uint64_t epoch);
+
+  /// Records an election vote at `epoch`: fails (no vote) unless `epoch`
+  /// exceeds every previous vote and the persist succeeds — a node with
+  /// a dead disk cannot durably promise, so it abstains.
+  bool TryVote(uint64_t epoch);
+
+ private:
+  const std::string dir_;
+  mutable std::mutex mu_;  // serializes persistence
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> last_vote_{0};
+};
+
+/// What the coordinator needs from its node. Called from the
+/// coordinator's worker thread with no coordinator lock held, so they
+/// may take the node's lifecycle lock.
+struct FailoverHooks {
+  /// Is this node fit to run for election right now? (running, and not
+  /// itself mid-catch-up — a joiner with an incomplete prefix must not
+  /// seize sessions it has not bootstrapped.)
+  std::function<bool()> ready;
+  /// Commit a won election: bump the fencing epoch to `epoch`, register
+  /// the group override and restart the life over the merged journals
+  /// (ReplicatedNode::PromoteWithEpoch).
+  std::function<core::Status(const std::string& dead, uint64_t epoch)> promote;
+};
+
+/// Drives automatic failover for one node: turns watchdog suspicion
+/// into a quorum-confirmed election and the election win into a
+/// promotion, with no harness involvement (DESIGN.md §13).
+///
+/// Election protocol: the deterministic heir (ReplicaGroup::HeirOf —
+/// the next live owner clockwise from the dead node's arc) campaigns
+/// for epoch current+1; every node grants at most one vote per epoch
+/// (persisted first), and only for a suspect its *own* liveness clock
+/// agrees is silent. A majority of the whole group (candidate
+/// included) wins; the winner bumps the epoch and runs the existing
+/// Promote/recovery path. Losers retry with fresh epochs while the
+/// suspect stays silent, so duelling candidates (asymmetric partitions)
+/// converge instead of split-braining — at most one candidate can
+/// assemble a majority per epoch.
+///
+/// Threading: NoteSuspect arrives on the runtime watchdog thread and
+/// NoteAlive / OnVote* on the transport delivery thread; all are brief
+/// and never touch the node. The worker thread alone calls the hooks
+/// (promotion tears down and restarts the node's life, which must not
+/// happen on either of those threads), and never holds the coordinator
+/// mutex while doing so.
+class FailoverCoordinator {
+ public:
+  FailoverCoordinator(std::string self, ReplicaGroup* group,
+                      ReplicationTransport* transport, FencingEpoch* fence,
+                      ReplicationOptions options,
+                      std::chrono::nanoseconds suspicion_timeout,
+                      FailoverHooks hooks, rt::ReplicationCounters* counters);
+  ~FailoverCoordinator();
+
+  FailoverCoordinator(const FailoverCoordinator&) = delete;
+  FailoverCoordinator& operator=(const FailoverCoordinator&) = delete;
+
+  /// Watchdog signal: `peer`'s replication stream went silent.
+  void NoteSuspect(const std::string& peer);
+
+  /// Any receipt from `peer` (shipment, ack, heartbeat, vote) — feeds
+  /// the coordinator's own liveness clock, which validates vote grants
+  /// and retries without touching the node's per-life applier.
+  void NoteAlive(const std::string& peer);
+
+  /// Re-arms every peer's liveness clock (node restart: a long downtime
+  /// must not read as everyone-is-dead).
+  void ResetClocks();
+
+  // Election wire (routed by the node's endpoint, transport thread).
+  void OnVoteRequest(const std::string& from, uint64_t epoch,
+                     const std::string& suspect);
+  void OnVoteGrant(const std::string& from, uint64_t epoch, bool granted);
+
+  // Telemetry.
+  uint64_t elections_started() const;
+  uint64_t votes_granted() const;
+  /// Peers currently under suspicion (including entries awaiting a
+  /// revalidation retry).
+  uint64_t suspect_count() const;
+
+ private:
+  bool PeerLooksDeadLocked(const std::string& peer,
+                           std::chrono::steady_clock::time_point now) const;
+  void WorkerLoop();
+
+  const std::string self_;
+  ReplicaGroup* const group_;
+  ReplicationTransport* const transport_;
+  FencingEpoch* const fence_;
+  const ReplicationOptions options_;
+  const std::chrono::nanoseconds suspicion_timeout_;
+  const FailoverHooks hooks_;
+  rt::ReplicationCounters* const counters_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  /// Suspect → earliest next candidacy attempt (retry backoff).
+  std::map<std::string, std::chrono::steady_clock::time_point> suspects_;
+  std::map<std::string, std::chrono::steady_clock::time_point> last_heard_;
+  bool election_active_ = false;
+  uint64_t election_epoch_ = 0;
+  size_t grants_ = 0;
+  size_t denials_ = 0;
+  uint64_t elections_ = 0;
+  uint64_t votes_granted_ = 0;
+  uint64_t attempt_ = 0;  // jitter stream position
+
+  std::thread worker_;
+};
+
+}  // namespace sws::replication
+
+#endif  // SWS_REPLICATION_FAILOVER_H_

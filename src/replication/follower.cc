@@ -3,18 +3,23 @@
 #include <utility>
 
 #include "persistence/journal.h"
+#include "persistence/snapshot.h"
 
 namespace sws::replication {
 
 FollowerApplier::FollowerApplier(std::string node_id, Options options,
                                  ReplicationTransport* transport,
                                  uint64_t incarnation,
-                                 core::FaultInjector* injector)
+                                 core::FaultInjector* injector,
+                                 FencingEpoch* fence,
+                                 rt::ReplicationCounters* counters)
     : node_id_(std::move(node_id)),
       options_(std::move(options)),
       transport_(transport),
       incarnation_(incarnation),
-      injector_(injector) {}
+      injector_(injector),
+      fence_(fence),
+      counters_(counters) {}
 
 FollowerApplier::SourceLink& FollowerApplier::LinkFor(
     const std::string& source, std::chrono::steady_clock::time_point now) {
@@ -38,6 +43,24 @@ bool FollowerApplier::DrainPendingLocked(SourceLink* link) {
     }
     if (it->first != link->applied_seq + 1) break;  // gap: wait for retransmit
     const Shipment& shipment = it->second;
+    if (shipment.snapshot) {
+      // Catch-up bootstrap riding the link: persist it as a snapshot
+      // file before advancing — the ack must mean "durably absorbed"
+      // exactly as it means "durably journaled" for records.
+      bool corrupt = false;
+      if (!AbsorbSnapshotLocked(link, shipment, &corrupt)) {
+        ++rejected_;
+        if (corrupt) {
+          link->pending.erase(it);  // retransmit carries a clean copy
+        }
+        break;
+      }
+      link->applied_seq = it->first;
+      link->pending.erase(it);
+      ++applied_;
+      advanced = true;
+      continue;
+    }
     persistence::JournalRecord record;
     if (!persistence::DecodeRecordFrame(shipment.frame, &record)) {
       // Corrupt in flight; drop it — the retransmit carries a clean copy.
@@ -89,40 +112,94 @@ bool FollowerApplier::DrainPendingLocked(SourceLink* link) {
 
 void FollowerApplier::OnShipment(const Shipment& shipment) {
   uint64_t ack = 0;
+  bool rejected = false;
   {
     const auto now = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mu_);
     SourceLink& link = LinkFor(shipment.source, now);
-    if (shipment.source_incarnation < link.source_incarnation) return;  // stale life
-    if (shipment.source_incarnation > link.source_incarnation) {
-      // The source restarted: its links renumber from 1. Everything the
-      // old life shipped and we acked is durable here; the new life's
-      // first_unacked says where its stream begins.
-      link.source_incarnation = shipment.source_incarnation;
-      link.pending.clear();
-      link.applied_seq = shipment.first_unacked - 1;
+    if (fence_ != nullptr) {
+      if (shipment.epoch > fence_->current()) {
+        // News travels on every message: a shipment can be the first
+        // carrier of a promotion this node missed.
+        fence_->Adopt(shipment.epoch);
+      } else if (shipment.epoch < fence_->current()) {
+        // A deposed primary's stale traffic (in-flight at promotion, or
+        // a restart re-shipping its un-consolidated tail). Never apply:
+        // the promoted heir owns this history now, and merging the old
+        // primary's divergent tail would fork acked state. The ack
+        // carries our current epoch, which fences the sender.
+        ++fencing_rejects_;
+        if (counters_ != nullptr) {
+          counters_->epoch_fencing_rejects.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        rejected = true;
+        ack = link.applied_seq;
+      }
     }
-    // Fast-forward: seqs below first_unacked were cumulatively acked —
-    // by this node in a previous life if not this one — so they are in
-    // the local journal already. Without this a restarted follower
-    // would wait forever for records the primary no longer retains.
-    if (shipment.first_unacked > 0 &&
-        link.applied_seq < shipment.first_unacked - 1) {
-      link.applied_seq = shipment.first_unacked - 1;
+    if (!rejected) {
+      if (shipment.source_incarnation < link.source_incarnation) {
+        return;  // stale life
+      }
+      if (shipment.source_incarnation > link.source_incarnation) {
+        // The source restarted: its links renumber from 1. Everything the
+        // old life shipped and we acked is durable here; the new life's
+        // first_unacked says where its stream begins.
+        link.source_incarnation = shipment.source_incarnation;
+        link.pending.clear();
+        link.applied_seq = shipment.first_unacked - 1;
+      }
+      // Fast-forward: seqs below first_unacked were cumulatively acked —
+      // by this node in a previous life if not this one — so they are in
+      // the local journal already. Without this a restarted follower
+      // would wait forever for records the primary no longer retains.
+      if (shipment.first_unacked > 0 &&
+          link.applied_seq < shipment.first_unacked - 1) {
+        link.applied_seq = shipment.first_unacked - 1;
+      }
+      if (shipment.link_seq <= link.applied_seq) {
+        ++duplicates_;  // retransmit of something already applied: re-ack
+      } else {
+        link.pending.emplace(shipment.link_seq, shipment);
+        DrainPendingLocked(&link);
+      }
+      ack = link.applied_seq;
     }
-    if (shipment.link_seq <= link.applied_seq) {
-      ++duplicates_;  // retransmit of something already applied: re-ack
-    } else {
-      link.pending.emplace(shipment.link_seq, shipment);
-      DrainPendingLocked(&link);
-    }
-    ack = link.applied_seq;
   }
   // Ack outside mu_ (transport takes its own lock). Cumulative, so
   // acking after every shipment — duplicates included — is harmless
   // and re-seeds a primary whose acks were dropped in flight.
   transport_->SendAck(node_id_, shipment.source, shipment.source_incarnation,
-                      ack);
+                      ack, CurrentEpoch());
+}
+
+bool FollowerApplier::AbsorbSnapshotLocked(SourceLink* link,
+                                           const Shipment& shipment,
+                                           bool* corrupt) {
+  *corrupt = false;
+  persistence::SnapshotData snap;
+  if (!persistence::DecodeSnapshotPayload(
+           shipment.frame, "catch-up snapshot from " + shipment.source, &snap)
+           .ok()) {
+    *corrupt = true;  // damaged in flight; drop — retransmit is clean
+    return false;
+  }
+  // Re-stamp to this node's identity: the file must read as ours (the
+  // applier's shard space, our incarnation) so recovery consolidates it
+  // alongside the link's tail records. Session images are carried
+  // verbatim — next_seq is what recovery merges on. The name is unique
+  // per (incarnation, shard, counter), so a re-absorbed retransmit
+  // cannot clobber an earlier file.
+  snap.header.incarnation = incarnation_;
+  snap.header.shard = link->replica_shard;
+  snap.header.service_fingerprint = options_.service_fingerprint;
+  const std::string path =
+      options_.dir + "/" +
+      persistence::SnapFileName(incarnation_, link->replica_shard,
+                                link->snapshots_absorbed);
+  if (!persistence::WriteSnapshot(path, snap, injector_).ok()) return false;
+  ++link->snapshots_absorbed;
+  return true;
 }
 
 void FollowerApplier::ExpectPeers(const std::vector<std::string>& peers) {
@@ -135,8 +212,9 @@ void FollowerApplier::ExpectPeers(const std::vector<std::string>& peers) {
 }
 
 void FollowerApplier::OnHeartbeat(const std::string& from,
-                                  uint64_t incarnation) {
+                                  uint64_t incarnation, uint64_t epoch) {
   (void)incarnation;  // liveness only; stream resets ride on shipments
+  if (fence_ != nullptr && epoch > fence_->current()) fence_->Adopt(epoch);
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mu_);
   LinkFor(from, now);
@@ -170,6 +248,11 @@ uint64_t FollowerApplier::duplicates() const {
 uint64_t FollowerApplier::rejected() const {
   std::lock_guard<std::mutex> lock(mu_);
   return rejected_;
+}
+
+uint64_t FollowerApplier::fencing_rejects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fencing_rejects_;
 }
 
 }  // namespace sws::replication

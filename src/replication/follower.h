@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "persistence/durability.h"
+#include "replication/failover.h"
 #include "replication/transport.h"
 #include "runtime/replication_hooks.h"
 
@@ -37,6 +38,13 @@ inline constexpr uint64_t kReplicaShardBase = 1ull << 40;
 /// records were acknowledged by a previous life of this node and are
 /// already in its journal (see Shipment::first_unacked).
 ///
+/// Fencing (DESIGN.md §13): a shipment stamped with an epoch below this
+/// node's adopted epoch is from a deposed primary — it is counted,
+/// dropped without applying, and answered with a current-epoch ack so
+/// the sender learns it was fenced. Higher epochs on any message are
+/// adopted. This is what keeps a promoted heir's history from being
+/// forked by the old primary's in-flight or restart-reshipped tail.
+///
 /// Thread-safety: OnShipment/OnHeartbeat run on the transport delivery
 /// thread; SuspectPeers on the runtime watchdog thread; one mutex guards
 /// everything. The ShardDurability writers are created lazily per source
@@ -54,12 +62,22 @@ class FollowerApplier : public rt::FailoverMonitor {
 
   /// `incarnation` is the node's current journal incarnation (replica
   /// segments are stamped with it, like the runtime's own segments).
+  /// `fence` may be null (epoch checks off, acks carry epoch 0);
+  /// `counters` may be null (fencing rejects only counted locally).
   FollowerApplier(std::string node_id, Options options,
                   ReplicationTransport* transport, uint64_t incarnation,
-                  core::FaultInjector* injector);
+                  core::FaultInjector* injector,
+                  FencingEpoch* fence = nullptr,
+                  rt::ReplicationCounters* counters = nullptr);
 
+  /// Record shipments journal under the source's replica shard; a
+  /// snapshot-flagged shipment (catch-up bootstrap) instead persists its
+  /// payload as a snapshot file stamped with that shard — recovery then
+  /// merges it exactly like a locally-captured snapshot (largest
+  /// next_seq per session wins). Both ack only once durable.
   void OnShipment(const Shipment& shipment);
-  void OnHeartbeat(const std::string& from, uint64_t incarnation);
+  void OnHeartbeat(const std::string& from, uint64_t incarnation,
+                   uint64_t epoch);
 
   /// Registers peers the monitor should expect to hear from, starting
   /// the silence clock now. Without this a peer that dies (or is
@@ -78,6 +96,7 @@ class FollowerApplier : public rt::FailoverMonitor {
   uint64_t applied() const;
   uint64_t duplicates() const;
   uint64_t rejected() const;  // corrupt frames / failed appends dropped
+  uint64_t fencing_rejects() const;  // stale-epoch shipments dropped
 
  private:
   struct SourceLink {
@@ -89,6 +108,7 @@ class FollowerApplier : public rt::FailoverMonitor {
     uint64_t replica_shard = 0;
     std::chrono::steady_clock::time_point last_heard{};
     bool suspected = false;
+    uint64_t snapshots_absorbed = 0;  // names absorbed snapshot files
   };
 
   SourceLink& LinkFor(const std::string& source,
@@ -96,12 +116,21 @@ class FollowerApplier : public rt::FailoverMonitor {
   /// Applies pending shipments in order until a gap or a failure;
   /// returns true if applied_seq advanced.
   bool DrainPendingLocked(SourceLink* link);
+  /// Persists a snapshot-flagged shipment's payload as a snapshot file.
+  /// False = transient storage failure (retry on retransmit).
+  bool AbsorbSnapshotLocked(SourceLink* link, const Shipment& shipment,
+                            bool* corrupt);
+  uint64_t CurrentEpoch() const {
+    return fence_ == nullptr ? 0 : fence_->current();
+  }
 
   const std::string node_id_;
   const Options options_;
   ReplicationTransport* const transport_;
   const uint64_t incarnation_;
   core::FaultInjector* const injector_;
+  FencingEpoch* const fence_;
+  rt::ReplicationCounters* const counters_;
 
   mutable std::mutex mu_;
   std::map<std::string, SourceLink> sources_;
@@ -109,6 +138,7 @@ class FollowerApplier : public rt::FailoverMonitor {
   uint64_t applied_ = 0;
   uint64_t duplicates_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t fencing_rejects_ = 0;
 };
 
 }  // namespace sws::replication

@@ -19,18 +19,68 @@ ReplicatedNode::ReplicatedNode(NodeOptions options, const core::Sws* sws,
       sws_(sws),
       initial_db_(std::move(initial_db)),
       group_(group),
-      transport_(transport) {}
+      transport_(transport),
+      fence_(options_.dir) {}
 
-ReplicatedNode::~ReplicatedNode() { Stop(); }
+ReplicatedNode::~ReplicatedNode() {
+  // Stop() quiets the wire (Unbind waits out in-flight deliveries) and
+  // flips running_, so a coordinator worker mid-promotion fails cleanly;
+  // only then is the coordinator destroyed (joins its worker thread).
+  Stop();
+  coordinator_.reset();
+}
+
+std::chrono::nanoseconds ReplicatedNode::EffectiveFailoverTimeout() const {
+  if (options_.failover_timeout.count() > 0) return options_.failover_timeout;
+  if (options_.auto_failover) {
+    return options_.replication.suspicion_misses *
+           std::chrono::nanoseconds(options_.replication.heartbeat_interval);
+  }
+  return std::chrono::nanoseconds{0};
+}
+
+bool ReplicatedNode::ReadyForElection() const {
+  std::shared_lock<std::shared_mutex> lock(life_mu_);
+  return running_.load(std::memory_order_acquire) && replicator_ != nullptr &&
+         replicator_->pending_catchup_count() == 0;
+}
+
+std::shared_ptr<rt::ServiceRuntime> ReplicatedNode::runtime_snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(life_mu_);
+  return runtime_;
+}
+
+std::vector<persistence::ReplayedOutcome> ReplicatedNode::replayed_copy()
+    const {
+  std::shared_lock<std::shared_mutex> lock(life_mu_);
+  return replayed_;
+}
 
 core::Status ReplicatedNode::Start() {
-  if (running_) return core::Status::Ok();
-  return StartLife();
+  core::Status status;
+  {
+    std::unique_lock<std::shared_mutex> lock(life_mu_);
+    if (running_.load(std::memory_order_acquire)) return core::Status::Ok();
+    status = StartLife();
+  }
+  if (status.ok() && options_.on_life_started) {
+    options_.on_life_started(options_.id);
+  }
+  return status;
 }
 
 core::Status ReplicatedNode::StartLife() {
   core::Status status = persistence::EnsureDir(options_.dir);
   if (!status.ok()) return status;
+  if (!fence_loaded_) {
+    // Once per node object: the epoch lives across lives in memory and
+    // the durable file only has to bridge process restarts. Corruption
+    // is a hard failure — silently regressing the epoch would let a
+    // deposed primary's writes back in.
+    status = fence_.Load();
+    if (!status.ok()) return status;
+    fence_loaded_ = true;
+  }
   // Every life gets a fresh injector: a previous life's injected storage
   // death (KillStorageAfter) must not follow the node into its restart.
   injector_ = std::make_unique<core::FaultInjector>(options_.faults);
@@ -57,15 +107,31 @@ core::Status ReplicatedNode::StartLife() {
   applier_options.segment_bytes = options_.runtime.durability.segment_bytes;
   applier_options.service_fingerprint = persistence::SwsFingerprint(*sws_);
   applier_ = std::make_unique<FollowerApplier>(
-      options_.id, applier_options, transport_, incarnation, injector_.get());
-  if (options_.failover_timeout.count() > 0) {
+      options_.id, applier_options, transport_, incarnation, injector_.get(),
+      &fence_, &counters_);
+  const std::chrono::nanoseconds failover_timeout = EffectiveFailoverTimeout();
+  if (failover_timeout.count() > 0) {
     // Arm the silence clock for every peer now: a peer that dies before
     // its first heartbeat lands must still become suspect.
     applier_->ExpectPeers(group_->nodes());
   }
   replicator_ = std::make_unique<Replicator>(options_.id, group_,
                                              options_.replication, transport_,
-                                             incarnation);
+                                             incarnation, &fence_);
+
+  if (options_.auto_failover && coordinator_ == nullptr) {
+    // Created once, on the first life: election state and liveness
+    // clocks must survive restarts (a node that crashes mid-election
+    // must not forget the epoch arithmetic its durable vote implies).
+    FailoverHooks hooks;
+    hooks.ready = [this]() { return ReadyForElection(); };
+    hooks.promote = [this](const std::string& dead, uint64_t epoch) {
+      return PromoteWithEpoch(dead, epoch);
+    };
+    coordinator_ = std::make_unique<FailoverCoordinator>(
+        options_.id, group_, transport_, &fence_, options_.replication,
+        failover_timeout, std::move(hooks), &counters_);
+  }
 
   rt::RuntimeOptions runtime_options = options_.runtime;
   runtime_options.durability.dir = options_.dir;
@@ -73,20 +139,34 @@ core::Status ReplicatedNode::StartLife() {
   runtime_options.replication.client =
       options_.replication.replicas > 0 ? replicator_.get() : nullptr;
   runtime_options.replication.monitor = applier_.get();
-  runtime_options.replication.failover_timeout = options_.failover_timeout;
+  runtime_options.replication.failover_timeout = failover_timeout;
   runtime_options.replication.promotions = promotions_;
-  if (options_.on_peer_suspected) {
+  runtime_options.replication.counters = &counters_;
+  if (options_.auto_failover) {
+    // Self-healing needs the suspicion signal; the watchdog is its pump.
+    runtime_options.governance.enable_watchdog = true;
+  }
+  if (options_.on_peer_suspected || coordinator_ != nullptr) {
     const std::string node_id = options_.id;
     auto callback = options_.on_peer_suspected;
+    FailoverCoordinator* coordinator = coordinator_.get();
+    Replicator* replicator = replicator_.get();
+    // Watchdog thread. The runtime's Shutdown joins the watchdog before
+    // Teardown resets the replicator, so the raw captures stay valid.
     runtime_options.replication.on_peer_suspected =
-        [node_id, callback](const std::string& peer) {
-          callback(node_id, peer);
+        [node_id, callback, coordinator,
+         replicator](const std::string& peer) {
+          // A suspected peer cannot serve our catch-up; stop waiting on
+          // it (its heir answers future requests under its own name).
+          replicator->CancelCatchup(peer);
+          if (coordinator != nullptr) coordinator->NoteSuspect(peer);
+          if (callback) callback(node_id, peer);
         };
   }
 
   // The constructor recovers the dir: own journal *and* replica
   // journals consolidate into one snapshot, sessions install warm.
-  runtime_ = std::make_unique<rt::ServiceRuntime>(sws_, initial_db_,
+  runtime_ = std::make_shared<rt::ServiceRuntime>(sws_, initial_db_,
                                                   runtime_options);
   if (!runtime_->init_status().ok()) {
     status = runtime_->init_status();
@@ -115,13 +195,30 @@ core::Status ReplicatedNode::StartLife() {
 
   transport_->Rejoin(options_.id);
   transport_->Bind(options_.id, this);
+  if (coordinator_ != nullptr) {
+    // A long downtime must not read as everyone-is-dead the moment the
+    // node returns.
+    coordinator_->ResetClocks();
+  }
   // With the binding up (acks can flow back), converge the followers:
   // re-ship the pre-consolidation tail, then gate each replayed
   // outcome's re-emission on the follower ack barrier. FIFO links order
   // the barrier record after the tail, so a follower's ack of the
   // outcome implies the whole prefix is durable there.
   if (options_.replication.replicas > 0) ReplicateRecoveredState(tail);
-  running_ = true;
+  if (options_.auto_failover && options_.replication.replicas > 0 &&
+      incarnation_ == 1) {
+    // First life over an empty dir: this node may be joining a group
+    // with history it never followed, so bootstrap from every peer
+    // before vouching for anything (acks of later lives don't need
+    // this — acked means durable here, so the dir carries the prefix).
+    std::vector<std::string> sources;
+    for (const std::string& peer : group_->nodes()) {
+      if (peer != options_.id) sources.push_back(peer);
+    }
+    if (!sources.empty()) replicator_->RequestCatchup(sources);
+  }
+  running_.store(true, std::memory_order_release);
   return core::Status::Ok();
 }
 
@@ -207,6 +304,9 @@ void ReplicatedNode::ReplicateRecoveredState(
   // each re-emission pays the same ack barrier as a live commit first.
   // A failed barrier withholds the re-emission: legal, because a crash
   // fails every in-flight callback, leaving those clients ambiguous.
+  // One failure mode is new here: if this node was deposed while it was
+  // down, its stale-epoch re-ships are fenced by the followers and the
+  // barrier fails fast — the withheld outcomes belong to the heir now.
   std::vector<persistence::ReplayedOutcome> deliverable;
   deliverable.reserve(replayed_.size());
   suppressed_reemissions_ = 0;
@@ -233,16 +333,19 @@ void ReplicatedNode::ReplicateRecoveredState(
 void ReplicatedNode::Teardown(bool crash) {
   // The runtime references the replicator and applier through its
   // options; it dies first. (Its Shutdown also joins the watchdog, so
-  // no SuspectPeers poll can touch the applier afterwards.)
+  // no SuspectPeers poll can touch the applier afterwards.) A
+  // runtime_snapshot() holder may outlive the reset — the runtime it
+  // holds is already shut down and self-contained.
   runtime_.reset();
   replicator_.reset();
   applier_.reset();
   if (!crash) replayed_.clear();
-  running_ = false;
+  running_.store(false, std::memory_order_release);
 }
 
 void ReplicatedNode::Kill() {
-  if (!running_) return;
+  std::unique_lock<std::shared_mutex> lock(life_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
   // Crash choreography: storage dies first (in-flight appends tear and
   // nothing more persists), the wire is cut (no deliveries in or out,
   // Unbind waits out the one in flight), barrier waiters wake with
@@ -258,7 +361,8 @@ void ReplicatedNode::Kill() {
 }
 
 void ReplicatedNode::Stop() {
-  if (!running_) return;
+  std::unique_lock<std::shared_mutex> lock(life_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
   // Clean shutdown: drain with the wire still up, so outstanding ack
   // barriers resolve normally before the node leaves.
   runtime_->Shutdown();
@@ -267,7 +371,35 @@ void ReplicatedNode::Stop() {
 }
 
 core::Status ReplicatedNode::Promote(const std::string& dead) {
-  if (!running_) {
+  core::Status status;
+  {
+    std::unique_lock<std::shared_mutex> lock(life_mu_);
+    // The operator's override outranks the deposed primary exactly like
+    // a won election does: one epoch past everything this node has seen.
+    status = PromoteLocked(dead, fence_.current() + 1);
+  }
+  if (status.ok() && options_.on_life_started) {
+    options_.on_life_started(options_.id);
+  }
+  return status;
+}
+
+core::Status ReplicatedNode::PromoteWithEpoch(const std::string& dead,
+                                              uint64_t epoch) {
+  core::Status status;
+  {
+    std::unique_lock<std::shared_mutex> lock(life_mu_);
+    status = PromoteLocked(dead, epoch);
+  }
+  if (status.ok() && options_.on_life_started) {
+    options_.on_life_started(options_.id);
+  }
+  return status;
+}
+
+core::Status ReplicatedNode::PromoteLocked(const std::string& dead,
+                                           uint64_t epoch) {
+  if (!running_.load(std::memory_order_acquire)) {
     return core::Status::Error(core::RunError::kShutdown,
                                "promote: node not running");
   }
@@ -277,6 +409,12 @@ core::Status ReplicatedNode::Promote(const std::string& dead) {
   transport_->Unbind(options_.id);
   replicator_->Abort();
   Teardown(/*crash=*/false);
+  // The epoch bump is what fences the deposed primary: its in-flight and
+  // restart-re-shipped traffic is stamped below `epoch`, so every
+  // follower (this node's next life included) rejects it. Adopt before
+  // taking ownership — from the first shipment of the new life onward,
+  // the stamp must already outrank the old primary's.
+  fence_.Adopt(epoch);
   // Take ownership *before* the next life recovers, so the re-emission
   // filter sees the dead node's sessions as ours.
   group_->Promote(dead, options_.id);
@@ -284,20 +422,137 @@ core::Status ReplicatedNode::Promote(const std::string& dead) {
   return StartLife();
 }
 
+void ReplicatedNode::ServeCatchup(const std::string& requester) {
+  if (replicator_ == nullptr) return;
+  // Demote the requester's link out of the ack quorum first: from here
+  // to graduation its acks prove only link progress, not history
+  // coverage. Then pin GC so the segments read below stay on disk.
+  replicator_->BeginCatchup(requester);
+  replicator_->PinCatchup();
+
+  // Everything the requester should follow: sessions this node owns
+  // whose follower set (under the current overrides) includes it. The
+  // snapshot images carry consolidated state (pending buffers verbatim
+  // — recovery replays from them); the journal tail covers what was
+  // appended since. Extra overlap is harmless: follower recovery merges
+  // images by next_seq and dedups records by seq.
+  persistence::SnapshotData bootstrap;
+  bootstrap.header.incarnation = incarnation_;
+  bootstrap.header.shard = 0;
+  bootstrap.header.service_fingerprint = persistence::SwsFingerprint(*sws_);
+  std::vector<TailRecord> tail;
+  std::vector<persistence::DurableFile> files;
+  auto serves = [&](const std::string& session_id) {
+    if (group_->PrimaryOf(session_id) != options_.id) return false;
+    const std::vector<std::string> followers =
+        group_->FollowersOf(session_id, options_.replication.replicas);
+    return std::find(followers.begin(), followers.end(), requester) !=
+           followers.end();
+  };
+  if (persistence::ListDurableFiles(options_.dir, &files).ok()) {
+    std::stable_sort(files.begin(), files.end(),
+                     [](const persistence::DurableFile& a,
+                        const persistence::DurableFile& b) {
+                       return std::tie(a.shard, a.incarnation, a.n) <
+                              std::tie(b.shard, b.incarnation, b.n);
+                     });
+    std::map<std::string, persistence::SessionImage> images;
+    for (const persistence::DurableFile& file : files) {
+      const std::string path = options_.dir + "/" + file.name;
+      if (file.is_snapshot) {
+        persistence::SnapshotData snap;
+        if (!persistence::ReadSnapshot(path, nullptr, &snap).ok()) continue;
+        for (persistence::SessionImage& image : snap.sessions) {
+          if (!serves(image.session_id)) continue;
+          auto [it, inserted] =
+              images.try_emplace(image.session_id, std::move(image));
+          if (!inserted && image.next_seq > it->second.next_seq) {
+            it->second = std::move(image);
+          }
+        }
+        continue;
+      }
+      persistence::SegmentContents contents;
+      if (!persistence::ReadSegment(path, nullptr, &contents).ok()) continue;
+      for (persistence::JournalRecord& record : contents.records) {
+        if (!serves(record.session_id)) continue;
+        tail.push_back({std::move(record), file.shard, file.n});
+      }
+    }
+    for (auto& [session_id, image] : images) {
+      bootstrap.sessions.push_back(std::move(image));
+    }
+    std::stable_sort(tail.begin(), tail.end(),
+                     [](const TailRecord& a, const TailRecord& b) {
+                       return std::tie(a.record.session_id, a.record.seq) <
+                              std::tie(b.record.session_id, b.record.seq);
+                     });
+  }
+
+  // The snapshot ships even when empty: its arrival is what tells the
+  // joiner this source has answered (NoteCatchupServed), and its link
+  // position anchors the graduation fence.
+  std::string payload;
+  persistence::EncodeSnapshotPayload(bootstrap, &payload);
+  counters_.catchup_bytes_shipped.fetch_add(payload.size(),
+                                            std::memory_order_relaxed);
+  replicator_->ShipSnapshotTo(requester, std::move(payload));
+  for (const TailRecord& entry : tail) {
+    replicator_->ShipRecordTo(requester, entry.record, entry.shard,
+                              entry.segment_n);
+  }
+  replicator_->FinishCatchupServe(requester);
+  replicator_->UnpinCatchup();
+}
+
 void ReplicatedNode::OnShipment(const Shipment& shipment) {
+  if (coordinator_ != nullptr) coordinator_->NoteAlive(shipment.source);
+  if (shipment.snapshot && replicator_ != nullptr) {
+    // The bootstrap answer to our catch-up request — stop re-asking this
+    // source. (The applier below is what durably absorbs it.)
+    replicator_->NoteCatchupServed(shipment.source);
+  }
   if (applier_ != nullptr) applier_->OnShipment(shipment);
 }
 
 void ReplicatedNode::OnAck(const std::string& from, uint64_t source_incarnation,
-                           uint64_t acked_link_seq) {
+                           uint64_t acked_link_seq, uint64_t epoch) {
+  if (coordinator_ != nullptr) coordinator_->NoteAlive(from);
   if (replicator_ != nullptr) {
-    replicator_->OnAck(from, source_incarnation, acked_link_seq);
+    replicator_->OnAck(from, source_incarnation, acked_link_seq, epoch);
   }
 }
 
-void ReplicatedNode::OnHeartbeat(const std::string& from,
-                                 uint64_t incarnation) {
-  if (applier_ != nullptr) applier_->OnHeartbeat(from, incarnation);
+void ReplicatedNode::OnHeartbeat(const std::string& from, uint64_t incarnation,
+                                 uint64_t epoch) {
+  if (coordinator_ != nullptr) coordinator_->NoteAlive(from);
+  if (applier_ != nullptr) applier_->OnHeartbeat(from, incarnation, epoch);
+}
+
+void ReplicatedNode::OnVoteRequest(const std::string& from, uint64_t epoch,
+                                   const std::string& suspect) {
+  if (coordinator_ == nullptr) return;
+  coordinator_->NoteAlive(from);
+  coordinator_->OnVoteRequest(from, epoch, suspect);
+}
+
+void ReplicatedNode::OnVoteGrant(const std::string& from, uint64_t epoch,
+                                 bool granted) {
+  if (coordinator_ == nullptr) return;
+  coordinator_->NoteAlive(from);
+  coordinator_->OnVoteGrant(from, epoch, granted);
+}
+
+void ReplicatedNode::OnCatchupRequest(const std::string& from,
+                                      uint64_t epoch) {
+  if (coordinator_ != nullptr) coordinator_->NoteAlive(from);
+  // A refreshed joiner may know a newer epoch than we do (it heard the
+  // promotion first) — news travels on every message.
+  fence_.Adopt(epoch);
+  // Serving on the delivery thread is deliberate: DeliveryLoop releases
+  // the transport lock around endpoint calls, and the serve never takes
+  // the node's lifecycle lock, so Kill/Unbind can always drain it.
+  ServeCatchup(from);
 }
 
 std::string ChoosePromotionCandidate(

@@ -1,14 +1,17 @@
 #ifndef SWS_REPLICATION_NODE_H_
 #define SWS_REPLICATION_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "persistence/recovery.h"
 #include "relational/database.h"
+#include "replication/failover.h"
 #include "replication/follower.h"
 #include "replication/replica_group.h"
 #include "replication/replicator.h"
@@ -22,18 +25,32 @@ namespace sws::replication {
 struct NodeOptions {
   std::string id;
   /// The node's own durable directory (journal + snapshots + replica
-  /// journals all live here; promotion is recovery over this dir).
+  /// journals + fencing state all live here; promotion is recovery over
+  /// this dir).
   std::string dir;
   ReplicationOptions replication;
   /// Base runtime options; the node overrides durability.dir and the
   /// replication wiring per life. governance.enable_watchdog plus
-  /// failover_timeout > 0 arm the watchdog-driven failover signal.
+  /// failover_timeout > 0 arm the watchdog-driven failover signal
+  /// (auto_failover arms both itself).
   rt::RuntimeOptions runtime;
+  /// Silence window before a peer is suspected. 0 with auto_failover on
+  /// derives replication.suspicion_misses × heartbeat_interval.
   std::chrono::nanoseconds failover_timeout{0};
+  /// Self-healing mode (DESIGN.md §13): suspicion feeds this node's own
+  /// FailoverCoordinator, which campaigns for a quorum-confirmed fenced
+  /// promotion — no harness Promote() involved — and a fresh node
+  /// bootstraps itself via catch-up before entering any ack quorum.
+  bool auto_failover = false;
   /// Fired from the node's watchdog thread when a peer's replication
   /// stream goes silent past failover_timeout (once per episode).
   std::function<void(const std::string& node, const std::string& peer)>
       on_peer_suspected;
+  /// Fired after a life comes up — Start(), Promote() and automatic
+  /// promotions alike — with no node lock held, so the callback may call
+  /// straight back into the node (submit, stats). The auto-failover
+  /// chaos harness uses it to re-drive clients at the new primary.
+  std::function<void(const std::string& node)> on_life_started;
   /// Per-life storage/run fault options (the transport's faults live on
   /// the transport's own injector).
   core::FaultOptions faults;
@@ -65,17 +82,24 @@ struct NodeOptions {
 /// outcome's re-emission on the same follower ack barrier as a live
 /// commit: an outcome this node re-delivers is quorum-durable first, so
 /// every future promotion candidate suppresses it. When the barrier
-/// cannot be reached (a peer is down), the re-emission is withheld —
-/// the client saw an error for that outcome, so at-most-once resolution
+/// cannot be reached (a peer is down, or this node was deposed and its
+/// stale-epoch re-ship was fenced), the re-emission is withheld — the
+/// client saw an error for that outcome, so at-most-once resolution
 /// applies, never a double delivery. FIFO links make the gate
 /// sufficient: a follower's ack of the outcome's link_seq implies every
 /// earlier tail record on that link is applied and durable there.
 ///
-/// Not thread-safe: Start/Stop/Kill/Promote are harness calls from one
-/// thread. The endpoint methods (transport thread) only touch the
-/// applier/replicator, whose pointers are stable while bound — Bind
-/// happens after they exist, Unbind (which waits out in-flight
-/// deliveries) before they die.
+/// Threading: lifecycle transitions (Start/Stop/Kill/Promote — harness
+/// calls, and the coordinator's automatic promotion) serialize on an
+/// internal lifecycle lock, so auto_failover makes them safe from any
+/// thread. The raw runtime()/applier()/replicator() accessors remain
+/// harness-only (valid between transitions the harness itself drives);
+/// concurrent drivers use runtime_snapshot(), which keeps the runtime
+/// alive across a teardown (its Shutdown has already quiesced it). The
+/// endpoint methods (transport thread) never take the lifecycle lock —
+/// Kill holds it across Unbind, which waits out in-flight deliveries —
+/// and only touch bound-stable pointers: Bind happens after the
+/// applier/replicator exist, Unbind before they die.
 class ReplicatedNode : public ReplicationEndpoint {
  public:
   ReplicatedNode(NodeOptions options, const core::Sws* sws,
@@ -94,31 +118,54 @@ class ReplicatedNode : public ReplicationEndpoint {
   /// Clean shutdown (drains admitted work, flushes). Idempotent.
   void Stop();
 
-  /// Takes over `dead`'s sessions: rebuilds this node's runtime from its
-  /// own dir (replica journals make the state current), registers the
-  /// override in the group, and exposes the ownership-filtered
-  /// unacknowledged outcomes in replayed(). The node must be running.
+  /// Operator-driven takeover of `dead`'s sessions: bumps the fencing
+  /// epoch (an operator override outranks the deposed primary exactly
+  /// like a won election does), registers the group override, rebuilds
+  /// this node's runtime from its own dir (replica journals make the
+  /// state current), and exposes the ownership-filtered unacknowledged
+  /// outcomes in replayed(). The node must be running.
   core::Status Promote(const std::string& dead);
+
+  /// The quorum-election commit path (FailoverHooks::promote): same as
+  /// Promote but adopting the exact epoch the votes were granted at.
+  core::Status PromoteWithEpoch(const std::string& dead, uint64_t epoch);
 
   // ReplicationEndpoint (transport delivery thread).
   void OnShipment(const Shipment& shipment) override;
   void OnAck(const std::string& from, uint64_t source_incarnation,
-             uint64_t acked_link_seq) override;
-  void OnHeartbeat(const std::string& from, uint64_t incarnation) override;
+             uint64_t acked_link_seq, uint64_t epoch) override;
+  void OnHeartbeat(const std::string& from, uint64_t incarnation,
+                   uint64_t epoch) override;
+  void OnVoteRequest(const std::string& from, uint64_t epoch,
+                     const std::string& suspect) override;
+  void OnVoteGrant(const std::string& from, uint64_t epoch,
+                   bool granted) override;
+  void OnCatchupRequest(const std::string& from, uint64_t epoch) override;
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
   const std::string& id() const { return options_.id; }
   const NodeOptions& options() const { return options_; }
   rt::ServiceRuntime* runtime() { return runtime_.get(); }
   core::FaultInjector* injector() { return injector_.get(); }
   FollowerApplier* applier() { return applier_.get(); }
   Replicator* replicator() { return replicator_.get(); }
+  FencingEpoch* fence() { return &fence_; }
+  FailoverCoordinator* coordinator() { return coordinator_.get(); }
+  rt::ReplicationCounters* counters() { return &counters_; }
   uint64_t promotions() const { return promotions_; }
   uint64_t incarnation() const { return incarnation_; }
   /// Replayed outcomes the last Start()/Promote() withheld because their
-  /// re-emission ack barrier failed (a follower was unreachable). Their
-  /// clients saw errors — withholding is at-most-once, not loss.
+  /// re-emission ack barrier failed (a follower was unreachable, or this
+  /// node was fenced mid-re-ship). Their clients saw errors —
+  /// withholding is at-most-once, not loss.
   uint64_t suppressed_reemissions() const { return suppressed_reemissions_; }
+
+  /// The current runtime, kept alive for the caller even if an automatic
+  /// promotion tears this life down concurrently (the runtime's own
+  /// Submit/Drain reject cleanly after its Shutdown). Null when down.
+  std::shared_ptr<rt::ServiceRuntime> runtime_snapshot() const;
+  /// Thread-safe copy of replayed() for concurrent (auto-mode) drivers.
+  std::vector<persistence::ReplayedOutcome> replayed_copy() const;
 
   /// Unacknowledged outcomes recomputed by the last Start()/Promote()
   /// recovery, filtered to sessions this node currently owns
@@ -141,7 +188,15 @@ class ReplicatedNode : public ReplicationEndpoint {
   };
 
   core::Status StartLife();
+  core::Status PromoteLocked(const std::string& dead, uint64_t epoch);
   void Teardown(bool crash);
+  /// The silence window in force (explicit, or derived from
+  /// suspicion_misses × heartbeat_interval under auto_failover).
+  std::chrono::nanoseconds EffectiveFailoverTimeout() const;
+  /// FailoverHooks::ready — fit to campaign? Running, and not itself
+  /// awaiting a catch-up serve (a joiner with an incomplete prefix must
+  /// not seize sessions it has not bootstrapped).
+  bool ReadyForElection() const;
   /// Reads every journal segment in the dir (own shards and replica
   /// shards alike) and collects the records of sessions this node
   /// currently owns, ordered (session, seq). Must run before the runtime
@@ -152,6 +207,10 @@ class ReplicatedNode : public ReplicationEndpoint {
   /// ack barrier over replayed_, dropping entries whose barrier fails.
   /// Requires the transport binding to be up (acks must flow back).
   void ReplicateRecoveredState(const std::vector<TailRecord>& tail);
+  /// Serves a catch-up request from `requester` (transport thread): one
+  /// snapshot-flagged shipment of every owned session the requester
+  /// follows, then the matching journal tail, then the graduation fence.
+  void ServeCatchup(const std::string& requester);
 
   NodeOptions options_;
   const core::Sws* const sws_;
@@ -159,15 +218,28 @@ class ReplicatedNode : public ReplicationEndpoint {
   ReplicaGroup* const group_;
   InProcessTransport* const transport_;
 
+  /// Serializes lifecycle transitions (unique) against concurrent
+  /// observers (shared). Endpoint handlers never take it — see class
+  /// comment.
+  mutable std::shared_mutex life_mu_;
+  FencingEpoch fence_;
+  bool fence_loaded_ = false;
+  rt::ReplicationCounters counters_;
+
   std::unique_ptr<core::FaultInjector> injector_;
   std::unique_ptr<FollowerApplier> applier_;
   std::unique_ptr<Replicator> replicator_;
-  std::unique_ptr<rt::ServiceRuntime> runtime_;
+  std::shared_ptr<rt::ServiceRuntime> runtime_;
   std::vector<persistence::ReplayedOutcome> replayed_;
   uint64_t incarnation_ = 0;
   uint64_t promotions_ = 0;
   uint64_t suppressed_reemissions_ = 0;
-  bool running_ = false;
+  std::atomic<bool> running_{false};
+
+  /// Lives across lives (election state and liveness clocks must survive
+  /// restarts). Created on the first auto_failover Start; destroyed only
+  /// by ~ReplicatedNode, after the transport binding is down.
+  std::unique_ptr<FailoverCoordinator> coordinator_;
 };
 
 /// The promotion rule: among `candidates` (the live followers of the

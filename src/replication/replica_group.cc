@@ -45,6 +45,18 @@ core::Status ValidateReplicationOptions(const ReplicationOptions& options,
     return core::Status::Error(core::RunError::kQueueRejected,
         "replication: heartbeat_interval must be non-negative");
   }
+  if (options.suspicion_misses == 0) {
+    return core::Status::Error(core::RunError::kQueueRejected,
+        "replication: suspicion_misses must be positive");
+  }
+  if (options.heartbeat_jitter < 0.0 || options.heartbeat_jitter >= 1.0) {
+    return core::Status::Error(core::RunError::kQueueRejected,
+        "replication: heartbeat_jitter must be in [0, 1)");
+  }
+  if (options.election_timeout.count() <= 0) {
+    return core::Status::Error(core::RunError::kQueueRejected,
+        "replication: election_timeout must be positive");
+  }
   return core::Status::Ok();
 }
 
@@ -107,6 +119,42 @@ std::vector<std::string> ReplicaGroup::FollowersOf(
   std::vector<std::string> owners = ReplicasOf(session_id, replicas);
   if (!owners.empty()) owners.erase(owners.begin());
   return owners;
+}
+
+bool ReplicaGroup::IsDeposed(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Resolve(node) != node;
+}
+
+std::string ReplicaGroup::HeirOf(
+    const std::string& dead, const std::vector<std::string>& exclude) const {
+  if (ring_.empty()) return std::string();
+  // Find `dead`'s lowest token; the heir search starts at its successor,
+  // mirroring how the consistent-hash chain already names the next
+  // distinct owner as the natural inheritor of the dead node's arcs.
+  size_t start = 0;
+  bool found = false;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (nodes_[ring_[i].second] == dead) {
+      start = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return std::string();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string dead_resolved = Resolve(dead);
+  for (size_t step = 1; step <= ring_.size(); ++step) {
+    const std::string& candidate =
+        nodes_[ring_[(start + step) % ring_.size()].second];
+    std::string owner = Resolve(candidate);
+    if (owner == dead_resolved) continue;
+    if (std::find(exclude.begin(), exclude.end(), owner) != exclude.end()) {
+      continue;
+    }
+    return owner;
+  }
+  return std::string();
 }
 
 void ReplicaGroup::Promote(const std::string& dead, const std::string& heir) {

@@ -33,6 +33,17 @@ struct ReplicationOptions {
   std::chrono::milliseconds retransmit_interval{10};
   /// Liveness beacons to every peer (failover detection); 0 = none.
   std::chrono::milliseconds heartbeat_interval{20};
+  /// Failure detector: consecutive missed heartbeat intervals before a
+  /// peer is suspected. NodeOptions::failover_timeout, when zero, is
+  /// derived as suspicion_misses × heartbeat_interval.
+  uint32_t suspicion_misses = 3;
+  /// Fraction of heartbeat_interval each probe is jittered by (±), drawn
+  /// from a per-node deterministic SplitMix64 stream — de-synchronizes
+  /// the group's probes without losing seed reproducibility. In [0, 1).
+  double heartbeat_jitter = 0.0;
+  /// How long an election candidate waits for vote grants before
+  /// retrying at a higher epoch (automatic failover).
+  std::chrono::milliseconds election_timeout{100};
 
   size_t resolved_quorum() const {
     return ack_quorum == 0 ? replicas : ack_quorum;
@@ -79,6 +90,19 @@ class ReplicaGroup {
   /// chain (if `heir` is later promoted away, both hops follow) and are
   /// permanent: a restarted `dead` node rejoins as a follower only.
   void Promote(const std::string& dead, const std::string& heir);
+
+  /// True when `node`'s arcs currently resolve to some other node — it
+  /// was promoted away and owns no sessions (it can only follow).
+  bool IsDeposed(const std::string& node) const;
+
+  /// The deterministic election heir for `dead`: the first distinct
+  /// resolved owner clockwise from `dead`'s lowest ring token, skipping
+  /// `dead` itself and every node in `exclude` (the caller's locally-
+  /// suspected set). Empty when no candidate remains. All nodes with the
+  /// same override table and exclude set compute the same heir — vote
+  /// quorums arbitrate when suspicion sets differ.
+  std::string HeirOf(const std::string& dead,
+                     const std::vector<std::string>& exclude = {}) const;
 
  private:
   std::string Resolve(const std::string& node) const;  // follow overrides

@@ -106,25 +106,68 @@ void InProcessTransport::Ship(Shipment shipment) {
 
 void InProcessTransport::SendAck(const std::string& from, const std::string& to,
                                  uint64_t source_incarnation,
-                                 uint64_t acked_link_seq) {
+                                 uint64_t acked_link_seq, uint64_t epoch) {
   Event event;
   event.kind = Kind::kAck;
   event.src = from;
   event.dst = to;
   event.source_incarnation = source_incarnation;
   event.acked_link_seq = acked_link_seq;
+  event.epoch = epoch;
   Submit(std::move(event));
 }
 
 void InProcessTransport::SendHeartbeat(const std::string& from,
                                        const std::string& to,
-                                       uint64_t incarnation) {
+                                       uint64_t incarnation, uint64_t epoch) {
   Event event;
   event.kind = Kind::kHeartbeat;
   event.src = from;
   event.dst = to;
   event.source_incarnation = incarnation;
   event.acked_link_seq = 0;
+  event.epoch = epoch;
+  Submit(std::move(event));
+}
+
+void InProcessTransport::SendVoteRequest(const std::string& from,
+                                         const std::string& to, uint64_t epoch,
+                                         const std::string& suspect) {
+  Event event;
+  event.kind = Kind::kVoteRequest;
+  event.src = from;
+  event.dst = to;
+  event.source_incarnation = 0;
+  event.acked_link_seq = 0;
+  event.epoch = epoch;
+  event.text = suspect;
+  Submit(std::move(event));
+}
+
+void InProcessTransport::SendVoteGrant(const std::string& from,
+                                       const std::string& to, uint64_t epoch,
+                                       bool granted) {
+  Event event;
+  event.kind = Kind::kVoteGrant;
+  event.src = from;
+  event.dst = to;
+  event.source_incarnation = 0;
+  event.acked_link_seq = 0;
+  event.epoch = epoch;
+  event.granted = granted;
+  Submit(std::move(event));
+}
+
+void InProcessTransport::SendCatchupRequest(const std::string& from,
+                                            const std::string& to,
+                                            uint64_t epoch) {
+  Event event;
+  event.kind = Kind::kCatchupRequest;
+  event.src = from;
+  event.dst = to;
+  event.source_incarnation = 0;
+  event.acked_link_seq = 0;
+  event.epoch = epoch;
   Submit(std::move(event));
 }
 
@@ -193,10 +236,20 @@ void InProcessTransport::DeliveryLoop() {
             break;
           case Kind::kAck:
             slot->endpoint->OnAck(event.src, event.source_incarnation,
-                                  event.acked_link_seq);
+                                  event.acked_link_seq, event.epoch);
             break;
           case Kind::kHeartbeat:
-            slot->endpoint->OnHeartbeat(event.src, event.source_incarnation);
+            slot->endpoint->OnHeartbeat(event.src, event.source_incarnation,
+                                        event.epoch);
+            break;
+          case Kind::kVoteRequest:
+            slot->endpoint->OnVoteRequest(event.src, event.epoch, event.text);
+            break;
+          case Kind::kVoteGrant:
+            slot->endpoint->OnVoteGrant(event.src, event.epoch, event.granted);
+            break;
+          case Kind::kCatchupRequest:
+            slot->endpoint->OnCatchupRequest(event.src, event.epoch);
             break;
         }
       } else {

@@ -36,11 +36,27 @@ struct Shipment {
   /// durably applied by some follower life — so a follower that lost its
   /// in-memory link state (restart, promotion) may fast-forward to it.
   uint64_t first_unacked = 1;
+  /// The sender's view of the group fencing epoch at (re)transmit time.
+  /// A follower rejects shipments below its own epoch (a deposed
+  /// primary's stale traffic) and adopts higher ones. See DESIGN.md §13.
+  uint64_t epoch = 0;
   /// Where the record sits in the source's journal: shard index and
   /// segment counter — the replication cursor that pins the segment
   /// against snapshot GC until acknowledged.
   uint64_t shard = 0;
   uint64_t segment_n = 0;
+  /// The session the record belongs to — sender-side bookkeeping used to
+  /// re-check ownership when the group epoch moves while the shipment is
+  /// buffered. Redundant with the frame contents, so a socket transport
+  /// need not put it on the wire.
+  std::string session_id;
+  /// True for a catch-up bootstrap shipment: `frame` then holds
+  /// persistence::EncodeSnapshotPayload bytes (not a record frame), which
+  /// the follower persists as a snapshot file before acking. Riding the
+  /// FIFO link gives the bootstrap payload the same retransmit-until-
+  /// acked durability as records, so a joiner's cumulative ack past the
+  /// catch-up fence proves the whole bootstrap landed (DESIGN.md §13).
+  bool snapshot = false;
   std::string frame;
 };
 
@@ -54,9 +70,30 @@ class ReplicationEndpoint {
   /// Cumulative: `acked_link_seq` and everything below it is durably
   /// applied by `from`. `source_incarnation` echoes the shipments being
   /// acknowledged, so a restarted source ignores its past life's acks.
+  /// `epoch` is the acker's fencing epoch — how a deposed primary learns
+  /// it was fenced.
   virtual void OnAck(const std::string& from, uint64_t source_incarnation,
-                     uint64_t acked_link_seq) = 0;
-  virtual void OnHeartbeat(const std::string& from, uint64_t incarnation) = 0;
+                     uint64_t acked_link_seq, uint64_t epoch) = 0;
+  virtual void OnHeartbeat(const std::string& from, uint64_t incarnation,
+                           uint64_t epoch) = 0;
+  /// Election traffic (failure-detector-driven failover). `epoch` is the
+  /// epoch the candidate wants to claim; `suspect` the node it wants to
+  /// depose. Default no-op so pure appliers/replicators can ignore it.
+  virtual void OnVoteRequest(const std::string& from, uint64_t epoch,
+                             const std::string& suspect) {
+    (void)from, (void)epoch, (void)suspect;
+  }
+  virtual void OnVoteGrant(const std::string& from, uint64_t epoch,
+                           bool granted) {
+    (void)from, (void)epoch, (void)granted;
+  }
+  /// Join/rejoin catch-up. A joining node broadcasts a request; each
+  /// primary answers on the regular shipment link — a snapshot-flagged
+  /// shipment of the sessions the requester follows, then the journal
+  /// tail (see Shipment::snapshot).
+  virtual void OnCatchupRequest(const std::string& from, uint64_t epoch) {
+    (void)from, (void)epoch;
+  }
 };
 
 /// The wire between nodes. In-process today (InProcessTransport below);
@@ -72,9 +109,16 @@ class ReplicationTransport {
   virtual void Unbind(const std::string& node) = 0;
   virtual void Ship(Shipment shipment) = 0;
   virtual void SendAck(const std::string& from, const std::string& to,
-                       uint64_t source_incarnation, uint64_t acked_link_seq) = 0;
+                       uint64_t source_incarnation, uint64_t acked_link_seq,
+                       uint64_t epoch) = 0;
   virtual void SendHeartbeat(const std::string& from, const std::string& to,
-                             uint64_t incarnation) = 0;
+                             uint64_t incarnation, uint64_t epoch) = 0;
+  virtual void SendVoteRequest(const std::string& from, const std::string& to,
+                               uint64_t epoch, const std::string& suspect) = 0;
+  virtual void SendVoteGrant(const std::string& from, const std::string& to,
+                             uint64_t epoch, bool granted) = 0;
+  virtual void SendCatchupRequest(const std::string& from,
+                                  const std::string& to, uint64_t epoch) = 0;
 };
 
 /// In-process transport: one delivery thread draining a due-time queue.
@@ -97,9 +141,16 @@ class InProcessTransport : public ReplicationTransport {
   void Unbind(const std::string& node) override;
   void Ship(Shipment shipment) override;
   void SendAck(const std::string& from, const std::string& to,
-               uint64_t source_incarnation, uint64_t acked_link_seq) override;
+               uint64_t source_incarnation, uint64_t acked_link_seq,
+               uint64_t epoch) override;
   void SendHeartbeat(const std::string& from, const std::string& to,
-                     uint64_t incarnation) override;
+                     uint64_t incarnation, uint64_t epoch) override;
+  void SendVoteRequest(const std::string& from, const std::string& to,
+                       uint64_t epoch, const std::string& suspect) override;
+  void SendVoteGrant(const std::string& from, const std::string& to,
+                     uint64_t epoch, bool granted) override;
+  void SendCatchupRequest(const std::string& from, const std::string& to,
+                          uint64_t epoch) override;
 
   /// One-way partition: messages src→dst vanish until healed.
   void Partition(const std::string& src, const std::string& dst);
@@ -118,7 +169,14 @@ class InProcessTransport : public ReplicationTransport {
   uint64_t reordered() const { return reordered_.load(std::memory_order_relaxed); }
 
  private:
-  enum class Kind : uint8_t { kShipment, kAck, kHeartbeat };
+  enum class Kind : uint8_t {
+    kShipment,
+    kAck,
+    kHeartbeat,
+    kVoteRequest,
+    kVoteGrant,
+    kCatchupRequest,
+  };
   struct Event {
     Kind kind;
     std::string src;
@@ -126,6 +184,9 @@ class InProcessTransport : public ReplicationTransport {
     Shipment shipment;            // kShipment
     uint64_t source_incarnation;  // kAck / kHeartbeat
     uint64_t acked_link_seq;      // kAck
+    uint64_t epoch = 0;           // all but kShipment (which carries its own)
+    std::string text;             // kVoteRequest: the suspect node
+    bool granted = false;         // kVoteGrant
     std::chrono::steady_clock::time_point due;
     uint64_t order;  // tie-break: submission order
   };

@@ -1,6 +1,7 @@
 #ifndef SWS_RUNTIME_REPLICATION_HOOKS_H_
 #define SWS_RUNTIME_REPLICATION_HOOKS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -66,6 +67,20 @@ class FailoverMonitor {
       std::chrono::nanoseconds timeout) = 0;
 };
 
+/// Self-healing-failover counters (DESIGN.md §13), owned by whoever
+/// owns the replication layer (a ReplicatedNode) so they survive the
+/// runtime rebuilds that promotions and restarts perform — the same
+/// reason ReplicationRuntimeOptions::promotions is a stamp, not a
+/// RuntimeStats atomic. The watchdog ticks peer_suspicions through the
+/// options pointer; the replication layer ticks the rest; Stats()
+/// stamps all four into the snapshot.
+struct ReplicationCounters {
+  std::atomic<uint64_t> peer_suspicions{0};
+  std::atomic<uint64_t> auto_promotions{0};
+  std::atomic<uint64_t> epoch_fencing_rejects{0};
+  std::atomic<uint64_t> catchup_bytes_shipped{0};
+};
+
 /// Replication wiring carried by RuntimeOptions::replication. All
 /// defaults off: a runtime constructed without touching this struct is
 /// byte-for-byte the unreplicated runtime.
@@ -86,6 +101,9 @@ struct ReplicationRuntimeOptions {
   /// StatsSnapshot::promotions — the counter survives the runtime
   /// rebuild a promotion performs, so the node passes it back in).
   uint64_t promotions = 0;
+  /// Failover counters shared across this node's lives; null = none
+  /// (their snapshot fields stay zero). Must outlive the runtime.
+  ReplicationCounters* counters = nullptr;
 };
 
 }  // namespace sws::rt

@@ -401,6 +401,10 @@ void ServiceRuntime::WatchdogLoop() {
         repl.on_peer_suspected) {
       for (const std::string& peer :
            repl.monitor->SuspectPeers(now, repl.failover_timeout)) {
+        if (repl.counters != nullptr) {
+          repl.counters->peer_suspicions.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        }
         repl.on_peer_suspected(peer);
       }
     }
@@ -443,6 +447,16 @@ StatsSnapshot ServiceRuntime::Stats() const {
   if (const ReplicationClient* client = options_.replication.client) {
     snap.segments_shipped = client->segments_shipped();
     snap.follower_lag_hwm = client->follower_lag_hwm();
+  }
+  if (const ReplicationCounters* counters = options_.replication.counters) {
+    snap.peer_suspicions =
+        counters->peer_suspicions.load(std::memory_order_relaxed);
+    snap.auto_promotions =
+        counters->auto_promotions.load(std::memory_order_relaxed);
+    snap.epoch_fencing_rejects =
+        counters->epoch_fencing_rejects.load(std::memory_order_relaxed);
+    snap.catchup_bytes_shipped =
+        counters->catchup_bytes_shipped.load(std::memory_order_relaxed);
   }
   return snap;
 }

@@ -75,6 +75,10 @@ std::string StatsSnapshot::ToString() const {
       << " promotions=" << promotions
       << " segments_shipped=" << segments_shipped
       << " follower_lag_hwm=" << follower_lag_hwm
+      << " peer_suspicions=" << peer_suspicions
+      << " auto_promotions=" << auto_promotions
+      << " epoch_fencing_rejects=" << epoch_fencing_rejects
+      << " catchup_bytes_shipped=" << catchup_bytes_shipped
       << " pressure_level=" << pressure_level
       << " queue_depth=" << queue_depth << " runs=" << total_runs()
       << " p50_us<=" << ApproxLatencyMicros(0.5)
@@ -157,6 +161,10 @@ std::string StatsSnapshot::ToJson() const {
       {"promotions", promotions},
       {"segments_shipped", segments_shipped},
       {"follower_lag_hwm", follower_lag_hwm},
+      {"peer_suspicions", peer_suspicions},
+      {"auto_promotions", auto_promotions},
+      {"epoch_fencing_rejects", epoch_fencing_rejects},
+      {"catchup_bytes_shipped", catchup_bytes_shipped},
       {"pressure_level", pressure_level},
       {"queue_depth", queue_depth},
       {"runs", total_runs()},
@@ -216,8 +224,10 @@ StatsSnapshot RuntimeStats::Snapshot(uint64_t queue_depth,
   snap.replication_acks = replication_acks_.load(std::memory_order_relaxed);
   snap.replication_timeouts =
       replication_timeouts_.load(std::memory_order_relaxed);
-  // promotions / segments_shipped / follower_lag_hwm are owned by the
-  // replication layer; ServiceRuntime::Stats() stamps them afterwards.
+  // promotions / segments_shipped / follower_lag_hwm and the failover
+  // counters (peer_suspicions, auto_promotions, epoch_fencing_rejects,
+  // catchup_bytes_shipped) are owned by the replication layer;
+  // ServiceRuntime::Stats() stamps them afterwards.
   snap.pressure_level = pressure_level;
   snap.queue_depth = queue_depth;
   snap.shard_latency.reserve(shard_latency_.size());

@@ -57,6 +57,10 @@ struct StatsSnapshot {
   uint64_t promotions = 0;         // follower→primary promotions (this node)
   uint64_t segments_shipped = 0;   // journal segments streamed to followers
   uint64_t follower_lag_hwm = 0;   // high-water mark of unacked shipments
+  uint64_t peer_suspicions = 0;    // silence episodes the watchdog reported
+  uint64_t auto_promotions = 0;    // quorum-elected promotions (no operator)
+  uint64_t epoch_fencing_rejects = 0;  // stale-epoch shipments refused
+  uint64_t catchup_bytes_shipped = 0;  // snapshot bytes served to joiners
   uint64_t pressure_level = 0;     // current degradation level (gauge, 0-3)
   uint64_t queue_depth = 0;        // admitted but not yet completed
   /// Per-shard session-run latency histograms (delimiter runs only; the

@@ -96,6 +96,8 @@ class TempDir {
         ::unlink((path_ + "/" + f.name).c_str());
       }
     }
+    // The fencing state is deliberately invisible to ParseDurableFileName.
+    ::unlink((path_ + "/epoch.fence").c_str());
     ::rmdir(path_.c_str());
   }
   const std::string& path() const { return path_; }
@@ -230,17 +232,20 @@ class RecordingEndpoint : public ReplicationEndpoint {
     std::lock_guard<std::mutex> lock(mu_);
     shipments_.push_back(shipment);
   }
-  void OnAck(const std::string& from, uint64_t incarnation,
-             uint64_t acked) override {
+  void OnAck(const std::string& from, uint64_t incarnation, uint64_t acked,
+             uint64_t epoch) override {
     std::lock_guard<std::mutex> lock(mu_);
     acks_.emplace_back(from, acked);
     (void)incarnation;
+    (void)epoch;
   }
-  void OnHeartbeat(const std::string& from, uint64_t incarnation) override {
+  void OnHeartbeat(const std::string& from, uint64_t incarnation,
+                   uint64_t epoch) override {
     std::lock_guard<std::mutex> lock(mu_);
     ++heartbeats_;
     (void)from;
     (void)incarnation;
+    (void)epoch;
   }
 
   std::vector<Shipment> shipments() const {
@@ -440,7 +445,7 @@ TEST(FollowerApplierTest, SourceIncarnationBumpResetsTheLink) {
 TEST(FollowerApplierTest, SuspectsSilentSourcesOncePerEpisode) {
   ApplierRig rig;
   const auto start = std::chrono::steady_clock::now();
-  rig.applier.OnHeartbeat("p", 1);
+  rig.applier.OnHeartbeat("p", 1, 0);
   EXPECT_TRUE(
       rig.applier.SuspectPeers(start, std::chrono::milliseconds(50)).empty());
   const auto later = start + std::chrono::milliseconds(200);
@@ -452,7 +457,7 @@ TEST(FollowerApplierTest, SuspectsSilentSourcesOncePerEpisode) {
   EXPECT_TRUE(
       rig.applier.SuspectPeers(later, std::chrono::milliseconds(50)).empty());
   // A sign of life, then silence again: a fresh episode fires.
-  rig.applier.OnHeartbeat("p", 1);
+  rig.applier.OnHeartbeat("p", 1, 0);
   const auto much_later = later + std::chrono::seconds(1);
   EXPECT_EQ(
       rig.applier.SuspectPeers(much_later, std::chrono::milliseconds(50))
@@ -469,7 +474,7 @@ TEST(FollowerApplierTest, ExpectedPeersAreSuspectableWithoutEverHearingThem) {
   const auto start = std::chrono::steady_clock::now();
   EXPECT_TRUE(
       rig.applier.SuspectPeers(start, std::chrono::seconds(10)).empty());
-  rig.applier.OnHeartbeat("p", 1);
+  rig.applier.OnHeartbeat("p", 1, 0);
   rig.applier.ExpectPeers({"p"});  // no-op: "p" was just heard
   const auto later = start + std::chrono::milliseconds(200);
   std::vector<std::string> suspects =
@@ -517,9 +522,10 @@ class FollowerEndpoint : public ReplicationEndpoint {
   void OnShipment(const Shipment& shipment) override {
     applier_->OnShipment(shipment);
   }
-  void OnAck(const std::string&, uint64_t, uint64_t) override {}
-  void OnHeartbeat(const std::string& from, uint64_t incarnation) override {
-    applier_->OnHeartbeat(from, incarnation);
+  void OnAck(const std::string&, uint64_t, uint64_t, uint64_t) override {}
+  void OnHeartbeat(const std::string& from, uint64_t incarnation,
+                   uint64_t epoch) override {
+    applier_->OnHeartbeat(from, incarnation, epoch);
   }
 
  private:
@@ -531,11 +537,11 @@ class ReplicatorEndpoint : public ReplicationEndpoint {
   explicit ReplicatorEndpoint(Replicator* replicator)
       : replicator_(replicator) {}
   void OnShipment(const Shipment&) override {}
-  void OnAck(const std::string& from, uint64_t incarnation,
-             uint64_t acked) override {
-    replicator_->OnAck(from, incarnation, acked);
+  void OnAck(const std::string& from, uint64_t incarnation, uint64_t acked,
+             uint64_t epoch) override {
+    replicator_->OnAck(from, incarnation, acked, epoch);
   }
-  void OnHeartbeat(const std::string&, uint64_t) override {}
+  void OnHeartbeat(const std::string&, uint64_t, uint64_t) override {}
 
  private:
   Replicator* const replicator_;
@@ -894,6 +900,82 @@ TEST(ReplicatedNodeTest, DeposedPrimaryNeverReEmitsPromotedSessions) {
   ASSERT_TRUE(cluster.node("n0")->Start().ok());
   EXPECT_TRUE(cluster.node("n0")->replayed().empty());
   for (auto& node : cluster.nodes) node->Stop();
+}
+
+TEST(ReplicatedNodeTest, RestartedDeposedPrimaryTailReshipIsFenced) {
+  // The race: a primary dies with an un-consolidated tail, restarts, and
+  // re-ships that tail concurrently with a promotion it cannot see. Its
+  // retransmissions are restamped with whatever epoch it knows — so the
+  // fence must both (a) reject the stale-epoch traffic on the followers
+  // and (b) fence the restarted node itself the moment any message
+  // carries the promotion epoch back, even when no ack path exists yet.
+  Cluster cluster(FastOptions(2, 2));
+  for (auto& node : cluster.nodes) ASSERT_TRUE(node->Start().ok());
+  const std::string id = cluster.SessionOn("n0");
+  ASSERT_FALSE(id.empty());
+
+  // Fully partition n0 both ways first: its session commits locally but
+  // ships nowhere, and its fence provably stays at epoch 0. The outcome
+  // append tears (KillStorageAfter), so the restart below has both a
+  // journal tail to re-ship AND a recomputed outcome to re-emit.
+  cluster.transport.Partition("n0", "n1");
+  cluster.transport.Partition("n0", "n2");
+  cluster.transport.Partition("n1", "n0");
+  cluster.transport.Partition("n2", "n0");
+  cluster.node("n0")->injector()->KillStorageAfter(2);
+  std::atomic<int> errors{0};
+  ASSERT_TRUE(cluster.node("n0")->runtime()->Submit(id, Msg(5)).ok());
+  ASSERT_TRUE(cluster.node("n0")
+                  ->runtime()
+                  ->Submit(id, SessionRunner::DelimiterMessage(1),
+                           [&](rt::Outcome outcome) {
+                             if (!outcome.status.ok()) errors.fetch_add(1);
+                           })
+                  .ok());
+  cluster.node("n0")->runtime()->Drain();
+  EXPECT_EQ(errors.load(), 1);  // the client never saw an ack: ambiguous
+  cluster.node("n0")->Kill();
+
+  // Restart the old primary while it still owns the session (no Promote
+  // yet): recovery re-ships the journaled tail at epoch 0 into the void
+  // and withholds the replayed outcome (its re-emission barrier fails).
+  ASSERT_TRUE(cluster.node("n0")->Start().ok());
+  EXPECT_GE(cluster.node("n0")->suppressed_reemissions(), 1u);
+  EXPECT_EQ(cluster.node("n0")->fence()->current(), 0u);
+
+  // The promotion lands mid-re-ship.
+  ASSERT_TRUE(cluster.node("n1")->Promote("n0").ok());
+
+  // Heal only n0's outbound half: its epoch-0 retransmissions now reach
+  // followers that adopted epoch 1 — rejected, never applied.
+  cluster.transport.Heal("n0", "n1");
+  cluster.transport.Heal("n0", "n2");
+  ASSERT_TRUE(WaitFor([&] {
+    return cluster.node("n1")->applier()->fencing_rejects() +
+               cluster.node("n2")->applier()->fencing_rejects() >=
+           1;
+  })) << "no follower fenced the deposed primary's stale tail";
+
+  // Heal the inbound half: the first epoch-1 ack deposes n0's replicator
+  // for good — buffers dropped, shipping over.
+  cluster.transport.Heal("n1", "n0");
+  cluster.transport.Heal("n2", "n0");
+  ASSERT_TRUE(WaitFor([&] { return cluster.node("n0")->replicator()->fenced(); }))
+      << "the restarted primary never fenced itself";
+  EXPECT_GE(cluster.node("n0")->fence()->current(), 1u);
+
+  for (auto& node : cluster.nodes) node->Stop();
+
+  // The heir's durable history never absorbed the fenced tail: the
+  // session is simply absent there (its inputs never shipped), rather
+  // than forked.
+  persistence::RecoveryManager manager(cluster.dirs[1].path(), &cluster.sws,
+                                       LoggerDb(),
+                                       persistence::RecoveryOptions{}, nullptr);
+  persistence::RecoveryResult recovered = manager.Inspect();
+  ASSERT_TRUE(recovered.status.ok()) << recovered.status.ToString();
+  EXPECT_TRUE(recovered.sessions.find(id) == recovered.sessions.end())
+      << "the deposed primary's stale tail reached the heir's journal";
 }
 
 TEST(ReplicatedNodeTest, WatchdogSuspectsASilentPeer) {

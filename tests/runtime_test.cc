@@ -1010,6 +1010,10 @@ TEST(RuntimeStatsTest, ToJsonIsStrictlyValidAndComplete) {
       {"promotions", stats.promotions},
       {"segments_shipped", stats.segments_shipped},
       {"follower_lag_hwm", stats.follower_lag_hwm},
+      {"peer_suspicions", stats.peer_suspicions},
+      {"auto_promotions", stats.auto_promotions},
+      {"epoch_fencing_rejects", stats.epoch_fencing_rejects},
+      {"catchup_bytes_shipped", stats.catchup_bytes_shipped},
       {"runs", stats.total_runs()},
   };
   for (const auto& [key, value] : expected) {
@@ -1025,7 +1029,9 @@ TEST(RuntimeStatsTest, ToJsonIsStrictlyValidAndComplete) {
   const std::string text = stats.ToString();
   for (const char* field :
        {"replication_acks=0", "replication_timeouts=0", "promotions=0",
-        "segments_shipped=0", "follower_lag_hwm=0"}) {
+        "segments_shipped=0", "follower_lag_hwm=0", "peer_suspicions=0",
+        "auto_promotions=0", "epoch_fencing_rejects=0",
+        "catchup_bytes_shipped=0"}) {
     EXPECT_NE(text.find(field), std::string::npos) << "missing: " << field;
   }
 }
